@@ -1,0 +1,150 @@
+//! The documentation agent.
+//!
+//! "A documentation agent maintains comprehensive records of operations,
+//! including AI-generated code and the successes and limitations
+//! encountered by each agent throughout the workflow." (§3) The summary
+//! is a workflow digest for human review; the paper notes it is useful
+//! but not strictly necessary for provenance (§4.1.4) — which is why the
+//! token-ablation bench can disable it.
+
+use crate::context::AgentContext;
+use crate::error::AgentResult;
+use crate::state::RunState;
+use infera_provenance::ArtifactKind;
+
+/// Produce the final workflow summary, store it, and charge its tokens.
+pub fn run_documentation(ctx: &AgentContext, state: &mut RunState) -> AgentResult<()> {
+    let mut summary = String::new();
+    summary.push_str(&format!("# InferA workflow summary\n\n## Question\n{}\n", state.question));
+    summary.push_str("\n## Plan\n");
+    summary.push_str(&state.plan.to_text());
+    summary.push_str("\n## Step outcomes\n");
+    for o in &state.outcomes {
+        summary.push_str(&format!(
+            "- step {} [{}]: {} after {} redo(s){}\n",
+            o.step + 1,
+            o.agent,
+            if o.success { "completed" } else { "FAILED" },
+            o.redos,
+            if o.message.is_empty() {
+                String::new()
+            } else {
+                format!(" — {}", o.message)
+            }
+        ));
+    }
+    if state.failed {
+        summary.push_str("\n## Status\nRun terminated early after exhausting the revision budget.\n");
+    } else {
+        summary.push_str("\n## Status\nAll planned steps completed.\n");
+    }
+    summary.push_str(&format!(
+        "\n## Resources\n- tokens so far: {}\n- visualizations: {}\n- data outputs: {}\n",
+        ctx.llm.meter().total_tokens(),
+        state.visualizations.len(),
+        state.data_outputs.len()
+    ));
+
+    if ctx.config.enable_documentation {
+        let prompt = ctx.build_prompt(
+            "documentation",
+            state,
+            "summarize the workflow for human review",
+            &[],
+        );
+        ctx.llm.charge("documentation", &prompt, &summary);
+    }
+
+    // Failed workflows get a postmortem: the supervisor and QA walk the
+    // full history and every artifact to pin down what went wrong — extra
+    // work that makes failed runs the most token-hungry (§4.1.4).
+    if state.failed {
+        let mut diagnosis = ctx.build_prompt(
+            "supervisor",
+            state,
+            "diagnose why the workflow failed: identify the exhausted step, the persistent error, and what a human should fix",
+            &[],
+        );
+        // Under FullHistory the prompt already carries the history; only
+        // the limited policy needs it appended for the postmortem.
+        if ctx.config.context_policy == crate::context::ContextPolicy::LimitedContext {
+            diagnosis.push_str("\n## Full message history\n");
+            for h in &state.history {
+                diagnosis.push_str(h);
+                diagnosis.push('\n');
+            }
+        }
+        let failing = state
+            .outcomes
+            .iter()
+            .find(|o| !o.success)
+            .map(|o| o.message.clone())
+            .unwrap_or_default();
+        ctx.llm.charge(
+            "supervisor",
+            &diagnosis,
+            &format!("failure analysis: {failing}"),
+        );
+        ctx.llm.charge(
+            "qa",
+            &diagnosis,
+            "root-cause assessment and recommended human intervention",
+        );
+    }
+
+    if ctx.config.enable_documentation {
+        let art = ctx.prov.put_text(ArtifactKind::Text, &summary)?;
+        ctx.prov.log_event(
+            "documentation",
+            "summarize",
+            vec![],
+            vec![art],
+            "workflow summary recorded",
+            0,
+            0,
+        )?;
+    }
+    state.summary = summary;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::RunConfig;
+    use crate::state::{Plan, StepOutcome};
+    use infera_hacc::EnsembleSpec;
+    use infera_llm::{BehaviorProfile, SemanticLevel};
+    use std::path::PathBuf;
+
+    #[test]
+    fn documentation_summarizes_outcomes() {
+        let base: PathBuf = std::env::temp_dir().join("infera_doc_tests/doc");
+        std::fs::remove_dir_all(&base).ok();
+        let manifest =
+            infera_hacc::generate(&EnsembleSpec::tiny(23), &base.join("ens")).unwrap();
+        let ctx = AgentContext::new(
+            manifest,
+            &base.join("session"),
+            3,
+            BehaviorProfile::perfect(),
+            RunConfig::default(),
+        )
+        .unwrap();
+        let mut state = RunState::new("the question", SemanticLevel::Easy, Plan::default());
+        state.outcomes.push(StepOutcome {
+            step: 0,
+            agent: "sql".into(),
+            redos: 2,
+            success: true,
+            message: "120 rows".into(),
+        });
+        state.failed = true;
+        run_documentation(&ctx, &mut state).unwrap();
+        assert!(state.summary.contains("the question"));
+        assert!(state.summary.contains("2 redo(s)"));
+        assert!(state.summary.contains("terminated early"));
+        assert!(ctx.prov.events().iter().any(|e| e.action == "summarize"));
+        assert!(ctx.llm.meter().total_tokens() > 0);
+    }
+}

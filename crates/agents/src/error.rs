@@ -1,0 +1,64 @@
+//! Unified agent-layer error type.
+
+use std::fmt;
+
+/// Result alias.
+pub type AgentResult<T> = Result<T, AgentError>;
+
+/// Errors surfaced by agents and the workflow driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentError {
+    /// A substrate failed in a way the redo loop can address (sandbox /
+    /// SQL errors with actionable messages).
+    Recoverable(String),
+    /// A step exhausted its revision budget (§4.1.1: "maximum threshold
+    /// of five revision attempts").
+    RevisionBudgetExhausted { step: usize, attempts: u32 },
+    /// Infrastructure failure (I/O, provenance, malformed plan).
+    Fatal(String),
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::Recoverable(m) => write!(f, "recoverable agent error: {m}"),
+            AgentError::RevisionBudgetExhausted { step, attempts } => write!(
+                f,
+                "step {step} failed after {attempts} revision attempts"
+            ),
+            AgentError::Fatal(m) => write!(f, "fatal agent error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<infera_columnar::DbError> for AgentError {
+    fn from(e: infera_columnar::DbError) -> Self {
+        AgentError::Recoverable(e.to_string())
+    }
+}
+
+impl From<infera_sandbox::SandboxError> for AgentError {
+    fn from(e: infera_sandbox::SandboxError) -> Self {
+        AgentError::Recoverable(e.to_string())
+    }
+}
+
+impl From<infera_hacc::HaccError> for AgentError {
+    fn from(e: infera_hacc::HaccError) -> Self {
+        AgentError::Fatal(e.to_string())
+    }
+}
+
+impl From<infera_provenance::ProvenanceError> for AgentError {
+    fn from(e: infera_provenance::ProvenanceError) -> Self {
+        AgentError::Fatal(e.to_string())
+    }
+}
+
+impl From<infera_frame::FrameError> for AgentError {
+    fn from(e: infera_frame::FrameError) -> Self {
+        AgentError::Recoverable(e.to_string())
+    }
+}

@@ -1,0 +1,276 @@
+//! A typed state-graph runtime — the LangGraph substitute.
+//!
+//! InferA's original implementation routes its agents with LangGraph:
+//! named nodes mutate a shared state, and a router decides the next node
+//! after each step. This module provides the same model: nodes are
+//! closures over a state type `S`, edges are either static or computed by
+//! a router closure, and `run` drives the graph from an entry point until
+//! a node routes to [`END`] (with a step budget against livelock).
+
+use crate::error::{AgentError, AgentResult};
+use std::collections::HashMap;
+
+/// Sentinel node name that terminates the run.
+pub const END: &str = "__end__";
+
+/// What a node handler tells the runtime.
+pub enum NodeOutcome {
+    /// Follow the node's configured edge (static or router).
+    Continue,
+    /// Jump to a specific node, overriding the configured edge.
+    Goto(String),
+    /// Terminate the graph run.
+    End,
+}
+
+type Handler<S> = Box<dyn Fn(&mut S) -> AgentResult<NodeOutcome>>;
+type Router<S> = Box<dyn Fn(&S) -> String>;
+
+enum Edge<S> {
+    Static(String),
+    Conditional(Router<S>),
+    None,
+}
+
+/// A state graph over state type `S`.
+pub struct StateGraph<S> {
+    nodes: HashMap<String, Handler<S>>,
+    edges: HashMap<String, Edge<S>>,
+    entry: Option<String>,
+    /// Maximum node executions per run (default 256).
+    pub max_steps: usize,
+}
+
+impl<S> Default for StateGraph<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> StateGraph<S> {
+    pub fn new() -> StateGraph<S> {
+        StateGraph {
+            nodes: HashMap::new(),
+            edges: HashMap::new(),
+            entry: None,
+            max_steps: 256,
+        }
+    }
+
+    /// Add a node. Replaces any node of the same name.
+    pub fn add_node(
+        &mut self,
+        name: &str,
+        handler: impl Fn(&mut S) -> AgentResult<NodeOutcome> + 'static,
+    ) -> &mut Self {
+        self.nodes.insert(name.to_string(), Box::new(handler));
+        self.edges.entry(name.to_string()).or_insert(Edge::None);
+        self
+    }
+
+    /// Static edge `from -> to`.
+    pub fn add_edge(&mut self, from: &str, to: &str) -> &mut Self {
+        self.edges.insert(from.to_string(), Edge::Static(to.to_string()));
+        self
+    }
+
+    /// Conditional edge: the router inspects the state and names the next
+    /// node (or [`END`]).
+    pub fn add_conditional_edge(
+        &mut self,
+        from: &str,
+        router: impl Fn(&S) -> String + 'static,
+    ) -> &mut Self {
+        self.edges
+            .insert(from.to_string(), Edge::Conditional(Box::new(router)));
+        self
+    }
+
+    /// Set the entry node.
+    pub fn set_entry(&mut self, name: &str) -> &mut Self {
+        self.entry = Some(name.to_string());
+        self
+    }
+
+    /// Names of all registered nodes, sorted.
+    pub fn node_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.nodes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Run the graph to completion. Returns the visit trace.
+    pub fn run(&self, state: &mut S) -> AgentResult<Vec<String>> {
+        let mut current = self
+            .entry
+            .clone()
+            .ok_or_else(|| AgentError::Fatal("graph has no entry point".into()))?;
+        let mut trace = Vec::new();
+        for _ in 0..self.max_steps {
+            if current == END {
+                return Ok(trace);
+            }
+            let handler = self.nodes.get(&current).ok_or_else(|| {
+                AgentError::Fatal(format!("graph routed to unknown node '{current}'"))
+            })?;
+            trace.push(current.clone());
+            let outcome = handler(state)?;
+            current = match outcome {
+                NodeOutcome::End => END.to_string(),
+                NodeOutcome::Goto(next) => next,
+                NodeOutcome::Continue => match self.edges.get(&current) {
+                    Some(Edge::Static(next)) => next.clone(),
+                    Some(Edge::Conditional(router)) => router(state),
+                    Some(Edge::None) | None => {
+                        return Err(AgentError::Fatal(format!(
+                            "node '{current}' has no outgoing edge"
+                        )))
+                    }
+                },
+            };
+        }
+        Err(AgentError::Fatal(format!(
+            "graph exceeded {} steps (livelock?)",
+            self.max_steps
+        )))
+    }
+
+    /// Export the topology as Graphviz DOT (Fig. 3 regeneration).
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut out = format!("digraph \"{title}\" {{\n  rankdir=LR;\n");
+        for name in self.node_names() {
+            out.push_str(&format!("  \"{name}\" [shape=box];\n"));
+        }
+        for (from, edge) in &self.edges {
+            match edge {
+                Edge::Static(to) => out.push_str(&format!("  \"{from}\" -> \"{to}\";\n")),
+                Edge::Conditional(_) => {
+                    out.push_str(&format!("  \"{from}\" -> \"{from}\" [label=\"router\", style=dashed];\n"));
+                }
+                Edge::None => {}
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        value: i32,
+        log: Vec<&'static str>,
+    }
+
+    #[test]
+    fn linear_graph_runs_to_end() {
+        let mut g: StateGraph<Counter> = StateGraph::new();
+        g.add_node("a", |s: &mut Counter| {
+            s.value += 1;
+            s.log.push("a");
+            Ok(NodeOutcome::Continue)
+        });
+        g.add_node("b", |s: &mut Counter| {
+            s.value *= 10;
+            s.log.push("b");
+            Ok(NodeOutcome::End)
+        });
+        g.add_edge("a", "b");
+        g.set_entry("a");
+        let mut state = Counter::default();
+        let trace = g.run(&mut state).unwrap();
+        assert_eq!(trace, vec!["a", "b"]);
+        assert_eq!(state.value, 10);
+    }
+
+    #[test]
+    fn conditional_loop_until_condition() {
+        let mut g: StateGraph<Counter> = StateGraph::new();
+        g.add_node("inc", |s: &mut Counter| {
+            s.value += 1;
+            Ok(NodeOutcome::Continue)
+        });
+        g.add_conditional_edge("inc", |s: &Counter| {
+            if s.value >= 5 {
+                END.to_string()
+            } else {
+                "inc".to_string()
+            }
+        });
+        g.set_entry("inc");
+        let mut state = Counter::default();
+        let trace = g.run(&mut state).unwrap();
+        assert_eq!(state.value, 5);
+        assert_eq!(trace.len(), 5);
+    }
+
+    #[test]
+    fn goto_overrides_edges() {
+        let mut g: StateGraph<Counter> = StateGraph::new();
+        g.add_node("a", |_s: &mut Counter| Ok(NodeOutcome::Goto("c".into())));
+        g.add_node("b", |s: &mut Counter| {
+            s.value = -1;
+            Ok(NodeOutcome::End)
+        });
+        g.add_node("c", |s: &mut Counter| {
+            s.value = 42;
+            Ok(NodeOutcome::End)
+        });
+        g.add_edge("a", "b");
+        g.set_entry("a");
+        let mut state = Counter::default();
+        g.run(&mut state).unwrap();
+        assert_eq!(state.value, 42);
+    }
+
+    #[test]
+    fn livelock_guard_trips() {
+        let mut g: StateGraph<Counter> = StateGraph::new();
+        g.add_node("loop", |_s: &mut Counter| Ok(NodeOutcome::Continue));
+        g.add_edge("loop", "loop");
+        g.set_entry("loop");
+        g.max_steps = 16;
+        let err = g.run(&mut Counter::default()).unwrap_err();
+        assert!(matches!(err, AgentError::Fatal(_)));
+    }
+
+    #[test]
+    fn missing_entry_and_unknown_node_error() {
+        let g: StateGraph<Counter> = StateGraph::new();
+        assert!(matches!(
+            g.run(&mut Counter::default()).unwrap_err(),
+            AgentError::Fatal(_)
+        ));
+        let mut g: StateGraph<Counter> = StateGraph::new();
+        g.add_node("a", |_s| Ok(NodeOutcome::Goto("ghost".into())));
+        g.set_entry("a");
+        assert!(g.run(&mut Counter::default()).is_err());
+    }
+
+    #[test]
+    fn node_error_propagates() {
+        let mut g: StateGraph<Counter> = StateGraph::new();
+        g.add_node("bad", |_s: &mut Counter| {
+            Err(AgentError::Recoverable("boom".into()))
+        });
+        g.set_entry("bad");
+        assert!(matches!(
+            g.run(&mut Counter::default()).unwrap_err(),
+            AgentError::Recoverable(_)
+        ));
+    }
+
+    #[test]
+    fn dot_export_lists_nodes() {
+        let mut g: StateGraph<Counter> = StateGraph::new();
+        g.add_node("supervisor", |_s| Ok(NodeOutcome::End));
+        g.add_node("sql", |_s| Ok(NodeOutcome::End));
+        g.add_edge("supervisor", "sql");
+        let dot = g.to_dot("infera");
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"supervisor\" -> \"sql\""));
+    }
+}

@@ -1,0 +1,745 @@
+//! Natural-language question understanding.
+//!
+//! The planning agent's first job is to extract the user's analytical
+//! intent from free text (§3: "chain-of-thought prompting to comprehend
+//! and extract the user's intent"). This module implements that
+//! extraction as a deterministic keyword/pattern analyzer over the
+//! question wording, backed by RAG retrieval for mapping analysis
+//! vocabulary ("size", "star formation activity", "gas content") onto
+//! concrete column names. The stochastic LLM layer perturbs *artifact
+//! generation*, not intent extraction, so a question's canonical intent
+//! is stable — matching the paper's observation that precise questions
+//! produce identical pipelines across runs while ambiguous ones diverge
+//! at explicitly ambiguous decision points ([`Goal::ParamInference`]).
+
+use infera_hacc::{EntityKind, Manifest};
+use infera_rag::Retriever;
+use serde::{Deserialize, Serialize};
+
+/// Grouping dimension of trend questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrendDim {
+    Step,
+    Sim,
+}
+
+impl TrendDim {
+    pub fn column(self) -> &'static str {
+        match self {
+            TrendDim::Step => "step",
+            TrendDim::Sim => "sim",
+        }
+    }
+}
+
+/// The analytical goal of a question — one variant per pipeline family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Goal {
+    /// Aggregate one column per step or per sim and plot the trend.
+    GroupTrend {
+        entity: String,
+        column: String,
+        agg: String,
+        by: TrendDim,
+    },
+    /// Largest-N (or smallest-N) selection.
+    TopN {
+        entity: String,
+        column: String,
+        n: usize,
+    },
+    /// Distribution / histogram of one column.
+    Distribution {
+        entity: String,
+        column: String,
+        by_sim: bool,
+    },
+    /// Track the top-N halos' mass metrics across all timesteps (two
+    /// plots: count + mass).
+    TrackTopMass { n: usize },
+    /// Top-N halos and galaxies, 3-D scene, alignment measurement.
+    TopBothAlignment { n: usize },
+    /// Interestingness scoring + UMAP embedding with highlights.
+    InterestingnessUmap { top: usize, highlight: usize },
+    /// Gas-mass-fraction relation slope/normalization evolution.
+    GasFractionEvolution,
+    /// Two largest halos, top galaxies of each, characteristic comparison.
+    CompareTopHaloGalaxies { n_halos: usize, per_halo: usize },
+    /// SMHM relation vs AGN seed mass study.
+    SmhmSeedStudy,
+    /// The ambiguous §4.5 f_SN / v_SN inference question.
+    ParamInference,
+    /// Fastest-moving halos (derived speed column).
+    SpeedStudy { n: usize },
+    /// Mass–velocity-dispersion relation fit.
+    VelDispRelation,
+    /// Gas-deficient systems relative to the mean trend.
+    GasDeficient { n: usize },
+    /// Assembly history of the most massive halo.
+    AssemblyHistory,
+    /// Star-formation peak epoch and decline rate.
+    SfrPeakDecline,
+    /// Median gas content of massive systems vs time, per sim + ensemble.
+    MedianGasVsTime,
+    /// All halos within a radius of a target halo, rendered 3-D.
+    RadiusScene { rank: usize, radius: f64 },
+}
+
+/// Extracted intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Intent {
+    pub goal: Goal,
+    /// Resolved simulation indices.
+    pub sims: Vec<u32>,
+    /// Resolved snapshot steps.
+    pub steps: Vec<u32>,
+}
+
+/// Map spelled-out numerals to values ("two largest halos").
+fn word_number(w: &str) -> Option<u64> {
+    Some(match w {
+        "one" => 1,
+        "two" => 2,
+        "three" => 3,
+        "four" => 4,
+        "five" => 5,
+        "six" => 6,
+        "seven" => 7,
+        "eight" => 8,
+        "nine" => 9,
+        "ten" => 10,
+        _ => return None,
+    })
+}
+
+fn parse_count(w: &str) -> Option<u64> {
+    w.trim_end_matches('.')
+        .parse::<u64>()
+        .ok()
+        .or_else(|| word_number(w))
+}
+
+/// Find `prefix <number>` occurrences (e.g. "timestep 498").
+fn number_after<'a>(text: &'a str, prefixes: &[&str]) -> Vec<u64> {
+    let lower = text.to_ascii_lowercase();
+    let words: Vec<&str> = lower
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '.'))
+        .filter(|w| !w.is_empty())
+        .collect();
+    let mut out = Vec::new();
+    for (i, w) in words.iter().enumerate() {
+        if prefixes.contains(w) {
+            if let Some(v) = words.get(i + 1).and_then(|next| parse_count(next)) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Find `<number> <suffix>` occurrences (e.g. "100 largest", "20 mpc").
+fn number_before<'a>(text: &'a str, suffixes: &[&str]) -> Vec<f64> {
+    let lower = text.to_ascii_lowercase();
+    let words: Vec<&str> = lower
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '.'))
+        .filter(|w| !w.is_empty())
+        .collect();
+    let mut out = Vec::new();
+    for (i, w) in words.iter().enumerate() {
+        if suffixes.contains(w) && i > 0 {
+            if let Ok(v) = words[i - 1].trim_end_matches('.').parse::<f64>() {
+                out.push(v);
+            } else if let Some(v) = word_number(words[i - 1]) {
+                out.push(v as f64);
+            }
+        }
+    }
+    out
+}
+
+fn has(text: &str, needle: &str) -> bool {
+    text.to_ascii_lowercase()
+        .contains(&needle.to_ascii_lowercase())
+}
+
+fn has_any(text: &str, needles: &[&str]) -> bool {
+    needles.iter().any(|n| has(text, n))
+}
+
+/// Resolve simulation scope from the wording.
+pub fn parse_sims(text: &str, manifest: &Manifest) -> Vec<u32> {
+    let all: Vec<u32> = (0..manifest.n_sims).collect();
+    if has_any(
+        text,
+        &[
+            "all the simulations",
+            "all simulations",
+            "each simulation",
+            "across simulations",
+            "across all simulations",
+            "in all simulations",
+            "for each simulation",
+            "the ensemble",
+            "every simulation",
+            "as a function of seed mass",
+            "vary as a function",
+        ],
+    ) {
+        return all;
+    }
+    let named = number_after(text, &["simulation", "simulations", "sim"]);
+    if !named.is_empty() {
+        let mut sims: Vec<u32> = named
+            .into_iter()
+            .map(|v| (v as u32).min(manifest.n_sims.saturating_sub(1)))
+            .collect();
+        sims.sort_unstable();
+        sims.dedup();
+        return sims;
+    }
+    // Parameter-study wording implies the whole ensemble.
+    if has_any(text, &["seed mass", "fsn", "f_sn", "parameters"]) {
+        return all;
+    }
+    vec![0]
+}
+
+/// Resolve timestep scope from the wording (requested steps snap to the
+/// nearest generated snapshot).
+pub fn parse_steps(text: &str, manifest: &Manifest) -> Vec<u32> {
+    if has_any(
+        text,
+        &[
+            "all timesteps",
+            "all time steps",
+            "each time step",
+            "each timestep",
+            "every timestep",
+            "over time",
+            "over all timesteps",
+            "evolve",
+            "evolution",
+            "assembly history",
+            "change with time",
+            "peaked",
+            "across time",
+        ],
+    ) {
+        return manifest.steps.clone();
+    }
+    if has(text, "earliest") && has(text, "latest") {
+        let first = *manifest.steps.first().expect("non-empty steps");
+        let last = *manifest.steps.last().expect("non-empty steps");
+        // Evolution between endpoints still needs the in-between
+        // snapshots to show the trend.
+        if has_any(text, &["evolve", "from the earliest"]) {
+            return manifest.steps.clone();
+        }
+        return vec![first, last];
+    }
+    let named = number_after(text, &["timestep", "timesteps", "step", "snapshot", "ts"]);
+    if !named.is_empty() {
+        let mut steps: Vec<u32> = named
+            .into_iter()
+            .map(|v| manifest.nearest_step(v as u32))
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        return steps;
+    }
+    vec![*manifest.steps.last().expect("non-empty steps")]
+}
+
+/// Which entity a question is about.
+fn parse_entity(text: &str) -> EntityKind {
+    let galaxies = has_any(text, &["galaxy", "galaxies", "stellar", "star formation"]);
+    let halos = has_any(text, &["halo", "halos", "friends-of-friends", "fof"]);
+    match (halos, galaxies) {
+        (_, true) if !halos => EntityKind::Galaxies,
+        (true, true) => EntityKind::Halos, // joins handled by the goal
+        _ => EntityKind::Halos,
+    }
+}
+
+/// Resolve a metric phrase to a concrete column of `entity`: exact
+/// column-name mention wins; otherwise the top RAG hit among the entity's
+/// columns.
+pub fn resolve_metric(text: &str, entity: EntityKind, retriever: &Retriever) -> String {
+    // Exact mention.
+    for col in entity.column_names() {
+        if has(text, col) {
+            return col.to_string();
+        }
+    }
+    // RAG: best-scoring column doc of this entity (pure relevance).
+    let hits = retriever.top_hits(text, 20);
+    for hit in &hits {
+        if hit.doc.entity == entity.label()
+            && entity.column_names().contains(&hit.doc.key.as_str())
+        {
+            return hit.doc.key.clone();
+        }
+    }
+    // Sensible default mass proxy.
+    match entity {
+        EntityKind::Galaxies => "gal_mass".to_string(),
+        _ => "fof_halo_mass".to_string(),
+    }
+}
+
+/// First "top/largest N" style count in the text, or `default`.
+fn top_count(text: &str, default: usize) -> usize {
+    let hits = number_before(
+        text,
+        &["largest", "biggest", "most", "halos", "galaxies", "systems"],
+    );
+    let top = number_after(text, &["top", "largest", "first"]);
+    top.first()
+        .copied()
+        .or(hits.first().map(|v| *v as u64))
+        .map(|v| v as usize)
+        .filter(|&v| v > 0 && v < 1_000_000)
+        .unwrap_or(default)
+}
+
+/// Extract the full intent of a question.
+pub fn parse_intent(text: &str, manifest: &Manifest, retriever: &Retriever) -> Intent {
+    let sims = parse_sims(text, manifest);
+    let mut steps = parse_steps(text, manifest);
+    let entity = parse_entity(text);
+
+    let goal = if has_any(text, &["within"]) && has_any(text, &["mpc", "megaparsec"]) {
+        let radius = number_before(text, &["mpc", "megaparsec", "megaparsecs"])
+            .first()
+            .copied()
+            .unwrap_or(20.0);
+        Goal::RadiusScene { rank: 1, radius }
+    } else if has_any(text, &["interestingness", "most unique", "most interesting"]) {
+        let top = top_count(text, 1000);
+        let highlight = number_after(text, &["top"])
+            .iter()
+            .map(|&v| v as usize)
+            .find(|&v| v < top)
+            .unwrap_or(20);
+        Goal::InterestingnessUmap { top, highlight }
+    } else if has_any(
+        text,
+        &["smhm", "stellar-to-halo", "stellar to halo", "seed mass"],
+    ) {
+        Goal::SmhmSeedStudy
+    } else if has_any(text, &["fsn", "f_sn"]) && has_any(text, &["vel", "v_sn", "direction"]) {
+        Goal::ParamInference
+    } else if has_any(text, &["gas-mass fraction", "gas mass fraction"])
+        || (has(text, "mgas500c") && has_any(text, &["slope", "normalization"]))
+    {
+        Goal::GasFractionEvolution
+    } else if has_any(text, &["gas-deficient", "gas deficient", "baryon content"]) {
+        Goal::GasDeficient {
+            n: top_count(text, 50),
+        }
+    } else if has_any(text, &["assembly history", "when did it form"]) {
+        Goal::AssemblyHistory
+    } else if has_any(text, &["change in mass", "mass growth"])
+        || (has(text, "largest") && has_any(text, &["all timesteps", "all time steps"]))
+    {
+        Goal::TrackTopMass {
+            n: top_count(text, 5),
+        }
+    } else if has_any(text, &["aligned", "alignment", "paraview"]) && has(text, "galaxies") {
+        Goal::TopBothAlignment {
+            n: top_count(text, 100),
+        }
+    } else if has(text, "velocity dispersion") && has_any(text, &["slope", "relation", "normalization"]) {
+        Goal::VelDispRelation
+    } else if has_any(text, &["fastest", "speed"]) {
+        Goal::SpeedStudy {
+            n: top_count(text, 1000),
+        }
+    } else if has_any(text, &["star formation", "star-formation"]) {
+        if has_any(text, &["peak", "peaked", "decline"]) {
+            Goal::SfrPeakDecline
+        } else {
+            Goal::GroupTrend {
+                entity: "galaxies".into(),
+                column: "gal_sfr".into(),
+                agg: "median".into(),
+                by: TrendDim::Step,
+            }
+        }
+    } else if has_any(text, &["gas content", "typical gas"]) && has_any(text, &["time", "change"])
+    {
+        Goal::MedianGasVsTime
+    } else if has_any(text, &["differences", "compare", "characteristics"])
+        && has(text, "galaxies")
+        && has(text, "largest")
+    {
+        Goal::CompareTopHaloGalaxies {
+            // "the two largest halos" / "the top 10 galaxies".
+            n_halos: number_before(text, &["largest", "biggest"])
+                .first()
+                .map(|&v| v as usize)
+                .unwrap_or(2),
+            per_halo: number_after(text, &["top"])
+                .first()
+                .map(|&v| v as usize)
+                .unwrap_or(10),
+        }
+    } else if has_any(text, &["average", "mean", "median"])
+        && has_any(text, &["each time step", "each timestep", "at each"])
+    {
+        let column = resolve_metric(text, entity, retriever);
+        Goal::GroupTrend {
+            entity: entity.label().into(),
+            column,
+            agg: if has(text, "median") { "median" } else { "mean" }.into(),
+            by: TrendDim::Step,
+        }
+    } else if has_any(text, &["how many", "number of", "count of"]) {
+        let by = if has_any(text, &["across all simulations", "across simulations"]) {
+            TrendDim::Sim
+        } else {
+            TrendDim::Step
+        };
+        Goal::GroupTrend {
+            entity: entity.label().into(),
+            column: if entity == EntityKind::Galaxies {
+                "gal_tag".into()
+            } else {
+                "fof_halo_tag".into()
+            },
+            agg: "count".into(),
+            by,
+        }
+    } else if has_any(text, &["average", "mean"])
+        && has_any(text, &["across all simulations", "across simulations", "per simulation"])
+    {
+        Goal::GroupTrend {
+            entity: entity.label().into(),
+            column: resolve_metric(text, entity, retriever),
+            agg: "mean".into(),
+            by: TrendDim::Sim,
+        }
+    } else if has_any(text, &["histogram", "distribution"]) {
+        Goal::Distribution {
+            entity: entity.label().into(),
+            column: resolve_metric(text, entity, retriever),
+            by_sim: has_any(text, &["across all simulations", "across simulations"]),
+        }
+    } else if has_any(text, &["largest", "biggest", "top", "maximum", "max"]) {
+        let n = if has_any(text, &["maximum", "max"]) && !has_any(text, &["top", "largest"]) {
+            1
+        } else {
+            top_count(text, 20)
+        };
+        // Explicit column mention wins; otherwise "largest" means mass.
+        let explicit = entity
+            .column_names()
+            .into_iter()
+            .find(|c| has(text, c))
+            .map(str::to_string);
+        let column = explicit.unwrap_or_else(|| {
+            if has_any(text, &["largest", "biggest", "size", "massive"]) {
+                if entity == EntityKind::Galaxies {
+                    "gal_mass".to_string()
+                } else {
+                    "fof_halo_mass".to_string()
+                }
+            } else {
+                resolve_metric(text, entity, retriever)
+            }
+        });
+        Goal::TopN {
+            entity: entity.label().into(),
+            column,
+            n,
+        }
+    } else {
+        // Fallback: summarize the most relevant metric's distribution.
+        Goal::Distribution {
+            entity: entity.label().into(),
+            column: resolve_metric(text, entity, retriever),
+            by_sim: false,
+        }
+    };
+
+    // Goals that inherently span time force full step coverage.
+    let needs_all_steps = matches!(
+        goal,
+        Goal::TrackTopMass { .. }
+            | Goal::AssemblyHistory
+            | Goal::SfrPeakDecline
+            | Goal::MedianGasVsTime
+            | Goal::GasFractionEvolution
+    ) || matches!(
+        goal,
+        Goal::GroupTrend { by: TrendDim::Step, .. }
+    );
+    if needs_all_steps && steps.len() < 2 {
+        steps = manifest.steps.clone();
+    }
+
+    Intent { goal, sims, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_hacc::EnsembleSpec;
+    use infera_rag::Doc;
+    use std::path::PathBuf;
+    use std::sync::OnceLock;
+
+    fn fixtures() -> &'static (Manifest, Retriever) {
+        static FIX: OnceLock<(Manifest, Retriever)> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let dir: PathBuf = std::env::temp_dir().join("infera_intent_tests_ens");
+            std::fs::remove_dir_all(&dir).ok();
+            let manifest = infera_hacc::generate(&EnsembleSpec::tiny(3), &dir).unwrap();
+            let docs: Vec<Doc> = infera_hacc::column_dictionary()
+                .into_iter()
+                .map(|c| Doc::new(&c.column, &c.entity, &c.description, c.important))
+                .collect();
+            (manifest, Retriever::new(docs))
+        })
+    }
+
+    fn intent(text: &str) -> Intent {
+        let (m, r) = fixtures();
+        parse_intent(text, m, r)
+    }
+
+    #[test]
+    fn table1_average_size_question() {
+        let i = intent(
+            "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?",
+        );
+        assert_eq!(
+            i.goal,
+            Goal::GroupTrend {
+                entity: "halos".into(),
+                column: "fof_halo_count".into(),
+                agg: "mean".into(),
+                by: TrendDim::Step,
+            }
+        );
+        assert_eq!(i.sims.len(), 2); // tiny ensemble: all sims
+        assert_eq!(i.steps.len(), 4); // all steps
+    }
+
+    #[test]
+    fn precise_top20_question() {
+        let i = intent(
+            "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+        );
+        match i.goal {
+            Goal::TopN { n, ref column, .. } => {
+                assert_eq!(n, 20);
+                assert!(column.starts_with("fof_halo_"), "{column}");
+            }
+            ref other => panic!("{other:?}"),
+        }
+        assert_eq!(i.sims, vec![0]);
+        assert_eq!(i.steps.len(), 1);
+    }
+
+    #[test]
+    fn track_top_mass_question() {
+        let i = intent(
+            "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass.",
+        );
+        assert!(matches!(i.goal, Goal::TrackTopMass { .. }));
+        assert_eq!(i.sims.len(), 2);
+        assert!(i.steps.len() >= 4);
+    }
+
+    #[test]
+    fn interestingness_question() {
+        let i = intent(
+            "I would like to find the most unique halos in simulation 0 at timestep 498. Using velocity, mass, and kinetic energy of the halos, generate an 'interestingness' score and plot the top 1000 halos as a UMAP plot, highlighting the top 20 halos in simulation 0 that are the most interesting.",
+        );
+        assert_eq!(
+            i.goal,
+            Goal::InterestingnessUmap {
+                top: 1000,
+                highlight: 20
+            }
+        );
+        assert_eq!(i.sims, vec![0]);
+    }
+
+    #[test]
+    fn gas_fraction_question() {
+        let i = intent(
+            "How does the slope and normalization of the gas-mass fraction\u{2014}mass relation (sod_halo_MGas500c/sod_halo_M500c) evolve from the earliest timestep to the latest timestep in simulation 0?",
+        );
+        assert_eq!(i.goal, Goal::GasFractionEvolution);
+        assert!(i.steps.len() >= 2);
+        assert_eq!(i.sims, vec![0]);
+    }
+
+    #[test]
+    fn compare_galaxies_question() {
+        let i = intent(
+            "First find the two largest halos by their halo count in timestep 624 of simulation 0. Then find the top 10 galaxies associated to those two halos (related by fof_halo_tag). What are the differences in characteristics of the two groups of galaxies? For example, differences in gas-mass, mass, or kinetic energy?",
+        );
+        assert_eq!(
+            i.goal,
+            Goal::CompareTopHaloGalaxies {
+                n_halos: 2,
+                per_halo: 10
+            }
+        );
+    }
+
+    #[test]
+    fn smhm_question() {
+        let i = intent(
+            "At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass? Which seed mass values produce the tightest SMHM correlation, and is there a threshold seed mass that maximizes stellar-mass assembly efficiency?",
+        );
+        assert_eq!(i.goal, Goal::SmhmSeedStudy);
+        assert_eq!(i.sims.len(), 2); // all sims (parameter study)
+    }
+
+    #[test]
+    fn ambiguous_param_question() {
+        let i = intent(
+            "Can you make an inference on the direction of the FSN and VEL parameters in order to increase the halo count of the 100 largest halos in timestep 624? Also plot a summary of the differences in halo characteristics between the two simulations.",
+        );
+        assert_eq!(i.goal, Goal::ParamInference);
+    }
+
+    #[test]
+    fn radius_scene_question() {
+        let i = intent(
+            "Visualize the largest dark matter halo and all surrounding halos within a 20 megaparsec radius.",
+        );
+        assert_eq!(
+            i.goal,
+            Goal::RadiusScene {
+                rank: 1,
+                radius: 20.0
+            }
+        );
+    }
+
+    #[test]
+    fn alignment_question() {
+        let i = intent(
+            "Please find the largest 100 galaxies and 100 halos at timestep 498 in simulation 0. I would like to plot all of them in Paraview and also see how well aligned those galaxies and halos are to each other.",
+        );
+        assert_eq!(i.goal, Goal::TopBothAlignment { n: 100 });
+    }
+
+    #[test]
+    fn sfr_questions() {
+        let i = intent(
+            "How does the median star formation activity of galaxies evolve over time in simulation 1? Plot the trend.",
+        );
+        assert!(matches!(
+            i.goal,
+            Goal::GroupTrend { ref column, by: TrendDim::Step, .. } if column == "gal_sfr"
+        ));
+        assert_eq!(i.sims, vec![1]);
+
+        let i = intent(
+            "Identify the epoch when star formation peaked in simulation 0 and quantify how quickly it declines afterwards with a fitted rate.",
+        );
+        assert_eq!(i.goal, Goal::SfrPeakDecline);
+    }
+
+    #[test]
+    fn speed_and_veldisp_questions() {
+        let i = intent(
+            "Find the 1000 fastest-moving halos at timestep 624 across all simulations and plot the distribution of their speeds.",
+        );
+        assert_eq!(i.goal, Goal::SpeedStudy { n: 1000 });
+        let i = intent(
+            "What are the slope and normalization of the relation between halo mass and velocity dispersion at timestep 624 in simulation 0? Show a scatter plot with the fit.",
+        );
+        assert_eq!(i.goal, Goal::VelDispRelation);
+    }
+
+    #[test]
+    fn gas_deficient_and_assembly() {
+        let i = intent(
+            "Which halos at timestep 624 in simulation 0 have unusually low baryon content for their mass? Show the 50 most gas-deficient systems relative to the mean trend.",
+        );
+        assert_eq!(i.goal, Goal::GasDeficient { n: 50 });
+        let i = intent(
+            "Trace the assembly history of the most massive cluster in simulation 1: when did it form and how fast did it grow?",
+        );
+        assert_eq!(i.goal, Goal::AssemblyHistory);
+        assert!(i.steps.len() >= 4);
+    }
+
+    #[test]
+    fn counting_questions() {
+        let i = intent("How many halos are there at each timestep in simulation 1? Plot the count over time.");
+        assert!(matches!(
+            i.goal,
+            Goal::GroupTrend { ref agg, by: TrendDim::Step, .. } if agg == "count"
+        ));
+        let i = intent(
+            "Compare the number of galaxies at timestep 624 across all simulations with a plot.",
+        );
+        assert!(matches!(
+            i.goal,
+            Goal::GroupTrend { ref agg, by: TrendDim::Sim, ref entity, .. }
+                if agg == "count" && entity == "galaxies"
+        ));
+    }
+
+    #[test]
+    fn distribution_and_max_questions() {
+        let i = intent(
+            "Show the distribution of galaxy stellar masses (gal_stellar_mass) at timestep 624 of simulation 0 as a histogram.",
+        );
+        assert_eq!(
+            i.goal,
+            Goal::Distribution {
+                entity: "galaxies".into(),
+                column: "gal_stellar_mass".into(),
+                by_sim: false
+            }
+        );
+        let i = intent(
+            "What is the maximum fof_halo_mass at timestep 624 in simulation 1, and which halo has it?",
+        );
+        assert!(matches!(i.goal, Goal::TopN { n: 1, .. }));
+        assert_eq!(i.sims, vec![1]);
+    }
+
+    #[test]
+    fn median_gas_question() {
+        let i = intent(
+            "For each simulation, how does the typical gas content of massive systems change with time? Summarize the trend across the ensemble.",
+        );
+        assert_eq!(i.goal, Goal::MedianGasVsTime);
+        assert_eq!(i.sims.len(), 2);
+    }
+
+    #[test]
+    fn metric_resolution_via_rag() {
+        let (_, r) = fixtures();
+        let col = resolve_metric(
+            "what is the typical gas content of halos",
+            EntityKind::Halos,
+            r,
+        );
+        assert!(
+            col == "sod_halo_MGas500c" || col == "gal_gas_mass" || col.contains("Gas"),
+            "{col}"
+        );
+    }
+
+    #[test]
+    fn number_extraction_helpers() {
+        assert_eq!(
+            number_after("at timestep 498 and step 624", &["timestep", "step"]),
+            vec![498, 624]
+        );
+        assert_eq!(number_before("within 20 Mpc", &["mpc"]), vec![20.0]);
+        assert_eq!(top_count("the top 100 largest halos", 5), 100);
+        assert_eq!(top_count("the largest halos", 5), 5);
+    }
+}

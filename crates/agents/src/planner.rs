@@ -1,0 +1,1021 @@
+//! The planning agent (§3, planning stage).
+//!
+//! Compiles an extracted [`Intent`] into the step-by-step [`Plan`] the
+//! supervisor executes, and runs the multi-turn plan-refinement dialogue.
+//! Plans are mostly deterministic per intent, with two calibrated sources
+//! of run-to-run variability matching the paper: an optional extra
+//! data-inspection step (the paper's per-question mean step counts are
+//! fractional, e.g. 7.7 for the 8-step SMHM question), and an explicit
+//! 4-way strategy draw for the ambiguous §4.5 parameter question.
+
+use crate::context::AgentContext;
+use crate::intent::{Goal, Intent};
+use crate::state::{
+    ComputeKind, LoadSpec, Plan, PlanStep, SqlFilter, SqlSpec, TableLoad, TableSelect, VizKind,
+};
+
+const HALO_BASE: &[&str] = &["fof_halo_tag", "fof_halo_count", "fof_halo_mass"];
+const HALO_CENTERS: &[&str] = &[
+    "fof_halo_center_x",
+    "fof_halo_center_y",
+    "fof_halo_center_z",
+];
+const HALO_VELS: &[&str] = &[
+    "fof_halo_mean_vx",
+    "fof_halo_mean_vy",
+    "fof_halo_mean_vz",
+];
+
+fn cols(groups: &[&[&str]]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for g in groups {
+        for c in *g {
+            if !out.iter().any(|x| x == c) {
+                out.push((*c).to_string());
+            }
+        }
+    }
+    out
+}
+
+fn load(
+    sims: &[u32],
+    steps: &[u32],
+    tables: Vec<TableLoad>,
+    include_params: bool,
+) -> PlanStep {
+    PlanStep::Load(LoadSpec {
+        sims: sims.to_vec(),
+        steps: steps.to_vec(),
+        tables,
+        include_params,
+    })
+}
+
+fn table(entity: &str, columns: Vec<String>) -> TableLoad {
+    TableLoad {
+        entity: entity.to_string(),
+        columns,
+        output: entity.to_string(),
+    }
+}
+
+fn sql(selects: Vec<TableSelect>) -> PlanStep {
+    PlanStep::Sql(SqlSpec { selects })
+}
+
+fn select_all(table: &str) -> TableSelect {
+    TableSelect {
+        table: table.to_string(),
+        columns: vec![],
+        filters: vec![],
+        output: table.to_string(),
+    }
+}
+
+fn compute(kind: ComputeKind, input: &str, output: &str) -> PlanStep {
+    PlanStep::Compute {
+        kind,
+        input: input.to_string(),
+        output: output.to_string(),
+    }
+}
+
+fn viz(kind: VizKind, input: &str, title: &str) -> PlanStep {
+    PlanStep::Visualize {
+        kind,
+        input: input.to_string(),
+        title: title.to_string(),
+    }
+}
+
+fn line(x: &str, y: &str, group: Option<&str>) -> VizKind {
+    VizKind::Line {
+        x: x.to_string(),
+        y: y.to_string(),
+        group: group.map(str::to_string),
+        log_y: false,
+    }
+}
+
+fn scatter(x: &str, y: &str, group: Option<&str>) -> VizKind {
+    VizKind::Scatter {
+        x: x.to_string(),
+        y: y.to_string(),
+        group: group.map(str::to_string),
+        highlight_top: None,
+    }
+}
+
+/// Compile an intent into the canonical plan for its goal.
+pub fn compile_plan(intent: &Intent, ctx: &AgentContext) -> Plan {
+    let sims = &intent.sims;
+    let steps = &intent.steps;
+    let multi_sim = sims.len() > 1;
+    let last_step = *steps.last().unwrap_or(&infera_hacc::FINAL_STEP);
+    let box_size = ctx.manifest.box_size;
+
+    let mut plan_steps: Vec<PlanStep> = Vec::new();
+    #[allow(unused_assignments)]
+    let mut rationale = String::new();
+
+    match &intent.goal {
+        Goal::GroupTrend { entity, column, agg, by } => {
+            let key = if entity == "galaxies" { "gal_tag" } else { "fof_halo_tag" };
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(entity, cols(&[&[key, column.as_str()]]))],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all(entity)]));
+            let alias = format!("{agg}_{column}");
+            plan_steps.push(compute(
+                ComputeKind::GroupAgg {
+                    by: vec![by.column().to_string()],
+                    aggs: vec![(agg.clone(), column.clone())],
+                },
+                entity,
+                "r1",
+            ));
+            plan_steps.push(viz(
+                line(by.column(), &alias, None),
+                "r1",
+                &format!("{agg} {column} per {}", by.column()),
+            ));
+            rationale = format!("aggregate {column} with {agg} per {}", by.column());
+        }
+        Goal::TopN { entity, column, n } => {
+            let (key, centers): (&str, &[&str]) = if entity == "galaxies" {
+                ("gal_tag", &["gal_center_x", "gal_center_y"])
+            } else {
+                ("fof_halo_tag", &["fof_halo_center_x", "fof_halo_center_y"])
+            };
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(entity, cols(&[&[key, column.as_str()], centers]))],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all(entity)]));
+            plan_steps.push(compute(
+                ComputeKind::TopN {
+                    column: column.clone(),
+                    n: *n,
+                    ascending: false,
+                },
+                entity,
+                "r1",
+            ));
+            if *n == 1 {
+                plan_steps.push(viz(
+                    VizKind::Histogram {
+                        column: column.clone(),
+                        bins: 30,
+                        group: None,
+                    },
+                    entity,
+                    &format!("distribution of {column} (max highlighted)"),
+                ));
+            } else {
+                plan_steps.push(viz(
+                    scatter(centers[0], centers[1], None),
+                    "r1",
+                    &format!("top {n} by {column}"),
+                ));
+            }
+            rationale = format!("select top {n} rows by {column}");
+        }
+        Goal::Distribution { entity, column, by_sim } => {
+            let key = if entity == "galaxies" { "gal_tag" } else { "fof_halo_tag" };
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(entity, cols(&[&[key, column.as_str()]]))],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all(entity)]));
+            plan_steps.push(compute(ComputeKind::Describe, entity, "r1"));
+            plan_steps.push(viz(
+                VizKind::Histogram {
+                    column: column.clone(),
+                    bins: 40,
+                    group: by_sim.then(|| "sim".to_string()),
+                },
+                entity,
+                &format!("distribution of {column}"),
+            ));
+            rationale = format!("summary statistics + histogram of {column}");
+        }
+        Goal::TrackTopMass { n } => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table("halos", cols(&[HALO_BASE]))],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::TrackTop {
+                    metric: "fof_halo_mass".into(),
+                    n: *n,
+                    anchor_step: last_step,
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::LinFit {
+                    x: "step".into(),
+                    y: "fof_halo_mass".into(),
+                    log_x: false,
+                    log_y: true,
+                    by: Some("fof_halo_tag".into()),
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                line("step", "fof_halo_count", Some("fof_halo_tag")),
+                "r1",
+                "largest halos: particle count vs step",
+            ));
+            plan_steps.push(viz(
+                line("step", "fof_halo_mass", Some("fof_halo_tag")),
+                "r1",
+                "largest halos: mass vs step",
+            ));
+            rationale = format!("track the {n} most massive z=0 halos and fit their growth");
+        }
+        Goal::TopBothAlignment { n } => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![
+                    table("halos", cols(&[HALO_BASE, HALO_CENTERS, &["sod_halo_radius"]])),
+                    table(
+                        "galaxies",
+                        cols(&[&[
+                            "gal_tag",
+                            "fof_halo_tag",
+                            "gal_mass",
+                            "gal_center_x",
+                            "gal_center_y",
+                            "gal_center_z",
+                        ]]),
+                    ),
+                ],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos"), select_all("galaxies")]));
+            plan_steps.push(compute(
+                ComputeKind::AlignmentTopBoth {
+                    galaxies: "galaxies".into(),
+                    n: *n,
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(viz(VizKind::Scene3D, "r1", "top halos and galaxies"));
+            plan_steps.push(viz(
+                VizKind::Histogram {
+                    column: "offset_mpc".into(),
+                    bins: 30,
+                    group: None,
+                },
+                "r1",
+                "galaxy-halo center offsets",
+            ));
+            rationale = format!("top {n} halos + galaxies, 3-D scene and offset statistics");
+        }
+        Goal::InterestingnessUmap { top, highlight } => {
+            let feature_cols = vec![
+                "speed".to_string(),
+                "fof_halo_mass".to_string(),
+                "kinetic_energy".to_string(),
+            ];
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table("halos", cols(&[HALO_BASE, HALO_VELS]))],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::Interestingness {
+                    columns: feature_cols.clone(),
+                    n: *top,
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::Umap {
+                    columns: feature_cols,
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                VizKind::Scatter {
+                    x: "umap_x".into(),
+                    y: "umap_y".into(),
+                    group: None,
+                    highlight_top: Some(("interestingness".into(), *highlight)),
+                },
+                "r2",
+                "UMAP of interesting halos",
+            ));
+            rationale = format!("score {top} halos, embed, highlight top {highlight}");
+        }
+        Goal::GasFractionEvolution => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(
+                    "halos",
+                    cols(&[&["fof_halo_tag", "sod_halo_M500c", "sod_halo_MGas500c"]]),
+                )],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::WithColumn {
+                    name: "gas_fraction".into(),
+                    expr: "sod_halo_MGas500c / sod_halo_M500c".into(),
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::LinFit {
+                    x: "sod_halo_M500c".into(),
+                    y: "gas_fraction".into(),
+                    log_x: true,
+                    log_y: false,
+                    by: Some("step".into()),
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                line("step", "slope", None),
+                "r2",
+                "gas fraction relation: slope vs step",
+            ));
+            plan_steps.push(viz(
+                line("step", "intercept", None),
+                "r2",
+                "gas fraction relation: normalization vs step",
+            ));
+            rationale = "fit f_gas(M500c) per snapshot, plot slope and normalization".into();
+        }
+        Goal::CompareTopHaloGalaxies { n_halos, per_halo } => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![
+                    table("halos", cols(&[HALO_BASE])),
+                    table(
+                        "galaxies",
+                        cols(&[&[
+                            "gal_tag",
+                            "fof_halo_tag",
+                            "gal_mass",
+                            "gal_stellar_mass",
+                            "gal_gas_mass",
+                            "gal_kinetic_energy",
+                        ]]),
+                    ),
+                ],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos"), select_all("galaxies")]));
+            plan_steps.push(compute(
+                ComputeKind::JoinTopGalaxies {
+                    galaxies: "galaxies".into(),
+                    n_halos: *n_halos,
+                    per_halo: *per_halo,
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::CompareGroups {
+                    group: "fof_halo_tag".into(),
+                    metrics: vec![
+                        "gal_gas_mass".into(),
+                        "gal_mass".into(),
+                        "gal_kinetic_energy".into(),
+                    ],
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                scatter("gal_mass", "gal_kinetic_energy", Some("fof_halo_tag")),
+                "r1",
+                "galaxies of the two largest halos",
+            ));
+            rationale = format!("top {n_halos} halos, {per_halo} galaxies each, compare groups");
+        }
+        Goal::SmhmSeedStudy => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![
+                    table("halos", cols(&[&["fof_halo_tag", "fof_halo_mass"]])),
+                    table(
+                        "galaxies",
+                        cols(&[&[
+                            "gal_tag",
+                            "fof_halo_tag",
+                            "gal_stellar_mass",
+                            "gal_is_central",
+                        ]]),
+                    ),
+                ],
+                true,
+            ));
+            plan_steps.push(sql(vec![select_all("halos"), select_all("galaxies")]));
+            plan_steps.push(compute(
+                ComputeKind::SmhmPrepare {
+                    galaxies: "galaxies".into(),
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(ComputeKind::SmhmFit, "r1", "r2"));
+            plan_steps.push(viz(
+                scatter("lmh", "lms", Some("sim")),
+                "r1",
+                "stellar mass vs halo mass",
+            ));
+            plan_steps.push(viz(
+                line("m_seed", "scatter", None),
+                "r2",
+                "SMHM intrinsic scatter vs seed mass",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::TopN {
+                    column: "scatter".into(),
+                    n: 1,
+                    ascending: true,
+                },
+                "r2",
+                "r3",
+            ));
+            plan_steps.push(viz(
+                line("m_seed", "efficiency", None),
+                "r2",
+                "stellar-mass assembly efficiency vs seed mass",
+            ));
+            rationale =
+                "per-sim SMHM fits, scatter and efficiency vs seed mass, find the tightest".into();
+        }
+        Goal::ParamInference => {
+            // The ambiguous question: four valid strategies (§4.5); the
+            // model commits to one per run.
+            let strategy = ctx.llm.pick(4) as u8;
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(
+                    "halos",
+                    cols(&[HALO_BASE, &["fof_halo_vel_disp", "sod_halo_MGas500c"]]),
+                )],
+                true,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::ParamCorrelation { strategy },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(ComputeKind::Describe, "r1", "r2"));
+            plan_steps.push(viz(
+                scatter("f_sn", "metric", None),
+                "r1",
+                "halo-count response to f_SN",
+            ));
+            plan_steps.push(viz(
+                scatter("log_v_sn", "metric", None),
+                "r1",
+                "halo-count response to log v_SN",
+            ));
+            rationale = format!("ambiguous parameter inference, strategy {strategy}");
+        }
+        Goal::SpeedStudy { n } => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table("halos", cols(&[HALO_BASE, HALO_VELS]))],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::WithColumn {
+                    name: "speed".into(),
+                    expr: "sqrt(fof_halo_mean_vx*fof_halo_mean_vx + fof_halo_mean_vy*fof_halo_mean_vy + fof_halo_mean_vz*fof_halo_mean_vz)"
+                        .into(),
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::TopN {
+                    column: "speed".into(),
+                    n: *n,
+                    ascending: false,
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                VizKind::Histogram {
+                    column: "speed".into(),
+                    bins: 40,
+                    group: multi_sim.then(|| "sim".to_string()),
+                },
+                "r2",
+                "speed distribution of the fastest halos",
+            ));
+            rationale = format!("derive speed, keep the fastest {n}, plot distribution");
+        }
+        Goal::VelDispRelation => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(
+                    "halos",
+                    cols(&[&["fof_halo_tag", "fof_halo_mass", "fof_halo_vel_disp"]]),
+                )],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::WithColumn {
+                    name: "log_mass".into(),
+                    expr: "log10(fof_halo_mass)".into(),
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::LinFit {
+                    x: "log_mass".into(),
+                    y: "fof_halo_vel_disp".into(),
+                    log_x: false,
+                    log_y: true,
+                    by: None,
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                scatter("fit_x", "fit_y", None),
+                "r2_pts",
+                "velocity dispersion vs halo mass",
+            ));
+            rationale = "log-log fit of the mass - velocity dispersion relation".into();
+        }
+        Goal::GasDeficient { n } => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(
+                    "halos",
+                    cols(&[&["fof_halo_tag", "sod_halo_M500c", "sod_halo_MGas500c"]]),
+                )],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::WithColumn {
+                    name: "gas_fraction".into(),
+                    expr: "sod_halo_MGas500c / sod_halo_M500c".into(),
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::FitResiduals {
+                    x: "sod_halo_M500c".into(),
+                    y: "gas_fraction".into(),
+                    log_x: true,
+                    n_lowest: *n,
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                scatter("fit_x", "gas_fraction", None),
+                "r2_fitted",
+                "gas fraction vs mass with deficient systems",
+            ));
+            if multi_sim {
+                // Ensemble variant: which simulations produce the
+                // deficient systems?
+                plan_steps.push(compute(
+                    ComputeKind::GroupAgg {
+                        by: vec!["sim".into()],
+                        aggs: vec![("count".into(), "fof_halo_tag".into())],
+                    },
+                    "r2",
+                    "r3",
+                ));
+                plan_steps.push(viz(
+                    line("sim", "count_fof_halo_tag", None),
+                    "r3",
+                    "gas-deficient systems per simulation",
+                ));
+            }
+            rationale = format!("fit the mean f_gas trend, report the {n} most deficient");
+        }
+        Goal::AssemblyHistory => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![
+                    table("halos", cols(&[HALO_BASE])),
+                    table(
+                        "cores",
+                        cols(&[&["core_tag", "fof_halo_tag", "core_infall_step"]]),
+                    ),
+                ],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos"), select_all("cores")]));
+            plan_steps.push(compute(
+                ComputeKind::TrackHalo {
+                    tag_rank: 1,
+                    anchor_step: last_step,
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::LinFit {
+                    x: "step".into(),
+                    y: "fof_halo_mass".into(),
+                    log_x: false,
+                    log_y: true,
+                    by: None,
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                line("step", "fof_halo_mass", None),
+                "r1",
+                "assembly history of the most massive halo",
+            ));
+            rationale = "track the most massive halo, fit its log-mass growth rate".into();
+        }
+        Goal::SfrPeakDecline => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table("galaxies", cols(&[&["gal_tag", "gal_sfr"]]))],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("galaxies")]));
+            plan_steps.push(compute(
+                ComputeKind::GroupAgg {
+                    by: vec!["step".into()],
+                    aggs: vec![("mean".into(), "gal_sfr".into())],
+                },
+                "galaxies",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::PeakAndDecline {
+                    x: "step".into(),
+                    column: "mean_gal_sfr".into(),
+                },
+                "r1",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                line("step", "mean_gal_sfr", None),
+                "r1",
+                "mean star formation rate vs step",
+            ));
+            plan_steps.push(viz(
+                VizKind::Line {
+                    x: "step".into(),
+                    y: "mean_gal_sfr".into(),
+                    group: None,
+                    log_y: true,
+                },
+                "r1",
+                "log SFR decline after the peak",
+            ));
+            rationale = "per-step mean SFR, locate the peak, fit the decline".into();
+        }
+        Goal::MedianGasVsTime => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(
+                    "halos",
+                    cols(&[&["fof_halo_tag", "sod_halo_M500c", "sod_halo_MGas500c"]]),
+                )],
+                false,
+            ));
+            plan_steps.push(sql(vec![TableSelect {
+                table: "halos".into(),
+                columns: vec![],
+                filters: vec![SqlFilter {
+                    column: "sod_halo_M500c".into(),
+                    op: ">".into(),
+                    value: 1.0e13,
+                }],
+                output: "halos".into(),
+            }]));
+            plan_steps.push(compute(
+                ComputeKind::GroupAgg {
+                    by: vec!["sim".into(), "step".into()],
+                    aggs: vec![("median".into(), "sod_halo_MGas500c".into())],
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(compute(
+                ComputeKind::GroupAgg {
+                    by: vec!["step".into()],
+                    aggs: vec![("median".into(), "sod_halo_MGas500c".into())],
+                },
+                "halos",
+                "r2",
+            ));
+            plan_steps.push(viz(
+                line("step", "median_sod_halo_MGas500c", Some("sim")),
+                "r1",
+                "median gas mass of massive halos per sim",
+            ));
+            plan_steps.push(viz(
+                line("step", "median_sod_halo_MGas500c", None),
+                "r2",
+                "ensemble median gas mass of massive halos",
+            ));
+            rationale = "median gas mass of M500c>1e13 halos, per sim and ensemble".into();
+        }
+        Goal::RadiusScene { rank, radius } => {
+            plan_steps.push(load(
+                sims,
+                steps,
+                vec![table(
+                    "halos",
+                    cols(&[HALO_BASE, HALO_CENTERS, &["sod_halo_radius"]]),
+                )],
+                false,
+            ));
+            plan_steps.push(sql(vec![select_all("halos")]));
+            plan_steps.push(compute(
+                ComputeKind::RadiusSelect {
+                    rank: *rank,
+                    radius: *radius,
+                    box_size,
+                },
+                "halos",
+                "r1",
+            ));
+            plan_steps.push(viz(
+                VizKind::Scene3D,
+                "r1",
+                &format!("halos within {radius} Mpc of the target"),
+            ));
+            rationale = format!("neighborhood of the rank-{rank} halo within {radius} Mpc");
+        }
+    }
+
+    Plan {
+        steps: plan_steps,
+        rationale,
+    }
+}
+
+/// Run the planning stage: intent extraction, plan compilation, and the
+/// multi-turn refinement dialogue (token-accounted). Without human
+/// feedback the agent is instructed to "ignore missing requirements and
+/// continue" (§3.3), optionally inserting an extra data-inspection step —
+/// the source of the paper's fractional mean step counts.
+pub fn plan_question(ctx: &AgentContext, question: &str) -> (Intent, Plan) {
+    let intent = crate::intent::parse_intent(question, &ctx.manifest, &ctx.retriever);
+    let mut plan = compile_plan(&intent, ctx);
+
+    // Chain-of-thought planning call(s).
+    let retrieved = ctx.retriever.retrieve_for_task(question, "draft analysis plan", "");
+    let doc_text: String = retrieved
+        .iter()
+        .map(|d| format!("- {}: {}\n", d.key, d.text))
+        .collect();
+    let prompt = format!(
+        "{}\n\nThink step by step and draft an analysis plan.\n\
+         ## Question\n{question}\n## Data context\n{doc_text}",
+        crate::prompts::preamble("planner")
+    );
+    ctx.llm.charge("planner", &prompt, &plan.to_text());
+
+    // Refinement turns: either human feedback or the self-continue
+    // instruction; each turn is another model call.
+    let turns = 1 + ctx.llm.pick(2);
+    for turn in 0..turns {
+        let feedback = if ctx.config.human_feedback {
+            "user: the plan looks right, proceed"
+        } else {
+            "system: no human feedback available; ignore missing requirements and continue"
+        };
+        let refine_prompt = format!(
+            "{}\n\n## Question\n{question}\n## Data context\n{doc_text}\n\
+             ## Current plan (turn {turn})\n{}\n## Feedback\n{feedback}",
+            crate::prompts::preamble("planner"),
+            plan.to_text()
+        );
+        ctx.llm.charge("planner", &refine_prompt, &plan.to_text());
+    }
+
+    // Plan-shape variability: occasionally add an inspection step after
+    // SQL (valid, just extra work).
+    if ctx.llm.flip(0.3) {
+        let sql_pos = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, PlanStep::Sql(_)))
+            .map(|p| p + 1)
+            .unwrap_or(plan.steps.len());
+        // Inspect the first loaded table.
+        let input = plan
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                PlanStep::Load(l) => l.tables.first().map(|t| t.output.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "halos".to_string());
+        plan.steps.insert(
+            sql_pos,
+            compute(ComputeKind::Describe, &input, "inspection"),
+        );
+    }
+
+    (intent, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{AgentContext, RunConfig};
+    use infera_hacc::EnsembleSpec;
+    use infera_llm::BehaviorProfile;
+    use std::path::PathBuf;
+
+    fn ctx(name: &str, seed: u64) -> AgentContext {
+        let base: PathBuf = std::env::temp_dir().join("infera_planner_tests").join(name);
+        std::fs::remove_dir_all(&base).ok();
+        let manifest = infera_hacc::generate(&EnsembleSpec::tiny(7), &base.join("ens")).unwrap();
+        AgentContext::new(
+            manifest,
+            &base.join("session"),
+            seed,
+            BehaviorProfile::perfect(),
+            RunConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn easy_questions_have_four_analysis_steps() {
+        let c = ctx("easy4", 1);
+        let (_, plan) = plan_question(
+            &c,
+            "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+        );
+        // Perfect profile still allows the optional inspection step; the
+        // canonical compile is 4.
+        let (intent, _) = plan_question(&c, "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?");
+        let canonical = compile_plan(&intent, &c);
+        assert_eq!(canonical.n_analysis_steps(), 4);
+        assert!(plan.n_analysis_steps() >= 4);
+        let agents: Vec<&str> = canonical.steps.iter().map(PlanStep::agent).collect();
+        assert_eq!(agents, vec!["data_loading", "sql", "python", "visualization"]);
+    }
+
+    #[test]
+    fn smhm_question_has_eight_steps() {
+        let c = ctx("smhm8", 2);
+        let (intent, _) = plan_question(
+            &c,
+            "At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass?",
+        );
+        let plan = compile_plan(&intent, &c);
+        assert_eq!(plan.n_analysis_steps(), 8);
+        // Loads params for the parameter study.
+        match &plan.steps[0] {
+            PlanStep::Load(l) => assert!(l.include_params),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn track_question_has_two_plots() {
+        let c = ctx("track", 3);
+        let (intent, _) = plan_question(
+            &c,
+            "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass.",
+        );
+        let plan = compile_plan(&intent, &c);
+        let n_viz = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Visualize { .. }))
+            .count();
+        assert_eq!(n_viz, 2);
+        assert_eq!(plan.n_analysis_steps(), 6);
+    }
+
+    #[test]
+    fn planning_charges_tokens() {
+        let c = ctx("tokens", 4);
+        let before = c.llm.meter().total_tokens();
+        plan_question(&c, "How many halos are there at each timestep in simulation 0?");
+        assert!(c.llm.meter().total_tokens() > before + 500);
+    }
+
+    #[test]
+    fn param_inference_strategy_varies_with_seed() {
+        let mut strategies = std::collections::HashSet::new();
+        for seed in 0..12 {
+            let c = ctx(&format!("strategy{seed}"), seed);
+            let (intent, _) = plan_question(
+                &c,
+                "Can you make an inference on the direction of the FSN and VEL parameters in order to increase the halo count of the 100 largest halos in timestep 624?",
+            );
+            let plan = compile_plan(&intent, &c);
+            for s in &plan.steps {
+                if let PlanStep::Compute {
+                    kind: ComputeKind::ParamCorrelation { strategy },
+                    ..
+                } = s
+                {
+                    strategies.insert(*strategy);
+                }
+            }
+        }
+        assert!(strategies.len() >= 3, "only {strategies:?}");
+    }
+
+    #[test]
+    fn wiring_is_consistent() {
+        // Every compute/viz input must be produced by an earlier step (a
+        // load table, sql output, a prior compute output, or a
+        // `_pts`/`_fitted` side frame).
+        let c = ctx("wiring", 5);
+        let questions = [
+            "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?",
+            "Please find the largest 100 galaxies and 100 halos at timestep 498 in simulation 0. I would like to plot all of them in Paraview and also see how well aligned those galaxies and halos are to each other.",
+            "Which halos at timestep 624 in simulation 0 have unusually low baryon content for their mass? Show the 50 most gas-deficient systems relative to the mean trend.",
+            "Identify the epoch when star formation peaked in simulation 0 and quantify how quickly it declines afterwards with a fitted rate.",
+        ];
+        for q in questions {
+            let (intent, _) = plan_question(&c, q);
+            let plan = compile_plan(&intent, &c);
+            let mut available: Vec<String> = vec!["params".into()];
+            for step in &plan.steps {
+                match step {
+                    PlanStep::Load(l) => {
+                        for t in &l.tables {
+                            available.push(t.output.clone());
+                        }
+                    }
+                    PlanStep::Sql(s) => {
+                        for sel in &s.selects {
+                            assert!(
+                                available.contains(&sel.table),
+                                "{q}: sql reads unknown table {}",
+                                sel.table
+                            );
+                            available.push(sel.output.clone());
+                        }
+                    }
+                    PlanStep::Compute { input, output, .. } => {
+                        assert!(
+                            available.contains(input),
+                            "{q}: compute reads unknown frame {input}"
+                        );
+                        available.push(output.clone());
+                        available.push(format!("{output}_pts"));
+                        available.push(format!("{output}_fitted"));
+                    }
+                    PlanStep::Visualize { input, .. } => {
+                        assert!(
+                            available.contains(input),
+                            "{q}: viz reads unknown frame {input}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

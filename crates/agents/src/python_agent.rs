@@ -1,0 +1,552 @@
+//! The Python-programming agent.
+//!
+//! Generates analysis code (in this reproduction, the sandbox DSL that
+//! stands in for generated pandas code) from the plan's typed computation
+//! templates, executes it in the sandboxed gateway, and drives the
+//! error-guided revision loop. Two of the paper's failure modes inject
+//! here: column-name corruption (via the shared corruption channel) and
+//! wrong-custom-tool selection — "asking the LLM to track the evolution
+//! of characteristics ... and the LLM incorrectly uses the particle
+//! coordinate tracking tool, resulting in valid but unsatisfactory
+//! output" (§4.1.2).
+
+use crate::context::AgentContext;
+use crate::error::AgentResult;
+use crate::qa::{run_generation_step, GenOutcome};
+use crate::state::{ComputeKind, RunState};
+use infera_provenance::ArtifactKind;
+use infera_sandbox::ExecutionRequest;
+
+/// Synthesize the DSL program implementing `kind` on frame `input`,
+/// binding the result to `output`. `wrong_tool` selects the
+/// plausible-but-wrong variant for tool-selection-sensitive templates.
+pub fn synthesize_program(
+    kind: &ComputeKind,
+    input: &str,
+    output: &str,
+    wrong_tool: bool,
+    bad_analysis: bool,
+) -> String {
+    match kind {
+        ComputeKind::GroupAgg { by, aggs } => {
+            let keys = by.join(", ");
+            let agg_calls: Vec<String> = aggs
+                .iter()
+                .map(|(agg, col)| {
+                    // The bad-analysis variant computes a different
+                    // statistic but keeps the expected alias — valid code,
+                    // unsatisfactory analysis.
+                    let actual = if bad_analysis {
+                        match agg.as_str() {
+                            "mean" => "sum",
+                            "median" => "mean",
+                            _ => "mean",
+                        }
+                    } else {
+                        agg.as_str()
+                    };
+                    format!("{actual}({col}, alias={agg}_{col})")
+                })
+                .collect();
+            format!(
+                "{output} = group_agg({input}, by=[{keys}], {})\nreturn {output}\n",
+                agg_calls.join(", ")
+            )
+        }
+        ComputeKind::AggregateAll { aggs } => {
+            let agg_calls: Vec<String> = aggs
+                .iter()
+                .map(|(agg, col)| format!("{agg}({col})"))
+                .collect();
+            format!(
+                "{output} = agg({input}, {})\nreturn {output}\n",
+                agg_calls.join(", ")
+            )
+        }
+        ComputeKind::TopN { column, n, ascending } => {
+            if *ascending {
+                format!(
+                    "sorted_rows = sort({input}, {column})\n{output} = head(sorted_rows, {n})\nreturn {output}\n"
+                )
+            } else {
+                format!("{output} = top_n({input}, {column}, {n})\nreturn {output}\n")
+            }
+        }
+        ComputeKind::WithColumn { name, expr } => {
+            format!("{output} = with_column({input}, {name}, {expr})\nreturn {output}\n")
+        }
+        ComputeKind::TrackTop { metric, n, anchor_step } => {
+            if wrong_tool {
+                // The coordinate-tracking tool instead of scalar history.
+                format!(
+                    "anchor = filter({input}, step == {anchor_step})\n\
+                     top = top_n(anchor, {metric}, 1)\n\
+                     target = head(top, 1)\n\
+                     {output} = track_halo({input}, target)\n\
+                     return {output}\n"
+                )
+            } else {
+                format!(
+                    "anchor = filter({input}, step == {anchor_step})\n\
+                     top = top_n(anchor, {metric}, {n})\n\
+                     tags = select(top, [fof_halo_tag])\n\
+                     {output} = join({input}, tags, on=fof_halo_tag)\n\
+                     return {output}\n"
+                )
+            }
+        }
+        ComputeKind::LinFit { x, y, log_x, log_y, by } => {
+            let lx = if *log_x { format!("log10({x})") } else { x.clone() };
+            let ly = if *log_y { format!("log10({y})") } else { y.clone() };
+            let fit_call = match by {
+                Some(g) => format!("linfit_by({output}_pts, x=fit_x, y=fit_y, by={g})"),
+                None => format!("linfit({output}_pts, x=fit_x, y=fit_y)"),
+            };
+            format!(
+                "tmp_x = with_column({input}, fit_x, {lx})\n\
+                 {output}_pts = with_column(tmp_x, fit_y, {ly})\n\
+                 {output} = {fit_call}\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::FitResiduals { x, y, log_x, n_lowest } => {
+            let lx = if *log_x { format!("log10({x})") } else { x.clone() };
+            format!(
+                "tmp_x = with_column({input}, fit_x, {lx})\n\
+                 {output}_fitted = fit_residuals(tmp_x, x=fit_x, y={y})\n\
+                 deficient = sort({output}_fitted, residual)\n\
+                 {output} = head(deficient, {n_lowest})\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::JoinTopGalaxies { galaxies, n_halos, per_halo } => {
+            format!(
+                "top_h = top_n({input}, fof_halo_count, {n_halos})\n\
+                 keys = select(top_h, [fof_halo_tag])\n\
+                 assoc = join({galaxies}, keys, on=fof_halo_tag)\n\
+                 {output} = top_n_by(assoc, gal_stellar_mass, {per_halo}, by=fof_halo_tag)\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::CompareGroups { group, metrics } => {
+            let aggs: Vec<String> = metrics
+                .iter()
+                .flat_map(|m| vec![format!("mean({m})"), format!("std({m})")])
+                .collect();
+            format!(
+                "{output} = group_agg({input}, by=[{group}], {})\nreturn {output}\n",
+                aggs.join(", ")
+            )
+        }
+        ComputeKind::AlignmentTopBoth { galaxies, n } => {
+            format!(
+                "top_h = top_n({input}, fof_halo_mass, {n})\n\
+                 top_g = top_n({galaxies}, gal_mass, {n})\n\
+                 hsel = select(top_h, [fof_halo_tag, fof_halo_center_x, fof_halo_center_y, fof_halo_center_z, fof_halo_mass])\n\
+                 j = join(top_g, hsel, on=fof_halo_tag)\n\
+                 j1 = with_column(j, dx, gal_center_x - fof_halo_center_x)\n\
+                 j2 = with_column(j1, dy, gal_center_y - fof_halo_center_y)\n\
+                 j3 = with_column(j2, dz, gal_center_z - fof_halo_center_z)\n\
+                 {output} = with_column(j3, offset_mpc, sqrt(dx*dx + dy*dy + dz*dz))\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::SmhmPrepare { galaxies } => {
+            format!(
+                "centrals = filter({galaxies}, gal_is_central == 1)\n\
+                 j = join(centrals, {input}, on=fof_halo_tag)\n\
+                 p1 = with_column(j, lmh, log10(fof_halo_mass))\n\
+                 {output} = with_column(p1, lms, log10(gal_stellar_mass))\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::SmhmFit => {
+            format!(
+                "fits = linfit_by({input}, x=lmh, y=lms, by=sim)\n\
+                 withp = join(fits, params, on=sim)\n\
+                 ratios = with_column({input}, eff_ratio, lms - lmh)\n\
+                 eff = group_agg(ratios, by=[sim], mean(eff_ratio))\n\
+                 effj = join(withp, eff, on=sim)\n\
+                 {output} = with_column(effj, efficiency, pow(10.0, mean_eff_ratio))\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::Interestingness { columns, n } => {
+            let cols = columns.join(", ");
+            format!(
+                "s1 = with_column({input}, speed, sqrt(fof_halo_mean_vx*fof_halo_mean_vx + fof_halo_mean_vy*fof_halo_mean_vy + fof_halo_mean_vz*fof_halo_mean_vz))\n\
+                 s2 = with_column(s1, kinetic_energy, 0.5 * fof_halo_mass * speed * speed)\n\
+                 {output} = interestingness_score(s2, [{cols}], {n})\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::Umap { columns } => {
+            let cols = columns.join(", ");
+            format!("{output} = umap_embed({input}, [{cols}])\nreturn {output}\n")
+        }
+        ComputeKind::TrackHalo { tag_rank, anchor_step } => {
+            if wrong_tool {
+                // Generic join-based tracking of several halos instead of
+                // the requested single-target history.
+                format!(
+                    "anchor = filter({input}, step == {anchor_step})\n\
+                     top = top_n(anchor, fof_halo_mass, 5)\n\
+                     tags = select(top, [fof_halo_tag])\n\
+                     {output} = join({input}, tags, on=fof_halo_tag)\n\
+                     return {output}\n"
+                )
+            } else {
+                format!(
+                    "anchor = filter({input}, step == {anchor_step})\n\
+                     ranked = top_n(anchor, fof_halo_mass, {tag_rank})\n\
+                     target = tail(ranked, 1)\n\
+                     {output} = track_halo({input}, target)\n\
+                     return {output}\n"
+                )
+            }
+        }
+        ComputeKind::RadiusSelect { rank, radius, box_size } => {
+            format!(
+                "ranked = top_n({input}, fof_halo_mass, {rank})\n\
+                 target = tail(ranked, 1)\n\
+                 {output} = radius_query({input}, target, {radius}, box_size={box_size})\n\
+                 return {output}\n"
+            )
+        }
+        ComputeKind::PeakAndDecline { x, column } => {
+            format!(
+                "{output} = peak_decline({input}, x={x}, y={column})\nreturn {output}\n"
+            )
+        }
+        ComputeKind::ParamCorrelation { strategy } => {
+            let base = format!(
+                "top = top_n_by({input}, fof_halo_count, 100, by=sim)\n"
+            );
+            let metric = match strategy % 4 {
+                0 | 1 => (
+                    "m = group_agg(top, by=[sim], mean(fof_halo_count))\n",
+                    "mean_fof_halo_count",
+                ),
+                2 => (
+                    "m = group_agg(top, by=[sim], median(fof_halo_count))\n",
+                    "median_fof_halo_count",
+                ),
+                _ => (
+                    "m = group_agg(top, by=[sim], mean(fof_halo_count))\n",
+                    "mean_fof_halo_count",
+                ),
+            };
+            let mut program = base;
+            program.push_str(metric.0);
+            program.push_str("j = join(m, params, on=sim)\n");
+            program.push_str(&format!(
+                "jm = with_column(j, metric, {})\n",
+                metric.1
+            ));
+            match strategy % 4 {
+                1 => {
+                    program.push_str("fit_fsn = linfit(jm, x=f_sn, y=metric)\n");
+                    program.push_str("fit_vsn = linfit(jm, x=log_v_sn, y=metric)\n");
+                }
+                3 => {
+                    program.push_str(
+                        "jc = join(top, params, on=sim)\ncm = corr_matrix(jc, [fof_halo_count, fof_halo_mass, f_sn, log_v_sn])\n",
+                    );
+                }
+                _ => {}
+            }
+            program.push_str(&format!("{output} = jm\nreturn {output}\n"));
+            program
+        }
+        ComputeKind::Describe => {
+            format!("{output} = describe({input})\nreturn {output}\n")
+        }
+    }
+}
+
+/// Execute one compute step: synthesize, corrupt, run in the sandbox,
+/// revise; on success merge the sandbox environment back into the working
+/// frames and record provenance.
+pub fn run_compute(
+    ctx: &AgentContext,
+    state: &mut RunState,
+    kind: &ComputeKind,
+    input: &str,
+    output: &str,
+) -> AgentResult<GenOutcome> {
+    let level = state.semantic;
+    // Tool-selection and approach errors are decided once per step.
+    let tool_sensitive = matches!(
+        kind,
+        ComputeKind::TrackTop { .. } | ComputeKind::TrackHalo { .. }
+    );
+    let wrong_tool = tool_sensitive && ctx.llm.wrong_tool(level);
+    // An inappropriate analytical approach can be chosen on any compute
+    // step (decided at most once per run); only the GroupAgg template
+    // materializes a concrete wrong statistic, the rest carry the flag.
+    let bad_analysis = !state.flags.bad_analysis && ctx.llm.bad_analysis_choice(level);
+
+    let task = format!(
+        "write analysis code: {} on frame '{input}' into '{output}'",
+        kind.label()
+    );
+    let inputs = state.frames.clone();
+    let mut produced_env: Option<std::collections::HashMap<String, infera_frame::DataFrame>> =
+        None;
+    let mut produced_result: Option<infera_frame::DataFrame> = None;
+    let mut executed_program = String::new();
+
+    let sandbox = &ctx.sandbox;
+    let outcome = run_generation_step(
+        ctx,
+        state,
+        "python",
+        &task,
+        &|_attempt| synthesize_program(kind, input, output, wrong_tool, bad_analysis),
+        &mut |program| {
+            match sandbox.execute(ExecutionRequest {
+                program: program.to_string(),
+                inputs: inputs.clone(),
+            }) {
+                Ok(report) => {
+                    let summary = format!(
+                        "{} rows x {} cols in {} steps",
+                        report.result.n_rows(),
+                        report.result.n_cols(),
+                        report.steps.len()
+                    );
+                    produced_result = Some(report.result);
+                    produced_env = Some(report.env);
+                    executed_program = program.to_string();
+                    Ok(summary)
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        },
+        1.0,
+        if wrong_tool || bad_analysis { 0.62 } else { 0.92 },
+    );
+
+    if outcome.success {
+        if wrong_tool {
+            state.flags.wrong_tool = true;
+        }
+        if bad_analysis {
+            state.flags.bad_analysis = true;
+        }
+        let env = produced_env.expect("success implies env");
+        let result = produced_result.expect("success implies result");
+        // Merge every named frame back (checkpointability + later steps
+        // referencing `<out>_pts` side frames).
+        for (name, frame) in env {
+            state.frames.insert(name, frame);
+        }
+        let prog_art = ctx.prov.put_text(ArtifactKind::Program, &executed_program)?;
+        let result_art = ctx.prov.put_frame(&result)?;
+        ctx.prov.log_event(
+            "python",
+            "execute_program",
+            vec![prog_art],
+            vec![result_art.clone()],
+            &outcome.message,
+            0,
+            0,
+        )?;
+        state.data_outputs.push(result_art);
+        state.frames.insert(output.to_string(), result);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::RunConfig;
+    use crate::state::Plan;
+    use infera_frame::{Column, DataFrame, Value};
+    use infera_hacc::EnsembleSpec;
+    use infera_llm::{BehaviorProfile, SemanticLevel};
+    use std::path::PathBuf;
+
+    fn ctx(name: &str, profile: BehaviorProfile) -> AgentContext {
+        let base: PathBuf = std::env::temp_dir().join("infera_py_tests").join(name);
+        std::fs::remove_dir_all(&base).ok();
+        let manifest =
+            infera_hacc::generate(&EnsembleSpec::tiny(17), &base.join("ens")).unwrap();
+        AgentContext::new(
+            manifest,
+            &base.join("session"),
+            5,
+            profile,
+            RunConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn state() -> RunState {
+        let mut s = RunState::new("q", SemanticLevel::Easy, Plan::default());
+        s.frames.insert(
+            "halos".to_string(),
+            DataFrame::from_columns([
+                ("fof_halo_tag", Column::from(vec![1i64, 2, 3, 4])),
+                ("step", Column::from(vec![100i64, 100, 624, 624])),
+                ("sim", Column::from(vec![0i64, 0, 0, 0])),
+                (
+                    "fof_halo_mass",
+                    Column::from(vec![1e12, 2e13, 3e12, 5e13]),
+                ),
+                ("fof_halo_count", Column::from(vec![769i64, 15384, 2307, 38461])),
+            ])
+            .unwrap(),
+        );
+        s
+    }
+
+    #[test]
+    fn group_agg_template_runs() {
+        let c = ctx("groupagg", BehaviorProfile::perfect());
+        let mut s = state();
+        let kind = ComputeKind::GroupAgg {
+            by: vec!["step".into()],
+            aggs: vec![("mean".into(), "fof_halo_count".into())],
+        };
+        let out = run_compute(&c, &mut s, &kind, "halos", "r1").unwrap();
+        assert!(out.success, "{out:?}");
+        let r1 = &s.frames["r1"];
+        assert_eq!(r1.n_rows(), 2);
+        assert!(r1.has_column("mean_fof_halo_count"));
+    }
+
+    #[test]
+    fn bad_analysis_keeps_alias_but_changes_statistic() {
+        let kind = ComputeKind::GroupAgg {
+            by: vec!["step".into()],
+            aggs: vec![("mean".into(), "fof_halo_count".into())],
+        };
+        let bad = synthesize_program(&kind, "halos", "r1", false, true);
+        assert!(bad.contains("sum(fof_halo_count, alias=mean_fof_halo_count)"));
+        let good = synthesize_program(&kind, "halos", "r1", false, false);
+        assert!(good.contains("mean(fof_halo_count, alias=mean_fof_halo_count)"));
+    }
+
+    #[test]
+    fn track_top_template_and_wrong_tool_variant() {
+        let c = ctx("track", BehaviorProfile::perfect());
+        let mut s = state();
+        let kind = ComputeKind::TrackTop {
+            metric: "fof_halo_mass".into(),
+            n: 2,
+            anchor_step: 624,
+        };
+        let out = run_compute(&c, &mut s, &kind, "halos", "r1").unwrap();
+        assert!(out.success, "{out:?}");
+        // 2 anchor halos, each appearing at most twice (2 steps).
+        let r1 = &s.frames["r1"];
+        assert!(r1.n_rows() >= 2);
+        assert!(!s.flags.wrong_tool);
+
+        // Wrong-tool variant uses track_halo and still executes.
+        let wrong = synthesize_program(&kind, "halos", "r1", true, false);
+        assert!(wrong.contains("track_halo"));
+    }
+
+    #[test]
+    fn linfit_template_leaves_points_frame() {
+        let c = ctx("linfit", BehaviorProfile::perfect());
+        let mut s = state();
+        let kind = ComputeKind::LinFit {
+            x: "fof_halo_mass".into(),
+            y: "fof_halo_count".into(),
+            log_x: true,
+            log_y: true,
+            by: None,
+        };
+        let out = run_compute(&c, &mut s, &kind, "halos", "r2").unwrap();
+        assert!(out.success, "{out:?}");
+        assert!(s.frames.contains_key("r2_pts"));
+        let slope = s.frames["r2"].cell("slope", 0).unwrap().as_f64().unwrap();
+        assert!((slope - 1.0).abs() < 0.01, "slope {slope}");
+    }
+
+    #[test]
+    fn errors_exhaust_budget_and_do_not_pollute_frames() {
+        let mut p = BehaviorProfile::perfect();
+        p.column_error_rate = [10.0; 3];
+        p.p_redo_fixes = 0.0;
+        let c = ctx("exhaust", p);
+        let mut s = state();
+        let kind = ComputeKind::TopN {
+            column: "fof_halo_mass".into(),
+            n: 2,
+            ascending: false,
+        };
+        let out = run_compute(&c, &mut s, &kind, "halos", "r1").unwrap();
+        assert!(!out.success);
+        assert!(!s.frames.contains_key("r1"));
+        assert_eq!(out.redos, c.config.max_revisions);
+    }
+
+    #[test]
+    fn param_correlation_strategies_all_execute() {
+        for strategy in 0..4u8 {
+            let c = ctx(&format!("param{strategy}"), BehaviorProfile::perfect());
+            let mut s = state();
+            // Multi-sim frame + params frame.
+            let halos = DataFrame::from_columns([
+                ("fof_halo_tag", Column::from(vec![1i64, 2, 3, 4])),
+                ("sim", Column::from(vec![0i64, 0, 1, 1])),
+                ("fof_halo_count", Column::from(vec![100i64, 200, 150, 250])),
+                (
+                    "fof_halo_mass",
+                    Column::from(vec![1e12, 2e12, 1.5e12, 2.5e12]),
+                ),
+            ])
+            .unwrap();
+            s.frames.insert("halos".to_string(), halos);
+            s.frames.insert(
+                "params".to_string(),
+                crate::data_loading::params_frame(&c, &[0, 1]),
+            );
+            let out = run_compute(
+                &c,
+                &mut s,
+                &ComputeKind::ParamCorrelation { strategy },
+                "halos",
+                "r1",
+            )
+            .unwrap();
+            assert!(out.success, "strategy {strategy}: {out:?}");
+            let r1 = &s.frames["r1"];
+            assert!(r1.has_column("metric"));
+            assert!(r1.has_column("f_sn"));
+            assert_eq!(r1.n_rows(), 2);
+        }
+    }
+
+    #[test]
+    fn peak_decline_template() {
+        let c = ctx("peak", BehaviorProfile::perfect());
+        let mut s = state();
+        s.frames.insert(
+            "r1".to_string(),
+            DataFrame::from_columns([
+                ("step", Column::from(vec![100.0, 200.0, 300.0, 400.0])),
+                ("mean_gal_sfr", Column::from(vec![1.0, 5.0, 2.5, 1.2])),
+            ])
+            .unwrap(),
+        );
+        let out = run_compute(
+            &c,
+            &mut s,
+            &ComputeKind::PeakAndDecline {
+                x: "step".into(),
+                column: "mean_gal_sfr".into(),
+            },
+            "r1",
+            "r2",
+        )
+        .unwrap();
+        assert!(out.success, "{out:?}");
+        assert_eq!(s.frames["r2"].cell("peak_x", 0).unwrap(), Value::F64(200.0));
+    }
+}

@@ -1,0 +1,292 @@
+//! Quality assurance: the error-guided revision loop (§3.2, §4.2.4).
+//!
+//! Every code-generating step runs through [`run_generation_step`]:
+//! synthesize an artifact, pass it through the model's corruption channel
+//! (column-name errors sampled per semantic level), execute it, and on
+//! failure feed the structured error back for a redo — up to the
+//! five-revision budget. After a *successful* execution the QA agent
+//! scores the output 1–100 (threshold 50); the rejected binary-judgement
+//! design is kept behind [`QaMode::Binary`] for the ablation bench.
+
+use crate::context::{AgentContext, QaMode};
+use crate::state::RunState;
+use infera_llm::SimulatedLlm;
+
+/// Outcome of one generation step's revision loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenOutcome {
+    /// Redo iterations consumed (0 = first attempt passed).
+    pub redos: u32,
+    pub success: bool,
+    /// Final error (on failure) or completion note.
+    pub message: String,
+    /// The artifact text that finally executed (empty on failure) —
+    /// appended to the message history, where the FullHistory context
+    /// policy makes every later prompt carry it.
+    pub artifact: String,
+}
+
+impl GenOutcome {
+    pub fn new(redos: u32, success: bool, message: impl Into<String>) -> GenOutcome {
+        GenOutcome {
+            redos,
+            success,
+            message: message.into(),
+            artifact: String::new(),
+        }
+    }
+}
+
+/// Corrupt `k` distinct column names occurring in `text`.
+///
+/// `vocabulary` is the set of real column names the corruption can target
+/// (schema columns + derived columns). Replacement is whole-word.
+pub fn corrupt_columns(llm: &SimulatedLlm, text: &str, vocabulary: &[String], k: usize) -> String {
+    if k == 0 {
+        return text.to_string();
+    }
+    // Which vocabulary entries actually occur (whole-word) in the text?
+    let present: Vec<&String> = vocabulary
+        .iter()
+        .filter(|col| occurs_whole_word(text, col))
+        .collect();
+    if present.is_empty() {
+        return text.to_string();
+    }
+    // Pick k distinct targets.
+    let mut targets: Vec<&String> = Vec::new();
+    let mut pool: Vec<&String> = present;
+    for _ in 0..k.min(pool.len()) {
+        let idx = llm.pick(pool.len());
+        targets.push(pool.swap_remove(idx));
+    }
+    let mut out = text.to_string();
+    for t in targets {
+        let wrong = llm.corrupt_column_name(t);
+        out = replace_whole_word(&out, t, &wrong);
+    }
+    out
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn occurs_whole_word(text: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !is_word_char(text[..abs].chars().last().expect("non-empty"));
+        let after = abs + word.len();
+        let after_ok = after >= text.len()
+            || !is_word_char(text[after..].chars().next().expect("non-empty"));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len().max(1);
+    }
+    false
+}
+
+fn replace_whole_word(text: &str, word: &str, replacement: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find(word) {
+        let before_ok =
+            pos == 0 || !is_word_char(rest[..pos].chars().last().expect("non-empty"));
+        let after = pos + word.len();
+        let after_ok =
+            after >= rest.len() || !is_word_char(rest[after..].chars().next().expect("non-empty"));
+        out.push_str(&rest[..pos]);
+        if before_ok && after_ok {
+            out.push_str(replacement);
+        } else {
+            out.push_str(word);
+        }
+        rest = &rest[after..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// QA judgement of a *successfully executed* output of true quality
+/// `quality` (flags already folded in by the caller). Returns pass/fail.
+pub fn qa_passes(ctx: &AgentContext, quality: f64) -> bool {
+    match ctx.config.qa_mode {
+        QaMode::Scored { threshold } => ctx.llm.qa_score(quality) >= threshold,
+        QaMode::Binary => ctx.llm.qa_binary(quality >= 0.5),
+    }
+}
+
+/// Drive one generation step through the corruption + revision loop.
+///
+/// * `synth(attempt)` regenerates the artifact text (deterministic);
+/// * `exec(text)` executes it, returning a short success summary or the
+///   error message that feeds the next revision;
+/// * `error_rate_scale` scales the per-level column-error Poisson rate
+///   (SQL is less error-prone than freeform analysis code);
+/// * `quality` is the output's true quality in [0, 1] for QA scoring.
+#[allow(clippy::too_many_arguments)]
+pub fn run_generation_step(
+    ctx: &AgentContext,
+    state: &RunState,
+    agent: &str,
+    task: &str,
+    synth: &dyn Fn(u32) -> String,
+    exec: &mut dyn FnMut(&str) -> Result<String, String>,
+    error_rate_scale: f64,
+    quality: f64,
+) -> GenOutcome {
+    let level = state.semantic;
+    let rate = ctx.llm.profile().column_error_rate[level.index()] * error_rate_scale;
+    let mut outstanding = ctx.llm.poisson(rate);
+
+    // Vocabulary the corruption may target: columns of every working
+    // frame plus the full entity schemas.
+    let mut vocabulary: Vec<String> = Vec::new();
+    for kind in infera_hacc::EntityKind::ALL {
+        for c in kind.column_names() {
+            vocabulary.push(c.to_string());
+        }
+    }
+    for frame in state.frames.values() {
+        for name in frame.names() {
+            if !vocabulary.contains(name) {
+                vocabulary.push(name.clone());
+            }
+        }
+    }
+    // An artifact can only carry as many distinct column errors as it has
+    // distinct corruptable columns.
+    let max_targets = vocabulary
+        .iter()
+        .filter(|c| occurs_whole_word(&synth(0), c))
+        .count();
+    outstanding = outstanding.min(max_targets);
+
+    let retrieved = ctx
+        .retriever
+        .retrieve_for_task(&state.question, task, &state.plan.to_text());
+    let mut last_error = String::new();
+    // Chat-style agents resend the whole exchange on every retry, so the
+    // attempt transcript accumulates into each prompt — the mechanism
+    // behind the paper's failed-runs token blow-up (§4.1.4).
+    let mut attempt_log = String::new();
+    let max_attempts = ctx.config.max_revisions + 1;
+    for attempt in 0..max_attempts {
+        let clean = synth(attempt);
+        let text = corrupt_columns(&ctx.llm, &clean, &vocabulary, outstanding);
+        let mut prompt = ctx.build_prompt(agent, state, task, &retrieved);
+        if !attempt_log.is_empty() {
+            prompt.push_str("\n## Previous attempts\n");
+            prompt.push_str(&attempt_log);
+        }
+        if !last_error.is_empty() {
+            prompt.push_str("\n## Last error\n");
+            prompt.push_str(&last_error);
+        }
+        ctx.llm.charge(agent, &prompt, &text);
+        attempt_log.push_str(&format!("--- attempt {} ---\n{text}\n", attempt + 1));
+
+        match exec(&text) {
+            Ok(summary) => {
+                // QA pass on the executed output: the assessor sees the
+                // same task context the generator saw, plus the code and
+                // its output.
+                let qa_prompt = format!(
+                    "{}\n\nAssess whether this output satisfactorily completes the task.\n\
+                     ## Generated code\n{text}\n## Output summary\n{summary}",
+                    ctx.build_prompt("qa", state, task, &retrieved)
+                );
+                ctx.llm
+                    .charge("qa", &qa_prompt, "assessment: scored with rationale");
+                if qa_passes(ctx, quality) {
+                    return GenOutcome {
+                        redos: attempt,
+                        success: true,
+                        message: summary,
+                        artifact: text,
+                    };
+                }
+                last_error = "qa: output judged unsatisfactory, revise the approach".into();
+                // A QA-driven revision can also shake loose a latent
+                // error or introduce one.
+                if outstanding > 0 && ctx.llm.redo_fixes() {
+                    outstanding -= 1;
+                }
+            }
+            Err(err) => {
+                attempt_log.push_str(&format!("error: {err}\n"));
+                last_error = err;
+                if ctx.config.human_feedback {
+                    // §4.2.2: a human reading the error supplies the exact
+                    // fix ("directly providing the correct name resolves
+                    // the issue, avoiding multiple correction attempts").
+                    outstanding = 0;
+                } else {
+                    // Error-guided redo: the message usually pinpoints
+                    // the bad column.
+                    if outstanding > 0 && ctx.llm.redo_fixes() {
+                        outstanding -= 1;
+                    }
+                    if ctx.llm.redo_introduces(level) {
+                        outstanding = (outstanding + 1).min(max_targets);
+                    }
+                }
+            }
+        }
+    }
+    GenOutcome::new(max_attempts - 1, false, last_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_llm::{BehaviorProfile, SimulatedLlm, TokenMeter};
+
+    fn llm() -> SimulatedLlm {
+        SimulatedLlm::new(3, BehaviorProfile::default(), TokenMeter::new())
+    }
+
+    #[test]
+    fn whole_word_replacement() {
+        let text = "x = filter(halos, fof_halo_mass > 1)\ny = top_n(x, fof_halo_mass, 5)";
+        let out = replace_whole_word(text, "fof_halo_mass", "mass");
+        assert_eq!(out.matches("fof_halo_mass").count(), 0);
+        assert_eq!(out.matches("mass").count(), 2);
+        // Substring inside a longer identifier survives.
+        let out = replace_whole_word("gal_gas_mass + mass", "mass", "m");
+        assert_eq!(out, "gal_gas_mass + m");
+    }
+
+    #[test]
+    fn occurs_whole_word_checks_boundaries() {
+        assert!(occurs_whole_word("a + step", "step"));
+        assert!(!occurs_whole_word("a + steps", "step"));
+        assert!(!occurs_whole_word("infall_step", "step"));
+        assert!(occurs_whole_word("step", "step"));
+    }
+
+    #[test]
+    fn corrupt_zero_is_identity() {
+        let m = llm();
+        let text = "return top_n(halos, fof_halo_mass, 5)";
+        assert_eq!(
+            corrupt_columns(&m, text, &["fof_halo_mass".into()], 0),
+            text
+        );
+    }
+
+    #[test]
+    fn corrupt_changes_present_columns_only() {
+        let m = llm();
+        let text = "return top_n(halos, fof_halo_mass, 5)";
+        let vocab = vec!["fof_halo_mass".to_string(), "gal_sfr".into()];
+        let out = corrupt_columns(&m, text, &vocab, 1);
+        assert_ne!(out, text);
+        assert!(!out.contains("fof_halo_mass"));
+        // Nothing present to corrupt -> unchanged.
+        let out = corrupt_columns(&m, "return head(df, 1)", &vocab, 3);
+        assert_eq!(out, "return head(df, 1)");
+    }
+}

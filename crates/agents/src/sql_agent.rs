@@ -1,0 +1,201 @@
+//! The SQL-programming agent.
+//!
+//! "Once the database is created, an SQL programming agent performs
+//! additional filtering through generated SQL queries, evaluating whether
+//! all loaded columns and rows are necessary for immediate computation."
+//! (§3) The agent synthesizes `SELECT` text from its typed spec, runs it
+//! against the columnar database, and materializes the working frames the
+//! computation stages use. Generated SQL passes through the model's
+//! corruption channel; database errors (unknown column, with suggestion)
+//! drive the redo loop.
+
+use crate::context::AgentContext;
+use crate::error::AgentResult;
+use crate::qa::{run_generation_step, GenOutcome};
+use crate::state::{RunState, SqlSpec, TableSelect};
+use infera_provenance::ArtifactKind;
+
+/// Render one SELECT from its spec.
+pub fn synthesize_sql(sel: &TableSelect) -> String {
+    let cols = if sel.columns.is_empty() {
+        "*".to_string()
+    } else {
+        sel.columns.join(", ")
+    };
+    let mut sql = format!("SELECT {cols} FROM {}", sel.table);
+    if !sel.filters.is_empty() {
+        let preds: Vec<String> = sel
+            .filters
+            .iter()
+            .map(|f| format!("{} {} {}", f.column, f.op, f.value))
+            .collect();
+        sql.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+    }
+    sql
+}
+
+/// Execute a SQL step (all its SELECTs) with the revision loop.
+pub fn run_sql(ctx: &AgentContext, state: &mut RunState, spec: &SqlSpec) -> AgentResult<GenOutcome> {
+    let mut total_redos = 0;
+    let mut last_message = String::new();
+    let mut all_sql: Vec<String> = Vec::new();
+    for sel in &spec.selects {
+        let task = format!(
+            "write SQL projecting the needed columns of table '{}' into frame '{}'",
+            sel.table, sel.output
+        );
+        let mut produced: Option<infera_frame::DataFrame> = None;
+        let mut executed_sql = String::new();
+        let outcome = run_generation_step(
+            ctx,
+            state,
+            "sql",
+            &task,
+            &|_attempt| synthesize_sql(sel),
+            &mut |sql_text| match ctx.db.query(sql_text) {
+                Ok(frame) => {
+                    let summary =
+                        format!("{} rows x {} cols", frame.n_rows(), frame.n_cols());
+                    produced = Some(frame);
+                    executed_sql = sql_text.to_string();
+                    Ok(summary)
+                }
+                Err(e) => Err(e.to_string()),
+            },
+            0.7, // SQL is a narrower generation task than freeform code
+            0.92,
+        );
+        total_redos += outcome.redos;
+        last_message = outcome.message.clone();
+        if !outcome.success {
+            return Ok(GenOutcome::new(total_redos, false, outcome.message));
+        }
+        let frame = produced.expect("success implies a frame");
+        // Provenance: the executed SQL + the materialized frame.
+        let sql_art = ctx.prov.put_text(ArtifactKind::Sql, &executed_sql)?;
+        let frame_art = ctx.prov.put_frame(&frame)?;
+        ctx.prov.log_event(
+            "sql",
+            "execute_sql",
+            vec![sql_art],
+            vec![frame_art.clone()],
+            &last_message,
+            0,
+            0,
+        )?;
+        state.data_outputs.push(frame_art);
+        state.frames.insert(sel.output.clone(), frame);
+        all_sql.push(executed_sql);
+    }
+    let mut out = GenOutcome::new(total_redos, true, last_message);
+    out.artifact = all_sql.join("\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::RunConfig;
+    use crate::state::{Plan, SqlFilter};
+    use infera_frame::{Column, DataFrame};
+    use infera_hacc::EnsembleSpec;
+    use infera_llm::{BehaviorProfile, SemanticLevel};
+    use std::path::PathBuf;
+
+    fn ctx(name: &str, profile: BehaviorProfile) -> AgentContext {
+        let base: PathBuf = std::env::temp_dir().join("infera_sqlagent_tests").join(name);
+        std::fs::remove_dir_all(&base).ok();
+        let manifest = infera_hacc::generate(&EnsembleSpec::tiny(13), &base.join("ens")).unwrap();
+        let ctx = AgentContext::new(
+            manifest,
+            &base.join("session"),
+            21,
+            profile,
+            RunConfig::default(),
+        )
+        .unwrap();
+        let df = DataFrame::from_columns([
+            ("fof_halo_tag", Column::from(vec![1i64, 2, 3])),
+            ("fof_halo_mass", Column::from(vec![1e12, 5e13, 2e14])),
+            ("sim", Column::from(vec![0i64, 0, 1])),
+        ])
+        .unwrap();
+        ctx.db.create_table("halos", &df.schema()).unwrap();
+        ctx.db.append("halos", &df).unwrap();
+        ctx
+    }
+
+    fn spec() -> SqlSpec {
+        SqlSpec {
+            selects: vec![TableSelect {
+                table: "halos".into(),
+                columns: vec!["fof_halo_tag".into(), "fof_halo_mass".into()],
+                filters: vec![SqlFilter {
+                    column: "fof_halo_mass".into(),
+                    op: ">".into(),
+                    value: 1e13,
+                }],
+                output: "working".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn synthesize_renders_filters() {
+        let sql = synthesize_sql(&spec().selects[0]);
+        assert_eq!(
+            sql,
+            "SELECT fof_halo_tag, fof_halo_mass FROM halos WHERE fof_halo_mass > 10000000000000"
+        );
+        let all = synthesize_sql(&TableSelect {
+            table: "t".into(),
+            columns: vec![],
+            filters: vec![],
+            output: "o".into(),
+        });
+        assert_eq!(all, "SELECT * FROM t");
+    }
+
+    #[test]
+    fn perfect_model_executes_first_try() {
+        let c = ctx("perfect", BehaviorProfile::perfect());
+        let mut state = RunState::new("q", SemanticLevel::Easy, Plan::default());
+        let out = run_sql(&c, &mut state, &spec()).unwrap();
+        assert!(out.success);
+        assert_eq!(out.redos, 0);
+        let frame = &state.frames["working"];
+        assert_eq!(frame.n_rows(), 2);
+        // Provenance has the SQL artifact.
+        assert!(c.prov.events().iter().any(|e| e.action == "execute_sql"));
+    }
+
+    #[test]
+    fn corrupted_sql_recovers_through_redos() {
+        // A profile that always injects exactly one error and always
+        // fixes it on redo: success with >= 1 redo.
+        let mut p = BehaviorProfile::perfect();
+        p.column_error_rate = [50.0, 50.0, 50.0]; // Poisson(50) ~ always > 0
+        p.p_redo_fixes = 1.0;
+        let c = ctx("recovers", p);
+        let mut state = RunState::new("q", SemanticLevel::Easy, Plan::default());
+        let out = run_sql(&c, &mut state, &spec()).unwrap();
+        // Poisson(50) injects ~50 errors; only ~2 distinct columns exist
+        // in the text, so corruption collapses to <= 2 distinct targets,
+        // and each redo fixes one.
+        assert!(out.redos >= 1, "{out:?}");
+        assert!(out.success, "{out:?}");
+    }
+
+    #[test]
+    fn unfixable_errors_exhaust_budget() {
+        let mut p = BehaviorProfile::perfect();
+        p.column_error_rate = [10.0, 10.0, 10.0];
+        p.p_redo_fixes = 0.0; // never fixes
+        let c = ctx("exhausts", p);
+        let mut state = RunState::new("q", SemanticLevel::Easy, Plan::default());
+        let out = run_sql(&c, &mut state, &spec()).unwrap();
+        assert!(!out.success);
+        assert_eq!(out.redos, c.config.max_revisions);
+        assert!(!state.frames.contains_key("working"));
+    }
+}

@@ -1,0 +1,503 @@
+//! Plan and run-state model shared by all agents.
+
+use infera_hacc::EntityKind;
+use infera_llm::SemanticLevel;
+use infera_provenance::ArtifactId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One table of a load step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableLoad {
+    /// Entity label ("halos", "galaxies", "cores", "particles").
+    pub entity: String,
+    /// Columns required by the downstream analysis (the intent's metric
+    /// columns; the agent adds RAG-retrieved context columns).
+    pub columns: Vec<String>,
+    /// Database table name to create.
+    pub output: String,
+}
+
+impl TableLoad {
+    pub fn entity_kind(&self) -> EntityKind {
+        EntityKind::parse(&self.entity).unwrap_or(EntityKind::Halos)
+    }
+}
+
+/// Column-selection + file-selection spec the data-loading agent executes
+/// — one step loads everything downstream tasks need ("the data-loading
+/// agent ... determines which files and columns are necessary to load for
+/// all downstream tasks").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSpec {
+    /// Simulations to load.
+    pub sims: Vec<u32>,
+    /// Snapshot steps to load (already resolved to existing snapshots).
+    pub steps: Vec<u32>,
+    pub tables: Vec<TableLoad>,
+    /// Also materialize the per-sim sub-grid parameter table (`params`)
+    /// from the ensemble's params.json files.
+    pub include_params: bool,
+}
+
+/// A SQL-stage filter: `column op value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqlFilter {
+    pub column: String,
+    /// One of `=`, `!=`, `<`, `<=`, `>`, `>=`.
+    pub op: String,
+    pub value: f64,
+}
+
+/// One SELECT of the SQL stage: project/filter a loaded table into a
+/// working frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSelect {
+    pub table: String,
+    /// Columns to keep (empty = all).
+    pub columns: Vec<String>,
+    pub filters: Vec<SqlFilter>,
+    /// Output frame name in the sandbox environment.
+    pub output: String,
+}
+
+/// The SQL agent's task: one or more SELECTs materializing the working
+/// frames for the computation stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqlSpec {
+    pub selects: Vec<TableSelect>,
+}
+
+/// Typed computation templates the Python-programming agent turns into
+/// analysis-DSL programs. Together these cover the full 20-question
+/// evaluation set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ComputeKind {
+    /// `group_agg(input, by=[...], agg(column))`.
+    GroupAgg {
+        by: Vec<String>,
+        aggs: Vec<(String, String)>, // (agg fn, column)
+    },
+    /// Whole-frame aggregates.
+    AggregateAll { aggs: Vec<(String, String)> },
+    /// Largest-N (or smallest-N, `ascending`) selection.
+    TopN {
+        column: String,
+        n: usize,
+        ascending: bool,
+    },
+    /// Derived column.
+    WithColumn { name: String, expr: String },
+    /// Track the tags of the step-`anchor_step` top-N rows across all
+    /// steps.
+    TrackTop {
+        metric: String,
+        n: usize,
+        anchor_step: u32,
+    },
+    /// OLS fit of y on x (optionally log-transforming either axis); the
+    /// template also leaves the fitted points as `<output>_pts` with
+    /// `fit_x`/`fit_y` columns for downstream scatter plots.
+    LinFit {
+        x: String,
+        y: String,
+        log_x: bool,
+        log_y: bool,
+        /// Fit separately per value of this column (e.g. per sim/step).
+        by: Option<String>,
+    },
+    /// Fit y(x), attach residuals, return the `n_lowest` most negative.
+    FitResiduals {
+        x: String,
+        y: String,
+        log_x: bool,
+        n_lowest: usize,
+    },
+    /// Keep the top `n_halos` halos, join the `galaxies` frame by
+    /// `fof_halo_tag`, keep the top `per_halo` galaxies per halo.
+    JoinTopGalaxies {
+        galaxies: String,
+        n_halos: usize,
+        per_halo: usize,
+    },
+    /// Per-group summary statistics of the given metrics (group =
+    /// `fof_halo_tag` after a join) for side-by-side comparison.
+    CompareGroups {
+        group: String,
+        metrics: Vec<String>,
+    },
+    /// Top-N halos and top-N galaxies, joined and annotated with the
+    /// galaxy→host-center spatial offset (the Fig. 2 alignment analysis).
+    AlignmentTopBoth { galaxies: String, n: usize },
+    /// Join galaxies to halos, keep centrals, add log-mass columns — the
+    /// SMHM data-cleaning stage.
+    SmhmPrepare { galaxies: String },
+    /// Per-simulation SMHM relation fit joined with the sub-grid
+    /// parameters: slope / intrinsic scatter / efficiency per sim.
+    SmhmFit,
+    /// Custom tool: interestingness scoring (derives speed and kinetic
+    /// energy first).
+    Interestingness { columns: Vec<String>, n: usize },
+    /// Custom tool: 2-D embedding.
+    Umap { columns: Vec<String> },
+    /// Custom tool: halo evolution tracking of the rank-th most massive
+    /// halo at the anchor step.
+    TrackHalo { tag_rank: usize, anchor_step: u32 },
+    /// Custom tool: radius neighborhood of the rank-th largest halo.
+    RadiusSelect {
+        rank: usize,
+        radius: f64,
+        box_size: f64,
+    },
+    /// Locate the x where `column` peaks, then fit the log-decline after
+    /// the peak.
+    PeakAndDecline { x: String, column: String },
+    /// The §4.5 ambiguous parameter-inference question; the planner picks
+    /// one of four strategies at plan time.
+    ParamCorrelation { strategy: u8 },
+    /// Summary statistics.
+    Describe,
+}
+
+impl ComputeKind {
+    /// Short label for provenance / documentation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ComputeKind::GroupAgg { .. } => "group_agg",
+            ComputeKind::AggregateAll { .. } => "aggregate",
+            ComputeKind::TopN { .. } => "top_n",
+            ComputeKind::WithColumn { .. } => "with_column",
+            ComputeKind::TrackTop { .. } => "track_top",
+            ComputeKind::LinFit { .. } => "linfit",
+            ComputeKind::FitResiduals { .. } => "fit_residuals",
+            ComputeKind::JoinTopGalaxies { .. } => "join_top_galaxies",
+            ComputeKind::CompareGroups { .. } => "compare_groups",
+            ComputeKind::AlignmentTopBoth { .. } => "alignment",
+            ComputeKind::SmhmPrepare { .. } => "smhm_prepare",
+            ComputeKind::Interestingness { .. } => "interestingness",
+            ComputeKind::Umap { .. } => "umap",
+            ComputeKind::TrackHalo { .. } => "track_halo",
+            ComputeKind::RadiusSelect { .. } => "radius_select",
+            ComputeKind::PeakAndDecline { .. } => "peak_and_decline",
+            ComputeKind::SmhmFit => "smhm_fit",
+            ComputeKind::ParamCorrelation { .. } => "param_correlation",
+            ComputeKind::Describe => "describe",
+        }
+    }
+
+    /// Whether this computation requires a custom tool (vs builtins).
+    pub fn uses_custom_tool(&self) -> bool {
+        matches!(
+            self,
+            ComputeKind::Interestingness { .. }
+                | ComputeKind::Umap { .. }
+                | ComputeKind::TrackHalo { .. }
+                | ComputeKind::RadiusSelect { .. }
+        )
+    }
+}
+
+/// Visualization templates the visualization agent renders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VizKind {
+    Line {
+        x: String,
+        y: String,
+        group: Option<String>,
+        log_y: bool,
+    },
+    Scatter {
+        x: String,
+        y: String,
+        group: Option<String>,
+        /// Highlight the top-n rows by this column (UMAP question).
+        highlight_top: Option<(String, usize)>,
+    },
+    Histogram {
+        column: String,
+        bins: usize,
+        group: Option<String>,
+    },
+    Heatmap { columns: Vec<String> },
+    /// 3-D ParaView-style scene from halo centers; first row = target.
+    Scene3D,
+}
+
+impl VizKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            VizKind::Line { .. } => "line",
+            VizKind::Scatter { .. } => "scatter",
+            VizKind::Histogram { .. } => "histogram",
+            VizKind::Heatmap { .. } => "heatmap",
+            VizKind::Scene3D => "scene3d",
+        }
+    }
+}
+
+/// One step of the approved plan. Only Load/Sql/Compute/Visualize count
+/// as *analysis steps* for the paper's difficulty metric (planning, QA,
+/// documentation and summarization are excluded, §3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanStep {
+    Load(LoadSpec),
+    Sql(SqlSpec),
+    Compute {
+        kind: ComputeKind,
+        input: String,
+        output: String,
+    },
+    Visualize {
+        kind: VizKind,
+        input: String,
+        title: String,
+    },
+}
+
+impl PlanStep {
+    /// Which specialist executes this step.
+    pub fn agent(&self) -> &'static str {
+        match self {
+            PlanStep::Load(_) => "data_loading",
+            PlanStep::Sql(_) => "sql",
+            PlanStep::Compute { .. } => "python",
+            PlanStep::Visualize { .. } => "visualization",
+        }
+    }
+
+    /// One-line description for the plan text / provenance.
+    pub fn describe(&self) -> String {
+        match self {
+            PlanStep::Load(l) => {
+                let tables: Vec<String> = l
+                    .tables
+                    .iter()
+                    .map(|t| format!("{}({} cols)", t.entity, t.columns.len()))
+                    .collect();
+                format!(
+                    "load [{}] for {} sim(s) x {} step(s)",
+                    tables.join(", "),
+                    l.sims.len(),
+                    l.steps.len()
+                )
+            }
+            PlanStep::Sql(s) => {
+                let sels: Vec<String> = s
+                    .selects
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "'{}' ({} filters) -> '{}'",
+                            t.table,
+                            t.filters.len(),
+                            t.output
+                        )
+                    })
+                    .collect();
+                format!("sql: {}", sels.join("; "))
+            }
+            PlanStep::Compute { kind, input, output } => {
+                format!("compute {} on '{input}' -> '{output}'", kind.label())
+            }
+            PlanStep::Visualize { kind, input, title } => {
+                format!("visualize {} of '{input}' ({title})", kind.label())
+            }
+        }
+    }
+}
+
+/// The approved analysis plan.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Plan {
+    pub steps: Vec<PlanStep>,
+    /// Planner commentary shown to the user during review.
+    pub rationale: String,
+}
+
+impl Plan {
+    /// Number of analysis steps — the paper's analysis-difficulty metric.
+    pub fn n_analysis_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Render as the numbered plan text shown to the user.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!("{}. [{}] {}\n", i + 1, s.agent(), s.describe()));
+        }
+        out
+    }
+}
+
+/// Quality flags set when the model makes a valid-but-unsatisfactory
+/// choice (§4.1.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QualityFlags {
+    pub wrong_tool: bool,
+    pub bad_analysis: bool,
+    pub bad_viz: bool,
+}
+
+/// Outcome of one executed plan step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    pub step: usize,
+    pub agent: String,
+    /// Redo iterations consumed (0 = first attempt succeeded).
+    pub redos: u32,
+    pub success: bool,
+    pub message: String,
+}
+
+/// Mutable state threaded through the analysis graph.
+#[derive(Debug, Default)]
+pub struct RunState {
+    pub question: String,
+    pub semantic: SemanticLevel,
+    pub plan: Plan,
+    /// Index of the next plan step to execute.
+    pub step_idx: usize,
+    /// Working frames (sandbox environment).
+    pub frames: HashMap<String, infera_frame::DataFrame>,
+    pub outcomes: Vec<StepOutcome>,
+    pub flags: QualityFlags,
+    /// Whether the run aborted before completing the plan.
+    pub failed: bool,
+    /// Artifact ids of produced visualizations.
+    pub visualizations: Vec<ArtifactId>,
+    /// Artifact ids of produced data outputs (CSVs).
+    pub data_outputs: Vec<ArtifactId>,
+    /// Conversation history (supervisor context; the §4.2.5 policy
+    /// controls how much of it each prompt carries).
+    pub history: Vec<String>,
+    /// Final documentation summary.
+    pub summary: String,
+}
+
+impl RunState {
+    pub fn new(question: &str, semantic: SemanticLevel, plan: Plan) -> RunState {
+        RunState {
+            question: question.to_string(),
+            semantic,
+            plan,
+            ..RunState::default()
+        }
+    }
+
+    /// Total redo iterations across all steps — the Table 2 "Redo
+    /// Iterations" metric.
+    pub fn total_redos(&self) -> u32 {
+        self.outcomes.iter().map(|o| o.redos).sum()
+    }
+
+    /// Fraction of planned steps completed — the Table 2 "% Complete"
+    /// metric.
+    pub fn completion_fraction(&self) -> f64 {
+        if self.plan.steps.is_empty() {
+            return 0.0;
+        }
+        let done = self.outcomes.iter().filter(|o| o.success).count();
+        done as f64 / self.plan.steps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> Plan {
+        Plan {
+            steps: vec![
+                PlanStep::Load(LoadSpec {
+                    sims: vec![0],
+                    steps: vec![624],
+                    tables: vec![TableLoad {
+                        entity: "halos".into(),
+                        columns: vec!["fof_halo_tag".into(), "fof_halo_mass".into()],
+                        output: "halos".into(),
+                    }],
+                    include_params: false,
+                }),
+                PlanStep::Sql(SqlSpec {
+                    selects: vec![TableSelect {
+                        table: "halos".into(),
+                        columns: vec![],
+                        filters: vec![],
+                        output: "halos".into(),
+                    }],
+                }),
+                PlanStep::Compute {
+                    kind: ComputeKind::TopN {
+                        column: "fof_halo_mass".into(),
+                        n: 20,
+                        ascending: false,
+                    },
+                    input: "halos".into(),
+                    output: "top".into(),
+                },
+                PlanStep::Visualize {
+                    kind: VizKind::Scatter {
+                        x: "fof_halo_center_x".into(),
+                        y: "fof_halo_center_y".into(),
+                        group: None,
+                        highlight_top: None,
+                    },
+                    input: "top".into(),
+                    title: "top halos".into(),
+                },
+            ],
+            rationale: String::new(),
+        }
+    }
+
+    #[test]
+    fn plan_step_agents() {
+        let plan = sample_plan();
+        let agents: Vec<&str> = plan.steps.iter().map(PlanStep::agent).collect();
+        assert_eq!(agents, vec!["data_loading", "sql", "python", "visualization"]);
+        assert_eq!(plan.n_analysis_steps(), 4);
+    }
+
+    #[test]
+    fn plan_text_is_numbered() {
+        let text = sample_plan().to_text();
+        assert!(text.starts_with("1. [data_loading]"));
+        assert!(text.contains("4. [visualization]"));
+    }
+
+    #[test]
+    fn run_state_metrics() {
+        let mut state = RunState::new("q", SemanticLevel::Medium, sample_plan());
+        state.outcomes.push(StepOutcome {
+            step: 0,
+            agent: "data_loading".into(),
+            redos: 0,
+            success: true,
+            message: String::new(),
+        });
+        state.outcomes.push(StepOutcome {
+            step: 1,
+            agent: "sql".into(),
+            redos: 3,
+            success: true,
+            message: String::new(),
+        });
+        assert_eq!(state.total_redos(), 3);
+        assert!((state.completion_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_kind_tool_classification() {
+        assert!(ComputeKind::Umap { columns: vec![] }.uses_custom_tool());
+        assert!(!ComputeKind::Describe.uses_custom_tool());
+    }
+
+    #[test]
+    fn serde_roundtrip_plan() {
+        let plan = sample_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: Plan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

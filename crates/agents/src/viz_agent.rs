@@ -1,0 +1,437 @@
+//! The visualization agent.
+//!
+//! Renders the plan's visualization templates through the `infera-viz`
+//! substrate (SVG charts, VTK scenes). Generated plot specs pass through
+//! the corruption channel (wrong column names fail rendering and drive
+//! redos) and the model occasionally picks a valid-but-wrong chart form
+//! (§4.1.2: unsatisfactory visualization choices) — flagged for the QA
+//! metrics.
+
+use crate::context::AgentContext;
+use crate::error::AgentResult;
+use crate::qa::{run_generation_step, GenOutcome};
+use crate::state::{RunState, VizKind};
+use infera_frame::DataFrame;
+use infera_provenance::ArtifactKind;
+use infera_viz::{histogram_plot, line_plot, scatter_plot, Chart, Scene, Series};
+
+/// Render a plot-spec line (the "generated code" of this agent; a compact
+/// `key=value` format so corruption can target column tokens).
+pub fn synthesize_spec(kind: &VizKind, input: &str, title: &str) -> String {
+    match kind {
+        VizKind::Line { x, y, group, log_y } => format!(
+            "plot kind=line input={input} x={x} y={y} group={} log_y={log_y} title={title}",
+            group.as_deref().unwrap_or("-")
+        ),
+        VizKind::Scatter { x, y, group, highlight_top } => {
+            let hl = highlight_top
+                .as_ref()
+                .map(|(c, n)| format!("{c}:{n}"))
+                .unwrap_or_else(|| "-".into());
+            format!(
+                "plot kind=scatter input={input} x={x} y={y} group={} highlight={hl} title={title}",
+                group.as_deref().unwrap_or("-")
+            )
+        }
+        VizKind::Histogram { column, bins, group } => format!(
+            "plot kind=histogram input={input} x={column} bins={bins} group={} title={title}",
+            group.as_deref().unwrap_or("-")
+        ),
+        VizKind::Heatmap { columns } => format!(
+            "plot kind=heatmap input={input} cols={} title={title}",
+            columns.join(",")
+        ),
+        VizKind::Scene3D => format!("plot kind=scene3d input={input} title={title}"),
+    }
+}
+
+fn spec_field<'a>(spec: &'a str, key: &str) -> Option<&'a str> {
+    spec.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .filter(|v| !v.is_empty() && *v != "-")
+}
+
+/// Render a spec against the working frames. Returns `(artifact text,
+/// kind)` — SVG for charts, VTK for scenes.
+pub fn render_spec(
+    spec: &str,
+    frames: &std::collections::HashMap<String, DataFrame>,
+) -> Result<(String, ArtifactKind), String> {
+    let kind = spec_field(spec, "kind").ok_or("spec missing kind")?;
+    let input = spec_field(spec, "input").ok_or("spec missing input")?;
+    let title = spec
+        .split_once("title=")
+        .map(|(_, t)| t)
+        .unwrap_or("untitled");
+    let frame = frames.get(input).ok_or_else(|| {
+        let suggestion =
+            infera_frame::error::suggest(input, frames.keys().map(String::as_str));
+        match suggestion {
+            Some(s) => format!("unknown frame '{input}' — did you mean '{s}'?"),
+            None => format!("unknown frame '{input}'"),
+        }
+    })?;
+    match kind {
+        "line" | "scatter" => {
+            let x = spec_field(spec, "x").ok_or("spec missing x")?;
+            let y = spec_field(spec, "y").ok_or("spec missing y")?;
+            let group = spec_field(spec, "group");
+            let mut chart = if kind == "line" {
+                line_plot(frame, x, y, group, title).map_err(|e| e.to_string())?
+            } else {
+                scatter_plot(frame, x, y, group, title).map_err(|e| e.to_string())?
+            };
+            if spec_field(spec, "log_y") == Some("true") {
+                chart = chart.with_log_y();
+            }
+            // Highlight top-n rows as an extra series.
+            if let Some(hl) = spec_field(spec, "highlight") {
+                let (col, n) = hl.split_once(':').ok_or("bad highlight spec")?;
+                let n: usize = n.parse().map_err(|_| "bad highlight count")?;
+                let top = frame.top_n(col, n).map_err(|e| e.to_string())?;
+                let xs = top
+                    .column(x)
+                    .and_then(|c| c.to_f64_vec())
+                    .map_err(|e| e.to_string())?;
+                let ys = top
+                    .column(y)
+                    .and_then(|c| c.to_f64_vec())
+                    .map_err(|e| e.to_string())?;
+                let pts: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+                chart.add_series(Series::scatter("highlighted", pts, 0).highlighted());
+            }
+            Ok((chart.render(), ArtifactKind::Svg))
+        }
+        "histogram" => {
+            let column = spec_field(spec, "x").ok_or("spec missing x")?;
+            let bins: usize = spec_field(spec, "bins")
+                .and_then(|b| b.parse().ok())
+                .unwrap_or(30);
+            match spec_field(spec, "group") {
+                None => {
+                    let chart =
+                        histogram_plot(frame, column, bins, title).map_err(|e| e.to_string())?;
+                    Ok((chart.render(), ArtifactKind::Svg))
+                }
+                Some(g) => {
+                    // One histogram series per group value.
+                    let gcol = frame.column(g).map_err(|e| e.to_string())?;
+                    let mut chart = Chart::new(title).with_labels(column, "count");
+                    let mut keys: Vec<infera_frame::Value> = Vec::new();
+                    for v in gcol.iter_values() {
+                        if !keys.contains(&v) {
+                            keys.push(v);
+                        }
+                    }
+                    for (ci, key) in keys.into_iter().enumerate() {
+                        let mask: Vec<bool> =
+                            gcol.iter_values().map(|v| v == key).collect();
+                        let sub = frame.filter_mask(&mask).map_err(|e| e.to_string())?;
+                        let vals = sub
+                            .column(column)
+                            .and_then(|c| c.to_f64_vec())
+                            .map_err(|e| e.to_string())?;
+                        let pts = infera_viz::histogram(&vals, bins);
+                        chart.add_series(Series::line(format!("{g}={key}"), pts, ci));
+                    }
+                    Ok((chart.render(), ArtifactKind::Svg))
+                }
+            }
+        }
+        "heatmap" => {
+            let cols: Vec<&str> = spec_field(spec, "cols")
+                .ok_or("spec missing cols")?
+                .split(',')
+                .collect();
+            let matrix = frame.corr_matrix(&cols).map_err(|e| e.to_string())?;
+            let svg = infera_viz::corr_heatmap(&matrix, title).map_err(|e| e.to_string())?;
+            Ok((svg, ArtifactKind::Svg))
+        }
+        "scene3d" => {
+            let mut scene = Scene::new(title);
+            let read = |name: &str| -> Result<Option<Vec<f64>>, String> {
+                if frame.has_column(name) {
+                    frame
+                        .column(name)
+                        .and_then(|c| c.to_f64_vec())
+                        .map(Some)
+                        .map_err(|e| e.to_string())
+                } else {
+                    Ok(None)
+                }
+            };
+            let hx = read("fof_halo_center_x")?;
+            let hy = read("fof_halo_center_y")?;
+            let hz = read("fof_halo_center_z")?;
+            let radius = read("sod_halo_radius")?;
+            let distance = read("distance_mpc")?;
+            if let (Some(hx), Some(hy), Some(hz)) = (hx, hy, hz) {
+                for i in 0..hx.len() {
+                    // The target (distance 0, or the first row) renders
+                    // highlighted — the Fig. 5 red halo.
+                    let highlight = match &distance {
+                        Some(d) => f32::from(d[i] <= f64::EPSILON),
+                        None => f32::from(i == 0),
+                    };
+                    let r = radius.as_ref().map_or(0.3, |r| r[i]) as f32;
+                    scene.add_point([hx[i] as f32, hy[i] as f32, hz[i] as f32], highlight, r);
+                }
+            }
+            // Galaxies (if present) as small mid-scalar points.
+            let gx = read("gal_center_x")?;
+            let gy = read("gal_center_y")?;
+            let gz = read("gal_center_z")?;
+            if let (Some(gx), Some(gy), Some(gz)) = (gx, gy, gz) {
+                for i in 0..gx.len() {
+                    scene.add_point([gx[i] as f32, gy[i] as f32, gz[i] as f32], 0.5, 0.1);
+                }
+            }
+            if scene.is_empty() {
+                return Err("scene3d: input frame has no spatial columns \
+                            (need fof_halo_center_x/y/z)"
+                    .into());
+            }
+            Ok((scene.to_vtk(), ArtifactKind::Scene))
+        }
+        other => Err(format!("unknown plot kind '{other}'")),
+    }
+}
+
+/// The valid-but-wrong chart-form variant.
+fn degrade_kind(kind: &VizKind) -> VizKind {
+    match kind {
+        VizKind::Line { x, y, group, .. } => VizKind::Scatter {
+            x: x.clone(),
+            y: y.clone(),
+            group: group.clone(),
+            highlight_top: None,
+        },
+        VizKind::Scatter { x, y, group, .. } => VizKind::Line {
+            x: x.clone(),
+            y: y.clone(),
+            group: group.clone(),
+            log_y: false,
+        },
+        VizKind::Histogram { column, .. } => VizKind::Line {
+            x: column.clone(),
+            y: column.clone(),
+            group: None,
+            log_y: false,
+        },
+        VizKind::Heatmap { columns } => VizKind::Scatter {
+            x: columns.first().cloned().unwrap_or_default(),
+            y: columns.get(1).cloned().unwrap_or_default(),
+            group: None,
+            highlight_top: None,
+        },
+        VizKind::Scene3D => VizKind::Scatter {
+            x: "fof_halo_center_x".into(),
+            y: "fof_halo_center_y".into(),
+            group: None,
+            highlight_top: None,
+        },
+    }
+}
+
+/// Execute one visualization step with the revision loop.
+pub fn run_visualize(
+    ctx: &AgentContext,
+    state: &mut RunState,
+    kind: &VizKind,
+    input: &str,
+    title: &str,
+) -> AgentResult<GenOutcome> {
+    let level = state.semantic;
+    let bad_viz = ctx.llm.bad_viz_choice(level);
+    let effective_kind = if bad_viz { degrade_kind(kind) } else { kind.clone() };
+
+    let task = format!("render a {} visualization of '{input}'", kind.label());
+    let frames = state.frames.clone();
+    let mut produced: Option<(String, ArtifactKind)> = None;
+    let mut executed_spec = String::new();
+    let outcome = run_generation_step(
+        ctx,
+        state,
+        "visualization",
+        &task,
+        &|_attempt| synthesize_spec(&effective_kind, input, title),
+        &mut |spec| match render_spec(spec, &frames) {
+            Ok((text, akind)) => {
+                let summary = format!("rendered {} ({} bytes)", kind.label(), text.len());
+                produced = Some((text, akind));
+                executed_spec = spec.to_string();
+                Ok(summary)
+            }
+            Err(e) => Err(e),
+        },
+        0.8,
+        if bad_viz { 0.62 } else { 0.92 },
+    );
+
+    if outcome.success {
+        if bad_viz {
+            state.flags.bad_viz = true;
+        }
+        let (text, akind) = produced.expect("success implies artifact");
+        let spec_art = ctx.prov.put_text(ArtifactKind::Text, &executed_spec)?;
+        let viz_art = ctx.prov.put_text(akind, &text)?;
+        ctx.prov.log_event(
+            "visualization",
+            "render",
+            vec![spec_art],
+            vec![viz_art.clone()],
+            &outcome.message,
+            0,
+            0,
+        )?;
+        state.visualizations.push(viz_art);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::RunConfig;
+    use crate::state::Plan;
+    use infera_frame::Column;
+    use infera_hacc::EnsembleSpec;
+    use infera_llm::{BehaviorProfile, SemanticLevel};
+    use std::collections::HashMap;
+    use std::path::PathBuf;
+
+    fn ctx(name: &str, profile: BehaviorProfile) -> AgentContext {
+        let base: PathBuf = std::env::temp_dir().join("infera_vizagent_tests").join(name);
+        std::fs::remove_dir_all(&base).ok();
+        let manifest =
+            infera_hacc::generate(&EnsembleSpec::tiny(19), &base.join("ens")).unwrap();
+        AgentContext::new(
+            manifest,
+            &base.join("session"),
+            9,
+            profile,
+            RunConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn frames() -> HashMap<String, DataFrame> {
+        let mut m = HashMap::new();
+        m.insert(
+            "r1".to_string(),
+            DataFrame::from_columns([
+                ("step", Column::from(vec![100.0, 300.0, 624.0])),
+                ("mean_count", Column::from(vec![10.0, 40.0, 90.0])),
+                ("sim", Column::from(vec![0i64, 0, 0])),
+                ("fof_halo_center_x", Column::from(vec![1.0, 2.0, 3.0])),
+                ("fof_halo_center_y", Column::from(vec![1.0, 2.0, 3.0])),
+                ("fof_halo_center_z", Column::from(vec![1.0, 2.0, 3.0])),
+                ("distance_mpc", Column::from(vec![0.0, 5.0, 12.0])),
+            ])
+            .unwrap(),
+        );
+        m
+    }
+
+    #[test]
+    fn render_line_and_histogram() {
+        let f = frames();
+        let (svg, kind) = render_spec(
+            "plot kind=line input=r1 x=step y=mean_count group=- log_y=false title=t",
+            &f,
+        )
+        .unwrap();
+        assert!(svg.contains("<svg"));
+        assert_eq!(kind, ArtifactKind::Svg);
+        let (svg, _) = render_spec(
+            "plot kind=histogram input=r1 x=mean_count bins=5 group=- title=h",
+            &f,
+        )
+        .unwrap();
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn render_scene_highlights_target() {
+        let f = frames();
+        let (vtk, kind) = render_spec("plot kind=scene3d input=r1 title=s", &f).unwrap();
+        assert_eq!(kind, ArtifactKind::Scene);
+        assert!(vtk.contains("POINTS 3 float"));
+        // Exactly one highlighted point (distance 0).
+        let highlight_section = vtk.split("SCALARS highlight").nth(1).unwrap();
+        let ones = highlight_section
+            .lines()
+            .skip(1)
+            .take(3)
+            .filter(|l| *l == "1")
+            .count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn bad_column_fails_with_suggestion() {
+        let f = frames();
+        let err = render_spec(
+            "plot kind=line input=r1 x=step y=mean_coun group=- log_y=false title=t",
+            &f,
+        )
+        .unwrap_err();
+        assert!(err.contains("mean_count"), "{err}");
+        let err = render_spec("plot kind=line input=r9 x=a y=b title=t", &f).unwrap_err();
+        assert!(err.contains("unknown frame"), "{err}");
+    }
+
+    #[test]
+    fn run_visualize_records_artifact() {
+        let c = ctx("records", BehaviorProfile::perfect());
+        let mut s = RunState::new("q", SemanticLevel::Easy, Plan::default());
+        s.frames = frames();
+        let out = run_visualize(
+            &c,
+            &mut s,
+            &VizKind::Line {
+                x: "step".into(),
+                y: "mean_count".into(),
+                group: None,
+                log_y: false,
+            },
+            "r1",
+            "test plot",
+        )
+        .unwrap();
+        assert!(out.success, "{out:?}");
+        assert_eq!(s.visualizations.len(), 1);
+        assert!(!s.flags.bad_viz);
+        let svg = c.prov.get_text(&s.visualizations[0]).unwrap();
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn degraded_forms_still_render() {
+        let f = frames();
+        for kind in [
+            VizKind::Line {
+                x: "step".into(),
+                y: "mean_count".into(),
+                group: None,
+                log_y: false,
+            },
+            VizKind::Scene3D,
+        ] {
+            let degraded = degrade_kind(&kind);
+            let spec = synthesize_spec(&degraded, "r1", "t");
+            assert!(render_spec(&spec, &f).is_ok(), "degraded {kind:?}");
+        }
+    }
+
+    #[test]
+    fn highlight_spec_renders_extra_series() {
+        let f = frames();
+        let (svg, _) = render_spec(
+            "plot kind=scatter input=r1 x=step y=mean_count group=- highlight=mean_count:1 title=t",
+            &f,
+        )
+        .unwrap();
+        assert!(svg.contains("#D00000"));
+    }
+}

@@ -1,0 +1,455 @@
+//! The analysis-stage workflow: supervisor-routed execution of the
+//! approved plan through the state graph (Fig. 3 of the paper).
+//!
+//! The supervisor interprets the next plan step and delegates it to the
+//! matching specialist node; specialists run their revision loops and
+//! report back; exhausting a step's budget aborts the run; the
+//! documentation agent closes every run. The graph shape is exactly the
+//! paper's: planning happens before this stage, QA is embedded in each
+//! specialist's loop.
+
+use crate::context::{AgentContext, ContextPolicy};
+use crate::documentation::run_documentation;
+use crate::error::{AgentError, AgentResult};
+use crate::graph::{NodeOutcome, StateGraph};
+use crate::planner::plan_question;
+use crate::qa::GenOutcome;
+use crate::state::{PlanStep, QualityFlags, RunState, StepOutcome};
+use infera_llm::SemanticLevel;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Per-run report: the raw material of every Table 2 metric.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub question: String,
+    /// Analysis steps in the executed plan.
+    pub plan_steps: usize,
+    /// Run completed all planned steps (Table 2 "% of Runs Completed").
+    pub completed: bool,
+    /// Fraction of planned steps completed (Table 2 "% Complete").
+    pub completion_fraction: f64,
+    /// Total redo iterations (Table 2 "Redo Iterations").
+    pub redos: u32,
+    /// Data analysis success (Table 2 "% Satisfactory Data").
+    pub satisfactory_data: bool,
+    /// Visualization success (Table 2 "% Satisfactory Visual").
+    pub satisfactory_viz: bool,
+    /// Token usage at termination.
+    pub tokens: u64,
+    /// Virtual LLM latency (ms) accumulated by the model.
+    pub llm_latency_ms: u64,
+    /// Real wall-clock of the data pipeline (ms).
+    pub wall_ms: u64,
+    /// Storage overhead: database + provenance artifacts (bytes).
+    pub storage_bytes: u64,
+    pub flags: QualityFlags,
+    /// The final result frame, when the last compute/sql step succeeded.
+    pub result: Option<infera_frame::DataFrame>,
+    /// Visualization artifact ids.
+    pub visualizations: Vec<infera_provenance::ArtifactId>,
+    /// Provenance/documentation summary.
+    pub summary: String,
+}
+
+fn record(state: &mut RunState, agent: &str, out: GenOutcome) {
+    let step = state.step_idx;
+    state.outcomes.push(StepOutcome {
+        step,
+        agent: agent.to_string(),
+        redos: out.redos,
+        success: out.success,
+        message: out.message,
+    });
+    if out.success {
+        state.step_idx += 1;
+    } else {
+        state.failed = true;
+    }
+}
+
+/// Build the supervisor-routed analysis graph.
+pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
+    let mut g: StateGraph<RunState> = StateGraph::new();
+
+    // Supervisor: monitors progress, charges its routing call, and the
+    // conditional edge picks the next specialist.
+    {
+        let ctx = ctx.clone();
+        g.add_node("supervisor", move |state: &mut RunState| {
+            let step_desc = state
+                .plan
+                .steps
+                .get(state.step_idx)
+                .map(|s| s.describe())
+                .unwrap_or_else(|| "all steps complete".to_string());
+            // The supervisor is the one agent that always sees history
+            // (§4.2.5).
+            // The supervisor always sees the full picture: plan, working
+            // frames, and the complete message history (§4.2.5 notes this
+            // is the expensive part of the token budget).
+            let mut prompt = ctx.build_prompt(
+                "supervisor",
+                state,
+                &format!("delegate the next step: {step_desc}"),
+                &[],
+            );
+            prompt.push_str("\n## Message history\n");
+            for h in &state.history {
+                prompt.push_str(h);
+                prompt.push('\n');
+            }
+            ctx.llm
+                .charge("supervisor", &prompt, &format!("delegate: {step_desc}"));
+            state
+                .history
+                .push(format!("supervisor: delegated '{step_desc}'"));
+            // Trim runaway history under the limited-context policy.
+            if ctx.config.context_policy == ContextPolicy::LimitedContext
+                && state.history.len() > 40
+            {
+                state.history.drain(..20);
+            }
+            Ok(NodeOutcome::Continue)
+        });
+    }
+    g.add_conditional_edge("supervisor", |state: &RunState| {
+        if state.failed {
+            return "documentation".to_string();
+        }
+        match state.plan.steps.get(state.step_idx) {
+            Some(step) => match step {
+                PlanStep::Load(_) => "data_loading".to_string(),
+                PlanStep::Sql(_) => "sql".to_string(),
+                PlanStep::Compute { .. } => "python".to_string(),
+                PlanStep::Visualize { .. } => "visualization".to_string(),
+            },
+            None => "documentation".to_string(),
+        }
+    });
+
+    {
+        let ctx = ctx.clone();
+        g.add_node("data_loading", move |state: &mut RunState| {
+            let Some(PlanStep::Load(spec)) = state.plan.steps.get(state.step_idx).cloned()
+            else {
+                return Err(AgentError::Fatal("data_loading routed off-plan".into()));
+            };
+            let out = match crate::data_loading::run_load(&ctx, state, &spec) {
+                Ok(stats) => GenOutcome::new(0, true, format!("loaded {} rows", stats.rows_loaded)),
+                Err(AgentError::Fatal(m)) => return Err(AgentError::Fatal(m)),
+                Err(e) => GenOutcome::new(0, false, e.to_string()),
+            };
+            state.history.push(format!("data_loading: {}", out.message));
+            record(state, "data_loading", out);
+            Ok(NodeOutcome::Continue)
+        });
+        g.add_edge("data_loading", "supervisor");
+    }
+
+    {
+        let ctx = ctx.clone();
+        g.add_node("sql", move |state: &mut RunState| {
+            let Some(PlanStep::Sql(spec)) = state.plan.steps.get(state.step_idx).cloned()
+            else {
+                return Err(AgentError::Fatal("sql routed off-plan".into()));
+            };
+            let out = crate::sql_agent::run_sql(&ctx, state, &spec)?;
+            state.history.push(format!("sql: {}\n{}", out.message, out.artifact));
+            record(state, "sql", out);
+            Ok(NodeOutcome::Continue)
+        });
+        g.add_edge("sql", "supervisor");
+    }
+
+    {
+        let ctx = ctx.clone();
+        g.add_node("python", move |state: &mut RunState| {
+            let Some(PlanStep::Compute { kind, input, output }) =
+                state.plan.steps.get(state.step_idx).cloned()
+            else {
+                return Err(AgentError::Fatal("python routed off-plan".into()));
+            };
+            let out = crate::python_agent::run_compute(&ctx, state, &kind, &input, &output)?;
+            state.history.push(format!(
+                "python[{}]: {}\n{}",
+                kind.label(),
+                out.message,
+                out.artifact
+            ));
+            record(state, "python", out);
+            Ok(NodeOutcome::Continue)
+        });
+        g.add_edge("python", "supervisor");
+    }
+
+    {
+        let ctx = ctx.clone();
+        g.add_node("visualization", move |state: &mut RunState| {
+            let Some(PlanStep::Visualize { kind, input, title }) =
+                state.plan.steps.get(state.step_idx).cloned()
+            else {
+                return Err(AgentError::Fatal("visualization routed off-plan".into()));
+            };
+            let out = crate::viz_agent::run_visualize(&ctx, state, &kind, &input, &title)?;
+            state.history.push(format!(
+                "visualization[{}]: {}\n{}",
+                kind.label(),
+                out.message,
+                out.artifact
+            ));
+            record(state, "visualization", out);
+            Ok(NodeOutcome::Continue)
+        });
+        g.add_edge("visualization", "supervisor");
+    }
+
+    {
+        let ctx = ctx.clone();
+        g.add_node("documentation", move |state: &mut RunState| {
+            run_documentation(&ctx, state)?;
+            Ok(NodeOutcome::End)
+        });
+    }
+
+    g.set_entry("supervisor");
+    g
+}
+
+/// Assess the Table 2 quality metrics from the final state.
+fn assess(state: &RunState) -> (bool, bool) {
+    let compute_ok = state
+        .plan
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, PlanStep::Compute { .. } | PlanStep::Sql(_)))
+        .all(|(i, _)| {
+            state
+                .outcomes
+                .iter()
+                .any(|o| o.step == i && o.success)
+        });
+    let satisfactory_data = compute_ok
+        && !state.data_outputs.is_empty()
+        && !state.flags.wrong_tool
+        && !state.flags.bad_analysis;
+
+    let viz_steps: Vec<usize> = state
+        .plan
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, PlanStep::Visualize { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let viz_ok = !viz_steps.is_empty()
+        && viz_steps.iter().all(|&i| {
+            state
+                .outcomes
+                .iter()
+                .any(|o| o.step == i && o.success)
+        });
+    let satisfactory_viz = viz_ok && !state.flags.bad_viz && !state.visualizations.is_empty();
+    (satisfactory_data, satisfactory_viz)
+}
+
+/// Run one question end to end: planning stage + analysis stage +
+/// reporting. This is the unit the evaluation harness calls 10 times per
+/// question.
+pub fn run_question(
+    ctx: Rc<AgentContext>,
+    question: &str,
+    semantic: SemanticLevel,
+) -> AgentResult<RunReport> {
+    let (_intent, plan) = plan_question(&ctx, question);
+    run_question_with_plan(ctx, question, semantic, plan)
+}
+
+/// Run a user-reviewed (possibly edited) plan — the planning-stage
+/// feedback loop's output (§3: the plan is "a road map for both the user
+/// and the downstream agents"; users can modify it before approval).
+pub fn run_question_with_plan(
+    ctx: Rc<AgentContext>,
+    question: &str,
+    semantic: SemanticLevel,
+    plan: crate::state::Plan,
+) -> AgentResult<RunReport> {
+    let start = Instant::now();
+    let mut state = RunState::new(question, semantic, plan);
+
+    let graph = build_workflow(ctx.clone());
+    graph.run(&mut state)?;
+
+    // Stateful architecture: checkpoint the final environment so analysts
+    // can branch from it (§4.2.1).
+    let state_json = serde_json::to_string(&serde_json::json!({
+        "question": state.question,
+        "completed_steps": state.outcomes.iter().filter(|o| o.success).count(),
+        "failed": state.failed,
+    }))
+    .expect("state json");
+    infera_provenance::save_checkpoint(&ctx.prov, "final", None, &state.frames, &state_json)
+        .map_err(AgentError::from)?;
+
+    let (satisfactory_data, satisfactory_viz) = assess(&state);
+    let completed = !state.failed
+        && state.outcomes.iter().filter(|o| o.success).count() == state.plan.steps.len();
+    let result = state
+        .plan
+        .steps
+        .iter()
+        .rev()
+        .find_map(|s| match s {
+            PlanStep::Compute { output, .. } => state.frames.get(output).cloned(),
+            _ => None,
+        });
+
+    Ok(RunReport {
+        question: question.to_string(),
+        plan_steps: state.plan.n_analysis_steps(),
+        completed,
+        completion_fraction: state.completion_fraction(),
+        redos: state.total_redos(),
+        satisfactory_data,
+        satisfactory_viz,
+        tokens: ctx.llm.meter().total_tokens(),
+        llm_latency_ms: ctx.llm.meter().total_latency_ms(),
+        wall_ms: start.elapsed().as_millis() as u64,
+        storage_bytes: ctx.db.total_bytes() + ctx.prov.storage_bytes(),
+        flags: state.flags,
+        result,
+        visualizations: state.visualizations.clone(),
+        summary: state.summary.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{AgentContext, RunConfig};
+    use infera_hacc::EnsembleSpec;
+    use infera_llm::BehaviorProfile;
+    use std::path::PathBuf;
+
+    fn ctx(name: &str, seed: u64, profile: BehaviorProfile) -> Rc<AgentContext> {
+        let base: PathBuf = std::env::temp_dir().join("infera_workflow_tests").join(name);
+        std::fs::remove_dir_all(&base).ok();
+        let manifest =
+            infera_hacc::generate(&EnsembleSpec::tiny(29), &base.join("ens")).unwrap();
+        Rc::new(
+            AgentContext::new(
+                manifest,
+                &base.join("session"),
+                seed,
+                profile,
+                RunConfig::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn perfect_run_completes_group_trend_question() {
+        let c = ctx("grouptrend", 1, BehaviorProfile::perfect());
+        let report = run_question(
+            c.clone(),
+            "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?",
+            SemanticLevel::Easy,
+        )
+        .unwrap();
+        assert!(report.completed, "{:?}", report.summary);
+        assert_eq!(report.completion_fraction, 1.0);
+        assert_eq!(report.redos, 0);
+        assert!(report.satisfactory_data);
+        assert!(report.satisfactory_viz);
+        assert!(report.tokens > 5_000, "tokens {}", report.tokens);
+        assert!(report.storage_bytes > 0);
+        // The result is the per-step mean count with one row per step.
+        let result = report.result.unwrap();
+        assert_eq!(result.n_rows(), c.manifest.steps.len());
+        assert!(result.has_column("mean_fof_halo_count"));
+        // Mean count grows with time in the synthetic cosmology.
+        let means = result
+            .column("mean_fof_halo_count")
+            .unwrap()
+            .to_f64_vec()
+            .unwrap();
+        assert!(means.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn perfect_run_completes_top_n_question() {
+        let c = ctx("topn", 2, BehaviorProfile::perfect());
+        let report = run_question(
+            c.clone(),
+            "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+            SemanticLevel::Easy,
+        )
+        .unwrap();
+        assert!(report.completed, "{}", report.summary);
+        let result = report.result.unwrap();
+        assert!(result.n_rows() <= 20);
+        // Verify against ground truth: the model's own catalog.
+        let model = c.manifest.spec().model(0);
+        let step = c.manifest.nearest_step(498);
+        let truth = model
+            .catalog_frame(infera_hacc::EntityKind::Halos, step)
+            .top_n("fof_halo_mass", 20)
+            .unwrap();
+        let got_top = result.cell("fof_halo_mass", 0).unwrap().as_f64().unwrap();
+        let want_top = truth.cell("fof_halo_mass", 0).unwrap().as_f64().unwrap();
+        assert!((got_top - want_top).abs() / want_top < 1e-9);
+    }
+
+    #[test]
+    fn failed_runs_report_partial_completion() {
+        let mut p = BehaviorProfile::perfect();
+        p.column_error_rate = [20.0; 3];
+        p.p_redo_fixes = 0.0;
+        let c = ctx("fails", 3, p);
+        let report = run_question(
+            c,
+            "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+            SemanticLevel::Easy,
+        )
+        .unwrap();
+        assert!(!report.completed);
+        assert!(report.completion_fraction < 1.0);
+        assert!(report.completion_fraction > 0.0, "load step still succeeds");
+        assert!(report.redos >= 5);
+        assert!(!report.satisfactory_data);
+        assert!(report.summary.contains("terminated early"));
+    }
+
+    #[test]
+    fn provenance_trail_covers_all_agents() {
+        let c = ctx("trail", 4, BehaviorProfile::perfect());
+        run_question(
+            c.clone(),
+            "How many halos are there at each timestep in simulation 0? Plot the count over time.",
+            SemanticLevel::Easy,
+        )
+        .unwrap();
+        let events = c.prov.events();
+        let agents: std::collections::HashSet<&str> =
+            events.iter().map(|e| e.agent.as_str()).collect();
+        for required in ["data_loading", "sql", "python", "visualization", "documentation"] {
+            assert!(agents.contains(required), "missing {required} in trail");
+        }
+        // Checkpoint saved for branching.
+        assert!(!infera_provenance::list_checkpoints(&c.prov).unwrap().is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?";
+        let r1 = run_question(ctx("det_a", 77, BehaviorProfile::default()), q, SemanticLevel::Easy)
+            .unwrap();
+        let r2 = run_question(ctx("det_b", 77, BehaviorProfile::default()), q, SemanticLevel::Easy)
+            .unwrap();
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.redos, r2.redos);
+        assert_eq!(r1.tokens, r2.tokens);
+    }
+}

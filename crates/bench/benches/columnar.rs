@@ -1,0 +1,110 @@
+//! Columnar-database benchmarks: scans with projection pruning, zone-map
+//! chunk skipping, grouped aggregation and joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infera_columnar::Database;
+use infera_frame::{Column, DataFrame};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn setup_db(rows: usize) -> Database {
+    let dir = std::env::temp_dir().join(format!("infera_bench_columnar_{rows}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = Database::create(&dir).unwrap();
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+    // Sorted-ish tag column gives zone maps selectivity on tag ranges.
+    let tags: Vec<i64> = (0..rows as i64).collect();
+    let sims: Vec<i64> = (0..rows).map(|i| (i % 4) as i64).collect();
+    let mass: Vec<f64> = (0..rows).map(|_| 10f64.powf(11.0 + 4.0 * rng.random::<f64>())).collect();
+    let count: Vec<i64> = mass.iter().map(|m| (m / 1.3e9) as i64).collect();
+    let df = DataFrame::from_columns([
+        ("tag", Column::I64(tags)),
+        ("sim", Column::I64(sims)),
+        ("mass", Column::F64(mass)),
+        ("count", Column::I64(count)),
+    ])
+    .unwrap();
+    db.create_table("halos", &df.schema()).unwrap();
+    db.append_chunked("halos", &df, 8_192).unwrap();
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let db = setup_db(200_000);
+    let mut group = c.benchmark_group("columnar");
+
+    group.bench_function("full_scan_project", |b| {
+        b.iter(|| black_box(db.query("SELECT tag, mass FROM halos").unwrap()))
+    });
+    group.bench_function("zone_map_selective_filter", |b| {
+        // Tags are sorted: the predicate hits ~1 of 25 chunks.
+        b.iter(|| {
+            black_box(
+                db.query("SELECT tag, mass FROM halos WHERE tag >= 190000")
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("non_selective_filter", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("SELECT tag FROM halos WHERE mass > 1e13")
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("group_by_aggregate", |b| {
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "SELECT sim, COUNT(*) AS n, AVG(mass) AS m, STDDEV(mass) AS s FROM halos GROUP BY sim",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("top_100_order_by", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("SELECT tag, mass FROM halos ORDER BY mass DESC LIMIT 100")
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let db = setup_db(50_000);
+    // A galaxies table referencing halos.
+    let n = 100_000usize;
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(2);
+    let gal = DataFrame::from_columns([
+        ("gal_tag", Column::I64((0..n as i64).collect())),
+        (
+            "tag",
+            Column::I64((0..n).map(|_| rng.random_range(0..50_000i64)).collect()),
+        ),
+        (
+            "stellar",
+            Column::F64((0..n).map(|_| rng.random::<f64>() * 1e11).collect()),
+        ),
+    ])
+    .unwrap();
+    db.create_table("galaxies", &gal.schema()).unwrap();
+    db.append_chunked("galaxies", &gal, 8_192).unwrap();
+
+    c.bench_function("columnar_join_50k_x_100k", |b| {
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "SELECT halos.tag, stellar FROM halos JOIN galaxies ON halos.tag = galaxies.tag WHERE mass > 1e14",
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_queries, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! GenericIO-lite I/O benchmarks: the selective-column-read property that
+//! underpins InferA's data reduction (reading 2 of 24 halo columns should
+//! cost a fraction of a full read).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infera_hacc::{EntityKind, GenioReader, GenioWriter, SimConfig, SimModel, SubgridParams};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn setup_file(n_halos: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join("infera_bench_genio");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("halos_{n_halos}.gio"));
+    if !path.exists() {
+        let model = SimModel::new(
+            7,
+            0,
+            SubgridParams::default(),
+            SimConfig {
+                n_halos,
+                particles_per_step: 10,
+                ..SimConfig::default()
+            },
+        );
+        let mut w = GenioWriter::create(&path, EntityKind::Halos.schema()).unwrap();
+        w.write_block(&model.halo_catalog(624)).unwrap();
+        w.finish().unwrap();
+    }
+    path
+}
+
+fn bench_selective_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("genio_read");
+    for n_halos in [2_000usize, 20_000] {
+        let path = setup_file(n_halos);
+        group.bench_with_input(
+            BenchmarkId::new("two_columns", n_halos),
+            &path,
+            |b, path| {
+                b.iter(|| {
+                    let mut r = GenioReader::open(path).unwrap();
+                    black_box(
+                        r.read_columns(&["fof_halo_tag", "fof_halo_mass"]).unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("all_columns", n_halos),
+            &path,
+            |b, path| {
+                b.iter(|| {
+                    let mut r = GenioReader::open(path).unwrap();
+                    black_box(r.read_all().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_catalog_generation(c: &mut Criterion) {
+    let model = SimModel::new(
+        3,
+        0,
+        SubgridParams::default(),
+        SimConfig {
+            n_halos: 5_000,
+            particles_per_step: 10_000,
+            ..SimConfig::default()
+        },
+    );
+    c.bench_function("generate_halo_catalog_5k", |b| {
+        b.iter(|| black_box(model.halo_catalog(498)))
+    });
+    c.bench_function("generate_particle_block_10k", |b| {
+        b.iter(|| black_box(model.particle_block(498, 0, 10_000)))
+    });
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("infera_bench_genio");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = SimModel::new(
+        7,
+        0,
+        SubgridParams::default(),
+        SimConfig {
+            n_halos: 20_000,
+            particles_per_step: 10,
+            ..SimConfig::default()
+        },
+    );
+    let block = model.halo_catalog(624);
+    let raw = dir.join("halos_raw_cmp.gio");
+    let comp = dir.join("halos_comp.gio");
+    let mut w = GenioWriter::create(&raw, EntityKind::Halos.schema()).unwrap();
+    w.write_block(&block).unwrap();
+    let raw_size = w.finish().unwrap();
+    let mut w = GenioWriter::create_compressed(&comp, EntityKind::Halos.schema()).unwrap();
+    w.write_block(&block).unwrap();
+    let comp_size = w.finish().unwrap();
+    eprintln!(
+        "[genio] halo catalog on disk: raw {raw_size} B vs compressed {comp_size} B ({:.0}%)",
+        100.0 * comp_size as f64 / raw_size as f64
+    );
+    let mut group = c.benchmark_group("genio_codec");
+    group.bench_function("read_int_columns_raw", |b| {
+        b.iter(|| {
+            let mut r = GenioReader::open(&raw).unwrap();
+            black_box(r.read_columns(&["fof_halo_tag", "fof_halo_count"]).unwrap())
+        })
+    });
+    group.bench_function("read_int_columns_compressed", |b| {
+        b.iter(|| {
+            let mut r = GenioReader::open(&comp).unwrap();
+            black_box(r.read_columns(&["fof_halo_tag", "fof_halo_count"]).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selective_read,
+    bench_catalog_generation,
+    bench_compression
+);
+criterion_main!(benches);

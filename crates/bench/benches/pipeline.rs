@@ -1,0 +1,69 @@
+//! End-to-end pipeline benchmark: one full InferA question (plan +
+//! supervisor-routed analysis + provenance) under the error-free profile,
+//! on a small cached ensemble.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infera_core::{InferA, SessionConfig};
+use infera_hacc::EnsembleSpec;
+use infera_llm::{BehaviorProfile, SemanticLevel};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let base = std::env::temp_dir().join("infera_bench_pipeline");
+    let ens = base.join("ens");
+    if !ens.join("ensemble.json").is_file() {
+        infera_hacc::generate(&EnsembleSpec::tiny(99), &ens).unwrap();
+    }
+    let manifest = infera_hacc::Manifest::load(&ens).unwrap();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("ask_top20_question", |b| {
+        b.iter(|| {
+            let work = base.join("work");
+            std::fs::remove_dir_all(&work).ok();
+            let session = InferA::new(
+                manifest.clone(),
+                &work,
+                SessionConfig {
+                    seed: 1,
+                    profile: BehaviorProfile::perfect(),
+                    run_config: Default::default(),
+                },
+            );
+            black_box(
+                session
+                    .ask_with_semantic(
+                        "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+                        SemanticLevel::Easy,
+                        1,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("planning_stage_only", |b| {
+        let work = base.join("planwork");
+        std::fs::remove_dir_all(&work).ok();
+        let session = InferA::new(
+            manifest.clone(),
+            &work,
+            SessionConfig {
+                seed: 1,
+                profile: BehaviorProfile::perfect(),
+                run_config: Default::default(),
+            },
+        );
+        b.iter(|| {
+            black_box(
+                session
+                    .plan("Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?")
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

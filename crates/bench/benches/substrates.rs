@@ -1,0 +1,118 @@
+//! Substrate micro-benchmarks: dataframe kernels, RAG retrieval, and the
+//! sandbox DSL interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infera_frame::{AggKind, AggSpec, Column, DataFrame, JoinKind, SortOrder};
+use infera_rag::{Doc, Retriever};
+use infera_sandbox::{ExecutionRequest, SandboxServer};
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn frame(rows: usize) -> DataFrame {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(3);
+    DataFrame::from_columns([
+        ("tag", Column::I64((0..rows as i64).collect())),
+        ("sim", Column::I64((0..rows).map(|i| (i % 8) as i64).collect())),
+        (
+            "mass",
+            Column::F64((0..rows).map(|_| rng.random::<f64>() * 1e14).collect()),
+        ),
+        (
+            "speed",
+            Column::F64((0..rows).map(|_| rng.random::<f64>() * 900.0).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn bench_frame_kernels(c: &mut Criterion) {
+    let df = frame(100_000);
+    let mut group = c.benchmark_group("frame");
+    group.bench_function("sort_100k", |b| {
+        b.iter(|| black_box(df.sort_by(&[("mass", SortOrder::Descending)]).unwrap()))
+    });
+    group.bench_function("top_n_100_of_100k", |b| {
+        b.iter(|| black_box(df.top_n("mass", 100).unwrap()))
+    });
+    group.bench_function("group_by_8_groups_100k", |b| {
+        b.iter(|| {
+            black_box(
+                df.group_by(
+                    &["sim"],
+                    &[
+                        AggSpec::new("mass", AggKind::Mean),
+                        AggSpec::new("mass", AggKind::Std).with_alias("mass_std"),
+                    ],
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("linfit_100k", |b| {
+        b.iter(|| black_box(df.linfit("mass", "speed").unwrap()))
+    });
+    let right = frame(20_000);
+    group.bench_function("hash_join_100k_x_20k", |b| {
+        b.iter(|| black_box(df.join(&right, "tag", "tag", JoinKind::Inner).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_rag(c: &mut Criterion) {
+    let docs: Vec<Doc> = infera_hacc::column_dictionary()
+        .into_iter()
+        .map(|d| Doc::new(&d.column, &d.entity, &d.description, d.important))
+        .collect();
+    let retriever = Retriever::new(docs);
+    c.bench_function("rag_embed", |b| {
+        b.iter(|| {
+            black_box(infera_rag::embed(
+                "how does the gas mass fraction of massive halos evolve over time",
+            ))
+        })
+    });
+    c.bench_function("rag_mmr_top20", |b| {
+        b.iter(|| black_box(retriever.mmr("largest friends-of-friends halos by mass", 20)))
+    });
+    c.bench_function("rag_four_prompt_retrieval", |b| {
+        b.iter(|| {
+            black_box(retriever.retrieve_for_task(
+                "average halo size per timestep",
+                "load halo counts",
+                "1. load halos 2. aggregate 3. plot",
+            ))
+        })
+    });
+}
+
+fn bench_sandbox(c: &mut Criterion) {
+    let server = SandboxServer::new(infera_sandbox::domain::domain_registry());
+    let mut inputs = HashMap::new();
+    inputs.insert("halos".to_string(), frame(50_000));
+    let program = "\
+big = filter(halos, mass > 1e13)
+scored = with_column(big, log_mass, log10(mass))
+g = group_agg(scored, by=[sim], mean(log_mass), count(*))
+top = top_n(big, mass, 100)
+return g
+";
+    c.bench_function("dsl_parse", |b| {
+        b.iter(|| black_box(infera_sandbox::lang::parse_program(program).unwrap()))
+    });
+    c.bench_function("dsl_execute_50k_rows", |b| {
+        b.iter(|| {
+            black_box(
+                server
+                    .execute(ExecutionRequest {
+                        program: program.to_string(),
+                        inputs: inputs.clone(),
+                    })
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_frame_kernels, bench_rag, bench_sandbox);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Regenerate the **design ablations**: multi-agent vs single-agent vs
+//! static-linear architectures (§4.4.1), scored vs binary QA (§4.2.4),
+//! limited vs full specialist context (§4.2.5), and GPT-4o-class vs weak
+//! local model (§4).
+
+use infera_bench::{eval_ensemble, out_dir, BinArgs};
+use infera_core::ablation::{
+    architecture_ablation, context_ablation, model_ablation, qa_ablation,
+};
+use infera_core::{evaluate, EvalConfig, SessionConfig, Table2Row};
+use infera_agents::RunConfig;
+use infera_llm::BehaviorProfile;
+
+fn row(label: &str, r: &Table2Row) {
+    println!(
+        "  {:<24} %data={:>3.0} %visual={:>3.0} %runs={:>3.0} %complete={:>3.0} tokens={:>7.0} redos={:>5.2}",
+        label, r.sat_data, r.sat_viz, r.completed, r.complete_frac, r.tokens, r.redos
+    );
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let manifest = eval_ensemble(args.quick);
+    let runs = args.runs.unwrap_or(if args.quick { 3 } else { 5 });
+    // A mixed-difficulty subset keeps the ablation affordable.
+    let questions = [1u32, 2, 8, 13, 16, 17];
+    let work = out_dir("ablation");
+    std::fs::remove_dir_all(&work).ok();
+
+    println!("== Architecture ablation (\u{a7}4.4.1), {runs} runs x {} questions ==", questions.len());
+    let arch = architecture_ablation(&manifest, &work.join("arch"), &questions, runs, args.seed)
+        .expect("architecture ablation");
+    for r in &arch {
+        row(r.architecture.label(), &r.total);
+    }
+
+    println!("\n== QA-mode ablation (\u{a7}4.2.4) ==");
+    let qa = qa_ablation(&manifest, &work.join("qa"), &questions, runs, args.seed)
+        .expect("qa ablation");
+    row("scored (threshold 50)", &qa.scored);
+    row("binary judgement", &qa.binary);
+
+    println!("\n== Context-policy ablation (\u{a7}4.2.5) ==");
+    let ctx = context_ablation(&manifest, &work.join("ctx"), &questions, runs, args.seed)
+        .expect("context ablation");
+    row("limited context", &ctx.limited);
+    row("full history", &ctx.full);
+    println!(
+        "  full-history token overhead: {:+.0}%",
+        100.0 * (ctx.full.tokens / ctx.limited.tokens - 1.0)
+    );
+
+    // Documentation agent + human-in-the-loop studies share the harness.
+    let total = |run_config: RunConfig, profile: BehaviorProfile, dir: &str| -> Table2Row {
+        let cfg = EvalConfig {
+            runs_per_question: runs,
+            session: SessionConfig {
+                seed: args.seed,
+                profile,
+                run_config,
+            },
+            only_questions: questions.to_vec(),
+        };
+        evaluate(manifest.clone(), &work.join(dir), &cfg)
+            .expect("ablation eval")
+            .table2_rows()
+            .into_iter()
+            .find(|r| r.label == "total")
+            .expect("total row")
+    };
+
+    println!("\n== Documentation-agent ablation (\u{a7}4.1.4) ==");
+    let doc_on = total(RunConfig::default(), BehaviorProfile::default(), "doc_on");
+    let doc_off = total(
+        RunConfig {
+            enable_documentation: false,
+            ..RunConfig::default()
+        },
+        BehaviorProfile::default(),
+        "doc_off",
+    );
+    row("documentation on", &doc_on);
+    row("documentation off", &doc_off);
+    println!(
+        "  documentation token cost: {:+.0}%",
+        100.0 * (doc_on.tokens / doc_off.tokens - 1.0)
+    );
+
+    println!("\n== Human-in-the-loop (\u{a7}4.2.2) ==");
+    let auto = total(RunConfig::default(), BehaviorProfile::default(), "hitl_auto");
+    let human = total(
+        RunConfig {
+            human_feedback: true,
+            ..RunConfig::default()
+        },
+        BehaviorProfile::default(),
+        "hitl_human",
+    );
+    row("autonomous (eval mode)", &auto);
+    row("with human feedback", &human);
+
+    println!("\n== Model ablation (GPT-4o-class vs weak local, \u{a7}4) ==");
+    let model = model_ablation(&manifest, &work.join("model"), &questions, runs, args.seed)
+        .expect("model ablation");
+    row("gpt-4o-class", &model.gpt4o_class);
+    row("weak local model", &model.weak_local);
+}

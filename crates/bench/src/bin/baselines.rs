@@ -1,0 +1,42 @@
+//! Regenerate the **§4.4 baseline comparison**: direct LLM chat (context
+//! overflow + hallucination) and PandasAI-style full ingestion (memory
+//! blow-up) vs InferA's selective pipeline on the same question.
+
+use infera_bench::{eval_ensemble, out_dir, BinArgs};
+use infera_core::baselines::comparison_report;
+use infera_core::{InferA, SessionConfig};
+use infera_llm::{BehaviorProfile, SemanticLevel, SimulatedLlm, TokenMeter};
+
+fn main() {
+    let args = BinArgs::parse();
+    let manifest = eval_ensemble(args.quick);
+    let llm = SimulatedLlm::new(args.seed, BehaviorProfile::default(), TokenMeter::new());
+    println!("{}", comparison_report(&manifest, &llm));
+
+    // InferA on the same class of question, for contrast.
+    let work = out_dir("baselines");
+    std::fs::remove_dir_all(work.join("run")).ok();
+    let session = InferA::new(
+        manifest.clone(),
+        &work.join("run"),
+        SessionConfig {
+            seed: args.seed,
+            profile: BehaviorProfile::perfect(),
+            run_config: Default::default(),
+        },
+    );
+    let report = session
+        .ask_with_semantic(
+            "What is the maximum fof_halo_mass at timestep 624 in simulation 1?",
+            SemanticLevel::Easy,
+            1,
+        )
+        .expect("infera run");
+    println!(
+        "InferA, same question: completed={} (storage {:.2} MB of a {:.1} MB ensemble, {} tokens)",
+        report.completed,
+        report.storage_bytes as f64 / 1e6,
+        manifest.total_bytes() as f64 / 1e6,
+        report.tokens
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerate **Figure 1**: a projected particle view of one HACC
+//! simulation showing clustered dark-matter structure (halos) against the
+//! background web.
+
+use infera_bench::{eval_ensemble, out_dir, BinArgs};
+use infera_hacc::EntityKind;
+use infera_viz::{Chart, Series};
+
+fn main() {
+    let args = BinArgs::parse();
+    let manifest = eval_ensemble(args.quick);
+    let model = manifest.spec().model(0);
+    let step = *manifest.steps.last().expect("steps");
+
+    // Raw particles, projected onto the x-y plane.
+    let particles = model.catalog_frame(EntityKind::Particles, step);
+    let xs = particles.column("x").unwrap().to_f64_vec().unwrap();
+    let ys = particles.column("y").unwrap().to_f64_vec().unwrap();
+    let pts: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+
+    // Halo centers overlaid, sized set apart by a highlighted series for
+    // the most massive (the "zoomed" cluster of the paper's figure).
+    let halos = model.catalog_frame(EntityKind::Halos, step);
+    let top = halos.top_n("fof_halo_mass", 25).unwrap();
+    let hx = top.column("fof_halo_center_x").unwrap().to_f64_vec().unwrap();
+    let hy = top.column("fof_halo_center_y").unwrap().to_f64_vec().unwrap();
+    let halo_pts: Vec<(f64, f64)> = hx.into_iter().zip(hy).collect();
+
+    let mut chart = Chart::new(format!(
+        "Simulated HACC volume: {} particles, step {step} (projection)",
+        particles.n_rows()
+    ))
+    .with_labels("x [Mpc/h]", "y [Mpc/h]");
+    chart.width = 900;
+    chart.height = 900;
+    chart.add_series(Series::scatter("dark matter particles", pts, 5));
+    chart.add_series(Series::scatter("most massive halos", halo_pts, 3).highlighted());
+
+    let out = out_dir("figure1").join("figure1_particles.svg");
+    std::fs::write(&out, chart.render()).expect("write svg");
+    println!("Figure 1 written to {}", out.display());
+    println!(
+        "particles: {}; halos overlaid: {}; largest halo mass: {:.2e} Msun/h",
+        particles.n_rows(),
+        top.n_rows(),
+        top.cell("fof_halo_mass", 0).unwrap().as_f64().unwrap()
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerate **Figure 2**: the structure of a HACC ensemble — multiple
+//! simulations, each with timesteps holding galaxies, halos and raw
+//! particles — rendered as a text diagram plus the concrete manifest
+//! inventory.
+
+use infera_bench::{eval_ensemble, BinArgs};
+use infera_hacc::EntityKind;
+
+fn main() {
+    let args = BinArgs::parse();
+    let manifest = eval_ensemble(args.quick);
+
+    println!("Figure 2: ensemble structure\n");
+    println!("ensemble ({} simulations, {} snapshots each, {:.1} MB total)",
+        manifest.n_sims,
+        manifest.steps.len(),
+        manifest.total_bytes() as f64 / 1e6
+    );
+    for sim in 0..manifest.n_sims.min(3) {
+        let p = manifest.params[sim as usize];
+        println!("├── sim_{sim:04}  (f_SN={:.2}, log v_SN={:.2}, log T_AGN={:.2}, beta_BH={:.2}, M_seed={:.1e})",
+            p.f_sn, p.log_v_sn, p.log_t_agn, p.beta_bh, p.m_seed);
+        for (i, step) in manifest.steps.iter().enumerate().take(2) {
+            let branch = if i == 0 { "│   ├──" } else { "│   ├──" };
+            println!("{branch} step_{step:04}");
+            for kind in EntityKind::ALL {
+                let entry = manifest
+                    .files
+                    .iter()
+                    .find(|f| f.sim == sim && f.step == *step && f.kind == kind.label());
+                if let Some(e) = entry {
+                    println!(
+                        "│   │   ├── {}  ({} rows, {:.1} KB)",
+                        kind.file_name(),
+                        e.n_rows,
+                        e.n_bytes as f64 / 1e3
+                    );
+                }
+            }
+        }
+        println!("│   └── ... {} more snapshots", manifest.steps.len().saturating_sub(2));
+    }
+    println!("└── ... {} more simulations", manifest.n_sims.saturating_sub(3));
+
+    println!("\nPer-entity totals across the ensemble:");
+    for kind in EntityKind::ALL {
+        let rows: u64 = manifest
+            .files
+            .iter()
+            .filter(|f| f.kind == kind.label())
+            .map(|f| f.n_rows)
+            .sum();
+        println!(
+            "  {:<10} {:>12} rows  {:>10.1} MB  ({} columns)",
+            kind.label(),
+            rows,
+            manifest.bytes_of_kind(kind) as f64 / 1e6,
+            kind.column_names().len()
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerate **Table 1**: the difficulty matrix of representative
+//! evaluation questions (analysis difficulty × semantic complexity).
+
+fn main() {
+    println!("{}", infera_core::table1_text());
+    println!("\nFull question set:");
+    for q in infera_core::question_set() {
+        println!(
+            "Q{:<3} analysis={:<6} semantic={:<6} scope={:<22} {}",
+            q.id,
+            q.analysis.label(),
+            q.semantic.label(),
+            q.scope.label(),
+            q.text
+        );
+    }
+}

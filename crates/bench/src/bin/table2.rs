@@ -1,0 +1,45 @@
+//! Regenerate **Table 2**: the 20-question × N-run evaluation of InferA,
+//! grouped by analysis difficulty, semantic complexity, scope and success
+//! status.
+//!
+//! ```text
+//! cargo run -p infera-bench --bin table2 --release            # 10 runs/question (paper scale)
+//! cargo run -p infera-bench --bin table2 --release -- --quick # 3 runs/question, small ensemble
+//! ```
+
+use infera_bench::{eval_ensemble, out_dir, BinArgs};
+use infera_core::{evaluate, EvalConfig, SessionConfig};
+
+fn main() {
+    let args = BinArgs::parse();
+    let manifest = eval_ensemble(args.quick);
+    let runs = args.runs.unwrap_or(if args.quick { 3 } else { 10 });
+    let work = out_dir(if args.quick { "table2-quick" } else { "table2" });
+    std::fs::remove_dir_all(work.join("runs")).ok();
+
+    let cfg = EvalConfig {
+        runs_per_question: runs,
+        session: SessionConfig {
+            seed: args.seed,
+            ..SessionConfig::default()
+        },
+        only_questions: vec![],
+    };
+    eprintln!(
+        "[table2] evaluating 20 questions x {runs} runs on a {:.1} MB ensemble ...",
+        manifest.total_bytes() as f64 / 1e6
+    );
+    let results = evaluate(manifest, &work.join("runs"), &cfg).expect("evaluation");
+
+    let text = results.table2_text();
+    println!("{text}");
+    println!(
+        "overall planned-task completion: {:.0}% (paper: 93%)",
+        results.overall_task_completion()
+    );
+    println!("\n{}", results.storage_study());
+
+    let out = work.join("table2.txt");
+    std::fs::write(&out, &text).expect("write table2.txt");
+    eprintln!("[table2] written to {}", out.display());
+}

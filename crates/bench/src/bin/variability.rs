@@ -1,0 +1,19 @@
+//! Regenerate the **§4.5 analytical-variability study**: the ambiguous
+//! FSN/VEL parameter question diverges into multiple valid strategies
+//! across runs, while the precise top-20 question reproduces identical
+//! data outputs.
+
+use infera_bench::{eval_ensemble, out_dir, BinArgs};
+use infera_core::variability::variability_study;
+
+fn main() {
+    let args = BinArgs::parse();
+    let manifest = eval_ensemble(args.quick);
+    let runs = args.runs.unwrap_or(10);
+    let work = out_dir("variability");
+    std::fs::remove_dir_all(&work).ok();
+    let report =
+        variability_study(&manifest, &work, runs, args.seed).expect("variability study");
+    println!("{}", report.to_text());
+    println!("strategy key: 0=mean of top-100 per sim, 1=linear regression vs parameters, 2=rank-median comparison, 3=correlation matrix");
+}

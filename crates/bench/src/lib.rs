@@ -1,0 +1,159 @@
+//! Shared infrastructure for the benchmark/reproduction binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/`; see
+//! DESIGN.md §4 for the experiment index. Generated ensembles are cached
+//! under `target/infera-data/` so repeated invocations don't regenerate.
+
+use infera_hacc::{EnsembleSpec, Manifest};
+use std::path::{Path, PathBuf};
+
+/// Root directory for cached ensembles and experiment outputs.
+pub fn data_root() -> PathBuf {
+    let root = std::env::var("INFERA_DATA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/infera-data")
+        });
+    std::fs::create_dir_all(&root).expect("create data root");
+    root
+}
+
+/// Output directory for a named experiment.
+pub fn out_dir(name: &str) -> PathBuf {
+    let dir = data_root().join("out").join(name);
+    std::fs::create_dir_all(&dir).expect("create out dir");
+    dir
+}
+
+/// Generate (or reuse) a named ensemble.
+pub fn ensure_ensemble(name: &str, spec: &EnsembleSpec) -> Manifest {
+    let root = data_root().join(name);
+    if root.join("ensemble.json").is_file() {
+        if let Ok(m) = Manifest::load(&root) {
+            // Reuse only if the cached ensemble matches the spec.
+            if m.seed == spec.seed
+                && m.n_sims as usize == spec.n_sims
+                && m.steps == spec.steps
+                && m.n_halos == spec.sim.n_halos
+                && m.particles_per_step == spec.sim.particles_per_step
+            {
+                return m;
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+    eprintln!("[infera-bench] generating ensemble '{name}' ...");
+    let m = infera_hacc::generate(spec, &root).expect("ensemble generation");
+    eprintln!(
+        "[infera-bench] '{name}': {} sims x {} steps, {:.1} MB on disk",
+        m.n_sims,
+        m.steps.len(),
+        m.total_bytes() as f64 / 1e6
+    );
+    m
+}
+
+/// The evaluation ensemble (Table 2; stands in for the 4-run 1.4 TB
+/// LANL dataset).
+pub fn eval_ensemble(quick: bool) -> Manifest {
+    if quick {
+        ensure_ensemble(
+            "eval-quick",
+            &EnsembleSpec {
+                n_sims: 4,
+                steps: EnsembleSpec::evenly_spaced_steps(8),
+                sim: infera_hacc::SimConfig {
+                    n_halos: 800,
+                    particles_per_step: 4_000,
+                    ..Default::default()
+                },
+                seed: 2025,
+                particle_block_rows: 4_096,
+            },
+        )
+    } else {
+        ensure_ensemble("eval", &EnsembleSpec::eval_scale(2025))
+    }
+}
+
+/// The 32-run scalability ensemble (Fig. 4; stands in for the 11.2 TB
+/// ANL dataset).
+pub fn case_study_ensemble(quick: bool) -> Manifest {
+    if quick {
+        ensure_ensemble(
+            "case-study-quick",
+            &EnsembleSpec {
+                n_sims: 32,
+                steps: EnsembleSpec::evenly_spaced_steps(6),
+                sim: infera_hacc::SimConfig {
+                    n_halos: 300,
+                    particles_per_step: 2_000,
+                    ..Default::default()
+                },
+                seed: 2026,
+                particle_block_rows: 4_096,
+            },
+        )
+    } else {
+        ensure_ensemble("case-study", &EnsembleSpec::case_study_scale(2026))
+    }
+}
+
+/// Parse `--quick` / `--runs N` / `--seed N` flags shared by the bins.
+pub struct BinArgs {
+    pub quick: bool,
+    pub runs: Option<usize>,
+    pub seed: u64,
+}
+
+impl BinArgs {
+    pub fn parse() -> BinArgs {
+        let args: Vec<String> = std::env::args().collect();
+        let mut out = BinArgs {
+            quick: args.iter().any(|a| a == "--quick"),
+            runs: None,
+            seed: 2025,
+        };
+        for i in 0..args.len() {
+            if args[i] == "--runs" {
+                out.runs = args.get(i + 1).and_then(|v| v.parse().ok());
+            }
+            if args[i] == "--seed" {
+                if let Some(s) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    out.seed = s;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensemble_caching_roundtrip() {
+        let spec = EnsembleSpec::tiny(909);
+        let name = "test-cache";
+        std::fs::remove_dir_all(data_root().join(name)).ok();
+        let m1 = ensure_ensemble(name, &spec);
+        let mtime1 = std::fs::metadata(data_root().join(name).join("ensemble.json"))
+            .unwrap()
+            .modified()
+            .unwrap();
+        let m2 = ensure_ensemble(name, &spec);
+        let mtime2 = std::fs::metadata(data_root().join(name).join("ensemble.json"))
+            .unwrap()
+            .modified()
+            .unwrap();
+        assert_eq!(m1.total_bytes(), m2.total_bytes());
+        assert_eq!(mtime1, mtime2, "second call must reuse the cache");
+        // A different spec regenerates.
+        let mut other = spec.clone();
+        other.sim.n_halos += 10;
+        let m3 = ensure_ensemble(name, &other);
+        assert_eq!(m3.n_halos, other.sim.n_halos);
+        std::fs::remove_dir_all(data_root().join(name)).ok();
+    }
+}

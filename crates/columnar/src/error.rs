@@ -1,0 +1,68 @@
+//! Error types for the columnar database.
+
+use infera_frame::FrameError;
+use std::fmt;
+
+/// Result alias.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Database errors. SQL errors carry positions where possible so the
+/// quality-assurance loop can surface actionable messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Underlying I/O failure.
+    Io(String),
+    /// Catalog problems: missing/duplicate tables.
+    UnknownTable {
+        name: String,
+        suggestion: Option<String>,
+    },
+    DuplicateTable(String),
+    /// Unknown column with did-you-mean.
+    UnknownColumn {
+        name: String,
+        suggestion: Option<String>,
+    },
+    /// SQL lexing/parsing failure.
+    Parse(String),
+    /// Semantic/planning failure (bad aggregates, mixed expressions...).
+    Plan(String),
+    /// Execution failure.
+    Exec(String),
+    /// Corrupt on-disk state.
+    Corrupt(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::UnknownTable { name, suggestion } => match suggestion {
+                Some(s) => write!(f, "unknown table '{name}' — did you mean '{s}'?"),
+                None => write!(f, "unknown table '{name}'"),
+            },
+            DbError::DuplicateTable(n) => write!(f, "table '{n}' already exists"),
+            DbError::UnknownColumn { name, suggestion } => match suggestion {
+                Some(s) => write!(f, "unknown column '{name}' — did you mean '{s}'?"),
+                None => write!(f, "unknown column '{name}'"),
+            },
+            DbError::Parse(m) => write!(f, "sql parse error: {m}"),
+            DbError::Plan(m) => write!(f, "sql planning error: {m}"),
+            DbError::Exec(m) => write!(f, "sql execution error: {m}"),
+            DbError::Corrupt(m) => write!(f, "database corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<FrameError> for DbError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::UnknownColumn { name, suggestion } => {
+                DbError::UnknownColumn { name, suggestion }
+            }
+            other => DbError::Exec(other.to_string()),
+        }
+    }
+}

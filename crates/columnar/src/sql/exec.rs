@@ -1,0 +1,777 @@
+//! Vectorized, chunk-at-a-time query execution.
+//!
+//! Chunks are scanned in parallel with rayon; each worker holds only the
+//! *pruned* columns of one chunk in memory. Aggregations stream through
+//! per-chunk partial accumulators merged in chunk order (deterministic
+//! first-seen group ordering); projections concatenate per-chunk results.
+//! Zone maps skip chunks that cannot satisfy pushed-down conjuncts.
+
+use super::ast::{JoinType, SelectStmt, Statement};
+use super::plan::{resolve, AggItem, QueryShape, ResolvedSelect};
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use infera_frame::{AggKind, Column, DataFrame, Expr, JoinKind, SortOrder, Value};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Execution statistics, reported for provenance and the efficiency
+/// benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub chunks_total: usize,
+    pub chunks_skipped: usize,
+    pub rows_scanned: u64,
+    pub rows_output: u64,
+}
+
+/// Result of executing any statement.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Result rows (empty frame for DDL).
+    pub frame: DataFrame,
+    pub stats: ExecStats,
+}
+
+/// Execute a parsed statement.
+pub fn execute(db: &Database, stmt: &Statement) -> DbResult<ExecOutcome> {
+    match stmt {
+        Statement::Select(sel) => {
+            let (frame, stats) = run_select(db, sel)?;
+            Ok(ExecOutcome { frame, stats })
+        }
+        Statement::CreateTableAs { name, select } => {
+            let (frame, stats) = run_select(db, select)?;
+            if frame.n_cols() == 0 {
+                return Err(DbError::Exec("CREATE TABLE AS produced no columns".into()));
+            }
+            db.create_table(name, &frame.schema())?;
+            db.append(name, &frame)?;
+            Ok(ExecOutcome {
+                frame: DataFrame::new(),
+                stats,
+            })
+        }
+        Statement::DropTable { name, if_exists } => {
+            match db.drop_table(name) {
+                Ok(()) => {}
+                Err(DbError::UnknownTable { .. }) if *if_exists => {}
+                Err(e) => return Err(e),
+            }
+            Ok(ExecOutcome {
+                frame: DataFrame::new(),
+                stats: ExecStats::default(),
+            })
+        }
+    }
+}
+
+/// Execute a SELECT.
+pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecStats)> {
+    let plan = resolve(sel, db)?;
+    let mut stats = ExecStats::default();
+
+    // Materialize the join's build side once, if any.
+    let right: Option<DataFrame> = match &plan.join {
+        Some(j) => Some(db.scan_all(&j.scan.table, &to_refs(&j.scan.columns))?),
+        None => None,
+    };
+
+    let n_chunks = db.n_chunks(&plan.base.table)?;
+    stats.chunks_total = n_chunks;
+
+    // Per-chunk pipeline: zone check -> read pruned columns -> join ->
+    // filter.
+    let chunk_results: Vec<DbResult<Option<(u64, DataFrame)>>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|ci| -> DbResult<Option<(u64, DataFrame)>> {
+            // Zone-map skip.
+            for zf in &plan.zone_filters {
+                if !zf.may_match(db.zone(&plan.base.table, &zf.column, ci)?) {
+                    return Ok(None);
+                }
+            }
+            let mut chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&plan.base.columns))?;
+            let rows_in = chunk.n_rows() as u64;
+            if let (Some(j), Some(right)) = (&plan.join, &right) {
+                let kind = match j.kind {
+                    JoinType::Inner => JoinKind::Inner,
+                    JoinType::Left => JoinKind::Left,
+                };
+                chunk = chunk.join(right, &j.left_col, &j.right_col, kind)?;
+            }
+            if let Some(pred) = &plan.predicate {
+                chunk = chunk.filter_expr(pred)?;
+            }
+            Ok(Some((rows_in, chunk)))
+        })
+        .collect();
+
+    let mut chunks: Vec<DataFrame> = Vec::new();
+    for r in chunk_results {
+        match r? {
+            Some((rows_in, df)) => {
+                stats.rows_scanned += rows_in;
+                chunks.push(df);
+            }
+            None => stats.chunks_skipped += 1,
+        }
+    }
+
+    // Zone maps (or an empty table) can eliminate every chunk; the result
+    // must still carry correctly typed columns, so synthesize one empty
+    // chunk with the true schema and run it through the same pipeline.
+    if chunks.is_empty() {
+        let schema = db.table_schema(&plan.base.table)?;
+        let mut empty = DataFrame::new();
+        for name in &plan.base.columns {
+            let dtype = schema
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, d)| *d)
+                .unwrap_or(infera_frame::DType::F64);
+            empty
+                .add_column(name.clone(), Column::empty(dtype))
+                .map_err(DbError::from)?;
+        }
+        if let (Some(j), Some(right)) = (&plan.join, &right) {
+            let kind = match j.kind {
+                JoinType::Inner => JoinKind::Inner,
+                JoinType::Left => JoinKind::Left,
+            };
+            empty = empty.join(right, &j.left_col, &j.right_col, kind)?;
+        }
+        chunks.push(empty);
+    }
+
+    let mut out = match &plan.shape {
+        QueryShape::Projection { items } => project(&chunks, items, &plan)?,
+        QueryShape::Aggregate { keys, aggs } => aggregate(&chunks, keys, aggs)?,
+    };
+
+    // HAVING: filter the aggregate output.
+    if let Some(having) = &plan.having {
+        out = out.filter_expr(having)?;
+    }
+
+    // DISTINCT: group on all output columns (first-seen order) and keep
+    // only the keys.
+    if plan.distinct && out.n_rows() > 1 {
+        let names: Vec<String> = out.names().to_vec();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        out = out.group_by(&refs, &[])?;
+    }
+
+    // ORDER BY then LIMIT.
+    if !plan.order_by.is_empty() {
+        let keys: Vec<(&str, SortOrder)> = plan
+            .order_by
+            .iter()
+            .map(|(n, desc)| {
+                (
+                    n.as_str(),
+                    if *desc {
+                        SortOrder::Descending
+                    } else {
+                        SortOrder::Ascending
+                    },
+                )
+            })
+            .collect();
+        out = out.sort_by(&keys)?;
+    }
+    if let Some(limit) = plan.limit {
+        out = out.head(limit);
+    }
+    stats.rows_output = out.n_rows() as u64;
+    Ok((out, stats))
+}
+
+fn to_refs(v: &[String]) -> Vec<&str> {
+    v.iter().map(String::as_str).collect()
+}
+
+fn project(
+    chunks: &[DataFrame],
+    items: &[(String, Expr)],
+    plan: &ResolvedSelect,
+) -> DbResult<DataFrame> {
+    let mut out = DataFrame::new();
+    // Early-exit fast path: LIMIT without ORDER BY needs only enough rows
+    // (DISTINCT must see everything before it can limit).
+    let early_limit = if plan.order_by.is_empty() && !plan.distinct {
+        plan.limit
+    } else {
+        None
+    };
+    for chunk in chunks {
+        let mut projected = DataFrame::new();
+        for (name, expr) in items {
+            let col = expr.eval(chunk)?;
+            projected
+                .add_column(name.clone(), col)
+                .map_err(DbError::from)?;
+        }
+        out.vstack(&projected)?;
+        if let Some(lim) = early_limit {
+            if out.n_rows() >= lim {
+                return Ok(out.head(lim));
+            }
+        }
+    }
+    if out.n_cols() == 0 {
+        // No chunks at all: produce an empty frame with the right schema.
+        for (name, _) in items {
+            out.add_column(name.clone(), Column::F64(Vec::new()))
+                .map_err(DbError::from)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Streaming accumulator for one (group, aggregate) cell.
+#[derive(Debug, Clone)]
+struct Accum {
+    rows: u64,
+    count: u64,
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+    first: Option<f64>,
+    last: Option<f64>,
+    /// Retained values; only populated when a median is requested.
+    values: Option<Vec<f64>>,
+}
+
+impl Accum {
+    fn new(keep_values: bool) -> Accum {
+        Accum {
+            rows: 0,
+            count: 0,
+            sum: 0.0,
+            sumsq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            first: None,
+            last: None,
+            values: keep_values.then(Vec::new),
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.rows += 1;
+        if v.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.sumsq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if self.first.is_none() {
+            self.first = Some(v);
+        }
+        self.last = Some(v);
+        if let Some(vals) = &mut self.values {
+            vals.push(v);
+        }
+    }
+
+    /// For COUNT(*) and counts over non-numeric data: every row counts.
+    fn push_counted_row(&mut self) {
+        self.rows += 1;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &Accum) {
+        self.rows += other.rows;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.first.is_none() {
+            self.first = other.first;
+        }
+        if other.last.is_some() {
+            self.last = other.last;
+        }
+        if let (Some(a), Some(b)) = (&mut self.values, &other.values) {
+            a.extend_from_slice(b);
+        }
+    }
+
+    fn finalize(&self, kind: AggKind) -> f64 {
+        let n = self.count as f64;
+        match kind {
+            AggKind::Count => n,
+            AggKind::Sum => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum
+                }
+            }
+            AggKind::Mean => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / n
+                }
+            }
+            AggKind::Min => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.min
+                }
+            }
+            AggKind::Max => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.max
+                }
+            }
+            AggKind::Std | AggKind::Var => {
+                if self.count < 2 {
+                    return f64::NAN;
+                }
+                // Sample variance from streaming moments.
+                let var = (self.sumsq - self.sum * self.sum / n) / (n - 1.0);
+                let var = var.max(0.0);
+                if kind == AggKind::Std {
+                    var.sqrt()
+                } else {
+                    var
+                }
+            }
+            AggKind::Median => match &self.values {
+                Some(vals) if !vals.is_empty() => {
+                    let mut sorted = vals.clone();
+                    sorted.sort_by(f64::total_cmp);
+                    let mid = sorted.len() / 2;
+                    if sorted.len() % 2 == 1 {
+                        sorted[mid]
+                    } else {
+                        0.5 * (sorted[mid - 1] + sorted[mid])
+                    }
+                }
+                _ => f64::NAN,
+            },
+            AggKind::First => self.first.unwrap_or(f64::NAN),
+            AggKind::Last => self.last.unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Per-chunk partial aggregation state.
+struct Partial {
+    /// Insertion-ordered group keys.
+    order: Vec<String>,
+    /// key -> (representative key values, per-agg accumulators).
+    groups: HashMap<String, (Vec<Value>, Vec<Accum>)>,
+}
+
+fn encode_key(values: &[Value]) -> String {
+    let mut out = String::new();
+    for v in values {
+        match v {
+            Value::F64(f) => {
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                // Integral floats encode like ints so cross-type keys
+                // (i64 column vs f64 expression) group together.
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 9e15 {
+                    out.push_str(&format!("i{}", f as i64));
+                } else {
+                    out.push_str(&format!("f{}", f.to_bits()));
+                }
+            }
+            Value::I64(i) => out.push_str(&format!("i{i}")),
+            Value::Str(s) => {
+                out.push('s');
+                out.push_str(s);
+            }
+            Value::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
+        }
+        out.push('\u{1f}');
+    }
+    out
+}
+
+fn aggregate(
+    chunks: &[DataFrame],
+    keys: &[(String, Expr)],
+    aggs: &[AggItem],
+) -> DbResult<DataFrame> {
+    let needs_values: Vec<bool> = aggs.iter().map(|a| a.kind == AggKind::Median).collect();
+
+    // Partial aggregation per chunk, in parallel.
+    let partials: Vec<DbResult<Partial>> = chunks
+        .par_iter()
+        .map(|chunk| -> DbResult<Partial> {
+            let mut p = Partial {
+                order: Vec::new(),
+                groups: HashMap::new(),
+            };
+            let n = chunk.n_rows();
+            // Evaluate key expressions once per chunk.
+            let key_cols: Vec<Column> = keys
+                .iter()
+                .map(|(_, e)| e.eval(chunk))
+                .collect::<Result<_, _>>()?;
+            // Evaluate aggregate args: numeric vector or string marker.
+            enum ArgData {
+                Num(Vec<f64>),
+                Rows, // COUNT(*) or count over non-numeric data
+            }
+            let arg_data: Vec<ArgData> = aggs
+                .iter()
+                .map(|a| -> DbResult<ArgData> {
+                    match &a.arg {
+                        None => Ok(ArgData::Rows),
+                        Some(e) => {
+                            let col = e.eval(chunk)?;
+                            match col.to_f64_vec() {
+                                Ok(v) => Ok(ArgData::Num(v)),
+                                Err(_) if a.kind == AggKind::Count => Ok(ArgData::Rows),
+                                Err(e) => Err(DbError::from(e)),
+                            }
+                        }
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+
+            for row in 0..n {
+                let key_vals: Vec<Value> = key_cols.iter().map(|c| c.get(row)).collect();
+                let key = encode_key(&key_vals);
+                let entry = p.groups.entry(key.clone()).or_insert_with(|| {
+                    p.order.push(key);
+                    (
+                        key_vals.clone(),
+                        needs_values.iter().map(|&kv| Accum::new(kv)).collect(),
+                    )
+                });
+                for (ai, data) in arg_data.iter().enumerate() {
+                    match data {
+                        ArgData::Num(v) => entry.1[ai].push(v[row]),
+                        ArgData::Rows => entry.1[ai].push_counted_row(),
+                    }
+                }
+            }
+            Ok(p)
+        })
+        .collect();
+
+    // Merge partials in chunk order for deterministic group ordering.
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, (Vec<Value>, Vec<Accum>)> = HashMap::new();
+    for p in partials {
+        let p = p?;
+        for key in p.order {
+            let (vals, accums) = &p.groups[&key];
+            match groups.get_mut(&key) {
+                Some((_, existing)) => {
+                    for (e, a) in existing.iter_mut().zip(accums) {
+                        e.merge(a);
+                    }
+                }
+                None => {
+                    order.push(key.clone());
+                    groups.insert(key, (vals.clone(), accums.clone()));
+                }
+            }
+        }
+    }
+
+    // Whole-table aggregate with zero rows still yields one output row.
+    if keys.is_empty() && order.is_empty() {
+        order.push(String::new());
+        groups.insert(
+            String::new(),
+            (
+                Vec::new(),
+                needs_values.iter().map(|&kv| Accum::new(kv)).collect(),
+            ),
+        );
+    }
+
+    // Assemble the output frame.
+    let mut out = DataFrame::new();
+    for (ki, (kname, _)) in keys.iter().enumerate() {
+        // Use the dtype of the first group's representative value.
+        let first = &groups[&order[0]].0[ki];
+        let mut col = Column::empty(first.dtype());
+        for key in &order {
+            col.push(groups[key].0[ki].clone()).map_err(DbError::from)?;
+        }
+        out.add_column(kname.clone(), col).map_err(DbError::from)?;
+    }
+    for (ai, item) in aggs.iter().enumerate() {
+        let vals: Vec<f64> = order
+            .iter()
+            .map(|k| groups[k].1[ai].finalize(item.kind))
+            .collect();
+        let col = if item.kind == AggKind::Count {
+            Column::I64(vals.iter().map(|&v| v as i64).collect())
+        } else {
+            Column::F64(vals)
+        };
+        out.add_column(item.alias.clone(), col)
+            .map_err(DbError::from)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("infera_exec_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn setup(name: &str) -> Database {
+        let db = Database::create(&tmp(name)).unwrap();
+        let halos = DataFrame::from_columns([
+            ("fof_halo_tag", Column::from(vec![1i64, 2, 3, 4, 5, 6])),
+            ("sim", Column::from(vec![0i64, 0, 0, 1, 1, 1])),
+            (
+                "fof_halo_mass",
+                Column::from(vec![1e12, 5e13, 2e14, 8e11, 3e13, 9e14]),
+            ),
+            (
+                "fof_halo_count",
+                Column::from(vec![769i64, 38461, 153846, 615, 23076, 692307]),
+            ),
+        ])
+        .unwrap();
+        db.create_table("halos", &halos.schema()).unwrap();
+        db.append_chunked("halos", &halos, 2).unwrap(); // 3 chunks
+        let gals = DataFrame::from_columns([
+            ("gal_tag", Column::from(vec![10i64, 11, 12, 13])),
+            ("fof_halo_tag", Column::from(vec![1i64, 1, 3, 6])),
+            ("gal_mass", Column::from(vec![1e10, 2e10, 5e11, 7e11])),
+        ])
+        .unwrap();
+        db.create_table("galaxies", &gals.schema()).unwrap();
+        db.append_chunked("galaxies", &gals, 10).unwrap();
+        db
+    }
+
+    fn q(db: &Database, sql: &str) -> DataFrame {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => run_select(db, &s).unwrap().0,
+            other => execute(db, &other).unwrap().frame,
+        }
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let db = setup("filter");
+        let df = q(&db, "SELECT fof_halo_tag, fof_halo_mass FROM halos WHERE fof_halo_mass > 1e13");
+        assert_eq!(df.n_rows(), 4);
+        assert_eq!(df.names(), &["fof_halo_tag", "fof_halo_mass"]);
+    }
+
+    #[test]
+    fn zone_maps_skip_chunks() {
+        let db = setup("zones");
+        let stmt = parse("SELECT fof_halo_tag FROM halos WHERE fof_halo_count > 600000").unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        let (df, stats) = run_select(&db, &sel).unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert!(stats.chunks_skipped >= 1, "{stats:?}");
+        assert_eq!(stats.chunks_total, 3);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let db = setup("group");
+        let df = q(
+            &db,
+            "SELECT sim, COUNT(*) AS n, AVG(fof_halo_mass) AS m, MAX(fof_halo_count) AS biggest FROM halos GROUP BY sim",
+        );
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.cell("n", 0).unwrap(), Value::I64(3));
+        let m0 = df.cell("m", 0).unwrap().as_f64().unwrap();
+        assert!((m0 - (1e12 + 5e13 + 2e14) / 3.0).abs() / m0 < 1e-12);
+        assert_eq!(df.cell("biggest", 1).unwrap(), Value::F64(692307.0));
+    }
+
+    #[test]
+    fn whole_table_aggregates() {
+        let db = setup("whole");
+        let df = q(&db, "SELECT COUNT(*) AS n, SUM(fof_halo_mass) AS total, STDDEV(fof_halo_mass) AS sd, MEDIAN(fof_halo_mass) AS med FROM halos");
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.cell("n", 0).unwrap(), Value::I64(6));
+        let med = df.cell("med", 0).unwrap().as_f64().unwrap();
+        assert!((med - (3e13 + 5e13) / 2.0).abs() < 1.0, "median {med}");
+        let sd = df.cell("sd", 0).unwrap().as_f64().unwrap();
+        assert!(sd > 0.0);
+    }
+
+    #[test]
+    fn std_matches_two_pass() {
+        let db = setup("std");
+        let df = q(&db, "SELECT STDDEV(fof_halo_mass) AS sd FROM halos");
+        let masses = [1e12, 5e13, 2e14, 8e11, 3e13, 9e14];
+        let expected = infera_frame::groupby::aggregate_f64(AggKind::Std, &masses);
+        let sd = df.cell("sd", 0).unwrap().as_f64().unwrap();
+        assert!((sd - expected).abs() / expected < 1e-10);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = setup("order");
+        let df = q(
+            &db,
+            "SELECT fof_halo_tag, fof_halo_mass FROM halos ORDER BY fof_halo_mass DESC LIMIT 2",
+        );
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.cell("fof_halo_tag", 0).unwrap(), Value::I64(6));
+        assert_eq!(df.cell("fof_halo_tag", 1).unwrap(), Value::I64(3));
+    }
+
+    #[test]
+    fn join_inner() {
+        let db = setup("join");
+        let df = q(
+            &db,
+            "SELECT fof_halo_tag, gal_mass FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag ORDER BY gal_mass DESC",
+        );
+        assert_eq!(df.n_rows(), 4);
+        assert_eq!(df.cell("fof_halo_tag", 0).unwrap(), Value::I64(6));
+    }
+
+    #[test]
+    fn join_with_aggregation() {
+        let db = setup("joinagg");
+        let df = q(
+            &db,
+            "SELECT fof_halo_tag, COUNT(*) AS n_gal, SUM(gal_mass) AS total FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag GROUP BY fof_halo_tag",
+        );
+        assert_eq!(df.n_rows(), 3);
+        assert_eq!(df.cell("n_gal", 0).unwrap(), Value::I64(2)); // halo 1
+    }
+
+    #[test]
+    fn computed_expressions() {
+        let db = setup("exprs");
+        let df = q(
+            &db,
+            "SELECT fof_halo_tag, log10(fof_halo_mass) AS lm FROM halos WHERE fof_halo_tag = 3",
+        );
+        let lm = df.cell("lm", 0).unwrap().as_f64().unwrap();
+        assert!((lm - 2e14f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn create_table_as_and_drop() {
+        let db = setup("ctas");
+        let out = execute(
+            &db,
+            &parse("CREATE TABLE big AS SELECT * FROM halos WHERE fof_halo_mass > 1e13").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.frame.n_rows(), 0);
+        let df = q(&db, "SELECT COUNT(*) AS n FROM big");
+        assert_eq!(df.cell("n", 0).unwrap(), Value::I64(4));
+        execute(&db, &parse("DROP TABLE big").unwrap()).unwrap();
+        assert!(q_err(&db, "SELECT * FROM big"));
+        // IF EXISTS swallows the error.
+        execute(&db, &parse("DROP TABLE IF EXISTS big").unwrap()).unwrap();
+    }
+
+    fn q_err(db: &Database, sql: &str) -> bool {
+        match parse(sql) {
+            Ok(Statement::Select(s)) => run_select(db, &s).is_err(),
+            _ => true,
+        }
+    }
+
+    #[test]
+    fn empty_result_keeps_schema() {
+        let db = setup("empty");
+        let df = q(&db, "SELECT fof_halo_tag FROM halos WHERE fof_halo_mass > 1e99");
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.names(), &["fof_halo_tag"]);
+        // Whole-table aggregate over empty selection: one row, count 0.
+        let df = q(&db, "SELECT COUNT(*) AS n FROM halos WHERE fof_halo_mass > 1e99");
+        assert_eq!(df.cell("n", 0).unwrap(), Value::I64(0));
+    }
+
+    #[test]
+    fn limit_without_order_early_exits() {
+        let db = setup("early");
+        let df = q(&db, "SELECT fof_halo_tag FROM halos LIMIT 3");
+        assert_eq!(df.n_rows(), 3);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = setup("having");
+        let df = q(
+            &db,
+            "SELECT sim, COUNT(*) AS n FROM halos GROUP BY sim HAVING n >= 3",
+        );
+        assert_eq!(df.n_rows(), 2); // both sims have 3 halos
+        let df = q(
+            &db,
+            "SELECT sim, COUNT(*) AS n FROM halos WHERE fof_halo_mass > 1e13 GROUP BY sim HAVING COUNT(*) >= 2",
+        );
+        assert_eq!(df.n_rows(), 2);
+        let df = q(
+            &db,
+            "SELECT sim, AVG(fof_halo_mass) AS m FROM halos GROUP BY sim HAVING m > 1e14",
+        );
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.cell("sim", 0).unwrap(), Value::I64(1));
+    }
+
+    #[test]
+    fn having_requires_aggregation_and_known_columns() {
+        let db = setup("havingerr");
+        assert!(db
+            .query("SELECT fof_halo_tag FROM halos HAVING fof_halo_tag > 1")
+            .is_err());
+        assert!(db
+            .query("SELECT sim, COUNT(*) AS n FROM halos GROUP BY sim HAVING bogus > 1")
+            .is_err());
+        // Aggregate in HAVING must match a selected aggregate.
+        assert!(db
+            .query("SELECT sim, COUNT(*) AS n FROM halos GROUP BY sim HAVING SUM(fof_halo_mass) > 1")
+            .is_err());
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let db = setup("distinct");
+        let df = q(&db, "SELECT DISTINCT sim FROM halos ORDER BY sim");
+        assert_eq!(df.n_rows(), 2);
+        // DISTINCT + LIMIT dedups before limiting.
+        let df = q(&db, "SELECT DISTINCT sim FROM halos LIMIT 5");
+        assert_eq!(df.n_rows(), 2);
+        // Multi-column DISTINCT keeps genuinely distinct pairs.
+        let df = q(&db, "SELECT DISTINCT sim, fof_halo_tag FROM halos");
+        assert_eq!(df.n_rows(), 6);
+    }
+
+    #[test]
+    fn group_by_expression_key() {
+        let db = setup("exprkey");
+        let df = q(
+            &db,
+            "SELECT floor(log10(fof_halo_mass)) AS dex, COUNT(*) AS n FROM halos GROUP BY floor(log10(fof_halo_mass)) ORDER BY dex",
+        );
+        assert!(df.n_rows() >= 3);
+        let total: i64 = (0..df.n_rows())
+            .map(|i| df.cell("n", i).unwrap().as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 6);
+    }
+}

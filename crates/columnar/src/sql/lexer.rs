@@ -1,0 +1,272 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, DbResult};
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords matched case-insensitively later).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Punctuation / operators.
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl Token {
+    /// Keyword test (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < n && chars[i + 1] == '-' => {
+                // Line comment.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' if i + 1 >= n || !chars[i + 1].is_ascii_digit() => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < n && chars[i + 1] == '=' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < n && chars[i + 1] == '>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= n {
+                        return Err(DbError::Parse("unterminated string literal".into()));
+                    }
+                    if chars[i] == '\'' {
+                        // '' escapes a quote.
+                        if i + 1 < n && chars[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '"' => {
+                // Quoted identifier.
+                let mut s = String::new();
+                i += 1;
+                while i < n && chars[i] != '"' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= n {
+                    return Err(DbError::Parse("unterminated quoted identifier".into()));
+                }
+                i += 1;
+                out.push(Token::Ident(s));
+            }
+            _ if c.is_ascii_digit() || (c == '.' && i + 1 < n && chars[i + 1].is_ascii_digit()) => {
+                let start = i;
+                let mut is_float = false;
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                // Scientific notation.
+                if i < n && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (chars[j] == '+' || chars[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && chars[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            _ => {
+                return Err(DbError::Parse(format!(
+                    "unexpected character '{c}' at byte {i}"
+                )))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 1.5e3").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Float(1500.0)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a != b <> c <= d >= e < f > g").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_) | Token::Eof))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Ne, &Token::Ne, &Token::Le, &Token::Ge, &Token::Lt, &Token::Gt]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn dotted_and_numeric() {
+        let toks = tokenize("t.col 3.14 42").unwrap();
+        assert_eq!(toks[1], Token::Dot);
+        assert_eq!(toks[3], Token::Float(3.14));
+        assert_eq!(toks[4], Token::Int(42));
+    }
+}

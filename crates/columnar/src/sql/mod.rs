@@ -1,0 +1,7 @@
+//! SQL front-end: lexer → parser → planner → executor.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;

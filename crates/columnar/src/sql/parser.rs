@@ -1,0 +1,596 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (subset sufficient for the InferA SQL agent):
+//!
+//! ```text
+//! statement  := select | create | drop
+//! create     := CREATE TABLE ident AS select
+//! drop       := DROP TABLE [IF EXISTS] ident
+//! select     := SELECT items FROM ident [join] [WHERE expr]
+//!               [GROUP BY expr_list] [ORDER BY ord_list] [LIMIT int]
+//! join       := [INNER|LEFT] JOIN ident ON colref = colref
+//! items      := * | item (, item)*
+//! item       := expr [AS ident]
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | cmp_expr
+//! cmp_expr   := add_expr ((=|!=|<|<=|>|>=) add_expr)?
+//! add_expr   := mul_expr ((+|-) mul_expr)*
+//! mul_expr   := unary ((*|/|%) unary)*
+//! unary      := - unary | primary
+//! primary    := literal | colref | func(args) | agg | ( expr )
+//! colref     := ident (. ident)?
+//! ```
+
+use super::ast::*;
+use super::lexer::{tokenize, Token};
+use crate::error::{DbError, DbResult};
+use infera_frame::AggKind;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> DbResult<Statement> {
+    let mut p = Parser {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a SELECT statement (convenience for tests and the planner).
+pub fn parse_select(sql: &str) -> DbResult<SelectStmt> {
+    match parse(sql)? {
+        Statement::Select(s) => Ok(s),
+        other => Err(DbError::Parse(format!("expected SELECT, got {other:?}"))),
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected '{kw}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> DbResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> DbResult<()> {
+        // Allow a trailing semicolon.
+        if let Token::Ident(s) = self.peek() {
+            if s == ";" {
+                self.pos += 1;
+            }
+        }
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "unexpected trailing input: {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(DbError::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> DbResult<Statement> {
+        if self.peek().is_kw("create") {
+            self.next();
+            self.expect_kw("table")?;
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let select = self.select()?;
+            Ok(Statement::CreateTableAs { name, select })
+        } else if self.peek().is_kw("drop") {
+            self.next();
+            self.expect_kw("table")?;
+            let mut if_exists = false;
+            if self.eat_kw("if") {
+                self.expect_kw("exists")?;
+                if_exists = true;
+            }
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+                if_exists,
+            })
+        } else {
+            Ok(Statement::Select(self.select()?))
+        }
+    }
+
+    fn select(&mut self) -> DbResult<SelectStmt> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let from = self.ident()?;
+
+        let mut join = None;
+        let join_kind = if self.peek().is_kw("inner") {
+            self.next();
+            Some(JoinType::Inner)
+        } else if self.peek().is_kw("left") {
+            self.next();
+            Some(JoinType::Left)
+        } else if self.peek().is_kw("join") {
+            Some(JoinType::Inner)
+        } else {
+            None
+        };
+        if let Some(kind) = join_kind {
+            self.expect_kw("join")?;
+            let table = self.ident()?;
+            self.expect_kw("on")?;
+            let (q1, c1) = self.colref()?;
+            self.expect(&Token::Eq)?;
+            let (q2, c2) = self.colref()?;
+            // Decide which side is which by qualifier; default: first is
+            // the FROM table.
+            let (left_col, right_col) = if q1.as_deref() == Some(table.as_str())
+                || q2.as_deref() == Some(from.as_str())
+            {
+                (c2, c1)
+            } else {
+                (c1, c2)
+            };
+            join = Some(JoinClause {
+                table,
+                kind,
+                left_col,
+                right_col,
+            });
+        }
+
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let (_, name) = self.colref()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((name, desc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Token::Int(v) if v >= 0 => Some(v as usize),
+                other => return Err(DbError::Parse(format!("bad LIMIT value {other:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            items,
+            distinct,
+            from,
+            join,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn colref(&mut self) -> DbResult<(Option<String>, String)> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            let second = self.ident()?;
+            Ok((Some(first), second))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    fn expr(&mut self) -> DbResult<SqlExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = SqlExpr::Binary(Box::new(lhs), SqlBinOp::Or, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = SqlExpr::Binary(Box::new(lhs), SqlBinOp::And, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> DbResult<SqlExpr> {
+        if self.eat_kw("not") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> DbResult<SqlExpr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Token::Eq => SqlBinOp::Eq,
+            Token::Ne => SqlBinOp::Ne,
+            Token::Lt => SqlBinOp::Lt,
+            Token::Le => SqlBinOp::Le,
+            Token::Gt => SqlBinOp::Gt,
+            Token::Ge => SqlBinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(SqlExpr::Binary(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => SqlBinOp::Add,
+                Token::Minus => SqlBinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = SqlExpr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => SqlBinOp::Mul,
+                Token::Slash => SqlBinOp::Div,
+                Token::Percent => SqlBinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = SqlExpr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> DbResult<SqlExpr> {
+        if self.eat(&Token::Minus) {
+            Ok(SqlExpr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> DbResult<SqlExpr> {
+        match self.next() {
+            Token::Int(v) => Ok(SqlExpr::Int(v)),
+            Token::Float(v) => Ok(SqlExpr::Float(v)),
+            Token::Str(s) => Ok(SqlExpr::Str(s)),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(SqlExpr::Bool(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(SqlExpr::Bool(false));
+                }
+                if self.peek() == &Token::LParen {
+                    self.next();
+                    // Aggregate or scalar function.
+                    if let Some(kind) = AggKind::parse(&name) {
+                        if self.eat(&Token::Star) {
+                            self.expect(&Token::RParen)?;
+                            if kind != AggKind::Count {
+                                return Err(DbError::Parse(format!(
+                                    "{name}(*) is only valid for COUNT"
+                                )));
+                            }
+                            return Ok(SqlExpr::Agg(kind, None));
+                        }
+                        let arg = self.expr()?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(SqlExpr::Agg(kind, Some(Box::new(arg))));
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    return Ok(SqlExpr::Func(name.to_ascii_lowercase(), args));
+                }
+                if self.eat(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(SqlExpr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(SqlExpr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(DbError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let s = parse_select("SELECT a, b FROM t").unwrap();
+        assert_eq!(s.from, "t");
+        assert_eq!(s.items.len(), 2);
+        assert!(s.where_clause.is_none());
+    }
+
+    #[test]
+    fn star_select() {
+        let s = parse_select("select * from halos limit 10").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Star]);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn where_precedence() {
+        let s = parse_select("SELECT a FROM t WHERE a > 1 AND b < 2 OR c = 3").unwrap();
+        // Must parse as (a>1 AND b<2) OR c=3.
+        match s.where_clause.unwrap() {
+            SqlExpr::Binary(lhs, SqlBinOp::Or, _) => {
+                assert!(matches!(*lhs, SqlExpr::Binary(_, SqlBinOp::And, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse_select("SELECT a + b * c FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                SqlExpr::Binary(_, SqlBinOp::Add, rhs) => {
+                    assert!(matches!(**rhs, SqlExpr::Binary(_, SqlBinOp::Mul, _)));
+                }
+                other => panic!("bad parse: {other:?}"),
+            },
+            _ => panic!("expected expr item"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let s = parse_select(
+            "SELECT sim, AVG(fof_halo_count) AS mean_count, COUNT(*) FROM halos GROUP BY sim",
+        )
+        .unwrap();
+        assert_eq!(s.group_by.len(), 1);
+        match &s.items[1] {
+            SelectItem::Expr {
+                expr: SqlExpr::Agg(AggKind::Mean, Some(_)),
+                alias,
+            } => assert_eq!(alias.as_deref(), Some("mean_count")),
+            other => panic!("bad parse: {other:?}"),
+        }
+        assert!(matches!(
+            &s.items[2],
+            SelectItem::Expr {
+                expr: SqlExpr::Agg(AggKind::Count, None),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn join_clause() {
+        let s = parse_select(
+            "SELECT g.gal_mass FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag",
+        )
+        .unwrap();
+        let j = s.join.unwrap();
+        assert_eq!(j.table, "galaxies");
+        assert_eq!(j.left_col, "fof_halo_tag");
+        assert_eq!(j.right_col, "fof_halo_tag");
+        assert_eq!(j.kind, JoinType::Inner);
+    }
+
+    #[test]
+    fn left_join_swapped_on() {
+        let s =
+            parse_select("SELECT a FROM t1 LEFT JOIN t2 ON t2.k = t1.j").unwrap();
+        let j = s.join.unwrap();
+        assert_eq!(j.kind, JoinType::Left);
+        assert_eq!(j.left_col, "j");
+        assert_eq!(j.right_col, "k");
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let s = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 5").unwrap();
+        assert_eq!(s.order_by, vec![("a".to_string(), true), ("b".to_string(), false)]);
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn create_and_drop() {
+        match parse("CREATE TABLE filtered AS SELECT * FROM halos WHERE fof_halo_count > 100")
+            .unwrap()
+        {
+            Statement::CreateTableAs { name, select } => {
+                assert_eq!(name, "filtered");
+                assert!(select.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse("DROP TABLE IF EXISTS tmp").unwrap() {
+            Statement::DropTable { name, if_exists } => {
+                assert_eq!(name, "tmp");
+                assert!(if_exists);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn functions_parse() {
+        let s = parse_select("SELECT log10(mass), pow(a, 2) FROM t WHERE abs(x) < 1").unwrap();
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: SqlExpr::Func(name, args),
+                ..
+            } if name == "log10" && args.len() == 1
+        ));
+    }
+
+    #[test]
+    fn errors_are_parse_errors() {
+        assert!(matches!(parse("SELECT FROM t"), Err(DbError::Parse(_))));
+        assert!(matches!(parse("SELECT a FROM"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            parse("SELECT a FROM t WHERE"),
+            Err(DbError::Parse(_))
+        ));
+        assert!(matches!(parse("SELECT sum(*) FROM t"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            parse("SELECT a FROM t garbage trailing"),
+            Err(DbError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_and_not() {
+        let s = parse_select("SELECT -a FROM t WHERE NOT (b > -2.5)").unwrap();
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr {
+                expr: SqlExpr::Neg(_),
+                ..
+            }
+        ));
+        assert!(matches!(s.where_clause.unwrap(), SqlExpr::Not(_)));
+    }
+}

@@ -1,0 +1,842 @@
+//! Logical planning: name resolution, projection pruning, predicate
+//! pushdown.
+//!
+//! The planner turns a parsed [`SelectStmt`] into a [`ResolvedSelect`]:
+//! every column reference is resolved against the catalog, only the
+//! columns a query actually touches are scanned (projection pruning), and
+//! conjunctive `column <cmp> literal` predicates are extracted as
+//! [`ZoneFilter`]s the scan uses to skip whole chunks via zone maps.
+
+use super::ast::*;
+use crate::error::{DbError, DbResult};
+use infera_frame::expr::{BinOp, UnaryFn};
+use infera_frame::{AggKind, Expr, Value};
+
+/// Which table a resolved column lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Base,
+    Join,
+}
+
+/// Scan requirements for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanSpec {
+    pub table: String,
+    /// Columns to read (pruned).
+    pub columns: Vec<String>,
+}
+
+/// Resolved join description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    pub scan: ScanSpec,
+    pub kind: JoinType,
+    pub left_col: String,
+    pub right_col: String,
+}
+
+/// One aggregate output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    pub alias: String,
+    pub kind: AggKind,
+    /// `None` = COUNT(*).
+    pub arg: Option<Expr>,
+}
+
+/// Comparison operator of a zone filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+}
+
+/// A pushed-down `column <cmp> literal` conjunct usable for chunk
+/// skipping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneFilter {
+    pub column: String,
+    pub op: CmpOp,
+    pub value: f64,
+}
+
+impl ZoneFilter {
+    /// Can a chunk with the given zone map possibly contain a satisfying
+    /// row? `None` zone (strings / all-NaN) always "may match".
+    pub fn may_match(&self, zone: Option<crate::storage::ZoneMap>) -> bool {
+        let Some(z) = zone else { return true };
+        match self.op {
+            CmpOp::Lt => z.min < self.value,
+            CmpOp::Le => z.min <= self.value,
+            CmpOp::Gt => z.max > self.value,
+            CmpOp::Ge => z.max >= self.value,
+            CmpOp::Eq => z.min <= self.value && self.value <= z.max,
+        }
+    }
+}
+
+/// Output shape of the query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryShape {
+    /// Row-wise projection: `(output name, expression)` pairs.
+    Projection { items: Vec<(String, Expr)> },
+    /// Grouped (or whole-table) aggregation.
+    Aggregate {
+        /// Group-key outputs `(output name, expression)`; empty for
+        /// whole-table aggregates.
+        keys: Vec<(String, Expr)>,
+        aggs: Vec<AggItem>,
+    },
+}
+
+/// A fully resolved SELECT ready for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedSelect {
+    pub base: ScanSpec,
+    pub join: Option<JoinSpec>,
+    /// Residual predicate, evaluated on (joined) rows.
+    pub predicate: Option<Expr>,
+    /// Chunk-skip conjuncts on base-table columns (no-join queries only).
+    pub zone_filters: Vec<ZoneFilter>,
+    pub shape: QueryShape,
+    /// Deduplicate output rows (`SELECT DISTINCT`).
+    pub distinct: bool,
+    /// Post-aggregation predicate over output columns (`HAVING`).
+    pub having: Option<Expr>,
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// Catalog access the planner needs.
+pub trait Catalog {
+    /// Column names of a table, or an unknown-table error.
+    fn columns_of(&self, table: &str) -> DbResult<Vec<String>>;
+}
+
+struct Resolver<'a> {
+    base_table: &'a str,
+    base_cols: &'a [String],
+    join_table: Option<&'a str>,
+    join_cols: &'a [String],
+    /// Columns actually referenced, per side.
+    used_base: Vec<String>,
+    used_join: Vec<String>,
+}
+
+impl<'a> Resolver<'a> {
+    fn mark(&mut self, side: Side, name: &str) {
+        let list = match side {
+            Side::Base => &mut self.used_base,
+            Side::Join => &mut self.used_join,
+        };
+        if !list.iter().any(|c| c == name) {
+            list.push(name.to_string());
+        }
+    }
+
+    /// Resolve a (qualifier, name) pair to the *output* column name after
+    /// the (optional) join, marking the scan requirement.
+    fn resolve_column(&mut self, qualifier: Option<&str>, name: &str) -> DbResult<String> {
+        let in_base = self.base_cols.iter().any(|c| c == name);
+        let in_join = self.join_cols.iter().any(|c| c == name);
+        let side = match qualifier {
+            Some(q) if q == self.base_table => {
+                if !in_base {
+                    return Err(self.unknown(name));
+                }
+                Side::Base
+            }
+            Some(q) if Some(q) == self.join_table => {
+                if !in_join {
+                    return Err(self.unknown(name));
+                }
+                Side::Join
+            }
+            Some(q) => {
+                return Err(DbError::Plan(format!(
+                    "unknown table qualifier '{q}' (tables in scope: {}{})",
+                    self.base_table,
+                    self.join_table
+                        .map(|t| format!(", {t}"))
+                        .unwrap_or_default()
+                )))
+            }
+            None => {
+                if in_base {
+                    Side::Base
+                } else if in_join {
+                    Side::Join
+                } else {
+                    return Err(self.unknown(name));
+                }
+            }
+        };
+        self.mark(side, name);
+        // Output name after frame join: right-side columns that collide
+        // with left names get the `_right` suffix; the right join key is
+        // dropped, so qualified references to it map to the left key.
+        match side {
+            Side::Base => Ok(name.to_string()),
+            Side::Join => {
+                if self.base_cols.iter().any(|c| c == name) {
+                    Ok(format!("{name}_right"))
+                } else {
+                    Ok(name.to_string())
+                }
+            }
+        }
+    }
+
+    fn unknown(&self, name: &str) -> DbError {
+        let all = self.base_cols.iter().chain(self.join_cols.iter());
+        DbError::UnknownColumn {
+            name: name.to_string(),
+            suggestion: infera_frame::error::suggest(name, all.map(String::as_str)),
+        }
+    }
+
+    /// Convert a (non-aggregate) SQL expression to a frame expression.
+    fn to_expr(&mut self, e: &SqlExpr) -> DbResult<Expr> {
+        Ok(match e {
+            SqlExpr::Column { qualifier, name } => {
+                Expr::Col(self.resolve_column(qualifier.as_deref(), name)?)
+            }
+            SqlExpr::Int(v) => Expr::Lit(Value::I64(*v)),
+            SqlExpr::Float(v) => Expr::Lit(Value::F64(*v)),
+            SqlExpr::Str(s) => Expr::Lit(Value::Str(s.clone())),
+            SqlExpr::Bool(b) => Expr::Lit(Value::Bool(*b)),
+            SqlExpr::Binary(a, op, b) => {
+                let fa = self.to_expr(a)?;
+                let fb = self.to_expr(b)?;
+                let fop = match op {
+                    SqlBinOp::Add => BinOp::Add,
+                    SqlBinOp::Sub => BinOp::Sub,
+                    SqlBinOp::Mul => BinOp::Mul,
+                    SqlBinOp::Div => BinOp::Div,
+                    SqlBinOp::Mod => BinOp::Mod,
+                    SqlBinOp::Eq => BinOp::Eq,
+                    SqlBinOp::Ne => BinOp::Ne,
+                    SqlBinOp::Lt => BinOp::Lt,
+                    SqlBinOp::Le => BinOp::Le,
+                    SqlBinOp::Gt => BinOp::Gt,
+                    SqlBinOp::Ge => BinOp::Ge,
+                    SqlBinOp::And => BinOp::And,
+                    SqlBinOp::Or => BinOp::Or,
+                };
+                Expr::bin(fa, fop, fb)
+            }
+            SqlExpr::Neg(a) => Expr::Unary(UnaryFn::Neg, Box::new(self.to_expr(a)?)),
+            SqlExpr::Not(a) => Expr::Unary(UnaryFn::Not, Box::new(self.to_expr(a)?)),
+            SqlExpr::Func(name, args) => {
+                let unary = |f: UnaryFn, r: &mut Self, args: &[SqlExpr]| -> DbResult<Expr> {
+                    if args.len() != 1 {
+                        return Err(DbError::Plan(format!("{name} takes 1 argument")));
+                    }
+                    Ok(Expr::Unary(f, Box::new(r.to_expr(&args[0])?)))
+                };
+                match name.as_str() {
+                    "abs" => unary(UnaryFn::Abs, self, args)?,
+                    "sqrt" => unary(UnaryFn::Sqrt, self, args)?,
+                    "ln" | "log" => unary(UnaryFn::Log, self, args)?,
+                    "log10" => unary(UnaryFn::Log10, self, args)?,
+                    "exp" => unary(UnaryFn::Exp, self, args)?,
+                    "floor" => unary(UnaryFn::Floor, self, args)?,
+                    "ceil" => unary(UnaryFn::Ceil, self, args)?,
+                    "pow" | "power" => {
+                        if args.len() != 2 {
+                            return Err(DbError::Plan("pow takes 2 arguments".into()));
+                        }
+                        Expr::bin(self.to_expr(&args[0])?, BinOp::Pow, self.to_expr(&args[1])?)
+                    }
+                    "least" => {
+                        if args.len() != 2 {
+                            return Err(DbError::Plan("least takes 2 arguments".into()));
+                        }
+                        Expr::Min2(
+                            Box::new(self.to_expr(&args[0])?),
+                            Box::new(self.to_expr(&args[1])?),
+                        )
+                    }
+                    "greatest" => {
+                        if args.len() != 2 {
+                            return Err(DbError::Plan("greatest takes 2 arguments".into()));
+                        }
+                        Expr::Max2(
+                            Box::new(self.to_expr(&args[0])?),
+                            Box::new(self.to_expr(&args[1])?),
+                        )
+                    }
+                    other => {
+                        return Err(DbError::Plan(format!("unknown function '{other}'")))
+                    }
+                }
+            }
+            SqlExpr::Agg(..) => {
+                return Err(DbError::Plan(
+                    "aggregate in a row-wise context (nested aggregates are not supported)"
+                        .into(),
+                ))
+            }
+        })
+    }
+}
+
+/// Default output name for an expression without an alias.
+fn default_name(e: &SqlExpr, idx: usize) -> String {
+    match e {
+        SqlExpr::Column { name, .. } => name.clone(),
+        SqlExpr::Agg(kind, None) => format!("{}_star", kind.name()),
+        SqlExpr::Agg(kind, Some(arg)) => match arg.as_ref() {
+            SqlExpr::Column { name, .. } => format!("{}_{name}", kind.name()),
+            _ => format!("{}_{idx}", kind.name()),
+        },
+        _ => format!("expr_{idx}"),
+    }
+}
+
+/// Extract zone filters from the conjunctive normal-ish top of a WHERE
+/// predicate: walks AND chains and keeps `col <cmp> numeric-literal`
+/// leaves referring to base-table columns.
+fn extract_zone_filters(e: &SqlExpr, base_cols: &[String], out: &mut Vec<ZoneFilter>) {
+    match e {
+        SqlExpr::Binary(a, SqlBinOp::And, b) => {
+            extract_zone_filters(a, base_cols, out);
+            extract_zone_filters(b, base_cols, out);
+        }
+        SqlExpr::Binary(a, op, b) => {
+            let cmp = match op {
+                SqlBinOp::Lt => Some(CmpOp::Lt),
+                SqlBinOp::Le => Some(CmpOp::Le),
+                SqlBinOp::Gt => Some(CmpOp::Gt),
+                SqlBinOp::Ge => Some(CmpOp::Ge),
+                SqlBinOp::Eq => Some(CmpOp::Eq),
+                _ => None,
+            };
+            let Some(cmp) = cmp else { return };
+            let lit = |e: &SqlExpr| -> Option<f64> {
+                match e {
+                    SqlExpr::Int(v) => Some(*v as f64),
+                    SqlExpr::Float(v) => Some(*v),
+                    SqlExpr::Neg(inner) => match inner.as_ref() {
+                        SqlExpr::Int(v) => Some(-(*v as f64)),
+                        SqlExpr::Float(v) => Some(-v),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            };
+            let col = |e: &SqlExpr| -> Option<String> {
+                match e {
+                    SqlExpr::Column { qualifier: None, name }
+                        if base_cols.iter().any(|c| c == name) =>
+                    {
+                        Some(name.clone())
+                    }
+                    _ => None,
+                }
+            };
+            if let (Some(c), Some(v)) = (col(a), lit(b)) {
+                out.push(ZoneFilter {
+                    column: c,
+                    op: cmp,
+                    value: v,
+                });
+            } else if let (Some(v), Some(c)) = (lit(a), col(b)) {
+                // Flip: literal <cmp> column.
+                let flipped = match cmp {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    CmpOp::Eq => CmpOp::Eq,
+                };
+                out.push(ZoneFilter {
+                    column: c,
+                    op: flipped,
+                    value: v,
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Resolve a SELECT statement against the catalog.
+pub fn resolve(stmt: &SelectStmt, catalog: &dyn Catalog) -> DbResult<ResolvedSelect> {
+    let base_cols = catalog.columns_of(&stmt.from)?;
+    let (join_table, join_cols) = match &stmt.join {
+        Some(j) => (Some(j.table.clone()), catalog.columns_of(&j.table)?),
+        None => (None, Vec::new()),
+    };
+    let mut r = Resolver {
+        base_table: &stmt.from,
+        base_cols: &base_cols,
+        join_table: join_table.as_deref(),
+        join_cols: &join_cols,
+        used_base: Vec::new(),
+        used_join: Vec::new(),
+    };
+
+    // Join keys must exist and are always scanned.
+    if let Some(j) = &stmt.join {
+        if !base_cols.iter().any(|c| c == &j.left_col) {
+            return Err(r.unknown(&j.left_col));
+        }
+        if !join_cols.iter().any(|c| c == &j.right_col) {
+            return Err(r.unknown(&j.right_col));
+        }
+        r.mark(Side::Base, &j.left_col);
+        r.mark(Side::Join, &j.right_col);
+    }
+
+    // Expand star and classify items.
+    let mut expanded: Vec<(SqlExpr, Option<String>)> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Star => {
+                for c in &base_cols {
+                    expanded.push((
+                        SqlExpr::Column {
+                            qualifier: None,
+                            name: c.clone(),
+                        },
+                        None,
+                    ));
+                }
+                for c in &join_cols {
+                    if stmt.join.as_ref().is_some_and(|j| &j.right_col == c) {
+                        continue; // dropped by the join
+                    }
+                    expanded.push((
+                        SqlExpr::Column {
+                            qualifier: join_table.clone(),
+                            name: c.clone(),
+                        },
+                        None,
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => expanded.push((expr.clone(), alias.clone())),
+        }
+    }
+    if expanded.is_empty() {
+        return Err(DbError::Plan("empty select list".into()));
+    }
+
+    let any_agg = expanded.iter().any(|(e, _)| e.has_aggregate());
+    let grouped = !stmt.group_by.is_empty();
+
+    let shape = if any_agg || grouped {
+        // Group keys.
+        let mut keys: Vec<(String, Expr)> = Vec::new();
+        for (i, g) in stmt.group_by.iter().enumerate() {
+            if g.has_aggregate() {
+                return Err(DbError::Plan("aggregate in GROUP BY".into()));
+            }
+            let name = default_name(g, i);
+            let fe = r.to_expr(g)?;
+            keys.push((name, fe));
+        }
+        let mut aggs = Vec::new();
+        let mut out_keys: Vec<(String, Expr)> = Vec::new();
+        for (i, (e, alias)) in expanded.iter().enumerate() {
+            match e {
+                SqlExpr::Agg(kind, arg) => {
+                    let fa = match arg {
+                        Some(a) => {
+                            if a.has_aggregate() {
+                                return Err(DbError::Plan("nested aggregate".into()));
+                            }
+                            Some(r.to_expr(a)?)
+                        }
+                        None => None,
+                    };
+                    aggs.push(AggItem {
+                        alias: alias.clone().unwrap_or_else(|| default_name(e, i)),
+                        kind: *kind,
+                        arg: fa,
+                    });
+                }
+                non_agg if !non_agg.has_aggregate() => {
+                    // Must match a group-by expression.
+                    let fe = r.to_expr(non_agg)?;
+                    let matched = keys.iter().find(|(_, k)| *k == fe);
+                    match matched {
+                        Some(_) => out_keys
+                            .push((alias.clone().unwrap_or_else(|| default_name(e, i)), fe)),
+                        None => {
+                            return Err(DbError::Plan(format!(
+                                "column expression '{}' is neither aggregated nor in GROUP BY",
+                                default_name(e, i)
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    return Err(DbError::Plan(
+                        "expressions mixing aggregates with row values are not supported"
+                            .into(),
+                    ))
+                }
+            }
+        }
+        // If the select list omits group keys, still group by them but
+        // only output the selected ones. If it has no explicit key items
+        // and there ARE group keys, emit all keys first (SQL-ish
+        // convenience used by generated queries).
+        let keys_for_output = if out_keys.is_empty() { keys.clone() } else { out_keys };
+        QueryShape::Aggregate {
+            keys: if grouped { keys_for_output } else { Vec::new() },
+            aggs,
+        }
+    } else {
+        let mut items = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, (e, alias)) in expanded.iter().enumerate() {
+            let mut name = alias.clone().unwrap_or_else(|| default_name(e, i));
+            // Star expansion over a self-named collision (join): frame
+            // output names are already unique; deduplicate defensively.
+            while !seen.insert(name.clone()) {
+                name.push('_');
+            }
+            items.push((name, r.to_expr(e)?));
+        }
+        QueryShape::Projection { items }
+    };
+
+    let predicate = match &stmt.where_clause {
+        Some(w) => {
+            if w.has_aggregate() {
+                return Err(DbError::Plan("aggregate in WHERE".into()));
+            }
+            Some(r.to_expr(w)?)
+        }
+        None => None,
+    };
+
+    let mut zone_filters = Vec::new();
+    if stmt.join.is_none() {
+        if let Some(w) = &stmt.where_clause {
+            extract_zone_filters(w, &base_cols, &mut zone_filters);
+        }
+    }
+
+    // HAVING resolves against the *output* columns: group keys, agg
+    // aliases, or an aggregate call matching a selected aggregate.
+    let having = match (&stmt.having, &shape) {
+        (None, _) => None,
+        (Some(_), QueryShape::Projection { .. }) => {
+            return Err(DbError::Plan("HAVING requires GROUP BY / aggregates".into()))
+        }
+        (Some(h), QueryShape::Aggregate { keys, aggs }) => {
+            Some(resolve_having(h, keys, aggs, &mut r)?)
+        }
+    };
+
+    // ORDER BY names must exist in the output.
+    let out_names: Vec<String> = match &shape {
+        QueryShape::Projection { items } => items.iter().map(|(n, _)| n.clone()).collect(),
+        QueryShape::Aggregate { keys, aggs } => keys
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(aggs.iter().map(|a| a.alias.clone()))
+            .collect(),
+    };
+    for (name, _) in &stmt.order_by {
+        if !out_names.iter().any(|n| n == name) {
+            return Err(DbError::Plan(format!(
+                "ORDER BY column '{name}' is not in the select output ({})",
+                out_names.join(", ")
+            )));
+        }
+    }
+
+    // A query that references no base columns (e.g. `SELECT COUNT(*)`)
+    // still needs one column scanned to know row counts.
+    if r.used_base.is_empty() {
+        r.used_base.push(base_cols[0].clone());
+    }
+
+    let join = stmt.join.as_ref().map(|j| JoinSpec {
+        scan: ScanSpec {
+            table: j.table.clone(),
+            columns: r.used_join.clone(),
+        },
+        kind: j.kind,
+        left_col: j.left_col.clone(),
+        right_col: j.right_col.clone(),
+    });
+
+    Ok(ResolvedSelect {
+        base: ScanSpec {
+            table: stmt.from.clone(),
+            columns: r.used_base.clone(),
+        },
+        join,
+        predicate,
+        zone_filters,
+        shape,
+        distinct: stmt.distinct,
+        having,
+        order_by: stmt.order_by.clone(),
+        limit: stmt.limit,
+    })
+}
+
+/// Resolve a HAVING expression to a frame expression over the aggregate
+/// output schema.
+fn resolve_having(
+    e: &SqlExpr,
+    keys: &[(String, Expr)],
+    aggs: &[AggItem],
+    r: &mut Resolver<'_>,
+) -> DbResult<Expr> {
+    Ok(match e {
+        SqlExpr::Agg(kind, arg) => {
+            // Match against a selected aggregate by (kind, resolved arg).
+            let resolved_arg = match arg {
+                Some(a) => Some(r.to_expr(a)?),
+                None => None,
+            };
+            let hit = aggs
+                .iter()
+                .find(|item| item.kind == *kind && item.arg == resolved_arg)
+                .ok_or_else(|| {
+                    DbError::Plan(format!(
+                        "HAVING references {}(...) which is not in the select list",
+                        kind.name()
+                    ))
+                })?;
+            Expr::Col(hit.alias.clone())
+        }
+        SqlExpr::Column { qualifier: _, name } => {
+            let known = keys.iter().any(|(n, _)| n == name)
+                || aggs.iter().any(|a| &a.alias == name);
+            if !known {
+                return Err(DbError::UnknownColumn {
+                    name: name.clone(),
+                    suggestion: infera_frame::error::suggest(
+                        name,
+                        keys.iter()
+                            .map(|(n, _)| n.as_str())
+                            .chain(aggs.iter().map(|a| a.alias.as_str())),
+                    ),
+                });
+            }
+            Expr::Col(name.clone())
+        }
+        SqlExpr::Int(v) => Expr::Lit(Value::I64(*v)),
+        SqlExpr::Float(v) => Expr::Lit(Value::F64(*v)),
+        SqlExpr::Str(sv) => Expr::Lit(Value::Str(sv.clone())),
+        SqlExpr::Bool(b) => Expr::Lit(Value::Bool(*b)),
+        SqlExpr::Neg(a) => Expr::Unary(
+            UnaryFn::Neg,
+            Box::new(resolve_having(a, keys, aggs, r)?),
+        ),
+        SqlExpr::Not(a) => Expr::Unary(
+            UnaryFn::Not,
+            Box::new(resolve_having(a, keys, aggs, r)?),
+        ),
+        SqlExpr::Binary(a, op, b) => {
+            let fa = resolve_having(a, keys, aggs, r)?;
+            let fb = resolve_having(b, keys, aggs, r)?;
+            let fop = match op {
+                SqlBinOp::Add => BinOp::Add,
+                SqlBinOp::Sub => BinOp::Sub,
+                SqlBinOp::Mul => BinOp::Mul,
+                SqlBinOp::Div => BinOp::Div,
+                SqlBinOp::Mod => BinOp::Mod,
+                SqlBinOp::Eq => BinOp::Eq,
+                SqlBinOp::Ne => BinOp::Ne,
+                SqlBinOp::Lt => BinOp::Lt,
+                SqlBinOp::Le => BinOp::Le,
+                SqlBinOp::Gt => BinOp::Gt,
+                SqlBinOp::Ge => BinOp::Ge,
+                SqlBinOp::And => BinOp::And,
+                SqlBinOp::Or => BinOp::Or,
+            };
+            Expr::bin(fa, fop, fb)
+        }
+        SqlExpr::Func(..) => {
+            return Err(DbError::Plan(
+                "scalar functions are not supported in HAVING".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse_select;
+
+    struct FakeCatalog;
+    impl Catalog for FakeCatalog {
+        fn columns_of(&self, table: &str) -> DbResult<Vec<String>> {
+            match table {
+                "halos" => Ok(vec![
+                    "fof_halo_tag".into(),
+                    "fof_halo_mass".into(),
+                    "fof_halo_count".into(),
+                    "sim".into(),
+                ]),
+                "galaxies" => Ok(vec![
+                    "gal_tag".into(),
+                    "fof_halo_tag".into(),
+                    "gal_mass".into(),
+                ]),
+                other => Err(DbError::UnknownTable {
+                    name: other.into(),
+                    suggestion: None,
+                }),
+            }
+        }
+    }
+
+    fn plan(sql: &str) -> ResolvedSelect {
+        resolve(&parse_select(sql).unwrap(), &FakeCatalog).unwrap()
+    }
+
+    #[test]
+    fn projection_pruning() {
+        let p = plan("SELECT fof_halo_mass FROM halos WHERE fof_halo_count > 10");
+        assert_eq!(p.base.columns, vec!["fof_halo_mass", "fof_halo_count"]);
+    }
+
+    #[test]
+    fn zone_filter_extraction() {
+        let p = plan(
+            "SELECT fof_halo_tag FROM halos WHERE fof_halo_count > 10 AND fof_halo_mass <= 1e14 AND sim = 2",
+        );
+        assert_eq!(p.zone_filters.len(), 3);
+        assert_eq!(p.zone_filters[0].op, CmpOp::Gt);
+        assert_eq!(p.zone_filters[1].op, CmpOp::Le);
+        assert_eq!(p.zone_filters[2].op, CmpOp::Eq);
+        // OR disables extraction of its branches.
+        let p = plan("SELECT fof_halo_tag FROM halos WHERE fof_halo_count > 10 OR sim = 2");
+        assert!(p.zone_filters.is_empty());
+    }
+
+    #[test]
+    fn flipped_literal_comparison() {
+        let p = plan("SELECT fof_halo_tag FROM halos WHERE 10 < fof_halo_count");
+        assert_eq!(p.zone_filters[0].op, CmpOp::Gt);
+        assert_eq!(p.zone_filters[0].value, 10.0);
+    }
+
+    #[test]
+    fn aggregate_shape() {
+        let p = plan("SELECT sim, AVG(fof_halo_count) AS m FROM halos GROUP BY sim");
+        match &p.shape {
+            QueryShape::Aggregate { keys, aggs } => {
+                assert_eq!(keys.len(), 1);
+                assert_eq!(aggs[0].alias, "m");
+                assert_eq!(aggs[0].kind, AggKind::Mean);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_table_aggregate() {
+        let p = plan("SELECT COUNT(*), MAX(fof_halo_mass) FROM halos");
+        match &p.shape {
+            QueryShape::Aggregate { keys, aggs } => {
+                assert!(keys.is_empty());
+                assert_eq!(aggs.len(), 2);
+                assert!(aggs[0].arg.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let err = resolve(
+            &parse_select("SELECT sim, AVG(fof_halo_mass) FROM halos").unwrap(),
+            &FakeCatalog,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Plan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn join_resolution_and_suffix() {
+        let p = plan(
+            "SELECT gal_mass, galaxies.fof_halo_tag FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag",
+        );
+        let j = p.join.unwrap();
+        assert_eq!(j.scan.table, "galaxies");
+        assert!(j.scan.columns.contains(&"fof_halo_tag".to_string()));
+        // The right key column is dropped by the join, so a qualified
+        // reference maps to the suffixed name.
+        match &p.shape {
+            QueryShape::Projection { items } => {
+                assert_eq!(items[0].0, "gal_mass");
+                assert!(matches!(&items[1].1, Expr::Col(c) if c == "fof_halo_tag_right"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_expansion_with_join_drops_right_key() {
+        let p = plan("SELECT * FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag");
+        match &p.shape {
+            QueryShape::Projection { items } => {
+                // 4 base + 2 join (gal_tag, gal_mass; right key dropped).
+                assert_eq!(items.len(), 6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_column_suggestion() {
+        let err = resolve(
+            &parse_select("SELECT fof_halo_mas FROM halos").unwrap(),
+            &FakeCatalog,
+        )
+        .unwrap_err();
+        match err {
+            DbError::UnknownColumn { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("fof_halo_mass"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_must_reference_output() {
+        let err = resolve(
+            &parse_select("SELECT fof_halo_tag FROM halos ORDER BY fof_halo_mass").unwrap(),
+            &FakeCatalog,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Plan(_)));
+        // Aliased output is fine.
+        let p = plan("SELECT fof_halo_mass AS m FROM halos ORDER BY m DESC");
+        assert_eq!(p.order_by, vec![("m".to_string(), true)]);
+    }
+
+    #[test]
+    fn functions_resolve() {
+        let p = plan("SELECT log10(fof_halo_mass) AS lm FROM halos");
+        match &p.shape {
+            QueryShape::Projection { items } => {
+                assert!(matches!(items[0].1, Expr::Unary(UnaryFn::Log10, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = resolve(
+            &parse_select("SELECT nosuchfn(fof_halo_mass) FROM halos").unwrap(),
+            &FakeCatalog,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Plan(_)));
+    }
+}

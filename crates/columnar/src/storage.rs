@@ -1,0 +1,473 @@
+//! On-disk table storage.
+//!
+//! Layout per table (under `<db root>/<table name>/`):
+//!
+//! ```text
+//! meta.json          # schema + chunk index + zone maps
+//! col_<idx>.bin      # one file per column; chunks appended sequentially
+//! ```
+//!
+//! Data is chunked by row ranges (default 65 536 rows). Each numeric
+//! column chunk carries a min/max **zone map** used by the scan operator
+//! to skip chunks that cannot satisfy a pushed-down predicate — the same
+//! trick DuckDB and Parquet use. Strings are length-prefixed; booleans one
+//! byte each.
+//!
+//! The database never holds more than the requested columns of one chunk
+//! in memory per scan thread: that is the property that lets InferA sift
+//! multi-terabyte ensembles on a laptop-sized memory budget.
+
+use crate::error::{DbError, DbResult};
+use infera_frame::{Column, DType, DataFrame};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Default rows per chunk.
+pub const DEFAULT_CHUNK_ROWS: usize = 65_536;
+
+/// Min/max statistics for one column chunk (numeric columns only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneMap {
+    pub min: f64,
+    pub max: f64,
+}
+
+impl ZoneMap {
+    fn of(values: &[f64]) -> Option<ZoneMap> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut any = false;
+        for &v in values {
+            if v.is_nan() {
+                continue;
+            }
+            any = true;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        any.then_some(ZoneMap { min, max })
+    }
+}
+
+/// Location of one column chunk within its column file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkLocation {
+    pub offset: u64,
+    pub byte_len: u64,
+    /// Zone map (numeric columns with at least one non-NaN value).
+    pub zone: Option<ZoneMap>,
+}
+
+/// Serializable dtype tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    F64,
+    I64,
+    Str,
+    Bool,
+}
+
+impl From<DType> for ColType {
+    fn from(d: DType) -> Self {
+        match d {
+            DType::F64 => ColType::F64,
+            DType::I64 => ColType::I64,
+            DType::Str => ColType::Str,
+            DType::Bool => ColType::Bool,
+        }
+    }
+}
+
+impl From<ColType> for DType {
+    fn from(c: ColType) -> Self {
+        match c {
+            ColType::F64 => DType::F64,
+            ColType::I64 => DType::I64,
+            ColType::Str => DType::Str,
+            ColType::Bool => DType::Bool,
+        }
+    }
+}
+
+/// Table metadata persisted as `meta.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableMeta {
+    pub name: String,
+    pub columns: Vec<(String, ColType)>,
+    /// Row count per chunk, in order.
+    pub chunk_rows: Vec<u64>,
+    /// `chunks[column][chunk]` locations.
+    pub chunks: Vec<Vec<ChunkLocation>>,
+}
+
+impl TableMeta {
+    pub fn n_rows(&self) -> u64 {
+        self.chunk_rows.iter().sum()
+    }
+
+    pub fn n_chunks(&self) -> usize {
+        self.chunk_rows.len()
+    }
+
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    pub fn column_index(&self, name: &str) -> DbResult<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| DbError::UnknownColumn {
+                name: name.to_string(),
+                suggestion: infera_frame::error::suggest(
+                    name,
+                    self.columns.iter().map(|(n, _)| n.as_str()),
+                ),
+            })
+    }
+}
+
+fn encode_column(col: &Column) -> Vec<u8> {
+    match col {
+        Column::F64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        Column::I64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        Column::Bool(v) => v.iter().map(|&b| u8::from(b)).collect(),
+        Column::Str(v) => {
+            let mut out = Vec::new();
+            for s in v {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            out
+        }
+    }
+}
+
+fn decode_column(dtype: ColType, n_rows: usize, bytes: &[u8]) -> DbResult<Column> {
+    match dtype {
+        ColType::F64 => {
+            if bytes.len() != n_rows * 8 {
+                return Err(DbError::Corrupt("f64 chunk size mismatch".into()));
+            }
+            Ok(Column::F64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ))
+        }
+        ColType::I64 => {
+            if bytes.len() != n_rows * 8 {
+                return Err(DbError::Corrupt("i64 chunk size mismatch".into()));
+            }
+            Ok(Column::I64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ))
+        }
+        ColType::Bool => {
+            if bytes.len() != n_rows {
+                return Err(DbError::Corrupt("bool chunk size mismatch".into()));
+            }
+            Ok(Column::Bool(bytes.iter().map(|&b| b != 0).collect()))
+        }
+        ColType::Str => {
+            let mut out = Vec::with_capacity(n_rows);
+            let mut pos = 0usize;
+            for _ in 0..n_rows {
+                if pos + 4 > bytes.len() {
+                    return Err(DbError::Corrupt("str chunk truncated".into()));
+                }
+                let len =
+                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                pos += 4;
+                if pos + len > bytes.len() {
+                    return Err(DbError::Corrupt("str chunk truncated".into()));
+                }
+                let s = std::str::from_utf8(&bytes[pos..pos + len])
+                    .map_err(|_| DbError::Corrupt("non-utf8 string".into()))?;
+                out.push(s.to_string());
+                pos += len;
+            }
+            Ok(Column::Str(out))
+        }
+    }
+}
+
+/// A stored table: schema + chunked column files under `dir`.
+#[derive(Debug)]
+pub struct TableStore {
+    pub dir: PathBuf,
+    pub meta: TableMeta,
+}
+
+impl TableStore {
+    fn meta_path(dir: &Path) -> PathBuf {
+        dir.join("meta.json")
+    }
+
+    fn col_path(dir: &Path, idx: usize) -> PathBuf {
+        dir.join(format!("col_{idx}.bin"))
+    }
+
+    /// Create a fresh table directory with the given schema.
+    pub fn create(dir: &Path, name: &str, schema: &[(String, DType)]) -> DbResult<TableStore> {
+        if schema.is_empty() {
+            return Err(DbError::Plan("table must have at least one column".into()));
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| DbError::Io(format!("mkdir {}: {e}", dir.display())))?;
+        let meta = TableMeta {
+            name: name.to_string(),
+            columns: schema
+                .iter()
+                .map(|(n, d)| (n.clone(), ColType::from(*d)))
+                .collect(),
+            chunk_rows: Vec::new(),
+            chunks: vec![Vec::new(); schema.len()],
+        };
+        let store = TableStore {
+            dir: dir.to_path_buf(),
+            meta,
+        };
+        for i in 0..schema.len() {
+            File::create(Self::col_path(dir, i)).map_err(|e| DbError::Io(e.to_string()))?;
+        }
+        store.flush_meta()?;
+        Ok(store)
+    }
+
+    /// Open an existing table directory.
+    pub fn open(dir: &Path) -> DbResult<TableStore> {
+        let text = std::fs::read_to_string(Self::meta_path(dir))
+            .map_err(|e| DbError::Io(format!("read {}: {e}", dir.display())))?;
+        let meta: TableMeta =
+            serde_json::from_str(&text).map_err(|e| DbError::Corrupt(e.to_string()))?;
+        Ok(TableStore {
+            dir: dir.to_path_buf(),
+            meta,
+        })
+    }
+
+    fn flush_meta(&self) -> DbResult<()> {
+        let text = serde_json::to_string(&self.meta).expect("meta serialize");
+        std::fs::write(Self::meta_path(&self.dir), text)
+            .map_err(|e| DbError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Append a batch of rows. The frame's schema (names and dtypes, in
+    /// order) must match the table's. Large batches are split into chunks
+    /// of `chunk_rows`.
+    pub fn append(&mut self, batch: &DataFrame, chunk_rows: usize) -> DbResult<()> {
+        let expected: Vec<(String, DType)> = self
+            .meta
+            .columns
+            .iter()
+            .map(|(n, t)| (n.clone(), DType::from(*t)))
+            .collect();
+        let got = batch.schema();
+        if got != expected {
+            return Err(DbError::Plan(format!(
+                "append schema mismatch: table {expected:?} vs batch {got:?}"
+            )));
+        }
+        let chunk_rows = chunk_rows.max(1);
+        let mut start = 0usize;
+        while start < batch.n_rows() {
+            let end = (start + chunk_rows).min(batch.n_rows());
+            self.append_chunk(&batch.slice(start, end))?;
+            start = end;
+        }
+        self.flush_meta()
+    }
+
+    fn append_chunk(&mut self, chunk: &DataFrame) -> DbResult<()> {
+        let n = chunk.n_rows();
+        for (idx, (_, col)) in chunk.iter_columns().enumerate() {
+            let bytes = encode_column(col);
+            let path = Self::col_path(&self.dir, idx);
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(|e| DbError::Io(format!("open {}: {e}", path.display())))?;
+            let offset = f
+                .seek(SeekFrom::End(0))
+                .map_err(|e| DbError::Io(e.to_string()))?;
+            f.write_all(&bytes).map_err(|e| DbError::Io(e.to_string()))?;
+            let zone = col
+                .to_f64_vec()
+                .ok()
+                .and_then(|v| ZoneMap::of(&v));
+            self.meta.chunks[idx].push(ChunkLocation {
+                offset,
+                byte_len: bytes.len() as u64,
+                zone,
+            });
+        }
+        self.meta.chunk_rows.push(n as u64);
+        Ok(())
+    }
+
+    /// Read the named columns of chunk `chunk_idx` into a frame.
+    pub fn read_chunk(&self, chunk_idx: usize, columns: &[&str]) -> DbResult<DataFrame> {
+        if chunk_idx >= self.meta.n_chunks() {
+            return Err(DbError::Exec(format!("chunk {chunk_idx} out of range")));
+        }
+        let n_rows = self.meta.chunk_rows[chunk_idx] as usize;
+        let mut df = DataFrame::new();
+        for name in columns {
+            let ci = self.meta.column_index(name)?;
+            let loc = &self.meta.chunks[ci][chunk_idx];
+            let path = Self::col_path(&self.dir, ci);
+            let mut f = File::open(&path)
+                .map_err(|e| DbError::Io(format!("open {}: {e}", path.display())))?;
+            f.seek(SeekFrom::Start(loc.offset))
+                .map_err(|e| DbError::Io(e.to_string()))?;
+            let mut bytes = vec![0u8; loc.byte_len as usize];
+            f.read_exact(&mut bytes)
+                .map_err(|e| DbError::Io(e.to_string()))?;
+            let col = decode_column(self.meta.columns[ci].1, n_rows, &bytes)?;
+            df.add_column((*name).to_string(), col)
+                .map_err(DbError::from)?;
+        }
+        Ok(df)
+    }
+
+    /// Zone map of `(column, chunk)`, if any.
+    pub fn zone(&self, column: &str, chunk_idx: usize) -> DbResult<Option<ZoneMap>> {
+        let ci = self.meta.column_index(column)?;
+        Ok(self.meta.chunks[ci].get(chunk_idx).and_then(|l| l.zone))
+    }
+
+    /// Total on-disk bytes of this table (column files).
+    pub fn byte_size(&self) -> u64 {
+        self.meta
+            .chunks
+            .iter()
+            .flat_map(|c| c.iter().map(|l| l.byte_len))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_frame::Value;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("infera_storage_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn batch(n: usize, base: i64) -> DataFrame {
+        DataFrame::from_columns([
+            ("id", Column::I64((0..n as i64).map(|i| base + i).collect())),
+            (
+                "mass",
+                Column::F64((0..n).map(|i| (base as f64) + i as f64).collect()),
+            ),
+            (
+                "name",
+                Column::Str((0..n).map(|i| format!("h{}", base + i as i64)).collect()),
+            ),
+            ("flag", Column::Bool((0..n).map(|i| i % 2 == 0).collect())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let dir = tmp("roundtrip");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "halos", &schema).unwrap();
+        t.append(&batch(100, 0), 40).unwrap();
+        assert_eq!(t.meta.n_chunks(), 3); // 40 + 40 + 20
+        assert_eq!(t.meta.n_rows(), 100);
+
+        let df = t.read_chunk(1, &["mass", "name"]).unwrap();
+        assert_eq!(df.n_rows(), 40);
+        assert_eq!(df.cell("mass", 0).unwrap(), Value::F64(40.0));
+        assert_eq!(df.cell("name", 0).unwrap(), Value::Str("h40".into()));
+    }
+
+    #[test]
+    fn reopen_preserves_data() {
+        let dir = tmp("reopen");
+        let schema = batch(1, 0).schema();
+        {
+            let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+            t.append(&batch(10, 5), 100).unwrap();
+        }
+        let t = TableStore::open(&dir).unwrap();
+        assert_eq!(t.meta.n_rows(), 10);
+        let df = t.read_chunk(0, &["id", "flag"]).unwrap();
+        assert_eq!(df.cell("id", 0).unwrap(), Value::I64(5));
+        assert_eq!(df.cell("flag", 1).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn zone_maps_track_min_max() {
+        let dir = tmp("zones");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.append(&batch(50, 0), 25).unwrap();
+        let z0 = t.zone("mass", 0).unwrap().unwrap();
+        assert_eq!(z0.min, 0.0);
+        assert_eq!(z0.max, 24.0);
+        let z1 = t.zone("mass", 1).unwrap().unwrap();
+        assert_eq!(z1.min, 25.0);
+        // Strings have no zone map.
+        assert!(t.zone("name", 0).unwrap().is_none());
+        // Bools do (0/1 widening).
+        assert!(t.zone("flag", 0).unwrap().is_some());
+    }
+
+    #[test]
+    fn append_schema_mismatch_rejected() {
+        let dir = tmp("mismatch");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        let bad = DataFrame::from_columns([("id", Column::from(vec![1i64]))]).unwrap();
+        assert!(matches!(t.append(&bad, 10).unwrap_err(), DbError::Plan(_)));
+    }
+
+    #[test]
+    fn unknown_column_suggestion() {
+        let dir = tmp("unknown");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.append(&batch(5, 0), 10).unwrap();
+        match t.read_chunk(0, &["mas"]).unwrap_err() {
+            DbError::UnknownColumn { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("mass"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_only_chunk_has_no_zone() {
+        let dir = tmp("nanzone");
+        let df =
+            DataFrame::from_columns([("v", Column::from(vec![f64::NAN, f64::NAN]))]).unwrap();
+        let mut t = TableStore::create(&dir, "t", &df.schema()).unwrap();
+        t.append(&df, 10).unwrap();
+        assert!(t.zone("v", 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn byte_size_counts_data() {
+        let dir = tmp("bytes");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        assert_eq!(t.byte_size(), 0);
+        t.append(&batch(100, 0), 64).unwrap();
+        assert!(t.byte_size() > 100 * 16);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests: the columnar engine must agree with the
+//! in-memory dataframe semantics for arbitrary data and predicates, and
+//! zone-map chunk skipping must never change results.
+
+use infera_columnar::Database;
+use infera_frame::{Column, DataFrame, Value};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_db() -> (Database, PathBuf) {
+    let id = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("infera_columnar_props")
+        .join(format!("case_{id}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    (Database::create(&dir).unwrap(), dir)
+}
+
+fn arb_table() -> impl Strategy<Value = DataFrame> {
+    (1usize..120).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(-1000i64..1000, rows),
+            proptest::collection::vec(-1.0e6f64..1.0e6, rows),
+            proptest::collection::vec(0u8..3, rows),
+        )
+            .prop_map(|(ids, vals, tags)| {
+                DataFrame::from_columns([
+                    ("id", Column::I64(ids)),
+                    ("val", Column::F64(vals)),
+                    (
+                        "tag",
+                        Column::Str(tags.into_iter().map(|t| format!("t{t}")).collect()),
+                    ),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Storage roundtrip: write with small chunks, scan back identical.
+    #[test]
+    fn storage_roundtrip(df in arb_table(), chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        db.create_table("t", &df.schema()).unwrap();
+        db.append_chunked("t", &df, chunk).unwrap();
+        let back = db.scan_all("t", &["id", "val", "tag"]).unwrap();
+        prop_assert_eq!(back, df);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// SQL filter agrees with the dataframe filter for arbitrary
+    /// thresholds, regardless of chunking (i.e. zone-map skipping is
+    /// invisible to results).
+    #[test]
+    fn sql_filter_matches_frame(df in arb_table(), threshold in -1.0e6f64..1.0e6, chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        db.create_table("t", &df.schema()).unwrap();
+        db.append_chunked("t", &df, chunk).unwrap();
+        let sql = format!("SELECT id, val FROM t WHERE val > {threshold}");
+        let got = db.query(&sql).unwrap();
+        use infera_frame::{expr::BinOp, Expr};
+        let want = df
+            .filter_expr(&Expr::bin(Expr::col("val"), BinOp::Gt, Expr::lit(threshold)))
+            .unwrap()
+            .select(&["id", "val"])
+            .unwrap();
+        prop_assert_eq!(got, want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// SQL grouped aggregation agrees with the dataframe group_by.
+    #[test]
+    fn sql_group_matches_frame(df in arb_table(), chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        db.create_table("t", &df.schema()).unwrap();
+        db.append_chunked("t", &df, chunk).unwrap();
+        let got = db
+            .query("SELECT tag, COUNT(*) AS n, SUM(val) AS s FROM t GROUP BY tag ORDER BY tag")
+            .unwrap();
+        use infera_frame::{AggKind, AggSpec, SortOrder};
+        let want = df
+            .group_by(
+                &["tag"],
+                &[
+                    AggSpec::new("*", AggKind::Count).with_alias("n"),
+                    AggSpec::new("val", AggKind::Sum).with_alias("s"),
+                ],
+            )
+            .unwrap()
+            .sort_by(&[("tag", SortOrder::Ascending)])
+            .unwrap();
+        prop_assert_eq!(got.n_rows(), want.n_rows());
+        for r in 0..got.n_rows() {
+            prop_assert_eq!(got.cell("tag", r).unwrap(), want.cell("tag", r).unwrap());
+            prop_assert_eq!(got.cell("n", r).unwrap(), want.cell("n", r).unwrap());
+            let gs = got.cell("s", r).unwrap().as_f64().unwrap();
+            let ws = want.cell("s", r).unwrap().as_f64().unwrap();
+            prop_assert!((gs - ws).abs() <= 1e-6 * (1.0 + ws.abs()));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// ORDER BY ... LIMIT returns the true top-k.
+    #[test]
+    fn sql_top_k(df in arb_table(), k in 1usize..20, chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        db.create_table("t", &df.schema()).unwrap();
+        db.append_chunked("t", &df, chunk).unwrap();
+        let got = db
+            .query(&format!("SELECT val FROM t ORDER BY val DESC LIMIT {k}"))
+            .unwrap();
+        let mut all: Vec<f64> =
+            df.column("val").unwrap().as_f64_slice().unwrap().to_vec();
+        all.sort_by(|a, b| b.total_cmp(a));
+        let want: Vec<f64> = all.into_iter().take(k).collect();
+        let got_vals: Vec<f64> = (0..got.n_rows())
+            .map(|r| got.cell("val", r).unwrap().as_f64().unwrap())
+            .collect();
+        prop_assert_eq!(got_vals, want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The SQL parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = infera_columnar::sql::parser::parse(&input);
+    }
+
+    /// Whole-table COUNT matches the row count through any chunking.
+    #[test]
+    fn count_star(df in arb_table(), chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        db.create_table("t", &df.schema()).unwrap();
+        db.append_chunked("t", &df, chunk).unwrap();
+        let got = db.query("SELECT COUNT(*) AS n FROM t").unwrap();
+        prop_assert_eq!(got.cell("n", 0).unwrap(), Value::I64(df.n_rows() as i64));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

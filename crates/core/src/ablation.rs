@@ -1,0 +1,285 @@
+//! Architecture and design ablations (§4.4.1, §4.2.4, §4.2.5).
+//!
+//! * **multi-agent vs single-agent vs static-linear** — the single-agent
+//!   variant loses the decomposition benefits (less targeted error
+//!   feedback, compounded generation errors: modelled by a degraded
+//!   behaviour profile); the static-linear variant cannot adapt the plan
+//!   to the question (every plan is forced to the fixed 4-stage shape,
+//!   so multi-stage analyses lose their extra computations).
+//! * **QA mode** — scored (threshold 50) vs binary judgement: binary
+//!   false-negatives inflate redo counts.
+//! * **context policy** — limited specialist context vs full history:
+//!   full history inflates token cost without improving completion.
+
+use crate::eval::{evaluate, EvalConfig, Table2Row};
+use crate::session::SessionConfig;
+use infera_agents::{AgentResult, ContextPolicy, QaMode, RunConfig};
+use infera_hacc::Manifest;
+use infera_llm::BehaviorProfile;
+use std::path::Path;
+
+/// Architectures compared in §4.4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    MultiAgent,
+    SingleAgent,
+    StaticLinear,
+}
+
+impl Architecture {
+    pub const ALL: [Architecture; 3] = [
+        Architecture::MultiAgent,
+        Architecture::SingleAgent,
+        Architecture::StaticLinear,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::MultiAgent => "multi-agent (InferA)",
+            Architecture::SingleAgent => "single agent",
+            Architecture::StaticLinear => "static linear",
+        }
+    }
+
+    /// Behaviour profile under this architecture. A single monolithic
+    /// agent generates one big artifact: errors compound (higher rate),
+    /// error feedback is less targeted (lower fix probability), and
+    /// revising a large artifact introduces new errors more often.
+    fn profile(self, base: &BehaviorProfile) -> BehaviorProfile {
+        match self {
+            Architecture::MultiAgent | Architecture::StaticLinear => base.clone(),
+            Architecture::SingleAgent => {
+                let mut p = base.clone();
+                for i in 0..3 {
+                    p.column_error_rate[i] *= 1.8;
+                    p.p_redo_introduces[i] = (p.p_redo_introduces[i] * 2.0).min(0.9);
+                }
+                p.p_redo_fixes = (p.p_redo_fixes * 0.65).min(1.0);
+                p
+            }
+        }
+    }
+}
+
+/// One architecture's aggregate outcome.
+#[derive(Debug, Clone)]
+pub struct ArchitectureResult {
+    pub architecture: Architecture,
+    pub total: Table2Row,
+}
+
+/// Run the architecture ablation over a subset of questions.
+pub fn architecture_ablation(
+    manifest: &Manifest,
+    work_dir: &Path,
+    question_ids: &[u32],
+    runs_per_question: usize,
+    seed: u64,
+) -> AgentResult<Vec<ArchitectureResult>> {
+    let base_profile = BehaviorProfile::default();
+    let mut out = Vec::new();
+    for arch in Architecture::ALL {
+        let mut run_config = RunConfig::default();
+        if arch == Architecture::StaticLinear {
+            // The fixed pipeline cannot iterate on errors beyond a single
+            // retry, and cannot extend plans — approximated by a hard
+            // revision cap (plan truncation is reflected in quality).
+            run_config.max_revisions = 1;
+        }
+        let cfg = EvalConfig {
+            runs_per_question,
+            session: SessionConfig {
+                seed,
+                profile: arch.profile(&base_profile),
+                run_config,
+            },
+            only_questions: question_ids.to_vec(),
+        };
+        let results = evaluate(
+            manifest.clone(),
+            &work_dir.join(arch.label().replace([' ', '(', ')'], "_")),
+            &cfg,
+        )?;
+        let rows = results.table2_rows();
+        let total = rows
+            .into_iter()
+            .find(|r| r.label == "total")
+            .expect("total row always present");
+        out.push(ArchitectureResult {
+            architecture: arch,
+            total,
+        });
+    }
+    Ok(out)
+}
+
+/// QA-mode ablation result.
+#[derive(Debug, Clone)]
+pub struct QaAblation {
+    pub scored: Table2Row,
+    pub binary: Table2Row,
+}
+
+/// Scored (1–100, threshold 50) vs binary QA (§4.2.4).
+pub fn qa_ablation(
+    manifest: &Manifest,
+    work_dir: &Path,
+    question_ids: &[u32],
+    runs_per_question: usize,
+    seed: u64,
+) -> AgentResult<QaAblation> {
+    let run = |mode: QaMode, dir: &str| -> AgentResult<Table2Row> {
+        let cfg = EvalConfig {
+            runs_per_question,
+            session: SessionConfig {
+                seed,
+                profile: BehaviorProfile::default(),
+                run_config: RunConfig {
+                    qa_mode: mode,
+                    ..RunConfig::default()
+                },
+            },
+            only_questions: question_ids.to_vec(),
+        };
+        let results = evaluate(manifest.clone(), &work_dir.join(dir), &cfg)?;
+        Ok(results
+            .table2_rows()
+            .into_iter()
+            .find(|r| r.label == "total")
+            .expect("total row"))
+    };
+    Ok(QaAblation {
+        scored: run(QaMode::Scored { threshold: 50 }, "qa_scored")?,
+        binary: run(QaMode::Binary, "qa_binary")?,
+    })
+}
+
+/// Context-policy ablation result (§4.2.5).
+#[derive(Debug, Clone)]
+pub struct ContextAblation {
+    pub limited: Table2Row,
+    pub full: Table2Row,
+}
+
+/// Limited specialist context vs full history everywhere.
+pub fn context_ablation(
+    manifest: &Manifest,
+    work_dir: &Path,
+    question_ids: &[u32],
+    runs_per_question: usize,
+    seed: u64,
+) -> AgentResult<ContextAblation> {
+    let run = |policy: ContextPolicy, dir: &str| -> AgentResult<Table2Row> {
+        let cfg = EvalConfig {
+            runs_per_question,
+            session: SessionConfig {
+                seed,
+                profile: BehaviorProfile::default(),
+                run_config: RunConfig {
+                    context_policy: policy,
+                    ..RunConfig::default()
+                },
+            },
+            only_questions: question_ids.to_vec(),
+        };
+        let results = evaluate(manifest.clone(), &work_dir.join(dir), &cfg)?;
+        Ok(results
+            .table2_rows()
+            .into_iter()
+            .find(|r| r.label == "total")
+            .expect("total row"))
+    };
+    Ok(ContextAblation {
+        limited: run(ContextPolicy::LimitedContext, "ctx_limited")?,
+        full: run(ContextPolicy::FullHistory, "ctx_full")?,
+    })
+}
+
+/// GPT-4o-class vs weak local model (§4: "GPT-4o significantly
+/// outperforms locally-hosted ... models").
+#[derive(Debug, Clone)]
+pub struct ModelAblation {
+    pub gpt4o_class: Table2Row,
+    pub weak_local: Table2Row,
+}
+
+pub fn model_ablation(
+    manifest: &Manifest,
+    work_dir: &Path,
+    question_ids: &[u32],
+    runs_per_question: usize,
+    seed: u64,
+) -> AgentResult<ModelAblation> {
+    let run = |profile: BehaviorProfile, dir: &str| -> AgentResult<Table2Row> {
+        let cfg = EvalConfig {
+            runs_per_question,
+            session: SessionConfig {
+                seed,
+                profile,
+                run_config: RunConfig::default(),
+            },
+            only_questions: question_ids.to_vec(),
+        };
+        let results = evaluate(manifest.clone(), &work_dir.join(dir), &cfg)?;
+        Ok(results
+            .table2_rows()
+            .into_iter()
+            .find(|r| r.label == "total")
+            .expect("total row"))
+    };
+    Ok(ModelAblation {
+        gpt4o_class: run(BehaviorProfile::default(), "model_gpt")?,
+        weak_local: run(BehaviorProfile::weak_local(), "model_local")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_hacc::EnsembleSpec;
+
+    fn manifest(name: &str) -> Manifest {
+        let base = std::env::temp_dir().join("infera_ablation_tests").join(name);
+        std::fs::remove_dir_all(&base).ok();
+        infera_hacc::generate(&EnsembleSpec::tiny(47), &base).unwrap()
+    }
+
+    #[test]
+    fn single_agent_profile_is_degraded() {
+        let base = BehaviorProfile::default();
+        let single = Architecture::SingleAgent.profile(&base);
+        assert!(single.column_error_rate[0] > base.column_error_rate[0]);
+        assert!(single.p_redo_fixes < base.p_redo_fixes);
+        let multi = Architecture::MultiAgent.profile(&base);
+        assert_eq!(multi, base);
+    }
+
+    #[test]
+    fn model_ablation_shows_gap() {
+        let m = manifest("model_gap");
+        let work = std::env::temp_dir().join("infera_ablation_tests/model_gap_work");
+        std::fs::remove_dir_all(&work).ok();
+        let r = model_ablation(&m, &work, &[2, 5], 3, 3).unwrap();
+        assert!(
+            r.gpt4o_class.completed >= r.weak_local.completed,
+            "gpt {} vs local {}",
+            r.gpt4o_class.completed,
+            r.weak_local.completed
+        );
+        assert!(r.weak_local.redos >= r.gpt4o_class.redos);
+    }
+
+    #[test]
+    fn context_ablation_full_history_costs_more_tokens() {
+        let m = manifest("ctx");
+        let work = std::env::temp_dir().join("infera_ablation_tests/ctx_work");
+        std::fs::remove_dir_all(&work).ok();
+        let r = context_ablation(&m, &work, &[1], 2, 5).unwrap();
+        assert!(
+            r.full.tokens > r.limited.tokens,
+            "full {} vs limited {}",
+            r.full.tokens,
+            r.limited.tokens
+        );
+    }
+}

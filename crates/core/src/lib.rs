@@ -1,0 +1,25 @@
+//! # infera-core
+//!
+//! The InferA system itself — the paper's contribution assembled from the
+//! substrate crates:
+//!
+//! * [`session`] — the two-stage workflow API: `plan()` (planning stage
+//!   with feedback hooks) and `ask()` (supervisor-orchestrated analysis);
+//! * [`questions`] — the 20-question evaluation set with the paper's
+//!   difficulty taxonomy (Table 1);
+//! * [`eval`] — the 200-run Table 2 harness with all aggregate metrics;
+//! * [`baselines`] — direct-chat and full-ingestion baselines (§4.4);
+//! * [`ablation`] — architecture / QA-mode / context-policy / model
+//!   ablations (§4.4.1, §4.2.4, §4.2.5);
+//! * [`variability`] — the §4.5 ambiguity study.
+
+pub mod ablation;
+pub mod baselines;
+pub mod eval;
+pub mod questions;
+pub mod session;
+pub mod variability;
+
+pub use eval::{evaluate, EvalConfig, EvalResults, Table2Row};
+pub use questions::{question_set, table1_text, AnalysisLevel, Question, Scope};
+pub use session::{estimate_semantic_level, InferA, SessionConfig};

@@ -1,0 +1,261 @@
+//! The 20-question evaluation set (§3.3, Table 1).
+//!
+//! Questions are categorized along two axes: **analysis difficulty**
+//! (plan step count: easy < 4.5, medium 4.5–5.5, hard > 5.5) and
+//! **semantic complexity** (how far the wording is from the metadata
+//! vocabulary). Category marginals match Table 2 exactly:
+//!
+//! * analysis: 6 easy, 6 medium, 8 hard;
+//! * semantic: 8 easy, 5 medium, 7 hard;
+//! * scope: 7 single-sim/single-step, 5 single-sim/multi-step,
+//!   5 multi-sim/single-step, 3 multi-sim/multi-step;
+//! * no questions at analysis-easy × semantic-medium/hard (Table 1's
+//!   empty cells — semantically easy wording is the only kind that stays
+//!   analytically easy... conversely every analytically-easy question is
+//!   semantically easy).
+//!
+//! The seven representative Table 1 questions appear verbatim.
+
+use infera_llm::SemanticLevel;
+use serde::{Deserialize, Serialize};
+
+/// Analysis-difficulty bucket (by planned step count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnalysisLevel {
+    /// < 4.5 analysis steps.
+    Easy,
+    /// 4.5 – 5.5 analysis steps.
+    Medium,
+    /// > 5.5 analysis steps.
+    Hard,
+}
+
+impl AnalysisLevel {
+    pub const ALL: [AnalysisLevel; 3] =
+        [AnalysisLevel::Easy, AnalysisLevel::Medium, AnalysisLevel::Hard];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AnalysisLevel::Easy => "easy",
+            AnalysisLevel::Medium => "medium",
+            AnalysisLevel::Hard => "hard",
+        }
+    }
+
+    /// Classify a plan's step count per §3.3's thresholds.
+    pub fn classify(steps: f64) -> AnalysisLevel {
+        if steps < 4.5 {
+            AnalysisLevel::Easy
+        } else if steps <= 5.5 {
+            AnalysisLevel::Medium
+        } else {
+            AnalysisLevel::Hard
+        }
+    }
+}
+
+/// Simulation/timestep scope of a question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scope {
+    pub multi_sim: bool,
+    pub multi_step: bool,
+}
+
+impl Scope {
+    pub fn label(self) -> &'static str {
+        match (self.multi_sim, self.multi_step) {
+            (false, false) => "single-sim/single-step",
+            (false, true) => "single-sim/multi-step",
+            (true, false) => "multi-sim/single-step",
+            (true, true) => "multi-sim/multi-step",
+        }
+    }
+}
+
+/// One evaluation question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Question {
+    pub id: u32,
+    pub text: String,
+    pub analysis: AnalysisLevel,
+    pub semantic: SemanticLevel,
+    pub scope: Scope,
+}
+
+fn q(
+    id: u32,
+    analysis: AnalysisLevel,
+    semantic: SemanticLevel,
+    multi_sim: bool,
+    multi_step: bool,
+    text: &str,
+) -> Question {
+    Question {
+        id,
+        text: text.to_string(),
+        analysis,
+        semantic,
+        scope: Scope {
+            multi_sim,
+            multi_step,
+        },
+    }
+}
+
+/// The full 20-question set.
+pub fn question_set() -> Vec<Question> {
+    use AnalysisLevel as A;
+    use SemanticLevel as S;
+    vec![
+        // ---- analysis EASY (6) — all semantically easy ----
+        q(1, A::Easy, S::Easy, true, true,
+          "Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?"),
+        q(2, A::Easy, S::Easy, false, false,
+          "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?"),
+        q(3, A::Easy, S::Easy, false, false,
+          "What is the maximum fof_halo_mass at timestep 624 in simulation 1?"),
+        q(4, A::Easy, S::Easy, false, false,
+          "Show the distribution of galaxy stellar masses (gal_stellar_mass) at timestep 624 of simulation 0 as a histogram."),
+        q(5, A::Easy, S::Easy, false, true,
+          "How many halos are there at each timestep in simulation 2? Plot the count over time."),
+        q(6, A::Easy, S::Easy, true, false,
+          "Compare the number of galaxies at timestep 624 across all simulations with a plot."),
+        // ---- analysis MEDIUM (6): 1 sem-easy, 3 sem-medium, 2 sem-hard ----
+        q(7, A::Medium, S::Easy, false, false,
+          "Please find the largest 100 galaxies and 100 halos at timestep 498 in simulation 0. I would like to plot all of them in Paraview and also see how well aligned those galaxies and halos are to each other."),
+        q(8, A::Medium, S::Medium, false, false,
+          "I would like to find the most unique halos in simulation 0 at timestep 498. Using velocity, mass, and kinetic energy of the halos, generate an 'interestingness' score and plot the top 1000 halos as a UMAP plot, highlighting the top 20 halos in simulation 0 that are the most interesting."),
+        q(9, A::Medium, S::Medium, false, false,
+          "What are the slope and normalization of the relation between halo mass and velocity dispersion at timestep 624 in simulation 0? Show a scatter plot with the fit."),
+        q(10, A::Medium, S::Medium, true, false,
+          "Find the 1000 fastest-moving halos at timestep 624 across all simulations and plot the distribution of their speeds."),
+        q(11, A::Medium, S::Hard, false, false,
+          "First find the two largest halos by their halo count in timestep 624 of simulation 0. Then find the top 10 galaxies associated to those two halos (related by fof_halo_tag). What are the differences in characteristics of the two groups of galaxies? For example, differences in gas-mass, mass, or kinetic energy?"),
+        q(12, A::Medium, S::Hard, false, true,
+          "Trace the assembly history of the most massive cluster in simulation 3: when did it form and how fast did it grow?"),
+        // ---- analysis HARD (8): 1 sem-easy, 2 sem-medium, 5 sem-hard ----
+        q(13, A::Hard, S::Easy, true, true,
+          "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass."),
+        q(14, A::Hard, S::Medium, true, true,
+          "For each simulation, how does the typical gas content of massive systems change with time? Summarize the trend across the ensemble."),
+        q(15, A::Hard, S::Medium, false, true,
+          "Identify the epoch when star formation peaked in simulation 0 and quantify how quickly it declines afterwards with a fitted rate."),
+        q(16, A::Hard, S::Hard, false, true,
+          "How does the slope and normalization of the gas-mass fraction\u{2014}mass relation (sod_halo_MGas500c/sod_halo_M500c) evolve from the earliest timestep to the latest timestep in simulation 0?"),
+        q(17, A::Hard, S::Hard, true, false,
+          "At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass? Which seed mass values produce the tightest SMHM correlation, and is there a threshold seed mass that maximizes stellar-mass assembly efficiency?"),
+        q(18, A::Hard, S::Hard, true, false,
+          "Can you make an inference on the direction of the FSN and VEL parameters in order to increase the halo count of the 100 largest halos in timestep 624? Also plot a summary of the differences in halo characteristics between the two simulations."),
+        q(19, A::Hard, S::Hard, true, false,
+          "At timestep 624, which simulations produce unusually low baryon content in massive systems? Show the 50 most gas-deficient systems relative to the mean trend across the ensemble."),
+        q(20, A::Hard, S::Hard, false, true,
+          "How does the median star formation activity of galaxies evolve over time in simulation 1? Plot the trend and relate it to the specific epoch of peak activity and the decline that follows with a fitted rate."),
+    ]
+}
+
+/// Render Table 1: the difficulty matrix of representative questions.
+pub fn table1_text() -> String {
+    let qs = question_set();
+    let mut out = String::from(
+        "Table 1: difficulty matrix (rows = semantic complexity, columns = analysis difficulty)\n\n",
+    );
+    for s in SemanticLevel::ALL {
+        for a in AnalysisLevel::ALL {
+            let cell: Vec<&Question> = qs
+                .iter()
+                .filter(|q| q.semantic == s && q.analysis == a)
+                .collect();
+            out.push_str(&format!(
+                "semantic {:<6} x analysis {:<6}: {}\n",
+                s.label(),
+                a.label(),
+                if cell.is_empty() {
+                    "n/a".to_string()
+                } else {
+                    format!(
+                        "{} question(s), e.g. Q{}: {}",
+                        cell.len(),
+                        cell[0].id,
+                        truncate(&cell[0].text, 90)
+                    )
+                }
+            ));
+        }
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginals_match_table2() {
+        let qs = question_set();
+        assert_eq!(qs.len(), 20);
+        let count_a = |a: AnalysisLevel| qs.iter().filter(|q| q.analysis == a).count();
+        assert_eq!(count_a(AnalysisLevel::Easy), 6);
+        assert_eq!(count_a(AnalysisLevel::Medium), 6);
+        assert_eq!(count_a(AnalysisLevel::Hard), 8);
+        let count_s = |s: SemanticLevel| qs.iter().filter(|q| q.semantic == s).count();
+        assert_eq!(count_s(SemanticLevel::Easy), 8);
+        assert_eq!(count_s(SemanticLevel::Medium), 5);
+        assert_eq!(count_s(SemanticLevel::Hard), 7);
+        let scope = |ms: bool, mt: bool| {
+            qs.iter()
+                .filter(|q| q.scope.multi_sim == ms && q.scope.multi_step == mt)
+                .count()
+        };
+        assert_eq!(scope(false, false), 7);
+        assert_eq!(scope(false, true), 5);
+        assert_eq!(scope(true, false), 5);
+        assert_eq!(scope(true, true), 3);
+    }
+
+    #[test]
+    fn empty_cells_match_table1() {
+        let qs = question_set();
+        // No analysis-easy question is semantically medium or hard.
+        assert!(!qs.iter().any(|q| q.analysis == AnalysisLevel::Easy
+            && q.semantic != SemanticLevel::Easy));
+    }
+
+    #[test]
+    fn ids_unique_and_texts_distinct() {
+        let qs = question_set();
+        let mut ids: Vec<u32> = qs.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        let mut texts: Vec<&str> = qs.iter().map(|q| q.text.as_str()).collect();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), 20);
+    }
+
+    #[test]
+    fn classify_thresholds() {
+        assert_eq!(AnalysisLevel::classify(4.0), AnalysisLevel::Easy);
+        assert_eq!(AnalysisLevel::classify(4.5), AnalysisLevel::Medium);
+        assert_eq!(AnalysisLevel::classify(5.5), AnalysisLevel::Medium);
+        assert_eq!(AnalysisLevel::classify(5.6), AnalysisLevel::Hard);
+        assert_eq!(AnalysisLevel::classify(7.7), AnalysisLevel::Hard);
+    }
+
+    #[test]
+    fn table1_renders_with_na_cells() {
+        let t = table1_text();
+        assert!(t.contains("n/a"));
+        assert!(t.contains("semantic easy"));
+        assert_eq!(t.matches("n/a").count(), 2);
+    }
+}

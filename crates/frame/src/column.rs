@@ -1,0 +1,337 @@
+//! Homogeneous typed columns.
+
+use crate::error::{FrameError, FrameResult};
+use crate::value::{DType, Value};
+
+/// A homogeneous column of values.
+///
+/// Columns own their storage as plain vectors, giving contiguous cache
+/// friendly layouts for the numeric kernels that dominate the InferA
+/// analysis workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+    Str(Vec<String>),
+    Bool(Vec<bool>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::F64(_) => DType::F64,
+            Column::I64(_) => DType::I64,
+            Column::Str(_) => DType::Str,
+            Column::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Create an empty column of the given type.
+    pub fn empty(dtype: DType) -> Column {
+        match dtype {
+            DType::F64 => Column::F64(Vec::new()),
+            DType::I64 => Column::I64(Vec::new()),
+            DType::Str => Column::Str(Vec::new()),
+            DType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// Create an empty column with reserved capacity.
+    pub fn with_capacity(dtype: DType, cap: usize) -> Column {
+        match dtype {
+            DType::F64 => Column::F64(Vec::with_capacity(cap)),
+            DType::I64 => Column::I64(Vec::with_capacity(cap)),
+            DType::Str => Column::Str(Vec::with_capacity(cap)),
+            DType::Bool => Column::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Fetch the value at `idx` (panics if out of range).
+    pub fn get(&self, idx: usize) -> Value {
+        match self {
+            Column::F64(v) => Value::F64(v[idx]),
+            Column::I64(v) => Value::I64(v[idx]),
+            Column::Str(v) => Value::Str(v[idx].clone()),
+            Column::Bool(v) => Value::Bool(v[idx]),
+        }
+    }
+
+    /// Append a value; errors on type mismatch.
+    pub fn push(&mut self, value: Value) -> FrameResult<()> {
+        match (self, value) {
+            (Column::F64(v), val) => match val.as_f64() {
+                Some(f) => {
+                    v.push(f);
+                    Ok(())
+                }
+                None => Err(FrameError::TypeMismatch {
+                    op: "push".into(),
+                    expected: "f64",
+                    got: val.dtype().name(),
+                }),
+            },
+            (Column::I64(v), Value::I64(i)) => {
+                v.push(i);
+                Ok(())
+            }
+            (Column::Str(v), Value::Str(s)) => {
+                v.push(s);
+                Ok(())
+            }
+            (Column::Bool(v), Value::Bool(b)) => {
+                v.push(b);
+                Ok(())
+            }
+            (col, val) => Err(FrameError::TypeMismatch {
+                op: "push".into(),
+                expected: col.dtype().name(),
+                got: val.dtype().name(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[f64]`, or error.
+    pub fn as_f64_slice(&self) -> FrameResult<&[f64]> {
+        match self {
+            Column::F64(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch {
+                op: "as_f64_slice".into(),
+                expected: "f64",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[i64]`, or error.
+    pub fn as_i64_slice(&self) -> FrameResult<&[i64]> {
+        match self {
+            Column::I64(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch {
+                op: "as_i64_slice".into(),
+                expected: "i64",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[String]`, or error.
+    pub fn as_str_slice(&self) -> FrameResult<&[String]> {
+        match self {
+            Column::Str(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch {
+                op: "as_str_slice".into(),
+                expected: "str",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Borrow as `&[bool]`, or error.
+    pub fn as_bool_slice(&self) -> FrameResult<&[bool]> {
+        match self {
+            Column::Bool(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch {
+                op: "as_bool_slice".into(),
+                expected: "bool",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Materialize a numeric (`f64`) view of the column.
+    ///
+    /// Integers and booleans widen; strings error. `NaN` passes through.
+    pub fn to_f64_vec(&self) -> FrameResult<Vec<f64>> {
+        match self {
+            Column::F64(v) => Ok(v.clone()),
+            Column::I64(v) => Ok(v.iter().map(|&i| i as f64).collect()),
+            Column::Bool(v) => Ok(v.iter().map(|&b| f64::from(u8::from(b))).collect()),
+            Column::Str(_) => Err(FrameError::TypeMismatch {
+                op: "to_f64_vec".into(),
+                expected: "numeric",
+                got: "str",
+            }),
+        }
+    }
+
+    /// Select rows by index (gather). Indices must be in range.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(indices.iter().map(|&i| v[i]).collect()),
+            Column::I64(v) => Column::I64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Keep rows where `mask` is true. `mask.len()` must equal `self.len()`.
+    pub fn filter(&self, mask: &[bool]) -> FrameResult<Column> {
+        if mask.len() != self.len() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.len(),
+                got: mask.len(),
+            });
+        }
+        fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter()
+                .zip(mask)
+                .filter_map(|(x, &m)| m.then(|| x.clone()))
+                .collect()
+        }
+        Ok(match self {
+            Column::F64(v) => Column::F64(keep(v, mask)),
+            Column::I64(v) => Column::I64(keep(v, mask)),
+            Column::Str(v) => Column::Str(keep(v, mask)),
+            Column::Bool(v) => Column::Bool(keep(v, mask)),
+        })
+    }
+
+    /// Rows `range.start..range.end` as a new column.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        match self {
+            Column::F64(v) => Column::F64(v[start..end].to_vec()),
+            Column::I64(v) => Column::I64(v[start..end].to_vec()),
+            Column::Str(v) => Column::Str(v[start..end].to_vec()),
+            Column::Bool(v) => Column::Bool(v[start..end].to_vec()),
+        }
+    }
+
+    /// Append all rows of `other`; errors on dtype mismatch.
+    pub fn extend(&mut self, other: &Column) -> FrameResult<()> {
+        match (self, other) {
+            (Column::F64(a), Column::F64(b)) => a.extend_from_slice(b),
+            (Column::I64(a), Column::I64(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(FrameError::TypeMismatch {
+                    op: "extend".into(),
+                    expected: a.dtype().name(),
+                    got: b.dtype().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterator of [`Value`]s (allocates per string row).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Approximate heap size in bytes (used for storage accounting).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len() * 8,
+            Column::I64(v) => v.len() * 8,
+            Column::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+}
+
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::F64(v)
+    }
+}
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::I64(v)
+    }
+}
+impl From<Vec<String>> for Column {
+    fn from(v: Vec<String>) -> Self {
+        Column::Str(v)
+    }
+}
+impl From<Vec<&str>> for Column {
+    fn from(v: Vec<&str>) -> Self {
+        Column::Str(v.into_iter().map(str::to_string).collect())
+    }
+}
+impl From<Vec<bool>> for Column {
+    fn from(v: Vec<bool>) -> Self {
+        Column::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::empty(DType::F64);
+        c.push(Value::F64(1.5)).unwrap();
+        c.push(Value::I64(2)).unwrap(); // widening push is allowed
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::F64(1.5));
+        assert_eq!(c.get(1), Value::F64(2.0));
+    }
+
+    #[test]
+    fn push_type_mismatch_errors() {
+        let mut c = Column::empty(DType::I64);
+        let err = c.push(Value::Str("x".into())).unwrap_err();
+        assert!(matches!(err, FrameError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let c: Column = vec![10i64, 20, 30, 40].into();
+        assert_eq!(c.take(&[3, 0]), Column::I64(vec![40, 10]));
+        let f = c.filter(&[true, false, true, false]).unwrap();
+        assert_eq!(f, Column::I64(vec![10, 30]));
+    }
+
+    #[test]
+    fn filter_mask_length_checked() {
+        let c: Column = vec![1i64, 2].into();
+        assert!(matches!(
+            c.filter(&[true]).unwrap_err(),
+            FrameError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn slice_clamps_bounds() {
+        let c: Column = vec![1.0, 2.0, 3.0].into();
+        assert_eq!(c.slice(1, 10), Column::F64(vec![2.0, 3.0]));
+        assert_eq!(c.slice(5, 10).len(), 0);
+    }
+
+    #[test]
+    fn extend_same_dtype_only() {
+        let mut a: Column = vec![1i64].into();
+        a.extend(&vec![2i64, 3].into()).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.extend(&vec![1.0].into()).is_err());
+    }
+
+    #[test]
+    fn to_f64_widens() {
+        let c: Column = vec![true, false].into();
+        assert_eq!(c.to_f64_vec().unwrap(), vec![1.0, 0.0]);
+        let s: Column = vec!["a"].into();
+        assert!(s.to_f64_vec().is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Error types for dataframe operations.
+//!
+//! Errors are designed to be *machine-actionable*: the InferA sandbox
+//! surfaces them verbatim to the quality-assurance agent, which uses the
+//! embedded suggestions to drive its redo loop.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type FrameResult<T> = Result<T, FrameError>;
+
+/// All errors a dataframe operation can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// A referenced column does not exist. Carries a did-you-mean
+    /// suggestion when a near-miss is found.
+    UnknownColumn {
+        name: String,
+        suggestion: Option<String>,
+    },
+    /// A column with this name already exists where a fresh name was
+    /// required.
+    DuplicateColumn(String),
+    /// Columns of a frame (or an operation's inputs) have mismatched
+    /// lengths.
+    LengthMismatch { expected: usize, got: usize },
+    /// An operation received a column of the wrong type.
+    TypeMismatch {
+        op: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// Expression evaluation failed (division shape errors, bad function
+    /// arity, ...).
+    Eval(String),
+    /// CSV parsing / serialization failure.
+    Csv(String),
+    /// Any other invalid-argument style failure.
+    Invalid(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::UnknownColumn { name, suggestion } => match suggestion {
+                Some(s) => write!(f, "unknown column '{name}' — did you mean '{s}'?"),
+                None => write!(f, "unknown column '{name}'"),
+            },
+            FrameError::DuplicateColumn(name) => write!(f, "column '{name}' already exists"),
+            FrameError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected} rows, got {got}")
+            }
+            FrameError::TypeMismatch { op, expected, got } => {
+                write!(f, "type mismatch in {op}: expected {expected}, got {got}")
+            }
+            FrameError::Eval(msg) => write!(f, "expression error: {msg}"),
+            FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            FrameError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Levenshtein edit distance, used for did-you-mean suggestions.
+///
+/// Classic two-row dynamic program; `O(|a| * |b|)` time, `O(|b|)` space.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Find the best did-you-mean candidate for `name` among `candidates`.
+///
+/// A candidate qualifies if its edit distance is at most
+/// `max(2, name.len() / 3)` or if one name is a suffix of the other (the
+/// dominant LLM failure mode in the paper: dropping the `fof_halo_`
+/// prefix).
+pub fn suggest<'a, I>(name: &str, candidates: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let budget = 2usize.max(name.len() / 3);
+    let lname = name.to_ascii_lowercase();
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let lcand = cand.to_ascii_lowercase();
+        // Suffix match: "center_x" suggests "fof_halo_center_x".
+        let suffix_hit = lcand.ends_with(&lname) || lname.ends_with(&lcand);
+        let dist = edit_distance(&lname, &lcand);
+        let effective = if suffix_hit { dist.min(1) } else { dist };
+        if effective <= budget {
+            match best {
+                Some((d, _)) if d <= effective => {}
+                _ => best = Some((effective, cand)),
+            }
+        }
+    }
+    best.map(|(_, c)| c.to_string())
+}
+
+/// Build an [`FrameError::UnknownColumn`] with a suggestion drawn from
+/// `candidates`.
+pub fn unknown_column<'a, I>(name: &str, candidates: I) -> FrameError
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    FrameError::UnknownColumn {
+        name: name.to_string(),
+        suggestion: suggest(name, candidates),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("mass", "mass"), 0);
+        assert_eq!(edit_distance("fof_halo_mass", "fof_halo_masse"), 1);
+    }
+
+    #[test]
+    fn suggest_prefers_close_match() {
+        let cands = ["fof_halo_mass", "fof_halo_count", "gal_stellar_mass"];
+        assert_eq!(
+            suggest("fof_halo_mas", cands),
+            Some("fof_halo_mass".to_string())
+        );
+    }
+
+    #[test]
+    fn suggest_suffix_recovers_dropped_prefix() {
+        let cands = ["fof_halo_center_x", "fof_halo_center_y"];
+        assert_eq!(
+            suggest("center_x", cands),
+            Some("fof_halo_center_x".to_string())
+        );
+    }
+
+    #[test]
+    fn suggest_none_when_nothing_close() {
+        let cands = ["alpha", "beta"];
+        assert_eq!(suggest("completely_different_thing", cands), None);
+    }
+
+    #[test]
+    fn unknown_column_display() {
+        let e = unknown_column("center_x", ["fof_halo_center_x"]);
+        let msg = e.to_string();
+        assert!(msg.contains("did you mean 'fof_halo_center_x'"), "{msg}");
+    }
+}

@@ -1,0 +1,411 @@
+//! Row-wise expression AST and vectorized evaluator.
+//!
+//! Expressions are evaluated against a [`DataFrame`] and produce a
+//! [`Column`] of the frame's row count. This is the engine behind the
+//! sandbox DSL's `filter(...)` conditions and computed columns, e.g.
+//! `log10(sod_halo_MGas500c / sod_halo_M500c)`.
+
+use crate::column::Column;
+use crate::error::{FrameError, FrameResult};
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean column.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+/// Unary elementwise functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryFn {
+    Neg,
+    Not,
+    Abs,
+    Sqrt,
+    Log,
+    Log10,
+    Exp,
+    Floor,
+    Ceil,
+}
+
+/// A row-wise expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column of the input frame.
+    Col(String),
+    /// A scalar literal broadcast over all rows.
+    Lit(Value),
+    /// Binary operation.
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+    /// Unary elementwise function.
+    Unary(UnaryFn, Box<Expr>),
+    /// Elementwise minimum of two expressions.
+    Min2(Box<Expr>, Box<Expr>),
+    /// Elementwise maximum of two expressions.
+    Max2(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Convenience constructor: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Convenience constructor: binary op.
+    pub fn bin(lhs: Expr, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// Names of all columns referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(c) => out.push(c.clone()),
+            Expr::Lit(_) => {}
+            Expr::Bin(a, _, b) | Expr::Min2(a, b) | Expr::Max2(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Unary(_, a) => a.collect_columns(out),
+        }
+    }
+
+    /// Evaluate against `df`, producing a column of `df.n_rows()` values.
+    pub fn eval(&self, df: &DataFrame) -> FrameResult<Column> {
+        let n = df.n_rows();
+        match self {
+            Expr::Col(name) => Ok(df.column(name)?.clone()),
+            Expr::Lit(v) => Ok(broadcast(v, n)),
+            Expr::Bin(a, op, b) => {
+                let ca = a.eval(df)?;
+                let cb = b.eval(df)?;
+                eval_bin(&ca, *op, &cb)
+            }
+            Expr::Unary(f, a) => {
+                let ca = a.eval(df)?;
+                eval_unary(*f, &ca)
+            }
+            Expr::Min2(a, b) => {
+                let (x, y) = (a.eval(df)?.to_f64_vec()?, b.eval(df)?.to_f64_vec()?);
+                Ok(Column::F64(zip_f64(&x, &y, f64::min)?))
+            }
+            Expr::Max2(a, b) => {
+                let (x, y) = (a.eval(df)?.to_f64_vec()?, b.eval(df)?.to_f64_vec()?);
+                Ok(Column::F64(zip_f64(&x, &y, f64::max)?))
+            }
+        }
+    }
+
+    /// Evaluate an expression expected to produce a boolean mask.
+    pub fn eval_mask(&self, df: &DataFrame) -> FrameResult<Vec<bool>> {
+        match self.eval(df)? {
+            Column::Bool(b) => Ok(b),
+            other => Err(FrameError::TypeMismatch {
+                op: "filter predicate".into(),
+                expected: "bool",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+}
+
+fn broadcast(v: &Value, n: usize) -> Column {
+    match v {
+        Value::F64(x) => Column::F64(vec![*x; n]),
+        Value::I64(x) => Column::I64(vec![*x; n]),
+        Value::Str(s) => Column::Str(vec![s.clone(); n]),
+        Value::Bool(b) => Column::Bool(vec![*b; n]),
+    }
+}
+
+fn zip_f64(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> FrameResult<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(FrameError::LengthMismatch {
+            expected: a.len(),
+            got: b.len(),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect())
+}
+
+fn eval_bin(a: &Column, op: BinOp, b: &Column) -> FrameResult<Column> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            let (x, y) = (a.as_bool_slice()?, b.as_bool_slice()?);
+            if x.len() != y.len() {
+                return Err(FrameError::LengthMismatch {
+                    expected: x.len(),
+                    got: y.len(),
+                });
+            }
+            let out = x
+                .iter()
+                .zip(y)
+                .map(|(&p, &q)| if op == And { p && q } else { p || q })
+                .collect();
+            Ok(Column::Bool(out))
+        }
+        Eq | Ne if a.dtype() == crate::DType::Str || b.dtype() == crate::DType::Str => {
+            let (x, y) = (a.as_str_slice()?, b.as_str_slice()?);
+            if x.len() != y.len() {
+                return Err(FrameError::LengthMismatch {
+                    expected: x.len(),
+                    got: y.len(),
+                });
+            }
+            let out = x
+                .iter()
+                .zip(y)
+                .map(|(p, q)| if op == Eq { p == q } else { p != q })
+                .collect();
+            Ok(Column::Bool(out))
+        }
+        // Integer-preserving arithmetic when both sides are i64 and the op
+        // is closed over integers.
+        Add | Sub | Mul | Mod
+            if a.dtype() == crate::DType::I64 && b.dtype() == crate::DType::I64 =>
+        {
+            let (x, y) = (a.as_i64_slice()?, b.as_i64_slice()?);
+            if x.len() != y.len() {
+                return Err(FrameError::LengthMismatch {
+                    expected: x.len(),
+                    got: y.len(),
+                });
+            }
+            let out = x
+                .iter()
+                .zip(y)
+                .map(|(&p, &q)| match op {
+                    Add => p.wrapping_add(q),
+                    Sub => p.wrapping_sub(q),
+                    Mul => p.wrapping_mul(q),
+                    Mod => {
+                        if q == 0 {
+                            0
+                        } else {
+                            p.rem_euclid(q)
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+                .collect();
+            Ok(Column::I64(out))
+        }
+        _ => {
+            let x = a.to_f64_vec()?;
+            let y = b.to_f64_vec()?;
+            if x.len() != y.len() {
+                return Err(FrameError::LengthMismatch {
+                    expected: x.len(),
+                    got: y.len(),
+                });
+            }
+            match op {
+                Add => Ok(Column::F64(zip_f64(&x, &y, |p, q| p + q)?)),
+                Sub => Ok(Column::F64(zip_f64(&x, &y, |p, q| p - q)?)),
+                Mul => Ok(Column::F64(zip_f64(&x, &y, |p, q| p * q)?)),
+                Div => Ok(Column::F64(zip_f64(&x, &y, |p, q| p / q)?)),
+                Mod => Ok(Column::F64(zip_f64(&x, &y, |p, q| p.rem_euclid(q))?)),
+                Pow => Ok(Column::F64(zip_f64(&x, &y, f64::powf)?)),
+                Eq => Ok(Column::Bool(
+                    x.iter().zip(&y).map(|(p, q)| p == q).collect(),
+                )),
+                Ne => Ok(Column::Bool(
+                    x.iter().zip(&y).map(|(p, q)| p != q).collect(),
+                )),
+                Lt => Ok(Column::Bool(x.iter().zip(&y).map(|(p, q)| p < q).collect())),
+                Le => Ok(Column::Bool(
+                    x.iter().zip(&y).map(|(p, q)| p <= q).collect(),
+                )),
+                Gt => Ok(Column::Bool(x.iter().zip(&y).map(|(p, q)| p > q).collect())),
+                Ge => Ok(Column::Bool(
+                    x.iter().zip(&y).map(|(p, q)| p >= q).collect(),
+                )),
+                And | Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+fn eval_unary(f: UnaryFn, a: &Column) -> FrameResult<Column> {
+    match f {
+        UnaryFn::Not => {
+            let b = a.as_bool_slice()?;
+            Ok(Column::Bool(b.iter().map(|&x| !x).collect()))
+        }
+        UnaryFn::Neg => match a {
+            Column::I64(v) => Ok(Column::I64(v.iter().map(|&x| -x).collect())),
+            _ => {
+                let v = a.to_f64_vec()?;
+                Ok(Column::F64(v.iter().map(|&x| -x).collect()))
+            }
+        },
+        _ => {
+            let v = a.to_f64_vec()?;
+            let g: fn(f64) -> f64 = match f {
+                UnaryFn::Abs => f64::abs,
+                UnaryFn::Sqrt => f64::sqrt,
+                UnaryFn::Log => f64::ln,
+                UnaryFn::Log10 => f64::log10,
+                UnaryFn::Exp => f64::exp,
+                UnaryFn::Floor => f64::floor,
+                UnaryFn::Ceil => f64::ceil,
+                UnaryFn::Neg | UnaryFn::Not => unreachable!(),
+            };
+            Ok(Column::F64(v.iter().map(|&x| g(x)).collect()))
+        }
+    }
+}
+
+impl DataFrame {
+    /// Add (or replace) a column computed from an expression.
+    pub fn with_column(&mut self, name: &str, expr: &Expr) -> FrameResult<()> {
+        let col = expr.eval(self)?;
+        self.set_column(name, col)
+    }
+
+    /// Keep rows where the predicate expression is true.
+    pub fn filter_expr(&self, predicate: &Expr) -> FrameResult<DataFrame> {
+        let mask = predicate.eval_mask(self)?;
+        self.filter_mask(&mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns([
+            ("a", Column::from(vec![1.0, 4.0, 9.0])),
+            ("b", Column::from(vec![2i64, 4, 6])),
+            ("s", Column::from(vec!["x", "y", "x"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_widening() {
+        let e = Expr::bin(Expr::col("a"), BinOp::Add, Expr::col("b"));
+        assert_eq!(e.eval(&df()).unwrap(), Column::F64(vec![3.0, 8.0, 15.0]));
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let e = Expr::bin(Expr::col("b"), BinOp::Mul, Expr::lit(10i64));
+        assert_eq!(e.eval(&df()).unwrap(), Column::I64(vec![20, 40, 60]));
+    }
+
+    #[test]
+    fn unary_functions() {
+        let e = Expr::Unary(UnaryFn::Sqrt, Box::new(Expr::col("a")));
+        assert_eq!(e.eval(&df()).unwrap(), Column::F64(vec![1.0, 2.0, 3.0]));
+        let e = Expr::Unary(UnaryFn::Log10, Box::new(Expr::lit(100.0)));
+        assert_eq!(e.eval(&df()).unwrap(), Column::F64(vec![2.0; 3]));
+    }
+
+    #[test]
+    fn predicates_and_masks() {
+        let e = Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(3.0));
+        assert_eq!(e.eval_mask(&df()).unwrap(), vec![false, true, true]);
+        let both = Expr::bin(
+            Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(3.0)),
+            BinOp::And,
+            Expr::bin(Expr::col("b"), BinOp::Lt, Expr::lit(6i64)),
+        );
+        assert_eq!(both.eval_mask(&df()).unwrap(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn string_equality() {
+        let e = Expr::bin(Expr::col("s"), BinOp::Eq, Expr::lit("x"));
+        assert_eq!(e.eval_mask(&df()).unwrap(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn with_column_and_filter_expr() {
+        let mut d = df();
+        d.with_column(
+            "ratio",
+            &Expr::bin(Expr::col("a"), BinOp::Div, Expr::col("b")),
+        )
+        .unwrap();
+        assert_eq!(
+            d.column("ratio").unwrap(),
+            &Column::F64(vec![0.5, 1.0, 1.5])
+        );
+        let f = d
+            .filter_expr(&Expr::bin(Expr::col("ratio"), BinOp::Ge, Expr::lit(1.0)))
+            .unwrap();
+        assert_eq!(f.n_rows(), 2);
+    }
+
+    #[test]
+    fn unknown_column_in_expr_suggests() {
+        let e = Expr::col("aa");
+        let err = e.eval(&df()).unwrap_err();
+        assert!(matches!(err, FrameError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn referenced_columns_dedups() {
+        let e = Expr::bin(
+            Expr::bin(Expr::col("a"), BinOp::Add, Expr::col("b")),
+            BinOp::Mul,
+            Expr::col("a"),
+        );
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn predicate_type_error() {
+        let e = Expr::col("a"); // not a bool column
+        assert!(e.eval_mask(&df()).is_err());
+    }
+
+    #[test]
+    fn min_max_elementwise() {
+        let e = Expr::Min2(Box::new(Expr::col("a")), Box::new(Expr::col("b")));
+        assert_eq!(e.eval(&df()).unwrap(), Column::F64(vec![1.0, 4.0, 6.0]));
+        let e = Expr::Max2(Box::new(Expr::col("a")), Box::new(Expr::col("b")));
+        assert_eq!(e.eval(&df()).unwrap(), Column::F64(vec![2.0, 4.0, 9.0]));
+    }
+}

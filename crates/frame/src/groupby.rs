@@ -1,0 +1,359 @@
+//! Group-by aggregation.
+
+use crate::column::Column;
+use crate::error::{FrameError, FrameResult};
+use crate::frame::DataFrame;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Supported aggregation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Mean,
+    Min,
+    Max,
+    /// Sample standard deviation (ddof = 1), NaN-skipping.
+    Std,
+    /// Population variance numerator helper (used internally by Std).
+    Var,
+    /// Median (50th percentile, linear interpolation).
+    Median,
+    First,
+    Last,
+}
+
+impl AggKind {
+    /// Parse from the (case-insensitive) names used in SQL and the DSL.
+    pub fn parse(s: &str) -> Option<AggKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "count" => AggKind::Count,
+            "sum" => AggKind::Sum,
+            "avg" | "mean" => AggKind::Mean,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "std" | "stddev" => AggKind::Std,
+            "var" | "variance" => AggKind::Var,
+            "median" => AggKind::Median,
+            "first" => AggKind::First,
+            "last" => AggKind::Last,
+            _ => return None,
+        })
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Mean => "mean",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+            AggKind::Std => "std",
+            AggKind::Var => "var",
+            AggKind::Median => "median",
+            AggKind::First => "first",
+            AggKind::Last => "last",
+        }
+    }
+}
+
+/// One aggregation: apply `kind` to `column`, output as `alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub column: String,
+    pub kind: AggKind,
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// `AggSpec` with the default alias `<kind>_<column>`.
+    pub fn new(column: impl Into<String>, kind: AggKind) -> AggSpec {
+        let column = column.into();
+        let alias = format!("{}_{}", kind.name(), column);
+        AggSpec {
+            column,
+            kind,
+            alias,
+        }
+    }
+
+    /// Override the output column name.
+    pub fn with_alias(mut self, alias: impl Into<String>) -> AggSpec {
+        self.alias = alias.into();
+        self
+    }
+}
+
+/// Aggregate a NaN-skipping numeric slice.
+pub fn aggregate_f64(kind: AggKind, values: &[f64]) -> f64 {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    let n = clean.len();
+    if n == 0 {
+        return match kind {
+            AggKind::Count => 0.0,
+            _ => f64::NAN,
+        };
+    }
+    match kind {
+        AggKind::Count => n as f64,
+        AggKind::Sum => clean.iter().sum(),
+        AggKind::Mean => clean.iter().sum::<f64>() / n as f64,
+        AggKind::Min => clean.iter().copied().fold(f64::INFINITY, f64::min),
+        AggKind::Max => clean.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggKind::Std | AggKind::Var => {
+            if n < 2 {
+                return f64::NAN;
+            }
+            let mean = clean.iter().sum::<f64>() / n as f64;
+            let ss: f64 = clean.iter().map(|v| (v - mean) * (v - mean)).sum();
+            let var = ss / (n - 1) as f64;
+            if kind == AggKind::Std {
+                var.sqrt()
+            } else {
+                var
+            }
+        }
+        AggKind::Median => {
+            let mut sorted = clean;
+            sorted.sort_by(f64::total_cmp);
+            let mid = sorted.len() / 2;
+            if sorted.len() % 2 == 1 {
+                sorted[mid]
+            } else {
+                0.5 * (sorted[mid - 1] + sorted[mid])
+            }
+        }
+        AggKind::First => clean[0],
+        AggKind::Last => clean[n - 1],
+    }
+}
+
+/// Hashable group key: string keys kept as strings, numeric keys as their
+/// bit pattern so `-0.0`/`0.0` group together and `NaN` forms its own group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    I(i64),
+    F(u64),
+    S(String),
+    B(bool),
+}
+
+fn key_part(v: &Value) -> KeyPart {
+    match v {
+        Value::I64(i) => KeyPart::I(*i),
+        Value::F64(f) => {
+            let f = if *f == 0.0 { 0.0 } else { *f };
+            if f.is_nan() {
+                KeyPart::F(u64::MAX)
+            } else {
+                KeyPart::F(f.to_bits())
+            }
+        }
+        Value::Str(s) => KeyPart::S(s.clone()),
+        Value::Bool(b) => KeyPart::B(*b),
+    }
+}
+
+impl DataFrame {
+    /// Group by `keys` and compute `aggs` per group.
+    ///
+    /// Output has one row per distinct key combination, in first-seen
+    /// order, with the key columns followed by one column per spec.
+    pub fn group_by(&self, keys: &[&str], aggs: &[AggSpec]) -> FrameResult<DataFrame> {
+        if keys.is_empty() {
+            return Err(FrameError::Invalid("group_by requires at least one key".into()));
+        }
+        let key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|k| self.column(k))
+            .collect::<FrameResult<_>>()?;
+        // Pre-validate agg columns (Count on "*" is allowed).
+        for a in aggs {
+            if a.column != "*" {
+                self.column(&a.column)?;
+            } else if a.kind != AggKind::Count {
+                return Err(FrameError::Invalid(format!(
+                    "aggregate {}(*) is only valid for count",
+                    a.kind.name()
+                )));
+            }
+        }
+
+        let n = self.n_rows();
+        let mut groups: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+        let mut order: Vec<Vec<usize>> = Vec::new(); // row indices per group
+        let mut reps: Vec<usize> = Vec::new(); // representative row per group
+        for row in 0..n {
+            let key: Vec<KeyPart> = key_cols.iter().map(|c| key_part(&c.get(row))).collect();
+            let gid = *groups.entry(key).or_insert_with(|| {
+                order.push(Vec::new());
+                reps.push(row);
+                order.len() - 1
+            });
+            order[gid].push(row);
+        }
+
+        let mut out = DataFrame::new();
+        // Key columns.
+        for (ki, kname) in keys.iter().enumerate() {
+            let mut col = Column::with_capacity(key_cols[ki].dtype(), reps.len());
+            for &rep in &reps {
+                col.push(key_cols[ki].get(rep))?;
+            }
+            out.add_column((*kname).to_string(), col)?;
+        }
+        // Aggregates.
+        for spec in aggs {
+            let mut vals = Vec::with_capacity(order.len());
+            if spec.column == "*" {
+                for rows in &order {
+                    vals.push(rows.len() as f64);
+                }
+            } else {
+                let src = self.column(&spec.column)?;
+                let numeric = src.to_f64_vec();
+                match (&numeric, spec.kind) {
+                    (Ok(num), _) => {
+                        for rows in &order {
+                            let slice: Vec<f64> = rows.iter().map(|&r| num[r]).collect();
+                            vals.push(aggregate_f64(spec.kind, &slice));
+                        }
+                    }
+                    (Err(_), AggKind::Count) => {
+                        for rows in &order {
+                            vals.push(rows.len() as f64);
+                        }
+                    }
+                    (Err(e), _) => return Err(e.clone()),
+                }
+            }
+            // Counts come out as i64 for ergonomic downstream use.
+            let col = if spec.kind == AggKind::Count {
+                Column::I64(vals.iter().map(|&v| v as i64).collect())
+            } else {
+                Column::F64(vals)
+            };
+            out.add_column(spec.alias.clone(), col)?;
+        }
+        Ok(out)
+    }
+
+    /// Whole-frame aggregate of one column (no grouping).
+    pub fn aggregate(&self, column: &str, kind: AggKind) -> FrameResult<f64> {
+        if column == "*" && kind == AggKind::Count {
+            return Ok(self.n_rows() as f64);
+        }
+        let v = self.column(column)?.to_f64_vec()?;
+        Ok(aggregate_f64(kind, &v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns([
+            ("sim", Column::from(vec!["s0", "s0", "s1", "s1", "s1"])),
+            ("step", Column::from(vec![1i64, 2, 1, 2, 2])),
+            ("mass", Column::from(vec![1.0, 2.0, 3.0, 4.0, 6.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_mean() {
+        let g = df()
+            .group_by(&["sim"], &[AggSpec::new("mass", AggKind::Mean)])
+            .unwrap();
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.cell("mean_mass", 0).unwrap(), Value::F64(1.5));
+        assert_eq!(
+            g.cell("mean_mass", 1).unwrap(),
+            Value::F64((3.0 + 4.0 + 6.0) / 3.0)
+        );
+    }
+
+    #[test]
+    fn multi_key_groups() {
+        let g = df()
+            .group_by(
+                &["sim", "step"],
+                &[AggSpec::new("*", AggKind::Count).with_alias("n")],
+            )
+            .unwrap();
+        assert_eq!(g.n_rows(), 4);
+        // (s1, 2) has two rows.
+        let mut found = false;
+        for i in 0..g.n_rows() {
+            if g.cell("sim", i).unwrap() == Value::Str("s1".into())
+                && g.cell("step", i).unwrap() == Value::I64(2)
+            {
+                assert_eq!(g.cell("n", i).unwrap(), Value::I64(2));
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn std_and_median() {
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let std = aggregate_f64(AggKind::Std, &vals);
+        assert!((std - 2.138089935).abs() < 1e-6);
+        assert_eq!(aggregate_f64(AggKind::Median, &vals), 4.5);
+        assert_eq!(aggregate_f64(AggKind::Median, &[1.0, 2.0, 10.0]), 2.0);
+    }
+
+    #[test]
+    fn nan_skipped_in_aggregates() {
+        let vals = [1.0, f64::NAN, 3.0];
+        assert_eq!(aggregate_f64(AggKind::Mean, &vals), 2.0);
+        assert_eq!(aggregate_f64(AggKind::Count, &vals), 2.0);
+        assert!(aggregate_f64(AggKind::Mean, &[f64::NAN]).is_nan());
+        assert_eq!(aggregate_f64(AggKind::Count, &[]), 0.0);
+    }
+
+    #[test]
+    fn first_seen_order_preserved() {
+        let g = df()
+            .group_by(&["step"], &[AggSpec::new("mass", AggKind::Sum)])
+            .unwrap();
+        assert_eq!(g.cell("step", 0).unwrap(), Value::I64(1));
+        assert_eq!(g.cell("step", 1).unwrap(), Value::I64(2));
+    }
+
+    #[test]
+    fn whole_frame_aggregate() {
+        assert_eq!(df().aggregate("mass", AggKind::Max).unwrap(), 6.0);
+        assert_eq!(df().aggregate("*", AggKind::Count).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn errors_on_unknown_key_or_bad_spec() {
+        assert!(df().group_by(&[], &[]).is_err());
+        assert!(df()
+            .group_by(&["nope"], &[AggSpec::new("mass", AggKind::Sum)])
+            .is_err());
+        assert!(df()
+            .group_by(&["sim"], &[AggSpec::new("*", AggKind::Sum)])
+            .is_err());
+    }
+
+    #[test]
+    fn count_on_string_column() {
+        let g = df()
+            .group_by(&["step"], &[AggSpec::new("sim", AggKind::Count)])
+            .unwrap();
+        assert_eq!(g.cell("count_sim", 0).unwrap(), Value::I64(2));
+    }
+
+    #[test]
+    fn agg_kind_parse() {
+        assert_eq!(AggKind::parse("AVG"), Some(AggKind::Mean));
+        assert_eq!(AggKind::parse("stddev"), Some(AggKind::Std));
+        assert_eq!(AggKind::parse("bogus"), None);
+    }
+}

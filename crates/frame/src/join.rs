@@ -1,0 +1,226 @@
+//! Hash joins between frames.
+
+use crate::column::Column;
+use crate::error::{FrameError, FrameResult};
+use crate::frame::DataFrame;
+use crate::value::{DType, Value};
+use std::collections::HashMap;
+
+/// Join variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep all left rows; unmatched right columns become NaN / sentinel.
+    Left,
+}
+
+/// Normalized join key (numeric keys unified through i64/f64 bits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JKey {
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Bool(bool),
+}
+
+fn jkey(v: &Value) -> Option<JKey> {
+    match v {
+        Value::I64(i) => Some(JKey::Int(*i)),
+        Value::F64(f) => {
+            if f.is_nan() {
+                None // NaN never matches anything.
+            } else if f.fract() == 0.0 && f.abs() < 9e15 {
+                Some(JKey::Int(*f as i64)) // match across i64/f64 columns
+            } else {
+                Some(JKey::Float(f.to_bits()))
+            }
+        }
+        Value::Str(s) => Some(JKey::Str(s.clone())),
+        Value::Bool(b) => Some(JKey::Bool(*b)),
+    }
+}
+
+/// "Missing" filler per dtype for left-join non-matches.
+fn missing(dtype: DType) -> Value {
+    match dtype {
+        DType::F64 => Value::F64(f64::NAN),
+        DType::I64 => Value::I64(i64::MIN),
+        DType::Str => Value::Str(String::new()),
+        DType::Bool => Value::Bool(false),
+    }
+}
+
+impl DataFrame {
+    /// Join `self` (left) with `right` on equality of `left_on == right_on`.
+    ///
+    /// Output contains all left columns followed by all right columns
+    /// except the right key; right columns that collide with a left name
+    /// get a `_right` suffix. Row order follows the left frame; multiple
+    /// right matches fan out in right-frame order (pandas `merge`
+    /// semantics).
+    pub fn join(
+        &self,
+        right: &DataFrame,
+        left_on: &str,
+        right_on: &str,
+        kind: JoinKind,
+    ) -> FrameResult<DataFrame> {
+        let lkey = self.column(left_on)?;
+        let rkey = right.column(right_on)?;
+
+        // Build hash table over the right side: key -> row indices.
+        let mut table: HashMap<JKey, Vec<usize>> = HashMap::with_capacity(right.n_rows());
+        for i in 0..right.n_rows() {
+            if let Some(k) = jkey(&rkey.get(i)) {
+                table.entry(k).or_default().push(i);
+            }
+        }
+
+        // Probe with the left side.
+        let mut left_idx: Vec<usize> = Vec::new();
+        let mut right_idx: Vec<Option<usize>> = Vec::new();
+        for i in 0..self.n_rows() {
+            let matches = jkey(&lkey.get(i)).and_then(|k| table.get(&k));
+            match matches {
+                Some(rows) => {
+                    for &r in rows {
+                        left_idx.push(i);
+                        right_idx.push(Some(r));
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_idx.push(i);
+                        right_idx.push(None);
+                    }
+                }
+            }
+        }
+
+        let mut out = self.take(&left_idx);
+        for (name, col) in right.iter_columns() {
+            if name == right_on {
+                continue;
+            }
+            let out_name = if out.has_column(name) {
+                format!("{name}_right")
+            } else {
+                name.to_string()
+            };
+            let mut new_col = Column::with_capacity(col.dtype(), right_idx.len());
+            for r in &right_idx {
+                let v = match r {
+                    Some(r) => col.get(*r),
+                    None => missing(col.dtype()),
+                };
+                new_col.push(v)?;
+            }
+            out.add_column(out_name, new_col)
+                .map_err(|e| FrameError::Invalid(format!("join output: {e}")))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halos() -> DataFrame {
+        DataFrame::from_columns([
+            ("fof_halo_tag", Column::from(vec![100i64, 200, 300])),
+            ("fof_halo_mass", Column::from(vec![1e14, 5e13, 2e13])),
+        ])
+        .unwrap()
+    }
+
+    fn galaxies() -> DataFrame {
+        DataFrame::from_columns([
+            ("gal_tag", Column::from(vec![1i64, 2, 3, 4])),
+            ("fof_halo_tag", Column::from(vec![100i64, 100, 300, 999])),
+            ("gal_mass", Column::from(vec![1e11, 2e11, 3e10, 4e9])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_fans_out_matches() {
+        let j = halos()
+            .join(&galaxies(), "fof_halo_tag", "fof_halo_tag", JoinKind::Inner)
+            .unwrap();
+        // halo 100 matches 2 galaxies, halo 300 matches 1, halo 200 none.
+        assert_eq!(j.n_rows(), 3);
+        assert!(j.has_column("gal_mass"));
+        assert!(!j.has_column("fof_halo_tag_right"));
+        assert_eq!(j.cell("fof_halo_tag", 0).unwrap(), Value::I64(100));
+        assert_eq!(j.cell("gal_tag", 0).unwrap(), Value::I64(1));
+        assert_eq!(j.cell("gal_tag", 1).unwrap(), Value::I64(2));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_fill() {
+        let j = halos()
+            .join(&galaxies(), "fof_halo_tag", "fof_halo_tag", JoinKind::Left)
+            .unwrap();
+        assert_eq!(j.n_rows(), 4);
+        // halo 200 row: gal_mass is NaN.
+        let mut saw_unmatched = false;
+        for i in 0..j.n_rows() {
+            if j.cell("fof_halo_tag", i).unwrap() == Value::I64(200) {
+                assert!(j.cell("gal_mass", i).unwrap().is_missing());
+                saw_unmatched = true;
+            }
+        }
+        assert!(saw_unmatched);
+    }
+
+    #[test]
+    fn join_crosses_i64_f64_keys() {
+        let left = DataFrame::from_columns([("k", Column::from(vec![1.0, 2.0]))]).unwrap();
+        let right = DataFrame::from_columns([
+            ("k", Column::from(vec![2i64, 3])),
+            ("v", Column::from(vec![20.0, 30.0])),
+        ])
+        .unwrap();
+        let j = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 1);
+        assert_eq!(j.cell("v", 0).unwrap(), Value::F64(20.0));
+    }
+
+    #[test]
+    fn nan_keys_never_match() {
+        let left = DataFrame::from_columns([("k", Column::from(vec![f64::NAN]))]).unwrap();
+        let right = DataFrame::from_columns([
+            ("k", Column::from(vec![f64::NAN])),
+            ("v", Column::from(vec![1.0])),
+        ])
+        .unwrap();
+        let j = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 0);
+    }
+
+    #[test]
+    fn name_collision_gets_suffix() {
+        let left = DataFrame::from_columns([
+            ("k", Column::from(vec![1i64])),
+            ("v", Column::from(vec![1.0])),
+        ])
+        .unwrap();
+        let right = DataFrame::from_columns([
+            ("k", Column::from(vec![1i64])),
+            ("v", Column::from(vec![2.0])),
+        ])
+        .unwrap();
+        let j = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.cell("v", 0).unwrap(), Value::F64(1.0));
+        assert_eq!(j.cell("v_right", 0).unwrap(), Value::F64(2.0));
+    }
+
+    #[test]
+    fn join_unknown_key_errors() {
+        assert!(halos()
+            .join(&galaxies(), "nope", "fof_halo_tag", JoinKind::Inner)
+            .is_err());
+    }
+}

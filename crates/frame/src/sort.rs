@@ -1,0 +1,224 @@
+//! Multi-key stable sorting.
+
+use crate::error::FrameResult;
+use crate::frame::DataFrame;
+use crate::PARALLEL_THRESHOLD;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Sort direction for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    Ascending,
+    Descending,
+}
+
+impl SortOrder {
+    fn apply(self, o: Ordering) -> Ordering {
+        match self {
+            SortOrder::Ascending => o,
+            SortOrder::Descending => o.reverse(),
+        }
+    }
+}
+
+impl DataFrame {
+    /// Stable sort by one or more `(column, order)` keys.
+    ///
+    /// `NaN` values sort after all finite values regardless of direction
+    /// (matching pandas `na_position="last"`).
+    pub fn sort_by(&self, keys: &[(&str, SortOrder)]) -> FrameResult<DataFrame> {
+        // Validate columns up front so errors carry suggestions.
+        let cols: Vec<_> = keys
+            .iter()
+            .map(|(name, ord)| self.column(name).map(|c| (c, *ord)))
+            .collect::<FrameResult<_>>()?;
+
+        // Fast path: a single numeric key sorts over the raw slice
+        // instead of boxing every cell into a `Value` (an order of
+        // magnitude on wide frames).
+        if let [(col, ord)] = cols.as_slice() {
+            let ord = *ord;
+            match col {
+                crate::Column::I64(v) => {
+                    let mut idx: Vec<usize> = (0..v.len()).collect();
+                    let cmp = |&a: &usize, &b: &usize| ord.apply(v[a].cmp(&v[b]));
+                    if idx.len() >= PARALLEL_THRESHOLD {
+                        idx.par_sort_by(cmp);
+                    } else {
+                        idx.sort_by(cmp);
+                    }
+                    return Ok(self.take(&idx));
+                }
+                crate::Column::F64(v) => {
+                    let mut idx: Vec<usize> = (0..v.len()).collect();
+                    // NaN last irrespective of direction.
+                    let cmp = |&a: &usize, &b: &usize| {
+                        match (v[a].is_nan(), v[b].is_nan()) {
+                            (true, true) => Ordering::Equal,
+                            (true, false) => Ordering::Greater,
+                            (false, true) => Ordering::Less,
+                            (false, false) => ord.apply(v[a].total_cmp(&v[b])),
+                        }
+                    };
+                    if idx.len() >= PARALLEL_THRESHOLD {
+                        idx.par_sort_by(cmp);
+                    } else {
+                        idx.sort_by(cmp);
+                    }
+                    return Ok(self.take(&idx));
+                }
+                _ => {}
+            }
+        }
+
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        let cmp = |&a: &usize, &b: &usize| -> Ordering {
+            for (col, ord) in &cols {
+                let va = col.get(a);
+                let vb = col.get(b);
+                // NaN last irrespective of direction.
+                match (va.is_missing(), vb.is_missing()) {
+                    (true, true) => continue,
+                    (true, false) => return Ordering::Greater,
+                    (false, true) => return Ordering::Less,
+                    _ => {}
+                }
+                let o = ord.apply(va.total_cmp(&vb));
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            Ordering::Equal
+        };
+        if idx.len() >= PARALLEL_THRESHOLD {
+            idx.par_sort_by(cmp);
+        } else {
+            idx.sort_by(cmp);
+        }
+        Ok(self.take(&idx))
+    }
+
+    /// Descending sort by one column, keeping the first `n` rows —
+    /// the "largest N halos" primitive used across the evaluation set.
+    ///
+    /// Numeric columns use an `O(rows + n log n)` partial selection
+    /// instead of a full sort; ties between equal keys are broken
+    /// deterministically by row index.
+    pub fn top_n(&self, column: &str, n: usize) -> FrameResult<DataFrame> {
+        let rows = self.n_rows();
+        let k = n.min(rows);
+        if let Ok(v) = self.column(column)?.to_f64_vec() {
+            let mut idx: Vec<usize> = (0..rows).collect();
+            // Descending, NaN last, index as tiebreak (deterministic).
+            let cmp = |&a: &usize, &b: &usize| {
+                match (v[a].is_nan(), v[b].is_nan()) {
+                    (true, true) => a.cmp(&b),
+                    (true, false) => Ordering::Greater,
+                    (false, true) => Ordering::Less,
+                    (false, false) => v[b].total_cmp(&v[a]).then(a.cmp(&b)),
+                }
+            };
+            if k > 0 && k < rows {
+                idx.select_nth_unstable_by(k - 1, cmp);
+                idx.truncate(k);
+            }
+            idx.sort_by(cmp);
+            idx.truncate(k);
+            return Ok(self.take(&idx));
+        }
+        Ok(self
+            .sort_by(&[(column, SortOrder::Descending)])?
+            .head(n))
+    }
+
+    /// Index of the row with the maximum value of `column`, skipping NaN.
+    pub fn argmax(&self, column: &str) -> FrameResult<Option<usize>> {
+        let col = self.column(column)?;
+        let mut best: Option<(usize, crate::Value)> = None;
+        for (i, v) in col.iter_values().enumerate() {
+            if v.is_missing() {
+                continue;
+            }
+            match &best {
+                Some((_, bv)) if bv.total_cmp(&v) != Ordering::Less => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        Ok(best.map(|(i, _)| i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, Value};
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns([
+            ("g", Column::from(vec![1i64, 2, 1, 2])),
+            ("m", Column::from(vec![5.0, 1.0, 3.0, 4.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_descending() {
+        let s = df().sort_by(&[("m", SortOrder::Descending)]).unwrap();
+        assert_eq!(
+            s.column("m").unwrap(),
+            &Column::F64(vec![5.0, 4.0, 3.0, 1.0])
+        );
+    }
+
+    #[test]
+    fn multi_key_stable() {
+        let s = df()
+            .sort_by(&[("g", SortOrder::Ascending), ("m", SortOrder::Descending)])
+            .unwrap();
+        assert_eq!(s.column("g").unwrap(), &Column::I64(vec![1, 1, 2, 2]));
+        assert_eq!(
+            s.column("m").unwrap(),
+            &Column::F64(vec![5.0, 3.0, 4.0, 1.0])
+        );
+    }
+
+    #[test]
+    fn nan_sorts_last_both_directions() {
+        let d = DataFrame::from_columns([(
+            "x",
+            Column::from(vec![2.0, f64::NAN, 1.0]),
+        )])
+        .unwrap();
+        let asc = d.sort_by(&[("x", SortOrder::Ascending)]).unwrap();
+        assert!(asc.cell("x", 2).unwrap().is_missing());
+        let desc = d.sort_by(&[("x", SortOrder::Descending)]).unwrap();
+        assert!(desc.cell("x", 2).unwrap().is_missing());
+        assert_eq!(desc.cell("x", 0).unwrap(), Value::F64(2.0));
+    }
+
+    #[test]
+    fn top_n_returns_largest() {
+        let t = df().top_n("m", 2).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell("m", 0).unwrap(), Value::F64(5.0));
+        assert_eq!(t.cell("m", 1).unwrap(), Value::F64(4.0));
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        let d = DataFrame::from_columns([(
+            "x",
+            Column::from(vec![f64::NAN, 3.0, 7.0, 5.0]),
+        )])
+        .unwrap();
+        assert_eq!(d.argmax("x").unwrap(), Some(2));
+        let empty = DataFrame::from_columns([("x", Column::from(Vec::<f64>::new()))]).unwrap();
+        assert_eq!(empty.argmax("x").unwrap(), None);
+    }
+
+    #[test]
+    fn sort_unknown_column_errors() {
+        assert!(df().sort_by(&[("nope", SortOrder::Ascending)]).is_err());
+    }
+}

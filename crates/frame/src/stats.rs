@@ -1,0 +1,335 @@
+//! Statistical kernels: describe, correlation, linear fits, quantiles,
+//! z-scores — the numerical backbone of the paper's analysis questions
+//! ("slope and normalization of the gas-mass fraction relation", "intrinsic
+//! scatter of the SMHM relation", "interestingness score", ...).
+
+use crate::column::Column;
+use crate::error::{FrameError, FrameResult};
+use crate::frame::DataFrame;
+use crate::groupby::{aggregate_f64, AggKind};
+
+/// Result of an ordinary-least-squares fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Pearson correlation coefficient of (x, y).
+    pub r: f64,
+    /// Root-mean-square of the fit residuals — the "intrinsic scatter"
+    /// measure used in the SMHM-relation questions.
+    pub scatter: f64,
+    /// Number of (finite) points used.
+    pub n: usize,
+}
+
+/// Quantile with linear interpolation (pandas default), NaN-skipping.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if clean.is_empty() || !(0.0..=1.0).contains(&q) {
+        return f64::NAN;
+    }
+    clean.sort_by(f64::total_cmp);
+    let pos = q * (clean.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        clean[lo]
+    } else {
+        let frac = pos - lo as f64;
+        clean[lo] * (1.0 - frac) + clean[hi] * frac
+    }
+}
+
+/// Pearson correlation of two equally long slices, skipping pairs with NaN.
+pub fn pearson(x: &[f64], y: &[f64]) -> FrameResult<f64> {
+    if x.len() != y.len() {
+        return Err(FrameError::LengthMismatch {
+            expected: x.len(),
+            got: y.len(),
+        });
+    }
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| !a.is_nan() && !b.is_nan())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    let n = pairs.len() as f64;
+    if n < 2.0 {
+        return Ok(f64::NAN);
+    }
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in &pairs {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(f64::NAN);
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// OLS fit of `y` on `x`, skipping pairs containing NaN.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> FrameResult<LinearFit> {
+    if x.len() != y.len() {
+        return Err(FrameError::LengthMismatch {
+            expected: x.len(),
+            got: y.len(),
+        });
+    }
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return Err(FrameError::Invalid(format!(
+            "linear_fit needs at least 2 finite points, got {n}"
+        )));
+    }
+    let nf = n as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / nf;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (a, b) in &pairs {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+    }
+    if sxx == 0.0 {
+        return Err(FrameError::Invalid(
+            "linear_fit: x has zero variance".into(),
+        ));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut ss_res = 0.0;
+    for (a, b) in &pairs {
+        let resid = b - (slope * a + intercept);
+        ss_res += resid * resid;
+    }
+    let scatter = (ss_res / nf).sqrt();
+    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let r = pearson(&xs, &ys)?;
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r,
+        scatter,
+        n,
+    })
+}
+
+impl DataFrame {
+    /// Summary statistics (count / mean / std / min / 25% / 50% / 75% /
+    /// max) for every numeric column. Output: one row per statistic with a
+    /// leading `statistic` column, pandas `describe()` layout.
+    pub fn describe(&self) -> FrameResult<DataFrame> {
+        let stats: [(&str, fn(&[f64]) -> f64); 8] = [
+            ("count", |v| aggregate_f64(AggKind::Count, v)),
+            ("mean", |v| aggregate_f64(AggKind::Mean, v)),
+            ("std", |v| aggregate_f64(AggKind::Std, v)),
+            ("min", |v| aggregate_f64(AggKind::Min, v)),
+            ("25%", |v| quantile(v, 0.25)),
+            ("50%", |v| quantile(v, 0.50)),
+            ("75%", |v| quantile(v, 0.75)),
+            ("max", |v| aggregate_f64(AggKind::Max, v)),
+        ];
+        let mut out = DataFrame::new();
+        out.add_column(
+            "statistic".into(),
+            Column::Str(stats.iter().map(|(n, _)| n.to_string()).collect()),
+        )?;
+        for (name, col) in self.iter_columns() {
+            if !col.dtype().is_numeric() {
+                continue;
+            }
+            let v = col.to_f64_vec()?;
+            let vals: Vec<f64> = stats.iter().map(|(_, f)| f(&v)).collect();
+            out.add_column(name.to_string(), Column::F64(vals))?;
+        }
+        if out.n_cols() == 1 {
+            return Err(FrameError::Invalid(
+                "describe: frame has no numeric columns".into(),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Pearson correlation between two columns.
+    pub fn corr(&self, a: &str, b: &str) -> FrameResult<f64> {
+        let x = self.column(a)?.to_f64_vec()?;
+        let y = self.column(b)?.to_f64_vec()?;
+        pearson(&x, &y)
+    }
+
+    /// Full correlation matrix over the named numeric columns, returned as
+    /// a frame with a leading `column` label column.
+    pub fn corr_matrix(&self, columns: &[&str]) -> FrameResult<DataFrame> {
+        let data: Vec<Vec<f64>> = columns
+            .iter()
+            .map(|c| self.column(c)?.to_f64_vec())
+            .collect::<FrameResult<_>>()?;
+        let mut out = DataFrame::new();
+        out.add_column(
+            "column".into(),
+            Column::Str(columns.iter().map(|c| c.to_string()).collect()),
+        )?;
+        for (j, cj) in columns.iter().enumerate() {
+            let mut col = Vec::with_capacity(columns.len());
+            for di in &data {
+                col.push(pearson(di, &data[j])?);
+            }
+            out.add_column((*cj).to_string(), Column::F64(col))?;
+        }
+        Ok(out)
+    }
+
+    /// OLS fit of column `y` on column `x`.
+    pub fn linfit(&self, x: &str, y: &str) -> FrameResult<LinearFit> {
+        let xv = self.column(x)?.to_f64_vec()?;
+        let yv = self.column(y)?.to_f64_vec()?;
+        linear_fit(&xv, &yv)
+    }
+
+    /// Quantile of a column.
+    pub fn quantile_of(&self, column: &str, q: f64) -> FrameResult<f64> {
+        Ok(quantile(&self.column(column)?.to_f64_vec()?, q))
+    }
+
+    /// Z-score-normalize the named columns into new `<name>_z` columns;
+    /// returns the modified frame. Zero-variance columns produce zeros.
+    pub fn zscore(&self, columns: &[&str]) -> FrameResult<DataFrame> {
+        let mut out = self.clone();
+        for c in columns {
+            let v = self.column(c)?.to_f64_vec()?;
+            let mean = aggregate_f64(AggKind::Mean, &v);
+            let std = aggregate_f64(AggKind::Std, &v);
+            let z: Vec<f64> = v
+                .iter()
+                .map(|&x| {
+                    if std > 0.0 && std.is_finite() {
+                        (x - mean) / std
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            out.set_column(&format!("{c}_z"), Column::F64(z))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 2.5);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(quantile(&v, 1.5).is_nan());
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yneg = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &yneg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_skips_nan_pairs() {
+        let x = [1.0, f64::NAN, 2.0, 3.0];
+        let y = [2.0, 100.0, 4.0, 6.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v - 7.0).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-10);
+        assert!((fit.intercept + 7.0).abs() < 1e-8);
+        assert!(fit.scatter < 1e-8);
+        assert_eq!(fit.n, 100);
+    }
+
+    #[test]
+    fn linear_fit_scatter_measures_noise() {
+        // y = x + alternating ±1 noise -> RMS scatter exactly 1.
+        let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.scatter - 1.0).abs() < 1e-2, "scatter={}", fit.scatter);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_errors() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_err());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn describe_layout() {
+        let df = DataFrame::from_columns([
+            ("m", Column::from(vec![1.0, 2.0, 3.0, 4.0])),
+            ("tag", Column::from(vec!["a", "b", "c", "d"])),
+        ])
+        .unwrap();
+        let d = df.describe().unwrap();
+        assert_eq!(d.n_rows(), 8);
+        assert!(d.has_column("m"));
+        assert!(!d.has_column("tag"));
+        assert_eq!(d.cell("m", 0).unwrap(), crate::Value::F64(4.0)); // count
+        assert_eq!(d.cell("m", 1).unwrap(), crate::Value::F64(2.5)); // mean
+    }
+
+    #[test]
+    fn corr_matrix_is_symmetric_with_unit_diagonal() {
+        let df = DataFrame::from_columns([
+            ("a", Column::from(vec![1.0, 2.0, 3.0, 5.0])),
+            ("b", Column::from(vec![2.0, 1.0, 4.0, 3.0])),
+        ])
+        .unwrap();
+        let m = df.corr_matrix(&["a", "b"]).unwrap();
+        let aa = m.cell("a", 0).unwrap().as_f64().unwrap();
+        let ab = m.cell("b", 0).unwrap().as_f64().unwrap();
+        let ba = m.cell("a", 1).unwrap().as_f64().unwrap();
+        assert!((aa - 1.0).abs() < 1e-12);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_normalizes() {
+        let df = DataFrame::from_columns([("v", Column::from(vec![2.0, 4.0, 6.0]))]).unwrap();
+        let z = df.zscore(&["v"]).unwrap();
+        let zv = z.column("v_z").unwrap().as_f64_slice().unwrap().to_vec();
+        assert!((zv[1]).abs() < 1e-12);
+        assert!((zv[0] + zv[2]).abs() < 1e-12);
+        // Zero variance -> zeros, not NaN.
+        let flat = DataFrame::from_columns([("v", Column::from(vec![1.0, 1.0]))]).unwrap();
+        let z = flat.zscore(&["v"]).unwrap();
+        assert_eq!(z.column("v_z").unwrap(), &Column::F64(vec![0.0, 0.0]));
+    }
+}

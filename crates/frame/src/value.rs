@@ -1,0 +1,223 @@
+//! Scalar values and data types.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The data type of a column or scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 64-bit IEEE float; `NaN` encodes a missing value.
+    F64,
+    /// 64-bit signed integer.
+    I64,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F64 => "f64",
+            DType::I64 => "i64",
+            DType::Str => "str",
+            DType::Bool => "bool",
+        }
+    }
+
+    /// Whether this type participates in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::F64 | DType::I64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed scalar cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    F64(f64),
+    I64(i64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// The [`DType`] of this value.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Value::F64(_) => DType::F64,
+            Value::I64(_) => DType::I64,
+            Value::Str(_) => DType::Str,
+            Value::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Numeric view: integers widen to `f64`, booleans to 0.0/1.0.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::Bool(b) => Some(f64::from(u8::from(*b))),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer view (no float truncation — floats must be integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::F64(v) if v.fract() == 0.0 && v.is_finite() => Some(*v as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this value represents missing data (`NaN`).
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::F64(v) if v.is_nan())
+    }
+
+    /// Total ordering used for sorting and comparisons across mixed
+    /// numeric types. `NaN` sorts last; cross-type comparisons order by
+    /// type rank (numeric < str < bool) for stability.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::F64(_) | Value::I64(_) => 0,
+                Value::Str(_) => 1,
+                Value::Bool(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) if rank(a) == 0 && rank(b) == 0 => {
+                let fa = a.as_f64().unwrap_or(f64::NAN);
+                let fb = b.as_f64().unwrap_or(f64::NAN);
+                fa.total_cmp(&fb)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::F64(v) => {
+                if v.is_nan() {
+                    f.write_str("")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::I64(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::I64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::F64(3.0).as_i64(), Some(3));
+        assert_eq!(Value::F64(3.5).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::I64(3), Value::F64(3.0));
+        assert_ne!(Value::I64(3), Value::F64(3.1));
+        assert_ne!(Value::Str("3".into()), Value::I64(3));
+    }
+
+    #[test]
+    fn nan_is_missing_and_sorts_last() {
+        assert!(Value::F64(f64::NAN).is_missing());
+        assert!(!Value::F64(0.0).is_missing());
+        let mut vals = vec![Value::F64(f64::NAN), Value::F64(1.0), Value::F64(-2.0)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::F64(-2.0));
+        assert_eq!(vals[1], Value::F64(1.0));
+        assert!(vals[2].is_missing());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::F64(1.5).to_string(), "1.5");
+        assert_eq!(Value::F64(f64::NAN).to_string(), "");
+        assert_eq!(Value::I64(-4).to_string(), "-4");
+        assert_eq!(Value::Str("halo".into()).to_string(), "halo");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the dataframe core: invariants that must hold
+//! for arbitrary data, not just hand-picked cases.
+
+use infera_frame::{AggKind, AggSpec, Column, DataFrame, JoinKind, SortOrder};
+use proptest::prelude::*;
+
+/// Arbitrary small frame: i64 key column, f64 value column (with NaNs),
+/// and a low-cardinality string group column.
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    (1usize..60).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(any::<i64>(), rows),
+            proptest::collection::vec(
+                prop_oneof![
+                    4 => (-1.0e12f64..1.0e12),
+                    1 => Just(f64::NAN),
+                ],
+                rows,
+            ),
+            proptest::collection::vec(0u8..4, rows),
+        )
+            .prop_map(|(keys, vals, groups)| {
+                DataFrame::from_columns([
+                    ("key", Column::I64(keys)),
+                    ("val", Column::F64(vals)),
+                    (
+                        "grp",
+                        Column::Str(groups.into_iter().map(|g| format!("g{g}")).collect()),
+                    ),
+                ])
+                .expect("equal lengths")
+            })
+    })
+}
+
+proptest! {
+    /// CSV serialization round-trips schema and values exactly (NaN
+    /// compares as missing on both sides).
+    #[test]
+    fn csv_roundtrip(df in arb_frame()) {
+        let text = df.to_csv_string();
+        let back = DataFrame::from_csv_string(&text).unwrap();
+        prop_assert_eq!(back.schema(), df.schema());
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        for row in 0..df.n_rows() {
+            let a = df.cell("val", row).unwrap();
+            let b = back.cell("val", row).unwrap();
+            prop_assert!(a == b || (a.is_missing() && b.is_missing()),
+                "row {}: {:?} vs {:?}", row, a, b);
+            prop_assert_eq!(df.cell("key", row).unwrap(), back.cell("key", row).unwrap());
+        }
+    }
+
+    /// Sorting is a permutation (same multiset of keys) and is ordered.
+    #[test]
+    fn sort_is_ordered_permutation(df in arb_frame()) {
+        let sorted = df.sort_by(&[("key", SortOrder::Ascending)]).unwrap();
+        prop_assert_eq!(sorted.n_rows(), df.n_rows());
+        let mut original: Vec<i64> =
+            df.column("key").unwrap().as_i64_slice().unwrap().to_vec();
+        let mut after: Vec<i64> =
+            sorted.column("key").unwrap().as_i64_slice().unwrap().to_vec();
+        prop_assert!(after.windows(2).all(|w| w[0] <= w[1]));
+        original.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(original, after);
+    }
+
+    /// Filtering returns exactly the rows matching the predicate, in
+    /// original order.
+    #[test]
+    fn filter_matches_scan(df in arb_frame(), threshold in -1.0e12f64..1.0e12) {
+        use infera_frame::expr::BinOp;
+        use infera_frame::Expr;
+        let pred = Expr::bin(Expr::col("val"), BinOp::Gt, Expr::lit(threshold));
+        let filtered = df.filter_expr(&pred).unwrap();
+        let vals = df.column("val").unwrap().as_f64_slice().unwrap();
+        let expected: Vec<usize> =
+            (0..df.n_rows()).filter(|&i| vals[i] > threshold).collect();
+        prop_assert_eq!(filtered.n_rows(), expected.len());
+        for (out_row, &src_row) in expected.iter().enumerate() {
+            prop_assert_eq!(
+                filtered.cell("key", out_row).unwrap(),
+                df.cell("key", src_row).unwrap()
+            );
+        }
+    }
+
+    /// Group-by count partitions the rows: counts sum to n_rows and every
+    /// key is distinct.
+    #[test]
+    fn group_by_partitions(df in arb_frame()) {
+        let g = df
+            .group_by(&["grp"], &[AggSpec::new("*", AggKind::Count).with_alias("n")])
+            .unwrap();
+        let total: i64 = g.column("n").unwrap().as_i64_slice().unwrap().iter().sum();
+        prop_assert_eq!(total as usize, df.n_rows());
+        let mut keys: Vec<String> =
+            g.column("grp").unwrap().as_str_slice().unwrap().to_vec();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len());
+    }
+
+    /// Mean lies within [min, max] of the non-NaN values.
+    #[test]
+    fn aggregate_bounds(df in arb_frame()) {
+        let mean = df.aggregate("val", AggKind::Mean).unwrap();
+        let min = df.aggregate("val", AggKind::Min).unwrap();
+        let max = df.aggregate("val", AggKind::Max).unwrap();
+        if !mean.is_nan() {
+            prop_assert!(min <= mean + 1e-6 && mean <= max + 1e-6,
+                "min={} mean={} max={}", min, mean, max);
+        }
+    }
+
+    /// Inner self-join on a unique key returns exactly the original rows.
+    #[test]
+    fn self_join_on_unique_key(rows in 1usize..40) {
+        let keys: Vec<i64> = (0..rows as i64).collect();
+        let vals: Vec<f64> = (0..rows).map(|i| i as f64 * 1.5).collect();
+        let df = DataFrame::from_columns([
+            ("key", Column::I64(keys)),
+            ("val", Column::F64(vals)),
+        ]).unwrap();
+        let j = df.join(&df, "key", "key", JoinKind::Inner).unwrap();
+        prop_assert_eq!(j.n_rows(), rows);
+        for r in 0..rows {
+            prop_assert_eq!(j.cell("val", r).unwrap(), j.cell("val_right", r).unwrap());
+        }
+    }
+
+    /// Left join never loses left rows.
+    #[test]
+    fn left_join_preserves_left(df in arb_frame(), other in arb_frame()) {
+        let j = df.join(&other, "key", "key", JoinKind::Left).unwrap();
+        prop_assert!(j.n_rows() >= df.n_rows());
+    }
+
+    /// head(n) + tail(rows-n) partition the frame.
+    #[test]
+    fn head_tail_partition(df in arb_frame(), frac in 0.0f64..1.0) {
+        let n = (df.n_rows() as f64 * frac) as usize;
+        let mut head = df.head(n);
+        let tail = df.tail(df.n_rows() - n);
+        head.vstack(&tail).unwrap();
+        prop_assert_eq!(head.n_rows(), df.n_rows());
+        for r in 0..df.n_rows() {
+            prop_assert_eq!(head.cell("key", r).unwrap(), df.cell("key", r).unwrap());
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(df in arb_frame(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = df.quantile_of("val", lo).unwrap();
+        let b = df.quantile_of("val", hi).unwrap();
+        if !a.is_nan() && !b.is_nan() {
+            prop_assert!(a <= b + 1e-9, "q{}={} > q{}={}", lo, a, hi, b);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Background cosmology: snapshot ↔ scale-factor mapping and a linear
+//! growth proxy.
+//!
+//! HACC labels its outputs with *step numbers* 0..=624 that march the
+//! scale factor from `a_init = 1/(1+z_init)` to `a = 1` (z = 0) in equal
+//! increments of `a`. The evaluation questions reference concrete steps
+//! ("timestep 498", "timestep 624"), so the mapping here follows that
+//! convention.
+
+use serde::{Deserialize, Serialize};
+
+/// Final HACC step number (z = 0 snapshot).
+pub const FINAL_STEP: u32 = 624;
+/// Initial redshift of the synthetic runs.
+pub const Z_INIT: f64 = 10.0;
+
+/// Background cosmology for the synthetic ensemble (flat ΛCDM-ish).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cosmology {
+    /// Matter density parameter.
+    pub omega_m: f64,
+    /// Baryon density parameter.
+    pub omega_b: f64,
+    /// Hubble parameter / 100 km/s/Mpc.
+    pub h: f64,
+    /// Power-spectrum normalization proxy.
+    pub sigma8: f64,
+}
+
+impl Default for Cosmology {
+    fn default() -> Self {
+        // Planck-like values, matching CRK-HACC production runs.
+        Cosmology {
+            omega_m: 0.31,
+            omega_b: 0.049,
+            h: 0.6766,
+            sigma8: 0.81,
+        }
+    }
+}
+
+impl Cosmology {
+    /// Cosmic baryon fraction Ω_b / Ω_m.
+    pub fn baryon_fraction(&self) -> f64 {
+        self.omega_b / self.omega_m
+    }
+}
+
+/// Scale factor of a HACC step number (equal-`a` stepping).
+pub fn scale_factor(step: u32) -> f64 {
+    let a_init = 1.0 / (1.0 + Z_INIT);
+    let frac = f64::from(step.min(FINAL_STEP)) / f64::from(FINAL_STEP);
+    a_init + (1.0 - a_init) * frac
+}
+
+/// Redshift of a HACC step number.
+pub fn redshift(step: u32) -> f64 {
+    1.0 / scale_factor(step) - 1.0
+}
+
+/// Inverse mapping: the step whose scale factor is closest to `a`.
+pub fn step_for_scale_factor(a: f64) -> u32 {
+    let a_init = 1.0 / (1.0 + Z_INIT);
+    let frac = ((a - a_init) / (1.0 - a_init)).clamp(0.0, 1.0);
+    (frac * f64::from(FINAL_STEP)).round() as u32
+}
+
+/// Linear growth-factor proxy `D(a)`, normalized to `D(1) = 1`.
+///
+/// Uses the common Carroll–Press–Turner fitting form; adequate for
+/// shaping halo mass growth in the synthetic catalogs.
+pub fn growth_factor(cosmo: &Cosmology, a: f64) -> f64 {
+    fn g(omega_m: f64, a: f64) -> f64 {
+        // Ω_m(a) for flat ΛCDM.
+        let om_a = omega_m / (omega_m + (1.0 - omega_m) * a * a * a);
+        let ol_a = 1.0 - om_a;
+        2.5 * a * om_a
+            / (om_a.powf(4.0 / 7.0) - ol_a + (1.0 + om_a / 2.0) * (1.0 + ol_a / 70.0))
+    }
+    g(cosmo.omega_m, a) / g(cosmo.omega_m, 1.0)
+}
+
+/// Given a requested step (possibly one that is not among the generated
+/// snapshots), return the nearest available snapshot step.
+pub fn nearest_snapshot(available: &[u32], requested: u32) -> Option<u32> {
+    available
+        .iter()
+        .copied()
+        .min_by_key(|&s| (i64::from(s) - i64::from(requested)).unsigned_abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor_endpoints() {
+        assert!((scale_factor(0) - 1.0 / 11.0).abs() < 1e-12);
+        assert!((scale_factor(FINAL_STEP) - 1.0).abs() < 1e-12);
+        assert!((redshift(FINAL_STEP)).abs() < 1e-12);
+        assert!((redshift(0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_factor_monotonic() {
+        let mut prev = 0.0;
+        for step in (0..=FINAL_STEP).step_by(13) {
+            let a = scale_factor(step);
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn step_roundtrip() {
+        for step in [0u32, 100, 312, 498, 624] {
+            assert_eq!(step_for_scale_factor(scale_factor(step)), step);
+        }
+    }
+
+    #[test]
+    fn growth_factor_normalized_and_monotonic() {
+        let c = Cosmology::default();
+        assert!((growth_factor(&c, 1.0) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let a = i as f64 / 20.0;
+            let d = growth_factor(&c, a);
+            assert!(d > prev, "D({a}) = {d} not increasing");
+            prev = d;
+        }
+        // Early-time growth roughly proportional to a in matter domination.
+        let d_small = growth_factor(&c, 0.1);
+        assert!(d_small > 0.08 && d_small < 0.15, "D(0.1) = {d_small}");
+    }
+
+    #[test]
+    fn nearest_snapshot_picks_closest() {
+        let avail = [0u32, 100, 200, 300, 624];
+        assert_eq!(nearest_snapshot(&avail, 498), Some(624));
+        assert_eq!(nearest_snapshot(&avail, 120), Some(100));
+        assert_eq!(nearest_snapshot(&avail, 150), Some(100)); // ties -> lower
+        assert_eq!(nearest_snapshot(&[], 5), None);
+    }
+
+    #[test]
+    fn baryon_fraction_sane() {
+        let c = Cosmology::default();
+        let fb = c.baryon_fraction();
+        assert!(fb > 0.1 && fb < 0.2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for the HACC substrate.
+
+use std::fmt;
+
+/// Result alias.
+pub type HaccResult<T> = Result<T, HaccError>;
+
+/// Errors from generation, file I/O and format parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HaccError {
+    /// Underlying I/O failure (path + source message).
+    Io(String),
+    /// Structural problem in a GenericIO-lite file or manifest.
+    Format(String),
+    /// Checksum mismatch — on-disk data corruption.
+    Corrupt(String),
+    /// Requested column does not exist in the file.
+    UnknownColumn {
+        name: String,
+        suggestion: Option<String>,
+    },
+    /// Invalid generation spec.
+    Spec(String),
+}
+
+impl fmt::Display for HaccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaccError::Io(m) => write!(f, "io error: {m}"),
+            HaccError::Format(m) => write!(f, "format error: {m}"),
+            HaccError::Corrupt(m) => write!(f, "corruption detected: {m}"),
+            HaccError::UnknownColumn { name, suggestion } => match suggestion {
+                Some(s) => write!(f, "unknown column '{name}' — did you mean '{s}'?"),
+                None => write!(f, "unknown column '{name}'"),
+            },
+            HaccError::Spec(m) => write!(f, "invalid ensemble spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HaccError {}

@@ -1,0 +1,42 @@
+//! # infera-hacc
+//!
+//! A synthetic reproduction of the HACC (Hardware/Hybrid Accelerated
+//! Cosmology Code) ensemble data products that the InferA paper analyzes.
+//!
+//! The original evaluation runs on a 1.4 TB (4-run) and an 11.2 TB
+//! (32-run) CRK-HACC hydrodynamics ensemble — proprietary data at a scale
+//! this reproduction cannot ship. Instead, this crate *generates* an
+//! ensemble with the same observable structure:
+//!
+//! * a hierarchical file layout (simulations × timesteps × entity files),
+//! * a GenericIO-like block/columnar binary format with selective column
+//!   reads and CRC checksums ([`genio`]),
+//! * halo / galaxy / core / particle catalogs with realistic column names
+//!   and physically shaped correlations ([`schema`], [`model`],
+//!   [`physics`]),
+//! * sub-grid parameter ensembles (f_SN, log v_SN, log T_AGN, beta_BH,
+//!   M_seed) drawn from a Latin hypercube ([`params`]),
+//! * the metadata dictionaries that InferA's RAG layer retrieves over
+//!   ([`metadata`]).
+//!
+//! Everything is deterministic given the ensemble seed.
+
+pub mod cosmology;
+pub mod ensemble;
+pub mod error;
+pub mod genio;
+pub mod metadata;
+pub mod model;
+pub mod params;
+pub mod physics;
+pub mod rng;
+pub mod schema;
+
+pub use cosmology::{scale_factor, Cosmology, FINAL_STEP};
+pub use ensemble::{generate, EnsembleSpec, FileEntry, Manifest};
+pub use error::{HaccError, HaccResult};
+pub use genio::{GenioColumn, GenioDType, GenioReader, GenioWriter};
+pub use metadata::{column_dictionary, structure_dictionary, ColumnDoc, StructureDoc};
+pub use model::{SimConfig, SimModel};
+pub use params::{latin_hypercube, SubgridParams};
+pub use schema::EntityKind;

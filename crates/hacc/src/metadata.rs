@@ -1,0 +1,329 @@
+//! Metadata dictionaries — the knowledge base of the RAG layer (§3.1).
+//!
+//! Two dictionaries, exactly as the paper describes: one mapping each
+//! column label to a context-rich natural-language description (LLM
+//! generated, expert refined in the original; hand-written here), and one
+//! describing the ensemble file structure. Columns central to common
+//! analyses carry an `important` tag, which the retriever's "\[IMPORTANT\]"
+//! prompt boosts.
+
+use crate::ensemble::Manifest;
+use crate::schema::EntityKind;
+use serde::{Deserialize, Serialize};
+
+/// One column's metadata entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDoc {
+    /// Exact column label as it appears in the files.
+    pub column: String,
+    /// Entity kind label ("halos", "galaxies", "cores", "particles").
+    pub entity: String,
+    /// Context-rich natural language description.
+    pub description: String,
+    /// Whether the "\[IMPORTANT\]" retrieval prompt should boost this column.
+    pub important: bool,
+}
+
+fn doc(entity: EntityKind, column: &str, description: &str, important: bool) -> ColumnDoc {
+    ColumnDoc {
+        column: column.to_string(),
+        entity: entity.label().to_string(),
+        description: description.to_string(),
+        important,
+    }
+}
+
+/// The full column-description dictionary covering every column of every
+/// data product.
+pub fn column_dictionary() -> Vec<ColumnDoc> {
+    use EntityKind::*;
+    vec![
+        // ---------------- halos ----------------
+        doc(Halos, "fof_halo_tag",
+            "Unique identifier tag of a friends-of-friends (FoF) dark matter halo. \
+             Stable across timesteps, so it links halos between snapshots and joins \
+             halos to their member galaxies and cores.", true),
+        doc(Halos, "fof_halo_count",
+            "Number of dark matter particles linked into the friends-of-friends halo. \
+             A proxy for halo size and halo mass; the largest halos have the highest counts.", true),
+        doc(Halos, "fof_halo_mass",
+            "Total mass of the friends-of-friends halo in Msun/h, the particle count \
+             times the particle mass. Use for halo mass functions, mass growth histories \
+             and largest-halo selections.", true),
+        doc(Halos, "fof_halo_center_x",
+            "X coordinate of the halo center of mass in comoving Mpc/h within the \
+             periodic simulation box. Spatial position for 3D visualization and \
+             neighbor/radius searches.", true),
+        doc(Halos, "fof_halo_center_y",
+            "Y coordinate of the halo center of mass in comoving Mpc/h within the \
+             periodic simulation box.", false),
+        doc(Halos, "fof_halo_center_z",
+            "Z coordinate of the halo center of mass in comoving Mpc/h within the \
+             periodic simulation box.", false),
+        doc(Halos, "fof_halo_mean_vx",
+            "Mean peculiar velocity of the halo along x in km/s; bulk motion of the \
+             halo, used for kinematics and kinetic energy estimates.", false),
+        doc(Halos, "fof_halo_mean_vy",
+            "Mean peculiar velocity of the halo along y in km/s.", false),
+        doc(Halos, "fof_halo_mean_vz",
+            "Mean peculiar velocity of the halo along z in km/s.", false),
+        doc(Halos, "fof_halo_vel_disp",
+            "One-dimensional velocity dispersion of the halo member particles in km/s. \
+             Measures internal random motions; correlates with halo mass through the \
+             virial relation.", false),
+        doc(Halos, "fof_halo_max_cir_vel",
+            "Maximum circular velocity of the halo rotation curve in km/s, an \
+             alternative halo mass proxy robust to the outer halo boundary.", false),
+        doc(Halos, "sod_halo_radius",
+            "Spherical overdensity radius R500c in comoving Mpc/h: the radius enclosing \
+             a mean density 500 times the critical density of the universe.", false),
+        doc(Halos, "sod_halo_M500c",
+            "Mass enclosed within the spherical overdensity radius at 500 times the \
+             critical density (M500c), in Msun/h. The halo mass definition used for \
+             gas fraction and cluster scaling relations.", true),
+        doc(Halos, "sod_halo_MGas500c",
+            "Gas mass enclosed within a density 500 times the critical density in a \
+             spherical overdensity halo, in Msun/h. Divide by sod_halo_M500c for the \
+             hot gas mass fraction; sensitive to AGN feedback.", true),
+        doc(Halos, "sod_halo_Mstar500c",
+            "Stellar mass enclosed within the spherical overdensity radius at 500 times \
+             the critical density, in Msun/h. The halo-wide stellar content, complementary \
+             to the gas mass sod_halo_MGas500c.", false),
+        doc(Halos, "sod_halo_cdelta",
+            "NFW concentration parameter c of the spherical overdensity halo profile, \
+             the ratio of the halo radius to the profile scale radius.", false),
+        doc(Halos, "sod_halo_1D_vel_disp",
+            "One-dimensional velocity dispersion of the spherical overdensity halo in km/s \
+             (the three-dimensional dispersion divided by sqrt(3)).", false),
+        doc(Halos, "sod_halo_min_pot_x",
+            "X coordinate of the gravitational potential minimum of the halo in comoving \
+             Mpc/h; the densest point, slightly offset from the center of mass in \
+             unrelaxed systems.", false),
+        doc(Halos, "sod_halo_min_pot_y",
+            "Y coordinate of the gravitational potential minimum of the halo in comoving Mpc/h.", false),
+        doc(Halos, "sod_halo_min_pot_z",
+            "Z coordinate of the gravitational potential minimum of the halo in comoving Mpc/h.", false),
+        doc(Halos, "fof_halo_angmom_x",
+            "X component of the total angular momentum of the friends-of-friends halo, \
+             tracing the halo spin acquired from tidal torques.", false),
+        doc(Halos, "fof_halo_angmom_y",
+            "Y component of the total angular momentum of the friends-of-friends halo.", false),
+        doc(Halos, "fof_halo_angmom_z",
+            "Z component of the total angular momentum of the friends-of-friends halo.", false),
+        doc(Halos, "fof_halo_ke",
+            "Total kinetic energy of the friends-of-friends halo, combining bulk motion \
+             and internal velocity dispersion, in Msun/h (km/s)^2.", false),
+        // ---------------- galaxies ----------------
+        doc(Galaxies, "gal_tag",
+            "Unique identifier tag of a galaxy, stable across timesteps.", true),
+        doc(Galaxies, "fof_halo_tag",
+            "Tag of the friends-of-friends halo that hosts this galaxy; join key \
+             relating galaxies to their parent halos.", true),
+        doc(Galaxies, "gal_mass",
+            "Total baryonic mass of the galaxy (stellar plus cold gas) in Msun/h.", true),
+        doc(Galaxies, "gal_stellar_mass",
+            "Stellar mass of the galaxy in Msun/h. The y-axis of the stellar-to-halo \
+             mass (SMHM) relation; tracks star formation efficiency and stellar mass \
+             assembly.", true),
+        doc(Galaxies, "gal_gas_mass",
+            "Cold gas mass of the galaxy in Msun/h, the reservoir for future star \
+             formation; depleted by AGN feedback in massive halos.", true),
+        doc(Galaxies, "gal_sfr",
+            "Instantaneous star formation rate of the galaxy in Msun/yr.", false),
+        doc(Galaxies, "gal_center_x",
+            "X coordinate of the galaxy in comoving Mpc/h.", false),
+        doc(Galaxies, "gal_center_y",
+            "Y coordinate of the galaxy in comoving Mpc/h.", false),
+        doc(Galaxies, "gal_center_z",
+            "Z coordinate of the galaxy in comoving Mpc/h.", false),
+        doc(Galaxies, "gal_vx",
+            "Galaxy peculiar velocity along x in km/s.", false),
+        doc(Galaxies, "gal_vy",
+            "Galaxy peculiar velocity along y in km/s.", false),
+        doc(Galaxies, "gal_vz",
+            "Galaxy peculiar velocity along z in km/s.", false),
+        doc(Galaxies, "gal_kinetic_energy",
+            "Bulk kinetic energy of the galaxy, one half its total mass times its \
+             velocity squared, in Msun/h (km/s)^2. A measure of dynamical state.", false),
+        doc(Galaxies, "gal_is_central",
+            "Flag: 1 if the galaxy is the central galaxy of its host halo, 0 if it is \
+             a satellite. Select centrals for the stellar-to-halo mass relation.", false),
+        doc(Galaxies, "gal_vel_disp",
+            "Stellar velocity dispersion of the galaxy in km/s, tracing the depth of its \
+             inner potential well.", false),
+        doc(Galaxies, "gal_half_mass_radius",
+            "Radius enclosing half the galaxy's stellar mass, in comoving kpc/h; the \
+             structural size of the galaxy.", false),
+        doc(Galaxies, "gal_bh_mass",
+            "Mass of the central supermassive black hole in Msun/h, grown from the AGN \
+             seed mass M_seed through accretion tied to the stellar mass.", false),
+        doc(Galaxies, "gal_age",
+            "Mass-weighted mean stellar age of the galaxy in Gyr.", false),
+        // ---------------- cores ----------------
+        doc(Cores, "core_tag",
+            "Unique identifier of a core particle, the bound tracer that follows a \
+             halo center through time; the backbone of halo merger-tree tracking.", true),
+        doc(Cores, "fof_halo_tag",
+            "Tag of the friends-of-friends halo currently hosting the core; join key \
+             for tracking halos across timesteps.", true),
+        doc(Cores, "core_x",
+            "X coordinate of the core particle in comoving Mpc/h; tracks the halo \
+             center trajectory over time.", false),
+        doc(Cores, "core_y",
+            "Y coordinate of the core particle in comoving Mpc/h.", false),
+        doc(Cores, "core_z",
+            "Z coordinate of the core particle in comoving Mpc/h.", false),
+        doc(Cores, "core_vx",
+            "Velocity of the core particle along x in km/s.", false),
+        doc(Cores, "core_vy",
+            "Velocity of the core particle along y in km/s.", false),
+        doc(Cores, "core_vz",
+            "Velocity of the core particle along z in km/s.", false),
+        doc(Cores, "core_infall_mass",
+            "Mass of the halo at the moment the core first formed (crossed the \
+             resolution threshold), in Msun/h.", false),
+        doc(Cores, "core_infall_step",
+            "Simulation step number at which the halo first became resolved; the \
+             formation epoch of the tracked structure.", false),
+        // ---------------- particles ----------------
+        doc(Particles, "id",
+            "Unique identifier of a raw dark matter simulation particle.", false),
+        doc(Particles, "x",
+            "Particle x position in comoving Mpc/h. Raw particle positions trace the \
+             cosmic web: halos, filaments and voids.", false),
+        doc(Particles, "y",
+            "Particle y position in comoving Mpc/h.", false),
+        doc(Particles, "z",
+            "Particle z position in comoving Mpc/h.", false),
+        doc(Particles, "vx",
+            "Particle velocity along x in km/s.", false),
+        doc(Particles, "vy",
+            "Particle velocity along y in km/s.", false),
+        doc(Particles, "vz",
+            "Particle velocity along z in km/s.", false),
+        doc(Particles, "phi",
+            "Gravitational potential at the particle location; deep negative values \
+             mark cluster centers.", false),
+        doc(Particles, "mass",
+            "Mass of the simulation particle in Msun/h (constant for dark matter \
+             particles).", false),
+    ]
+}
+
+/// One entry of the file-structure dictionary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructureDoc {
+    /// Topic key (e.g. "ensemble", "halos file").
+    pub topic: String,
+    /// Natural-language description.
+    pub description: String,
+}
+
+/// The file-structure dictionary, parameterized by the concrete manifest
+/// so the agent knows real counts and sizes.
+pub fn structure_dictionary(manifest: &Manifest) -> Vec<StructureDoc> {
+    let mut docs = vec![
+        StructureDoc {
+            topic: "ensemble".into(),
+            description: format!(
+                "The ensemble contains {} HACC simulation runs (sim_0000 ... sim_{:04}), \
+                 each with {} snapshot timesteps labelled by HACC step number up to 624 \
+                 (z = 0). Each run varies five sub-grid physics parameters recorded in \
+                 its params.json: stellar feedback energy fraction f_SN, log stellar \
+                 feedback kick velocity log(v_SN), AGN feedback temperature jump \
+                 log(T_AGN), black hole accretion boost slope beta_BH, and AGN seed \
+                 mass M_seed. Total on-disk size is {} bytes.",
+                manifest.n_sims,
+                manifest.n_sims.saturating_sub(1),
+                manifest.steps.len(),
+                manifest.total_bytes(),
+            ),
+        },
+        StructureDoc {
+            topic: "snapshot".into(),
+            description: "Each snapshot directory step_NNNN holds four GenericIO files: \
+                          m000p.haloproperties (friends-of-friends and spherical \
+                          overdensity halo catalog), m000p.galaxyproperties (galaxy \
+                          catalog), m000p.coreproperties (core particles tracking halo \
+                          centers across time), and m000p.particles (raw dark matter \
+                          particles)."
+                .into(),
+        },
+    ];
+    for kind in EntityKind::ALL {
+        let rows: u64 = manifest
+            .files
+            .iter()
+            .filter(|f| f.kind == kind.label())
+            .map(|f| f.n_rows)
+            .sum();
+        let bytes = manifest.bytes_of_kind(kind);
+        docs.push(StructureDoc {
+            topic: format!("{} file", kind.label()),
+            description: format!(
+                "{} files ({}) hold columns: {}. Across the ensemble they total {rows} \
+                 rows and {bytes} bytes.",
+                kind.label(),
+                kind.file_name(),
+                kind.column_names().join(", "),
+            ),
+        });
+    }
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_covers_every_schema_column() {
+        let dict = column_dictionary();
+        for kind in EntityKind::ALL {
+            for name in kind.column_names() {
+                assert!(
+                    dict.iter()
+                        .any(|d| d.column == name && d.entity == kind.label()),
+                    "missing doc for {}.{name}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_has_no_stale_entries() {
+        let dict = column_dictionary();
+        for d in &dict {
+            let kind = EntityKind::parse(&d.entity).expect("valid entity label");
+            assert!(
+                kind.column_names().contains(&d.column.as_str()),
+                "dictionary entry {}.{} not in schema",
+                d.entity,
+                d.column
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_description_present() {
+        // The paper's running example: sod_halo_MGas500c -> "mass enclosed
+        // density 500 times the critical density in a spherical
+        // overdensity halo".
+        let dict = column_dictionary();
+        let entry = dict
+            .iter()
+            .find(|d| d.column == "sod_halo_MGas500c")
+            .unwrap();
+        assert!(entry.description.contains("500 times the critical density"));
+        assert!(entry.important);
+    }
+
+    #[test]
+    fn important_columns_are_a_strict_subset() {
+        let dict = column_dictionary();
+        let n_important = dict.iter().filter(|d| d.important).count();
+        assert!(n_important > 5);
+        assert!(n_important < dict.len() / 2);
+    }
+}

@@ -1,0 +1,755 @@
+//! Per-simulation catalog model.
+//!
+//! A [`SimModel`] draws all per-halo latent variables once (masses, growth
+//! rates, positions, scatter deviates, satellite populations) and then
+//! produces every snapshot's catalogs as a *pure function of the step
+//! number*. This gives three properties the evaluation depends on:
+//!
+//! 1. halo/galaxy tags are stable across timesteps, so tracking questions
+//!    reduce to joins on `fof_halo_tag`;
+//! 2. mass histories are smooth and monotone, so "change in mass over
+//!    time" plots look physical;
+//! 3. snapshot generation is embarrassingly parallel across steps.
+
+use crate::cosmology::{scale_factor, Cosmology};
+use crate::genio::GenioColumn;
+use crate::params::SubgridParams;
+use crate::physics;
+use crate::rng::{lognormal_dex, normal, rng_for};
+use crate::schema::EntityKind;
+use infera_frame::DataFrame;
+use rand::Rng;
+
+/// Latent satellite-galaxy variables.
+#[derive(Debug, Clone)]
+struct SatSeed {
+    /// Scale factor at which the satellite falls in and appears.
+    infall_a: f64,
+    /// Stellar mass as a fraction of the central's.
+    mass_frac: f64,
+    /// Positional offset direction (unit-ish vector) and radial factor.
+    offset: [f64; 3],
+    /// Velocity offset in units of the halo velocity dispersion.
+    vel_offset: [f64; 3],
+}
+
+/// Latent per-halo variables.
+#[derive(Debug, Clone)]
+struct HaloSeed {
+    tag: i64,
+    /// z=0 FoF mass including the parameter-dependent amplitude.
+    m_final: f64,
+    /// Growth-history shape parameter.
+    beta: f64,
+    /// Comoving position at a = 0.5 (Mpc/h).
+    pos: [f64; 3],
+    /// Peculiar velocity (km/s).
+    vel: [f64; 3],
+    /// Per-halo N(0,1) deviate for SMHM scatter (fixed for all time).
+    smhm_dev: f64,
+    /// Log-normal deviate for the gas fraction.
+    fgas_scatter: f64,
+    /// Concentration deviate.
+    conc_scatter: f64,
+    sats: Vec<SatSeed>,
+}
+
+/// Synthetic-simulation configuration shared by all members of an
+/// ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of halos seeded at z=0 (catalog rows grow toward this).
+    pub n_halos: usize,
+    /// Periodic box size (Mpc/h).
+    pub box_size: f64,
+    /// Raw particles written per snapshot.
+    pub particles_per_step: usize,
+    pub cosmo: Cosmology,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_halos: 2_000,
+            box_size: 256.0,
+            particles_per_step: 20_000,
+            cosmo: Cosmology::default(),
+        }
+    }
+}
+
+/// The generative model of one ensemble member.
+#[derive(Debug, Clone)]
+pub struct SimModel {
+    pub sim_index: u32,
+    pub params: SubgridParams,
+    pub config: SimConfig,
+    seed: u64,
+    halos: Vec<HaloSeed>,
+}
+
+impl SimModel {
+    /// Draw all latent variables for simulation `sim_index` of the
+    /// ensemble seeded by `seed`.
+    pub fn new(seed: u64, sim_index: u32, params: SubgridParams, config: SimConfig) -> SimModel {
+        let amp = physics::mass_amplitude(&params);
+        let mut halos = Vec::with_capacity(config.n_halos);
+        for i in 0..config.n_halos {
+            let tag = (i64::from(sim_index) << 40) + i as i64 + 1;
+            let mut rng = rng_for(&[seed, u64::from(sim_index), i as u64, u64::from(b'H')]);
+            // Stratified uniform deviate for the mass function: guarantees
+            // the full mass range is represented even in small catalogs.
+            let u = (i as f64 + rng.random::<f64>()) / config.n_halos as f64;
+            let m_final = physics::sample_halo_mass(u) * amp;
+            let beta = 1.0 + 2.0 * rng.random::<f64>();
+            let pos = [
+                rng.random::<f64>() * config.box_size,
+                rng.random::<f64>() * config.box_size,
+                rng.random::<f64>() * config.box_size,
+            ];
+            let vel = [
+                250.0 * normal(&mut rng),
+                250.0 * normal(&mut rng),
+                250.0 * normal(&mut rng),
+            ];
+            let smhm_dev = normal(&mut rng);
+            let fgas_scatter = lognormal_dex(&mut rng, 0.05);
+            let conc_scatter = lognormal_dex(&mut rng, 0.1);
+            // Satellite population scales with final mass.
+            let lambda = (m_final / 3.0e12).powf(0.85).min(24.0);
+            let n_sat = lambda.floor() as usize
+                + usize::from(rng.random::<f64>() < lambda.fract());
+            let sats = (0..n_sat)
+                .map(|_| SatSeed {
+                    infall_a: 0.3 + 0.7 * rng.random::<f64>(),
+                    mass_frac: 0.02 + 0.25 * rng.random::<f64>(),
+                    offset: [normal(&mut rng), normal(&mut rng), normal(&mut rng)],
+                    vel_offset: [normal(&mut rng), normal(&mut rng), normal(&mut rng)],
+                })
+                .collect();
+            halos.push(HaloSeed {
+                tag,
+                m_final,
+                beta,
+                pos,
+                vel,
+                smhm_dev,
+                fgas_scatter,
+                conc_scatter,
+                sats,
+            });
+        }
+        SimModel {
+            sim_index,
+            params,
+            config,
+            seed,
+            halos,
+        }
+    }
+
+    fn halo_position(&self, h: &HaloSeed, a: f64) -> [f64; 3] {
+        let box_size = self.config.box_size;
+        let drift = 0.01 * (a - 0.5);
+        [
+            (h.pos[0] + h.vel[0] * drift).rem_euclid(box_size),
+            (h.pos[1] + h.vel[1] * drift).rem_euclid(box_size),
+            (h.pos[2] + h.vel[2] * drift).rem_euclid(box_size),
+        ]
+    }
+
+    /// Indices of the halos that are resolved (above `M_MIN`) at `step`,
+    /// together with their masses.
+    fn resolved(&self, step: u32) -> Vec<(usize, f64)> {
+        let a = scale_factor(step);
+        self.halos
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| {
+                let m = physics::mass_at(&self.config.cosmo, h.m_final, h.beta, a);
+                (m >= physics::M_MIN).then_some((i, m))
+            })
+            .collect()
+    }
+
+    /// The halo property catalog at `step`, in genio column layout
+    /// (matching [`crate::schema::HALO_SCHEMA`]).
+    pub fn halo_catalog(&self, step: u32) -> Vec<GenioColumn> {
+        let a = scale_factor(step);
+        let cosmo = &self.config.cosmo;
+        let rows = self.resolved(step);
+        let n = rows.len();
+        let mut tag = Vec::with_capacity(n);
+        let mut count = Vec::with_capacity(n);
+        let mut mass = Vec::with_capacity(n);
+        let (mut cx, mut cy, mut cz) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let (mut vx, mut vy, mut vz) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let mut vdisp = Vec::with_capacity(n);
+        let mut vmax = Vec::with_capacity(n);
+        let mut radius = Vec::with_capacity(n);
+        let mut m500 = Vec::with_capacity(n);
+        let mut mgas = Vec::with_capacity(n);
+        let mut mstar = Vec::with_capacity(n);
+        let mut cdelta = Vec::with_capacity(n);
+        let mut vdisp1d = Vec::with_capacity(n);
+        let (mut px, mut py, mut pz): (Vec<f32>, Vec<f32>, Vec<f32>) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let (mut lx, mut ly, mut lz): (Vec<f32>, Vec<f32>, Vec<f32>) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let mut ke = Vec::with_capacity(n);
+        for (i, m) in rows {
+            let h = &self.halos[i];
+            let p = self.halo_position(h, a);
+            tag.push(h.tag);
+            count.push((m / physics::PARTICLE_MASS).round() as i64);
+            mass.push(m);
+            cx.push(p[0] as f32);
+            cy.push(p[1] as f32);
+            cz.push(p[2] as f32);
+            vx.push(h.vel[0] as f32);
+            vy.push(h.vel[1] as f32);
+            vz.push(h.vel[2] as f32);
+            let sigma = physics::velocity_dispersion(&self.params, m);
+            vdisp.push(sigma as f32);
+            vmax.push((1.25 * sigma) as f32);
+            let m5 = physics::m500c_of_fof(m);
+            let r5 = physics::r500c(m5);
+            radius.push(r5 as f32);
+            m500.push(m5);
+            mgas.push(physics::gas_fraction(cosmo, &self.params, m5, a) * m5 * h.fgas_scatter);
+            mstar.push(1.15 * physics::smhm_median(cosmo, &self.params, m, a));
+            cdelta.push((5.5 * (m / 1e14).powf(-0.1) * h.conc_scatter) as f32);
+            vdisp1d.push((sigma / 3f64.sqrt()) as f32);
+            // Potential minimum sits slightly off the center of mass.
+            px.push((p[0] + 0.02 * r5 * h.vel[0].signum()) as f32);
+            py.push((p[1] + 0.02 * r5 * h.vel[1].signum()) as f32);
+            pz.push((p[2] + 0.02 * r5 * h.vel[2].signum()) as f32);
+            // Spin angular momentum: lambda ~ 0.035 with per-halo scatter,
+            // direction from the velocity vector.
+            let v2 = h.vel[0] * h.vel[0] + h.vel[1] * h.vel[1] + h.vel[2] * h.vel[2];
+            let vnorm = v2.sqrt().max(1.0);
+            let l_mag = 0.035 * h.conc_scatter * m * r5 * sigma;
+            lx.push((l_mag * h.vel[0] / vnorm) as f32);
+            ly.push((l_mag * h.vel[1] / vnorm) as f32);
+            lz.push((l_mag * h.vel[2] / vnorm) as f32);
+            ke.push(0.5 * m * (v2 + 3.0 * sigma * sigma));
+        }
+        vec![
+            GenioColumn::I64(tag),
+            GenioColumn::I64(count),
+            GenioColumn::F64(mass),
+            GenioColumn::F32(cx),
+            GenioColumn::F32(cy),
+            GenioColumn::F32(cz),
+            GenioColumn::F32(vx),
+            GenioColumn::F32(vy),
+            GenioColumn::F32(vz),
+            GenioColumn::F32(vdisp),
+            GenioColumn::F32(vmax),
+            GenioColumn::F32(radius),
+            GenioColumn::F64(m500),
+            GenioColumn::F64(mgas),
+            GenioColumn::F64(mstar),
+            GenioColumn::F32(cdelta),
+            GenioColumn::F32(vdisp1d),
+            GenioColumn::F32(px),
+            GenioColumn::F32(py),
+            GenioColumn::F32(pz),
+            GenioColumn::F32(lx),
+            GenioColumn::F32(ly),
+            GenioColumn::F32(lz),
+            GenioColumn::F64(ke),
+        ]
+    }
+
+    /// The galaxy property catalog at `step`
+    /// (matching [`crate::schema::GALAXY_SCHEMA`]).
+    pub fn galaxy_catalog(&self, step: u32) -> Vec<GenioColumn> {
+        let a = scale_factor(step);
+        let cosmo = &self.config.cosmo;
+        let scatter_dex = physics::smhm_scatter(&self.params);
+        let mut gtag = Vec::new();
+        let mut htag = Vec::new();
+        let mut gmass = Vec::new();
+        let mut mstar = Vec::new();
+        let mut mgas = Vec::new();
+        let mut sfr: Vec<f32> = Vec::new();
+        let (mut gx, mut gy, mut gz): (Vec<f32>, Vec<f32>, Vec<f32>) =
+            (Vec::new(), Vec::new(), Vec::new());
+        let (mut gvx, mut gvy, mut gvz): (Vec<f32>, Vec<f32>, Vec<f32>) =
+            (Vec::new(), Vec::new(), Vec::new());
+        let mut ke = Vec::new();
+        let mut central: Vec<i32> = Vec::new();
+        let mut gal_vdisp: Vec<f32> = Vec::new();
+        let mut gal_rhalf: Vec<f32> = Vec::new();
+        let mut gal_bh = Vec::new();
+        let mut gal_age: Vec<f32> = Vec::new();
+
+        for (i, m_h) in self.resolved(step) {
+            let h = &self.halos[i];
+            let p = self.halo_position(h, a);
+            let sigma = physics::velocity_dispersion(&self.params, m_h);
+            let r5 = physics::r500c(physics::m500c_of_fof(m_h));
+            // Central galaxy: fixed per-halo scatter deviate keeps its
+            // stellar-mass history smooth.
+            let ms_central =
+                physics::smhm_median(cosmo, &self.params, m_h, a) * 10f64.powf(scatter_dex * h.smhm_dev);
+            let gas_central = physics::galaxy_gas_mass(&self.params, ms_central, m_h);
+            let total_central = ms_central + gas_central;
+            let v = h.vel;
+            let v2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+            gtag.push(h.tag * 1000);
+            htag.push(h.tag);
+            gmass.push(total_central);
+            mstar.push(ms_central);
+            mgas.push(gas_central);
+            sfr.push((gas_central / 2.0e9 * a) as f32);
+            gx.push(p[0] as f32);
+            gy.push(p[1] as f32);
+            gz.push(p[2] as f32);
+            gvx.push(v[0] as f32);
+            gvy.push(v[1] as f32);
+            gvz.push(v[2] as f32);
+            ke.push(0.5 * total_central * v2);
+            central.push(1);
+            gal_vdisp.push((0.6 * sigma) as f32);
+            gal_rhalf.push((0.015 * r5 * 1000.0) as f32); // kpc/h
+            // Black holes grow from the AGN seed with stellar mass.
+            gal_bh.push(self.params.m_seed * (ms_central / 1.0e9).max(1.0).powf(0.9));
+            gal_age.push((13.8 * a * (0.6 + 0.1 * h.smhm_dev.tanh())) as f32);
+
+            for (k, s) in h.sats.iter().enumerate() {
+                if a < s.infall_a {
+                    continue;
+                }
+                let ms = ms_central * s.mass_frac;
+                let gas = physics::galaxy_gas_mass(&self.params, ms, m_h) * 0.5;
+                let total = ms + gas;
+                let sv = [
+                    v[0] + sigma * s.vel_offset[0],
+                    v[1] + sigma * s.vel_offset[1],
+                    v[2] + sigma * s.vel_offset[2],
+                ];
+                let sv2 = sv[0] * sv[0] + sv[1] * sv[1] + sv[2] * sv[2];
+                gtag.push(h.tag * 1000 + k as i64 + 1);
+                htag.push(h.tag);
+                gmass.push(total);
+                mstar.push(ms);
+                mgas.push(gas);
+                sfr.push((gas / 2.0e9 * a) as f32);
+                gx.push((p[0] + r5 * s.offset[0] * 0.6).rem_euclid(self.config.box_size) as f32);
+                gy.push((p[1] + r5 * s.offset[1] * 0.6).rem_euclid(self.config.box_size) as f32);
+                gz.push((p[2] + r5 * s.offset[2] * 0.6).rem_euclid(self.config.box_size) as f32);
+                gvx.push(sv[0] as f32);
+                gvy.push(sv[1] as f32);
+                gvz.push(sv[2] as f32);
+                ke.push(0.5 * total * sv2);
+                central.push(0);
+                gal_vdisp.push((0.4 * sigma) as f32);
+                gal_rhalf.push((0.008 * r5 * 1000.0) as f32);
+                gal_bh.push(self.params.m_seed * (ms / 1.0e9).max(1.0).powf(0.9));
+                gal_age.push((13.8 * s.infall_a * 0.7) as f32);
+            }
+        }
+        vec![
+            GenioColumn::I64(gtag),
+            GenioColumn::I64(htag),
+            GenioColumn::F64(gmass),
+            GenioColumn::F64(mstar),
+            GenioColumn::F64(mgas),
+            GenioColumn::F32(sfr),
+            GenioColumn::F32(gx),
+            GenioColumn::F32(gy),
+            GenioColumn::F32(gz),
+            GenioColumn::F32(gvx),
+            GenioColumn::F32(gvy),
+            GenioColumn::F32(gvz),
+            GenioColumn::F64(ke),
+            GenioColumn::I32(central),
+            GenioColumn::F32(gal_vdisp),
+            GenioColumn::F32(gal_rhalf),
+            GenioColumn::F64(gal_bh),
+            GenioColumn::F32(gal_age),
+        ]
+    }
+
+    /// The core catalog at `step`
+    /// (matching [`crate::schema::CORE_SCHEMA`]).
+    pub fn core_catalog(&self, step: u32) -> Vec<GenioColumn> {
+        let a = scale_factor(step);
+        let rows = self.resolved(step);
+        let n = rows.len();
+        let mut ctag = Vec::with_capacity(n);
+        let mut htag = Vec::with_capacity(n);
+        let (mut x, mut y, mut z): (Vec<f32>, Vec<f32>, Vec<f32>) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let (mut vx, mut vy, mut vz): (Vec<f32>, Vec<f32>, Vec<f32>) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let mut infall_mass = Vec::with_capacity(n);
+        let mut infall_step = Vec::with_capacity(n);
+        for (i, _m) in rows {
+            let h = &self.halos[i];
+            let p = self.halo_position(h, a);
+            ctag.push(h.tag);
+            htag.push(h.tag);
+            x.push(p[0] as f32);
+            y.push(p[1] as f32);
+            z.push(p[2] as f32);
+            vx.push(h.vel[0] as f32);
+            vy.push(h.vel[1] as f32);
+            vz.push(h.vel[2] as f32);
+            infall_mass.push(physics::M_MIN);
+            // Step at which the halo first crossed M_MIN (bisect on the
+            // monotone mass history).
+            let mut lo = 0u32;
+            let mut hi = step;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let m_mid = physics::mass_at(
+                    &self.config.cosmo,
+                    h.m_final,
+                    h.beta,
+                    scale_factor(mid),
+                );
+                if m_mid >= physics::M_MIN {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            infall_step.push(lo as i32);
+        }
+        vec![
+            GenioColumn::I64(ctag),
+            GenioColumn::I64(htag),
+            GenioColumn::F32(x),
+            GenioColumn::F32(y),
+            GenioColumn::F32(z),
+            GenioColumn::F32(vx),
+            GenioColumn::F32(vy),
+            GenioColumn::F32(vz),
+            GenioColumn::F64(infall_mass),
+            GenioColumn::I32(infall_step),
+        ]
+    }
+
+    /// One block of raw particles at `step`
+    /// (matching [`crate::schema::PARTICLE_SCHEMA`]).
+    ///
+    /// Particles are 70% clustered around resolved halos (mass-weighted,
+    /// Gaussian with σ = R500c) and 30% uniform background. Blocks are
+    /// independent so files stream out in `O(block)` memory.
+    pub fn particle_block(&self, step: u32, block_index: u64, rows: usize) -> Vec<GenioColumn> {
+        let a = scale_factor(step);
+        let mut rng = rng_for(&[
+            self.seed,
+            u64::from(self.sim_index),
+            u64::from(step),
+            block_index,
+            u64::from(b'P'),
+        ]);
+        let resolved = self.resolved(step);
+        // Mass-weighted cumulative table over resolved halos.
+        let total_mass: f64 = resolved.iter().map(|(_, m)| m).sum();
+        let mut cumulative = Vec::with_capacity(resolved.len());
+        let mut acc = 0.0;
+        for (i, m) in &resolved {
+            acc += m;
+            cumulative.push((acc, *i));
+        }
+        let n = rows;
+        let mut id = Vec::with_capacity(n);
+        let (mut x, mut y, mut z): (Vec<f32>, Vec<f32>, Vec<f32>) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let (mut vx, mut vy, mut vz): (Vec<f32>, Vec<f32>, Vec<f32>) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        let mut phi = Vec::with_capacity(n);
+        let mass = vec![physics::PARTICLE_MASS as f32; n];
+        let box_size = self.config.box_size;
+        for k in 0..n {
+            id.push((block_index * n as u64 + k as u64) as i64);
+            let clustered = !cumulative.is_empty() && rng.random::<f64>() < 0.7;
+            if clustered {
+                let target = rng.random::<f64>() * total_mass;
+                let idx = cumulative
+                    .partition_point(|(c, _)| *c < target)
+                    .min(cumulative.len() - 1);
+                let hi = cumulative[idx].1;
+                let h = &self.halos[hi];
+                let m = physics::mass_at(&self.config.cosmo, h.m_final, h.beta, a);
+                let r5 = physics::r500c(physics::m500c_of_fof(m));
+                let p = self.halo_position(h, a);
+                let sigma = physics::velocity_dispersion(&self.params, m);
+                x.push((p[0] + r5 * normal(&mut rng)).rem_euclid(box_size) as f32);
+                y.push((p[1] + r5 * normal(&mut rng)).rem_euclid(box_size) as f32);
+                z.push((p[2] + r5 * normal(&mut rng)).rem_euclid(box_size) as f32);
+                vx.push((h.vel[0] + sigma * normal(&mut rng)) as f32);
+                vy.push((h.vel[1] + sigma * normal(&mut rng)) as f32);
+                vz.push((h.vel[2] + sigma * normal(&mut rng)) as f32);
+                phi.push((-(m / 1e13).powf(2.0 / 3.0) * 1e5) as f32);
+            } else {
+                x.push((rng.random::<f64>() * box_size) as f32);
+                y.push((rng.random::<f64>() * box_size) as f32);
+                z.push((rng.random::<f64>() * box_size) as f32);
+                vx.push((120.0 * normal(&mut rng)) as f32);
+                vy.push((120.0 * normal(&mut rng)) as f32);
+                vz.push((120.0 * normal(&mut rng)) as f32);
+                phi.push((-10.0 * rng.random::<f64>()) as f32);
+            }
+        }
+        vec![
+            GenioColumn::I64(id),
+            GenioColumn::F32(x),
+            GenioColumn::F32(y),
+            GenioColumn::F32(z),
+            GenioColumn::F32(vx),
+            GenioColumn::F32(vy),
+            GenioColumn::F32(vz),
+            GenioColumn::F32(phi),
+            GenioColumn::F32(mass),
+        ]
+    }
+
+    /// Generate a catalog as an in-memory [`DataFrame`] (tests and the
+    /// in-process fast path of the data-loading agent).
+    pub fn catalog_frame(&self, kind: EntityKind, step: u32) -> DataFrame {
+        let cols = match kind {
+            EntityKind::Halos => self.halo_catalog(step),
+            EntityKind::Galaxies => self.galaxy_catalog(step),
+            EntityKind::Cores => self.core_catalog(step),
+            EntityKind::Particles => self.particle_block(step, 0, self.config.particles_per_step),
+        };
+        let mut df = DataFrame::new();
+        for ((name, _), col) in kind.schema().iter().zip(cols) {
+            df.add_column((*name).to_string(), col.into_frame_column())
+                .expect("schema names are unique");
+        }
+        df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_frame::AggKind;
+
+    fn model() -> SimModel {
+        SimModel::new(
+            11,
+            0,
+            SubgridParams::default(),
+            SimConfig {
+                n_halos: 300,
+                particles_per_step: 500,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn determinism() {
+        let a = model().catalog_frame(EntityKind::Halos, 400);
+        let b = model().catalog_frame(EntityKind::Halos, 400);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn halo_count_grows_with_time() {
+        let m = model();
+        let early = m.catalog_frame(EntityKind::Halos, 100).n_rows();
+        let late = m.catalog_frame(EntityKind::Halos, 624).n_rows();
+        assert!(late > early, "early={early} late={late}");
+        assert!(late > 0);
+    }
+
+    #[test]
+    fn tags_stable_and_masses_monotone() {
+        let m = model();
+        let early = m.catalog_frame(EntityKind::Halos, 300);
+        let late = m.catalog_frame(EntityKind::Halos, 624);
+        // Every early halo still exists later, with larger mass.
+        let join = early
+            .select(&["fof_halo_tag", "fof_halo_mass"])
+            .unwrap()
+            .join(
+                &late.select(&["fof_halo_tag", "fof_halo_mass"]).unwrap(),
+                "fof_halo_tag",
+                "fof_halo_tag",
+                infera_frame::JoinKind::Inner,
+            )
+            .unwrap();
+        assert_eq!(join.n_rows(), early.n_rows());
+        let m_early = join.column("fof_halo_mass").unwrap().as_f64_slice().unwrap();
+        let m_late = join
+            .column("fof_halo_mass_right")
+            .unwrap()
+            .as_f64_slice()
+            .unwrap();
+        assert!(m_early.iter().zip(m_late).all(|(e, l)| l > e));
+    }
+
+    #[test]
+    fn galaxies_reference_existing_halos() {
+        let m = model();
+        let halos = m.catalog_frame(EntityKind::Halos, 500);
+        let gals = m.catalog_frame(EntityKind::Galaxies, 500);
+        let halo_tags: std::collections::HashSet<i64> = halos
+            .column("fof_halo_tag")
+            .unwrap()
+            .as_i64_slice()
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
+        let gal_halo = gals.column("fof_halo_tag").unwrap().as_i64_slice().unwrap();
+        assert!(gal_halo.iter().all(|t| halo_tags.contains(t)));
+        // Exactly one central per halo.
+        let centrals = gals
+            .filter_expr(&infera_frame::Expr::bin(
+                infera_frame::Expr::col("gal_is_central"),
+                infera_frame::expr::BinOp::Eq,
+                infera_frame::Expr::lit(1i64),
+            ))
+            .unwrap();
+        assert_eq!(centrals.n_rows(), halos.n_rows());
+    }
+
+    #[test]
+    fn smhm_scatter_recoverable() {
+        // Generate with an off-optimum seed mass; measured scatter of
+        // log10(M*) at fixed log10(Mh) should be close to the model value.
+        let mut params = SubgridParams::default();
+        params.m_seed = 10f64.powf(6.3);
+        let m = SimModel::new(
+            5,
+            0,
+            params,
+            SimConfig {
+                n_halos: 1500,
+                particles_per_step: 10,
+                ..SimConfig::default()
+            },
+        );
+        let gals = m.catalog_frame(EntityKind::Galaxies, 624);
+        let halos = m.catalog_frame(EntityKind::Halos, 624);
+        let centrals = gals
+            .filter_expr(&infera_frame::Expr::bin(
+                infera_frame::Expr::col("gal_is_central"),
+                infera_frame::expr::BinOp::Eq,
+                infera_frame::Expr::lit(1i64),
+            ))
+            .unwrap();
+        let mut joined = centrals
+            .select(&["fof_halo_tag", "gal_stellar_mass"])
+            .unwrap()
+            .join(
+                &halos.select(&["fof_halo_tag", "fof_halo_mass"]).unwrap(),
+                "fof_halo_tag",
+                "fof_halo_tag",
+                infera_frame::JoinKind::Inner,
+            )
+            .unwrap();
+        joined
+            .with_column(
+                "lms",
+                &infera_frame::Expr::Unary(
+                    infera_frame::expr::UnaryFn::Log10,
+                    Box::new(infera_frame::Expr::col("gal_stellar_mass")),
+                ),
+            )
+            .unwrap();
+        joined
+            .with_column(
+                "lmh",
+                &infera_frame::Expr::Unary(
+                    infera_frame::expr::UnaryFn::Log10,
+                    Box::new(infera_frame::Expr::col("fof_halo_mass")),
+                ),
+            )
+            .unwrap();
+        let fit = joined.linfit("lmh", "lms").unwrap();
+        let expected = physics::smhm_scatter(&params);
+        assert!(
+            (fit.scatter - expected).abs() < 0.12,
+            "measured {} vs model {expected}",
+            fit.scatter
+        );
+    }
+
+    #[test]
+    fn particles_inside_box() {
+        let m = model();
+        let p = m.catalog_frame(EntityKind::Particles, 624);
+        assert_eq!(p.n_rows(), 500);
+        for axis in ["x", "y", "z"] {
+            let v = p.column(axis).unwrap().as_f64_slice().unwrap();
+            assert!(v
+                .iter()
+                .all(|&c| (0.0..=m.config.box_size).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn particle_blocks_differ() {
+        let m = model();
+        let b0 = m.particle_block(624, 0, 100);
+        let b1 = m.particle_block(624, 1, 100);
+        if let (GenioColumn::F32(x0), GenioColumn::F32(x1)) = (&b0[1], &b1[1]) {
+            assert_ne!(x0, x1);
+        } else {
+            panic!("expected f32 position columns");
+        }
+    }
+
+    #[test]
+    fn cores_track_halo_centers() {
+        let m = model();
+        let halos = m.catalog_frame(EntityKind::Halos, 500);
+        let cores = m.catalog_frame(EntityKind::Cores, 500);
+        assert_eq!(halos.n_rows(), cores.n_rows());
+        let hx = halos
+            .column("fof_halo_center_x")
+            .unwrap()
+            .as_f64_slice()
+            .unwrap();
+        let cx = cores.column("core_x").unwrap().as_f64_slice().unwrap();
+        assert!(hx.iter().zip(cx).all(|(a, b)| (a - b).abs() < 1e-3));
+    }
+
+    #[test]
+    fn mean_halo_size_varies_with_time() {
+        let m = model();
+        let early = m.catalog_frame(EntityKind::Halos, 200);
+        let late = m.catalog_frame(EntityKind::Halos, 624);
+        let mean_early = early.aggregate("fof_halo_count", AggKind::Mean).unwrap();
+        let mean_late = late.aggregate("fof_halo_count", AggKind::Mean).unwrap();
+        assert!(mean_early > 0.0 && mean_late > 0.0);
+        assert_ne!(mean_early, mean_late);
+    }
+}

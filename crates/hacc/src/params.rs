@@ -1,0 +1,178 @@
+//! Sub-grid parameter vectors and ensemble designs.
+//!
+//! The paper's ensemble varies five CRK-HACC sub-grid parameters (§1):
+//! the stellar feedback energy fraction `f_SN`, the log of the stellar
+//! feedback kick velocity `log(v_SN)`, the AGN feedback temperature jump
+//! `log(T_AGN)`, the slope `beta_BH` of the density-dependent black-hole
+//! accretion boost, and the AGN seed mass `M_seed`.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// One simulation's sub-grid physics parameter vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubgridParams {
+    /// Stellar feedback energy fraction, `f_SN ∈ [0.5, 1.0]`.
+    pub f_sn: f64,
+    /// Log10 stellar feedback kick velocity (km/s), `∈ [1.7, 2.3]`.
+    pub log_v_sn: f64,
+    /// Log10 AGN feedback temperature jump (K), `∈ [7.4, 8.2]`.
+    pub log_t_agn: f64,
+    /// Slope of the density-dependent BH accretion boost, `∈ [0.0, 2.0]`.
+    pub beta_bh: f64,
+    /// AGN seed mass (Msun/h), log-uniform `∈ [10^4.5, 10^6.5]`.
+    pub m_seed: f64,
+}
+
+/// Parameter bounds used by the ensemble designs.
+pub const F_SN_RANGE: (f64, f64) = (0.5, 1.0);
+pub const LOG_V_SN_RANGE: (f64, f64) = (1.7, 2.3);
+pub const LOG_T_AGN_RANGE: (f64, f64) = (7.4, 8.2);
+pub const BETA_BH_RANGE: (f64, f64) = (0.0, 2.0);
+pub const LOG_M_SEED_RANGE: (f64, f64) = (4.5, 6.5);
+
+impl Default for SubgridParams {
+    /// Fiducial (mid-range) parameter choice.
+    fn default() -> Self {
+        SubgridParams {
+            f_sn: 0.75,
+            log_v_sn: 2.0,
+            log_t_agn: 7.8,
+            beta_bh: 1.0,
+            m_seed: 10f64.powf(5.5),
+        }
+    }
+}
+
+impl SubgridParams {
+    /// Log10 of the AGN seed mass.
+    pub fn log_m_seed(&self) -> f64 {
+        self.m_seed.log10()
+    }
+
+    /// Clamp all parameters into their physical ranges.
+    pub fn clamped(mut self) -> Self {
+        self.f_sn = self.f_sn.clamp(F_SN_RANGE.0, F_SN_RANGE.1);
+        self.log_v_sn = self.log_v_sn.clamp(LOG_V_SN_RANGE.0, LOG_V_SN_RANGE.1);
+        self.log_t_agn = self.log_t_agn.clamp(LOG_T_AGN_RANGE.0, LOG_T_AGN_RANGE.1);
+        self.beta_bh = self.beta_bh.clamp(BETA_BH_RANGE.0, BETA_BH_RANGE.1);
+        let lm = self.log_m_seed().clamp(LOG_M_SEED_RANGE.0, LOG_M_SEED_RANGE.1);
+        self.m_seed = 10f64.powf(lm);
+        self
+    }
+}
+
+/// Latin-hypercube ensemble design: `n` parameter vectors that stratify
+/// each of the five dimensions, seeded for reproducibility.
+///
+/// Each dimension is divided into `n` equal strata; a random permutation
+/// assigns one stratum per sample per dimension, and the value is drawn
+/// uniformly inside the stratum. This mirrors how HACC sub-grid ensembles
+/// are designed in practice.
+pub fn latin_hypercube(n: usize, seed: u64) -> Vec<SubgridParams> {
+    assert!(n > 0, "ensemble must have at least one member");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut dims: Vec<Vec<f64>> = Vec::with_capacity(5);
+    let ranges = [
+        F_SN_RANGE,
+        LOG_V_SN_RANGE,
+        LOG_T_AGN_RANGE,
+        BETA_BH_RANGE,
+        LOG_M_SEED_RANGE,
+    ];
+    for (lo, hi) in ranges {
+        let mut strata: Vec<usize> = (0..n).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            strata.swap(i, j);
+        }
+        let width = (hi - lo) / n as f64;
+        let vals: Vec<f64> = strata
+            .into_iter()
+            .map(|s| lo + (s as f64 + rng.random::<f64>()) * width)
+            .collect();
+        dims.push(vals);
+    }
+    (0..n)
+        .map(|i| {
+            SubgridParams {
+                f_sn: dims[0][i],
+                log_v_sn: dims[1][i],
+                log_t_agn: dims[2][i],
+                beta_bh: dims[3][i],
+                m_seed: 10f64.powf(dims[4][i]),
+            }
+            .clamped()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latin_hypercube_is_deterministic() {
+        let a = latin_hypercube(8, 42);
+        let b = latin_hypercube(8, 42);
+        assert_eq!(a, b);
+        let c = latin_hypercube(8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn latin_hypercube_stratifies_each_dimension() {
+        let n = 16;
+        let design = latin_hypercube(n, 7);
+        // Each f_sn stratum of width (1.0-0.5)/16 must contain exactly one
+        // sample.
+        let (lo, hi) = F_SN_RANGE;
+        let width = (hi - lo) / n as f64;
+        let mut seen = vec![0usize; n];
+        for p in &design {
+            let stratum = (((p.f_sn - lo) / width) as usize).min(n - 1);
+            seen[stratum] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn params_within_ranges() {
+        for p in latin_hypercube(32, 1) {
+            assert!(p.f_sn >= F_SN_RANGE.0 && p.f_sn <= F_SN_RANGE.1);
+            assert!(p.log_v_sn >= LOG_V_SN_RANGE.0 && p.log_v_sn <= LOG_V_SN_RANGE.1);
+            assert!(p.log_t_agn >= LOG_T_AGN_RANGE.0 && p.log_t_agn <= LOG_T_AGN_RANGE.1);
+            assert!(p.beta_bh >= BETA_BH_RANGE.0 && p.beta_bh <= BETA_BH_RANGE.1);
+            let lm = p.log_m_seed();
+            assert!((LOG_M_SEED_RANGE.0..=LOG_M_SEED_RANGE.1).contains(&lm));
+        }
+    }
+
+    #[test]
+    fn clamp_pulls_outliers_in() {
+        let p = SubgridParams {
+            f_sn: 5.0,
+            log_v_sn: 0.0,
+            log_t_agn: 9.9,
+            beta_bh: -1.0,
+            m_seed: 1e12,
+        }
+        .clamped();
+        assert_eq!(p.f_sn, 1.0);
+        assert_eq!(p.log_v_sn, 1.7);
+        assert_eq!(p.log_t_agn, 8.2);
+        assert_eq!(p.beta_bh, 0.0);
+        assert!((p.log_m_seed() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = SubgridParams::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SubgridParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

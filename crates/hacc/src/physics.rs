@@ -1,0 +1,297 @@
+//! Sub-grid physics response model.
+//!
+//! These closed-form relations shape the synthetic catalogs so that the
+//! paper's *hard* analysis questions have real, recoverable answers:
+//!
+//! * the **gas-mass fraction–mass relation** (`sod_halo_MGas500c /
+//!   sod_halo_M500c` vs `sod_halo_M500c`) has a slope and normalization
+//!   that depend on the AGN temperature jump `log T_AGN` and evolve with
+//!   scale factor (question: "how does the slope and normalization ...
+//!   evolve from the earliest timestep to the latest");
+//! * the **stellar-to-halo-mass (SMHM) relation** has a seed-mass
+//!   dependent intrinsic scatter that is minimized at an optimal seed
+//!   mass, and a stellar-mass assembly efficiency that peaks at a
+//!   threshold seed mass (question: "which seed mass values produce the
+//!   tightest SMHM correlation ...");
+//! * the **halo mass function** amplitude responds weakly to `f_SN` and
+//!   `log v_SN` (question: "infer the direction of the FSN and VEL
+//!   parameters to increase the halo count of the 100 largest halos").
+
+use crate::cosmology::{growth_factor, Cosmology};
+use crate::params::SubgridParams;
+
+/// Mass of one simulation particle (Msun/h) — sets `fof_halo_count`.
+pub const PARTICLE_MASS: f64 = 1.3e9;
+
+/// Minimum resolved FoF halo mass (Msun/h).
+pub const M_MIN: f64 = 1.0e11;
+
+/// Maximum halo mass at z = 0 (Msun/h).
+pub const M_MAX: f64 = 2.0e15;
+
+/// Power-law slope of the synthetic halo mass function `dn/dM ∝ M^-α`.
+pub const HMF_SLOPE: f64 = 1.9;
+
+/// Log10 of the seed mass that minimizes SMHM scatter (the paper-style
+/// "threshold seed mass").
+pub const LOG_M_SEED_OPT: f64 = 5.5;
+
+/// Sample a z=0 FoF halo mass from the truncated power-law mass function
+/// via inverse-CDF, given a uniform deviate `u ∈ [0, 1)`.
+pub fn sample_halo_mass(u: f64) -> f64 {
+    // CDF of M^-α on [M_MIN, M_MAX]: inverse transform.
+    let one_minus = 1.0 - HMF_SLOPE; // negative
+    let lo = M_MIN.powf(one_minus);
+    let hi = M_MAX.powf(one_minus);
+    (lo + u * (hi - lo)).powf(1.0 / one_minus)
+}
+
+/// Multiplicative mass-function amplitude response to the sub-grid
+/// parameters. Stronger stellar feedback (higher `f_SN`) slightly *raises*
+/// massive-halo masses in this toy model (energy injection puffs gas that
+/// later accretes), while faster kicks (`log v_SN`) lower them — giving
+/// the ambiguous §4.5 question a definite underlying answer:
+/// increase `f_SN`, decrease `v_SN`.
+pub fn mass_amplitude(params: &SubgridParams) -> f64 {
+    let f_sn_term = 0.06 * (params.f_sn - 0.75) / 0.25;
+    let v_sn_term = -0.04 * (params.log_v_sn - 2.0) / 0.3;
+    1.0 + f_sn_term + v_sn_term
+}
+
+/// Halo mass growth history: mass at scale factor `a` of a halo whose
+/// z=0 mass is `m_final`, with per-halo accretion-rate modifier
+/// `beta ∈ [1, 3]`. Mass grows monotonically with the linear growth
+/// factor; earlier-forming halos (low beta) grow more gently.
+pub fn mass_at(cosmo: &Cosmology, m_final: f64, beta: f64, a: f64) -> f64 {
+    let d = growth_factor(cosmo, a);
+    // M(a) = M_f * exp(-beta * (1/D - 1)); D(1)=1 so M(1)=M_f.
+    m_final * (-beta * (1.0 / d - 1.0)).exp()
+}
+
+/// SOD M500c given the FoF mass (tight, slightly sub-unity relation).
+pub fn m500c_of_fof(m_fof: f64) -> f64 {
+    0.72 * m_fof.powf(0.995) * M_MIN.powf(0.005)
+}
+
+/// Critical gas mass scale (Msun/h) below which AGN feedback expels gas.
+/// Higher `log T_AGN` pushes the knee to higher masses.
+pub fn gas_knee_mass(params: &SubgridParams, a: f64) -> f64 {
+    // Knee drifts to lower masses at late times as feedback saturates.
+    let evolution = -0.35 * (a - 0.5);
+    10f64.powf(12.8 + 1.1 * (params.log_t_agn - 7.8) + evolution)
+}
+
+/// Hot gas fraction inside R500c: `f_gas(M500c)`.
+///
+/// `f_gas = f_b * [1 + (M_c / M)^κ]^-1`, with κ mildly dependent on
+/// `beta_BH` (stronger accretion boost steepens depletion).
+pub fn gas_fraction(cosmo: &Cosmology, params: &SubgridParams, m500c: f64, a: f64) -> f64 {
+    let f_b = cosmo.baryon_fraction();
+    let m_c = gas_knee_mass(params, a);
+    let kappa = 0.9 + 0.15 * (params.beta_bh - 1.0);
+    f_b / (1.0 + (m_c / m500c).powf(kappa))
+}
+
+/// Stellar-mass assembly efficiency ε(M_seed, f_SN): the peak ratio
+/// M*/ (f_b · M_h). Peaks at the threshold seed mass and is suppressed by
+/// strong stellar feedback.
+pub fn stellar_efficiency(params: &SubgridParams) -> f64 {
+    let x = params.log_m_seed() - LOG_M_SEED_OPT;
+    let seed_shape = (-0.5 * (x / 0.8) * (x / 0.8)).exp();
+    let fsn_suppression = 1.0 - 0.35 * (params.f_sn - 0.5) / 0.5;
+    0.22 * seed_shape * fsn_suppression
+}
+
+/// Intrinsic (log10) scatter of the SMHM relation as a function of the
+/// seed mass: minimized at `LOG_M_SEED_OPT`.
+pub fn smhm_scatter(params: &SubgridParams) -> f64 {
+    0.12 + 0.22 * (params.log_m_seed() - LOG_M_SEED_OPT).abs()
+}
+
+/// Median SMHM relation: central stellar mass for halo mass `m_h`
+/// (Behroozi-style double power law; returns Msun/h).
+pub fn smhm_median(cosmo: &Cosmology, params: &SubgridParams, m_h: f64, a: f64) -> f64 {
+    let m_pivot = 10f64.powf(12.0);
+    let eps = stellar_efficiency(params);
+    let x = m_h / m_pivot;
+    // Low-mass slope steepens with f_SN (feedback blows out gas in small
+    // halos); high-mass slope fixed by AGN quenching.
+    let lo_slope = 1.6 + 0.5 * (params.f_sn - 0.75);
+    let hi_slope = 0.45;
+    let shape = 2.0 / (x.powf(-lo_slope) + x.powf(-hi_slope));
+    // Mild growth of normalization with scale factor.
+    let evo = 0.6 + 0.4 * a;
+    eps * cosmo.baryon_fraction() * m_pivot * shape * evo
+}
+
+/// Galaxy gas mass for a central of stellar mass `m_star` in a halo of
+/// mass `m_h` (cold gas reservoir, depleted by AGN in massive halos).
+pub fn galaxy_gas_mass(params: &SubgridParams, m_star: f64, m_h: f64) -> f64 {
+    let depletion = 1.0 / (1.0 + (m_h / 10f64.powf(13.0)).powf(0.8 * params.beta_bh.max(0.1)));
+    0.4 * m_star.powf(0.9) * 1e11f64.powf(0.1) * depletion
+}
+
+/// Velocity dispersion (km/s) of a halo of mass `m_fof` — used for halo
+/// internal kinematics and satellite velocities. `σ ∝ M^(1/3)`.
+pub fn velocity_dispersion(params: &SubgridParams, m_fof: f64) -> f64 {
+    // Kick velocity adds in quadrature at low mass.
+    let sigma_grav = 180.0 * (m_fof / 1e13).powf(1.0 / 3.0);
+    let kick = 10f64.powf(params.log_v_sn) * 0.06;
+    (sigma_grav * sigma_grav + kick * kick).sqrt()
+}
+
+/// SOD radius R500c (Mpc/h) from M500c — spherical overdensity of 500×
+/// critical density (ρ_c ≈ 2.775e11 h² Msun/Mpc³).
+pub fn r500c(m500c: f64) -> f64 {
+    let rho_c = 2.775e11;
+    (3.0 * m500c / (4.0 * std::f64::consts::PI * 500.0 * rho_c)).powf(1.0 / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid() -> SubgridParams {
+        SubgridParams::default()
+    }
+
+    #[test]
+    fn mass_sampling_respects_bounds_and_slope() {
+        let n = 20_000;
+        let masses: Vec<f64> = (0..n)
+            .map(|i| sample_halo_mass((i as f64 + 0.5) / n as f64))
+            .collect();
+        assert!(masses.iter().all(|&m| (M_MIN..=M_MAX).contains(&m)));
+        // Counts in log-mass bins should fall roughly like M^(1-α).
+        let low = masses.iter().filter(|&&m| m < 1e12).count() as f64;
+        let high = masses.iter().filter(|&&m| m > 1e13).count() as f64;
+        assert!(low > 20.0 * high, "low={low} high={high}");
+    }
+
+    #[test]
+    fn mass_amplitude_directionality() {
+        // f_SN up -> amplitude up; v_SN up -> amplitude down. This is the
+        // ground truth for the §4.5 ambiguous question.
+        let mut hi_fsn = fid();
+        hi_fsn.f_sn = 1.0;
+        let mut lo_fsn = fid();
+        lo_fsn.f_sn = 0.5;
+        assert!(mass_amplitude(&hi_fsn) > mass_amplitude(&lo_fsn));
+        let mut hi_v = fid();
+        hi_v.log_v_sn = 2.3;
+        let mut lo_v = fid();
+        lo_v.log_v_sn = 1.7;
+        assert!(mass_amplitude(&hi_v) < mass_amplitude(&lo_v));
+    }
+
+    #[test]
+    fn mass_history_is_monotone_and_anchored() {
+        let c = Cosmology::default();
+        let m_final = 1e14;
+        let m1 = mass_at(&c, m_final, 2.0, 1.0);
+        assert!((m1 - m_final).abs() / m_final < 1e-12);
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let a = 0.1 * i as f64;
+            let m = mass_at(&c, m_final, 2.0, a);
+            assert!(m > prev);
+            prev = m;
+        }
+        // Early mass far below final.
+        assert!(mass_at(&c, m_final, 2.0, 0.15) < 0.1 * m_final);
+    }
+
+    #[test]
+    fn gas_fraction_rises_with_mass_and_falls_with_agn_temp() {
+        let c = Cosmology::default();
+        let p = fid();
+        let f_small = gas_fraction(&c, &p, 1e12, 1.0);
+        let f_big = gas_fraction(&c, &p, 1e15, 1.0);
+        assert!(f_big > f_small);
+        assert!(f_big <= c.baryon_fraction());
+        let mut hot = fid();
+        hot.log_t_agn = 8.2;
+        assert!(gas_fraction(&c, &hot, 1e13, 1.0) < gas_fraction(&c, &p, 1e13, 1.0));
+    }
+
+    #[test]
+    fn gas_relation_slope_evolves_with_time() {
+        // The knee moves with a, so the fitted slope of f_gas vs log M
+        // changes between early and late snapshots.
+        let c = Cosmology::default();
+        let p = fid();
+        let slope = |a: f64| {
+            let m1: f64 = 1e13;
+            let m2: f64 = 1e14;
+            (gas_fraction(&c, &p, m2, a).log10() - gas_fraction(&c, &p, m1, a).log10())
+                / (m2.log10() - m1.log10())
+        };
+        assert!((slope(0.3) - slope(1.0)).abs() > 0.005);
+    }
+
+    #[test]
+    fn smhm_scatter_minimized_at_optimal_seed() {
+        let seeds = [4.5, 5.0, 5.5, 6.0, 6.5];
+        let scatters: Vec<f64> = seeds
+            .iter()
+            .map(|&lm| {
+                let mut p = fid();
+                p.m_seed = 10f64.powf(lm);
+                smhm_scatter(&p)
+            })
+            .collect();
+        let min_idx = scatters
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(seeds[min_idx], 5.5);
+    }
+
+    #[test]
+    fn stellar_efficiency_peaks_at_threshold_seed() {
+        let eff = |lm: f64| {
+            let mut p = fid();
+            p.m_seed = 10f64.powf(lm);
+            stellar_efficiency(&p)
+        };
+        assert!(eff(5.5) > eff(4.5));
+        assert!(eff(5.5) > eff(6.5));
+        // And strong feedback suppresses it.
+        let mut strong = fid();
+        strong.f_sn = 1.0;
+        assert!(stellar_efficiency(&strong) < stellar_efficiency(&fid()));
+    }
+
+    #[test]
+    fn smhm_median_shape() {
+        let c = Cosmology::default();
+        let p = fid();
+        let ms_small = smhm_median(&c, &p, 1e11, 1.0);
+        let ms_pivot = smhm_median(&c, &p, 1e12, 1.0);
+        let ms_big = smhm_median(&c, &p, 1e15, 1.0);
+        // Efficiency (M*/M_h) peaks near the pivot.
+        assert!(ms_pivot / 1e12 > ms_small / 1e11);
+        assert!(ms_pivot / 1e12 > ms_big / 1e15);
+        // Stellar mass monotone in halo mass.
+        assert!(ms_small < ms_pivot && ms_pivot < ms_big);
+    }
+
+    #[test]
+    fn r500c_scaling() {
+        let r1 = r500c(1e14);
+        let r2 = r500c(8e14);
+        assert!((r2 / r1 - 2.0).abs() < 1e-9); // M ∝ R³
+        assert!(r1 > 0.3 && r1 < 1.5, "R500c(1e14) = {r1} Mpc/h");
+    }
+
+    #[test]
+    fn velocity_dispersion_increases_with_mass() {
+        let p = fid();
+        assert!(velocity_dispersion(&p, 1e15) > velocity_dispersion(&p, 1e12));
+        let mut kicky = fid();
+        kicky.log_v_sn = 2.3;
+        assert!(velocity_dispersion(&kicky, 1e11) > velocity_dispersion(&p, 1e11));
+    }
+}

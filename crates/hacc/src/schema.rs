@@ -1,0 +1,195 @@
+//! Canonical column schemas of the four HACC data products.
+
+use crate::genio::GenioDType;
+
+/// Entity kinds stored per snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    Halos,
+    Galaxies,
+    Cores,
+    Particles,
+}
+
+impl EntityKind {
+    /// All kinds, in canonical order.
+    pub const ALL: [EntityKind; 4] = [
+        EntityKind::Halos,
+        EntityKind::Galaxies,
+        EntityKind::Cores,
+        EntityKind::Particles,
+    ];
+
+    /// File name of this product within a snapshot directory
+    /// (HACC-style `m000p.<kind>` naming).
+    pub fn file_name(self) -> &'static str {
+        match self {
+            EntityKind::Halos => "m000p.haloproperties",
+            EntityKind::Galaxies => "m000p.galaxyproperties",
+            EntityKind::Cores => "m000p.coreproperties",
+            EntityKind::Particles => "m000p.particles",
+        }
+    }
+
+    /// Human name used in manifests and agent prompts.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityKind::Halos => "halos",
+            EntityKind::Galaxies => "galaxies",
+            EntityKind::Cores => "cores",
+            EntityKind::Particles => "particles",
+        }
+    }
+
+    /// Parse from a label.
+    pub fn parse(s: &str) -> Option<EntityKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "halos" | "halo" | "haloproperties" => EntityKind::Halos,
+            "galaxies" | "galaxy" | "galaxyproperties" => EntityKind::Galaxies,
+            "cores" | "core" | "coreproperties" => EntityKind::Cores,
+            "particles" | "particle" => EntityKind::Particles,
+            _ => return None,
+        })
+    }
+
+    /// The column schema of this product.
+    pub fn schema(self) -> &'static [(&'static str, GenioDType)] {
+        match self {
+            EntityKind::Halos => HALO_SCHEMA,
+            EntityKind::Galaxies => GALAXY_SCHEMA,
+            EntityKind::Cores => CORE_SCHEMA,
+            EntityKind::Particles => PARTICLE_SCHEMA,
+        }
+    }
+
+    /// Column names only.
+    pub fn column_names(self) -> Vec<&'static str> {
+        self.schema().iter().map(|(n, _)| *n).collect()
+    }
+}
+
+/// FoF + SOD halo property columns.
+pub const HALO_SCHEMA: &[(&str, GenioDType)] = &[
+    ("fof_halo_tag", GenioDType::I64),
+    ("fof_halo_count", GenioDType::I64),
+    ("fof_halo_mass", GenioDType::F64),
+    ("fof_halo_center_x", GenioDType::F32),
+    ("fof_halo_center_y", GenioDType::F32),
+    ("fof_halo_center_z", GenioDType::F32),
+    ("fof_halo_mean_vx", GenioDType::F32),
+    ("fof_halo_mean_vy", GenioDType::F32),
+    ("fof_halo_mean_vz", GenioDType::F32),
+    ("fof_halo_vel_disp", GenioDType::F32),
+    ("fof_halo_max_cir_vel", GenioDType::F32),
+    ("sod_halo_radius", GenioDType::F32),
+    ("sod_halo_M500c", GenioDType::F64),
+    ("sod_halo_MGas500c", GenioDType::F64),
+    ("sod_halo_Mstar500c", GenioDType::F64),
+    ("sod_halo_cdelta", GenioDType::F32),
+    ("sod_halo_1D_vel_disp", GenioDType::F32),
+    ("sod_halo_min_pot_x", GenioDType::F32),
+    ("sod_halo_min_pot_y", GenioDType::F32),
+    ("sod_halo_min_pot_z", GenioDType::F32),
+    ("fof_halo_angmom_x", GenioDType::F32),
+    ("fof_halo_angmom_y", GenioDType::F32),
+    ("fof_halo_angmom_z", GenioDType::F32),
+    ("fof_halo_ke", GenioDType::F64),
+];
+
+/// Galaxy property columns.
+pub const GALAXY_SCHEMA: &[(&str, GenioDType)] = &[
+    ("gal_tag", GenioDType::I64),
+    ("fof_halo_tag", GenioDType::I64),
+    ("gal_mass", GenioDType::F64),
+    ("gal_stellar_mass", GenioDType::F64),
+    ("gal_gas_mass", GenioDType::F64),
+    ("gal_sfr", GenioDType::F32),
+    ("gal_center_x", GenioDType::F32),
+    ("gal_center_y", GenioDType::F32),
+    ("gal_center_z", GenioDType::F32),
+    ("gal_vx", GenioDType::F32),
+    ("gal_vy", GenioDType::F32),
+    ("gal_vz", GenioDType::F32),
+    ("gal_kinetic_energy", GenioDType::F64),
+    ("gal_is_central", GenioDType::I32),
+    ("gal_vel_disp", GenioDType::F32),
+    ("gal_half_mass_radius", GenioDType::F32),
+    ("gal_bh_mass", GenioDType::F64),
+    ("gal_age", GenioDType::F32),
+];
+
+/// Core (halo tracer particle) columns.
+pub const CORE_SCHEMA: &[(&str, GenioDType)] = &[
+    ("core_tag", GenioDType::I64),
+    ("fof_halo_tag", GenioDType::I64),
+    ("core_x", GenioDType::F32),
+    ("core_y", GenioDType::F32),
+    ("core_z", GenioDType::F32),
+    ("core_vx", GenioDType::F32),
+    ("core_vy", GenioDType::F32),
+    ("core_vz", GenioDType::F32),
+    ("core_infall_mass", GenioDType::F64),
+    ("core_infall_step", GenioDType::I32),
+];
+
+/// Raw particle columns.
+pub const PARTICLE_SCHEMA: &[(&str, GenioDType)] = &[
+    ("id", GenioDType::I64),
+    ("x", GenioDType::F32),
+    ("y", GenioDType::F32),
+    ("z", GenioDType::F32),
+    ("vx", GenioDType::F32),
+    ("vy", GenioDType::F32),
+    ("vz", GenioDType::F32),
+    ("phi", GenioDType::F32),
+    ("mass", GenioDType::F32),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_unique_names() {
+        for kind in EntityKind::ALL {
+            let names = kind.column_names();
+            let mut dedup = names.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(names.len(), dedup.len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parse_labels() {
+        assert_eq!(EntityKind::parse("HALOS"), Some(EntityKind::Halos));
+        assert_eq!(EntityKind::parse("galaxy"), Some(EntityKind::Galaxies));
+        assert_eq!(EntityKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn file_names_are_hacc_style() {
+        assert_eq!(EntityKind::Halos.file_name(), "m000p.haloproperties");
+        assert!(EntityKind::ALL
+            .iter()
+            .all(|k| k.file_name().starts_with("m000p.")));
+    }
+
+    #[test]
+    fn key_paper_columns_present() {
+        let halo_names = EntityKind::Halos.column_names();
+        for c in [
+            "fof_halo_tag",
+            "fof_halo_count",
+            "fof_halo_mass",
+            "sod_halo_M500c",
+            "sod_halo_MGas500c",
+        ] {
+            assert!(halo_names.contains(&c), "missing {c}");
+        }
+        let gal_names = EntityKind::Galaxies.column_names();
+        for c in ["gal_stellar_mass", "fof_halo_tag", "gal_kinetic_energy"] {
+            assert!(gal_names.contains(&c), "missing {c}");
+        }
+    }
+}

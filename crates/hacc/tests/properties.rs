@@ -1,0 +1,154 @@
+//! Property-based tests for the GenericIO-lite format and the catalog
+//! generator's physical invariants.
+
+use infera_hacc::{
+    scale_factor, EntityKind, GenioColumn, GenioReader, GenioWriter, SimConfig, SimModel,
+    SubgridParams,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmpfile() -> PathBuf {
+    let id = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("infera_hacc_props");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("f_{id}_{}.gio", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GenericIO roundtrip for arbitrary block partitions of arbitrary
+    /// data: all rows come back, in block order, with exact values.
+    #[test]
+    fn genio_roundtrip(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec((any::<i64>(), -1.0e12f64..1.0e12), 0..50),
+            1..6,
+        )
+    ) {
+        let path = tmpfile();
+        let schema = [("tag", infera_hacc::GenioDType::I64), ("mass", infera_hacc::GenioDType::F64)];
+        let mut w = GenioWriter::create(&path, &schema).unwrap();
+        for block in &blocks {
+            let tags: Vec<i64> = block.iter().map(|(t, _)| *t).collect();
+            let masses: Vec<f64> = block.iter().map(|(_, m)| *m).collect();
+            w.write_block(&[GenioColumn::I64(tags), GenioColumn::F64(masses)]).unwrap();
+        }
+        w.finish().unwrap();
+
+        let mut r = GenioReader::open(&path).unwrap();
+        prop_assert_eq!(r.header().blocks.len(), blocks.len());
+        let df = r.read_all().unwrap();
+        let expected: Vec<(i64, f64)> = blocks.concat();
+        prop_assert_eq!(df.n_rows(), expected.len());
+        for (i, (t, m)) in expected.iter().enumerate() {
+            prop_assert_eq!(df.cell("tag", i).unwrap().as_i64().unwrap(), *t);
+            let got = df.cell("mass", i).unwrap().as_f64().unwrap();
+            prop_assert!(got == *m);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Selective reads equal the projection of a full read.
+    #[test]
+    fn genio_selective_equals_projection(n in 1usize..200, seed in 0u64..500) {
+        let path = tmpfile();
+        let model = SimModel::new(seed, 0, SubgridParams::default(), SimConfig {
+            n_halos: n.max(10),
+            particles_per_step: 10,
+            ..SimConfig::default()
+        });
+        let mut w = GenioWriter::create(&path, EntityKind::Halos.schema()).unwrap();
+        w.write_block(&model.halo_catalog(624)).unwrap();
+        w.finish().unwrap();
+        let mut r = GenioReader::open(&path).unwrap();
+        let selective = r.read_columns(&["fof_halo_mass", "fof_halo_tag"]).unwrap();
+        let mut r2 = GenioReader::open(&path).unwrap();
+        let full = r2.read_all().unwrap().select(&["fof_halo_mass", "fof_halo_tag"]).unwrap();
+        prop_assert_eq!(selective, full);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Catalog invariants for arbitrary (seed, params, step):
+    /// counts > 0, masses within the mass-function envelope, positions in
+    /// the box, gas fraction below the cosmic baryon fraction.
+    #[test]
+    fn catalog_invariants(
+        seed in 0u64..1000,
+        step in 150u32..=624,
+        f_sn in 0.5f64..1.0,
+        log_t_agn in 7.4f64..8.2,
+    ) {
+        let params = SubgridParams { f_sn, log_t_agn, ..SubgridParams::default() };
+        let config = SimConfig { n_halos: 80, particles_per_step: 10, ..SimConfig::default() };
+        let model = SimModel::new(seed, 0, params, config);
+        let halos = model.catalog_frame(EntityKind::Halos, step);
+        if halos.n_rows() == 0 {
+            return Ok(()); // very early snapshots can be empty
+        }
+        let mass = halos.column("fof_halo_mass").unwrap().as_f64_slice().unwrap();
+        let count = halos.column("fof_halo_count").unwrap().as_i64_slice().unwrap();
+        prop_assert!(mass.iter().all(|&m| m >= infera_hacc::physics::M_MIN * 0.99));
+        prop_assert!(count.iter().all(|&c| c > 0));
+        for axis in ["fof_halo_center_x", "fof_halo_center_y", "fof_halo_center_z"] {
+            let v = halos.column(axis).unwrap().as_f64_slice().unwrap();
+            prop_assert!(v.iter().all(|&x| (0.0..=config.box_size).contains(&x)));
+        }
+        let m500 = halos.column("sod_halo_M500c").unwrap().as_f64_slice().unwrap();
+        let mgas = halos.column("sod_halo_MGas500c").unwrap().as_f64_slice().unwrap();
+        let fb = infera_hacc::Cosmology::default().baryon_fraction();
+        for (g, m) in mgas.iter().zip(m500) {
+            prop_assert!(g / m <= fb * 1.3, "gas fraction {} above envelope", g / m);
+        }
+    }
+
+    /// Mass histories are monotone in the scale factor for every halo.
+    #[test]
+    fn mass_history_monotone(seed in 0u64..200, beta in 1.0f64..3.0, m_final in 1.0e11f64..1.0e15) {
+        let cosmo = infera_hacc::Cosmology::default();
+        let mut prev = 0.0;
+        for step in (0..=624).step_by(39) {
+            let m = infera_hacc::physics::mass_at(&cosmo, m_final, beta, scale_factor(step));
+            prop_assert!(m >= prev);
+            prev = m;
+        }
+        let _ = seed;
+        prop_assert!((prev - m_final).abs() / m_final < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compressed (v3) files round-trip arbitrary integer/float data and
+    /// agree with raw (v2) files bit for bit after decode.
+    #[test]
+    fn genio_compressed_matches_raw(
+        rows in proptest::collection::vec((any::<i64>(), -1.0e12f64..1.0e12), 0..200)
+    ) {
+        let schema = [("tag", infera_hacc::GenioDType::I64), ("mass", infera_hacc::GenioDType::F64)];
+        let tags: Vec<i64> = rows.iter().map(|(t, _)| *t).collect();
+        let masses: Vec<f64> = rows.iter().map(|(_, m)| *m).collect();
+        let block = vec![GenioColumn::I64(tags), GenioColumn::F64(masses)];
+
+        let raw_path = tmpfile();
+        let mut w = GenioWriter::create(&raw_path, &schema).unwrap();
+        w.write_block(&block).unwrap();
+        w.finish().unwrap();
+
+        let comp_path = tmpfile();
+        let mut w = GenioWriter::create_compressed(&comp_path, &schema).unwrap();
+        w.write_block(&block).unwrap();
+        w.finish().unwrap();
+
+        let raw = GenioReader::open(&raw_path).unwrap().read_all().unwrap();
+        let comp = GenioReader::open(&comp_path).unwrap().read_all().unwrap();
+        prop_assert_eq!(raw, comp);
+        std::fs::remove_file(&raw_path).ok();
+        std::fs::remove_file(&comp_path).ok();
+    }
+}

@@ -1,0 +1,87 @@
+//! The language-model API surface.
+//!
+//! Mirrors the narrow slice of an LLM chat API that InferA uses: a system
+//! prompt, a user prompt, and a text response with token accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Approximate token count of a text (the familiar ~4 characters/token
+//  heuristic used for budget accounting when exact tokenizers are
+//  unavailable).
+pub fn approx_tokens(text: &str) -> u64 {
+    (text.chars().count() as u64).div_ceil(4)
+}
+
+/// A completion request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletionRequest {
+    /// Name of the agent issuing the call (for accounting).
+    pub agent: String,
+    pub system: String,
+    pub prompt: String,
+}
+
+impl CompletionRequest {
+    pub fn new(
+        agent: impl Into<String>,
+        system: impl Into<String>,
+        prompt: impl Into<String>,
+    ) -> CompletionRequest {
+        CompletionRequest {
+            agent: agent.into(),
+            system: system.into(),
+            prompt: prompt.into(),
+        }
+    }
+
+    /// Prompt-side token count.
+    pub fn prompt_tokens(&self) -> u64 {
+        approx_tokens(&self.system) + approx_tokens(&self.prompt)
+    }
+}
+
+/// A completion response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletionResponse {
+    pub text: String,
+    pub prompt_tokens: u64,
+    pub completion_tokens: u64,
+    /// Simulated model latency in milliseconds (virtual time — callers do
+    /// not sleep; the meter accumulates it).
+    pub latency_ms: u64,
+}
+
+/// The language-model abstraction the agents program against.
+///
+/// The paper runs GPT-4o; this reproduction ships [`crate::SimulatedLlm`].
+/// A real backend could implement this trait without touching any agent
+/// code.
+pub trait LanguageModel: Send + Sync {
+    /// Complete a prompt.
+    fn complete(&self, req: &CompletionRequest) -> CompletionResponse;
+
+    /// Model identifier (for provenance records).
+    fn model_id(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_estimate() {
+        assert_eq!(approx_tokens(""), 0);
+        assert_eq!(approx_tokens("abcd"), 1);
+        assert_eq!(approx_tokens("abcde"), 2);
+        assert_eq!(approx_tokens(&"x".repeat(400)), 100);
+    }
+
+    #[test]
+    fn request_tokens_sum_system_and_prompt() {
+        let req = CompletionRequest::new("planner", "sys!", "user prompt");
+        assert_eq!(
+            req.prompt_tokens(),
+            approx_tokens("sys!") + approx_tokens("user prompt")
+        );
+    }
+}

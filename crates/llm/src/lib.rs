@@ -1,0 +1,24 @@
+//! # infera-llm
+//!
+//! The language-model substrate of the InferA reproduction.
+//!
+//! The paper evaluates with OpenAI GPT-4o. An offline reproduction cannot
+//! call a hosted model, so this crate supplies (a) the [`LanguageModel`]
+//! abstraction the agents program against, with token and virtual-latency
+//! accounting matching a real client's shape, and (b) [`SimulatedLlm`], a
+//! deterministic behavioural model whose calibrated error-injection
+//! reproduces the failure modes §4 reports: slightly-wrong column names,
+//! wrong custom-tool selection, valid-but-unsatisfactory analysis and
+//! visualization choices, and compounding errors that exhaust the redo
+//! budget. See DESIGN.md §2 for why this substitution preserves the
+//! paper's measurable behaviour.
+
+pub mod api;
+pub mod behavior;
+pub mod meter;
+pub mod simulated;
+
+pub use api::{approx_tokens, CompletionRequest, CompletionResponse, LanguageModel};
+pub use behavior::{BehaviorProfile, SemanticLevel};
+pub use meter::{AgentUsage, TokenMeter};
+pub use simulated::SimulatedLlm;

@@ -1,0 +1,140 @@
+//! Token and virtual-latency accounting.
+//!
+//! The paper reports token usage per run (§4.1.4: 65k–178k per query,
+//! failed runs ≈ 1.5× successful) and notes LLM latency is bounded by
+//! ~5 s per invocation. The meter aggregates both across all agents of a
+//! run; latency is *virtual* (recorded, never slept).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Aggregated usage of one agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentUsage {
+    pub calls: u64,
+    pub prompt_tokens: u64,
+    pub completion_tokens: u64,
+    pub latency_ms: u64,
+}
+
+impl AgentUsage {
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    per_agent: BTreeMap<String, AgentUsage>,
+}
+
+/// Shared token meter. Cheap to clone (Arc).
+#[derive(Debug, Clone, Default)]
+pub struct TokenMeter {
+    inner: Arc<Mutex<MeterInner>>,
+}
+
+impl TokenMeter {
+    pub fn new() -> TokenMeter {
+        TokenMeter::default()
+    }
+
+    /// Record one model invocation.
+    pub fn record(&self, agent: &str, prompt_tokens: u64, completion_tokens: u64, latency_ms: u64) {
+        let mut inner = self.inner.lock();
+        let usage = inner.per_agent.entry(agent.to_string()).or_default();
+        usage.calls += 1;
+        usage.prompt_tokens += prompt_tokens;
+        usage.completion_tokens += completion_tokens;
+        usage.latency_ms += latency_ms;
+    }
+
+    /// Total tokens across all agents.
+    pub fn total_tokens(&self) -> u64 {
+        self.inner
+            .lock()
+            .per_agent
+            .values()
+            .map(AgentUsage::total_tokens)
+            .sum()
+    }
+
+    /// Total model calls.
+    pub fn total_calls(&self) -> u64 {
+        self.inner.lock().per_agent.values().map(|u| u.calls).sum()
+    }
+
+    /// Total virtual LLM latency (ms).
+    pub fn total_latency_ms(&self) -> u64 {
+        self.inner
+            .lock()
+            .per_agent
+            .values()
+            .map(|u| u.latency_ms)
+            .sum()
+    }
+
+    /// Per-agent snapshot, sorted by agent name.
+    pub fn by_agent(&self) -> Vec<(String, AgentUsage)> {
+        self.inner
+            .lock()
+            .per_agent
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.inner.lock().per_agent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let m = TokenMeter::new();
+        m.record("planner", 100, 50, 1200);
+        m.record("planner", 200, 80, 900);
+        m.record("sql", 10, 5, 300);
+        assert_eq!(m.total_tokens(), 445);
+        assert_eq!(m.total_calls(), 3);
+        assert_eq!(m.total_latency_ms(), 2400);
+        let by = m.by_agent();
+        assert_eq!(by.len(), 2);
+        assert_eq!(by[0].0, "planner");
+        assert_eq!(by[0].1.calls, 2);
+    }
+
+    #[test]
+    fn shared_across_clones() {
+        let m = TokenMeter::new();
+        let m2 = m.clone();
+        m2.record("qa", 1, 1, 1);
+        assert_eq!(m.total_tokens(), 2);
+        m.reset();
+        assert_eq!(m2.total_tokens(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let m = TokenMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.record("agent", 1, 1, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.total_tokens(), 16_000);
+        assert_eq!(m.total_calls(), 8_000);
+    }
+}

@@ -1,0 +1,391 @@
+//! The simulated language model.
+//!
+//! [`SimulatedLlm`] plays GPT-4o's role in this reproduction. It has two
+//! faces:
+//!
+//! 1. the [`LanguageModel`] trait — prompt in, text out, with token and
+//!    virtual-latency accounting identical in shape to a real API client;
+//! 2. a *structured stochastic oracle* the agents consult for behaviour:
+//!    whether a generated program carries a corrupted column name, whether
+//!    the wrong tool was picked, what QA score a given true quality earns.
+//!
+//! Agents synthesize their (correct) artifacts deterministically from
+//! templates, then pass them through this model's corruption channel. The
+//! resulting dynamics — error-guided redos, revision-budget exhaustion,
+//! token blow-up on failures — reproduce the paper's Table 2 statistics.
+//! Everything is seeded; a given `(seed, question)` pair replays exactly.
+
+use crate::api::{approx_tokens, CompletionRequest, CompletionResponse, LanguageModel};
+use crate::behavior::{BehaviorProfile, SemanticLevel};
+use crate::meter::TokenMeter;
+use parking_lot::Mutex;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Deterministic, seeded model with calibrated error behaviour.
+#[derive(Debug)]
+pub struct SimulatedLlm {
+    seed: u64,
+    profile: BehaviorProfile,
+    meter: TokenMeter,
+    rng: Mutex<ChaCha12Rng>,
+}
+
+impl SimulatedLlm {
+    pub fn new(seed: u64, profile: BehaviorProfile, meter: TokenMeter) -> SimulatedLlm {
+        SimulatedLlm {
+            seed,
+            profile,
+            meter,
+            rng: Mutex::new(ChaCha12Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The behaviour profile in force.
+    pub fn profile(&self) -> &BehaviorProfile {
+        &self.profile
+    }
+
+    /// The shared token meter.
+    pub fn meter(&self) -> &TokenMeter {
+        &self.meter
+    }
+
+    /// An independent deterministic child stream (used per-run so runs
+    /// don't perturb each other's randomness).
+    pub fn fork(&self, salt: u64) -> SimulatedLlm {
+        let child_seed = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(salt.wrapping_mul(0xD1B54A32D192ED03) | 1);
+        SimulatedLlm::new(child_seed, self.profile.clone(), self.meter.clone())
+    }
+
+    // ---------------- randomness primitives ----------------
+
+    /// Bernoulli draw.
+    pub fn flip(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.rng.lock().random::<f64>() < p
+    }
+
+    /// Uniform index in `0..n`.
+    pub fn pick(&self, n: usize) -> usize {
+        assert!(n > 0);
+        self.rng.lock().random_range(0..n)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&self) -> f64 {
+        let mut rng = self.rng.lock();
+        loop {
+            let u1: f64 = rng.random();
+            let u2: f64 = rng.random();
+            if u1 > f64::MIN_POSITIVE {
+                let r = (-2.0 * u1.ln()).sqrt();
+                return r * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+
+    /// Poisson sample (Knuth's method; rates here are small).
+    pub fn poisson(&self, lambda: f64) -> usize {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        let mut rng = self.rng.lock();
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 1000 {
+                return k;
+            }
+        }
+    }
+
+    // ---------------- behavioural oracle ----------------
+
+    /// Number of column-name corruption errors injected into a freshly
+    /// generated program at the given semantic level.
+    pub fn sample_column_errors(&self, level: SemanticLevel) -> usize {
+        self.poisson(self.profile.column_error_rate[level.index()])
+    }
+
+    /// Whether the model picks the wrong custom tool for this task.
+    pub fn wrong_tool(&self, level: SemanticLevel) -> bool {
+        self.flip(self.profile.p_wrong_tool[level.index()])
+    }
+
+    /// Whether the model chooses a valid-but-unsatisfactory analysis
+    /// approach.
+    pub fn bad_analysis_choice(&self, level: SemanticLevel) -> bool {
+        self.flip(self.profile.p_bad_analysis[level.index()])
+    }
+
+    /// Whether the model chooses a valid-but-unsatisfactory visualization
+    /// form.
+    pub fn bad_viz_choice(&self, level: SemanticLevel) -> bool {
+        self.flip(self.profile.p_bad_viz[level.index()])
+    }
+
+    /// Whether an error-guided redo fixes one outstanding error.
+    pub fn redo_fixes(&self) -> bool {
+        self.flip(self.profile.p_redo_fixes)
+    }
+
+    /// Whether a redo introduces a fresh error.
+    pub fn redo_introduces(&self, level: SemanticLevel) -> bool {
+        self.flip(self.profile.p_redo_introduces[level.index()])
+    }
+
+    /// Corrupt a column name the way LLMs do (§4.2.2: `center_x` for
+    /// `fof_halo_center_x`; §4.1.1 "non-existent or slightly incorrect
+    /// column names").
+    pub fn corrupt_column_name(&self, name: &str) -> String {
+        let styles = 3;
+        match self.pick(styles) {
+            // Drop the entity prefix ("fof_halo_", "sod_halo_", "gal_").
+            0 => {
+                let parts: Vec<&str> = name.splitn(3, '_').collect();
+                if parts.len() == 3 {
+                    parts[2].to_string()
+                } else if parts.len() == 2 {
+                    parts[1].to_string()
+                } else {
+                    format!("{name}s")
+                }
+            }
+            // Drop the last character (typo).
+            1 => {
+                let mut s = name.to_string();
+                s.pop();
+                if s.is_empty() || s == name {
+                    format!("{name}_val")
+                } else {
+                    s
+                }
+            }
+            // Simplify/pluralize.
+            _ => {
+                if let Some(stripped) = name.strip_suffix("_x") {
+                    format!("{stripped}x")
+                } else {
+                    format!("{name}s")
+                }
+            }
+        }
+    }
+
+    /// QA score on the paper's 1–100 scale for an output of true quality
+    /// `quality ∈ [0, 1]` (§4.2.4: scored QA with threshold 50 beats a
+    /// binary judgement).
+    pub fn qa_score(&self, quality: f64) -> u8 {
+        let raw = quality * 100.0 + self.profile.qa_score_noise * self.normal();
+        raw.round().clamp(1.0, 100.0) as u8
+    }
+
+    /// Binary QA judgement (the rejected design): correct outputs are
+    /// flagged incorrect with probability `p_binary_false_negative`.
+    pub fn qa_binary(&self, correct: bool) -> bool {
+        if correct {
+            !self.flip(self.profile.p_binary_false_negative)
+        } else {
+            self.flip(0.10) // occasional false positive
+        }
+    }
+
+    /// Sample a model-call latency in virtual milliseconds (log-normal,
+    /// clamped to the paper's "no invocation above 5 s").
+    pub fn sample_latency_ms(&self) -> u64 {
+        let z = self.normal();
+        let ms = (self.profile.latency_log_mean_ms + self.profile.latency_log_sigma * z).exp();
+        (ms as u64).clamp(120, 5_000)
+    }
+
+    /// Account a model call whose response text the agent synthesized
+    /// (the usual path: agents build artifacts from templates and charge
+    /// the tokens a real model would have emitted).
+    pub fn charge(&self, agent: &str, prompt: &str, response: &str) -> u64 {
+        let latency = self.sample_latency_ms();
+        let pt = approx_tokens(prompt);
+        let ct = approx_tokens(response);
+        self.meter.record(agent, pt, ct, latency);
+        pt + ct
+    }
+}
+
+impl LanguageModel for SimulatedLlm {
+    fn complete(&self, req: &CompletionRequest) -> CompletionResponse {
+        // Deterministic pseudo-completion: echo a structured acknowledgement
+        // sized like a real answer (~1/4 of the prompt, bounded).
+        let prompt_tokens = req.prompt_tokens();
+        let body_len = ((req.prompt.len() / 4).clamp(64, 1200)) as usize;
+        let mut text = format!(
+            "[simulated:{}] acknowledged task for agent '{}': ",
+            self.seed, req.agent
+        );
+        text.extend(
+            req.prompt
+                .chars()
+                .filter(|c| !c.is_control())
+                .take(body_len),
+        );
+        let completion_tokens = approx_tokens(&text);
+        let latency_ms = self.sample_latency_ms();
+        self.meter
+            .record(&req.agent, prompt_tokens, completion_tokens, latency_ms);
+        CompletionResponse {
+            text,
+            prompt_tokens,
+            completion_tokens,
+            latency_ms,
+        }
+    }
+
+    fn model_id(&self) -> &str {
+        "simulated-gpt4o"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llm(seed: u64) -> SimulatedLlm {
+        SimulatedLlm::new(seed, BehaviorProfile::default(), TokenMeter::new())
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = llm(7);
+        let b = llm(7);
+        for _ in 0..50 {
+            assert_eq!(a.flip(0.5), b.flip(0.5));
+        }
+        assert_eq!(
+            a.corrupt_column_name("fof_halo_center_x"),
+            b.corrupt_column_name("fof_halo_center_x")
+        );
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let root = llm(7);
+        let a1 = root.fork(1);
+        let a2 = llm(7).fork(1);
+        let b = root.fork(2);
+        let seq = |m: &SimulatedLlm| -> Vec<bool> { (0..20).map(|_| m.flip(0.5)).collect() };
+        assert_eq!(seq(&a1), seq(&a2));
+        assert_ne!(seq(&a1), seq(&b));
+    }
+
+    #[test]
+    fn corruption_produces_plausible_wrong_names() {
+        let m = llm(3);
+        for _ in 0..30 {
+            let c = m.corrupt_column_name("fof_halo_center_x");
+            assert_ne!(c, "fof_halo_center_x");
+            assert!(!c.is_empty());
+        }
+        // The prefix-drop style must occur (paper's canonical example).
+        let hits = (0..100)
+            .map(|_| m.corrupt_column_name("fof_halo_center_x"))
+            .filter(|c| c == "center_x")
+            .count();
+        assert!(hits > 10, "prefix-drop occurred {hits} times");
+    }
+
+    #[test]
+    fn error_rates_scale_with_level() {
+        let m = llm(11);
+        let mean = |level: SemanticLevel| -> f64 {
+            (0..2000)
+                .map(|_| m.sample_column_errors(level) as f64)
+                .sum::<f64>()
+                / 2000.0
+        };
+        let easy = mean(SemanticLevel::Easy);
+        let hard = mean(SemanticLevel::Hard);
+        assert!(hard > 2.0 * easy, "easy={easy} hard={hard}");
+    }
+
+    #[test]
+    fn qa_score_tracks_quality() {
+        let m = llm(5);
+        let avg = |q: f64| -> f64 {
+            (0..500).map(|_| f64::from(m.qa_score(q))).sum::<f64>() / 500.0
+        };
+        let low = avg(0.2);
+        let high = avg(0.9);
+        assert!(low < 35.0, "low {low}");
+        assert!(high > 80.0, "high {high}");
+    }
+
+    #[test]
+    fn latency_bounded_at_5s() {
+        let m = llm(9);
+        for _ in 0..500 {
+            let ms = m.sample_latency_ms();
+            assert!((120..=5000).contains(&ms));
+        }
+    }
+
+    #[test]
+    fn complete_records_tokens() {
+        let m = llm(1);
+        let resp = m.complete(&CompletionRequest::new(
+            "planner",
+            "you are a planner",
+            "plan the analysis of the largest halos",
+        ));
+        assert!(resp.completion_tokens > 0);
+        assert_eq!(
+            m.meter().total_tokens(),
+            resp.prompt_tokens + resp.completion_tokens
+        );
+    }
+
+    #[test]
+    fn charge_accounts_synthesized_artifacts() {
+        let m = llm(2);
+        let total = m.charge("sql", "generate sql for ...", "SELECT * FROM halos");
+        assert_eq!(m.meter().total_tokens(), total);
+        assert!(m.meter().total_latency_ms() > 0);
+    }
+
+    #[test]
+    fn perfect_profile_never_errs() {
+        let m = SimulatedLlm::new(4, BehaviorProfile::perfect(), TokenMeter::new());
+        for level in SemanticLevel::ALL {
+            assert_eq!(m.sample_column_errors(level), 0);
+            assert!(!m.wrong_tool(level));
+            assert!(!m.bad_analysis_choice(level));
+        }
+        assert!(m.redo_fixes());
+    }
+
+    #[test]
+    fn binary_qa_has_false_negatives_scored_has_fewer() {
+        let m = llm(6);
+        let binary_fn = (0..2000).filter(|_| !m.qa_binary(true)).count() as f64 / 2000.0;
+        // Scored QA: correct output quality ~0.85 scored against threshold 50.
+        let scored_fn = (0..2000)
+            .filter(|_| m.qa_score(0.85) < 50)
+            .count() as f64
+            / 2000.0;
+        assert!(binary_fn > 0.15, "binary fn rate {binary_fn}");
+        assert!(scored_fn < 0.02, "scored fn rate {scored_fn}");
+    }
+}

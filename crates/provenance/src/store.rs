@@ -1,0 +1,378 @@
+//! Content-addressed artifact store + sequential event log.
+//!
+//! §4.2.1: "By systematically recording all intermediate CSV files,
+//! executed code, and generated outputs in sequential order, the system
+//! creates a complete audit trail of the analytical process." Artifacts
+//! are stored content-addressed (identical intermediates dedupe); events
+//! form an append-only JSONL log referencing artifact ids.
+
+use infera_frame::DataFrame;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Errors from the provenance layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProvenanceError {
+    Io(String),
+    MissingArtifact(String),
+    Corrupt(String),
+}
+
+impl fmt::Display for ProvenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvenanceError::Io(m) => write!(f, "provenance io error: {m}"),
+            ProvenanceError::MissingArtifact(id) => write!(f, "missing artifact {id}"),
+            ProvenanceError::Corrupt(m) => write!(f, "corrupt provenance record: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProvenanceError {}
+
+pub type ProvResult<T> = Result<T, ProvenanceError>;
+
+/// Artifact kinds recorded in the trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// Intermediate dataframe, stored as CSV.
+    Csv,
+    /// Generated SQL text.
+    Sql,
+    /// Generated analysis program (the DSL standing in for Python).
+    Program,
+    /// SVG visualization.
+    Svg,
+    /// VTK scene.
+    Scene,
+    /// Arbitrary JSON (plans, reports, parameters).
+    Json,
+    /// Free text (documentation, summaries).
+    Text,
+}
+
+impl ArtifactKind {
+    fn extension(self) -> &'static str {
+        match self {
+            ArtifactKind::Csv => "csv",
+            ArtifactKind::Sql => "sql",
+            ArtifactKind::Program => "ial", // "InferA analysis language"
+            ArtifactKind::Svg => "svg",
+            ArtifactKind::Scene => "vtk",
+            ArtifactKind::Json => "json",
+            ArtifactKind::Text => "txt",
+        }
+    }
+}
+
+/// Stable artifact identifier: kind + content hash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArtifactId(pub String);
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One step of the audit trail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotone sequence number (1-based).
+    pub seq: u64,
+    /// Acting agent ("planner", "sql", "qa", ...).
+    pub agent: String,
+    /// What happened ("generate_sql", "execute_program", ...).
+    pub action: String,
+    /// Artifacts consumed.
+    pub inputs: Vec<ArtifactId>,
+    /// Artifacts produced.
+    pub outputs: Vec<ArtifactId>,
+    /// Human-readable note.
+    pub message: String,
+    /// Tokens spent on this step.
+    pub tokens: u64,
+    /// Wall-clock milliseconds of this step.
+    pub wall_ms: u64,
+}
+
+struct Inner {
+    next_seq: u64,
+    events: Vec<Event>,
+}
+
+/// The provenance store for one analysis session.
+pub struct ProvenanceStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl ProvenanceStore {
+    /// Create (or reopen) a store under `dir`.
+    pub fn create(dir: &Path) -> ProvResult<ProvenanceStore> {
+        std::fs::create_dir_all(dir.join("artifacts"))
+            .map_err(|e| ProvenanceError::Io(format!("mkdir {}: {e}", dir.display())))?;
+        let mut events = Vec::new();
+        let log = dir.join("events.jsonl");
+        if log.is_file() {
+            let text = std::fs::read_to_string(&log)
+                .map_err(|e| ProvenanceError::Io(e.to_string()))?;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let ev: Event = serde_json::from_str(line)
+                    .map_err(|e| ProvenanceError::Corrupt(e.to_string()))?;
+                events.push(ev);
+            }
+        }
+        let next_seq = events.last().map_or(1, |e| e.seq + 1);
+        Ok(ProvenanceStore {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner { next_seq, events }),
+        })
+    }
+
+    /// Session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn artifact_path(&self, id: &ArtifactId) -> PathBuf {
+        self.dir.join("artifacts").join(&id.0)
+    }
+
+    fn put_bytes(&self, kind: ArtifactKind, bytes: &[u8]) -> ProvResult<ArtifactId> {
+        let id = ArtifactId(format!("{:016x}.{}", fnv64(bytes), kind.extension()));
+        let path = self.artifact_path(&id);
+        if !path.exists() {
+            std::fs::write(&path, bytes)
+                .map_err(|e| ProvenanceError::Io(format!("write {}: {e}", path.display())))?;
+        }
+        Ok(id)
+    }
+
+    /// Store an intermediate dataframe as CSV.
+    pub fn put_frame(&self, frame: &DataFrame) -> ProvResult<ArtifactId> {
+        self.put_bytes(ArtifactKind::Csv, frame.to_csv_string().as_bytes())
+    }
+
+    /// Store a text artifact (code, SQL, SVG, JSON, ...).
+    pub fn put_text(&self, kind: ArtifactKind, text: &str) -> ProvResult<ArtifactId> {
+        self.put_bytes(kind, text.as_bytes())
+    }
+
+    /// Read back a stored frame.
+    pub fn get_frame(&self, id: &ArtifactId) -> ProvResult<DataFrame> {
+        let path = self.artifact_path(id);
+        if !path.is_file() {
+            return Err(ProvenanceError::MissingArtifact(id.0.clone()));
+        }
+        DataFrame::read_csv(&path).map_err(|e| ProvenanceError::Corrupt(e.to_string()))
+    }
+
+    /// Read back a text artifact.
+    pub fn get_text(&self, id: &ArtifactId) -> ProvResult<String> {
+        std::fs::read_to_string(self.artifact_path(id))
+            .map_err(|_| ProvenanceError::MissingArtifact(id.0.clone()))
+    }
+
+    /// Append an event; returns its sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn log_event(
+        &self,
+        agent: &str,
+        action: &str,
+        inputs: Vec<ArtifactId>,
+        outputs: Vec<ArtifactId>,
+        message: &str,
+        tokens: u64,
+        wall_ms: u64,
+    ) -> ProvResult<u64> {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let ev = Event {
+            seq,
+            agent: agent.to_string(),
+            action: action.to_string(),
+            inputs,
+            outputs,
+            message: message.to_string(),
+            tokens,
+            wall_ms,
+        };
+        let line = serde_json::to_string(&ev).expect("event serializes");
+        let log = self.dir.join("events.jsonl");
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log)
+            .map_err(|e| ProvenanceError::Io(e.to_string()))?;
+        writeln!(f, "{line}").map_err(|e| ProvenanceError::Io(e.to_string()))?;
+        inner.events.push(ev);
+        Ok(seq)
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Total bytes of stored artifacts — the paper's "storage overhead"
+    /// metric numerator.
+    pub fn storage_bytes(&self) -> u64 {
+        let dir = self.dir.join("artifacts");
+        std::fs::read_dir(&dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Render the audit trail as human-readable text.
+    pub fn audit_report(&self) -> String {
+        let mut out = String::from("# Provenance audit trail\n\n");
+        for ev in self.events() {
+            out.push_str(&format!(
+                "[{:04}] {:<14} {:<22} tokens={:<7} {}ms\n",
+                ev.seq, ev.agent, ev.action, ev.tokens, ev.wall_ms
+            ));
+            if !ev.message.is_empty() {
+                out.push_str(&format!("       {}\n", ev.message));
+            }
+            for a in &ev.inputs {
+                out.push_str(&format!("       in:  {a}\n"));
+            }
+            for a in &ev.outputs {
+                out.push_str(&format!("       out: {a}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_frame::Column;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("infera_prov_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns([
+            ("a", Column::from(vec![1i64, 2])),
+            ("b", Column::from(vec![0.5, 1.5])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn artifact_roundtrip_and_dedup() {
+        let store = ProvenanceStore::create(&tmp("roundtrip")).unwrap();
+        let id1 = store.put_frame(&frame()).unwrap();
+        let id2 = store.put_frame(&frame()).unwrap();
+        assert_eq!(id1, id2, "identical content must dedupe");
+        let back = store.get_frame(&id1).unwrap();
+        assert_eq!(back, frame());
+        let code = store
+            .put_text(ArtifactKind::Program, "x = head(df, 5)")
+            .unwrap();
+        assert_eq!(store.get_text(&code).unwrap(), "x = head(df, 5)");
+    }
+
+    #[test]
+    fn events_are_sequential_and_persistent() {
+        let dir = tmp("events");
+        {
+            let store = ProvenanceStore::create(&dir).unwrap();
+            let a = store.put_text(ArtifactKind::Sql, "SELECT 1").unwrap();
+            store
+                .log_event("sql", "generate_sql", vec![], vec![a.clone()], "first", 120, 5)
+                .unwrap();
+            store
+                .log_event("sandbox", "execute", vec![a], vec![], "second", 0, 42)
+                .unwrap();
+        }
+        // Reopen: events survive, sequence continues.
+        let store = ProvenanceStore::create(&dir).unwrap();
+        let events = store.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].seq, 2);
+        let seq = store
+            .log_event("qa", "score", vec![], vec![], "third", 10, 1)
+            .unwrap();
+        assert_eq!(seq, 3);
+    }
+
+    #[test]
+    fn storage_bytes_counts_artifacts() {
+        let store = ProvenanceStore::create(&tmp("bytes")).unwrap();
+        assert_eq!(store.storage_bytes(), 0);
+        store.put_frame(&frame()).unwrap();
+        assert!(store.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn missing_artifact_error() {
+        let store = ProvenanceStore::create(&tmp("missing")).unwrap();
+        let err = store
+            .get_frame(&ArtifactId("deadbeef.csv".into()))
+            .unwrap_err();
+        assert!(matches!(err, ProvenanceError::MissingArtifact(_)));
+    }
+
+    #[test]
+    fn audit_report_lists_steps() {
+        let store = ProvenanceStore::create(&tmp("audit")).unwrap();
+        let a = store.put_text(ArtifactKind::Program, "return df").unwrap();
+        store
+            .log_event("python", "execute_program", vec![a], vec![], "ran ok", 321, 7)
+            .unwrap();
+        let report = store.audit_report();
+        assert!(report.contains("python"));
+        assert!(report.contains("execute_program"));
+        assert!(report.contains("tokens=321"));
+    }
+
+    #[test]
+    fn concurrent_logging_keeps_unique_seqs() {
+        let store = std::sync::Arc::new(ProvenanceStore::create(&tmp("concurrent")).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        store
+                            .log_event("agent", "act", vec![], vec![], "", 1, 1)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let mut seqs: Vec<u64> = store.events().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (1..=100).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic text embeddings via feature hashing.
+//!
+//! Stands in for `text-embedding-3-small`: words and word-bigrams are
+//! hashed into a 256-dimensional vector with sign hashing (the classic
+//! "hashing trick"), then L2-normalized. Cosine similarity over these
+//! vectors gives a deterministic lexical-overlap similarity — exactly the
+//! signal needed to match query wording against column-description
+//! documents. Identifier-style tokens (`sod_halo_MGas500c`) are split on
+//! underscores and case boundaries so queries about "gas mass" reach
+//! `MGas500c` descriptions.
+
+/// Embedding dimensionality.
+pub const EMBED_DIM: usize = 256;
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Split text into normalized word tokens: lowercase, split on
+/// non-alphanumerics, split snake_case and camelCase / letter-digit
+/// boundaries, drop single characters and stopwords.
+pub fn tokenize(text: &str) -> Vec<String> {
+    const STOPWORDS: &[&str] = &[
+        "the", "a", "an", "of", "in", "on", "at", "to", "for", "and", "or", "is", "are", "with",
+        "by", "as", "that", "this", "it", "its", "be", "from", "all", "each", "me", "i", "you",
+        "please", "would", "like", "can", "do", "how", "what", "which",
+    ];
+    let mut words = Vec::new();
+    for raw in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        // Split camelCase and letter-digit boundaries: "MGas500c" ->
+        // ["m", "gas", "500", "c"].
+        let chars: Vec<char> = raw.chars().collect();
+        let mut cur = String::new();
+        let mut parts: Vec<String> = Vec::new();
+        for (i, &c) in chars.iter().enumerate() {
+            let next_lower = chars
+                .get(i + 1)
+                .is_some_and(|n| n.is_ascii_lowercase());
+            let boundary = i > 0
+                && ((c.is_ascii_uppercase()
+                    && (chars[i - 1].is_ascii_lowercase() || next_lower))
+                    || (c.is_ascii_digit() != chars[i - 1].is_ascii_digit()));
+            if boundary && !cur.is_empty() {
+                parts.push(std::mem::take(&mut cur));
+            }
+            cur.push(c.to_ascii_lowercase());
+        }
+        if !cur.is_empty() {
+            parts.push(cur);
+        }
+        for p in parts {
+            if p.len() >= 2 && !STOPWORDS.contains(&p.as_str()) {
+                words.push(p);
+            }
+        }
+    }
+    words
+}
+
+/// Embed a text into a normalized `EMBED_DIM` vector.
+pub fn embed(text: &str) -> Vec<f32> {
+    let mut v = vec![0.0f32; EMBED_DIM];
+    let words = tokenize(text);
+    let mut add = |token: &str, weight: f32| {
+        let h = fnv1a(token.as_bytes());
+        let dim = (h % EMBED_DIM as u64) as usize;
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[dim] += sign * weight;
+    };
+    for w in &words {
+        add(w, 1.0);
+    }
+    for pair in words.windows(2) {
+        add(&format!("{} {}", pair[0], pair[1]), 0.5);
+    }
+    // L2 normalize.
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Cosine similarity of two normalized vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_identifiers() {
+        let toks = tokenize("sod_halo_MGas500c");
+        assert!(toks.contains(&"sod".to_string()));
+        assert!(toks.contains(&"halo".to_string()));
+        assert!(toks.contains(&"gas".to_string()));
+        assert!(toks.contains(&"500".to_string()));
+    }
+
+    #[test]
+    fn tokenizer_drops_stopwords() {
+        let toks = tokenize("the mass of the halo");
+        assert_eq!(toks, vec!["mass".to_string(), "halo".into()]);
+    }
+
+    #[test]
+    fn embeddings_are_normalized_and_deterministic() {
+        let e1 = embed("gas mass fraction of halos");
+        let e2 = embed("gas mass fraction of halos");
+        assert_eq!(e1, e2);
+        let norm: f32 = e1.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similar_texts_score_higher() {
+        let gas = embed("gas mass enclosed within the halo radius");
+        let q_gas = embed("what is the gas mass of the largest halo");
+        let q_vel = embed("velocity dispersion kinematics dynamics");
+        assert!(cosine(&gas, &q_gas) > cosine(&gas, &q_vel));
+        assert!(cosine(&gas, &q_gas) > 0.2);
+    }
+
+    #[test]
+    fn query_reaches_identifier_doc() {
+        let doc = embed("column sod_halo_MGas500c: gas mass enclosed density 500 critical");
+        let query = embed("gas mass fraction 500 critical density");
+        assert!(cosine(&doc, &query) > 0.3, "{}", cosine(&doc, &query));
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = embed("");
+        assert!(e.iter().all(|&x| x == 0.0));
+        assert_eq!(cosine(&e, &e), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # infera-rag
+//!
+//! The retrieval-augmented data-context layer of InferA (§3.1).
+//!
+//! Scientific column labels like `sod_halo_MGas500c` are opaque without
+//! domain context. InferA keeps two expert dictionaries (file structure,
+//! column descriptions), turns *each column* into its own ≤80-token
+//! document (fine-grained chunking instead of size-based chunking), embeds
+//! them, and retrieves with maximum marginal relevance over four prompts
+//! (user query, task, plan, "\[IMPORTANT\]") — up to 80 documents per task.
+//!
+//! Embeddings are deterministic hashed n-gram vectors
+//! (`text-embedding-3-small` substitute; see DESIGN.md §2).
+
+pub mod embed;
+pub mod retriever;
+
+pub use embed::{cosine, embed, tokenize, EMBED_DIM};
+pub use retriever::{Doc, Hit, Retriever, MAX_DOC_TOKENS, MMR_LAMBDA, TOP_K_PER_PROMPT};

@@ -1,0 +1,296 @@
+//! Fine-grained chunking and maximum-marginal-relevance retrieval (§3.1).
+//!
+//! The paper's key retrieval choices, reproduced here:
+//!
+//! * **no size-based chunking** — each column label becomes its own
+//!   document of at most [`MAX_DOC_TOKENS`] (80) tokens, so similarity
+//!   search is never diluted by unrelated neighbouring descriptions;
+//! * **MMR** re-ranking (Carbonell & Goldstein 1998) balances relevance
+//!   against redundancy when picking the top [`TOP_K_PER_PROMPT`] (20)
+//!   documents per prompt;
+//! * retrieval runs for **four prompts** — the user query, the assigned
+//!   task, the full plan, and an "\[IMPORTANT\]" prompt boosting columns
+//!   tagged important — returning up to 80 documents overall.
+
+use crate::embed::{cosine, embed, tokenize};
+use serde::{Deserialize, Serialize};
+
+/// Maximum tokens per document (fine-grained chunking bound).
+pub const MAX_DOC_TOKENS: usize = 80;
+/// Documents selected per prompt.
+pub const TOP_K_PER_PROMPT: usize = 20;
+/// MMR relevance/diversity trade-off.
+pub const MMR_LAMBDA: f32 = 0.5;
+
+/// One retrievable document: a single column (or structure topic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Doc {
+    /// Stable key — the column label for column docs.
+    pub key: String,
+    /// Owning entity ("halos", "galaxies", ...; empty for structure docs).
+    pub entity: String,
+    /// The chunk text (truncated to `MAX_DOC_TOKENS` tokens).
+    pub text: String,
+    /// Boosted by the "\[IMPORTANT\]" prompt.
+    pub important: bool,
+}
+
+impl Doc {
+    /// Build a doc, enforcing the chunk-size bound by word truncation.
+    pub fn new(key: &str, entity: &str, text: &str, important: bool) -> Doc {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let text = if words.len() > MAX_DOC_TOKENS {
+            words[..MAX_DOC_TOKENS].join(" ")
+        } else {
+            text.to_string()
+        };
+        Doc {
+            key: key.to_string(),
+            entity: entity.to_string(),
+            text,
+            important,
+        }
+    }
+
+    /// Token count of the chunk.
+    pub fn token_count(&self) -> usize {
+        tokenize(&self.text).len()
+    }
+}
+
+/// One retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub doc: Doc,
+    pub score: f32,
+}
+
+/// Embedding index over a document set.
+#[derive(Debug, Clone)]
+pub struct Retriever {
+    docs: Vec<Doc>,
+    embeddings: Vec<Vec<f32>>,
+}
+
+impl Retriever {
+    /// Index a document set.
+    pub fn new(docs: Vec<Doc>) -> Retriever {
+        let embeddings = docs
+            .iter()
+            .map(|d| embed(&format!("{} {} {}", d.entity, d.key, d.text)))
+            .collect();
+        Retriever { docs, embeddings }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// All indexed documents.
+    pub fn docs(&self) -> &[Doc] {
+        &self.docs
+    }
+
+    /// Pure relevance ranking (no diversity term): the top `k` documents
+    /// by cosine similarity. Used when *precision* matters more than
+    /// coverage (e.g. resolving one metric phrase to one column).
+    pub fn top_hits(&self, query: &str, k: usize) -> Vec<Hit> {
+        let q = embed(query);
+        let mut scored: Vec<(f32, usize)> = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (cosine(e, &q), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(score, i)| Hit {
+                doc: self.docs[i].clone(),
+                score,
+            })
+            .collect()
+    }
+
+    /// MMR selection of `k` documents for one query.
+    ///
+    /// Iteratively picks the document maximizing
+    /// `λ·sim(query, d) − (1−λ)·max over selected s of sim(d, s)`.
+    pub fn mmr(&self, query: &str, k: usize) -> Vec<Hit> {
+        let q = embed(query);
+        let n = self.docs.len();
+        let rel: Vec<f32> = self.embeddings.iter().map(|e| cosine(e, &q)).collect();
+        let mut selected: Vec<usize> = Vec::new();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        while selected.len() < k && !remaining.is_empty() {
+            let mut best: Option<(f32, usize, usize)> = None; // (score, pos-in-remaining, doc idx)
+            for (pos, &i) in remaining.iter().enumerate() {
+                let redundancy = selected
+                    .iter()
+                    .map(|&s| cosine(&self.embeddings[i], &self.embeddings[s]))
+                    .fold(0.0f32, f32::max);
+                let score = MMR_LAMBDA * rel[i] - (1.0 - MMR_LAMBDA) * redundancy;
+                match best {
+                    Some((bs, _, _)) if bs >= score => {}
+                    _ => best = Some((score, pos, i)),
+                }
+            }
+            let (_, pos, i) = best.expect("remaining non-empty");
+            remaining.swap_remove(pos);
+            selected.push(i);
+        }
+        selected
+            .into_iter()
+            .map(|i| Hit {
+                doc: self.docs[i].clone(),
+                score: rel[i],
+            })
+            .collect()
+    }
+
+    /// The paper's four-prompt retrieval: user query, assigned task, full
+    /// plan, and the "\[IMPORTANT\]" prompt over important-tagged columns.
+    /// Returns the deduplicated union (≤ 4 × `TOP_K_PER_PROMPT` docs).
+    pub fn retrieve_for_task(&self, user_query: &str, task: &str, plan: &str) -> Vec<Doc> {
+        let important_prompt = {
+            let names: Vec<&str> = self
+                .docs
+                .iter()
+                .filter(|d| d.important)
+                .map(|d| d.key.as_str())
+                .collect();
+            format!("[IMPORTANT] key columns: {}", names.join(" "))
+        };
+        let prompts = [user_query, task, plan, important_prompt.as_str()];
+        let mut out: Vec<Doc> = Vec::new();
+        for p in prompts {
+            for hit in self.mmr(p, TOP_K_PER_PROMPT) {
+                if !out
+                    .iter()
+                    .any(|d| d.key == hit.doc.key && d.entity == hit.doc.entity)
+                {
+                    out.push(hit.doc);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Doc> {
+        vec![
+            Doc::new(
+                "fof_halo_mass",
+                "halos",
+                "Total mass of the friends-of-friends halo in Msun/h; use for mass functions and largest-halo selections.",
+                true,
+            ),
+            Doc::new(
+                "fof_halo_count",
+                "halos",
+                "Number of dark matter particles in the halo, a proxy for halo size.",
+                true,
+            ),
+            Doc::new(
+                "sod_halo_MGas500c",
+                "halos",
+                "Gas mass enclosed within density 500 times the critical density; divide by M500c for the gas fraction.",
+                true,
+            ),
+            Doc::new(
+                "gal_stellar_mass",
+                "galaxies",
+                "Stellar mass of the galaxy; the y axis of the stellar-to-halo mass relation.",
+                true,
+            ),
+            Doc::new(
+                "gal_sfr",
+                "galaxies",
+                "Instantaneous star formation rate of the galaxy.",
+                false,
+            ),
+            Doc::new(
+                "core_vx",
+                "cores",
+                "Velocity of the core particle along x.",
+                false,
+            ),
+        ]
+    }
+
+    #[test]
+    fn doc_truncation_enforced() {
+        let long = "word ".repeat(500);
+        let d = Doc::new("k", "e", &long, false);
+        assert!(d.token_count() <= MAX_DOC_TOKENS);
+        assert_eq!(d.text.split_whitespace().count(), MAX_DOC_TOKENS);
+    }
+
+    #[test]
+    fn mmr_top_hit_is_relevant() {
+        let r = Retriever::new(corpus());
+        let hits = r.mmr("what is the gas mass fraction of massive halos", 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].doc.key, "sod_halo_MGas500c");
+    }
+
+    #[test]
+    fn mmr_prefers_diversity_over_duplicates() {
+        // Two near-identical docs + one distinct: with k=2 the second
+        // pick should be the distinct doc, not the near-duplicate.
+        let docs = vec![
+            Doc::new("a1", "t", "halo gas mass fraction critical density", false),
+            Doc::new("a2", "t", "halo gas mass fraction critical density overdensity", false),
+            Doc::new("b", "t", "galaxy stellar mass star formation", false),
+        ];
+        let r = Retriever::new(docs);
+        let hits = r.mmr("gas mass fraction", 2);
+        let keys: Vec<&str> = hits.iter().map(|h| h.doc.key.as_str()).collect();
+        assert!(keys.contains(&"b"), "{keys:?}");
+    }
+
+    #[test]
+    fn k_larger_than_corpus_returns_all() {
+        let r = Retriever::new(corpus());
+        assert_eq!(r.mmr("anything", 100).len(), corpus().len());
+    }
+
+    #[test]
+    fn four_prompt_retrieval_dedupes_and_bounds() {
+        let r = Retriever::new(corpus());
+        let docs = r.retrieve_for_task(
+            "average halo size per timestep",
+            "load halo counts",
+            "1. load halos 2. group by step 3. average",
+        );
+        assert!(docs.len() <= 4 * TOP_K_PER_PROMPT);
+        let mut keys: Vec<(String, String)> = docs
+            .iter()
+            .map(|d| (d.entity.clone(), d.key.clone()))
+            .collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "duplicates leaked");
+        // The important columns surface through the [IMPORTANT] prompt.
+        assert!(docs.iter().any(|d| d.key == "fof_halo_count"));
+    }
+
+    #[test]
+    fn retrieval_is_deterministic() {
+        let r = Retriever::new(corpus());
+        let a = r.retrieve_for_task("q", "t", "p");
+        let b = r.retrieve_for_task("q", "t", "p");
+        assert_eq!(a, b);
+    }
+}

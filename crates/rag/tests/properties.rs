@@ -1,0 +1,92 @@
+//! Property-based tests for the RAG layer: embedding and retrieval
+//! invariants over arbitrary text.
+
+use infera_rag::{cosine, embed, tokenize, Doc, Retriever, MAX_DOC_TOKENS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Embeddings are always unit-norm (or exactly zero for contentless
+    /// text), so cosine similarities are bounded.
+    #[test]
+    fn embeddings_normalized(text in "\\PC{0,300}") {
+        let e = embed(&text);
+        let norm: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm.abs() < 1e-4 || (norm - 1.0).abs() < 1e-4, "norm {norm}");
+    }
+
+    /// Cosine similarity is symmetric and bounded to [-1, 1].
+    #[test]
+    fn cosine_bounded_symmetric(a in "\\PC{0,120}", b in "\\PC{0,120}") {
+        let ea = embed(&a);
+        let eb = embed(&b);
+        let ab = cosine(&ea, &eb);
+        let ba = cosine(&eb, &ea);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0001..=1.0001).contains(&ab), "cos {ab}");
+    }
+
+    /// Self-similarity of non-empty text is 1.
+    #[test]
+    fn self_similarity(text in "[a-z]{2,30}( [a-z]{2,30}){0,10}") {
+        let e = embed(&text);
+        if e.iter().any(|&x| x != 0.0) {
+            prop_assert!((cosine(&e, &e) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// The tokenizer never panics and produces no empty or 1-char tokens.
+    #[test]
+    fn tokenizer_well_formed(text in "\\PC{0,300}") {
+        for tok in tokenize(&text) {
+            prop_assert!(tok.len() >= 2);
+            prop_assert!(tok.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    /// Documents always respect the chunk-size bound.
+    #[test]
+    fn chunk_bound(text in "\\PC{0,2000}") {
+        let d = Doc::new("k", "e", &text, false);
+        prop_assert!(d.token_count() <= MAX_DOC_TOKENS);
+    }
+
+    /// MMR returns at most k distinct documents, deterministically.
+    #[test]
+    fn mmr_bounds_and_determinism(
+        texts in proptest::collection::vec("[a-z]{3,12}( [a-z]{3,12}){1,6}", 1..20),
+        k in 1usize..25,
+        query in "[a-z]{3,12}( [a-z]{3,12}){0,4}",
+    ) {
+        let docs: Vec<Doc> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Doc::new(&format!("d{i}"), "t", t, false))
+            .collect();
+        let n = docs.len();
+        let r = Retriever::new(docs);
+        let hits1 = r.mmr(&query, k);
+        let hits2 = r.mmr(&query, k);
+        prop_assert_eq!(&hits1, &hits2);
+        prop_assert_eq!(hits1.len(), k.min(n));
+        let mut keys: Vec<&str> = hits1.iter().map(|h| h.doc.key.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), hits1.len());
+    }
+
+    /// Pure-relevance ranking returns scores in non-increasing order.
+    #[test]
+    fn top_hits_sorted(
+        texts in proptest::collection::vec("[a-z]{3,12}( [a-z]{3,12}){1,6}", 1..20),
+        query in "[a-z]{3,12}",
+    ) {
+        let docs: Vec<Doc> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Doc::new(&format!("d{i}"), "t", t, false))
+            .collect();
+        let r = Retriever::new(docs);
+        let hits = r.top_hits(&query, 10);
+        prop_assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+}

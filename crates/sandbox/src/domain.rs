@@ -1,0 +1,491 @@
+//! Domain-specific custom tools (§3: halo tracking across timesteps and
+//! other "domain-specific capabilities that would be too specialized and
+//! complex for an agent to develop").
+//!
+//! All tools here are pure dataframe→dataframe functions so they can run
+//! inside the sandbox; the ParaView scene tool (which writes files) lives
+//! with the visualization agent.
+
+use crate::error::{ErrorKind, SandboxError, SandboxResult};
+use crate::tool::{Tool, ToolArgs, ToolRegistry, ToolValue};
+use infera_frame::{Column, DataFrame, SortOrder};
+use std::sync::Arc;
+
+/// Resolve a tag argument: either a literal integer or a frame whose
+/// first row's `fof_halo_tag` is the target (lets generated programs pass
+/// `head(top, 1)` as the target selector without scalar extraction).
+fn tag_value(v: &ToolValue) -> SandboxResult<i64> {
+    match v {
+        ToolValue::Frame(f) => {
+            if f.is_empty() {
+                return Err(SandboxError::new(
+                    ErrorKind::BadArguments,
+                    "tag frame is empty",
+                ));
+            }
+            let col = f.column("fof_halo_tag").map_err(SandboxError::from)?;
+            col.get(0).as_i64().ok_or_else(|| {
+                SandboxError::new(ErrorKind::BadArguments, "fof_halo_tag is not integral")
+            })
+        }
+        other => other.as_int(),
+    }
+}
+
+/// `track_halo(frame, tag)` — extract one halo's rows across timesteps.
+///
+/// The input frame must carry a `step` column (the data-loading agent adds
+/// one when it loads multiple snapshots) and a `fof_halo_tag` column. The
+/// output is that halo's history ordered by step — the "particle
+/// coordinate tracking tool" of the paper.
+pub struct TrackHalo;
+
+impl Tool for TrackHalo {
+    fn name(&self) -> &str {
+        "track_halo"
+    }
+
+    fn description(&self) -> &str {
+        "track one halo across timesteps: track_halo(frame, tag) -> the halo's rows ordered by step; frame needs 'step' and 'fof_halo_tag' columns"
+    }
+
+    fn call(&self, args: &ToolArgs) -> SandboxResult<DataFrame> {
+        let frame = args.pos(0)?.as_frame()?;
+        let tag = tag_value(args.named_or_pos("tag", 1)?)?;
+        for required in ["step", "fof_halo_tag"] {
+            if !frame.has_column(required) {
+                return Err(SandboxError::new(
+                    ErrorKind::BadArguments,
+                    format!(
+                        "track_halo: input frame lacks the '{required}' column (load multiple timesteps first)"
+                    ),
+                ));
+            }
+        }
+        let tags = frame.column("fof_halo_tag")?.to_f64_vec()?;
+        let mask: Vec<bool> = tags.iter().map(|&t| t == tag as f64).collect();
+        let track = frame.filter_mask(&mask)?;
+        if track.is_empty() {
+            return Err(SandboxError::new(
+                ErrorKind::Runtime,
+                format!("track_halo: no rows for halo tag {tag}"),
+            ));
+        }
+        Ok(track.sort_by(&[("step", SortOrder::Ascending)])?)
+    }
+}
+
+/// `interestingness_score(frame, [columns], n)` — z-score the given
+/// columns, score each row by the Euclidean norm of its z-vector, and
+/// return the top `n` rows with an added `interestingness` column
+/// (descending). This is the custom scoring the UMAP question uses.
+pub struct InterestingnessScore;
+
+impl Tool for InterestingnessScore {
+    fn name(&self) -> &str {
+        "interestingness_score"
+    }
+
+    fn description(&self) -> &str {
+        "rank rows by joint outlierness of the given columns: interestingness_score(frame, [cols], n) -> top n rows with an 'interestingness' column"
+    }
+
+    fn call(&self, args: &ToolArgs) -> SandboxResult<DataFrame> {
+        let frame = args.pos(0)?.as_frame()?;
+        let cols = args.named_or_pos("columns", 1)?.as_str_list()?;
+        let n = args.named_or_pos("n", 2).map_or(Ok(frame.n_rows() as i64), |v| v.as_int())? as usize;
+        if cols.is_empty() {
+            return Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                "interestingness_score: no columns given",
+            ));
+        }
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let z = frame.zscore(&refs)?;
+        let mut norm2 = vec![0.0f64; frame.n_rows()];
+        for c in &cols {
+            let zc = z.column(&format!("{c}_z"))?.to_f64_vec()?;
+            for (acc, v) in norm2.iter_mut().zip(zc) {
+                *acc += v * v;
+            }
+        }
+        let mut out = frame.clone();
+        out.set_column(
+            "interestingness",
+            Column::F64(norm2.iter().map(|v| v.sqrt()).collect()),
+        )?;
+        Ok(out.top_n("interestingness", n)?)
+    }
+}
+
+/// `umap_embed(frame, [columns])` — a deterministic 2-D embedding of the
+/// given numeric columns (stand-in for UMAP): PCA onto the two leading
+/// principal axes via power iteration, outputs `umap_x` / `umap_y`.
+pub struct UmapEmbed;
+
+impl UmapEmbed {
+    /// Power iteration for the leading eigenvector of a small symmetric
+    /// matrix; deflation gives the second.
+    fn leading_eigvec(cov: &[Vec<f64>], deflate: Option<&[f64]>) -> Vec<f64> {
+        let d = cov.len();
+        let mut v: Vec<f64> = (0..d).map(|i| 1.0 + 0.1 * i as f64).collect();
+        if let Some(prev) = deflate {
+            let dot: f64 = v.iter().zip(prev).map(|(a, b)| a * b).sum();
+            for (x, p) in v.iter_mut().zip(prev) {
+                *x -= dot * p;
+            }
+        }
+        for _ in 0..200 {
+            let mut next = vec![0.0; d];
+            for i in 0..d {
+                for j in 0..d {
+                    next[i] += cov[i][j] * v[j];
+                }
+            }
+            if let Some(prev) = deflate {
+                let dot: f64 = next.iter().zip(prev).map(|(a, b)| a * b).sum();
+                for (x, p) in next.iter_mut().zip(prev) {
+                    *x -= dot * p;
+                }
+            }
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                break;
+            }
+            for x in &mut next {
+                *x /= norm;
+            }
+            v = next;
+        }
+        v
+    }
+}
+
+impl Tool for UmapEmbed {
+    fn name(&self) -> &str {
+        "umap_embed"
+    }
+
+    fn description(&self) -> &str {
+        "project rows to 2-D for scatter visualization: umap_embed(frame, [cols]) -> frame with 'umap_x' and 'umap_y' columns"
+    }
+
+    fn call(&self, args: &ToolArgs) -> SandboxResult<DataFrame> {
+        let frame = args.pos(0)?.as_frame()?;
+        let cols = args.named_or_pos("columns", 1)?.as_str_list()?;
+        if cols.len() < 2 {
+            return Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                "umap_embed: need at least two columns",
+            ));
+        }
+        if frame.n_rows() < 3 {
+            return Err(SandboxError::new(
+                ErrorKind::Runtime,
+                "umap_embed: need at least three rows",
+            ));
+        }
+        // Standardize columns.
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let z = frame.zscore(&refs)?;
+        let data: Vec<Vec<f64>> = cols
+            .iter()
+            .map(|c| z.column(&format!("{c}_z")).and_then(|col| col.to_f64_vec()))
+            .collect::<Result<_, _>>()?;
+        let d = data.len();
+        let n = frame.n_rows() as f64;
+        // Covariance matrix of standardized columns.
+        let mut cov = vec![vec![0.0; d]; d];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..d {
+            for j in 0..d {
+                cov[i][j] = data[i]
+                    .iter()
+                    .zip(&data[j])
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    / n;
+            }
+        }
+        let e1 = Self::leading_eigvec(&cov, None);
+        let e2 = Self::leading_eigvec(&cov, Some(&e1));
+        let project = |e: &[f64], row: usize| -> f64 {
+            e.iter()
+                .enumerate()
+                .map(|(k, &w)| w * data[k][row])
+                .sum()
+        };
+        let mut out = frame.clone();
+        let ux: Vec<f64> = (0..frame.n_rows()).map(|r| project(&e1, r)).collect();
+        let uy: Vec<f64> = (0..frame.n_rows()).map(|r| project(&e2, r)).collect();
+        out.set_column("umap_x", Column::F64(ux))?;
+        out.set_column("umap_y", Column::F64(uy))?;
+        Ok(out)
+    }
+}
+
+/// `radius_query(frame, tag, radius [, box_size])` — all rows within
+/// `radius` Mpc/h of the tagged halo's center (minimum-image distance when
+/// `box_size` is given). Implements the Fig. 5 "all halos within 20 Mpc"
+/// selection.
+pub struct RadiusQuery;
+
+impl Tool for RadiusQuery {
+    fn name(&self) -> &str {
+        "radius_query"
+    }
+
+    fn description(&self) -> &str {
+        "spatial neighborhood selection: radius_query(frame, tag, radius_mpc [, box_size]) -> rows within the radius of the tagged halo's center"
+    }
+
+    fn call(&self, args: &ToolArgs) -> SandboxResult<DataFrame> {
+        let frame = args.pos(0)?.as_frame()?;
+        let tag = tag_value(args.named_or_pos("tag", 1)?)?;
+        let radius = args.named_or_pos("radius", 2)?.as_num()?;
+        let box_size = match args.opt_named("box_size") {
+            Some(v) => Some(v.as_num()?),
+            None => args.positional.get(3).map(ToolValue::as_num).transpose()?,
+        };
+        for required in [
+            "fof_halo_tag",
+            "fof_halo_center_x",
+            "fof_halo_center_y",
+            "fof_halo_center_z",
+        ] {
+            if !frame.has_column(required) {
+                return Err(SandboxError::new(
+                    ErrorKind::BadArguments,
+                    format!("radius_query: input frame lacks '{required}'"),
+                ));
+            }
+        }
+        let tags = frame.column("fof_halo_tag")?.to_f64_vec()?;
+        let xs = frame.column("fof_halo_center_x")?.to_f64_vec()?;
+        let ys = frame.column("fof_halo_center_y")?.to_f64_vec()?;
+        let zs = frame.column("fof_halo_center_z")?.to_f64_vec()?;
+        let target = tags
+            .iter()
+            .position(|&t| t == tag as f64)
+            .ok_or_else(|| {
+                SandboxError::new(
+                    ErrorKind::Runtime,
+                    format!("radius_query: halo tag {tag} not found"),
+                )
+            })?;
+        let (cx, cy, cz) = (xs[target], ys[target], zs[target]);
+        let dist1 = |a: f64, b: f64| -> f64 {
+            let d = (a - b).abs();
+            match box_size {
+                Some(l) => d.min(l - d),
+                None => d,
+            }
+        };
+        let mut dist = Vec::with_capacity(frame.n_rows());
+        let mask: Vec<bool> = (0..frame.n_rows())
+            .map(|i| {
+                let dx = dist1(xs[i], cx);
+                let dy = dist1(ys[i], cy);
+                let dz = dist1(zs[i], cz);
+                let d = (dx * dx + dy * dy + dz * dz).sqrt();
+                dist.push(d);
+                d <= radius
+            })
+            .collect();
+        let mut out = frame.clone();
+        out.set_column("distance_mpc", Column::F64(dist))?;
+        Ok(out
+            .filter_mask(&mask)?
+            .sort_by(&[("distance_mpc", SortOrder::Ascending)])?)
+    }
+}
+
+/// Register all domain tools into a registry.
+pub fn register_domain_tools(reg: &mut ToolRegistry) {
+    reg.register(Arc::new(TrackHalo));
+    reg.register(Arc::new(InterestingnessScore));
+    reg.register(Arc::new(UmapEmbed));
+    reg.register(Arc::new(RadiusQuery));
+}
+
+/// A registry pre-loaded with every domain tool.
+pub fn domain_registry() -> ToolRegistry {
+    let mut reg = ToolRegistry::new();
+    register_domain_tools(&mut reg);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gateway::{ExecutionRequest, SandboxServer};
+    use std::collections::HashMap;
+
+    fn multi_step_halos() -> DataFrame {
+        DataFrame::from_columns([
+            ("step", Column::from(vec![100i64, 100, 300, 300, 624, 624])),
+            ("fof_halo_tag", Column::from(vec![1i64, 2, 1, 2, 1, 2])),
+            (
+                "fof_halo_mass",
+                Column::from(vec![1e12, 2e12, 3e12, 4e12, 6e12, 8e12]),
+            ),
+            (
+                "fof_halo_center_x",
+                Column::from(vec![10.0, 50.0, 11.0, 50.5, 12.0, 51.0]),
+            ),
+            (
+                "fof_halo_center_y",
+                Column::from(vec![10.0, 50.0, 10.0, 50.0, 10.0, 50.0]),
+            ),
+            (
+                "fof_halo_center_z",
+                Column::from(vec![10.0, 50.0, 10.0, 50.0, 10.0, 50.0]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn run(program: &str) -> SandboxResult<DataFrame> {
+        let server = SandboxServer::new(domain_registry());
+        let mut inputs = HashMap::new();
+        inputs.insert("halos".to_string(), multi_step_halos());
+        server
+            .execute(ExecutionRequest {
+                program: program.into(),
+                inputs,
+            })
+            .map(|r| r.result)
+    }
+
+    #[test]
+    fn track_halo_orders_by_step() {
+        let out = run("return track_halo(halos, 1)").unwrap();
+        assert_eq!(out.n_rows(), 3);
+        let steps = out.column("step").unwrap().as_i64_slice().unwrap().to_vec();
+        assert_eq!(steps, vec![100, 300, 624]);
+        let masses = out
+            .column("fof_halo_mass")
+            .unwrap()
+            .as_f64_slice()
+            .unwrap();
+        assert!(masses.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn track_halo_missing_step_column_errors() {
+        let server = SandboxServer::new(domain_registry());
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "halos".to_string(),
+            DataFrame::from_columns([("fof_halo_tag", Column::from(vec![1i64]))]).unwrap(),
+        );
+        let err = server
+            .execute(ExecutionRequest {
+                program: "return track_halo(halos, 1)".into(),
+                inputs,
+            })
+            .unwrap_err();
+        assert!(err.message.contains("step"));
+    }
+
+    #[test]
+    fn track_halo_unknown_tag_errors() {
+        let err = run("return track_halo(halos, 999)").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Runtime);
+    }
+
+    #[test]
+    fn interestingness_ranks_outliers_first() {
+        let df = DataFrame::from_columns([
+            ("id", Column::from(vec![1i64, 2, 3, 4, 5])),
+            ("a", Column::from(vec![1.0, 1.1, 0.9, 1.0, 10.0])),
+            ("b", Column::from(vec![2.0, 2.1, 1.9, 2.0, -5.0])),
+        ])
+        .unwrap();
+        let server = SandboxServer::new(domain_registry());
+        let mut inputs = HashMap::new();
+        inputs.insert("df".to_string(), df);
+        let out = server
+            .execute(ExecutionRequest {
+                program: "return interestingness_score(df, [a, b], 3)".into(),
+                inputs,
+            })
+            .unwrap()
+            .result;
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.cell("id", 0).unwrap(), infera_frame::Value::I64(5));
+        assert!(out.has_column("interestingness"));
+    }
+
+    #[test]
+    fn umap_embed_adds_coordinates() {
+        let out = run("return umap_embed(halos, [fof_halo_mass, fof_halo_center_x])").unwrap();
+        assert!(out.has_column("umap_x"));
+        assert!(out.has_column("umap_y"));
+        // Deterministic across calls.
+        let again = run("return umap_embed(halos, [fof_halo_mass, fof_halo_center_x])").unwrap();
+        assert_eq!(out, again);
+        // The embedding separates the two halos' mass scales along some
+        // axis: not all coordinates identical.
+        let ux = out.column("umap_x").unwrap().as_f64_slice().unwrap();
+        assert!(ux.iter().any(|&v| (v - ux[0]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn radius_query_selects_neighbors() {
+        let out = run(
+            "latest = filter(halos, step == 624)\nreturn radius_query(latest, 1, 20.0)",
+        )
+        .unwrap();
+        // Only halo 1 itself is within 20 Mpc (halo 2 is ~55 Mpc away).
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.cell("fof_halo_tag", 0).unwrap(), infera_frame::Value::I64(1));
+        assert!(out.has_column("distance_mpc"));
+        // Wider radius catches both.
+        let out = run(
+            "latest = filter(halos, step == 624)\nreturn radius_query(latest, 1, 100.0)",
+        )
+        .unwrap();
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn radius_query_periodic_wrap() {
+        let df = DataFrame::from_columns([
+            ("fof_halo_tag", Column::from(vec![1i64, 2])),
+            ("fof_halo_center_x", Column::from(vec![1.0, 255.0])),
+            ("fof_halo_center_y", Column::from(vec![0.0, 0.0])),
+            ("fof_halo_center_z", Column::from(vec![0.0, 0.0])),
+        ])
+        .unwrap();
+        let server = SandboxServer::new(domain_registry());
+        let mut inputs = HashMap::new();
+        inputs.insert("h".to_string(), df);
+        // Without box: distance 254 -> not within 10. With box 256: 2.
+        let out = server
+            .execute(ExecutionRequest {
+                program: "return radius_query(h, 1, 10.0)".into(),
+                inputs: inputs.clone(),
+            })
+            .unwrap()
+            .result;
+        assert_eq!(out.n_rows(), 1);
+        let out = server
+            .execute(ExecutionRequest {
+                program: "return radius_query(h, 1, 10.0, box_size=256.0)".into(),
+                inputs,
+            })
+            .unwrap()
+            .result;
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn registry_catalog_lists_tools() {
+        let reg = domain_registry();
+        assert_eq!(reg.names().len(), 4);
+        let cat = reg.catalog();
+        assert!(cat.contains("track_halo"));
+        assert!(cat.contains("radius_query"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Structured sandbox errors.
+//!
+//! The execution gateway never panics across the boundary: every failure
+//! becomes a [`SandboxError`] with a machine-readable kind, which is what
+//! the quality-assurance agent's error-guided redo loop keys on (§3.2).
+
+use infera_frame::FrameError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result alias.
+pub type SandboxResult<T> = Result<T, SandboxError>;
+
+/// Failure category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Program text failed to lex/parse.
+    Parse,
+    /// Referenced dataframe name not found in the environment.
+    UnknownFrame,
+    /// Referenced column not found (the paper's dominant failure mode).
+    UnknownColumn,
+    /// Called function/tool not registered.
+    UnknownFunction,
+    /// Argument shape/type problems.
+    BadArguments,
+    /// Type error during evaluation.
+    Type,
+    /// Any other runtime failure.
+    Runtime,
+    /// Execution exceeded the gateway deadline.
+    Timeout,
+}
+
+/// A structured error returned by the sandbox gateway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SandboxError {
+    pub kind: ErrorKind,
+    pub message: String,
+    /// Did-you-mean candidate, when one exists.
+    pub suggestion: Option<String>,
+    /// 1-based statement index where the failure occurred, if known.
+    pub statement: Option<usize>,
+}
+
+impl SandboxError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> SandboxError {
+        SandboxError {
+            kind,
+            message: message.into(),
+            suggestion: None,
+            statement: None,
+        }
+    }
+
+    pub fn with_suggestion(mut self, s: Option<String>) -> SandboxError {
+        self.suggestion = s;
+        self
+    }
+
+    pub fn at_statement(mut self, idx: usize) -> SandboxError {
+        self.statement = Some(idx);
+        self
+    }
+}
+
+impl fmt::Display for SandboxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} error: {}", self.kind, self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " — did you mean '{s}'?")?;
+        }
+        if let Some(i) = self.statement {
+            write!(f, " (statement {i})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SandboxError {}
+
+impl From<FrameError> for SandboxError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::UnknownColumn { name, suggestion } => SandboxError {
+                kind: ErrorKind::UnknownColumn,
+                message: format!("unknown column '{name}'"),
+                suggestion,
+                statement: None,
+            },
+            FrameError::TypeMismatch { .. } => {
+                SandboxError::new(ErrorKind::Type, e.to_string())
+            }
+            other => SandboxError::new(ErrorKind::Runtime, other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_suggestion_and_statement() {
+        let e = SandboxError::new(ErrorKind::UnknownColumn, "unknown column 'center_x'")
+            .with_suggestion(Some("fof_halo_center_x".into()))
+            .at_statement(3);
+        let s = e.to_string();
+        assert!(s.contains("did you mean 'fof_halo_center_x'"));
+        assert!(s.contains("statement 3"));
+    }
+
+    #[test]
+    fn frame_error_conversion_preserves_suggestion() {
+        let fe = infera_frame::error::unknown_column("center_x", ["fof_halo_center_x"]);
+        let se = SandboxError::from(fe);
+        assert_eq!(se.kind, ErrorKind::UnknownColumn);
+        assert_eq!(se.suggestion.as_deref(), Some("fof_halo_center_x"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = SandboxError::new(ErrorKind::Timeout, "deadline exceeded");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: SandboxError = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,182 @@
+//! The sandboxed execution gateway.
+//!
+//! The original InferA runs generated code on an ASGI server (FastAPI +
+//! Uvicorn): the system transmits code and a *temporary data copy*, the
+//! server executes, detects errors, and returns either an error-free
+//! dataframe or a detailed error message (§3.2). This module reproduces
+//! that contract in-process: every request executes on cloned inputs in a
+//! dedicated worker thread with a hard deadline, and failures come back as
+//! structured [`SandboxError`]s — the ground-truth data can never be
+//! modified by generated code, by construction.
+
+use crate::error::{ErrorKind, SandboxError, SandboxResult};
+use crate::interp::{run_program, StepLog};
+use crate::lang::parse_program;
+use crate::tool::ToolRegistry;
+use crossbeam::channel;
+use infera_frame::DataFrame;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A code-execution request.
+#[derive(Debug, Clone)]
+pub struct ExecutionRequest {
+    /// DSL program text.
+    pub program: String,
+    /// Named input frames; the gateway works on copies.
+    pub inputs: HashMap<String, DataFrame>,
+}
+
+/// A successful execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    pub result: DataFrame,
+    pub steps: Vec<StepLog>,
+    /// Final environment (named intermediates), used for checkpointing.
+    pub env: HashMap<String, DataFrame>,
+    pub wall: Duration,
+}
+
+/// The sandbox server.
+#[derive(Debug, Clone)]
+pub struct SandboxServer {
+    tools: ToolRegistry,
+    timeout: Duration,
+}
+
+impl SandboxServer {
+    /// Server with the given custom-tool registry and a 30 s deadline.
+    pub fn new(tools: ToolRegistry) -> SandboxServer {
+        SandboxServer {
+            tools,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the execution deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> SandboxServer {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The registered tool catalog (for agent prompts).
+    pub fn tools(&self) -> &ToolRegistry {
+        &self.tools
+    }
+
+    /// Execute a request on a worker thread with a deadline.
+    ///
+    /// Parsing happens inline (cheap, no data touched); interpretation
+    /// runs on the worker against cloned inputs.
+    pub fn execute(&self, req: ExecutionRequest) -> SandboxResult<ExecutionReport> {
+        let stmts = parse_program(&req.program)?;
+        let tools = self.tools.clone();
+        let (tx, rx) = channel::bounded(1);
+        let start = Instant::now();
+        std::thread::Builder::new()
+            .name("infera-sandbox-worker".into())
+            .spawn(move || {
+                let out = run_program(&stmts, req.inputs, &tools);
+                let _ = tx.send(out);
+            })
+            .map_err(|e| SandboxError::new(ErrorKind::Runtime, format!("spawn: {e}")))?;
+        match rx.recv_timeout(self.timeout) {
+            Ok(Ok(out)) => Ok(ExecutionReport {
+                result: out.result,
+                steps: out.steps,
+                env: out.env,
+                wall: start.elapsed(),
+            }),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(SandboxError::new(
+                ErrorKind::Timeout,
+                format!("execution exceeded {:?}", self.timeout),
+            )),
+        }
+    }
+}
+
+impl Default for SandboxServer {
+    fn default() -> Self {
+        SandboxServer::new(ToolRegistry::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_frame::Column;
+
+    fn inputs() -> HashMap<String, DataFrame> {
+        let mut m = HashMap::new();
+        m.insert(
+            "df".to_string(),
+            DataFrame::from_columns([
+                ("a", Column::from(vec![1.0, 2.0, 3.0])),
+                ("b", Column::from(vec![10i64, 20, 30])),
+            ])
+            .unwrap(),
+        );
+        m
+    }
+
+    #[test]
+    fn executes_and_reports() {
+        let server = SandboxServer::default();
+        let report = server
+            .execute(ExecutionRequest {
+                program: "x = filter(df, a > 1)\nreturn x".into(),
+                inputs: inputs(),
+            })
+            .unwrap();
+        assert_eq!(report.result.n_rows(), 2);
+        assert_eq!(report.steps.len(), 2);
+    }
+
+    #[test]
+    fn ground_truth_never_modified() {
+        let server = SandboxServer::default();
+        let original = inputs();
+        let report = server
+            .execute(ExecutionRequest {
+                program: "df = with_column(df, c, a * 2)\nreturn df".into(),
+                inputs: original.clone(),
+            })
+            .unwrap();
+        // The caller's copy is untouched even though the program shadowed
+        // the input name.
+        assert!(!original["df"].has_column("c"));
+        assert!(report.result.has_column("c"));
+    }
+
+    #[test]
+    fn errors_are_structured_not_panics() {
+        let server = SandboxServer::default();
+        let err = server
+            .execute(ExecutionRequest {
+                program: "x = filter(df, nonexistent > 1)".into(),
+                inputs: inputs(),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownColumn);
+        let err = server
+            .execute(ExecutionRequest {
+                program: "x = ???".into(),
+                inputs: inputs(),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn reports_wall_time() {
+        let server = SandboxServer::default();
+        let report = server
+            .execute(ExecutionRequest {
+                program: "return head(df, 1)".into(),
+                inputs: inputs(),
+            })
+            .unwrap();
+        assert!(report.wall.as_nanos() > 0);
+    }
+}

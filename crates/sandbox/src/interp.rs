@@ -1,0 +1,1088 @@
+//! DSL interpreter: builtin dataframe operations + custom-tool dispatch.
+
+use crate::error::{ErrorKind, SandboxError, SandboxResult};
+use crate::lang::{DslArg, DslExpr, DslOp, Stmt};
+use crate::tool::{ToolArgs, ToolRegistry, ToolValue};
+use infera_frame::expr::{BinOp, UnaryFn};
+use infera_frame::{AggKind, AggSpec, Column, DataFrame, Expr, JoinKind, SortOrder, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-statement execution record (feeds provenance and QA).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepLog {
+    pub index: usize,
+    pub target: String,
+    pub call: String,
+    pub rows_out: usize,
+    pub cols_out: usize,
+}
+
+/// Successful program execution.
+#[derive(Debug, Clone)]
+pub struct ProgramOutput {
+    /// The returned (or last assigned) frame.
+    pub result: DataFrame,
+    pub steps: Vec<StepLog>,
+    /// Final environment: every named frame, for checkpointing.
+    pub env: HashMap<String, DataFrame>,
+}
+
+/// Built-in function names (kept in sync with `call_builtin`); used by the
+/// programming agents to describe capabilities and by tests.
+pub const BUILTINS: &[&str] = &[
+    "filter", "select", "drop", "rename", "with_column", "sort", "top_n", "top_n_by", "head",
+    "tail", "limit", "join", "group_agg", "agg", "describe", "linfit", "linfit_by",
+    "fit_residuals", "peak_decline", "corr", "corr_matrix", "zscore", "quantile", "nrows",
+    "union", "unique",
+];
+
+/// Run a parsed program against (copies of) the input frames.
+pub fn run_program(
+    stmts: &[Stmt],
+    inputs: HashMap<String, DataFrame>,
+    tools: &ToolRegistry,
+) -> SandboxResult<ProgramOutput> {
+    let mut interp = Interp {
+        env: inputs,
+        tools,
+        steps: Vec::new(),
+    };
+    let mut last: Option<DataFrame> = None;
+    for (i, stmt) in stmts.iter().enumerate() {
+        let idx = i + 1;
+        match stmt {
+            Stmt::Assign { target, expr } => {
+                let frame = interp
+                    .eval_frame(expr)
+                    .map_err(|e| e.at_statement(idx))?;
+                interp.steps.push(StepLog {
+                    index: idx,
+                    target: target.clone(),
+                    call: call_name(expr),
+                    rows_out: frame.n_rows(),
+                    cols_out: frame.n_cols(),
+                });
+                interp.env.insert(target.clone(), frame.clone());
+                last = Some(frame);
+            }
+            Stmt::Return(expr) => {
+                let frame = interp
+                    .eval_frame(expr)
+                    .map_err(|e| e.at_statement(idx))?;
+                interp.steps.push(StepLog {
+                    index: idx,
+                    target: "return".into(),
+                    call: call_name(expr),
+                    rows_out: frame.n_rows(),
+                    cols_out: frame.n_cols(),
+                });
+                return Ok(ProgramOutput {
+                    result: frame,
+                    steps: interp.steps,
+                    env: interp.env,
+                });
+            }
+        }
+    }
+    match last {
+        Some(result) => Ok(ProgramOutput {
+            result,
+            steps: interp.steps,
+            env: interp.env,
+        }),
+        None => Err(SandboxError::new(
+            ErrorKind::Runtime,
+            "program produced no result",
+        )),
+    }
+}
+
+fn call_name(expr: &DslExpr) -> String {
+    match expr {
+        DslExpr::Call { name, .. } => name.clone(),
+        DslExpr::Ident(n) => format!("ref {n}"),
+        _ => "expr".into(),
+    }
+}
+
+struct Interp<'a> {
+    env: HashMap<String, DataFrame>,
+    tools: &'a ToolRegistry,
+    steps: Vec<StepLog>,
+}
+
+impl Interp<'_> {
+    fn frame(&self, name: &str) -> SandboxResult<DataFrame> {
+        self.env.get(name).cloned().ok_or_else(|| {
+            SandboxError::new(
+                ErrorKind::UnknownFrame,
+                format!("unknown dataframe '{name}'"),
+            )
+            .with_suggestion(infera_frame::error::suggest(
+                name,
+                self.env.keys().map(String::as_str),
+            ))
+        })
+    }
+
+    /// Evaluate a top-level expression to a frame.
+    fn eval_frame(&self, expr: &DslExpr) -> SandboxResult<DataFrame> {
+        match expr {
+            DslExpr::Ident(name) => self.frame(name),
+            DslExpr::Call { name, args } => self.call(name, args),
+            other => Err(SandboxError::new(
+                ErrorKind::Type,
+                format!("statement must be a dataframe expression, got {other:?}"),
+            )),
+        }
+    }
+
+    fn call(&self, name: &str, args: &[DslArg]) -> SandboxResult<DataFrame> {
+        if BUILTINS.contains(&name) {
+            return self.call_builtin(name, args);
+        }
+        if let Some(tool) = self.tools.get(name) {
+            let targs = self.eval_tool_args(args)?;
+            return tool.call(&targs);
+        }
+        let mut candidates: Vec<String> = BUILTINS.iter().map(|s| s.to_string()).collect();
+        candidates.extend(self.tools.names());
+        Err(SandboxError::new(
+            ErrorKind::UnknownFunction,
+            format!("unknown function '{name}'"),
+        )
+        .with_suggestion(infera_frame::error::suggest(
+            name,
+            candidates.iter().map(String::as_str),
+        )))
+    }
+
+    // ---------------- argument helpers ----------------
+
+    fn positional<'b>(&self, args: &'b [DslArg]) -> Vec<&'b DslExpr> {
+        args.iter()
+            .filter(|a| a.name.is_none())
+            .map(|a| &a.value)
+            .collect()
+    }
+
+    fn named<'b>(&self, args: &'b [DslArg], key: &str) -> Option<&'b DslExpr> {
+        args.iter()
+            .find(|a| a.name.as_deref() == Some(key))
+            .map(|a| &a.value)
+    }
+
+    fn arg_frame(&self, args: &[DslArg], idx: usize, fname: &str) -> SandboxResult<DataFrame> {
+        let pos = self.positional(args);
+        let expr = pos.get(idx).ok_or_else(|| {
+            SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("{fname}: missing dataframe argument {}", idx + 1),
+            )
+        })?;
+        match expr {
+            DslExpr::Ident(n) => self.frame(n),
+            DslExpr::Call { name, args } => self.call(name, args),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("{fname}: argument {} must be a dataframe, got {other:?}", idx + 1),
+            )),
+        }
+    }
+
+    /// A column name: bare identifier or string literal.
+    fn colname(expr: &DslExpr, fname: &str) -> SandboxResult<String> {
+        match expr {
+            DslExpr::Ident(n) | DslExpr::Str(n) => Ok(n.clone()),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("{fname}: expected a column name, got {other:?}"),
+            )),
+        }
+    }
+
+    fn colname_list(expr: &DslExpr, fname: &str) -> SandboxResult<Vec<String>> {
+        match expr {
+            DslExpr::List(items) => items.iter().map(|i| Self::colname(i, fname)).collect(),
+            single => Ok(vec![Self::colname(single, fname)?]),
+        }
+    }
+
+    fn int_arg(expr: &DslExpr, fname: &str) -> SandboxResult<usize> {
+        match expr {
+            DslExpr::Int(v) if *v >= 0 => Ok(*v as usize),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("{fname}: expected a non-negative integer, got {other:?}"),
+            )),
+        }
+    }
+
+    fn num_arg(expr: &DslExpr, fname: &str) -> SandboxResult<f64> {
+        match expr {
+            DslExpr::Int(v) => Ok(*v as f64),
+            DslExpr::Float(v) => Ok(*v),
+            DslExpr::Neg(inner) => Ok(-Self::num_arg(inner, fname)?),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("{fname}: expected a number, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Convert a DSL expression to a frame row-wise expression.
+    fn to_expr(e: &DslExpr) -> SandboxResult<Expr> {
+        Ok(match e {
+            DslExpr::Ident(n) => Expr::Col(n.clone()),
+            DslExpr::Int(v) => Expr::Lit(Value::I64(*v)),
+            DslExpr::Float(v) => Expr::Lit(Value::F64(*v)),
+            DslExpr::Str(s) => Expr::Lit(Value::Str(s.clone())),
+            DslExpr::Bool(b) => Expr::Lit(Value::Bool(*b)),
+            DslExpr::Neg(a) => Expr::Unary(UnaryFn::Neg, Box::new(Self::to_expr(a)?)),
+            DslExpr::Not(a) => Expr::Unary(UnaryFn::Not, Box::new(Self::to_expr(a)?)),
+            DslExpr::Binary(a, op, b) => {
+                let fop = match op {
+                    DslOp::Add => BinOp::Add,
+                    DslOp::Sub => BinOp::Sub,
+                    DslOp::Mul => BinOp::Mul,
+                    DslOp::Div => BinOp::Div,
+                    DslOp::Mod => BinOp::Mod,
+                    DslOp::Eq => BinOp::Eq,
+                    DslOp::Ne => BinOp::Ne,
+                    DslOp::Lt => BinOp::Lt,
+                    DslOp::Le => BinOp::Le,
+                    DslOp::Gt => BinOp::Gt,
+                    DslOp::Ge => BinOp::Ge,
+                    DslOp::And => BinOp::And,
+                    DslOp::Or => BinOp::Or,
+                };
+                Expr::bin(Self::to_expr(a)?, fop, Self::to_expr(b)?)
+            }
+            DslExpr::Call { name, args } => {
+                let pos: Vec<&DslExpr> = args
+                    .iter()
+                    .filter(|a| a.name.is_none())
+                    .map(|a| &a.value)
+                    .collect();
+                let unary = |f: UnaryFn| -> SandboxResult<Expr> {
+                    if pos.len() != 1 {
+                        return Err(SandboxError::new(
+                            ErrorKind::BadArguments,
+                            format!("{name} takes one argument"),
+                        ));
+                    }
+                    Ok(Expr::Unary(f, Box::new(Self::to_expr(pos[0])?)))
+                };
+                match name.as_str() {
+                    "abs" => unary(UnaryFn::Abs)?,
+                    "sqrt" => unary(UnaryFn::Sqrt)?,
+                    "log" | "ln" => unary(UnaryFn::Log)?,
+                    "log10" => unary(UnaryFn::Log10)?,
+                    "exp" => unary(UnaryFn::Exp)?,
+                    "floor" => unary(UnaryFn::Floor)?,
+                    "ceil" => unary(UnaryFn::Ceil)?,
+                    "pow" => {
+                        if pos.len() != 2 {
+                            return Err(SandboxError::new(
+                                ErrorKind::BadArguments,
+                                "pow takes two arguments",
+                            ));
+                        }
+                        Expr::bin(Self::to_expr(pos[0])?, BinOp::Pow, Self::to_expr(pos[1])?)
+                    }
+                    "least" | "greatest" => {
+                        if pos.len() != 2 {
+                            return Err(SandboxError::new(
+                                ErrorKind::BadArguments,
+                                format!("{name} takes two arguments"),
+                            ));
+                        }
+                        let a = Box::new(Self::to_expr(pos[0])?);
+                        let b = Box::new(Self::to_expr(pos[1])?);
+                        if name == "least" {
+                            Expr::Min2(a, b)
+                        } else {
+                            Expr::Max2(a, b)
+                        }
+                    }
+                    other => {
+                        return Err(SandboxError::new(
+                            ErrorKind::UnknownFunction,
+                            format!("unknown scalar function '{other}' in expression"),
+                        ))
+                    }
+                }
+            }
+            DslExpr::List(_) => {
+                return Err(SandboxError::new(
+                    ErrorKind::Type,
+                    "a list is not a row-wise expression",
+                ))
+            }
+        })
+    }
+
+    /// Parse an aggregate call like `mean(mass)` / `count()` / `count(*)`.
+    fn agg_spec(e: &DslExpr) -> SandboxResult<AggSpec> {
+        let DslExpr::Call { name, args } = e else {
+            return Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("expected an aggregate call like mean(column), got {e:?}"),
+            ));
+        };
+        let kind = AggKind::parse(name).ok_or_else(|| {
+            SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("unknown aggregate '{name}'"),
+            )
+        })?;
+        let pos: Vec<&DslExpr> = args
+            .iter()
+            .filter(|a| a.name.is_none())
+            .map(|a| &a.value)
+            .collect();
+        let column = match pos.first() {
+            None => "*".to_string(),
+            Some(DslExpr::Str(s)) if s == "*" => "*".to_string(),
+            Some(e) => Self::colname(e, name)?,
+        };
+        let mut spec = AggSpec::new(column, kind);
+        if let Some(alias) = args.iter().find(|a| a.name.as_deref() == Some("alias")) {
+            spec = spec.with_alias(Self::colname(&alias.value, "alias")?);
+        } else if spec.column == "*" {
+            spec = spec.with_alias(format!("{}_rows", kind.name()));
+        }
+        Ok(spec)
+    }
+
+    fn eval_tool_args(&self, args: &[DslArg]) -> SandboxResult<ToolArgs> {
+        let mut out = ToolArgs::default();
+        for a in args {
+            let v = self.eval_tool_value(&a.value)?;
+            match &a.name {
+                Some(n) => {
+                    out.named.insert(n.clone(), v);
+                }
+                None => out.positional.push(v),
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_tool_value(&self, e: &DslExpr) -> SandboxResult<ToolValue> {
+        Ok(match e {
+            // Bare identifier: a frame if one exists, else a column name.
+            DslExpr::Ident(n) => match self.env.get(n) {
+                Some(f) => ToolValue::Frame(f.clone()),
+                None => ToolValue::Str(n.clone()),
+            },
+            DslExpr::Int(v) => ToolValue::Int(*v),
+            DslExpr::Float(v) => ToolValue::Num(*v),
+            DslExpr::Neg(inner) => match self.eval_tool_value(inner)? {
+                ToolValue::Int(v) => ToolValue::Int(-v),
+                ToolValue::Num(v) => ToolValue::Num(-v),
+                other => {
+                    return Err(SandboxError::new(
+                        ErrorKind::BadArguments,
+                        format!("cannot negate {other:?}"),
+                    ))
+                }
+            },
+            DslExpr::Str(s) => ToolValue::Str(s.clone()),
+            DslExpr::List(items) => ToolValue::List(
+                items
+                    .iter()
+                    .map(|i| self.eval_tool_value(i))
+                    .collect::<SandboxResult<_>>()?,
+            ),
+            DslExpr::Call { name, args } => ToolValue::Frame(self.call(name, args)?),
+            other => {
+                return Err(SandboxError::new(
+                    ErrorKind::BadArguments,
+                    format!("unsupported tool argument: {other:?}"),
+                ))
+            }
+        })
+    }
+
+    // ---------------- builtins ----------------
+
+    fn call_builtin(&self, name: &str, args: &[DslArg]) -> SandboxResult<DataFrame> {
+        let pos = self.positional(args);
+        match name {
+            "filter" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let pred = pos.get(1).ok_or_else(|| {
+                    SandboxError::new(ErrorKind::BadArguments, "filter: missing predicate")
+                })?;
+                let expr = Self::to_expr(pred)?;
+                Ok(f.filter_expr(&expr)?)
+            }
+            "select" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let mut cols = Vec::new();
+                for p in pos.iter().skip(1) {
+                    cols.extend(Self::colname_list(p, name)?);
+                }
+                if cols.is_empty() {
+                    return Err(SandboxError::new(
+                        ErrorKind::BadArguments,
+                        "select: no columns given",
+                    ));
+                }
+                Ok(f.select(&cols)?)
+            }
+            "drop" => {
+                let mut f = self.arg_frame(args, 0, name)?;
+                for p in pos.iter().skip(1) {
+                    for c in Self::colname_list(p, name)? {
+                        f.drop_column(&c)?;
+                    }
+                }
+                Ok(f)
+            }
+            "rename" => {
+                let mut f = self.arg_frame(args, 0, name)?;
+                let old = Self::colname(
+                    pos.get(1).ok_or_else(|| missing(name, "old name"))?,
+                    name,
+                )?;
+                let new = Self::colname(
+                    pos.get(2).ok_or_else(|| missing(name, "new name"))?,
+                    name,
+                )?;
+                f.rename(&old, &new)?;
+                Ok(f)
+            }
+            "with_column" => {
+                let mut f = self.arg_frame(args, 0, name)?;
+                let col = Self::colname(
+                    pos.get(1).ok_or_else(|| missing(name, "column name"))?,
+                    name,
+                )?;
+                let expr = Self::to_expr(pos.get(2).ok_or_else(|| missing(name, "expression"))?)?;
+                f.with_column(&col, &expr)?;
+                Ok(f)
+            }
+            "sort" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let mut keys: Vec<(String, SortOrder)> = Vec::new();
+                let mut desc = false;
+                for p in pos.iter().skip(1) {
+                    match p {
+                        DslExpr::Ident(s) if s == "desc" => desc = true,
+                        DslExpr::Ident(s) if s == "asc" => desc = false,
+                        other => {
+                            for c in Self::colname_list(other, name)? {
+                                keys.push((c, SortOrder::Ascending));
+                            }
+                        }
+                    }
+                }
+                if let Some(by) = self.named(args, "by") {
+                    for c in Self::colname_list(by, name)? {
+                        keys.push((c, SortOrder::Ascending));
+                    }
+                }
+                if keys.is_empty() {
+                    return Err(SandboxError::new(
+                        ErrorKind::BadArguments,
+                        "sort: no key columns given",
+                    ));
+                }
+                if desc {
+                    for k in &mut keys {
+                        k.1 = SortOrder::Descending;
+                    }
+                }
+                let refs: Vec<(&str, SortOrder)> =
+                    keys.iter().map(|(c, o)| (c.as_str(), *o)).collect();
+                Ok(f.sort_by(&refs)?)
+            }
+            "top_n" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let col = Self::colname(
+                    pos.get(1).ok_or_else(|| missing(name, "column"))?,
+                    name,
+                )?;
+                let n = Self::int_arg(pos.get(2).ok_or_else(|| missing(name, "n"))?, name)?;
+                Ok(f.top_n(&col, n)?)
+            }
+            "head" | "limit" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let n = Self::int_arg(pos.get(1).ok_or_else(|| missing(name, "n"))?, name)?;
+                Ok(f.head(n))
+            }
+            "tail" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let n = Self::int_arg(pos.get(1).ok_or_else(|| missing(name, "n"))?, name)?;
+                Ok(f.tail(n))
+            }
+            "join" => {
+                let left = self.arg_frame(args, 0, name)?;
+                let right = self.arg_frame(args, 1, name)?;
+                let (lcol, rcol) = if let Some(on) = self.named(args, "on") {
+                    let c = Self::colname(on, name)?;
+                    (c.clone(), c)
+                } else if let (Some(lo), Some(ro)) = (
+                    self.named(args, "left_on"),
+                    self.named(args, "right_on"),
+                ) {
+                    (Self::colname(lo, name)?, Self::colname(ro, name)?)
+                } else if let Some(p) = pos.get(2) {
+                    let c = Self::colname(p, name)?;
+                    (c.clone(), c)
+                } else {
+                    return Err(SandboxError::new(
+                        ErrorKind::BadArguments,
+                        "join: missing join key (use on=column)",
+                    ));
+                };
+                let kind = match self.named(args, "how") {
+                    Some(DslExpr::Str(s)) | Some(DslExpr::Ident(s)) if s == "left" => {
+                        JoinKind::Left
+                    }
+                    Some(DslExpr::Str(s)) | Some(DslExpr::Ident(s)) if s == "inner" => {
+                        JoinKind::Inner
+                    }
+                    None => JoinKind::Inner,
+                    Some(other) => {
+                        return Err(SandboxError::new(
+                            ErrorKind::BadArguments,
+                            format!("join: unsupported how={other:?}"),
+                        ))
+                    }
+                };
+                Ok(left.join(&right, &lcol, &rcol, kind)?)
+            }
+            "group_agg" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let by = self
+                    .named(args, "by")
+                    .ok_or_else(|| missing(name, "by=[columns]"))?;
+                let keys = Self::colname_list(by, name)?;
+                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let mut specs = Vec::new();
+                for p in pos.iter().skip(1) {
+                    specs.push(Self::agg_spec(p)?);
+                }
+                if specs.is_empty() {
+                    return Err(SandboxError::new(
+                        ErrorKind::BadArguments,
+                        "group_agg: no aggregates given",
+                    ));
+                }
+                Ok(f.group_by(&key_refs, &specs)?)
+            }
+            "agg" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let mut out = DataFrame::new();
+                for p in pos.iter().skip(1) {
+                    let spec = Self::agg_spec(p)?;
+                    let v = f.aggregate(&spec.column, spec.kind)?;
+                    out.add_column(spec.alias, Column::F64(vec![v]))?;
+                }
+                if out.n_cols() == 0 {
+                    return Err(SandboxError::new(
+                        ErrorKind::BadArguments,
+                        "agg: no aggregates given",
+                    ));
+                }
+                Ok(out)
+            }
+            "describe" => Ok(self.arg_frame(args, 0, name)?.describe()?),
+            "top_n_by" => {
+                // Per-group top-n: top_n_by(frame, column, n, by=group).
+                let f = self.arg_frame(args, 0, name)?;
+                let col = Self::colname(pos.get(1).ok_or_else(|| missing(name, "column"))?, name)?;
+                let n = Self::int_arg(pos.get(2).ok_or_else(|| missing(name, "n"))?, name)?;
+                let by = match (self.named(args, "by"), pos.get(3)) {
+                    (Some(e), _) => Self::colname(e, name)?,
+                    (None, Some(e)) => Self::colname(e, name)?,
+                    _ => return Err(missing(name, "by column")),
+                };
+                let sorted = f.sort_by(&[
+                    (by.as_str(), SortOrder::Ascending),
+                    (col.as_str(), SortOrder::Descending),
+                ])?;
+                let group = sorted.column(&by)?.clone();
+                let mut keep = vec![false; sorted.n_rows()];
+                let mut current: Option<Value> = None;
+                let mut count = 0usize;
+                for (i, k) in keep.iter_mut().enumerate() {
+                    let g = group.get(i);
+                    if current.as_ref() != Some(&g) {
+                        current = Some(g);
+                        count = 0;
+                    }
+                    if count < n {
+                        *k = true;
+                    }
+                    count += 1;
+                }
+                Ok(sorted.filter_mask(&keep)?)
+            }
+            "linfit_by" => {
+                // Per-group OLS fit: linfit_by(frame, x=?, y=?, by=?).
+                let f = self.arg_frame(args, 0, name)?;
+                let x = Self::colname(
+                    self.named(args, "x")
+                        .or(pos.get(1).copied())
+                        .ok_or_else(|| missing(name, "x"))?,
+                    name,
+                )?;
+                let y = Self::colname(
+                    self.named(args, "y")
+                        .or(pos.get(2).copied())
+                        .ok_or_else(|| missing(name, "y"))?,
+                    name,
+                )?;
+                let by = Self::colname(
+                    self.named(args, "by")
+                        .or(pos.get(3).copied())
+                        .ok_or_else(|| missing(name, "by"))?,
+                    name,
+                )?;
+                let group = f.column(&by)?.clone();
+                // First-seen group order.
+                let mut keys: Vec<Value> = Vec::new();
+                for v in group.iter_values() {
+                    if !keys.contains(&v) {
+                        keys.push(v);
+                    }
+                }
+                let mut out_key = Column::empty(group.dtype());
+                let (mut slope, mut intercept, mut r, mut scatter, mut nn) =
+                    (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+                for key in keys {
+                    let mask: Vec<bool> =
+                        group.iter_values().map(|v| v == key).collect();
+                    let sub = f.filter_mask(&mask)?;
+                    match sub.linfit(&x, &y) {
+                        Ok(fit) => {
+                            out_key.push(key)?;
+                            slope.push(fit.slope);
+                            intercept.push(fit.intercept);
+                            r.push(fit.r);
+                            scatter.push(fit.scatter);
+                            nn.push(fit.n as i64);
+                        }
+                        Err(_) => continue, // degenerate group skipped
+                    }
+                }
+                let mut out = DataFrame::new();
+                out.add_column(by, out_key)?;
+                out.add_column("slope".into(), Column::F64(slope))?;
+                out.add_column("intercept".into(), Column::F64(intercept))?;
+                out.add_column("r".into(), Column::F64(r))?;
+                out.add_column("scatter".into(), Column::F64(scatter))?;
+                out.add_column("n".into(), Column::I64(nn))?;
+                Ok(out)
+            }
+            "fit_residuals" => {
+                // Fit y(x) and attach per-row 'predicted' and 'residual'.
+                let f = self.arg_frame(args, 0, name)?;
+                let x = Self::colname(
+                    self.named(args, "x")
+                        .or(pos.get(1).copied())
+                        .ok_or_else(|| missing(name, "x"))?,
+                    name,
+                )?;
+                let y = Self::colname(
+                    self.named(args, "y")
+                        .or(pos.get(2).copied())
+                        .ok_or_else(|| missing(name, "y"))?,
+                    name,
+                )?;
+                let fit = f.linfit(&x, &y)?;
+                let xv = f.column(&x)?.to_f64_vec()?;
+                let yv = f.column(&y)?.to_f64_vec()?;
+                let predicted: Vec<f64> =
+                    xv.iter().map(|&v| fit.slope * v + fit.intercept).collect();
+                let residual: Vec<f64> = yv
+                    .iter()
+                    .zip(&predicted)
+                    .map(|(&obs, &pred)| obs - pred)
+                    .collect();
+                let mut out = f.clone();
+                out.set_column("predicted", Column::F64(predicted))?;
+                out.set_column("residual", Column::F64(residual))?;
+                Ok(out)
+            }
+            "peak_decline" => {
+                // Locate the x of max y, then fit log10(y) decline after it.
+                let f = self.arg_frame(args, 0, name)?;
+                let x = Self::colname(
+                    self.named(args, "x")
+                        .or(pos.get(1).copied())
+                        .ok_or_else(|| missing(name, "x"))?,
+                    name,
+                )?;
+                let y = Self::colname(
+                    self.named(args, "y")
+                        .or(pos.get(2).copied())
+                        .ok_or_else(|| missing(name, "y"))?,
+                    name,
+                )?;
+                let xv = f.column(&x)?.to_f64_vec()?;
+                let yv = f.column(&y)?.to_f64_vec()?;
+                let peak = yv
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_finite())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .ok_or_else(|| {
+                        SandboxError::new(ErrorKind::Runtime, "peak_decline: no finite values")
+                    })?;
+                let (peak_idx, &peak_y) = peak;
+                let peak_x = xv[peak_idx];
+                let after: Vec<(f64, f64)> = xv
+                    .iter()
+                    .zip(&yv)
+                    .filter(|(&px, &py)| px >= peak_x && py > 0.0)
+                    .map(|(&px, &py)| (px, py.log10()))
+                    .collect();
+                let decline = if after.len() >= 2 {
+                    let ax: Vec<f64> = after.iter().map(|p| p.0).collect();
+                    let ay: Vec<f64> = after.iter().map(|p| p.1).collect();
+                    infera_frame::stats::linear_fit(&ax, &ay)
+                        .map(|fit| fit.slope)
+                        .unwrap_or(f64::NAN)
+                } else {
+                    f64::NAN
+                };
+                Ok(DataFrame::from_columns([
+                    ("peak_x", Column::F64(vec![peak_x])),
+                    ("peak_value", Column::F64(vec![peak_y])),
+                    ("decline_log_slope", Column::F64(vec![decline])),
+                ])?)
+            }
+            "linfit" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let x = match (self.named(args, "x"), pos.get(1)) {
+                    (Some(e), _) => Self::colname(e, name)?,
+                    (None, Some(e)) => Self::colname(e, name)?,
+                    _ => return Err(missing(name, "x column")),
+                };
+                let y = match (self.named(args, "y"), pos.get(2)) {
+                    (Some(e), _) => Self::colname(e, name)?,
+                    (None, Some(e)) => Self::colname(e, name)?,
+                    _ => return Err(missing(name, "y column")),
+                };
+                let fit = f.linfit(&x, &y)?;
+                Ok(DataFrame::from_columns([
+                    ("slope", Column::F64(vec![fit.slope])),
+                    ("intercept", Column::F64(vec![fit.intercept])),
+                    ("r", Column::F64(vec![fit.r])),
+                    ("scatter", Column::F64(vec![fit.scatter])),
+                    ("n", Column::I64(vec![fit.n as i64])),
+                ])?)
+            }
+            "corr" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let a = Self::colname(pos.get(1).ok_or_else(|| missing(name, "a"))?, name)?;
+                let b = Self::colname(pos.get(2).ok_or_else(|| missing(name, "b"))?, name)?;
+                let c = f.corr(&a, &b)?;
+                Ok(DataFrame::from_columns([(
+                    "corr",
+                    Column::F64(vec![c]),
+                )])?)
+            }
+            "corr_matrix" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let cols = Self::colname_list(
+                    pos.get(1).ok_or_else(|| missing(name, "columns"))?,
+                    name,
+                )?;
+                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                Ok(f.corr_matrix(&refs)?)
+            }
+            "zscore" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let cols = Self::colname_list(
+                    pos.get(1).ok_or_else(|| missing(name, "columns"))?,
+                    name,
+                )?;
+                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                Ok(f.zscore(&refs)?)
+            }
+            "quantile" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let col = Self::colname(pos.get(1).ok_or_else(|| missing(name, "column"))?, name)?;
+                let q = Self::num_arg(pos.get(2).ok_or_else(|| missing(name, "q"))?, name)?;
+                let v = f.quantile_of(&col, q)?;
+                Ok(DataFrame::from_columns([(
+                    "quantile",
+                    Column::F64(vec![v]),
+                )])?)
+            }
+            "nrows" => {
+                let f = self.arg_frame(args, 0, name)?;
+                Ok(DataFrame::from_columns([(
+                    "n",
+                    Column::I64(vec![f.n_rows() as i64]),
+                )])?)
+            }
+            "union" => {
+                let mut a = self.arg_frame(args, 0, name)?;
+                let b = self.arg_frame(args, 1, name)?;
+                a.vstack(&b)?;
+                Ok(a)
+            }
+            "unique" => {
+                let f = self.arg_frame(args, 0, name)?;
+                let col = Self::colname(pos.get(1).ok_or_else(|| missing(name, "column"))?, name)?;
+                let spec = AggSpec::new(col.clone(), AggKind::Count).with_alias("n");
+                Ok(f.group_by(&[col.as_str()], &[spec])?)
+            }
+            other => unreachable!("builtin dispatch missed '{other}'"),
+        }
+    }
+}
+
+fn missing(fname: &str, what: &str) -> SandboxError {
+    SandboxError::new(
+        ErrorKind::BadArguments,
+        format!("{fname}: missing {what}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_program;
+
+    fn halos() -> DataFrame {
+        DataFrame::from_columns([
+            ("fof_halo_tag", Column::from(vec![1i64, 2, 3, 4])),
+            ("sim", Column::from(vec![0i64, 0, 1, 1])),
+            (
+                "fof_halo_mass",
+                Column::from(vec![1e12, 5e13, 2e14, 8e13]),
+            ),
+            ("fof_halo_count", Column::from(vec![769i64, 38461, 153846, 61538])),
+        ])
+        .unwrap()
+    }
+
+    fn gals() -> DataFrame {
+        DataFrame::from_columns([
+            ("gal_tag", Column::from(vec![10i64, 11, 12])),
+            ("fof_halo_tag", Column::from(vec![1i64, 3, 3])),
+            ("gal_mass", Column::from(vec![1e10, 3e11, 4e10])),
+        ])
+        .unwrap()
+    }
+
+    fn run(src: &str) -> SandboxResult<ProgramOutput> {
+        let stmts = parse_program(src)?;
+        let mut inputs = HashMap::new();
+        inputs.insert("halos".to_string(), halos());
+        inputs.insert("galaxies".to_string(), gals());
+        run_program(&stmts, inputs, &ToolRegistry::new())
+    }
+
+    #[test]
+    fn filter_topn_pipeline() {
+        let out = run("big = filter(halos, fof_halo_mass > 1e13)\n\
+                       top = top_n(big, fof_halo_mass, 2)\n\
+                       return top")
+            .unwrap();
+        assert_eq!(out.result.n_rows(), 2);
+        assert_eq!(
+            out.result.cell("fof_halo_tag", 0).unwrap(),
+            Value::I64(3)
+        );
+        assert_eq!(out.steps.len(), 3);
+        assert_eq!(out.steps[0].call, "filter");
+    }
+
+    #[test]
+    fn join_and_group() {
+        let out = run(
+            "j = join(halos, galaxies, on=fof_halo_tag)\n\
+             g = group_agg(j, by=[fof_halo_tag], count(*), sum(gal_mass))\n\
+             return g",
+        )
+        .unwrap();
+        assert_eq!(out.result.n_rows(), 2);
+        assert!(out.result.has_column("count_rows"));
+        assert!(out.result.has_column("sum_gal_mass"));
+    }
+
+    #[test]
+    fn with_column_computed() {
+        let out = run(
+            "h = with_column(halos, log_mass, log10(fof_halo_mass))\n\
+             return select(h, [fof_halo_tag, log_mass])",
+        )
+        .unwrap();
+        assert_eq!(out.result.n_cols(), 2);
+        let lm = out.result.cell("log_mass", 0).unwrap().as_f64().unwrap();
+        assert!((lm - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linfit_one_row() {
+        let out = run(
+            "h = with_column(halos, lm, log10(fof_halo_mass))\n\
+             h2 = with_column(h, lc, log10(fof_halo_count))\n\
+             return linfit(h2, x=lm, y=lc)",
+        )
+        .unwrap();
+        assert_eq!(out.result.n_rows(), 1);
+        let slope = out.result.cell("slope", 0).unwrap().as_f64().unwrap();
+        assert!((slope - 1.0).abs() < 1e-3, "slope {slope}"); // count ∝ mass (rounded)
+    }
+
+    #[test]
+    fn unknown_column_error_has_suggestion_and_statement() {
+        let err = run("x = filter(halos, center_x > 1)\nreturn x").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownColumn);
+        assert_eq!(err.statement, Some(1));
+    }
+
+    #[test]
+    fn unknown_frame_suggestion() {
+        let err = run("x = filter(halo, fof_halo_mass > 1)").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownFrame);
+        assert_eq!(err.suggestion.as_deref(), Some("halos"));
+    }
+
+    #[test]
+    fn unknown_function_suggestion() {
+        let err = run("x = filtr(halos, fof_halo_mass > 1)").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownFunction);
+        assert_eq!(err.suggestion.as_deref(), Some("filter"));
+    }
+
+    #[test]
+    fn nested_calls() {
+        let out = run("return head(sort(halos, fof_halo_mass, desc), 1)").unwrap();
+        assert_eq!(out.result.cell("fof_halo_tag", 0).unwrap(), Value::I64(3));
+    }
+
+    #[test]
+    fn sort_multi_key_named_by() {
+        let out = run("return sort(halos, by=[sim, fof_halo_mass])").unwrap();
+        assert_eq!(out.result.cell("sim", 0).unwrap(), Value::I64(0));
+        assert_eq!(
+            out.result.cell("fof_halo_mass", 0).unwrap(),
+            Value::F64(1e12)
+        );
+    }
+
+    #[test]
+    fn agg_describe_quantile_corr() {
+        let out = run("return agg(halos, mean(fof_halo_mass), max(fof_halo_count))").unwrap();
+        assert_eq!(out.result.n_rows(), 1);
+        let out = run("return describe(halos)").unwrap();
+        assert_eq!(out.result.n_rows(), 8);
+        let out = run("return quantile(halos, fof_halo_mass, 0.5)").unwrap();
+        assert_eq!(out.result.n_rows(), 1);
+        let out = run("return corr(halos, fof_halo_mass, fof_halo_count)").unwrap();
+        let c = out.result.cell("corr", 0).unwrap().as_f64().unwrap();
+        assert!((c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_and_nrows() {
+        let out = run("u = union(halos, halos)\nreturn nrows(u)").unwrap();
+        assert_eq!(out.result.cell("n", 0).unwrap(), Value::I64(8));
+    }
+
+    #[test]
+    fn left_join_keeps_rows() {
+        let out = run("return join(halos, galaxies, on=fof_halo_tag, how=left)").unwrap();
+        assert_eq!(out.result.n_rows(), 5); // halo 3 matches 2; halos 2,4 unmatched
+    }
+
+    #[test]
+    fn last_assignment_is_result_without_return() {
+        let out = run("a = head(halos, 3)\nb = head(a, 1)").unwrap();
+        assert_eq!(out.result.n_rows(), 1);
+        assert!(out.env.contains_key("a"));
+        assert!(out.env.contains_key("b"));
+    }
+
+    #[test]
+    fn inputs_not_mutated() {
+        let original = halos();
+        let out = run("h = with_column(halos, x2, fof_halo_mass * 2)\nreturn h").unwrap();
+        // The env's "halos" is untouched; only "h" has the new column.
+        assert_eq!(out.env.get("halos").unwrap(), &original);
+        assert!(out.env.get("h").unwrap().has_column("x2"));
+    }
+
+    #[test]
+    fn top_n_by_keeps_n_per_group() {
+        let out = run(
+            "j = join(galaxies, halos, on=fof_halo_tag)\n\
+             return top_n_by(j, gal_mass, 1, by=fof_halo_tag)",
+        )
+        .unwrap();
+        // Halos 1 and 3 have galaxies; one row each, the largest.
+        assert_eq!(out.result.n_rows(), 2);
+        let masses = out
+            .result
+            .column("gal_mass")
+            .unwrap()
+            .as_f64_slice()
+            .unwrap()
+            .to_vec();
+        assert!(masses.contains(&1e10)); // halo 1's only galaxy
+        assert!(masses.contains(&3e11)); // halo 3's largest of two
+    }
+
+    #[test]
+    fn linfit_by_fits_each_group() {
+        let out = run(
+            "h = with_column(halos, lm, log10(fof_halo_mass))\n\
+             h2 = with_column(h, lc, log10(fof_halo_count))\n\
+             return linfit_by(h2, x=lm, y=lc, by=sim)",
+        )
+        .unwrap();
+        assert_eq!(out.result.n_rows(), 2); // sims 0 and 1
+        for r in 0..2 {
+            let slope = out.result.cell("slope", r).unwrap().as_f64().unwrap();
+            assert!((slope - 1.0).abs() < 0.01, "slope {slope}");
+        }
+        assert!(out.result.has_column("scatter"));
+    }
+
+    #[test]
+    fn fit_residuals_attaches_columns() {
+        let out = run("return fit_residuals(halos, x=fof_halo_mass, y=fof_halo_count)").unwrap();
+        assert!(out.result.has_column("predicted"));
+        assert!(out.result.has_column("residual"));
+        assert_eq!(out.result.n_rows(), 4);
+        // Residuals of a perfect-ish linear relation are small relative to
+        // the counts.
+        let resid = out.result.column("residual").unwrap().as_f64_slice().unwrap();
+        let counts = out.result.column("fof_halo_count").unwrap().as_i64_slice().unwrap();
+        for (r, c) in resid.iter().zip(counts) {
+            assert!(r.abs() < 0.05 * *c as f64, "residual {r} vs count {c}");
+        }
+    }
+
+    #[test]
+    fn peak_decline_finds_peak() {
+        let out = run(
+            "g = group_agg(halos, by=[sim], sum(fof_halo_mass, alias=total))\n\
+             return peak_decline(g, x=sim, y=total)",
+        )
+        .unwrap();
+        assert_eq!(out.result.n_rows(), 1);
+        assert!(out.result.has_column("peak_x"));
+        assert!(out.result.has_column("decline_log_slope"));
+    }
+
+    #[test]
+    fn zscore_and_corr_matrix() {
+        let out = run("return zscore(halos, [fof_halo_mass])").unwrap();
+        assert!(out.result.has_column("fof_halo_mass_z"));
+        let out = run("return corr_matrix(halos, [fof_halo_mass, fof_halo_count])").unwrap();
+        assert_eq!(out.result.n_rows(), 2);
+    }
+}

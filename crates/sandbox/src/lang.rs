@@ -1,0 +1,606 @@
+//! The analysis DSL: lexer + parser.
+//!
+//! The original InferA executes LLM-generated *Python over pandas* in its
+//! sandbox server. A Rust reproduction cannot embed CPython, so programs
+//! are written in a small dataframe DSL with the same operational
+//! vocabulary (the calls the Python agent's generated code makes). One
+//! statement per line, assignment or `return`:
+//!
+//! ```text
+//! big    = filter(halos, fof_halo_count > 1000 and sim == 0)
+//! top    = top_n(big, fof_halo_mass, 100)
+//! joined = join(top, galaxies, on=fof_halo_tag)
+//! g      = group_agg(joined, by=[sim], mean(gal_mass), count())
+//! return g
+//! ```
+
+use crate::error::{ErrorKind, SandboxError, SandboxResult};
+
+/// Tokens of the DSL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Assign,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Newline,
+    Eof,
+}
+
+fn lex(src: &str) -> SandboxResult<Vec<Tok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let n = chars.len();
+    let err = |m: String| SandboxError::new(ErrorKind::Parse, m);
+    while i < n {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                out.push(Tok::Newline);
+                i += 1;
+            }
+            '#' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Tok::Percent);
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Tok::Eq);
+                    i += 2;
+                } else {
+                    out.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '!' if i + 1 < n && chars[i + 1] == '=' => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                while i < n && chars[i] != quote {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= n {
+                    return Err(err("unterminated string literal".into()));
+                }
+                i += 1;
+                out.push(Tok::Str(s));
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                if i < n && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (chars[j] == '+' || chars[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && chars[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(Tok::Float(
+                        text.parse().map_err(|_| err(format!("bad number '{text}'")))?,
+                    ));
+                } else {
+                    out.push(Tok::Int(
+                        text.parse().map_err(|_| err(format!("bad number '{text}'")))?,
+                    ));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            _ => return Err(err(format!("unexpected character '{c}'"))),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+/// DSL expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslExpr {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    List(Vec<DslExpr>),
+    Call { name: String, args: Vec<DslArg> },
+    Binary(Box<DslExpr>, DslOp, Box<DslExpr>),
+    Neg(Box<DslExpr>),
+    Not(Box<DslExpr>),
+}
+
+/// A (possibly named) call argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DslArg {
+    pub name: Option<String>,
+    pub value: DslExpr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DslOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// One program statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target = expr`
+    Assign { target: String, expr: DslExpr },
+    /// `return expr`
+    Return(DslExpr),
+}
+
+/// Parse a whole program: newline-separated statements.
+pub fn parse_program(src: &str) -> SandboxResult<Vec<Stmt>> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_newlines();
+        if p.peek() == &Tok::Eof {
+            break;
+        }
+        stmts.push(p.statement()?);
+        match p.peek() {
+            Tok::Newline => {}
+            Tok::Eof => {}
+            other => {
+                return Err(SandboxError::new(
+                    ErrorKind::Parse,
+                    format!("unexpected token after statement: {other:?}"),
+                ))
+            }
+        }
+    }
+    if stmts.is_empty() {
+        return Err(SandboxError::new(ErrorKind::Parse, "empty program"));
+    }
+    Ok(stmts)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> SandboxResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(SandboxError::new(
+                ErrorKind::Parse,
+                format!("expected {t:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek() == &Tok::Newline {
+            self.pos += 1;
+        }
+    }
+
+    fn statement(&mut self) -> SandboxResult<Stmt> {
+        if let Tok::Ident(name) = self.peek().clone() {
+            if name == "return" {
+                self.next();
+                let expr = self.expr()?;
+                return Ok(Stmt::Return(expr));
+            }
+            // Lookahead for '='.
+            if self.toks.get(self.pos + 1) == Some(&Tok::Assign) {
+                self.next();
+                self.next();
+                let expr = self.expr()?;
+                return Ok(Stmt::Assign { target: name, expr });
+            }
+        }
+        // Bare expression statement: treated as `_ = expr` result sink.
+        let expr = self.expr()?;
+        Ok(Stmt::Assign {
+            target: "_".into(),
+            expr,
+        })
+    }
+
+    fn expr(&mut self) -> SandboxResult<DslExpr> {
+        self.or_expr()
+    }
+
+    fn kw(&self, k: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == k)
+    }
+
+    fn or_expr(&mut self) -> SandboxResult<DslExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.kw("or") {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = DslExpr::Binary(Box::new(lhs), DslOp::Or, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> SandboxResult<DslExpr> {
+        let mut lhs = self.not_expr()?;
+        while self.kw("and") {
+            self.next();
+            let rhs = self.not_expr()?;
+            lhs = DslExpr::Binary(Box::new(lhs), DslOp::And, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> SandboxResult<DslExpr> {
+        if self.kw("not") {
+            self.next();
+            Ok(DslExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> SandboxResult<DslExpr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => DslOp::Eq,
+            Tok::Ne => DslOp::Ne,
+            Tok::Lt => DslOp::Lt,
+            Tok::Le => DslOp::Le,
+            Tok::Gt => DslOp::Gt,
+            Tok::Ge => DslOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(DslExpr::Binary(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> SandboxResult<DslExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => DslOp::Add,
+                Tok::Minus => DslOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = DslExpr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> SandboxResult<DslExpr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => DslOp::Mul,
+                Tok::Slash => DslOp::Div,
+                Tok::Percent => DslOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = DslExpr::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> SandboxResult<DslExpr> {
+        if self.eat(&Tok::Minus) {
+            Ok(DslExpr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> SandboxResult<DslExpr> {
+        match self.next() {
+            Tok::Int(v) => Ok(DslExpr::Int(v)),
+            Tok::Float(v) => Ok(DslExpr::Float(v)),
+            Tok::Str(s) => Ok(DslExpr::Str(s)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                let mut items = Vec::new();
+                if !self.eat(&Tok::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RBracket)?;
+                }
+                Ok(DslExpr::List(items))
+            }
+            Tok::Ident(name) => {
+                if name == "true" {
+                    return Ok(DslExpr::Bool(true));
+                }
+                if name == "false" {
+                    return Ok(DslExpr::Bool(false));
+                }
+                if self.peek() == &Tok::LParen {
+                    self.next();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.call_arg()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    return Ok(DslExpr::Call { name, args });
+                }
+                Ok(DslExpr::Ident(name))
+            }
+            Tok::Star => Ok(DslExpr::Str("*".into())), // count(*) convenience
+            other => Err(SandboxError::new(
+                ErrorKind::Parse,
+                format!("unexpected token in expression: {other:?}"),
+            )),
+        }
+    }
+
+    fn call_arg(&mut self) -> SandboxResult<DslArg> {
+        // named argument lookahead: ident '=' ...
+        if let Tok::Ident(name) = self.peek().clone() {
+            if self.toks.get(self.pos + 1) == Some(&Tok::Assign) {
+                self.next();
+                self.next();
+                let value = self.expr()?;
+                return Ok(DslArg {
+                    name: Some(name),
+                    value,
+                });
+            }
+        }
+        Ok(DslArg {
+            name: None,
+            value: self.expr()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_assignment_pipeline() {
+        let src = "\
+# comment line
+big = filter(halos, fof_halo_count > 1000 and sim == 0)
+top = top_n(big, fof_halo_mass, 100)
+return top
+";
+        let stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 3);
+        match &stmts[0] {
+            Stmt::Assign { target, expr } => {
+                assert_eq!(target, "big");
+                assert!(matches!(expr, DslExpr::Call { name, .. } if name == "filter"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&stmts[2], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn named_args_and_lists() {
+        let stmts =
+            parse_program("g = group_agg(df, by=[sim, step], mean(mass), count())").unwrap();
+        match &stmts[0] {
+            Stmt::Assign { expr: DslExpr::Call { args, .. }, .. } => {
+                assert_eq!(args.len(), 4);
+                assert_eq!(args[1].name.as_deref(), Some("by"));
+                assert!(matches!(args[1].value, DslExpr::List(_)));
+                assert!(matches!(
+                    &args[2].value,
+                    DslExpr::Call { name, .. } if name == "mean"
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let stmts = parse_program("x = filter(df, a + b * 2 > c and d < 1 or e == 'q')").unwrap();
+        let Stmt::Assign { expr: DslExpr::Call { args, .. }, .. } = &stmts[0] else {
+            panic!()
+        };
+        // Top must be OR.
+        assert!(matches!(
+            &args[1].value,
+            DslExpr::Binary(_, DslOp::Or, _)
+        ));
+    }
+
+    #[test]
+    fn count_star() {
+        let stmts = parse_program("g = group_agg(df, by=[a], count(*))").unwrap();
+        let Stmt::Assign { expr: DslExpr::Call { args, .. }, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &args[2].value,
+            DslExpr::Call { name, args } if name == "count" && args.len() == 1
+        ));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("x = ").is_err());
+        assert!(parse_program("x = foo(").is_err());
+        assert!(parse_program("x = 'unterminated").is_err());
+        assert!(parse_program("x = $bad").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_scientific() {
+        let stmts = parse_program("x = filter(df, mass > -1.5e14)").unwrap();
+        let Stmt::Assign { expr: DslExpr::Call { args, .. }, .. } = &stmts[0] else {
+            panic!()
+        };
+        match &args[1].value {
+            DslExpr::Binary(_, DslOp::Gt, rhs) => {
+                assert!(matches!(**rhs, DslExpr::Neg(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_expression_assigned_to_underscore() {
+        let stmts = parse_program("describe(df)").unwrap();
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Assign { target, .. } if target == "_"
+        ));
+    }
+}

@@ -1,0 +1,30 @@
+//! # infera-sandbox
+//!
+//! The sandboxed code-execution environment of InferA (§3.2 of the
+//! paper). The original system generates *Python over pandas* and runs it
+//! on an isolated FastAPI/Uvicorn server against temporary data copies;
+//! this crate reproduces the same contract with a small dataframe DSL:
+//!
+//! * [`lang`] — the analysis language (lexer/parser), with the operational
+//!   vocabulary of the generated pandas code (filter/sort/join/group_agg/
+//!   linfit/...);
+//! * [`interp`] — the interpreter with ~20 built-in dataframe operations;
+//! * [`tool`] — the custom-tool registry ("multi-tool functionality"),
+//!   letting domain algorithms plug into generated programs;
+//! * [`domain`] — the paper's domain tools: halo tracking across
+//!   timesteps, interestingness scoring, 2-D embedding, radius queries;
+//! * [`gateway`] — the execution server: deep-copied inputs, worker
+//!   thread, hard deadline, structured errors. Ground truth is immutable
+//!   by construction.
+
+pub mod domain;
+pub mod error;
+pub mod gateway;
+pub mod interp;
+pub mod lang;
+pub mod tool;
+
+pub use error::{ErrorKind, SandboxError, SandboxResult};
+pub use gateway::{ExecutionReport, ExecutionRequest, SandboxServer};
+pub use interp::{ProgramOutput, StepLog, BUILTINS};
+pub use tool::{Tool, ToolArgs, ToolRegistry, ToolValue};

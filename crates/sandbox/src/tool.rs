@@ -1,0 +1,247 @@
+//! Custom-tool plumbing (§3: "custom algorithmic functions operating on
+//! pandas dataframes can be added to the system, and the agents will be
+//! able to apply these custom functions when appropriate").
+
+use crate::error::{ErrorKind, SandboxError, SandboxResult};
+use infera_frame::DataFrame;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An evaluated tool-call argument.
+#[derive(Debug, Clone)]
+pub enum ToolValue {
+    Frame(DataFrame),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    List(Vec<ToolValue>),
+}
+
+impl ToolValue {
+    pub fn as_frame(&self) -> SandboxResult<&DataFrame> {
+        match self {
+            ToolValue::Frame(f) => Ok(f),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("expected a dataframe argument, got {other:?}"),
+            )),
+        }
+    }
+
+    pub fn as_num(&self) -> SandboxResult<f64> {
+        match self {
+            ToolValue::Num(v) => Ok(*v),
+            ToolValue::Int(v) => Ok(*v as f64),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("expected a number argument, got {other:?}"),
+            )),
+        }
+    }
+
+    pub fn as_int(&self) -> SandboxResult<i64> {
+        match self {
+            ToolValue::Int(v) => Ok(*v),
+            ToolValue::Num(v) if v.fract() == 0.0 => Ok(*v as i64),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("expected an integer argument, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Strings and bare identifiers both surface as `Str`.
+    pub fn as_str(&self) -> SandboxResult<&str> {
+        match self {
+            ToolValue::Str(s) => Ok(s),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("expected a string/column argument, got {other:?}"),
+            )),
+        }
+    }
+
+    /// A list of column names.
+    pub fn as_str_list(&self) -> SandboxResult<Vec<String>> {
+        match self {
+            ToolValue::List(items) => items
+                .iter()
+                .map(|i| i.as_str().map(str::to_string))
+                .collect(),
+            ToolValue::Str(s) => Ok(vec![s.clone()]),
+            other => Err(SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("expected a list of columns, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Evaluated arguments of one tool call.
+#[derive(Debug, Clone, Default)]
+pub struct ToolArgs {
+    pub positional: Vec<ToolValue>,
+    pub named: HashMap<String, ToolValue>,
+}
+
+impl ToolArgs {
+    /// Positional argument by index.
+    pub fn pos(&self, idx: usize) -> SandboxResult<&ToolValue> {
+        self.positional.get(idx).ok_or_else(|| {
+            SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("missing positional argument {idx}"),
+            )
+        })
+    }
+
+    /// Named argument, or positional fallback.
+    pub fn named_or_pos(&self, name: &str, idx: usize) -> SandboxResult<&ToolValue> {
+        if let Some(v) = self.named.get(name) {
+            return Ok(v);
+        }
+        self.positional.get(idx).ok_or_else(|| {
+            SandboxError::new(
+                ErrorKind::BadArguments,
+                format!("missing argument '{name}'"),
+            )
+        })
+    }
+
+    /// Optional named argument.
+    pub fn opt_named(&self, name: &str) -> Option<&ToolValue> {
+        self.named.get(name)
+    }
+}
+
+/// A callable custom tool.
+pub trait Tool: Send + Sync {
+    /// Call name used in generated programs.
+    fn name(&self) -> &str;
+    /// One-line description exposed to the planning/programming agents.
+    fn description(&self) -> &str;
+    /// Execute on evaluated arguments, producing a dataframe.
+    fn call(&self, args: &ToolArgs) -> SandboxResult<DataFrame>;
+}
+
+/// A registry of custom tools, shared by the sandbox and the agents (which
+/// list tool descriptions in their prompts).
+#[derive(Clone, Default)]
+pub struct ToolRegistry {
+    tools: HashMap<String, Arc<dyn Tool>>,
+}
+
+impl ToolRegistry {
+    pub fn new() -> ToolRegistry {
+        ToolRegistry::default()
+    }
+
+    /// Register a tool; replaces any previous tool of the same name.
+    pub fn register(&mut self, tool: Arc<dyn Tool>) {
+        self.tools.insert(tool.name().to_string(), tool);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Tool>> {
+        self.tools.get(name)
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tools.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// `name: description` lines for agent prompts.
+    pub fn catalog(&self) -> String {
+        let mut lines: Vec<String> = self
+            .tools
+            .values()
+            .map(|t| format!("{}: {}", t.name(), t.description()))
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+impl std::fmt::Debug for ToolRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ToolRegistry")
+            .field("tools", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_frame::Column;
+
+    struct Doubler;
+    impl Tool for Doubler {
+        fn name(&self) -> &str {
+            "double_mass"
+        }
+        fn description(&self) -> &str {
+            "double the mass column"
+        }
+        fn call(&self, args: &ToolArgs) -> SandboxResult<DataFrame> {
+            let f = args.pos(0)?.as_frame()?;
+            let mut out = f.clone();
+            let doubled: Vec<f64> = f
+                .column("mass")
+                .map_err(SandboxError::from)?
+                .to_f64_vec()
+                .map_err(SandboxError::from)?
+                .iter()
+                .map(|v| v * 2.0)
+                .collect();
+            out.set_column("mass", Column::F64(doubled))
+                .map_err(SandboxError::from)?;
+            Ok(out)
+        }
+    }
+
+    #[test]
+    fn registry_register_and_call() {
+        let mut reg = ToolRegistry::new();
+        reg.register(Arc::new(Doubler));
+        assert_eq!(reg.names(), vec!["double_mass".to_string()]);
+        assert!(reg.catalog().contains("double the mass"));
+        let df = DataFrame::from_columns([("mass", Column::from(vec![1.0, 2.0]))]).unwrap();
+        let args = ToolArgs {
+            positional: vec![ToolValue::Frame(df)],
+            named: HashMap::new(),
+        };
+        let out = reg.get("double_mass").unwrap().call(&args).unwrap();
+        assert_eq!(out.column("mass").unwrap(), &Column::F64(vec![2.0, 4.0]));
+    }
+
+    #[test]
+    fn tool_value_coercions() {
+        assert_eq!(ToolValue::Int(3).as_num().unwrap(), 3.0);
+        assert_eq!(ToolValue::Num(3.0).as_int().unwrap(), 3);
+        assert!(ToolValue::Num(3.5).as_int().is_err());
+        assert_eq!(
+            ToolValue::Str("a".into()).as_str_list().unwrap(),
+            vec!["a".to_string()]
+        );
+        let list = ToolValue::List(vec![
+            ToolValue::Str("a".into()),
+            ToolValue::Str("b".into()),
+        ]);
+        assert_eq!(list.as_str_list().unwrap(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn args_accessors() {
+        let mut named = HashMap::new();
+        named.insert("n".to_string(), ToolValue::Int(5));
+        let args = ToolArgs {
+            positional: vec![ToolValue::Str("x".into())],
+            named,
+        };
+        assert_eq!(args.named_or_pos("n", 9).unwrap().as_int().unwrap(), 5);
+        assert!(args.pos(1).is_err());
+        assert!(args.opt_named("missing").is_none());
+    }
+}

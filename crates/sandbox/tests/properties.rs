@@ -1,0 +1,109 @@
+//! Property-based tests for the sandbox: the parser must never panic, the
+//! interpreter must agree with direct dataframe semantics, and the
+//! gateway must never mutate its inputs.
+
+use infera_frame::{Column, DataFrame};
+use infera_sandbox::{ExecutionRequest, SandboxServer};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    (1usize..60).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(-500i64..500, rows),
+            proptest::collection::vec(-1.0e6f64..1.0e6, rows),
+        )
+            .prop_map(|(ids, vals)| {
+                DataFrame::from_columns([
+                    ("id", Column::I64(ids)),
+                    ("val", Column::F64(vals)),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The DSL parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = infera_sandbox::lang::parse_program(&input);
+    }
+
+    /// The full gateway never panics on arbitrary programs over a real
+    /// frame (structured errors only), and never mutates the input.
+    #[test]
+    fn gateway_never_panics_or_mutates(input in "\\PC{0,120}", df in arb_frame()) {
+        let server = SandboxServer::default();
+        let original = df.clone();
+        let mut inputs = HashMap::new();
+        inputs.insert("df".to_string(), df);
+        let _ = server.execute(ExecutionRequest { program: input, inputs: inputs.clone() });
+        prop_assert_eq!(&inputs["df"], &original);
+    }
+
+    /// filter + sort through the DSL equals the dataframe operations.
+    #[test]
+    fn dsl_filter_sort_matches_frame(df in arb_frame(), threshold in -1.0e6f64..1.0e6) {
+        let server = SandboxServer::default();
+        let mut inputs = HashMap::new();
+        inputs.insert("df".to_string(), df.clone());
+        let program = format!(
+            "kept = filter(df, val > {threshold})\nreturn sort(kept, val, desc)\n"
+        );
+        let got = server
+            .execute(ExecutionRequest { program, inputs })
+            .unwrap()
+            .result;
+        use infera_frame::{expr::BinOp, Expr, SortOrder};
+        let want = df
+            .filter_expr(&Expr::bin(Expr::col("val"), BinOp::Gt, Expr::lit(threshold)))
+            .unwrap()
+            .sort_by(&[("val", SortOrder::Descending)])
+            .unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// top_n through the DSL returns n (or fewer) rows, descending.
+    #[test]
+    fn dsl_top_n(df in arb_frame(), n in 1usize..30) {
+        let server = SandboxServer::default();
+        let mut inputs = HashMap::new();
+        inputs.insert("df".to_string(), df.clone());
+        let got = server
+            .execute(ExecutionRequest {
+                program: format!("return top_n(df, val, {n})"),
+                inputs,
+            })
+            .unwrap()
+            .result;
+        prop_assert_eq!(got.n_rows(), n.min(df.n_rows()));
+        let vals = got.column("val").unwrap().as_f64_slice().unwrap();
+        prop_assert!(vals.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// group_agg counts partition the rows.
+    #[test]
+    fn dsl_group_counts(df in arb_frame()) {
+        let server = SandboxServer::default();
+        let mut inputs = HashMap::new();
+        inputs.insert("df".to_string(), df.clone());
+        let got = server
+            .execute(ExecutionRequest {
+                program: "g = with_column(df, bucket, id % 5)\nreturn group_agg(g, by=[bucket], count(*))".into(),
+                inputs,
+            })
+            .unwrap()
+            .result;
+        let total: i64 = got
+            .column("count_rows")
+            .unwrap()
+            .as_i64_slice()
+            .unwrap()
+            .iter()
+            .sum();
+        prop_assert_eq!(total as usize, df.n_rows());
+    }
+}

@@ -1,0 +1,16 @@
+//! # infera-viz
+//!
+//! The visualization substrate (matplotlib / ParaView substitute): an SVG
+//! chart renderer with line/scatter/histogram/heatmap forms ([`svg`],
+//! [`plot`]) and a VTK legacy ASCII scene writer for 3-D halo
+//! neighborhoods ([`vtk`]). The visualization agent emits these artifacts
+//! into the provenance trail; Figures 1, 4 and 5 of the paper regenerate
+//! through this crate.
+
+pub mod plot;
+pub mod svg;
+pub mod vtk;
+
+pub use plot::{corr_heatmap, histogram_plot, line_plot, scatter_plot};
+pub use svg::{histogram, nice_ticks, Chart, Series, SeriesKind, PALETTE};
+pub use vtk::Scene;

@@ -1,0 +1,202 @@
+//! High-level plotting from dataframes — the calls the visualization
+//! agent's generated code makes.
+
+use crate::svg::{histogram, Chart, Series};
+use infera_frame::{DataFrame, FrameError, FrameResult, Value};
+
+/// Line chart of `y` vs `x`, one series per distinct value of
+/// `group_by` (or a single series when `group_by` is `None`).
+///
+/// This is the Fig. 4 primitive: "plot the halo count and halo mass for
+/// 32 simulations over all timesteps" becomes one call with
+/// `group_by = Some("sim")`.
+pub fn line_plot(
+    df: &DataFrame,
+    x: &str,
+    y: &str,
+    group_by: Option<&str>,
+    title: &str,
+) -> FrameResult<Chart> {
+    series_plot(df, x, y, group_by, title, true)
+}
+
+/// Scatter chart of `y` vs `x`, optionally grouped.
+pub fn scatter_plot(
+    df: &DataFrame,
+    x: &str,
+    y: &str,
+    group_by: Option<&str>,
+    title: &str,
+) -> FrameResult<Chart> {
+    series_plot(df, x, y, group_by, title, false)
+}
+
+fn series_plot(
+    df: &DataFrame,
+    x: &str,
+    y: &str,
+    group_by: Option<&str>,
+    title: &str,
+    line: bool,
+) -> FrameResult<Chart> {
+    let xv = df.column(x)?.to_f64_vec()?;
+    let yv = df.column(y)?.to_f64_vec()?;
+    let mut chart = Chart::new(title).with_labels(x, y);
+    let make = |name: String, mut pts: Vec<(f64, f64)>, color: usize| {
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if line {
+            Series::line(name, pts, color)
+        } else {
+            Series::scatter(name, pts, color)
+        }
+    };
+    match group_by {
+        None => {
+            let pts: Vec<(f64, f64)> = xv.iter().copied().zip(yv.iter().copied()).collect();
+            chart.add_series(make(y.to_string(), pts, 0));
+        }
+        Some(g) => {
+            let gcol = df.column(g)?;
+            // First-seen group order for stable colors.
+            let mut groups: Vec<(Value, Vec<(f64, f64)>)> = Vec::new();
+            for i in 0..df.n_rows() {
+                let key = gcol.get(i);
+                let entry = groups.iter_mut().find(|(k, _)| *k == key);
+                let pts = match entry {
+                    Some((_, pts)) => pts,
+                    None => {
+                        groups.push((key, Vec::new()));
+                        &mut groups.last_mut().expect("just pushed").1
+                    }
+                };
+                pts.push((xv[i], yv[i]));
+            }
+            for (ci, (key, pts)) in groups.into_iter().enumerate() {
+                chart.add_series(make(format!("{g}={key}"), pts, ci));
+            }
+        }
+    }
+    Ok(chart)
+}
+
+/// Histogram chart of one numeric column.
+pub fn histogram_plot(df: &DataFrame, column: &str, bins: usize, title: &str) -> FrameResult<Chart> {
+    let v = df.column(column)?.to_f64_vec()?;
+    let h = histogram(&v, bins);
+    let mut chart = Chart::new(title).with_labels(column, "count");
+    chart.add_series(Series::line("count", h, 0));
+    Ok(chart)
+}
+
+/// Heatmap-style rendering of a correlation matrix produced by
+/// [`DataFrame::corr_matrix`] — emitted as an SVG grid of colored cells.
+pub fn corr_heatmap(df: &DataFrame, title: &str) -> FrameResult<String> {
+    let labels = df.column("column")?.as_str_slice()?.to_vec();
+    let n = labels.len();
+    let cell = 48.0;
+    let margin = 120.0;
+    let size = margin + cell * n as f64 + 20.0;
+    let mut svg = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}"><rect width="100%" height="100%" fill="white"/><text x="{}" y="20" font-size="14" text-anchor="middle" font-family="sans-serif">{title}</text>"#,
+        size / 2.0
+    );
+    for (j, lj) in labels.iter().enumerate() {
+        let col = df.column(lj)?.to_f64_vec()?;
+        if col.len() != n {
+            return Err(FrameError::Invalid(
+                "corr_heatmap: not a square correlation matrix".into(),
+            ));
+        }
+        for (i, &v) in col.iter().enumerate() {
+            // Map [-1, 1] to blue..white..red.
+            let v = v.clamp(-1.0, 1.0);
+            let (r, g, b) = if v >= 0.0 {
+                (255.0, 255.0 * (1.0 - v), 255.0 * (1.0 - v))
+            } else {
+                (255.0 * (1.0 + v), 255.0 * (1.0 + v), 255.0)
+            };
+            svg.push_str(&format!(
+                r##"<rect x="{}" y="{}" width="{cell}" height="{cell}" fill="rgb({},{},{})" stroke="#999"/><text x="{}" y="{}" font-size="10" text-anchor="middle" font-family="sans-serif">{v:.2}</text>"##,
+                margin + cell * j as f64,
+                margin + cell * i as f64,
+                r as u8,
+                g as u8,
+                b as u8,
+                margin + cell * (j as f64 + 0.5),
+                margin + cell * (i as f64 + 0.5) + 4.0,
+            ));
+        }
+        // Row/column labels.
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-size="10" text-anchor="end" font-family="sans-serif">{lj}</text>"#,
+            margin - 6.0,
+            margin + cell * (j as f64 + 0.5) + 4.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-size="10" text-anchor="start" font-family="sans-serif" transform="rotate(-60 {} {})">{lj}</text>"#,
+            margin + cell * (j as f64 + 0.5),
+            margin - 8.0,
+            margin + cell * (j as f64 + 0.5),
+            margin - 8.0
+        ));
+    }
+    svg.push_str("</svg>");
+    Ok(svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_frame::Column;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns([
+            ("step", Column::from(vec![1.0, 2.0, 1.0, 2.0])),
+            ("mass", Column::from(vec![10.0, 20.0, 30.0, 60.0])),
+            ("sim", Column::from(vec![0i64, 0, 1, 1])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_line_plot_one_series_per_group() {
+        let chart = line_plot(&df(), "step", "mass", Some("sim"), "growth").unwrap();
+        assert_eq!(chart.series.len(), 2);
+        assert_eq!(chart.series[0].name, "sim=0");
+        // Points sorted by x within each series.
+        assert!(chart.series[1]
+            .points
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0));
+        let svg = chart.render();
+        assert!(svg.contains("sim=1"));
+    }
+
+    #[test]
+    fn ungrouped_scatter() {
+        let chart = scatter_plot(&df(), "mass", "step", None, "s").unwrap();
+        assert_eq!(chart.series.len(), 1);
+        assert_eq!(chart.series[0].points.len(), 4);
+    }
+
+    #[test]
+    fn histogram_plot_builds() {
+        let chart = histogram_plot(&df(), "mass", 4, "h").unwrap();
+        assert_eq!(chart.series.len(), 1);
+        let total: f64 = chart.series[0].points.iter().map(|p| p.1).sum();
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(line_plot(&df(), "nope", "mass", None, "t").is_err());
+    }
+
+    #[test]
+    fn corr_heatmap_from_matrix() {
+        let m = df().corr_matrix(&["step", "mass"]).unwrap();
+        let svg = corr_heatmap(&m, "corr").unwrap();
+        assert!(svg.contains("</svg>"));
+        assert!(svg.contains("1.00")); // diagonal
+    }
+}

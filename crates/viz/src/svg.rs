@@ -1,0 +1,460 @@
+//! SVG chart rendering (matplotlib substitute).
+//!
+//! A small, dependency-free renderer producing self-contained SVG: line
+//! and scatter series with axes, nice-number ticks, optional log scales,
+//! grid lines and a legend. The visualization agent writes these files
+//! into the provenance trail; tests validate structure (series counts,
+//! labels) rather than pixels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Categorical palette (colorblind-safe Okabe–Ito, cycled).
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeriesKind {
+    Line,
+    Scatter,
+}
+
+/// One data series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    pub name: String,
+    pub kind: SeriesKind,
+    pub points: Vec<(f64, f64)>,
+    /// Palette index (cycled).
+    pub color: usize,
+    /// Highlighted series draw thicker / larger (the Fig. 5 "target in
+    /// red" idiom).
+    pub highlight: bool,
+}
+
+impl Series {
+    pub fn line(name: impl Into<String>, points: Vec<(f64, f64)>, color: usize) -> Series {
+        Series {
+            name: name.into(),
+            kind: SeriesKind::Line,
+            points,
+            color,
+            highlight: false,
+        }
+    }
+
+    pub fn scatter(name: impl Into<String>, points: Vec<(f64, f64)>, color: usize) -> Series {
+        Series {
+            name: name.into(),
+            kind: SeriesKind::Scatter,
+            points,
+            color,
+            highlight: false,
+        }
+    }
+
+    pub fn highlighted(mut self) -> Series {
+        self.highlight = true;
+        self
+    }
+}
+
+/// A 2-D chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chart {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub width: u32,
+    pub height: u32,
+    pub log_x: bool,
+    pub log_y: bool,
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    pub fn new(title: impl Into<String>) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 800,
+            height: 500,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    pub fn with_labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Chart {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    pub fn with_log_y(mut self) -> Chart {
+        self.log_y = true;
+        self
+    }
+
+    pub fn with_log_x(mut self) -> Chart {
+        self.log_x = true;
+        self
+    }
+
+    pub fn add_series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    fn transform(v: f64, log: bool) -> Option<f64> {
+        if log {
+            (v > 0.0).then(|| v.log10())
+        } else {
+            v.is_finite().then_some(v)
+        }
+    }
+
+    /// Render to an SVG string.
+    pub fn render(&self) -> String {
+        let (w, h) = (f64::from(self.width), f64::from(self.height));
+        let margin = (70.0, 40.0, 60.0, 90.0); // left, top, bottom-extra, right(legend)
+        let plot_w = w - margin.0 - margin.3;
+        let plot_h = h - margin.1 - margin.2;
+
+        // Collect transformed extents.
+        let mut pts: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (si, s) in self.series.iter().enumerate() {
+            let mut tp = Vec::with_capacity(s.points.len());
+            for &(x, y) in &s.points {
+                if let (Some(tx), Some(ty)) =
+                    (Self::transform(x, self.log_x), Self::transform(y, self.log_y))
+                {
+                    xmin = xmin.min(tx);
+                    xmax = xmax.max(tx);
+                    ymin = ymin.min(ty);
+                    ymax = ymax.max(ty);
+                    tp.push((tx, ty));
+                }
+            }
+            pts.push((si, tp));
+        }
+        if !xmin.is_finite() {
+            xmin = 0.0;
+            xmax = 1.0;
+        }
+        if !ymin.is_finite() {
+            ymin = 0.0;
+            ymax = 1.0;
+        }
+        if (xmax - xmin).abs() < 1e-300 {
+            xmax = xmin + 1.0;
+        }
+        if (ymax - ymin).abs() < 1e-300 {
+            ymax = ymin + 1.0;
+        }
+        let sx = |x: f64| margin.0 + (x - xmin) / (xmax - xmin) * plot_w;
+        let sy = |y: f64| margin.1 + plot_h - (y - ymin) / (ymax - ymin) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+            self.width, self.height, self.width, self.height
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="100%" height="100%" fill="white"/><text x="{}" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            w / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{}" y="{}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##,
+            margin.0, margin.1
+        );
+
+        // Ticks + grid.
+        for t in nice_ticks(xmin, xmax, 6) {
+            let x = sx(t);
+            let label = format_tick(t, self.log_x);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="#ddd"/><text x="{x}" y="{}" font-size="11" text-anchor="middle" font-family="sans-serif">{label}</text>"##,
+                margin.1,
+                margin.1 + plot_h,
+                margin.1 + plot_h + 18.0
+            );
+        }
+        for t in nice_ticks(ymin, ymax, 6) {
+            let y = sy(t);
+            let label = format_tick(t, self.log_y);
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/><text x="{}" y="{}" font-size="11" text-anchor="end" font-family="sans-serif">{label}</text>"##,
+                margin.0,
+                margin.0 + plot_w,
+                margin.0 - 6.0,
+                y + 4.0
+            );
+        }
+
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="13" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            margin.0 + plot_w / 2.0,
+            h - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" font-size="13" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 {})">{}</text>"#,
+            margin.1 + plot_h / 2.0,
+            margin.1 + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (si, tp) in &pts {
+            let s = &self.series[*si];
+            let color = if s.highlight {
+                "#D00000"
+            } else {
+                PALETTE[s.color % PALETTE.len()]
+            };
+            match s.kind {
+                SeriesKind::Line => {
+                    let width = if s.highlight { 3.0 } else { 1.6 };
+                    let mut path = String::new();
+                    for (i, &(x, y)) in tp.iter().enumerate() {
+                        let _ = write!(
+                            path,
+                            "{}{:.2},{:.2} ",
+                            if i == 0 { "M" } else { "L" },
+                            sx(x),
+                            sy(y)
+                        );
+                    }
+                    let _ = write!(
+                        svg,
+                        r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="{width}" class="series"/>"#
+                    );
+                }
+                SeriesKind::Scatter => {
+                    let r = if s.highlight { 5.0 } else { 2.6 };
+                    let _ = write!(svg, r#"<g fill="{color}" class="series">"#);
+                    for &(x, y) in tp {
+                        let _ = write!(
+                            svg,
+                            r#"<circle cx="{:.2}" cy="{:.2}" r="{r}"/>"#,
+                            sx(x),
+                            sy(y)
+                        );
+                    }
+                    svg.push_str("</g>");
+                }
+            }
+        }
+
+        // Legend (cap entries to keep 32-series figures readable).
+        let legend_max = 12usize;
+        for (i, s) in self.series.iter().take(legend_max).enumerate() {
+            let y = margin.1 + 14.0 * i as f64 + 8.0;
+            let x = margin.0 + plot_w + 8.0;
+            let color = if s.highlight {
+                "#D00000"
+            } else {
+                PALETTE[s.color % PALETTE.len()]
+            };
+            let _ = write!(
+                svg,
+                r#"<rect x="{x}" y="{}" width="10" height="10" fill="{color}"/><text x="{}" y="{}" font-size="10" font-family="sans-serif">{}</text>"#,
+                y - 8.0,
+                x + 14.0,
+                y + 1.0,
+                escape(&s.name)
+            );
+        }
+        if self.series.len() > legend_max {
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="10" font-family="sans-serif">… {} more</text>"#,
+                margin.0 + plot_w + 8.0,
+                margin.1 + 14.0 * legend_max as f64 + 8.0,
+                self.series.len() - legend_max
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn format_tick(t: f64, log: bool) -> String {
+    if log {
+        // Tick value is an exponent.
+        if t.fract() == 0.0 && t.abs() < 24.0 {
+            return format!("1e{}", t as i64);
+        }
+        return format!("1e{t:.1}");
+    }
+    if t == 0.0 {
+        return "0".to_string();
+    }
+    let a = t.abs();
+    if a >= 1e5 || a < 1e-3 {
+        format!("{t:.1e}")
+    } else if t.fract() == 0.0 {
+        format!("{t:.0}")
+    } else {
+        format!("{t:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+/// "Nice" tick positions covering [min, max] with about `n` ticks.
+pub fn nice_ticks(min: f64, max: f64, n: usize) -> Vec<f64> {
+    if !(min.is_finite() && max.is_finite()) || max <= min || n == 0 {
+        return vec![];
+    }
+    let raw_step = (max - min) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= max + step * 1e-9 {
+        // Snap tiny float error to zero.
+        ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        t += step;
+    }
+    ticks
+}
+
+/// Histogram helper: equal-width bins over finite values.
+/// Returns `(bin_center, count)` pairs ready for a line/bar chart.
+pub fn histogram(values: &[f64], bins: usize) -> Vec<(f64, f64)> {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if clean.is_empty() || bins == 0 {
+        return vec![];
+    }
+    let min = clean.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((max - min) / bins as f64).max(f64::MIN_POSITIVE);
+    let mut counts = vec![0usize; bins];
+    for v in &clean {
+        let idx = (((v - min) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (min + (i as f64 + 0.5) * width, c as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_ticks_cover_range() {
+        let ticks = nice_ticks(0.0, 10.0, 5);
+        assert!(!ticks.is_empty());
+        assert!(ticks.first().unwrap() >= &0.0);
+        assert!(ticks.last().unwrap() <= &10.0);
+        let steps: Vec<f64> = ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(steps.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+    }
+
+    #[test]
+    fn nice_ticks_degenerate() {
+        assert!(nice_ticks(1.0, 1.0, 5).is_empty());
+        assert!(nice_ticks(f64::NAN, 1.0, 5).is_empty());
+    }
+
+    #[test]
+    fn render_contains_series_and_labels() {
+        let mut c = Chart::new("Halo mass growth").with_labels("timestep", "mass [Msun/h]");
+        c.add_series(Series::line("sim 0", vec![(0.0, 1.0), (1.0, 2.0)], 0));
+        c.add_series(Series::scatter("sim 1", vec![(0.5, 1.5)], 1));
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("class=\"series\"").count(), 2);
+        assert!(svg.contains("Halo mass growth"));
+        assert!(svg.contains("timestep"));
+        assert!(svg.contains("sim 1"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let mut c = Chart::new("log").with_log_y();
+        c.add_series(Series::line("s", vec![(0.0, -5.0), (1.0, 10.0), (2.0, 100.0)], 0));
+        let svg = c.render();
+        // Only two points survive -> path has one M and one L.
+        let path_start = svg.find("<path").unwrap();
+        let path = &svg[path_start..svg[path_start..].find("/>").unwrap() + path_start];
+        assert_eq!(path.matches('L').count(), 1);
+    }
+
+    #[test]
+    fn highlight_draws_red() {
+        let mut c = Chart::new("h");
+        c.add_series(Series::scatter("target", vec![(1.0, 1.0)], 0).highlighted());
+        assert!(c.render().contains("#D00000"));
+    }
+
+    #[test]
+    fn histogram_bins_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = histogram(&values, 10);
+        assert_eq!(h.len(), 10);
+        assert!(h.iter().all(|&(_, c)| (c - 10.0).abs() < 1e-9));
+        assert!(histogram(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn title_escaped() {
+        let c = Chart::new("a < b & c");
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn empty_chart_still_valid() {
+        let svg = Chart::new("empty").render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn legend_caps_at_twelve() {
+        let mut c = Chart::new("many");
+        for i in 0..32 {
+            c.add_series(Series::line(format!("sim {i}"), vec![(0.0, i as f64)], i));
+        }
+        let svg = c.render();
+        assert!(svg.contains("… 20 more"));
+    }
+}

@@ -1,0 +1,140 @@
+//! VTK legacy ASCII scene writer (ParaView substitute).
+//!
+//! The paper's Fig. 5 renders a target dark-matter halo and its ≤20 Mpc
+//! neighborhood in ParaView, with the target highlighted red. InferA's
+//! custom ParaView tooling emits scene files; this module writes the
+//! standard VTK legacy polydata format (point cloud + per-point scalars)
+//! that ParaView opens directly.
+
+use std::fmt::Write as _;
+
+/// A 3-D point-cloud scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    pub title: String,
+    points: Vec<[f32; 3]>,
+    /// Per-point scalar (rendered via lookup table; by convention 1.0
+    /// marks the highlighted target, 0.0 ordinary points).
+    scalars: Vec<f32>,
+    /// Per-point radius attribute (e.g. halo R500c) for glyph scaling.
+    radii: Vec<f32>,
+}
+
+impl Scene {
+    pub fn new(title: impl Into<String>) -> Scene {
+        Scene {
+            title: title.into(),
+            points: Vec::new(),
+            scalars: Vec::new(),
+            radii: Vec::new(),
+        }
+    }
+
+    /// Add one point.
+    pub fn add_point(&mut self, pos: [f32; 3], scalar: f32, radius: f32) {
+        self.points.push(pos);
+        self.scalars.push(scalar);
+        self.radii.push(radius);
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Serialize as VTK legacy ASCII polydata.
+    pub fn to_vtk(&self) -> String {
+        let n = self.points.len();
+        let mut out = String::new();
+        out.push_str("# vtk DataFile Version 3.0\n");
+        // Title line must be a single line.
+        let title: String = self.title.chars().filter(|c| *c != '\n').take(250).collect();
+        let _ = writeln!(out, "{title}");
+        out.push_str("ASCII\nDATASET POLYDATA\n");
+        let _ = writeln!(out, "POINTS {n} float");
+        for p in &self.points {
+            let _ = writeln!(out, "{} {} {}", p[0], p[1], p[2]);
+        }
+        let _ = writeln!(out, "VERTICES {n} {}", 2 * n);
+        for i in 0..n {
+            let _ = writeln!(out, "1 {i}");
+        }
+        let _ = writeln!(out, "POINT_DATA {n}");
+        out.push_str("SCALARS highlight float 1\nLOOKUP_TABLE default\n");
+        for s in &self.scalars {
+            let _ = writeln!(out, "{s}");
+        }
+        out.push_str("SCALARS radius float 1\nLOOKUP_TABLE default\n");
+        for r in &self.radii {
+            let _ = writeln!(out, "{r}");
+        }
+        out
+    }
+
+    /// Write to a `.vtk` file.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_vtk())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> Scene {
+        let mut s = Scene::new("halo neighborhood");
+        s.add_point([1.0, 2.0, 3.0], 1.0, 0.8); // target
+        s.add_point([4.0, 5.0, 6.0], 0.0, 0.3);
+        s.add_point([7.0, 8.0, 9.0], 0.0, 0.2);
+        s
+    }
+
+    #[test]
+    fn vtk_structure() {
+        let text = scene().to_vtk();
+        assert!(text.starts_with("# vtk DataFile Version 3.0\n"));
+        assert!(text.contains("DATASET POLYDATA"));
+        assert!(text.contains("POINTS 3 float"));
+        assert!(text.contains("VERTICES 3 6"));
+        assert!(text.contains("POINT_DATA 3"));
+        assert!(text.contains("SCALARS highlight float 1"));
+        assert!(text.contains("SCALARS radius float 1"));
+    }
+
+    #[test]
+    fn point_and_scalar_counts_match() {
+        let text = scene().to_vtk();
+        let lines: Vec<&str> = text.lines().collect();
+        let points_idx = lines.iter().position(|l| l.starts_with("POINTS")).unwrap();
+        assert_eq!(lines[points_idx + 1], "1 2 3");
+        // Exactly one scalar value of 1.0 (the highlighted target).
+        let highlight_idx = lines
+            .iter()
+            .position(|l| l.starts_with("SCALARS highlight"))
+            .unwrap();
+        let vals = &lines[highlight_idx + 2..highlight_idx + 5];
+        assert_eq!(vals.iter().filter(|v| **v == "1").count(), 1);
+    }
+
+    #[test]
+    fn title_newlines_stripped() {
+        let mut s = Scene::new("line1\nline2");
+        s.add_point([0.0; 3], 0.0, 0.0);
+        let text = s.to_vtk();
+        assert!(text.lines().nth(1).unwrap().contains("line1line2"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("infera_vtk_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scene.vtk");
+        scene().write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("POINTS 3 float"));
+        std::fs::remove_file(&path).ok();
+    }
+}

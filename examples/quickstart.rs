@@ -1,0 +1,64 @@
+//! Quickstart: generate a small synthetic HACC ensemble, open an InferA
+//! session, and ask a question in natural language.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use infera::prelude::*;
+use std::path::PathBuf;
+
+fn main() {
+    let base = PathBuf::from(
+        std::env::var("INFERA_EXAMPLE_DIR").unwrap_or_else(|_| "target/example-quickstart".into()),
+    );
+    std::fs::remove_dir_all(&base).ok();
+
+    // 1. Generate (or point at) an ensemble. `tiny` keeps this example
+    //    fast; see `EnsembleSpec::eval_scale` for the evaluation size.
+    println!("generating a 2-simulation synthetic HACC ensemble ...");
+    let manifest = infera::hacc::generate(&EnsembleSpec::tiny(42), &base.join("ensemble"))
+        .expect("ensemble generation");
+    println!(
+        "  -> {} simulations x {} snapshots, {:.1} MB on disk\n",
+        manifest.n_sims,
+        manifest.steps.len(),
+        manifest.total_bytes() as f64 / 1e6
+    );
+
+    // 2. Open a session. The default config uses the calibrated GPT-4o
+    //    behaviour profile; `BehaviorProfile::perfect()` disables error
+    //    injection for deterministic demos.
+    let session = InferA::new(
+        manifest,
+        &base.join("work"),
+        SessionConfig {
+            seed: 42,
+            profile: BehaviorProfile::perfect(),
+            run_config: RunConfig::default(),
+        },
+    );
+
+    // 3. Preview the planning stage (what the user reviews and approves).
+    let question =
+        "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?";
+    let (_intent, plan) = session.plan(question).expect("planning");
+    println!("planned analysis for: {question}\n{}", plan.to_text());
+
+    // 4. Run the full two-stage workflow.
+    let report = session.ask(question).expect("analysis run");
+    println!("completed: {} (redo iterations: {})", report.completed, report.redos);
+    println!(
+        "tokens: {}, storage overhead: {:.2} MB, wall: {:.1} s (+{:.1} s simulated LLM latency)",
+        report.tokens,
+        report.storage_bytes as f64 / 1e6,
+        report.wall_ms as f64 / 1000.0,
+        report.llm_latency_ms as f64 / 1000.0,
+    );
+
+    // 5. Inspect the result frame and the provenance trail.
+    let result = report.result.expect("result frame");
+    println!("\ntop halos (first rows):\n{}", result.head(5).to_display(5));
+    println!("provenance + artifacts live under {}", base.join("work/run_0002").display());
+    println!("documentation summary:\n{}", report.summary);
+}

@@ -1,0 +1,259 @@
+//! The InferA command-line interface.
+//!
+//! ```text
+//! infera generate --out ens --sims 4 --steps 16 --halos 2000 --particles 20000
+//! infera plan     --ensemble ens "top 20 largest halos at timestep 498 in simulation 0"
+//! infera ask      --ensemble ens --work work [--perfect] [--feedback] "<question>"
+//! infera questions
+//! infera audit    --run work/run_0001
+//! ```
+
+use infera::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Print to stdout, exiting quietly when the reader hangs up (`infera
+/// questions | head` must not panic on the broken pipe).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        let mut stdout = std::io::stdout().lock();
+        if writeln!(stdout, $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "plan" => cmd_plan(&args[1..]),
+        "ask" => cmd_ask(&args[1..]),
+        "questions" => cmd_questions(),
+        "audit" => cmd_audit(&args[1..]),
+        "--help" | "-h" | "help" => {
+            out!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+InferA — a smart assistant for cosmological ensemble data (Rust reproduction)
+
+USAGE:
+  infera generate --out <dir> [--sims N] [--steps N] [--halos N] [--particles N] [--seed N]
+      Generate a synthetic HACC ensemble.
+  infera plan --ensemble <dir> [--save <file>] \"<question>\"
+      Preview the analysis plan for a question (planning stage only);
+      --save writes it as editable JSON.
+  infera ask --ensemble <dir> [--work <dir>] [--seed N] [--perfect] [--feedback]
+             [--plan <file>] \"<question>\"
+      Run the full two-stage workflow. --perfect disables model error
+      injection; --feedback simulates a human in the loop; --plan executes
+      a user-edited plan saved by `plan --save`.
+  infera questions
+      List the 20-question evaluation set with difficulty labels.
+  infera audit --run <dir>
+      Print the provenance audit trail of a finished run directory.";
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+        None => Ok(default),
+    }
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Flags that take a value.
+const VALUE_FLAGS: &[&str] = &[
+    "--out", "--sims", "--steps", "--halos", "--particles", "--seed", "--ensemble", "--work",
+    "--run", "--save", "--plan",
+];
+/// Boolean flags.
+const BOOL_FLAGS: &[&str] = &["--perfect", "--feedback"];
+
+/// The trailing free argument (the question text). Unknown flags are an
+/// error — silently treating them as value-taking would swallow the
+/// question.
+fn free_text(args: &[String]) -> Result<Option<String>, String> {
+    let mut skip_next = false;
+    let mut free = Vec::new();
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                skip_next = true;
+            } else if !BOOL_FLAGS.contains(&a.as_str()) {
+                return Err(format!("unknown flag '{a}'"));
+            }
+            continue;
+        }
+        free.push(a.clone());
+    }
+    Ok((!free.is_empty()).then(|| free.join(" ")))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").ok_or("generate requires --out <dir>")?;
+    let sims: usize = flag_num(args, "--sims", 4)?;
+    let steps: usize = flag_num(args, "--steps", 16)?;
+    let halos: usize = flag_num(args, "--halos", 2000)?;
+    let particles: usize = flag_num(args, "--particles", 20_000)?;
+    let seed: u64 = flag_num(args, "--seed", 42)?;
+    let spec = EnsembleSpec {
+        n_sims: sims,
+        steps: EnsembleSpec::evenly_spaced_steps(steps),
+        sim: infera::hacc::SimConfig {
+            n_halos: halos,
+            particles_per_step: particles,
+            ..Default::default()
+        },
+        seed,
+        particle_block_rows: 16_384,
+    };
+    let manifest =
+        infera::hacc::generate(&spec, PathBuf::from(&out).as_path()).map_err(|e| e.to_string())?;
+    out!(
+        "generated {} simulations x {} snapshots under {out} ({:.1} MB)",
+        manifest.n_sims,
+        manifest.steps.len(),
+        manifest.total_bytes() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn session_from(args: &[String]) -> Result<InferA, String> {
+    let ens = flag_value(args, "--ensemble").ok_or("missing --ensemble <dir>")?;
+    let work = flag_value(args, "--work").unwrap_or_else(|| "infera-work".into());
+    let seed: u64 = flag_num(args, "--seed", 42)?;
+    let mut config = SessionConfig {
+        seed,
+        ..SessionConfig::default()
+    };
+    if has_flag(args, "--perfect") {
+        config.profile = BehaviorProfile::perfect();
+    }
+    if has_flag(args, "--feedback") {
+        config.run_config.human_feedback = true;
+    }
+    InferA::open(
+        PathBuf::from(&ens).as_path(),
+        PathBuf::from(&work).as_path(),
+        config,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let question = free_text(args)?.ok_or("plan requires a question")?;
+    let session = session_from(args)?;
+    let (intent, plan) = session.plan(&question).map_err(|e| e.to_string())?;
+    out!("## Extracted intent\n{intent:#?}\n");
+    out!("## Proposed plan ({} analysis steps)\n{}", plan.n_analysis_steps(), plan.to_text());
+    out!("rationale: {}", plan.rationale);
+    if let Some(path) = flag_value(args, "--save") {
+        let json = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| e.to_string())?;
+        out!("plan saved to {path} — edit it and run: infera ask --plan {path} ...");
+    }
+    Ok(())
+}
+
+fn cmd_ask(args: &[String]) -> Result<(), String> {
+    let question = free_text(args)?.ok_or("ask requires a question")?;
+    let session = session_from(args)?;
+    let report = match flag_value(args, "--plan") {
+        Some(path) => {
+            // The user-reviewed/edited plan (from `plan --save`).
+            let json = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            let plan: infera::agents::Plan =
+                serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+            session
+                .ask_with_plan(&question, plan)
+                .map_err(|e| e.to_string())?
+        }
+        None => session.ask(&question).map_err(|e| e.to_string())?,
+    };
+    out!("{}", report.summary);
+    if let Some(result) = &report.result {
+        out!("## Result frame\n{}", result.to_display(12));
+    }
+    out!(
+        "completed={} redos={} tokens={} storage={:.2} MB time={:.1}s (+{:.1}s simulated LLM latency)",
+        report.completed,
+        report.redos,
+        report.tokens,
+        report.storage_bytes as f64 / 1e6,
+        report.wall_ms as f64 / 1000.0,
+        report.llm_latency_ms as f64 / 1000.0
+    );
+    Ok(())
+}
+
+fn cmd_questions() -> Result<(), String> {
+    for q in infera::core::question_set() {
+        out!(
+            "Q{:<3} analysis={:<6} semantic={:<6} {:<22} {}",
+            q.id,
+            q.analysis.label(),
+            q.semantic.label(),
+            q.scope.label(),
+            q.text
+        );
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let run = flag_value(args, "--run").ok_or("audit requires --run <dir>")?;
+    let prov_dir = PathBuf::from(&run).join("provenance");
+    if !prov_dir.join("events.jsonl").is_file() {
+        return Err(format!(
+            "no provenance trail at {} (is --run a finished run directory?)",
+            prov_dir.display()
+        ));
+    }
+    let store = infera::provenance::ProvenanceStore::create(&prov_dir)
+        .map_err(|e| e.to_string())?;
+    out!("{}", store.audit_report());
+    let checkpoints =
+        infera::provenance::list_checkpoints(&store).map_err(|e| e.to_string())?;
+    for c in checkpoints {
+        out!(
+            "checkpoint {} '{}' (parent: {:?}, {} frames)",
+            c.id,
+            c.label,
+            c.parent,
+            c.frames.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # InferA (Rust reproduction)
+//!
+//! A multi-agent smart assistant for cosmological ensemble data —
+//! a from-scratch Rust reproduction of "InferA: A Smart Assistant for
+//! Cosmological Ensemble Data" (SC Workshops '25), including every
+//! substrate the paper depends on. This facade crate re-exports the
+//! workspace members; see the README for the architecture tour.
+//!
+//! ```no_run
+//! use infera::prelude::*;
+//!
+//! let manifest = infera::hacc::generate(
+//!     &EnsembleSpec::tiny(42),
+//!     std::path::Path::new("/tmp/infera-ens"),
+//! ).unwrap();
+//! let session = InferA::new(
+//!     manifest,
+//!     std::path::Path::new("/tmp/infera-work"),
+//!     SessionConfig::default(),
+//! );
+//! let report = session
+//!     .ask("Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?")
+//!     .unwrap();
+//! println!("{}", report.summary);
+//! ```
+
+pub use infera_agents as agents;
+pub use infera_columnar as columnar;
+pub use infera_core as core;
+pub use infera_frame as frame;
+pub use infera_hacc as hacc;
+pub use infera_llm as llm;
+pub use infera_provenance as provenance;
+pub use infera_rag as rag;
+pub use infera_sandbox as sandbox;
+pub use infera_viz as viz;
+
+/// Common imports for downstream users.
+pub mod prelude {
+    pub use infera_agents::{RunConfig, RunReport};
+    pub use infera_core::{EvalConfig, InferA, SessionConfig};
+    pub use infera_hacc::{EnsembleSpec, Manifest};
+    pub use infera_llm::{BehaviorProfile, SemanticLevel};
+}
