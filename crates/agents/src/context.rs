@@ -69,6 +69,10 @@ pub struct AgentContext {
     pub sandbox: SandboxServer,
     pub prov: ProvenanceStore,
     pub config: RunConfig,
+    /// The run's observability context: one trace tree + one metrics
+    /// registry shared by the model, the database, the sandbox, and the
+    /// workflow nodes.
+    pub obs: infera_obs::Obs,
 }
 
 impl AgentContext {
@@ -92,9 +96,11 @@ impl AgentContext {
         } else {
             profile
         };
-        let llm = SimulatedLlm::new(seed, profile, meter);
-        let db = Database::create(&session_dir.join("db"))
+        let obs = infera_obs::Obs::new();
+        let llm = SimulatedLlm::new(seed, profile, meter).with_tracer(obs.tracer.clone());
+        let mut db = Database::create(&session_dir.join("db"))
             .map_err(|e| AgentError::Fatal(e.to_string()))?;
+        db.set_obs(obs.clone());
         let prov = ProvenanceStore::create(&session_dir.join("provenance"))
             .map_err(|e| AgentError::Fatal(e.to_string()))?;
 
@@ -118,7 +124,7 @@ impl AgentContext {
 
         let mut tools = ToolRegistry::new();
         infera_sandbox::domain::register_domain_tools(&mut tools);
-        let sandbox = SandboxServer::new(tools);
+        let sandbox = SandboxServer::new(tools).with_obs(obs.clone());
 
         Ok(AgentContext {
             llm,
@@ -128,6 +134,7 @@ impl AgentContext {
             sandbox,
             prov,
             config,
+            obs,
         })
     }
 

@@ -164,7 +164,7 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
     }
 
     if spec.include_params {
-        let params = params_frame(ctx, &spec.sims);
+        let params = params_frame(ctx, &spec.sims)?;
         ctx.db.create_table("params", &params.schema())?;
         ctx.db.append("params", &params)?;
         state.frames.insert("params".to_string(), params);
@@ -180,22 +180,28 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
         total,
         100.0 * stats.bytes_read as f64 / total as f64,
     );
-    let manifest_art = ctx.prov.put_text(
-        ArtifactKind::Json,
-        &serde_json::to_string(&spec).expect("spec serializes"),
-    )?;
+    let spec_json = serde_json::to_string(&spec)
+        .map_err(|e| AgentError::Fatal(format!("load spec serialization: {e}")))?;
+    let manifest_art = ctx.prov.put_text(ArtifactKind::Json, &spec_json)?;
     ctx.prov
         .log_event("data_loading", "load_selective", vec![manifest_art], vec![], &note, 0, 0)?;
     Ok(stats)
 }
 
-/// The per-sim sub-grid parameter table.
-pub fn params_frame(ctx: &AgentContext, sims: &[u32]) -> DataFrame {
+/// The per-sim sub-grid parameter table. Sim indices come from the plan
+/// (ultimately the user's question), so an out-of-range index is a
+/// recoverable agent error, not a panic.
+pub fn params_frame(ctx: &AgentContext, sims: &[u32]) -> AgentResult<DataFrame> {
     let mut sim_col = Vec::new();
     let (mut f_sn, mut log_v_sn, mut log_t_agn, mut beta_bh, mut m_seed) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for &s in sims {
-        let p = ctx.manifest.params[s as usize];
+        let p = *ctx.manifest.params.get(s as usize).ok_or_else(|| {
+            AgentError::Recoverable(format!(
+                "simulation {s} does not exist (ensemble has {})",
+                ctx.manifest.params.len()
+            ))
+        })?;
         sim_col.push(i64::from(s));
         f_sn.push(p.f_sn);
         log_v_sn.push(p.log_v_sn);
@@ -211,7 +217,7 @@ pub fn params_frame(ctx: &AgentContext, sims: &[u32]) -> DataFrame {
         ("beta_bh", Column::F64(beta_bh)),
         ("m_seed", Column::F64(m_seed)),
     ])
-    .expect("params frame is well-formed")
+    .map_err(|e| AgentError::Fatal(format!("params frame construction: {e}")))
 }
 
 #[cfg(test)]
@@ -327,8 +333,9 @@ mod tests {
     #[test]
     fn params_frame_matches_manifest() {
         let c = ctx("params");
-        let p = params_frame(&c, &[1]);
+        let p = params_frame(&c, &[1]).unwrap();
         assert_eq!(p.n_rows(), 1);
+        assert!(params_frame(&c, &[999]).is_err(), "out-of-range sim is an error");
         let expected = c.manifest.params[1];
         assert_eq!(
             p.cell("f_sn", 0).unwrap().as_f64().unwrap(),

@@ -11,7 +11,7 @@
 //! output" (§4.1.2).
 
 use crate::context::AgentContext;
-use crate::error::AgentResult;
+use crate::error::{AgentError, AgentResult};
 use crate::qa::{run_generation_step, GenOutcome};
 use crate::state::{ComputeKind, RunState};
 use infera_provenance::ArtifactKind;
@@ -334,8 +334,11 @@ pub fn run_compute(
         if bad_analysis {
             state.flags.bad_analysis = true;
         }
-        let env = produced_env.expect("success implies env");
-        let result = produced_result.expect("success implies result");
+        let (Some(env), Some(result)) = (produced_env, produced_result) else {
+            return Err(AgentError::Fatal(
+                "compute step reported success without producing a result".into(),
+            ));
+        };
         // Merge every named frame back (checkpointability + later steps
         // referencing `<out>_pts` side frames).
         for (name, frame) in env {
@@ -505,7 +508,7 @@ mod tests {
             s.frames.insert("halos".to_string(), halos);
             s.frames.insert(
                 "params".to_string(),
-                crate::data_loading::params_frame(&c, &[0, 1]),
+                crate::data_loading::params_frame(&c, &[0, 1]).unwrap(),
             );
             let out = run_compute(
                 &c,

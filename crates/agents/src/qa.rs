@@ -174,6 +174,11 @@ pub fn run_generation_step(
     let mut attempt_log = String::new();
     let max_attempts = ctx.config.max_revisions + 1;
     for attempt in 0..max_attempts {
+        // One span per redo iteration: the trace shows exactly where a
+        // step's revision budget went.
+        let span = ctx.obs.tracer.span("attempt");
+        span.set_attr("agent", agent);
+        span.set_attr("attempt", attempt);
         let clean = synth(attempt);
         let text = corrupt_columns(&ctx.llm, &clean, &vocabulary, outstanding);
         let mut prompt = ctx.build_prompt(agent, state, task, &retrieved);
@@ -201,6 +206,7 @@ pub fn run_generation_step(
                 ctx.llm
                     .charge("qa", &qa_prompt, "assessment: scored with rationale");
                 if qa_passes(ctx, quality) {
+                    span.set_attr("outcome", "passed");
                     return GenOutcome {
                         redos: attempt,
                         success: true,
@@ -208,6 +214,7 @@ pub fn run_generation_step(
                         artifact: text,
                     };
                 }
+                span.set_attr("outcome", "qa_rejected");
                 last_error = "qa: output judged unsatisfactory, revise the approach".into();
                 // A QA-driven revision can also shake loose a latent
                 // error or introduce one.
@@ -216,6 +223,8 @@ pub fn run_generation_step(
                 }
             }
             Err(err) => {
+                span.set_attr("outcome", "error");
+                span.set_attr("error", err.as_str());
                 attempt_log.push_str(&format!("error: {err}\n"));
                 last_error = err;
                 if ctx.config.human_feedback {
@@ -236,6 +245,7 @@ pub fn run_generation_step(
             }
         }
     }
+    ctx.obs.metrics.inc("qa.budget_exhausted", 1);
     GenOutcome::new(max_attempts - 1, false, last_error)
 }
 

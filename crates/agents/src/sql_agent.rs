@@ -10,7 +10,7 @@
 //! drive the redo loop.
 
 use crate::context::AgentContext;
-use crate::error::AgentResult;
+use crate::error::{AgentError, AgentResult};
 use crate::qa::{run_generation_step, GenOutcome};
 use crate::state::{RunState, SqlSpec, TableSelect};
 use infera_provenance::ArtifactKind;
@@ -70,7 +70,11 @@ pub fn run_sql(ctx: &AgentContext, state: &mut RunState, spec: &SqlSpec) -> Agen
         if !outcome.success {
             return Ok(GenOutcome::new(total_redos, false, outcome.message));
         }
-        let frame = produced.expect("success implies a frame");
+        let Some(frame) = produced else {
+            return Err(AgentError::Fatal(
+                "sql step reported success without producing a frame".into(),
+            ));
+        };
         // Provenance: the executed SQL + the materialized frame.
         let sql_art = ctx.prov.put_text(ArtifactKind::Sql, &executed_sql)?;
         let frame_art = ctx.prov.put_frame(&frame)?;

@@ -8,7 +8,7 @@
 //! metrics.
 
 use crate::context::AgentContext;
-use crate::error::AgentResult;
+use crate::error::{AgentError, AgentResult};
 use crate::qa::{run_generation_step, GenOutcome};
 use crate::state::{RunState, VizKind};
 use infera_frame::DataFrame;
@@ -272,7 +272,11 @@ pub fn run_visualize(
         if bad_viz {
             state.flags.bad_viz = true;
         }
-        let (text, akind) = produced.expect("success implies artifact");
+        let Some((text, akind)) = produced else {
+            return Err(AgentError::Fatal(
+                "visualization step reported success without producing an artifact".into(),
+            ));
+        };
         let spec_art = ctx.prov.put_text(ArtifactKind::Text, &executed_spec)?;
         let viz_art = ctx.prov.put_text(akind, &text)?;
         ctx.prov.log_event(

@@ -16,8 +16,8 @@ use crate::planner::plan_question;
 use crate::qa::GenOutcome;
 use crate::state::{PlanStep, QualityFlags, RunState, StepOutcome};
 use infera_llm::SemanticLevel;
+use infera_obs::{render_breakdown, stage_breakdown, StageCost, Tracer};
 use std::rc::Rc;
-use std::time::Instant;
 
 /// Per-run report: the raw material of every Table 2 metric.
 #[derive(Debug, Clone)]
@@ -50,6 +50,32 @@ pub struct RunReport {
     pub visualizations: Vec<infera_provenance::ArtifactId>,
     /// Provenance/documentation summary.
     pub summary: String,
+    /// Per-agent cost attribution derived from the run's trace: wall
+    /// time, token usage, model calls, and redos per pipeline stage.
+    pub stage_costs: Vec<StageCost>,
+    /// The run's full trace, for JSONL export and post-hoc analysis.
+    pub trace: Tracer,
+}
+
+impl RunReport {
+    /// The per-stage breakdown as an aligned text table (time / tokens /
+    /// redos per agent node, plus a totals row).
+    pub fn breakdown_text(&self) -> String {
+        render_breakdown(&self.stage_costs)
+    }
+}
+
+/// Stamp a specialist node's span with its outcome and bump the run
+/// counters (redos consumed, step failures).
+fn finish_node(ctx: &AgentContext, span: &infera_obs::SpanGuard, out: &GenOutcome) {
+    span.set_attr("redos", out.redos);
+    span.set_attr("success", out.success);
+    if out.redos > 0 {
+        ctx.obs.metrics.inc("run.redos", u64::from(out.redos));
+    }
+    if !out.success {
+        ctx.obs.metrics.inc("run.step_failures", 1);
+    }
 }
 
 fn record(state: &mut RunState, agent: &str, out: GenOutcome) {
@@ -77,6 +103,9 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
     {
         let ctx = ctx.clone();
         g.add_node("supervisor", move |state: &mut RunState| {
+            let span = ctx.obs.tracer.span("node:supervisor");
+            span.set_attr("stage", "supervisor");
+            span.set_attr("step", state.step_idx);
             let step_desc = state
                 .plan
                 .steps
@@ -131,6 +160,9 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
     {
         let ctx = ctx.clone();
         g.add_node("data_loading", move |state: &mut RunState| {
+            let span = ctx.obs.tracer.span("node:data_loading");
+            span.set_attr("stage", "data_loading");
+            span.set_attr("step", state.step_idx);
             let Some(PlanStep::Load(spec)) = state.plan.steps.get(state.step_idx).cloned()
             else {
                 return Err(AgentError::Fatal("data_loading routed off-plan".into()));
@@ -140,6 +172,7 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
                 Err(AgentError::Fatal(m)) => return Err(AgentError::Fatal(m)),
                 Err(e) => GenOutcome::new(0, false, e.to_string()),
             };
+            finish_node(&ctx, &span, &out);
             state.history.push(format!("data_loading: {}", out.message));
             record(state, "data_loading", out);
             Ok(NodeOutcome::Continue)
@@ -150,11 +183,15 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
     {
         let ctx = ctx.clone();
         g.add_node("sql", move |state: &mut RunState| {
+            let span = ctx.obs.tracer.span("node:sql");
+            span.set_attr("stage", "sql");
+            span.set_attr("step", state.step_idx);
             let Some(PlanStep::Sql(spec)) = state.plan.steps.get(state.step_idx).cloned()
             else {
                 return Err(AgentError::Fatal("sql routed off-plan".into()));
             };
             let out = crate::sql_agent::run_sql(&ctx, state, &spec)?;
+            finish_node(&ctx, &span, &out);
             state.history.push(format!("sql: {}\n{}", out.message, out.artifact));
             record(state, "sql", out);
             Ok(NodeOutcome::Continue)
@@ -165,12 +202,16 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
     {
         let ctx = ctx.clone();
         g.add_node("python", move |state: &mut RunState| {
+            let span = ctx.obs.tracer.span("node:python");
+            span.set_attr("stage", "python");
+            span.set_attr("step", state.step_idx);
             let Some(PlanStep::Compute { kind, input, output }) =
                 state.plan.steps.get(state.step_idx).cloned()
             else {
                 return Err(AgentError::Fatal("python routed off-plan".into()));
             };
             let out = crate::python_agent::run_compute(&ctx, state, &kind, &input, &output)?;
+            finish_node(&ctx, &span, &out);
             state.history.push(format!(
                 "python[{}]: {}\n{}",
                 kind.label(),
@@ -186,12 +227,16 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
     {
         let ctx = ctx.clone();
         g.add_node("visualization", move |state: &mut RunState| {
+            let span = ctx.obs.tracer.span("node:visualization");
+            span.set_attr("stage", "visualization");
+            span.set_attr("step", state.step_idx);
             let Some(PlanStep::Visualize { kind, input, title }) =
                 state.plan.steps.get(state.step_idx).cloned()
             else {
                 return Err(AgentError::Fatal("visualization routed off-plan".into()));
             };
             let out = crate::viz_agent::run_visualize(&ctx, state, &kind, &input, &title)?;
+            finish_node(&ctx, &span, &out);
             state.history.push(format!(
                 "visualization[{}]: {}\n{}",
                 kind.label(),
@@ -207,6 +252,8 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
     {
         let ctx = ctx.clone();
         g.add_node("documentation", move |state: &mut RunState| {
+            let span = ctx.obs.tracer.span("node:documentation");
+            span.set_attr("stage", "documentation");
             run_documentation(&ctx, state)?;
             Ok(NodeOutcome::End)
         });
@@ -262,7 +309,13 @@ pub fn run_question(
     question: &str,
     semantic: SemanticLevel,
 ) -> AgentResult<RunReport> {
-    let (_intent, plan) = plan_question(&ctx, question);
+    let plan = {
+        let span = ctx.obs.tracer.span("node:planning");
+        span.set_attr("stage", "planner");
+        let (_intent, plan) = plan_question(&ctx, question);
+        span.set_attr("plan_steps", plan.steps.len());
+        plan
+    };
     run_question_with_plan(ctx, question, semantic, plan)
 }
 
@@ -275,7 +328,11 @@ pub fn run_question_with_plan(
     semantic: SemanticLevel,
     plan: crate::state::Plan,
 ) -> AgentResult<RunReport> {
-    let start = Instant::now();
+    // The analysis span is the run's wall-clock authority: `wall_ms`
+    // below is this span's duration, so the trace and the report can
+    // never disagree (the old parallel `Instant::now()` path is gone).
+    let analysis_span = ctx.obs.tracer.span("analysis");
+    analysis_span.set_attr("question", question);
     let mut state = RunState::new(question, semantic, plan);
 
     let graph = build_workflow(ctx.clone());
@@ -288,7 +345,7 @@ pub fn run_question_with_plan(
         "completed_steps": state.outcomes.iter().filter(|o| o.success).count(),
         "failed": state.failed,
     }))
-    .expect("state json");
+    .map_err(|e| AgentError::Fatal(format!("checkpoint state serialization: {e}")))?;
     infera_provenance::save_checkpoint(&ctx.prov, "final", None, &state.frames, &state_json)
         .map_err(AgentError::from)?;
 
@@ -305,6 +362,14 @@ pub fn run_question_with_plan(
             _ => None,
         });
 
+    if state.failed {
+        ctx.obs.metrics.inc("run.aborts", 1);
+    }
+    analysis_span.set_attr("completed", completed);
+    analysis_span.set_attr("redos", u64::from(state.total_redos()));
+    let wall_us = analysis_span.finish();
+    let stage_costs = stage_breakdown(&ctx.obs.tracer);
+
     Ok(RunReport {
         question: question.to_string(),
         plan_steps: state.plan.n_analysis_steps(),
@@ -315,12 +380,14 @@ pub fn run_question_with_plan(
         satisfactory_viz,
         tokens: ctx.llm.meter().total_tokens(),
         llm_latency_ms: ctx.llm.meter().total_latency_ms(),
-        wall_ms: start.elapsed().as_millis() as u64,
+        wall_ms: wall_us / 1000,
         storage_bytes: ctx.db.total_bytes() + ctx.prov.storage_bytes(),
         flags: state.flags,
         result,
         visualizations: state.visualizations.clone(),
         summary: state.summary.clone(),
+        stage_costs,
+        trace: ctx.obs.tracer.clone(),
     })
 }
 
@@ -439,6 +506,55 @@ mod tests {
         }
         // Checkpoint saved for branching.
         assert!(!infera_provenance::list_checkpoints(&c.prov).unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_reconciles_with_report() {
+        let c = ctx("tracerec", 5, BehaviorProfile::default());
+        let report = run_question(
+            c.clone(),
+            "How many halos are there at each timestep in simulation 0? Plot the count over time.",
+            SemanticLevel::Easy,
+        )
+        .unwrap();
+
+        // Every model call is charged to the meter AND traced as an
+        // `llm_call` event, so the per-stage token/latency sums must
+        // reconcile exactly with the report totals.
+        let token_sum: u64 = report.stage_costs.iter().map(|s| s.tokens).sum();
+        assert_eq!(token_sum, report.tokens);
+        let latency_sum: u64 = report.stage_costs.iter().map(|s| s.llm_latency_ms).sum();
+        assert_eq!(latency_sum, report.llm_latency_ms);
+        let redo_sum: u64 = report.stage_costs.iter().map(|s| s.redos).sum();
+        assert_eq!(redo_sum, u64::from(report.redos));
+
+        let stages: Vec<&str> = report.stage_costs.iter().map(|s| s.stage.as_str()).collect();
+        for required in ["planner", "supervisor", "sql", "documentation"] {
+            assert!(stages.contains(&required), "missing stage {required} in {stages:?}");
+        }
+
+        // wall_ms is the analysis span's duration; specialist stage spans
+        // nest inside it, planning runs just before it.
+        let analysis_wall_us: u64 = report
+            .stage_costs
+            .iter()
+            .filter(|s| s.stage != "planner")
+            .map(|s| s.wall_us)
+            .sum();
+        assert!(
+            analysis_wall_us / 1000 <= report.wall_ms + 1,
+            "stage wall {analysis_wall_us}us exceeds run wall {}ms",
+            report.wall_ms
+        );
+
+        // The trace exports as parseable JSONL covering every span.
+        let jsonl = infera_obs::trace_to_jsonl(&report.trace, &std::collections::BTreeMap::new());
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["type"] == "span" || v["type"] == "event");
+        }
+        assert!(c.obs.metrics.counter("sql.queries") > 0);
     }
 
     #[test]

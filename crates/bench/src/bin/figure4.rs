@@ -66,6 +66,21 @@ fn main() {
         (report.wall_ms + report.llm_latency_ms) as f64 / 1000.0
     );
     println!("  tokens:              {:>12}     (126,568)", report.tokens);
+    println!("\nper-stage cost breakdown:");
+    println!("{}", report.breakdown_text());
+    let trace_path = std::env::var("INFERA_TRACE").unwrap_or_default();
+    if !trace_path.is_empty() {
+        let mut run_attrs = std::collections::BTreeMap::new();
+        run_attrs.insert(
+            "question".to_string(),
+            infera_obs::AttrValue::from(QUERY),
+        );
+        let jsonl = infera_obs::trace_to_jsonl(&report.trace, &run_attrs);
+        match std::fs::write(&trace_path, jsonl) {
+            Ok(()) => eprintln!("[figure4] trace written to {trace_path}"),
+            Err(e) => eprintln!("[figure4] trace export failed: {e}"),
+        }
+    }
     // The final compute is the per-halo growth fit; one row per tracked halo.
     println!("  tracked halos (growth fits): {}", result.n_rows());
     if result.has_column("slope") {

@@ -39,7 +39,23 @@ fn main() {
     );
     println!("\n{}", results.storage_study());
 
+    // Attributed cost profile: where the wall time and tokens went,
+    // aggregated over every run from the per-run traces.
+    println!("\nper-stage cost breakdown (all runs):");
+    println!("{}", results.stage_breakdown_text());
+
     let out = work.join("table2.txt");
     std::fs::write(&out, &text).expect("write table2.txt");
     eprintln!("[table2] written to {}", out.display());
+
+    // Opt-in trace export: INFERA_TRACE=<path> dumps every run's span
+    // tree as JSONL for offline analysis.
+    let trace_path = std::env::var("INFERA_TRACE").unwrap_or_default();
+    if !trace_path.is_empty() {
+        let path = std::path::PathBuf::from(trace_path);
+        match results.write_trace_jsonl(&path) {
+            Ok(()) => eprintln!("[table2] trace written to {}", path.display()),
+            Err(e) => eprintln!("[table2] trace export failed: {e}"),
+        }
+    }
 }

@@ -21,6 +21,7 @@ pub struct Database {
     tables: RwLock<HashMap<String, std::sync::Arc<RwLock<TableStore>>>>,
     /// Rows per chunk used for appends.
     pub chunk_rows: usize,
+    obs: infera_obs::Obs,
 }
 
 impl Database {
@@ -32,9 +33,21 @@ impl Database {
             root: root.to_path_buf(),
             tables: RwLock::new(HashMap::new()),
             chunk_rows: DEFAULT_CHUNK_ROWS,
+            obs: infera_obs::Obs::default(),
         };
         db.load_existing()?;
         Ok(db)
+    }
+
+    /// Attach an observability context: SQL entry points record spans
+    /// and metrics into it (a fresh private context is used otherwise).
+    pub fn set_obs(&mut self, obs: infera_obs::Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability context in force.
+    pub fn obs(&self) -> &infera_obs::Obs {
+        &self.obs
     }
 
     /// Open an existing database directory.
@@ -203,30 +216,76 @@ impl Database {
             .sum()
     }
 
+    fn parse_traced(&self, sql: &str) -> DbResult<Statement> {
+        let span = self.obs.tracer.span("sql:parse");
+        match parse(sql) {
+            Ok(stmt) => Ok(stmt),
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+                self.obs.metrics.inc("sql.parse_errors", 1);
+                Err(e)
+            }
+        }
+    }
+
+    fn record_exec(&self, span: &infera_obs::SpanGuard, result: &DbResult<(DataFrame, ExecStats)>) {
+        match result {
+            Ok((frame, stats)) => {
+                span.set_attr("rows_out", frame.n_rows());
+                span.set_attr("rows_scanned", stats.rows_scanned);
+                span.set_attr("chunks_skipped", stats.chunks_skipped);
+                self.obs.metrics.inc("sql.chunks_skipped", stats.chunks_skipped as u64);
+                self.obs.metrics.observe("sql.rows_scanned", stats.rows_scanned as f64);
+            }
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+                self.obs.metrics.inc("sql.exec_errors", 1);
+            }
+        }
+        self.obs.metrics.observe("sql.exec_us", span.elapsed_us() as f64);
+    }
+
     /// Parse and execute any SQL statement.
     pub fn execute_sql(&self, sql: &str) -> DbResult<ExecOutcome> {
-        let stmt = parse(sql)?;
-        execute(self, &stmt)
+        let span = self.obs.tracer.span("sql:query");
+        self.obs.metrics.inc("sql.queries", 1);
+        let stmt = self.parse_traced(sql)?;
+        let result = execute(self, &stmt);
+        match &result {
+            Ok(out) => {
+                span.set_attr("rows_out", out.frame.n_rows());
+                span.set_attr("rows_scanned", out.stats.rows_scanned);
+                span.set_attr("chunks_skipped", out.stats.chunks_skipped);
+                self.obs
+                    .metrics
+                    .inc("sql.chunks_skipped", out.stats.chunks_skipped as u64);
+            }
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+                self.obs.metrics.inc("sql.exec_errors", 1);
+            }
+        }
+        self.obs.metrics.observe("sql.exec_us", span.elapsed_us() as f64);
+        result
     }
 
     /// Parse and execute a SELECT, returning the result frame.
     pub fn query(&self, sql: &str) -> DbResult<DataFrame> {
-        match parse(sql)? {
-            Statement::Select(sel) => Ok(run_select(self, &sel)?.0),
-            other => Err(DbError::Plan(format!(
-                "query() expects SELECT, got {other:?}; use execute_sql()"
-            ))),
-        }
+        Ok(self.query_with_stats(sql)?.0)
     }
 
     /// Parse and execute a SELECT, returning frame + stats.
     pub fn query_with_stats(&self, sql: &str) -> DbResult<(DataFrame, ExecStats)> {
-        match parse(sql)? {
+        let span = self.obs.tracer.span("sql:query");
+        self.obs.metrics.inc("sql.queries", 1);
+        let result = match self.parse_traced(sql)? {
             Statement::Select(sel) => run_select(self, &sel),
             other => Err(DbError::Plan(format!(
-                "query_with_stats() expects SELECT, got {other:?}"
+                "query() expects SELECT, got {other:?}; use execute_sql()"
             ))),
-        }
+        };
+        self.record_exec(&span, &result);
+        result
     }
 }
 

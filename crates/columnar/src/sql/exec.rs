@@ -67,7 +67,18 @@ pub fn execute(db: &Database, stmt: &Statement) -> DbResult<ExecOutcome> {
 
 /// Execute a SELECT.
 pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecStats)> {
-    let plan = resolve(sel, db)?;
+    let plan = {
+        let span = db.obs().tracer.span("sql:plan");
+        match resolve(sel, db) {
+            Ok(plan) => plan,
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+                db.obs().metrics.inc("sql.plan_errors", 1);
+                return Err(e);
+            }
+        }
+    };
+    let exec_span = db.obs().tracer.span("sql:exec");
     let mut stats = ExecStats::default();
 
     // Materialize the join's build side once, if any.
@@ -183,6 +194,10 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
         out = out.head(limit);
     }
     stats.rows_output = out.n_rows() as u64;
+    exec_span.set_attr("rows_output", stats.rows_output);
+    exec_span.set_attr("rows_scanned", stats.rows_scanned);
+    exec_span.set_attr("chunks_total", stats.chunks_total);
+    exec_span.set_attr("chunks_skipped", stats.chunks_skipped);
     Ok((out, stats))
 }
 

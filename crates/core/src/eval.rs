@@ -255,6 +255,45 @@ impl EvalResults {
         }
         100.0 * runs.iter().map(|r| r.completion_fraction).sum::<f64>() / runs.len() as f64
     }
+
+    /// Per-stage cost attribution summed across every run: where the
+    /// wall time, tokens, and redos of the whole evaluation went.
+    pub fn stage_costs(&self) -> Vec<infera_obs::StageCost> {
+        let per_run: Vec<Vec<infera_obs::StageCost>> = self
+            .per_question
+            .iter()
+            .flat_map(|q| q.runs.iter())
+            .map(|r| r.stage_costs.clone())
+            .collect();
+        infera_obs::merge_stage_costs(&per_run)
+    }
+
+    /// The attributed cost profile as a text table (per agent node,
+    /// summed across all runs).
+    pub fn stage_breakdown_text(&self) -> String {
+        infera_obs::render_breakdown(&self.stage_costs())
+    }
+
+    /// Write every run's trace as one JSON Lines file: each line carries
+    /// `run` attributes (`question`, `run`) so lines group by run.
+    pub fn write_trace_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(path)?;
+        for qr in &self.per_question {
+            for (run_idx, report) in qr.runs.iter().enumerate() {
+                let mut run_attrs = std::collections::BTreeMap::new();
+                run_attrs.insert(
+                    "question".to_string(),
+                    infera_obs::AttrValue::from(u64::from(qr.question.id)),
+                );
+                run_attrs.insert("run".to_string(), infera_obs::AttrValue::from(run_idx));
+                file.write_all(
+                    infera_obs::trace_to_jsonl(&report.trace, &run_attrs).as_bytes(),
+                )?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +357,38 @@ mod tests {
         // With the calibrated profile some attempts need revision.
         assert!(total.redos >= 0.0); // smoke: aggregation well-formed
         assert_eq!(r.per_question[0].runs.len(), 3);
+    }
+
+    #[test]
+    fn stage_costs_reconcile_and_trace_exports() {
+        let r = results("stagecosts", BehaviorProfile::default(), 2, vec![1, 2]);
+        let costs = r.stage_costs();
+        assert!(!costs.is_empty());
+        // Token attribution reconciles with the report totals exactly.
+        let stage_tokens: u64 = costs.iter().map(|c| c.tokens).sum();
+        let report_tokens: u64 = r
+            .per_question
+            .iter()
+            .flat_map(|q| q.runs.iter())
+            .map(|run| run.tokens)
+            .sum();
+        assert_eq!(stage_tokens, report_tokens);
+        let text = r.stage_breakdown_text();
+        assert!(text.contains("sql") || text.contains("python"), "{text}");
+        assert!(text.contains("total"));
+
+        let path = std::env::temp_dir()
+            .join("infera_eval_tests")
+            .join("stagecosts_trace.jsonl");
+        r.write_trace_jsonl(&path).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(!contents.is_empty());
+        let mut questions_seen = std::collections::HashSet::new();
+        for line in contents.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            questions_seen.insert(v["run"]["question"].as_u64().unwrap());
+        }
+        assert_eq!(questions_seen.len(), 2, "both questions traced");
     }
 
     #[test]

@@ -155,11 +155,10 @@ impl InferA {
                 "salt": salt,
                 "session_seed": self.config.seed,
             });
-            std::fs::write(
-                run_dir.join("run.json"),
-                serde_json::to_string_pretty(&marker).expect("marker serializes"),
-            )
-            .map_err(|e| infera_agents::AgentError::Fatal(e.to_string()))?;
+            let marker_json = serde_json::to_string_pretty(&marker)
+                .map_err(|e| AgentError::Fatal(format!("run marker serialization: {e}")))?;
+            std::fs::write(run_dir.join("run.json"), marker_json)
+                .map_err(|e| AgentError::Fatal(e.to_string()))?;
         }
         infera_agents::run_question(ctx, question, semantic)
     }

@@ -18,6 +18,7 @@
 use crate::api::{approx_tokens, CompletionRequest, CompletionResponse, LanguageModel};
 use crate::behavior::{BehaviorProfile, SemanticLevel};
 use crate::meter::TokenMeter;
+use infera_obs::{AttrValue, Tracer};
 use parking_lot::Mutex;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -30,6 +31,7 @@ pub struct SimulatedLlm {
     profile: BehaviorProfile,
     meter: TokenMeter,
     rng: Mutex<ChaCha12Rng>,
+    tracer: Option<Tracer>,
 }
 
 impl SimulatedLlm {
@@ -39,6 +41,30 @@ impl SimulatedLlm {
             profile,
             meter,
             rng: Mutex::new(ChaCha12Rng::seed_from_u64(seed)),
+            tracer: None,
+        }
+    }
+
+    /// Attach a tracer: every subsequent model call emits an `llm_call`
+    /// event (agent, token counts, virtual latency) into the current
+    /// span, which is how the per-stage breakdown attributes token cost.
+    pub fn with_tracer(mut self, tracer: Tracer) -> SimulatedLlm {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    fn trace_call(&self, agent: &str, prompt_tokens: u64, completion_tokens: u64, latency_ms: u64) {
+        if let Some(tracer) = &self.tracer {
+            tracer.event(
+                "llm_call",
+                &[
+                    ("agent", AttrValue::from(agent)),
+                    ("prompt_tokens", AttrValue::from(prompt_tokens)),
+                    ("completion_tokens", AttrValue::from(completion_tokens)),
+                    ("tokens", AttrValue::from(prompt_tokens + completion_tokens)),
+                    ("latency_ms", AttrValue::from(latency_ms)),
+                ],
+            );
         }
     }
 
@@ -59,7 +85,9 @@ impl SimulatedLlm {
             .seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(salt.wrapping_mul(0xD1B54A32D192ED03) | 1);
-        SimulatedLlm::new(child_seed, self.profile.clone(), self.meter.clone())
+        let mut child = SimulatedLlm::new(child_seed, self.profile.clone(), self.meter.clone());
+        child.tracer = self.tracer.clone();
+        child
     }
 
     // ---------------- randomness primitives ----------------
@@ -222,6 +250,7 @@ impl SimulatedLlm {
         let pt = approx_tokens(prompt);
         let ct = approx_tokens(response);
         self.meter.record(agent, pt, ct, latency);
+        self.trace_call(agent, pt, ct, latency);
         pt + ct
     }
 }
@@ -246,6 +275,7 @@ impl LanguageModel for SimulatedLlm {
         let latency_ms = self.sample_latency_ms();
         self.meter
             .record(&req.agent, prompt_tokens, completion_tokens, latency_ms);
+        self.trace_call(&req.agent, prompt_tokens, completion_tokens, latency_ms);
         CompletionResponse {
             text,
             prompt_tokens,
@@ -355,6 +385,28 @@ mod tests {
             m.meter().total_tokens(),
             resp.prompt_tokens + resp.completion_tokens
         );
+    }
+
+    #[test]
+    fn tracer_receives_llm_call_events() {
+        use infera_obs::Tracer;
+        let tracer = Tracer::new();
+        let m = llm(8).with_tracer(tracer.clone());
+        let span = tracer.span("node:sql");
+        let total = m.charge("sql", "prompt text here", "SELECT 1");
+        drop(span);
+        let forked = m.fork(1);
+        forked.charge("qa", "check", "ok"); // outside any span -> orphan
+        let snap = tracer.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].events.len(), 1);
+        let ev = &snap.spans[0].events[0];
+        assert_eq!(ev.name, "llm_call");
+        assert_eq!(
+            ev.attrs.get("tokens").and_then(infera_obs::AttrValue::as_u64),
+            Some(total)
+        );
+        assert_eq!(snap.orphan_events.len(), 1, "fork propagates the tracer");
     }
 
     #[test]

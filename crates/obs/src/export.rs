@@ -1,0 +1,380 @@
+//! Exporters: JSONL trace dump and the per-stage cost breakdown table.
+//!
+//! Cost attribution works off one convention: a span that carries a
+//! `stage` string attribute is a *stage span* (e.g. the per-agent node
+//! spans in the workflow set `stage = "sql"`). Every span is attributed
+//! to its nearest ancestor-or-self stage span; `llm_call` events carry
+//! token/latency payloads that roll up to the owning stage. Anything
+//! recorded outside every stage span lands in the [`UNTRACED_STAGE`]
+//! row, so column totals always reconcile with the run totals.
+
+use crate::trace::{AttrValue, SpanRecord, TraceSnapshot, Tracer};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Stage name used for costs that no stage span claimed.
+pub const UNTRACED_STAGE: &str = "(untraced)";
+
+/// Aggregated cost of one pipeline stage (agent node) within a run, or
+/// across runs after [`merge_stage_costs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    pub stage: String,
+    /// Number of stage spans (node executions) aggregated here.
+    pub calls: u64,
+    /// Inclusive wall time of the stage spans, microseconds.
+    pub wall_us: u64,
+    /// Number of `llm_call` events attributed to this stage.
+    pub llm_calls: u64,
+    /// Total tokens (prompt + completion) from those calls.
+    pub tokens: u64,
+    /// Simulated model latency from those calls, milliseconds.
+    pub llm_latency_ms: u64,
+    /// QA redo iterations recorded on the stage spans.
+    pub redos: u64,
+}
+
+impl StageCost {
+    fn empty(stage: &str) -> StageCost {
+        StageCost {
+            stage: stage.to_string(),
+            calls: 0,
+            wall_us: 0,
+            llm_calls: 0,
+            tokens: 0,
+            llm_latency_ms: 0,
+            redos: 0,
+        }
+    }
+
+    fn absorb(&mut self, other: &StageCost) {
+        self.calls += other.calls;
+        self.wall_us += other.wall_us;
+        self.llm_calls += other.llm_calls;
+        self.tokens += other.tokens;
+        self.llm_latency_ms += other.llm_latency_ms;
+        self.redos += other.redos;
+    }
+}
+
+/// Serialize a trace as JSON Lines: one `{"type":"span",...}` object per
+/// span followed by one `{"type":"event",...}` object per orphan event.
+/// `run_attrs` (e.g. question id, run index) are repeated on every line
+/// so that lines from many runs can share one file and still be grouped.
+pub fn trace_to_jsonl(tracer: &Tracer, run_attrs: &BTreeMap<String, AttrValue>) -> String {
+    snapshot_to_jsonl(&tracer.snapshot(), run_attrs)
+}
+
+/// [`trace_to_jsonl`] over an already-taken snapshot.
+pub fn snapshot_to_jsonl(snap: &TraceSnapshot, run_attrs: &BTreeMap<String, AttrValue>) -> String {
+    #[derive(Serialize)]
+    struct SpanLine<'a> {
+        #[serde(rename = "type")]
+        kind: &'static str,
+        #[serde(skip_serializing_if = "BTreeMap::is_empty")]
+        run: &'a BTreeMap<String, AttrValue>,
+        id: u64,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        parent: Option<u64>,
+        name: &'a str,
+        start_us: u64,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        end_us: Option<u64>,
+        dur_us: u64,
+        #[serde(skip_serializing_if = "BTreeMap::is_empty")]
+        attrs: &'a BTreeMap<String, AttrValue>,
+        #[serde(skip_serializing_if = "Vec::is_empty")]
+        events: &'a Vec<crate::trace::TraceEvent>,
+    }
+
+    #[derive(Serialize)]
+    struct EventLine<'a> {
+        #[serde(rename = "type")]
+        kind: &'static str,
+        #[serde(skip_serializing_if = "BTreeMap::is_empty")]
+        run: &'a BTreeMap<String, AttrValue>,
+        name: &'a str,
+        at_us: u64,
+        #[serde(skip_serializing_if = "BTreeMap::is_empty")]
+        attrs: &'a BTreeMap<String, AttrValue>,
+    }
+
+    let mut out = String::new();
+    for span in &snap.spans {
+        let line = SpanLine {
+            kind: "span",
+            run: run_attrs,
+            id: span.id,
+            parent: span.parent,
+            name: &span.name,
+            start_us: span.start_us,
+            end_us: span.end_us,
+            dur_us: span.dur_us(),
+            attrs: &span.attrs,
+            events: &span.events,
+        };
+        // BTreeMap keys and struct fields serialize deterministically;
+        // failure is impossible for this shape, but degrade to skipping
+        // the line rather than panicking inside an exporter.
+        if let Ok(json) = serde_json::to_string(&line) {
+            out.push_str(&json);
+            out.push('\n');
+        }
+    }
+    for ev in &snap.orphan_events {
+        let line = EventLine {
+            kind: "event",
+            run: run_attrs,
+            name: &ev.name,
+            at_us: ev.at_us,
+            attrs: &ev.attrs,
+        };
+        if let Ok(json) = serde_json::to_string(&line) {
+            out.push_str(&json);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn stage_of(span: &SpanRecord) -> Option<&str> {
+    span.attrs.get("stage").and_then(AttrValue::as_str)
+}
+
+/// Attribute every span and `llm_call` event in the trace to a stage and
+/// aggregate per-stage cost. Rows come back in first-seen order (the
+/// order stages first executed), with `(untraced)` last if present.
+pub fn stage_breakdown(tracer: &Tracer) -> Vec<StageCost> {
+    snapshot_breakdown(&tracer.snapshot())
+}
+
+/// [`stage_breakdown`] over an already-taken snapshot.
+pub fn snapshot_breakdown(snap: &TraceSnapshot) -> Vec<StageCost> {
+    // Spans are stored in creation order, so a parent's index is always
+    // below its children's: one forward pass resolves each span's owning
+    // stage from its parent's.
+    let mut owner: Vec<Option<String>> = Vec::with_capacity(snap.spans.len());
+    let mut order: Vec<String> = Vec::new();
+    let mut rows: BTreeMap<String, StageCost> = BTreeMap::new();
+
+    fn row_mut<'a>(
+        rows: &'a mut BTreeMap<String, StageCost>,
+        order: &mut Vec<String>,
+        stage: &str,
+    ) -> &'a mut StageCost {
+        if !rows.contains_key(stage) {
+            order.push(stage.to_string());
+        }
+        rows.entry(stage.to_string())
+            .or_insert_with(|| StageCost::empty(stage))
+    }
+
+    for span in &snap.spans {
+        let stage: Option<String> = match stage_of(span) {
+            Some(s) => Some(s.to_string()),
+            None => span
+                .parent
+                .and_then(|p| owner.get(p as usize).cloned().flatten()),
+        };
+
+        // Only the stage span itself contributes wall time (inclusive of
+        // children), so nested spans never double-count.
+        if let Some(s) = stage_of(span) {
+            let r = row_mut(&mut rows, &mut order, s);
+            r.calls += 1;
+            r.wall_us += span.dur_us();
+            r.redos += span.attrs.get("redos").and_then(AttrValue::as_u64).unwrap_or(0);
+        }
+
+        let key = stage.as_deref().unwrap_or(UNTRACED_STAGE);
+        for ev in &span.events {
+            if ev.name == "llm_call" {
+                let r = row_mut(&mut rows, &mut order, key);
+                r.llm_calls += 1;
+                r.tokens += ev.attrs.get("tokens").and_then(AttrValue::as_u64).unwrap_or(0);
+                r.llm_latency_ms += ev
+                    .attrs
+                    .get("latency_ms")
+                    .and_then(AttrValue::as_u64)
+                    .unwrap_or(0);
+            }
+        }
+        owner.push(stage);
+    }
+
+    for ev in &snap.orphan_events {
+        if ev.name == "llm_call" {
+            let r = row_mut(&mut rows, &mut order, UNTRACED_STAGE);
+            r.llm_calls += 1;
+            r.tokens += ev.attrs.get("tokens").and_then(AttrValue::as_u64).unwrap_or(0);
+            r.llm_latency_ms += ev
+                .attrs
+                .get("latency_ms")
+                .and_then(AttrValue::as_u64)
+                .unwrap_or(0);
+        }
+    }
+
+    // First-seen order, untraced pinned last (stable sort keeps the rest).
+    order.sort_by_key(|s| s == UNTRACED_STAGE);
+    order.into_iter().filter_map(|s| rows.remove(&s)).collect()
+}
+
+/// Sum per-stage costs across runs, keyed by stage name. Row order
+/// follows first appearance across the inputs, `(untraced)` last.
+pub fn merge_stage_costs(per_run: &[Vec<StageCost>]) -> Vec<StageCost> {
+    let mut order: Vec<String> = Vec::new();
+    let mut rows: BTreeMap<String, StageCost> = BTreeMap::new();
+    for run in per_run {
+        for cost in run {
+            if !rows.contains_key(&cost.stage) {
+                order.push(cost.stage.clone());
+                rows.insert(cost.stage.clone(), StageCost::empty(&cost.stage));
+            }
+            if let Some(r) = rows.get_mut(&cost.stage) {
+                r.absorb(cost);
+            }
+        }
+    }
+    order.sort_by_key(|s| s == UNTRACED_STAGE);
+    order.into_iter().filter_map(|s| rows.remove(&s)).collect()
+}
+
+/// Render stage costs as an aligned text table with a totals row.
+pub fn render_breakdown(costs: &[StageCost]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>10} {:>9} {:>10} {:>12} {:>6}",
+        "stage", "calls", "wall_ms", "llm_calls", "tokens", "llm_lat_ms", "redos"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(75));
+    let mut total = StageCost::empty("total");
+    for c in costs {
+        total.absorb(c);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>10.1} {:>9} {:>10} {:>12} {:>6}",
+            c.stage,
+            c.calls,
+            c.wall_us as f64 / 1000.0,
+            c.llm_calls,
+            c.tokens,
+            c.llm_latency_ms,
+            c.redos
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(75));
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>10.1} {:>9} {:>10} {:>12} {:>6}",
+        total.stage,
+        total.calls,
+        total.wall_us as f64 / 1000.0,
+        total.llm_calls,
+        total.tokens,
+        total.llm_latency_ms,
+        total.redos
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn sample_trace() -> Tracer {
+        let t = Tracer::new();
+        let run = t.span("run");
+        {
+            let node = t.span("node:sql");
+            node.set_attr("stage", "sql");
+            node.set_attr("redos", 2u64);
+            {
+                let attempt = t.span("attempt");
+                attempt.event(
+                    "llm_call",
+                    &[
+                        ("tokens", AttrValue::from(100u64)),
+                        ("latency_ms", AttrValue::from(7u64)),
+                    ],
+                );
+            }
+            node.event(
+                "llm_call",
+                &[
+                    ("tokens", AttrValue::from(50u64)),
+                    ("latency_ms", AttrValue::from(3u64)),
+                ],
+            );
+        }
+        run.event(
+            "llm_call",
+            &[
+                ("tokens", AttrValue::from(25u64)),
+                ("latency_ms", AttrValue::from(1u64)),
+            ],
+        );
+        drop(run);
+        t
+    }
+
+    #[test]
+    fn breakdown_attributes_nested_events_to_stage() {
+        let t = sample_trace();
+        let costs = stage_breakdown(&t);
+        let sql = costs.iter().find(|c| c.stage == "sql").expect("sql row");
+        assert_eq!(sql.calls, 1);
+        assert_eq!(sql.llm_calls, 2);
+        assert_eq!(sql.tokens, 150);
+        assert_eq!(sql.llm_latency_ms, 10);
+        assert_eq!(sql.redos, 2);
+        // The run-level call has no stage span above it -> untraced.
+        let untraced = costs
+            .iter()
+            .find(|c| c.stage == UNTRACED_STAGE)
+            .expect("untraced row");
+        assert_eq!(untraced.tokens, 25);
+        // Totals reconcile.
+        let tokens: u64 = costs.iter().map(|c| c.tokens).sum();
+        assert_eq!(tokens, 175);
+        assert_eq!(costs.last().map(|c| c.stage.as_str()), Some(UNTRACED_STAGE));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_cover_all_spans() {
+        let t = sample_trace();
+        let mut run = BTreeMap::new();
+        run.insert("question".to_string(), AttrValue::from(3u64));
+        let jsonl = trace_to_jsonl(&t, &run);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), t.snapshot().spans.len());
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid json");
+            assert_eq!(v["type"], "span");
+            assert_eq!(v["run"]["question"], 3);
+        }
+    }
+
+    #[test]
+    fn merge_sums_rows_across_runs() {
+        let a = stage_breakdown(&sample_trace());
+        let b = stage_breakdown(&sample_trace());
+        let merged = merge_stage_costs(&[a, b]);
+        let sql = merged.iter().find(|c| c.stage == "sql").expect("sql row");
+        assert_eq!(sql.calls, 2);
+        assert_eq!(sql.tokens, 300);
+        assert_eq!(sql.redos, 4);
+    }
+
+    #[test]
+    fn render_has_total_row() {
+        let costs = stage_breakdown(&sample_trace());
+        let text = render_breakdown(&costs);
+        assert!(text.contains("stage"));
+        assert!(text.contains("sql"));
+        assert!(text.contains("total"));
+    }
+}

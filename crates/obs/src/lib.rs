@@ -1,0 +1,45 @@
+//! `infera-obs` — structured tracing, metrics, and per-run trace export
+//! for the InferA pipeline.
+//!
+//! Three pieces, all dependency-light (std + `parking_lot` + `serde`):
+//!
+//! * [`Tracer`] / [`SpanGuard`] — RAII span tree per run. The workflow
+//!   opens a `run` root span, one `node:<agent>` span per plan step
+//!   (tagged `stage = <agent>`), and one `attempt` span per QA redo
+//!   iteration. The SQL engine and sandbox nest their own spans below
+//!   whichever node is executing; the simulated LLM records an
+//!   `llm_call` event per model invocation.
+//! * [`MetricsRegistry`] — named counters, gauges, and fixed-bucket
+//!   histograms with p50/p90/p99 summaries; safe under rayon.
+//! * Exporters — [`trace_to_jsonl`] (one JSON object per line) and
+//!   [`stage_breakdown`] + [`render_breakdown`] (per-agent
+//!   time/tokens/redos table). Costs recorded outside any stage span
+//!   roll up to the [`UNTRACED_STAGE`] row, so totals reconcile with
+//!   `RunReport` by construction.
+
+mod export;
+mod metrics;
+mod trace;
+
+pub use export::{
+    merge_stage_costs, render_breakdown, snapshot_breakdown, snapshot_to_jsonl, stage_breakdown,
+    trace_to_jsonl, StageCost, UNTRACED_STAGE,
+};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use trace::{AttrValue, SpanGuard, SpanId, SpanRecord, TraceEvent, TraceSnapshot, Tracer};
+
+/// One run's observability context: a tracer and a metrics registry,
+/// cloned together through every pipeline component. Cloning shares
+/// state — every component that holds an `Obs` writes into the same
+/// per-run trace and registry.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    pub tracer: Tracer,
+    pub metrics: MetricsRegistry,
+}
+
+impl Obs {
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+}

@@ -1,0 +1,320 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with quantile summaries.
+//!
+//! All operations lock a single `parking_lot` mutex, so a registry may
+//! be shared across threads (the eval harness fans runs across rayon;
+//! the sandbox gateway executes on a worker thread). Names are plain
+//! strings; the instrumentation convention is dotted lowercase, e.g.
+//! `run.redos`, `sql.queries`, `sandbox.exec_us`.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A fixed-bucket histogram. `bounds` are inclusive upper bounds of the
+/// finite buckets; one implicit overflow bucket catches everything
+/// above the last bound, so `counts.len() == bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Default bucket bounds: a 1 / 2.5 / 5 ladder over nine decades,
+    /// suitable for anything from microseconds to token counts.
+    pub fn default_bounds() -> Vec<f64> {
+        let mut bounds = Vec::with_capacity(27);
+        let mut decade = 1.0f64;
+        for _ in 0..9 {
+            bounds.push(decade);
+            bounds.push(decade * 2.5);
+            bounds.push(decade * 5.0);
+            decade *= 10.0;
+        }
+        bounds
+    }
+
+    pub fn new(mut bounds: Vec<f64>) -> Histogram {
+        bounds.retain(|b| b.is_finite());
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        bounds.dedup();
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by walking cumulative
+    /// bucket counts and interpolating linearly inside the target
+    /// bucket. Bucket edges are clamped to the observed min/max, so the
+    /// estimate never leaves the observed range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                let lower = if idx == 0 {
+                    self.min
+                } else {
+                    self.bounds[idx - 1].max(self.min)
+                };
+                let upper = if idx < self.bounds.len() {
+                    self.bounds[idx].min(self.max)
+                } else {
+                    self.max
+                };
+                let within = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return lower + within * (upper - lower);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time quantile summary of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Owned copy of a registry's state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Thread-safe metrics registry. Cheap to clone; clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<MetricsInner>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment a counter by `delta` (created at 0 on first use).
+    pub fn inc(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(name).copied()
+    }
+
+    /// Record an observation into a histogram with the default buckets.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(Histogram::default_bounds()))
+            .observe(value);
+    }
+
+    /// Record into a histogram created with explicit bucket bounds. The
+    /// bounds only apply on first creation of the named histogram.
+    pub fn observe_with_buckets(&self, name: &str, value: f64, bounds: &[f64]) {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .observe(value);
+    }
+
+    /// Quantile summary of a histogram, if it has been observed into.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.inner.lock().histograms.get(name).map(Histogram::summary)
+    }
+
+    /// Owned copy of the whole registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Human-readable dump of every metric, one per line.
+    pub fn render(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "counter {name} = {v}");
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "gauge   {name} = {v}");
+        }
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "hist    {name} count={} mean={:.2} p50={:.2} p90={:.2} p99={:.2} max={:.2}",
+                h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x", 2);
+        m.inc("x", 3);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.gauge("g"), None);
+        m.set_gauge("g", 1.25);
+        assert_eq!(m.gauge("g"), Some(1.25));
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_distribution() {
+        // 1..=1000 into buckets of width 100: quantiles interpolate to
+        // the exact percentile values.
+        let bounds: Vec<f64> = (1..=10).map(|i| (i * 100) as f64).collect();
+        let mut h = Histogram::new(bounds);
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!((s.p50 - 500.0).abs() < 1.5, "p50={}", s.p50);
+        assert!((s.p90 - 900.0).abs() < 1.5, "p90={}", s.p90);
+        assert!((s.p99 - 990.0).abs() < 1.5, "p99={}", s.p99);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_and_empty() {
+        let mut h = Histogram::new(vec![10.0]);
+        assert_eq!(h.summary().count, 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.observe(5.0);
+        h.observe(50.0);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 50.0);
+        assert!(s.p99 <= 50.0);
+    }
+
+    #[test]
+    fn registry_render_lists_everything() {
+        let m = MetricsRegistry::new();
+        m.inc("run.redos", 1);
+        m.set_gauge("db.tables", 3.0);
+        m.observe("sql.exec_us", 120.0);
+        let text = m.render();
+        assert!(text.contains("run.redos"));
+        assert!(text.contains("db.tables"));
+        assert!(text.contains("sql.exec_us"));
+    }
+}

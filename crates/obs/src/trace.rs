@@ -1,0 +1,424 @@
+//! The span/event tracing core.
+//!
+//! A [`Tracer`] records one run's execution as a tree of spans. Spans are
+//! RAII guards: [`Tracer::span`] opens a span as a child of the innermost
+//! open span, and dropping the guard (or calling [`SpanGuard::finish`])
+//! closes it. Spans carry key-value attributes and point events; the
+//! convention-bearing attribute is `stage` — spans tagged with it are the
+//! per-agent cost-attribution roots the exporters aggregate by (see
+//! [`crate::stage_breakdown`]).
+//!
+//! Timestamps are microseconds relative to the tracer's creation, so a
+//! trace is location-independent and two traces of the same seeded run
+//! have identical shape (durations differ, structure does not).
+//!
+//! Concurrency: every operation locks one `parking_lot` mutex, so a
+//! tracer may be shared freely across threads (the sandbox gateway and
+//! rayon loaders record into the run's tracer). Parenting uses an
+//! open-span stack, which assumes spans of one *logical* run open and
+//! close in nested order — the supervisor loop is sequential, so this
+//! holds; out-of-order drops degrade to a flatter tree, never a panic.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of a span within one tracer (its index in creation order).
+pub type SpanId = u64;
+
+/// An attribute value: string, integer, float, or bool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum AttrValue {
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl AttrValue {
+    /// The string payload, if this is a string attribute.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if numeric and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::U64(v) => Some(*v),
+            AttrValue::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// A point event attached to a span (or to the tracer, when no span was
+/// open — see [`TraceSnapshot::orphan_events`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Microseconds since tracer creation.
+    pub at_us: u64,
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    pub parent: Option<SpanId>,
+    pub name: String,
+    /// Microseconds since tracer creation.
+    pub start_us: u64,
+    /// Set when the guard closes; `None` for still-open spans.
+    pub end_us: Option<u64>,
+    pub attrs: BTreeMap<String, AttrValue>,
+    pub events: Vec<TraceEvent>,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds (0 while still open).
+    pub fn dur_us(&self) -> u64 {
+        self.end_us
+            .map_or(0, |end| end.saturating_sub(self.start_us))
+    }
+}
+
+/// An owned copy of a tracer's state, safe to inspect/export while the
+/// run continues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    pub spans: Vec<SpanRecord>,
+    /// Events recorded while no span was open (e.g. a model call outside
+    /// any instrumented section). Exporters attribute these to the
+    /// `(untraced)` stage so totals still reconcile.
+    pub orphan_events: Vec<TraceEvent>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    origin: Instant,
+    spans: Vec<SpanRecord>,
+    /// Ids of currently-open spans, innermost last.
+    stack: Vec<SpanId>,
+    orphan_events: Vec<TraceEvent>,
+}
+
+/// A per-run trace collector. Cheap to clone (`Arc`); clones share state.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+fn attr_map(attrs: &[(&str, AttrValue)]) -> BTreeMap<String, AttrValue> {
+    attrs
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect()
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                origin: Instant::now(),
+                spans: Vec::new(),
+                stack: Vec::new(),
+                orphan_events: Vec::new(),
+            })),
+        }
+    }
+
+    /// Open a span as a child of the innermost open span (or as a root).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let mut inner = self.inner.lock();
+        let start_us = inner.origin.elapsed().as_micros() as u64;
+        let id = inner.spans.len() as SpanId;
+        let parent = inner.stack.last().copied();
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            end_us: None,
+            attrs: BTreeMap::new(),
+            events: Vec::new(),
+        });
+        inner.stack.push(id);
+        SpanGuard {
+            tracer: self.clone(),
+            id,
+            finished: false,
+        }
+    }
+
+    /// Record a point event on the innermost open span, or as an orphan
+    /// event when no span is open.
+    pub fn event(&self, name: &str, attrs: &[(&str, AttrValue)]) {
+        let mut inner = self.inner.lock();
+        let at_us = inner.origin.elapsed().as_micros() as u64;
+        let ev = TraceEvent {
+            name: name.to_string(),
+            at_us,
+            attrs: attr_map(attrs),
+        };
+        match inner.stack.last().copied() {
+            Some(id) => inner.spans[id as usize].events.push(ev),
+            None => inner.orphan_events.push(ev),
+        }
+    }
+
+    /// Microseconds since the tracer was created.
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.lock().origin.elapsed().as_micros() as u64
+    }
+
+    /// Wall time covered by the trace so far: from the first span's start
+    /// to its end (or to now while it is still open). Zero with no spans.
+    /// This is the run's wall-clock when the outermost span wraps the
+    /// whole pipeline, which is the instrumentation convention.
+    pub fn run_elapsed_us(&self) -> u64 {
+        let inner = self.inner.lock();
+        match inner.spans.first() {
+            Some(root) => {
+                let end = root
+                    .end_us
+                    .unwrap_or_else(|| inner.origin.elapsed().as_micros() as u64);
+                end.saturating_sub(root.start_us)
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn n_spans(&self) -> usize {
+        self.inner.lock().spans.len()
+    }
+
+    /// Owned copy of the current state.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let inner = self.inner.lock();
+        TraceSnapshot {
+            spans: inner.spans.clone(),
+            orphan_events: inner.orphan_events.clone(),
+        }
+    }
+
+    fn close(&self, id: SpanId) -> u64 {
+        let mut inner = self.inner.lock();
+        let now = inner.origin.elapsed().as_micros() as u64;
+        if let Some(pos) = inner.stack.iter().rposition(|&s| s == id) {
+            inner.stack.remove(pos);
+        }
+        let span = &mut inner.spans[id as usize];
+        if span.end_us.is_none() {
+            span.end_us = Some(now);
+        }
+        now.saturating_sub(span.start_us)
+    }
+}
+
+/// RAII handle to an open span: closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: SpanId,
+    finished: bool,
+}
+
+impl SpanGuard {
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Set (or overwrite) an attribute on this span.
+    pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
+        let mut inner = self.tracer.inner.lock();
+        inner.spans[self.id as usize]
+            .attrs
+            .insert(key.to_string(), value.into());
+    }
+
+    /// Accumulate into a numeric attribute (starting from 0).
+    pub fn add_u64(&self, key: &str, delta: u64) {
+        let mut inner = self.tracer.inner.lock();
+        let attrs = &mut inner.spans[self.id as usize].attrs;
+        let base = attrs.get(key).and_then(AttrValue::as_u64).unwrap_or(0);
+        attrs.insert(key.to_string(), AttrValue::U64(base + delta));
+    }
+
+    /// Record a point event directly on this span.
+    pub fn event(&self, name: &str, attrs: &[(&str, AttrValue)]) {
+        let mut inner = self.tracer.inner.lock();
+        let at_us = inner.origin.elapsed().as_micros() as u64;
+        inner.spans[self.id as usize].events.push(TraceEvent {
+            name: name.to_string(),
+            at_us,
+            attrs: attr_map(attrs),
+        });
+    }
+
+    /// Microseconds since this span opened.
+    pub fn elapsed_us(&self) -> u64 {
+        let inner = self.tracer.inner.lock();
+        let now = inner.origin.elapsed().as_micros() as u64;
+        now.saturating_sub(inner.spans[self.id as usize].start_us)
+    }
+
+    /// Close the span now and return its duration in microseconds.
+    pub fn finish(mut self) -> u64 {
+        self.finished = true;
+        self.tracer.close(self.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.tracer.close(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_under_open_parent() {
+        let t = Tracer::new();
+        let root = t.span("run");
+        let child = t.span("step");
+        let grand = t.span("attempt");
+        drop(grand);
+        drop(child);
+        let sibling = t.span("step2");
+        drop(sibling);
+        drop(root);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 4);
+        assert_eq!(snap.spans[0].parent, None);
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert_eq!(snap.spans[2].parent, Some(1));
+        assert_eq!(snap.spans[3].parent, Some(0));
+        assert!(snap.spans.iter().all(|s| s.end_us.is_some()));
+    }
+
+    #[test]
+    fn attrs_and_events_land_on_spans() {
+        let t = Tracer::new();
+        {
+            let s = t.span("work");
+            s.set_attr("stage", "sql");
+            s.add_u64("rows", 3);
+            s.add_u64("rows", 4);
+            s.event("llm_call", &[("tokens", AttrValue::from(10u64))]);
+        }
+        t.event("late", &[]); // no open span -> orphan
+        let snap = t.snapshot();
+        let s = &snap.spans[0];
+        assert_eq!(s.attrs.get("stage").and_then(AttrValue::as_str), Some("sql"));
+        assert_eq!(s.attrs.get("rows").and_then(AttrValue::as_u64), Some(7));
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(snap.orphan_events.len(), 1);
+    }
+
+    #[test]
+    fn finish_returns_duration_and_run_elapsed_tracks_root() {
+        let t = Tracer::new();
+        assert_eq!(t.run_elapsed_us(), 0);
+        let root = t.span("run");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let d = root.finish();
+        assert!(d >= 1_000, "duration {d}us");
+        let measured = t.run_elapsed_us();
+        assert!(measured >= 1_000 && measured <= t.elapsed_us());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let t = Tracer::new();
+        let root = t.span("run");
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    t.event("tick", &[("i", AttrValue::from(i as u64))]);
+                });
+            }
+        });
+        drop(root);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans[0].events.len(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip_snapshot() {
+        let t = Tracer::new();
+        {
+            let s = t.span("a");
+            s.set_attr("k", 1u64);
+            s.set_attr("s", "text");
+            s.set_attr("f", 1.5f64);
+            s.set_attr("b", true);
+        }
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TraceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,163 @@
+//! Integration tests for the satellite coverage requirements:
+//! concurrent counter increments, histogram percentile correctness on a
+//! known distribution, and span nesting/ordering in the exported tree.
+
+use infera_obs::{
+    render_breakdown, stage_breakdown, trace_to_jsonl, AttrValue, MetricsRegistry, Tracer,
+    UNTRACED_STAGE,
+};
+use std::collections::BTreeMap;
+
+#[test]
+fn concurrent_counter_increments_from_many_threads() {
+    let m = MetricsRegistry::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 1000;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let m = m.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    m.inc("test.hits", 1);
+                }
+            });
+        }
+    });
+    assert_eq!(m.counter("test.hits"), (THREADS * PER_THREAD) as u64);
+}
+
+#[test]
+fn concurrent_histogram_observations() {
+    let m = MetricsRegistry::new();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let m = m.clone();
+            s.spawn(move || {
+                for i in 0..250 {
+                    m.observe("test.lat", (t * 250 + i + 1) as f64);
+                }
+            });
+        }
+    });
+    let h = m.histogram("test.lat").expect("histogram exists");
+    assert_eq!(h.count, 1000);
+    assert_eq!(h.min, 1.0);
+    assert_eq!(h.max, 1000.0);
+    assert!((h.sum - 500_500.0).abs() < 1e-6);
+}
+
+#[test]
+fn histogram_percentiles_on_known_distribution() {
+    let m = MetricsRegistry::new();
+    // Uniform 1..=1000 with bucket bounds every 100: interpolation
+    // recovers the exact percentiles.
+    let bounds: Vec<f64> = (1..=10).map(|i| (i * 100) as f64).collect();
+    for v in 1..=1000 {
+        m.observe_with_buckets("uniform", v as f64, &bounds);
+    }
+    let h = m.histogram("uniform").expect("histogram exists");
+    assert!((h.p50 - 500.0).abs() < 1.5, "p50={}", h.p50);
+    assert!((h.p90 - 900.0).abs() < 1.5, "p90={}", h.p90);
+    assert!((h.p99 - 990.0).abs() < 1.5, "p99={}", h.p99);
+    assert!((h.mean - 500.5).abs() < 1e-6);
+}
+
+#[test]
+fn span_nesting_and_ordering_in_exported_tree() {
+    let t = Tracer::new();
+    let run = t.span("run");
+    run.set_attr("question", 7u64);
+    for step in 0..3u64 {
+        let node = t.span("node:sql");
+        node.set_attr("stage", "sql");
+        node.set_attr("step", step);
+        for attempt in 0..2u64 {
+            let a = t.span("attempt");
+            a.set_attr("attempt", attempt);
+            a.event(
+                "llm_call",
+                &[
+                    ("tokens", AttrValue::from(10u64)),
+                    ("latency_ms", AttrValue::from(1u64)),
+                ],
+            );
+        }
+    }
+    drop(run);
+
+    let snap = t.snapshot();
+    // 1 root + 3 nodes + 6 attempts.
+    assert_eq!(snap.spans.len(), 10);
+    // Creation order is chronological: start times are monotone.
+    for pair in snap.spans.windows(2) {
+        assert!(pair[0].start_us <= pair[1].start_us);
+    }
+    // Every non-root span's parent appears earlier in the vec and wraps
+    // it in time.
+    for span in &snap.spans[1..] {
+        let parent = span.parent.expect("non-root has a parent") as usize;
+        assert!(parent < span.id as usize);
+        let p = &snap.spans[parent];
+        assert!(p.start_us <= span.start_us);
+        assert!(p.end_us.unwrap_or(u64::MAX) >= span.end_us.expect("closed"));
+    }
+    // Node spans hang off the root; attempts hang off nodes.
+    let nodes: Vec<_> = snap.spans.iter().filter(|s| s.name == "node:sql").collect();
+    assert_eq!(nodes.len(), 3);
+    assert!(nodes.iter().all(|s| s.parent == Some(0)));
+    let attempts: Vec<_> = snap.spans.iter().filter(|s| s.name == "attempt").collect();
+    assert_eq!(attempts.len(), 6);
+    for a in &attempts {
+        let p = a.parent.expect("attempt has parent") as usize;
+        assert_eq!(snap.spans[p].name, "node:sql");
+    }
+
+    // The JSONL export round-trips the same structure.
+    let jsonl = trace_to_jsonl(&t, &BTreeMap::new());
+    let lines: Vec<serde_json::Value> = jsonl
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid json line"))
+        .collect();
+    assert_eq!(lines.len(), 10);
+    assert_eq!(lines[0]["name"], "run");
+    assert!(lines[0].get("parent").is_none());
+    assert_eq!(lines[1]["parent"], 0);
+    assert_eq!(lines[1]["attrs"]["stage"], "sql");
+}
+
+#[test]
+fn breakdown_reconciles_tokens_with_trace_total() {
+    let t = Tracer::new();
+    let run = t.span("run");
+    let mut expected_tokens = 0u64;
+    for (stage, calls) in [("sql", 2u64), ("python", 3u64)] {
+        let node = t.span("node");
+        node.set_attr("stage", stage);
+        for i in 0..calls {
+            let tokens = 100 + i;
+            expected_tokens += tokens;
+            node.event(
+                "llm_call",
+                &[
+                    ("tokens", AttrValue::from(tokens)),
+                    ("latency_ms", AttrValue::from(2u64)),
+                ],
+            );
+        }
+    }
+    // One call outside any stage span -> untraced row.
+    run.event(
+        "llm_call",
+        &[("tokens", AttrValue::from(9u64)), ("latency_ms", AttrValue::from(1u64))],
+    );
+    expected_tokens += 9;
+    drop(run);
+
+    let costs = stage_breakdown(&t);
+    let total: u64 = costs.iter().map(|c| c.tokens).sum();
+    assert_eq!(total, expected_tokens);
+    assert!(costs.iter().any(|c| c.stage == UNTRACED_STAGE));
+    let table = render_breakdown(&costs);
+    assert!(table.contains("python"));
+    assert!(table.contains("total"));
+}

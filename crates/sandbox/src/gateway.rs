@@ -15,8 +15,9 @@ use crate::lang::parse_program;
 use crate::tool::ToolRegistry;
 use crossbeam::channel;
 use infera_frame::DataFrame;
+use infera_obs::Obs;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A code-execution request.
 #[derive(Debug, Clone)]
@@ -42,6 +43,7 @@ pub struct ExecutionReport {
 pub struct SandboxServer {
     tools: ToolRegistry,
     timeout: Duration,
+    obs: Obs,
 }
 
 impl SandboxServer {
@@ -50,12 +52,20 @@ impl SandboxServer {
         SandboxServer {
             tools,
             timeout: Duration::from_secs(30),
+            obs: Obs::default(),
         }
     }
 
     /// Override the execution deadline.
     pub fn with_timeout(mut self, timeout: Duration) -> SandboxServer {
         self.timeout = timeout;
+        self
+    }
+
+    /// Attach an observability context: every execution records a
+    /// `sandbox:execute` span and latency/error metrics into it.
+    pub fn with_obs(mut self, obs: Obs) -> SandboxServer {
+        self.obs = obs;
         self
     }
 
@@ -69,10 +79,19 @@ impl SandboxServer {
     /// Parsing happens inline (cheap, no data touched); interpretation
     /// runs on the worker against cloned inputs.
     pub fn execute(&self, req: ExecutionRequest) -> SandboxResult<ExecutionReport> {
-        let stmts = parse_program(&req.program)?;
+        let span = self.obs.tracer.span("sandbox:execute");
+        self.obs.metrics.inc("sandbox.executions", 1);
+        let stmts = match parse_program(&req.program) {
+            Ok(stmts) => stmts,
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+                self.obs.metrics.inc("sandbox.parse_errors", 1);
+                return Err(e);
+            }
+        };
+        span.set_attr("statements", stmts.len());
         let tools = self.tools.clone();
         let (tx, rx) = channel::bounded(1);
-        let start = Instant::now();
         std::thread::Builder::new()
             .name("infera-sandbox-worker".into())
             .spawn(move || {
@@ -80,18 +99,37 @@ impl SandboxServer {
                 let _ = tx.send(out);
             })
             .map_err(|e| SandboxError::new(ErrorKind::Runtime, format!("spawn: {e}")))?;
-        match rx.recv_timeout(self.timeout) {
-            Ok(Ok(out)) => Ok(ExecutionReport {
-                result: out.result,
-                steps: out.steps,
-                env: out.env,
-                wall: start.elapsed(),
-            }),
-            Ok(Err(e)) => Err(e),
-            Err(_) => Err(SandboxError::new(
-                ErrorKind::Timeout,
-                format!("execution exceeded {:?}", self.timeout),
-            )),
+        let outcome = rx.recv_timeout(self.timeout);
+        self.obs
+            .metrics
+            .observe("sandbox.exec_us", span.elapsed_us() as f64);
+        match outcome {
+            Ok(Ok(out)) => {
+                span.set_attr("rows_out", out.result.n_rows());
+                // The report's wall time is the span's own measurement, so
+                // the trace and the caller can never disagree. Clamp to
+                // 1 µs: sub-microsecond runs still count as having run.
+                let wall_us = span.finish().max(1);
+                Ok(ExecutionReport {
+                    result: out.result,
+                    steps: out.steps,
+                    env: out.env,
+                    wall: Duration::from_micros(wall_us),
+                })
+            }
+            Ok(Err(e)) => {
+                span.set_attr("error", e.to_string());
+                self.obs.metrics.inc("sandbox.exec_errors", 1);
+                Err(e)
+            }
+            Err(_) => {
+                span.set_attr("error", "timeout");
+                self.obs.metrics.inc("sandbox.timeouts", 1);
+                Err(SandboxError::new(
+                    ErrorKind::Timeout,
+                    format!("execution exceeded {:?}", self.timeout),
+                ))
+            }
         }
     }
 }
@@ -178,5 +216,46 @@ mod tests {
             })
             .unwrap();
         assert!(report.wall.as_nanos() > 0);
+    }
+
+    #[test]
+    fn wall_time_derives_from_trace_span() {
+        let obs = Obs::new();
+        let server = SandboxServer::default().with_obs(obs.clone());
+        let report = server
+            .execute(ExecutionRequest {
+                program: "return head(df, 1)".into(),
+                inputs: inputs(),
+            })
+            .unwrap();
+        let snap = obs.tracer.snapshot();
+        let span = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "sandbox:execute")
+            .expect("execute span recorded");
+        assert_eq!(report.wall.as_micros() as u64, span.dur_us().max(1));
+        assert_eq!(obs.metrics.counter("sandbox.executions"), 1);
+        assert!(obs.metrics.histogram("sandbox.exec_us").is_some());
+    }
+
+    #[test]
+    fn errors_increment_metrics() {
+        let obs = Obs::new();
+        let server = SandboxServer::default().with_obs(obs.clone());
+        server
+            .execute(ExecutionRequest {
+                program: "x = ???".into(),
+                inputs: inputs(),
+            })
+            .unwrap_err();
+        assert_eq!(obs.metrics.counter("sandbox.parse_errors"), 1);
+        server
+            .execute(ExecutionRequest {
+                program: "x = filter(df, nonexistent > 1)".into(),
+                inputs: inputs(),
+            })
+            .unwrap_err();
+        assert_eq!(obs.metrics.counter("sandbox.exec_errors"), 1);
     }
 }

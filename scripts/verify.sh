@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo verification gate: build, test, lint.
+#
+#   scripts/verify.sh            # full gate
+#   scripts/verify.sh --no-clippy  # skip the lint pass (e.g. older toolchains)
+#
+# Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_clippy=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-clippy) run_clippy=0 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "$run_clippy" -eq 1 ]; then
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace -- -D warnings
+fi
+
+echo "verify: OK"

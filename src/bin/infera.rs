@@ -61,10 +61,11 @@ USAGE:
       Preview the analysis plan for a question (planning stage only);
       --save writes it as editable JSON.
   infera ask --ensemble <dir> [--work <dir>] [--seed N] [--perfect] [--feedback]
-             [--plan <file>] \"<question>\"
+             [--plan <file>] [--breakdown] \"<question>\"
       Run the full two-stage workflow. --perfect disables model error
       injection; --feedback simulates a human in the loop; --plan executes
-      a user-edited plan saved by `plan --save`.
+      a user-edited plan saved by `plan --save`; --breakdown prints the
+      per-stage cost profile derived from the run trace.
   infera questions
       List the 20-question evaluation set with difficulty labels.
   infera audit --run <dir>
@@ -94,7 +95,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--run", "--save", "--plan",
 ];
 /// Boolean flags.
-const BOOL_FLAGS: &[&str] = &["--perfect", "--feedback"];
+const BOOL_FLAGS: &[&str] = &["--perfect", "--feedback", "--breakdown"];
 
 /// The trailing free argument (the question text). Unknown flags are an
 /// error — silently treating them as value-taking would swallow the
@@ -215,6 +216,9 @@ fn cmd_ask(args: &[String]) -> Result<(), String> {
         report.wall_ms as f64 / 1000.0,
         report.llm_latency_ms as f64 / 1000.0
     );
+    if has_flag(args, "--breakdown") {
+        out!("\nper-stage cost breakdown:\n{}", report.breakdown_text());
+    }
     Ok(())
 }
 

@@ -30,6 +30,7 @@ pub use infera_core as core;
 pub use infera_frame as frame;
 pub use infera_hacc as hacc;
 pub use infera_llm as llm;
+pub use infera_obs as obs;
 pub use infera_provenance as provenance;
 pub use infera_rag as rag;
 pub use infera_sandbox as sandbox;
