@@ -29,6 +29,11 @@ pub struct LoadStats {
     pub bytes_touched_files: u64,
     /// Rows landed in the database.
     pub rows_loaded: u64,
+    /// Bytes the landed rows occupy on disk (post-compression).
+    pub bytes_on_disk: u64,
+    /// Bytes the same rows would occupy in the raw chunk layout;
+    /// `bytes_on_disk / bytes_logical` is the realized compression ratio.
+    pub bytes_logical: u64,
 }
 
 /// Columns the agent will load for one table: the plan's required columns
@@ -79,6 +84,8 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
         bytes_read: 0,
         bytes_touched_files: 0,
         rows_loaded: 0,
+        bytes_on_disk: 0,
+        bytes_logical: 0,
     };
     let multi_step = spec.steps.len() > 1;
 
@@ -170,15 +177,24 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
         state.frames.insert("params".to_string(), params);
     }
 
-    // Provenance: record the load with its reduction ratio.
+    // Byte accounting of what actually landed: encoded chunks on disk vs
+    // the raw layout they replace.
+    stats.bytes_on_disk = ctx.db.total_bytes();
+    stats.bytes_logical = ctx.db.total_logical_bytes();
+
+    // Provenance: record the load with its reduction and compression
+    // ratios.
     let total = ctx.manifest.total_bytes().max(1);
     let note = format!(
-        "loaded {} rows; selective read {} B of {} B touched ({} B ensemble, reduction to {:.4}%)",
+        "loaded {} rows; selective read {} B of {} B touched ({} B ensemble, reduction to {:.4}%); stored {} B on disk for {} B logical ({:.2}x compression)",
         stats.rows_loaded,
         stats.bytes_read,
         stats.bytes_touched_files,
         total,
         100.0 * stats.bytes_read as f64 / total as f64,
+        stats.bytes_on_disk,
+        stats.bytes_logical,
+        stats.bytes_logical as f64 / stats.bytes_on_disk.max(1) as f64,
     );
     let spec_json = serde_json::to_string(&spec)
         .map_err(|e| AgentError::Fatal(format!("load spec serialization: {e}")))?;
@@ -263,6 +279,10 @@ mod tests {
         let stats = run_load(&c, &mut state, &spec(&c)).unwrap();
         assert!(stats.rows_loaded > 0);
         assert_eq!(c.db.n_rows("halos").unwrap(), stats.rows_loaded);
+        // Compression accounting: something landed on disk, and the
+        // encoded form never exceeds the raw layout.
+        assert!(stats.bytes_on_disk > 0);
+        assert!(stats.bytes_on_disk <= stats.bytes_logical);
         // sim/step annotation columns exist.
         let schema = c.db.table_schema("halos").unwrap();
         let names: Vec<&str> = schema.iter().map(|(n, _)| n.as_str()).collect();

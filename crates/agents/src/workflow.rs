@@ -41,8 +41,13 @@ pub struct RunReport {
     pub llm_latency_ms: u64,
     /// Real wall-clock of the data pipeline (ms).
     pub wall_ms: u64,
-    /// Storage overhead: database + provenance artifacts (bytes).
+    /// Storage overhead: database + provenance artifacts (bytes on
+    /// disk — database chunks are compressed, format v2).
     pub storage_bytes: u64,
+    /// Storage the run would need with the uncompressed (v1) chunk
+    /// layout; `storage_bytes / storage_logical_bytes` is the realized
+    /// compression ratio.
+    pub storage_logical_bytes: u64,
     pub flags: QualityFlags,
     /// The final result frame, when the last compute/sql step succeeded.
     pub result: Option<infera_frame::DataFrame>,
@@ -382,6 +387,7 @@ pub fn run_question_with_plan(
         llm_latency_ms: ctx.llm.meter().total_latency_ms(),
         wall_ms: wall_us / 1000,
         storage_bytes: ctx.db.total_bytes() + ctx.prov.storage_bytes(),
+        storage_logical_bytes: ctx.db.total_logical_bytes() + ctx.prov.storage_bytes(),
         flags: state.flags,
         result,
         visualizations: state.visualizations.clone(),
@@ -432,6 +438,7 @@ mod tests {
         assert!(report.satisfactory_viz);
         assert!(report.tokens > 5_000, "tokens {}", report.tokens);
         assert!(report.storage_bytes > 0);
+        assert!(report.storage_logical_bytes >= report.storage_bytes);
         // The result is the per-step mean count with one row per step.
         let result = report.result.unwrap();
         assert_eq!(result.n_rows(), c.manifest.steps.len());

@@ -1,0 +1,279 @@
+//! Columnar microbenchmark: the tracked perf trajectory for the storage
+//! engine.
+//!
+//! Benchmarks ingest / filtered scan / group-by / join on a seeded
+//! synthetic halo table at two scales, once with compression disabled
+//! (the v1 raw chunk layout) and once with format-v2 compression + late
+//! materialization — both measured in the same process so the
+//! comparison is apples-to-apples. Results land in `BENCH_columnar.json`
+//! at the repo root (override with `--out <path>`): one entry per
+//! (op, format, scale) with rows, on-disk bytes, wall time, and
+//! throughput, plus a summary of v2-vs-v1 ratios.
+//!
+//!   microbench             # both scales, best-of-5 timing
+//!   microbench --smoke     # small scale only, single rep (CI gate)
+//!
+//! Methodology: each op is timed `reps` times and the minimum wall time
+//! is kept (the usual microbenchmark floor estimator — other reps only
+//! add scheduler noise). Ingest writes to a fresh directory per rep.
+
+use infera_columnar::Database;
+use infera_frame::{Column, DataFrame};
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchEntry {
+    op: String,
+    /// "v1" = uncompressed raw chunks, "v2" = compressed + late
+    /// materialization.
+    format: String,
+    rows: u64,
+    bytes_on_disk: u64,
+    logical_bytes: u64,
+    wall_ms: f64,
+    throughput_rows_per_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    /// v1 bytes / v2 bytes on the filtered-scan dataset (higher is
+    /// better; acceptance floor is 2.0).
+    disk_reduction_filtered_scan: f64,
+    /// Worst v2/v1 wall-time ratio across ops at the largest scale
+    /// (must stay <= 1.05).
+    worst_time_ratio: f64,
+    worst_time_ratio_op: String,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    seed: u64,
+    smoke: bool,
+    entries: Vec<BenchEntry>,
+    summary: Summary,
+}
+
+const OPS: [&str; 4] = ["ingest", "filtered_scan", "group_by", "join"];
+
+/// The dictionary-friendly synthetic dataset: a sorted i64 tag
+/// (frame-of-reference packs it far below 8 B/row), a 4-value string sim
+/// label (dictionary), log-normal f64 masses (incompressible, stays
+/// raw), a run-structured bool flag (RLE), and a small-range i64 count.
+fn halo_frame(rows: usize, seed: u64) -> DataFrame {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    let tags: Vec<i64> = (0..rows as i64).collect();
+    let sims: Vec<String> = (0..rows).map(|i| format!("sim{}", i % 4)).collect();
+    let mass: Vec<f64> = (0..rows)
+        .map(|_| 10f64.powf(11.0 + 4.0 * rng.random::<f64>()))
+        .collect();
+    let central: Vec<bool> = (0..rows).map(|i| (i / 64) % 2 == 0).collect();
+    let count: Vec<i64> = mass.iter().map(|m| (m / 1.3e9) as i64 % 10_000).collect();
+    DataFrame::from_columns([
+        ("tag", Column::I64(tags)),
+        ("sim", Column::Str(sims)),
+        ("mass", Column::F64(mass)),
+        ("central", Column::Bool(central)),
+        ("count", Column::I64(count)),
+    ])
+    .unwrap()
+}
+
+fn galaxy_frame(rows: usize, halo_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x9e37);
+    let halo_tag: Vec<i64> = (0..rows)
+        .map(|_| (rng.random::<f64>() * halo_rows as f64) as i64)
+        .collect();
+    let lum: Vec<f64> = (0..rows).map(|_| rng.random::<f64>() * 1e9).collect();
+    DataFrame::from_columns([
+        ("halo_tag", Column::I64(halo_tag)),
+        ("lum", Column::F64(lum)),
+    ])
+    .unwrap()
+}
+
+fn fresh_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("infera_microbench")
+        .join(format!("{label}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Minimum wall time of `reps` runs, in milliseconds.
+fn time_min<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn run_scale(
+    rows: usize,
+    compress: bool,
+    seed: u64,
+    reps: usize,
+    entries: &mut Vec<BenchEntry>,
+) {
+    let format = if compress { "v2" } else { "v1" };
+    let halos = halo_frame(rows, seed);
+    let galaxies = galaxy_frame(rows / 2, rows, seed);
+    let chunk = 8_192;
+
+    // Ingest: fresh database per rep; keep the last one for the queries.
+    let mut db = None;
+    let ingest_ms = time_min(reps, || {
+        let dir = fresh_dir(&format!("{format}_{rows}"));
+        let mut d = Database::create(&dir).unwrap();
+        d.compress = compress;
+        d.create_table("halos", &halos.schema()).unwrap();
+        d.append_chunked("halos", &halos, chunk).unwrap();
+        d.create_table("galaxies", &galaxies.schema()).unwrap();
+        d.append_chunked("galaxies", &galaxies, chunk).unwrap();
+        db = Some(d);
+    });
+    let db = db.expect("ingest ran");
+    let bytes_on_disk = db.total_bytes();
+    let logical_bytes = db.total_logical_bytes();
+    let total_rows = (rows + rows / 2) as u64;
+    let entry = |op: &str, wall_ms: f64, n_rows: u64| BenchEntry {
+        op: op.to_string(),
+        format: format.to_string(),
+        rows: n_rows,
+        bytes_on_disk,
+        logical_bytes,
+        wall_ms,
+        throughput_rows_per_s: n_rows as f64 / (wall_ms / 1e3).max(1e-9),
+    };
+    entries.push(entry("ingest", ingest_ms, total_rows));
+
+    // Filtered scan: selective predicate over the sorted tag column plus
+    // a string-equality conjunct — exercises zone maps (numeric and
+    // lexicographic) and the late-materialization path.
+    let cut = (rows as f64 * 0.9) as i64;
+    let sql = format!("SELECT tag, sim, mass FROM halos WHERE tag >= {cut} AND sim = 'sim1'");
+    let ms = time_min(reps, || {
+        db.query(&sql).unwrap();
+    });
+    entries.push(entry("filtered_scan", ms, rows as u64));
+
+    // Grouped aggregation over the dictionary column.
+    let ms = time_min(reps, || {
+        db.query("SELECT sim, COUNT(*) AS n, AVG(mass) AS m FROM halos GROUP BY sim")
+            .unwrap();
+    });
+    entries.push(entry("group_by", ms, rows as u64));
+
+    // Join galaxies back to their halos.
+    let ms = time_min(reps, || {
+        db.query(
+            "SELECT sim, COUNT(*) AS n, AVG(lum) AS l FROM galaxies JOIN halos ON galaxies.halo_tag = halos.tag GROUP BY sim",
+        )
+        .unwrap();
+    });
+    entries.push(entry("join", ms, total_rows));
+}
+
+fn summarize(entries: &[BenchEntry], largest_rows: u64) -> Summary {
+    let find = |op: &str, format: &str| {
+        entries
+            .iter()
+            .filter(|e| e.op == op && e.format == format)
+            .max_by_key(|e| e.rows)
+            .expect("entry present")
+    };
+    let v1_scan = find("filtered_scan", "v1");
+    let v2_scan = find("filtered_scan", "v2");
+    let disk_reduction = v1_scan.bytes_on_disk as f64 / v2_scan.bytes_on_disk.max(1) as f64;
+
+    let mut worst = 0.0f64;
+    let mut worst_op = String::new();
+    for op in OPS {
+        let (v1, v2) = (
+            entries
+                .iter()
+                .find(|e| e.op == op && e.format == "v1" && e.rows >= largest_rows)
+                .expect("v1 entry"),
+            entries
+                .iter()
+                .find(|e| e.op == op && e.format == "v2" && e.rows >= largest_rows)
+                .expect("v2 entry"),
+        );
+        let ratio = v2.wall_ms / v1.wall_ms.max(1e-9);
+        if ratio > worst {
+            worst = ratio;
+            worst_op = op.to_string();
+        }
+    }
+    Summary {
+        disk_reduction_filtered_scan: disk_reduction,
+        worst_time_ratio: worst,
+        worst_time_ratio_op: worst_op,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_columnar.json")
+        });
+    let seed = 2025u64;
+    let (scales, reps): (&[usize], usize) = if smoke {
+        (&[20_000], 2)
+    } else {
+        (&[50_000, 200_000], 5)
+    };
+
+    let mut entries = Vec::new();
+    for &rows in scales {
+        for compress in [false, true] {
+            run_scale(rows, compress, seed, reps, &mut entries);
+        }
+        eprintln!("microbench: scale {rows} done");
+    }
+    // Per-op row counts differ (join counts both tables), so the ratio
+    // comparison anchors on the largest scale's base row count: only
+    // that scale's entries have rows >= the floor.
+    let scale_floor = *scales.last().unwrap() as u64;
+    let summary = summarize(&entries, scale_floor);
+
+    let report = BenchReport {
+        seed,
+        smoke,
+        entries,
+        summary,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out_path, &json).expect("write BENCH_columnar.json");
+
+    println!(
+        "microbench: wrote {} ({} entries)",
+        out_path.display(),
+        report.entries.len()
+    );
+    println!(
+        "  on-disk reduction (filtered_scan dataset): {:.2}x (floor 2.0)",
+        report.summary.disk_reduction_filtered_scan
+    );
+    println!(
+        "  worst v2/v1 time ratio: {:.3} on {} (ceiling 1.05)",
+        report.summary.worst_time_ratio, report.summary.worst_time_ratio_op
+    );
+    for e in &report.entries {
+        println!(
+            "  {:>6}r {:<14} {:<3} {:>10} B disk {:>9.2} ms {:>12.0} rows/s",
+            e.rows, e.op, e.format, e.bytes_on_disk, e.wall_ms, e.throughput_rows_per_s
+        );
+    }
+}

@@ -5,7 +5,7 @@ use crate::sql::ast::Statement;
 use crate::sql::exec::{execute, run_select, ExecOutcome, ExecStats};
 use crate::sql::parser::parse;
 use crate::sql::plan::Catalog;
-use crate::storage::{TableStore, ZoneMap, DEFAULT_CHUNK_ROWS};
+use crate::storage::{StrZoneMap, TableStore, ZoneMap, DEFAULT_CHUNK_ROWS};
 use infera_frame::{DataFrame, DType};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -21,6 +21,9 @@ pub struct Database {
     tables: RwLock<HashMap<String, std::sync::Arc<RwLock<TableStore>>>>,
     /// Rows per chunk used for appends.
     pub chunk_rows: usize,
+    /// Per-chunk compression on appends (disable to write the raw v1
+    /// chunk layout — the benchmark baseline).
+    pub compress: bool,
     obs: infera_obs::Obs,
 }
 
@@ -33,6 +36,7 @@ impl Database {
             root: root.to_path_buf(),
             tables: RwLock::new(HashMap::new()),
             chunk_rows: DEFAULT_CHUNK_ROWS,
+            compress: true,
             obs: infera_obs::Obs::default(),
         };
         db.load_existing()?;
@@ -124,7 +128,15 @@ impl Database {
     pub fn append_chunked(&self, name: &str, batch: &DataFrame, chunk_rows: usize) -> DbResult<()> {
         let table = self.table(name)?;
         let mut t = table.write();
-        t.append(batch, chunk_rows)
+        t.compress = self.compress;
+        let stats = t.append(batch, chunk_rows)?;
+        self.obs
+            .metrics
+            .inc(infera_obs::metric_names::STORAGE_ENCODED_BYTES, stats.encoded_bytes);
+        self.obs
+            .metrics
+            .inc(infera_obs::metric_names::STORAGE_LOGICAL_BYTES, stats.logical_bytes);
+        Ok(())
     }
 
     /// Drop a table and delete its files.
@@ -179,9 +191,31 @@ impl Database {
         self.table(table)?.read().zone(column, chunk)
     }
 
+    /// Lexicographic zone map of `(table, column, chunk)`.
+    pub fn str_zone(
+        &self,
+        table: &str,
+        column: &str,
+        chunk: usize,
+    ) -> DbResult<Option<StrZoneMap>> {
+        self.table(table)?.read().str_zone(column, chunk)
+    }
+
     /// Read the named columns of one chunk.
     pub fn read_chunk(&self, table: &str, chunk: usize, columns: &[&str]) -> DbResult<DataFrame> {
         self.table(table)?.read().read_chunk(chunk, columns)
+    }
+
+    /// Read only the given (sorted ascending) rows of the named columns
+    /// of one chunk — the late-materialization path.
+    pub fn read_chunk_rows(
+        &self,
+        table: &str,
+        chunk: usize,
+        columns: &[&str],
+        rows: &[usize],
+    ) -> DbResult<DataFrame> {
+        self.table(table)?.read().read_chunk_rows(chunk, columns, rows)
     }
 
     /// Materialize the named columns of an entire table.
@@ -207,12 +241,22 @@ impl Database {
         Ok(out)
     }
 
-    /// Total on-disk size of all tables, in bytes.
+    /// Total on-disk size of all tables, in bytes (encoded chunks).
     pub fn total_bytes(&self) -> u64 {
         self.tables
             .read()
             .values()
             .map(|t| t.read().byte_size())
+            .sum()
+    }
+
+    /// Total logical size of all tables: the bytes the same data would
+    /// occupy in the raw (uncompressed v1) chunk layout.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.read().logical_size())
             .sum()
     }
 

@@ -1,0 +1,715 @@
+//! Per-chunk lightweight compression codecs (storage format v2).
+//!
+//! Each column chunk is encoded independently with one of four codecs,
+//! chosen by a byte-cost heuristic at append time and recorded in the
+//! chunk's [`ChunkLocation`](crate::storage::ChunkLocation):
+//!
+//! * `Raw` — the v1 layout (fixed-width values; length-prefixed strings).
+//!   Always used for `F64` and whenever nothing else is smaller.
+//! * `Dict` — dictionary encoding for `Str`: unique values once, then
+//!   bit-packed indices. Wins on low-cardinality columns (`sim`, step
+//!   labels, entity names) — the common case for ensemble metadata.
+//! * `ForPack` — frame-of-reference + bit-packing for `I64`: store the
+//!   chunk minimum, then `value - min` in the fewest bits that fit the
+//!   range. Halo tags and row ids are dense and near-sorted, so the
+//!   packed width is usually far below 64.
+//! * `Rle` — run-length encoding for `Bool` flags.
+//!
+//! All codecs support *selective decode*: given a sorted selection of row
+//! indices, only those rows are materialized. The scan uses this for late
+//! materialization — predicate columns decode fully, survivors only for
+//! the rest.
+
+use crate::error::{DbError, DbResult};
+use crate::storage::ColType;
+use infera_frame::Column;
+use serde::{Deserialize, Serialize};
+
+/// Chunk codec identifier, persisted in `meta.json`. A v1 meta has no
+/// `encoding` field; `Raw` (the serde default) is exactly the v1 layout,
+/// which is what makes v1 tables readable by the v2 code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Encoding {
+    #[default]
+    Raw,
+    Dict,
+    ForPack,
+    Rle,
+}
+
+// ------------------------------------------------------------- bit packing
+
+/// Append `n` `width`-bit values to `out`, LSB-first, via a running bit
+/// buffer (one shift/or per value, one push per output byte).
+fn pack_bits(values: impl Iterator<Item = u64>, width: u8, n: usize, out: &mut Vec<u8>) {
+    let width = width as usize;
+    if width == 0 {
+        return;
+    }
+    out.reserve((n * width).div_ceil(8));
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mut buf: u128 = 0;
+    let mut bits = 0usize;
+    for v in values {
+        buf |= ((v & mask) as u128) << bits;
+        bits += width;
+        while bits >= 8 {
+            out.push(buf as u8);
+            buf >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        out.push(buf as u8);
+    }
+}
+
+/// Sequentially unpack `n` `width`-bit values through `emit` — the full
+/// chunk decode path. One buffer refill per byte, not per value.
+fn unpack_bits(bytes: &[u8], width: u8, n: usize, mut emit: impl FnMut(u64)) {
+    let width = width as usize;
+    if width == 0 {
+        for _ in 0..n {
+            emit(0);
+        }
+        return;
+    }
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mut buf: u128 = 0;
+    let mut bits = 0usize;
+    let mut pos = 0usize;
+    for _ in 0..n {
+        while bits < width {
+            buf |= (bytes.get(pos).copied().unwrap_or(0) as u128) << bits;
+            pos += 1;
+            bits += 8;
+        }
+        emit((buf as u64) & mask);
+        buf >>= width;
+        bits -= width;
+    }
+}
+
+/// Read the `idx`-th `width`-bit value from an LSB-first packed buffer —
+/// the random-access path used by selective decode.
+fn read_packed(bytes: &[u8], width: u8, idx: usize) -> u64 {
+    let width = width as usize;
+    let bit = idx * width;
+    let byte = bit / 8;
+    let shift = bit % 8;
+    let mut win = [0u8; 16];
+    let end = (byte + 16).min(bytes.len());
+    if byte < end {
+        win[..end - byte].copy_from_slice(&bytes[byte..end]);
+    }
+    let window = u128::from_le_bytes(win);
+    let mask = if width == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << width) - 1
+    };
+    ((window >> shift) & mask) as u64
+}
+
+/// Bits needed to represent `v` (0 for v == 0).
+fn bits_for(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+// ------------------------------------------------------------- raw codec
+
+/// The v1 byte layout: the unit all cost comparisons are made against.
+pub fn encode_raw(col: &Column) -> Vec<u8> {
+    match col {
+        Column::F64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        Column::I64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        Column::Bool(v) => v.iter().map(|&b| u8::from(b)).collect(),
+        Column::Str(v) => {
+            let mut out = Vec::new();
+            for s in v {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            out
+        }
+    }
+}
+
+/// Size of the raw (v1) layout without materializing it: this is the
+/// "logical" byte count reported next to the encoded on-disk size.
+pub fn raw_size(col: &Column) -> u64 {
+    match col {
+        Column::F64(v) => 8 * v.len() as u64,
+        Column::I64(v) => 8 * v.len() as u64,
+        Column::Bool(v) => v.len() as u64,
+        Column::Str(v) => v.iter().map(|s| 4 + s.len() as u64).sum(),
+    }
+}
+
+fn decode_raw(dtype: ColType, n_rows: usize, bytes: &[u8]) -> DbResult<Column> {
+    match dtype {
+        ColType::F64 => {
+            if bytes.len() != n_rows * 8 {
+                return Err(DbError::Corrupt("f64 chunk size mismatch".into()));
+            }
+            Ok(Column::F64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ))
+        }
+        ColType::I64 => {
+            if bytes.len() != n_rows * 8 {
+                return Err(DbError::Corrupt("i64 chunk size mismatch".into()));
+            }
+            Ok(Column::I64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ))
+        }
+        ColType::Bool => {
+            if bytes.len() != n_rows {
+                return Err(DbError::Corrupt("bool chunk size mismatch".into()));
+            }
+            Ok(Column::Bool(bytes.iter().map(|&b| b != 0).collect()))
+        }
+        ColType::Str => {
+            let mut out = Vec::with_capacity(n_rows);
+            let mut pos = 0usize;
+            for _ in 0..n_rows {
+                let (s, next) = raw_str_at(bytes, pos)?;
+                out.push(s.to_string());
+                pos = next;
+            }
+            Ok(Column::Str(out))
+        }
+    }
+}
+
+fn raw_str_at(bytes: &[u8], pos: usize) -> DbResult<(&str, usize)> {
+    if pos + 4 > bytes.len() {
+        return Err(DbError::Corrupt("str chunk truncated".into()));
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let start = pos + 4;
+    if start + len > bytes.len() {
+        return Err(DbError::Corrupt("str chunk truncated".into()));
+    }
+    let s = std::str::from_utf8(&bytes[start..start + len])
+        .map_err(|_| DbError::Corrupt("non-utf8 string".into()))?;
+    Ok((s, start + len))
+}
+
+fn decode_raw_rows(dtype: ColType, n_rows: usize, bytes: &[u8], rows: &[usize]) -> DbResult<Column> {
+    match dtype {
+        ColType::F64 => {
+            if bytes.len() != n_rows * 8 {
+                return Err(DbError::Corrupt("f64 chunk size mismatch".into()));
+            }
+            Ok(Column::F64(
+                rows.iter()
+                    .map(|&r| {
+                        f64::from_le_bytes(bytes[r * 8..r * 8 + 8].try_into().expect("8 bytes"))
+                    })
+                    .collect(),
+            ))
+        }
+        ColType::I64 => {
+            if bytes.len() != n_rows * 8 {
+                return Err(DbError::Corrupt("i64 chunk size mismatch".into()));
+            }
+            Ok(Column::I64(
+                rows.iter()
+                    .map(|&r| {
+                        i64::from_le_bytes(bytes[r * 8..r * 8 + 8].try_into().expect("8 bytes"))
+                    })
+                    .collect(),
+            ))
+        }
+        ColType::Bool => {
+            if bytes.len() != n_rows {
+                return Err(DbError::Corrupt("bool chunk size mismatch".into()));
+            }
+            Ok(Column::Bool(rows.iter().map(|&r| bytes[r] != 0).collect()))
+        }
+        ColType::Str => {
+            // One forward pass over the length-prefixed stream; `rows` is
+            // sorted, so a single cursor suffices.
+            let mut out = Vec::with_capacity(rows.len());
+            let mut pos = 0usize;
+            let mut cur = 0usize;
+            for &r in rows {
+                while cur < r {
+                    let (_, next) = raw_str_at(bytes, pos)?;
+                    pos = next;
+                    cur += 1;
+                }
+                let (s, _) = raw_str_at(bytes, pos)?;
+                out.push(s.to_string());
+            }
+            Ok(Column::Str(out))
+        }
+    }
+}
+
+// ------------------------------------------------------- dictionary codec
+
+/// Layout: `u32 dict_len`, dict entries (`u32 len` + bytes each),
+/// `u8 index_width`, bit-packed indices.
+fn try_encode_dict(values: &[String]) -> Option<Vec<u8>> {
+    const MAX_DICT: usize = 1 << 16;
+    // Real dictionary columns are low-cardinality, where a linear probe of
+    // the dict beats hashing every value; the hash map only kicks in once
+    // the dict outgrows the scan.
+    const LINEAR_MAX: usize = 16;
+    let mut dict: Vec<&str> = Vec::new();
+    let mut lookup: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    let mut indices: Vec<u64> = Vec::with_capacity(values.len());
+    for s in values {
+        let found = if dict.len() <= LINEAR_MAX {
+            dict.iter().position(|d| *d == s).map(|i| i as u32)
+        } else {
+            lookup.get(s.as_str()).copied()
+        };
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                if dict.len() >= MAX_DICT {
+                    return None;
+                }
+                let i = dict.len() as u32;
+                dict.push(s);
+                if dict.len() == LINEAR_MAX + 1 {
+                    // Crossing the threshold: backfill the map.
+                    for (j, d) in dict.iter().enumerate() {
+                        lookup.insert(d, j as u32);
+                    }
+                } else if dict.len() > LINEAR_MAX {
+                    lookup.insert(s, i);
+                }
+                i
+            }
+        };
+        indices.push(idx as u64);
+    }
+    let width = bits_for(dict.len().saturating_sub(1) as u64);
+    let mut out = Vec::new();
+    out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+    for s in &dict {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.push(width);
+    pack_bits(indices.into_iter(), width, values.len(), &mut out);
+    Some(out)
+}
+
+/// Parse the dictionary header; returns (dict, index_width, packed bytes).
+fn dict_parts(bytes: &[u8]) -> DbResult<(Vec<String>, u8, &[u8])> {
+    if bytes.len() < 4 {
+        return Err(DbError::Corrupt("dict chunk truncated".into()));
+    }
+    let dict_len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let mut pos = 4usize;
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let (s, next) = raw_str_at(bytes, pos)?;
+        dict.push(s.to_string());
+        pos = next;
+    }
+    if pos >= bytes.len() {
+        return Err(DbError::Corrupt("dict chunk truncated".into()));
+    }
+    let width = bytes[pos];
+    Ok((dict, width, &bytes[pos + 1..]))
+}
+
+fn decode_dict(n_rows: usize, bytes: &[u8]) -> DbResult<Column> {
+    let (dict, width, packed) = dict_parts(bytes)?;
+    let mut out = Vec::with_capacity(n_rows);
+    let mut bad = false;
+    unpack_bits(packed, width, n_rows, |idx| match dict.get(idx as usize) {
+        Some(s) => out.push(s.clone()),
+        None => bad = true,
+    });
+    if bad {
+        return Err(DbError::Corrupt("dict index out of range".into()));
+    }
+    Ok(Column::Str(out))
+}
+
+fn decode_dict_rows(bytes: &[u8], rows: &[usize]) -> DbResult<Column> {
+    let (dict, width, packed) = dict_parts(bytes)?;
+    let mut out = Vec::with_capacity(rows.len());
+    for &r in rows {
+        let idx = if width == 0 { 0 } else { read_packed(packed, width, r) as usize };
+        let s = dict
+            .get(idx)
+            .ok_or_else(|| DbError::Corrupt("dict index out of range".into()))?;
+        out.push(s.clone());
+    }
+    Ok(Column::Str(out))
+}
+
+// ----------------------------------------------- frame-of-reference codec
+
+/// Layout: `i64 min`, `u8 width`, bit-packed `value - min` deltas.
+fn try_encode_for(values: &[i64]) -> Option<Vec<u8>> {
+    let (&first, rest) = values.split_first()?;
+    let (mut min, mut max) = (first, first);
+    for &v in rest {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    // Deltas are computed in wrapping u64 arithmetic: `v - min` is in
+    // [0, max - min] mathematically, which two's complement subtraction
+    // modulo 2^64 reproduces exactly — no widening needed. The full-range
+    // case (max - min spanning all of u64) needs width 64 and is never
+    // smaller than raw, so it falls back.
+    let range = (max as u64).wrapping_sub(min as u64);
+    let width = bits_for(range);
+    if width >= 64 {
+        return None; // never smaller than raw
+    }
+    let mut out = Vec::with_capacity(9 + (values.len() * width as usize).div_ceil(8));
+    out.extend_from_slice(&min.to_le_bytes());
+    out.push(width);
+    pack_bits(
+        values.iter().map(|&v| (v as u64).wrapping_sub(min as u64)),
+        width,
+        values.len(),
+        &mut out,
+    );
+    Some(out)
+}
+
+fn for_parts(bytes: &[u8]) -> DbResult<(i64, u8, &[u8])> {
+    if bytes.len() < 9 {
+        return Err(DbError::Corrupt("for-pack chunk truncated".into()));
+    }
+    let min = i64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    Ok((min, bytes[8], &bytes[9..]))
+}
+
+fn decode_for(n_rows: usize, bytes: &[u8]) -> DbResult<Column> {
+    let (min, width, packed) = for_parts(bytes)?;
+    let mut out = Vec::with_capacity(n_rows);
+    // Wrapping add inverts the wrapping-sub delta exactly (the true value
+    // fits i64 by construction).
+    unpack_bits(packed, width, n_rows, |delta| {
+        out.push((min as u64).wrapping_add(delta) as i64);
+    });
+    Ok(Column::I64(out))
+}
+
+fn decode_for_rows(bytes: &[u8], rows: &[usize]) -> DbResult<Column> {
+    let (min, width, packed) = for_parts(bytes)?;
+    Ok(Column::I64(
+        rows.iter()
+            .map(|&r| {
+                let delta = if width == 0 { 0 } else { read_packed(packed, width, r) };
+                (min as u64).wrapping_add(delta) as i64
+            })
+            .collect(),
+    ))
+}
+
+// ------------------------------------------------------------- RLE codec
+
+/// Layout: runs of `u8 value`, `u32 run_len`.
+fn encode_rle(values: &[bool]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut iter = values.iter();
+    let Some(&first) = iter.next() else {
+        return out;
+    };
+    let mut cur = first;
+    let mut run = 1u32;
+    for &v in iter {
+        if v == cur && run < u32::MAX {
+            run += 1;
+        } else {
+            out.push(u8::from(cur));
+            out.extend_from_slice(&run.to_le_bytes());
+            cur = v;
+            run = 1;
+        }
+    }
+    out.push(u8::from(cur));
+    out.extend_from_slice(&run.to_le_bytes());
+    out
+}
+
+fn rle_runs(bytes: &[u8]) -> DbResult<impl Iterator<Item = (bool, u32)> + '_> {
+    if bytes.len() % 5 != 0 {
+        return Err(DbError::Corrupt("rle chunk truncated".into()));
+    }
+    Ok(bytes
+        .chunks_exact(5)
+        .map(|c| (c[0] != 0, u32::from_le_bytes(c[1..5].try_into().expect("4 bytes")))))
+}
+
+fn decode_rle(n_rows: usize, bytes: &[u8]) -> DbResult<Column> {
+    let mut out = Vec::with_capacity(n_rows);
+    for (v, run) in rle_runs(bytes)? {
+        out.extend(std::iter::repeat_n(v, run as usize));
+    }
+    if out.len() != n_rows {
+        return Err(DbError::Corrupt("rle row count mismatch".into()));
+    }
+    Ok(Column::Bool(out))
+}
+
+fn decode_rle_rows(n_rows: usize, bytes: &[u8], rows: &[usize]) -> DbResult<Column> {
+    // Walk runs and the (sorted) selection together.
+    let mut out = Vec::with_capacity(rows.len());
+    let mut ri = 0usize; // next selection entry
+    let mut seen = 0usize; // rows covered by previous runs
+    for (v, run) in rle_runs(bytes)? {
+        let end = seen + run as usize;
+        while ri < rows.len() && rows[ri] < end {
+            out.push(v);
+            ri += 1;
+        }
+        seen = end;
+        if ri == rows.len() {
+            break;
+        }
+    }
+    if seen > n_rows || (ri < rows.len()) {
+        return Err(DbError::Corrupt("rle selection out of range".into()));
+    }
+    Ok(Column::Bool(out))
+}
+
+// ------------------------------------------------------------- public API
+
+/// Encode one column chunk, choosing the cheapest codec. Returns the
+/// chosen encoding and the bytes. The heuristic is pure byte cost against
+/// the raw layout: a candidate codec is used only when strictly smaller.
+pub fn encode(col: &Column) -> (Encoding, Vec<u8>) {
+    let raw_len = raw_size(col);
+    match col {
+        Column::F64(_) => (Encoding::Raw, encode_raw(col)),
+        Column::I64(v) => match try_encode_for(v) {
+            Some(packed) if (packed.len() as u64) < raw_len => (Encoding::ForPack, packed),
+            _ => (Encoding::Raw, encode_raw(col)),
+        },
+        Column::Str(v) => match try_encode_dict(v) {
+            Some(packed) if (packed.len() as u64) < raw_len => (Encoding::Dict, packed),
+            _ => (Encoding::Raw, encode_raw(col)),
+        },
+        Column::Bool(v) => {
+            let packed = encode_rle(v);
+            if (packed.len() as u64) < raw_len {
+                (Encoding::Rle, packed)
+            } else {
+                (Encoding::Raw, encode_raw(col))
+            }
+        }
+    }
+}
+
+/// Decode a full chunk.
+pub fn decode(enc: Encoding, dtype: ColType, n_rows: usize, bytes: &[u8]) -> DbResult<Column> {
+    match (enc, dtype) {
+        (Encoding::Raw, _) => decode_raw(dtype, n_rows, bytes),
+        (Encoding::Dict, ColType::Str) => decode_dict(n_rows, bytes),
+        (Encoding::ForPack, ColType::I64) => decode_for(n_rows, bytes),
+        (Encoding::Rle, ColType::Bool) => decode_rle(n_rows, bytes),
+        (enc, dtype) => Err(DbError::Corrupt(format!(
+            "encoding {enc:?} is invalid for column type {dtype:?}"
+        ))),
+    }
+}
+
+/// Decode only the given rows of a chunk. `rows` must be sorted ascending
+/// and in range; this is what selection vectors produce.
+pub fn decode_rows(
+    enc: Encoding,
+    dtype: ColType,
+    n_rows: usize,
+    bytes: &[u8],
+    rows: &[usize],
+) -> DbResult<Column> {
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+    if let Some(&last) = rows.last() {
+        if last >= n_rows {
+            return Err(DbError::Exec(format!(
+                "selected row {last} out of range ({n_rows} rows)"
+            )));
+        }
+    }
+    match (enc, dtype) {
+        (Encoding::Raw, _) => decode_raw_rows(dtype, n_rows, bytes, rows),
+        (Encoding::Dict, ColType::Str) => decode_dict_rows(bytes, rows),
+        (Encoding::ForPack, ColType::I64) => decode_for_rows(bytes, rows),
+        (Encoding::Rle, ColType::Bool) => decode_rle_rows(n_rows, bytes, rows),
+        (enc, dtype) => Err(DbError::Corrupt(format!(
+            "encoding {enc:?} is invalid for column type {dtype:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(col: Column, dtype: ColType) -> (Encoding, Column) {
+        let n = col.len();
+        let (enc, bytes) = encode(&col);
+        let back = decode(enc, dtype, n, &bytes).unwrap();
+        assert_eq!(back, col);
+        (enc, back)
+    }
+
+    #[test]
+    fn dict_wins_on_low_cardinality() {
+        let v: Vec<String> = (0..1000).map(|i| format!("sim{}", i % 4)).collect();
+        let col = Column::Str(v);
+        let raw = raw_size(&col);
+        let (enc, bytes) = encode(&col);
+        assert_eq!(enc, Encoding::Dict);
+        assert!(
+            (bytes.len() as u64) * 2 < raw,
+            "dict {} vs raw {raw}",
+            bytes.len()
+        );
+        roundtrip(col, ColType::Str);
+    }
+
+    #[test]
+    fn high_cardinality_strings_stay_raw() {
+        let v: Vec<String> = (0..100).map(|i| format!("unique-halo-{i:06}")).collect();
+        let (enc, _) = encode(&Column::Str(v.clone()));
+        assert_eq!(enc, Encoding::Raw);
+        roundtrip(Column::Str(v), ColType::Str);
+    }
+
+    #[test]
+    fn for_pack_small_range() {
+        let v: Vec<i64> = (0..5000).map(|i| 1_000_000 + (i % 300)).collect();
+        let col = Column::I64(v);
+        let raw = raw_size(&col);
+        let (enc, bytes) = encode(&col);
+        assert_eq!(enc, Encoding::ForPack);
+        assert!((bytes.len() as u64) * 4 < raw);
+        roundtrip(col, ColType::I64);
+    }
+
+    #[test]
+    fn for_pack_extreme_range_falls_back() {
+        let col = Column::I64(vec![i64::MIN, 0, i64::MAX]);
+        let (enc, _) = encode(&col);
+        assert_eq!(enc, Encoding::Raw);
+        roundtrip(col, ColType::I64);
+    }
+
+    #[test]
+    fn all_equal_i64_packs_to_header() {
+        let col = Column::I64(vec![42; 10_000]);
+        let (enc, bytes) = encode(&col);
+        assert_eq!(enc, Encoding::ForPack);
+        assert_eq!(bytes.len(), 9); // min + width 0, no payload
+        roundtrip(col, ColType::I64);
+    }
+
+    #[test]
+    fn rle_on_uniform_flags() {
+        let col = Column::Bool(vec![true; 4096]);
+        let (enc, bytes) = encode(&col);
+        assert_eq!(enc, Encoding::Rle);
+        assert_eq!(bytes.len(), 5);
+        roundtrip(col, ColType::Bool);
+    }
+
+    #[test]
+    fn alternating_bools_stay_raw() {
+        let col = Column::Bool((0..100).map(|i| i % 2 == 0).collect());
+        let (enc, _) = encode(&col);
+        assert_eq!(enc, Encoding::Raw);
+        roundtrip(col, ColType::Bool);
+    }
+
+    #[test]
+    fn f64_always_raw_and_nan_safe() {
+        let col = Column::F64(vec![f64::NAN, 1.5, f64::INFINITY, -0.0]);
+        let (enc, bytes) = encode(&col);
+        assert_eq!(enc, Encoding::Raw);
+        let back = decode(enc, ColType::F64, 4, &bytes).unwrap();
+        let Column::F64(b) = back else { panic!() };
+        assert!(b[0].is_nan());
+        assert_eq!(b[1], 1.5);
+        assert!(b[2].is_infinite());
+        assert_eq!(b[3].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn empty_chunks_roundtrip() {
+        roundtrip(Column::I64(vec![]), ColType::I64);
+        roundtrip(Column::Str(vec![]), ColType::Str);
+        roundtrip(Column::Bool(vec![]), ColType::Bool);
+        roundtrip(Column::F64(vec![]), ColType::F64);
+    }
+
+    #[test]
+    fn selective_decode_matches_full() {
+        let cols: Vec<(Column, ColType)> = vec![
+            (
+                Column::I64((0..500).map(|i| 7 + (i % 13)).collect()),
+                ColType::I64,
+            ),
+            (
+                Column::Str((0..500).map(|i| format!("s{}", i % 3)).collect()),
+                ColType::Str,
+            ),
+            (
+                Column::Bool((0..500).map(|i| i < 250).collect()),
+                ColType::Bool,
+            ),
+            (
+                Column::F64((0..500).map(|i| i as f64 * 0.5).collect()),
+                ColType::F64,
+            ),
+            (
+                Column::Str((0..50).map(|i| format!("uniq{i}")).collect()),
+                ColType::Str,
+            ),
+        ];
+        for (col, dtype) in cols {
+            let n = col.len();
+            let (enc, bytes) = encode(&col);
+            let rows: Vec<usize> = (0..n).filter(|r| r % 7 == 3).collect();
+            let partial = decode_rows(enc, dtype, n, &bytes, &rows).unwrap();
+            let full = decode(enc, dtype, n, &bytes).unwrap();
+            assert_eq!(partial, full.take(&rows), "{enc:?}/{dtype:?}");
+        }
+    }
+
+    #[test]
+    fn selective_decode_out_of_range_errors() {
+        let col = Column::I64(vec![1, 2, 3]);
+        let (enc, bytes) = encode(&col);
+        assert!(decode_rows(enc, ColType::I64, 3, &bytes, &[5]).is_err());
+    }
+
+    #[test]
+    fn wide_bit_widths_roundtrip() {
+        // Range forcing a 63-bit width exercises the u128 read window.
+        // At width 63 packing only beats raw past ~72 rows (9-byte header).
+        let mut v: Vec<i64> = (0..100).map(|i| i * 31 + 7).collect();
+        v[17] = (1i64 << 62) + 12345;
+        v[56] = 1i64 << 60;
+        let col = Column::I64(v.clone());
+        let (enc, bytes) = encode(&col);
+        assert_eq!(enc, Encoding::ForPack);
+        assert_eq!(decode(enc, ColType::I64, 100, &bytes).unwrap(), col);
+        assert_eq!(
+            decode_rows(enc, ColType::I64, 100, &bytes, &[17, 56]).unwrap(),
+            Column::I64(vec![(1i64 << 62) + 12345, 1i64 << 60])
+        );
+    }
+}

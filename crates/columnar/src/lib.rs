@@ -17,11 +17,13 @@
 //!   `DROP TABLE` for the SQL agent's staging tables.
 
 pub mod db;
+pub mod encoding;
 pub mod error;
 pub mod sql;
 pub mod storage;
 
 pub use db::Database;
+pub use encoding::Encoding;
 pub use error::{DbError, DbResult};
 pub use sql::exec::{ExecOutcome, ExecStats};
-pub use storage::{TableStore, ZoneMap, DEFAULT_CHUNK_ROWS};
+pub use storage::{StrZoneMap, TableStore, ZoneMap, DEFAULT_CHUNK_ROWS, FORMAT_VERSION};

@@ -10,7 +10,7 @@ use super::ast::{JoinType, SelectStmt, Statement};
 use super::plan::{resolve, AggItem, QueryShape, ResolvedSelect};
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
-use infera_frame::{AggKind, Column, DataFrame, Expr, JoinKind, SortOrder, Value};
+use infera_frame::{AggKind, Column, DataFrame, Expr, JoinKind, SelectionVector, SortOrder, Value};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -22,6 +22,9 @@ pub struct ExecStats {
     pub chunks_skipped: usize,
     pub rows_scanned: u64,
     pub rows_output: u64,
+    /// Rows the late-materializing scan never decoded: they failed the
+    /// predicate, so only their predicate columns were ever read.
+    pub rows_pruned: u64,
 }
 
 /// Result of executing any statement.
@@ -90,16 +93,66 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
     let n_chunks = db.n_chunks(&plan.base.table)?;
     stats.chunks_total = n_chunks;
 
+    // Late materialization applies to no-join scans with a predicate:
+    // decode only the predicate's columns, evaluate into a selection
+    // vector, then decode just the surviving rows of the remaining
+    // projected columns. Joins change row multiplicity before the
+    // predicate runs, so they stay on the eager path.
+    let pred_cols: Vec<String> = match (&plan.join, &plan.predicate) {
+        (None, Some(pred)) => {
+            let mut cols = pred.referenced_columns();
+            cols.sort();
+            cols.dedup();
+            cols
+        }
+        _ => Vec::new(),
+    };
+    let late = !pred_cols.is_empty();
+    let rest_cols: Vec<String> = plan
+        .base
+        .columns
+        .iter()
+        .filter(|c| !pred_cols.contains(c))
+        .cloned()
+        .collect();
+
     // Per-chunk pipeline: zone check -> read pruned columns -> join ->
-    // filter.
-    let chunk_results: Vec<DbResult<Option<(u64, DataFrame)>>> = (0..n_chunks)
+    // filter (or selection-vector gather on the late path).
+    let chunk_results: Vec<DbResult<Option<(u64, u64, DataFrame)>>> = (0..n_chunks)
         .into_par_iter()
-        .map(|ci| -> DbResult<Option<(u64, DataFrame)>> {
+        .map(|ci| -> DbResult<Option<(u64, u64, DataFrame)>> {
             // Zone-map skip.
             for zf in &plan.zone_filters {
-                if !zf.may_match(db.zone(&plan.base.table, &zf.column, ci)?) {
+                let zone = db.zone(&plan.base.table, &zf.column, ci)?;
+                let str_zone = db.str_zone(&plan.base.table, &zf.column, ci)?;
+                if !zf.may_match(zone, str_zone.as_ref()) {
                     return Ok(None);
                 }
+            }
+            if late {
+                let pred = plan.predicate.as_ref().expect("late path has predicate");
+                let pred_chunk =
+                    db.read_chunk(&plan.base.table, ci, &to_refs(&pred_cols))?;
+                let rows_in = pred_chunk.n_rows() as u64;
+                let sv = SelectionVector::from_mask(&pred.eval_mask(&pred_chunk)?);
+                let pruned = rows_in - sv.len() as u64;
+                let rest = db.read_chunk_rows(
+                    &plan.base.table,
+                    ci,
+                    &to_refs(&rest_cols),
+                    sv.rows(),
+                )?;
+                // Reassemble in the plan's column order.
+                let mut chunk = DataFrame::new();
+                for name in &plan.base.columns {
+                    let col = if pred_cols.contains(name) {
+                        sv.gather_column(pred_chunk.column(name)?)
+                    } else {
+                        rest.column(name)?.clone()
+                    };
+                    chunk.add_column(name.clone(), col).map_err(DbError::from)?;
+                }
+                return Ok(Some((rows_in, pruned, chunk)));
             }
             let mut chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&plan.base.columns))?;
             let rows_in = chunk.n_rows() as u64;
@@ -113,19 +166,25 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
             if let Some(pred) = &plan.predicate {
                 chunk = chunk.filter_expr(pred)?;
             }
-            Ok(Some((rows_in, chunk)))
+            Ok(Some((rows_in, 0, chunk)))
         })
         .collect();
 
     let mut chunks: Vec<DataFrame> = Vec::new();
     for r in chunk_results {
         match r? {
-            Some((rows_in, df)) => {
+            Some((rows_in, pruned, df)) => {
                 stats.rows_scanned += rows_in;
+                stats.rows_pruned += pruned;
                 chunks.push(df);
             }
             None => stats.chunks_skipped += 1,
         }
+    }
+    if stats.rows_pruned > 0 {
+        db.obs()
+            .metrics
+            .inc(infera_obs::metric_names::SCAN_ROWS_PRUNED, stats.rows_pruned);
     }
 
     // Zone maps (or an empty table) can eliminate every chunk; the result
@@ -198,6 +257,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
     exec_span.set_attr("rows_scanned", stats.rows_scanned);
     exec_span.set_attr("chunks_total", stats.chunks_total);
     exec_span.set_attr("chunks_skipped", stats.chunks_skipped);
+    exec_span.set_attr("rows_pruned", stats.rows_pruned);
     Ok((out, stats))
 }
 

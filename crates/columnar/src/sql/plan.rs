@@ -55,26 +55,51 @@ pub enum CmpOp {
     Eq,
 }
 
+/// Literal side of a zone filter: numeric against min/max zone maps,
+/// string against lexicographic zone maps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneValue {
+    Num(f64),
+    Str(String),
+}
+
 /// A pushed-down `column <cmp> literal` conjunct usable for chunk
 /// skipping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZoneFilter {
     pub column: String,
     pub op: CmpOp,
-    pub value: f64,
+    pub value: ZoneValue,
 }
 
 impl ZoneFilter {
-    /// Can a chunk with the given zone map possibly contain a satisfying
-    /// row? `None` zone (strings / all-NaN) always "may match".
-    pub fn may_match(&self, zone: Option<crate::storage::ZoneMap>) -> bool {
-        let Some(z) = zone else { return true };
-        match self.op {
-            CmpOp::Lt => z.min < self.value,
-            CmpOp::Le => z.min <= self.value,
-            CmpOp::Gt => z.max > self.value,
-            CmpOp::Ge => z.max >= self.value,
-            CmpOp::Eq => z.min <= self.value && self.value <= z.max,
+    /// Can a chunk with the given zone maps possibly contain a satisfying
+    /// row? A missing zone map (all-NaN chunks, v1 string chunks) always
+    /// "may match".
+    pub fn may_match(
+        &self,
+        zone: Option<crate::storage::ZoneMap>,
+        str_zone: Option<&crate::storage::StrZoneMap>,
+    ) -> bool {
+        match &self.value {
+            ZoneValue::Num(v) => {
+                let Some(z) = zone else { return true };
+                Self::range_may_match(self.op, &z.min, &z.max, v)
+            }
+            ZoneValue::Str(v) => {
+                let Some(z) = str_zone else { return true };
+                Self::range_may_match(self.op, z.min.as_str(), z.max.as_str(), v.as_str())
+            }
+        }
+    }
+
+    fn range_may_match<T: PartialOrd + ?Sized>(op: CmpOp, min: &T, max: &T, value: &T) -> bool {
+        match op {
+            CmpOp::Lt => min < value,
+            CmpOp::Le => min <= value,
+            CmpOp::Gt => max > value,
+            CmpOp::Ge => max >= value,
+            CmpOp::Eq => min <= value && value <= max,
         }
     }
 }
@@ -299,8 +324,9 @@ fn default_name(e: &SqlExpr, idx: usize) -> String {
 }
 
 /// Extract zone filters from the conjunctive normal-ish top of a WHERE
-/// predicate: walks AND chains and keeps `col <cmp> numeric-literal`
-/// leaves referring to base-table columns.
+/// predicate: walks AND chains and keeps `col <cmp> literal` leaves
+/// referring to base-table columns. Numeric literals compare against
+/// min/max zone maps; string literals against lexicographic zone maps.
 fn extract_zone_filters(e: &SqlExpr, base_cols: &[String], out: &mut Vec<ZoneFilter>) {
     match e {
         SqlExpr::Binary(a, SqlBinOp::And, b) => {
@@ -317,13 +343,14 @@ fn extract_zone_filters(e: &SqlExpr, base_cols: &[String], out: &mut Vec<ZoneFil
                 _ => None,
             };
             let Some(cmp) = cmp else { return };
-            let lit = |e: &SqlExpr| -> Option<f64> {
+            let lit = |e: &SqlExpr| -> Option<ZoneValue> {
                 match e {
-                    SqlExpr::Int(v) => Some(*v as f64),
-                    SqlExpr::Float(v) => Some(*v),
+                    SqlExpr::Int(v) => Some(ZoneValue::Num(*v as f64)),
+                    SqlExpr::Float(v) => Some(ZoneValue::Num(*v)),
+                    SqlExpr::Str(s) => Some(ZoneValue::Str(s.clone())),
                     SqlExpr::Neg(inner) => match inner.as_ref() {
-                        SqlExpr::Int(v) => Some(-(*v as f64)),
-                        SqlExpr::Float(v) => Some(-v),
+                        SqlExpr::Int(v) => Some(ZoneValue::Num(-(*v as f64))),
+                        SqlExpr::Float(v) => Some(ZoneValue::Num(-v)),
                         _ => None,
                     },
                     _ => None,
@@ -725,7 +752,30 @@ mod tests {
     fn flipped_literal_comparison() {
         let p = plan("SELECT fof_halo_tag FROM halos WHERE 10 < fof_halo_count");
         assert_eq!(p.zone_filters[0].op, CmpOp::Gt);
-        assert_eq!(p.zone_filters[0].value, 10.0);
+        assert_eq!(p.zone_filters[0].value, ZoneValue::Num(10.0));
+    }
+
+    #[test]
+    fn string_literal_zone_filter() {
+        let p = plan("SELECT fof_halo_tag FROM halos WHERE sim = 'sim1'");
+        assert_eq!(p.zone_filters.len(), 1);
+        assert_eq!(p.zone_filters[0].op, CmpOp::Eq);
+        assert_eq!(p.zone_filters[0].value, ZoneValue::Str("sim1".into()));
+        // Lexicographic pruning: chunk spanning sim0..sim0 cannot match.
+        use crate::storage::StrZoneMap;
+        let f = &p.zone_filters[0];
+        let low = StrZoneMap {
+            min: "sim0".into(),
+            max: "sim0".into(),
+        };
+        let hit = StrZoneMap {
+            min: "sim0".into(),
+            max: "sim2".into(),
+        };
+        assert!(!f.may_match(None, Some(&low)));
+        assert!(f.may_match(None, Some(&hit)));
+        // v1 string chunks carry no zone map: always scan.
+        assert!(f.may_match(None, None));
     }
 
     #[test]

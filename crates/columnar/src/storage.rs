@@ -1,24 +1,38 @@
-//! On-disk table storage.
+//! On-disk table storage (format v2).
 //!
 //! Layout per table (under `<db root>/<table name>/`):
 //!
 //! ```text
-//! meta.json          # schema + chunk index + zone maps
-//! col_<idx>.bin      # one file per column; chunks appended sequentially
+//! meta.json          # schema + chunk index + zone maps + encodings
+//! col_<idx>.bin      # one file per column; encoded chunks appended
 //! ```
 //!
-//! Data is chunked by row ranges (default 65 536 rows). Each numeric
-//! column chunk carries a min/max **zone map** used by the scan operator
-//! to skip chunks that cannot satisfy a pushed-down predicate — the same
-//! trick DuckDB and Parquet use. Strings are length-prefixed; booleans one
-//! byte each.
+//! Data is chunked by row ranges (default 65 536 rows). Each column chunk
+//! is compressed independently with a lightweight codec chosen per chunk
+//! by a byte-cost heuristic (see [`crate::encoding`]): dictionary for
+//! strings, frame-of-reference bit-packing for integers, run-length for
+//! booleans, raw for floats and incompressible data. The chosen codec is
+//! recorded in the chunk's [`ChunkLocation`] so every chunk decodes
+//! independently.
+//!
+//! Numeric chunks carry a min/max **zone map** used by the scan operator
+//! to skip chunks that cannot satisfy a pushed-down predicate; string
+//! chunks carry a lexicographic min/max for the same purpose — the trick
+//! DuckDB and Parquet use.
+//!
+//! **Versioning**: `meta.json` gains a `version` field (2). Files written
+//! by the v1 code have no such field and no per-chunk `encoding`; both
+//! default to the v1 meaning (version 1, `Raw` layout), so v1 tables open
+//! and scan unchanged.
 //!
 //! The database never holds more than the requested columns of one chunk
 //! in memory per scan thread: that is the property that lets InferA sift
 //! multi-terabyte ensembles on a laptop-sized memory budget.
 
+use crate::encoding::{self, Encoding};
 use crate::error::{DbError, DbResult};
 use infera_frame::{Column, DType, DataFrame};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -26,6 +40,9 @@ use std::path::{Path, PathBuf};
 
 /// Default rows per chunk.
 pub const DEFAULT_CHUNK_ROWS: usize = 65_536;
+
+/// Storage format version written by this code.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Min/max statistics for one column chunk (numeric columns only).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,13 +68,54 @@ impl ZoneMap {
     }
 }
 
+/// Lexicographic min/max statistics for one string column chunk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrZoneMap {
+    pub min: String,
+    pub max: String,
+}
+
+impl StrZoneMap {
+    fn of(values: &[String]) -> Option<StrZoneMap> {
+        let min = values.iter().min()?;
+        let max = values.iter().max()?;
+        Some(StrZoneMap {
+            min: min.clone(),
+            max: max.clone(),
+        })
+    }
+}
+
 /// Location of one column chunk within its column file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChunkLocation {
     pub offset: u64,
+    /// Encoded (on-disk) bytes.
     pub byte_len: u64,
+    /// Bytes of the raw (v1) layout — what the chunk would occupy without
+    /// compression. Absent (0) in v1 metas, where it equals `byte_len`.
+    #[serde(default)]
+    pub logical_bytes: u64,
+    /// Codec of this chunk; v1 metas have no field and default to `Raw`.
+    #[serde(default)]
+    pub encoding: Encoding,
     /// Zone map (numeric columns with at least one non-NaN value).
     pub zone: Option<ZoneMap>,
+    /// Lexicographic zone map (string columns; absent in v1 metas).
+    #[serde(default)]
+    pub str_zone: Option<StrZoneMap>,
+}
+
+impl ChunkLocation {
+    /// Raw-layout bytes of this chunk (v1 metas carry no `logical_bytes`;
+    /// their chunks ARE the raw layout, so `byte_len` is the answer).
+    pub fn logical_len(&self) -> u64 {
+        if self.logical_bytes == 0 {
+            self.byte_len
+        } else {
+            self.logical_bytes
+        }
+    }
 }
 
 /// Serializable dtype tag.
@@ -94,6 +152,9 @@ impl From<ColType> for DType {
 /// Table metadata persisted as `meta.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TableMeta {
+    /// Storage format version; v1 metas have no field (deserialized 0).
+    #[serde(default)]
+    pub version: u32,
     pub name: String,
     pub columns: Vec<(String, ColType)>,
     /// Row count per chunk, in order.
@@ -129,72 +190,43 @@ impl TableMeta {
     }
 }
 
-fn encode_column(col: &Column) -> Vec<u8> {
-    match col {
-        Column::F64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-        Column::I64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-        Column::Bool(v) => v.iter().map(|&b| u8::from(b)).collect(),
-        Column::Str(v) => {
-            let mut out = Vec::new();
-            for s in v {
-                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                out.extend_from_slice(s.as_bytes());
-            }
-            out
-        }
-    }
+/// Byte accounting for one append: what hit the disk vs what the same
+/// rows would occupy in the raw layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendStats {
+    pub encoded_bytes: u64,
+    pub logical_bytes: u64,
 }
 
-fn decode_column(dtype: ColType, n_rows: usize, bytes: &[u8]) -> DbResult<Column> {
-    match dtype {
-        ColType::F64 => {
-            if bytes.len() != n_rows * 8 {
-                return Err(DbError::Corrupt("f64 chunk size mismatch".into()));
-            }
-            Ok(Column::F64(
-                bytes
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-                    .collect(),
-            ))
-        }
-        ColType::I64 => {
-            if bytes.len() != n_rows * 8 {
-                return Err(DbError::Corrupt("i64 chunk size mismatch".into()));
-            }
-            Ok(Column::I64(
-                bytes
-                    .chunks_exact(8)
-                    .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
-                    .collect(),
-            ))
-        }
-        ColType::Bool => {
-            if bytes.len() != n_rows {
-                return Err(DbError::Corrupt("bool chunk size mismatch".into()));
-            }
-            Ok(Column::Bool(bytes.iter().map(|&b| b != 0).collect()))
-        }
-        ColType::Str => {
-            let mut out = Vec::with_capacity(n_rows);
-            let mut pos = 0usize;
-            for _ in 0..n_rows {
-                if pos + 4 > bytes.len() {
-                    return Err(DbError::Corrupt("str chunk truncated".into()));
-                }
-                let len =
-                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-                pos += 4;
-                if pos + len > bytes.len() {
-                    return Err(DbError::Corrupt("str chunk truncated".into()));
-                }
-                let s = std::str::from_utf8(&bytes[pos..pos + len])
-                    .map_err(|_| DbError::Corrupt("non-utf8 string".into()))?;
-                out.push(s.to_string());
-                pos += len;
-            }
-            Ok(Column::Str(out))
-        }
+/// One fully encoded chunk, produced off the writer's critical path.
+struct EncodedChunk {
+    n_rows: u64,
+    /// Per column: encoded bytes + the location fields that don't depend
+    /// on the file offset (which only the ordered writer knows).
+    columns: Vec<(Vec<u8>, Encoding, u64, Option<ZoneMap>, Option<StrZoneMap>)>,
+}
+
+fn encode_chunk_frame(chunk: &DataFrame, compress: bool) -> EncodedChunk {
+    let columns = chunk
+        .iter_columns()
+        .map(|(_, col)| {
+            let logical = encoding::raw_size(col);
+            let (enc, bytes) = if compress {
+                encoding::encode(col)
+            } else {
+                (Encoding::Raw, encoding::encode_raw(col))
+            };
+            let zone = col.to_f64_vec().ok().and_then(|v| ZoneMap::of(&v));
+            let str_zone = match col {
+                Column::Str(v) => StrZoneMap::of(v),
+                _ => None,
+            };
+            (bytes, enc, logical, zone, str_zone)
+        })
+        .collect();
+    EncodedChunk {
+        n_rows: chunk.n_rows() as u64,
+        columns,
     }
 }
 
@@ -203,6 +235,9 @@ fn decode_column(dtype: ColType, n_rows: usize, bytes: &[u8]) -> DbResult<Column
 pub struct TableStore {
     pub dir: PathBuf,
     pub meta: TableMeta,
+    /// Apply per-chunk compression on append (disable to write the raw
+    /// v1 chunk layout — used by the benchmark baseline).
+    pub compress: bool,
 }
 
 impl TableStore {
@@ -222,6 +257,7 @@ impl TableStore {
         std::fs::create_dir_all(dir)
             .map_err(|e| DbError::Io(format!("mkdir {}: {e}", dir.display())))?;
         let meta = TableMeta {
+            version: FORMAT_VERSION,
             name: name.to_string(),
             columns: schema
                 .iter()
@@ -233,6 +269,7 @@ impl TableStore {
         let store = TableStore {
             dir: dir.to_path_buf(),
             meta,
+            compress: true,
         };
         for i in 0..schema.len() {
             File::create(Self::col_path(dir, i)).map_err(|e| DbError::Io(e.to_string()))?;
@@ -241,15 +278,22 @@ impl TableStore {
         Ok(store)
     }
 
-    /// Open an existing table directory.
+    /// Open an existing table directory (v1 or v2 format).
     pub fn open(dir: &Path) -> DbResult<TableStore> {
         let text = std::fs::read_to_string(Self::meta_path(dir))
             .map_err(|e| DbError::Io(format!("read {}: {e}", dir.display())))?;
         let meta: TableMeta =
             serde_json::from_str(&text).map_err(|e| DbError::Corrupt(e.to_string()))?;
+        if meta.version > FORMAT_VERSION {
+            return Err(DbError::Corrupt(format!(
+                "table '{}' has format version {} (this build reads up to {})",
+                meta.name, meta.version, FORMAT_VERSION
+            )));
+        }
         Ok(TableStore {
             dir: dir.to_path_buf(),
             meta,
+            compress: true,
         })
     }
 
@@ -262,8 +306,9 @@ impl TableStore {
 
     /// Append a batch of rows. The frame's schema (names and dtypes, in
     /// order) must match the table's. Large batches are split into chunks
-    /// of `chunk_rows`.
-    pub fn append(&mut self, batch: &DataFrame, chunk_rows: usize) -> DbResult<()> {
+    /// of `chunk_rows`; chunk encoding fans out to worker threads while
+    /// the file writes happen in deterministic chunk order.
+    pub fn append(&mut self, batch: &DataFrame, chunk_rows: usize) -> DbResult<AppendStats> {
         let expected: Vec<(String, DType)> = self
             .meta
             .columns
@@ -277,19 +322,32 @@ impl TableStore {
             )));
         }
         let chunk_rows = chunk_rows.max(1);
-        let mut start = 0usize;
-        while start < batch.n_rows() {
-            let end = (start + chunk_rows).min(batch.n_rows());
-            self.append_chunk(&batch.slice(start, end))?;
-            start = end;
+        let bounds: Vec<(usize, usize)> = (0..batch.n_rows())
+            .step_by(chunk_rows)
+            .map(|s| (s, (s + chunk_rows).min(batch.n_rows())))
+            .collect();
+        // Encode off-thread; the ordered writer below owns the files.
+        let compress = self.compress;
+        let encoded: Vec<EncodedChunk> = bounds
+            .par_iter()
+            .map(|&(s, e)| encode_chunk_frame(&batch.slice(s, e), compress))
+            .collect();
+        let mut stats = AppendStats::default();
+        for chunk in encoded {
+            let s = self.write_chunk(chunk)?;
+            stats.encoded_bytes += s.encoded_bytes;
+            stats.logical_bytes += s.logical_bytes;
         }
-        self.flush_meta()
+        // New chunks may carry v2 encodings, so a v1 table upgrades in
+        // place on its first append (existing raw chunks stay valid).
+        self.meta.version = FORMAT_VERSION;
+        self.flush_meta()?;
+        Ok(stats)
     }
 
-    fn append_chunk(&mut self, chunk: &DataFrame) -> DbResult<()> {
-        let n = chunk.n_rows();
-        for (idx, (_, col)) in chunk.iter_columns().enumerate() {
-            let bytes = encode_column(col);
+    fn write_chunk(&mut self, chunk: EncodedChunk) -> DbResult<AppendStats> {
+        let mut stats = AppendStats::default();
+        for (idx, (bytes, enc, logical, zone, str_zone)) in chunk.columns.into_iter().enumerate() {
             let path = Self::col_path(&self.dir, idx);
             let mut f = OpenOptions::new()
                 .append(true)
@@ -299,18 +357,32 @@ impl TableStore {
                 .seek(SeekFrom::End(0))
                 .map_err(|e| DbError::Io(e.to_string()))?;
             f.write_all(&bytes).map_err(|e| DbError::Io(e.to_string()))?;
-            let zone = col
-                .to_f64_vec()
-                .ok()
-                .and_then(|v| ZoneMap::of(&v));
+            stats.encoded_bytes += bytes.len() as u64;
+            stats.logical_bytes += logical;
             self.meta.chunks[idx].push(ChunkLocation {
                 offset,
                 byte_len: bytes.len() as u64,
+                logical_bytes: logical,
+                encoding: enc,
                 zone,
+                str_zone,
             });
         }
-        self.meta.chunk_rows.push(n as u64);
-        Ok(())
+        self.meta.chunk_rows.push(chunk.n_rows);
+        Ok(stats)
+    }
+
+    fn read_chunk_bytes(&self, col_idx: usize, chunk_idx: usize) -> DbResult<Vec<u8>> {
+        let loc = &self.meta.chunks[col_idx][chunk_idx];
+        let path = Self::col_path(&self.dir, col_idx);
+        let mut f = File::open(&path)
+            .map_err(|e| DbError::Io(format!("open {}: {e}", path.display())))?;
+        f.seek(SeekFrom::Start(loc.offset))
+            .map_err(|e| DbError::Io(e.to_string()))?;
+        let mut bytes = vec![0u8; loc.byte_len as usize];
+        f.read_exact(&mut bytes)
+            .map_err(|e| DbError::Io(e.to_string()))?;
+        Ok(bytes)
     }
 
     /// Read the named columns of chunk `chunk_idx` into a frame.
@@ -322,16 +394,40 @@ impl TableStore {
         let mut df = DataFrame::new();
         for name in columns {
             let ci = self.meta.column_index(name)?;
+            let bytes = self.read_chunk_bytes(ci, chunk_idx)?;
             let loc = &self.meta.chunks[ci][chunk_idx];
-            let path = Self::col_path(&self.dir, ci);
-            let mut f = File::open(&path)
-                .map_err(|e| DbError::Io(format!("open {}: {e}", path.display())))?;
-            f.seek(SeekFrom::Start(loc.offset))
-                .map_err(|e| DbError::Io(e.to_string()))?;
-            let mut bytes = vec![0u8; loc.byte_len as usize];
-            f.read_exact(&mut bytes)
-                .map_err(|e| DbError::Io(e.to_string()))?;
-            let col = decode_column(self.meta.columns[ci].1, n_rows, &bytes)?;
+            let col = encoding::decode(loc.encoding, self.meta.columns[ci].1, n_rows, &bytes)?;
+            df.add_column((*name).to_string(), col)
+                .map_err(DbError::from)?;
+        }
+        Ok(df)
+    }
+
+    /// Read only the given (sorted) rows of the named columns of one
+    /// chunk — the late-materialization path: rows that failed the
+    /// predicate are never decoded.
+    pub fn read_chunk_rows(
+        &self,
+        chunk_idx: usize,
+        columns: &[&str],
+        rows: &[usize],
+    ) -> DbResult<DataFrame> {
+        if chunk_idx >= self.meta.n_chunks() {
+            return Err(DbError::Exec(format!("chunk {chunk_idx} out of range")));
+        }
+        let n_rows = self.meta.chunk_rows[chunk_idx] as usize;
+        let mut df = DataFrame::new();
+        for name in columns {
+            let ci = self.meta.column_index(name)?;
+            let bytes = self.read_chunk_bytes(ci, chunk_idx)?;
+            let loc = &self.meta.chunks[ci][chunk_idx];
+            let col = encoding::decode_rows(
+                loc.encoding,
+                self.meta.columns[ci].1,
+                n_rows,
+                &bytes,
+                rows,
+            )?;
             df.add_column((*name).to_string(), col)
                 .map_err(DbError::from)?;
         }
@@ -344,12 +440,31 @@ impl TableStore {
         Ok(self.meta.chunks[ci].get(chunk_idx).and_then(|l| l.zone))
     }
 
-    /// Total on-disk bytes of this table (column files).
+    /// Lexicographic zone map of `(column, chunk)`, if any (string
+    /// columns written by format v2).
+    pub fn str_zone(&self, column: &str, chunk_idx: usize) -> DbResult<Option<StrZoneMap>> {
+        let ci = self.meta.column_index(column)?;
+        Ok(self.meta.chunks[ci]
+            .get(chunk_idx)
+            .and_then(|l| l.str_zone.clone()))
+    }
+
+    /// Total on-disk bytes of this table (encoded column chunks).
     pub fn byte_size(&self) -> u64 {
         self.meta
             .chunks
             .iter()
             .flat_map(|c| c.iter().map(|l| l.byte_len))
+            .sum()
+    }
+
+    /// Total logical bytes: what the table would occupy in the raw (v1)
+    /// layout. `byte_size() / logical_size()` is the compression ratio.
+    pub fn logical_size(&self) -> u64 {
+        self.meta
+            .chunks
+            .iter()
+            .flat_map(|c| c.iter().map(ChunkLocation::logical_len))
             .sum()
     }
 }
@@ -405,6 +520,7 @@ mod tests {
             t.append(&batch(10, 5), 100).unwrap();
         }
         let t = TableStore::open(&dir).unwrap();
+        assert_eq!(t.meta.version, FORMAT_VERSION);
         assert_eq!(t.meta.n_rows(), 10);
         let df = t.read_chunk(0, &["id", "flag"]).unwrap();
         assert_eq!(df.cell("id", 0).unwrap(), Value::I64(5));
@@ -422,8 +538,11 @@ mod tests {
         assert_eq!(z0.max, 24.0);
         let z1 = t.zone("mass", 1).unwrap().unwrap();
         assert_eq!(z1.min, 25.0);
-        // Strings have no zone map.
+        // Strings have no numeric zone map but do have a lexicographic one.
         assert!(t.zone("name", 0).unwrap().is_none());
+        let sz = t.str_zone("name", 0).unwrap().unwrap();
+        assert_eq!(sz.min, "h0");
+        assert_eq!(sz.max, "h9"); // lexicographic: "h9" > "h24"
         // Bools do (0/1 widening).
         assert!(t.zone("flag", 0).unwrap().is_some());
     }
@@ -462,12 +581,51 @@ mod tests {
     }
 
     #[test]
-    fn byte_size_counts_data() {
+    fn byte_size_and_logical_size() {
         let dir = tmp("bytes");
         let schema = batch(1, 0).schema();
         let mut t = TableStore::create(&dir, "t", &schema).unwrap();
         assert_eq!(t.byte_size(), 0);
         t.append(&batch(100, 0), 64).unwrap();
-        assert!(t.byte_size() > 100 * 16);
+        assert!(t.byte_size() > 0);
+        // Compression never inflates: encoded <= logical, and the `id`
+        // column (dense i64 range) must actually shrink.
+        assert!(t.byte_size() <= t.logical_size());
+        assert!(t.byte_size() < t.logical_size(), "id column should pack");
+    }
+
+    #[test]
+    fn uncompressed_append_writes_raw_layout() {
+        let dir = tmp("rawmode");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.compress = false;
+        t.append(&batch(100, 0), 64).unwrap();
+        assert_eq!(t.byte_size(), t.logical_size());
+        assert!(t
+            .meta
+            .chunks
+            .iter()
+            .flatten()
+            .all(|l| l.encoding == Encoding::Raw));
+        let df = t.read_chunk(0, &["id", "mass"]).unwrap();
+        assert_eq!(df.cell("id", 0).unwrap(), Value::I64(0));
+    }
+
+    #[test]
+    fn selective_rows_match_full_chunk() {
+        let dir = tmp("selective");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.append(&batch(60, 0), 60).unwrap();
+        let rows: Vec<usize> = vec![0, 7, 13, 59];
+        let full = t.read_chunk(0, &["id", "mass", "name", "flag"]).unwrap();
+        let partial = t
+            .read_chunk_rows(0, &["id", "mass", "name", "flag"], &rows)
+            .unwrap();
+        assert_eq!(partial.n_rows(), 4);
+        for (ri, &r) in rows.iter().enumerate() {
+            assert_eq!(partial.row(ri), full.row(r));
+        }
     }
 }

@@ -1,0 +1,178 @@
+//! Backward compatibility of storage format v2 against a checked-in v1
+//! fixture.
+//!
+//! `tests/fixtures/v1_halos/` was written by the pre-v2 code: its
+//! `meta.json` has no `version` field and no per-chunk `encoding`, and
+//! every chunk is in the raw layout. The fixture is read-only regression
+//! material — tests that append copy it to a temp directory first.
+//!
+//! Fixture contents (48 rows, chunked 20/20/8):
+//!   fof_halo_tag  I64   1000..1047
+//!   sim           Str   "sim{i % 3}"
+//!   fof_halo_mass F64   1e12 + i * 3.5e11
+//!   is_central    Bool  i % 4 != 3
+
+use infera_columnar::{Database, Encoding, TableStore, FORMAT_VERSION};
+use infera_frame::Value;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("infera_format_v2_tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn v1_fixture_opens_as_version_zero_raw() {
+    let t = TableStore::open(&fixture_root().join("v1_halos")).unwrap();
+    assert_eq!(t.meta.version, 0, "v1 metas have no version field");
+    assert_eq!(t.meta.n_rows(), 48);
+    assert_eq!(t.meta.n_chunks(), 3);
+    assert!(t
+        .meta
+        .chunks
+        .iter()
+        .flatten()
+        .all(|l| l.encoding == Encoding::Raw && l.str_zone.is_none()));
+    // v1 chunks ARE the raw layout, so logical == on-disk.
+    assert_eq!(t.byte_size(), t.logical_size());
+}
+
+#[test]
+fn v1_fixture_scans_every_column_correctly() {
+    let db = Database::open(&fixture_root()).unwrap();
+    let df = db
+        .scan_all(
+            "v1_halos",
+            &["fof_halo_tag", "sim", "fof_halo_mass", "is_central"],
+        )
+        .unwrap();
+    assert_eq!(df.n_rows(), 48);
+    for i in 0..48usize {
+        assert_eq!(
+            df.cell("fof_halo_tag", i).unwrap(),
+            Value::I64(1000 + i as i64)
+        );
+        assert_eq!(
+            df.cell("sim", i).unwrap(),
+            Value::Str(format!("sim{}", i % 3))
+        );
+        assert_eq!(
+            df.cell("fof_halo_mass", i).unwrap(),
+            Value::F64(1.0e12 + i as f64 * 3.5e11)
+        );
+        assert_eq!(df.cell("is_central", i).unwrap(), Value::Bool(i % 4 != 3));
+    }
+}
+
+#[test]
+fn v1_fixture_answers_late_materialized_queries() {
+    let db = Database::open(&fixture_root()).unwrap();
+    // Numeric predicate: the late path decodes fof_halo_tag first, then
+    // selectively decodes the projected columns from raw chunks.
+    let out = db
+        .query("SELECT sim, fof_halo_mass FROM v1_halos WHERE fof_halo_tag >= 1040")
+        .unwrap();
+    assert_eq!(out.n_rows(), 8);
+    assert_eq!(out.cell("sim", 0).unwrap(), Value::Str("sim1".into()));
+    // String predicate: v1 chunks carry no lexicographic zone maps, so
+    // nothing may be skipped — every matching row must still appear.
+    let out = db
+        .query("SELECT fof_halo_tag FROM v1_halos WHERE sim = 'sim2'")
+        .unwrap();
+    assert_eq!(out.n_rows(), 16);
+    assert_eq!(out.cell("fof_halo_tag", 0).unwrap(), Value::I64(1002));
+}
+
+#[test]
+fn v1_table_upgrades_in_place_on_append() {
+    let root = tmp("upgrade");
+    copy_dir(&fixture_root(), &root);
+    let db = Database::open(&root).unwrap();
+
+    // Append v2-encoded rows to the v1 table.
+    let more = infera_frame::DataFrame::from_columns([
+        ("fof_halo_tag", infera_frame::Column::I64(vec![2000, 2001])),
+        (
+            "sim",
+            infera_frame::Column::Str(vec!["sim0".into(), "sim0".into()]),
+        ),
+        ("fof_halo_mass", infera_frame::Column::F64(vec![5e12, 6e12])),
+        ("is_central", infera_frame::Column::Bool(vec![true, false])),
+    ])
+    .unwrap();
+    db.append("v1_halos", &more).unwrap();
+
+    // Mixed raw + encoded chunks scan as one table.
+    assert_eq!(db.n_rows("v1_halos").unwrap(), 50);
+    let out = db
+        .query("SELECT fof_halo_tag FROM v1_halos WHERE fof_halo_tag >= 2000")
+        .unwrap();
+    assert_eq!(out.n_rows(), 2);
+
+    // The meta is now stamped v2 and reopens cleanly.
+    let t = TableStore::open(&root.join("v1_halos")).unwrap();
+    assert_eq!(t.meta.version, FORMAT_VERSION);
+    assert_eq!(t.meta.n_chunks(), 4);
+    assert!(t.meta.chunks[1][3].str_zone.is_some(), "new chunk has a str zone");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let root = tmp("future");
+    copy_dir(&fixture_root().join("v1_halos"), &root.join("v1_halos"));
+    let meta_path = root.join("v1_halos/meta.json");
+    let text = std::fs::read_to_string(&meta_path).unwrap();
+    let stamped = text.replacen("{\"name\"", "{\"version\":99,\"name\"", 1);
+    assert_ne!(stamped, text, "version stamp applied");
+    std::fs::write(&meta_path, stamped).unwrap();
+    let err = TableStore::open(&root.join("v1_halos")).unwrap_err();
+    assert!(err.to_string().contains("format version 99"), "{err}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn str_zone_maps_skip_chunks_for_string_predicates() {
+    let root = tmp("strzones");
+    let db = Database::create(&root).unwrap();
+    // Chunks of 4 with disjoint sim labels per chunk.
+    let sims: Vec<String> = (0..12).map(|i| format!("sim{}", i / 4)).collect();
+    let tags: Vec<i64> = (0..12).collect();
+    let df = infera_frame::DataFrame::from_columns([
+        ("tag", infera_frame::Column::I64(tags)),
+        ("sim", infera_frame::Column::Str(sims)),
+    ])
+    .unwrap();
+    db.create_table("t", &df.schema()).unwrap();
+    db.append_chunked("t", &df, 4).unwrap();
+
+    let (out, stats) = db
+        .query_with_stats("SELECT tag FROM t WHERE sim = 'sim1'")
+        .unwrap();
+    assert_eq!(out.n_rows(), 4);
+    assert_eq!(out.cell("tag", 0).unwrap(), Value::I64(4));
+    assert_eq!(stats.chunks_total, 3);
+    assert_eq!(
+        stats.chunks_skipped, 2,
+        "lexicographic zone maps must prune the sim0 and sim2 chunks"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -19,6 +19,44 @@ fn fresh_db() -> (Database, PathBuf) {
     (Database::create(&dir).unwrap(), dir)
 }
 
+/// Columns spanning every codec's happy path and edge cases: arbitrary
+/// i64 (up to the full-range fallback), all-equal runs, NaN/Inf/-0.0
+/// floats, dictionary-friendly and arbitrary strings, and bool flags —
+/// all including the empty chunk.
+fn arb_any_column() -> impl Strategy<Value = Column> {
+    prop_oneof![
+        proptest::collection::vec(any::<i64>(), 0..150).prop_map(Column::I64),
+        (any::<i64>(), 0usize..150).prop_map(|(v, n)| Column::I64(vec![v; n])),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(-0.0f64),
+                -1.0e18f64..1.0e18,
+            ],
+            0..150
+        )
+        .prop_map(Column::F64),
+        proptest::collection::vec(0u8..4, 0..150).prop_map(|v| {
+            Column::Str(v.into_iter().map(|t| format!("s{t}")).collect())
+        }),
+        proptest::collection::vec("\\PC{0,12}", 0..60).prop_map(Column::Str),
+        proptest::collection::vec(any::<bool>(), 0..150).prop_map(Column::Bool),
+    ]
+}
+
+/// Bit-exact column equality: NaN payloads and signed zeros must survive
+/// the codec, which `PartialEq` on f64 cannot express.
+fn bitwise_eq(a: &Column, b: &Column) -> bool {
+    match (a, b) {
+        (Column::F64(x), Column::F64(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y.iter()).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
 fn arb_table() -> impl Strategy<Value = DataFrame> {
     (1usize..120).prop_flat_map(|rows| {
         (
@@ -130,6 +168,58 @@ proptest! {
     #[test]
     fn parser_never_panics(input in "\\PC{0,120}") {
         let _ = infera_columnar::sql::parser::parse(&input);
+    }
+
+    /// Every chosen encoding roundtrips bit-exactly, both full-chunk and
+    /// through the selective (late-materialization) decode path.
+    #[test]
+    fn encoding_roundtrip(col in arb_any_column(), shift in 0usize..7) {
+        use infera_columnar::encoding::{decode, decode_rows, encode};
+        use infera_columnar::storage::ColType;
+        let n = col.len();
+        let dtype = ColType::from(col.dtype());
+        let (enc, bytes) = encode(&col);
+        let full = decode(enc, dtype, n, &bytes).unwrap();
+        prop_assert!(bitwise_eq(&full, &col), "full decode mismatch under {enc:?}");
+        let rows: Vec<usize> = (0..n).filter(|r| (r + shift) % 3 == 0).collect();
+        let partial = decode_rows(enc, dtype, n, &bytes, &rows).unwrap();
+        prop_assert!(
+            bitwise_eq(&partial, &col.take(&rows)),
+            "selective decode mismatch under {enc:?}"
+        );
+    }
+
+    /// Late-materialized execution (predicate columns first, selection
+    /// vector, then selective decode of the rest) returns exactly what
+    /// eager materialization (decode everything, then filter) returns,
+    /// for randomized predicates spanning numeric and string columns.
+    #[test]
+    fn late_materialization_matches_eager(
+        df in arb_table(),
+        threshold in -1000i64..1000,
+        tag in 0u8..3,
+        chunk in 1usize..40,
+    ) {
+        let (db, dir) = fresh_db();
+        db.create_table("t", &df.schema()).unwrap();
+        db.append_chunked("t", &df, chunk).unwrap();
+        let sql = format!(
+            "SELECT id, val, tag FROM t WHERE id > {threshold} AND tag = 't{tag}'"
+        );
+        let got = db.query(&sql).unwrap();
+        // Eager reference path: materialize every column of every chunk,
+        // then filter the assembled frame.
+        let all = db.scan_all("t", &["id", "val", "tag"]).unwrap();
+        use infera_frame::{expr::BinOp, Expr};
+        let want = all
+            .filter_expr(&Expr::bin(
+                Expr::bin(Expr::col("id"), BinOp::Gt, Expr::lit(threshold)),
+                BinOp::And,
+                Expr::bin(Expr::col("tag"), BinOp::Eq, Expr::lit(format!("t{tag}"))),
+            ))
+            .unwrap();
+        prop_assert_eq!(got, want);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Whole-table COUNT matches the row count through any chunking.

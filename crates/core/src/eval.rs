@@ -99,8 +99,10 @@ pub struct Table2Row {
     pub complete_frac: f64,
     /// Mean token usage.
     pub tokens: f64,
-    /// Mean storage overhead (bytes).
+    /// Mean storage overhead (bytes on disk, post-compression).
     pub storage_bytes: f64,
+    /// Mean storage the runs would need uncompressed (raw v1 layout).
+    pub storage_logical_bytes: f64,
     /// Mean time (data wall time + virtual LLM latency), seconds.
     pub time_s: f64,
     /// Mean redo iterations.
@@ -133,6 +135,7 @@ fn aggregate_runs(label: &str, n_questions: usize, runs: &[&RunReport]) -> Table
         complete_frac: 100.0 * mean(&|r| r.completion_fraction),
         tokens: mean(&|r| r.tokens as f64),
         storage_bytes: mean(&|r| r.storage_bytes as f64),
+        storage_logical_bytes: mean(&|r| r.storage_logical_bytes as f64),
         time_s: mean(&|r| (r.wall_ms + r.llm_latency_ms) as f64 / 1000.0),
         redos: mean(&|r| f64::from(r.redos)),
     }
@@ -195,7 +198,7 @@ impl EvalResults {
             self.per_question.first().map_or(0, |q| q.runs.len()),
         ));
         out.push_str(&format!(
-            "{:<26} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>8} {:>6}\n",
+            "{:<26} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8} {:>6}\n",
             "category",
             "n",
             "%data",
@@ -204,12 +207,13 @@ impl EvalResults {
             "%complete",
             "tokens",
             "storageMB",
+            "logicalMB",
             "time(s)",
             "redos"
         ));
         for r in self.table2_rows() {
             out.push_str(&format!(
-                "{:<26} {:>4} {:>8.0}% {:>8.0}% {:>8.0}% {:>8.0}% {:>9.0} {:>11.2} {:>8.1} {:>6.2}\n",
+                "{:<26} {:>4} {:>8.0}% {:>8.0}% {:>8.0}% {:>8.0}% {:>9.0} {:>11.2} {:>11.2} {:>8.1} {:>6.2}\n",
                 r.label,
                 if r.n_questions > 0 {
                     r.n_questions.to_string()
@@ -222,6 +226,7 @@ impl EvalResults {
                 r.complete_frac,
                 r.tokens,
                 r.storage_bytes / 1.0e6,
+                r.storage_logical_bytes / 1.0e6,
                 r.time_s,
                 r.redos
             ));
@@ -232,15 +237,25 @@ impl EvalResults {
     /// §4.1.3 storage-overhead distribution: per-question mean bytes and
     /// the single/multi-timestep contrast.
     pub fn storage_study(&self) -> String {
-        let mut out = String::from("Storage overhead per question (mean bytes)\n");
+        let mut out = String::from(
+            "Storage overhead per question (mean bytes on disk / logical / ratio)\n",
+        );
         for qr in &self.per_question {
-            let mean: f64 = qr.runs.iter().map(|r| r.storage_bytes as f64).sum::<f64>()
-                / qr.runs.len().max(1) as f64;
+            let n = qr.runs.len().max(1) as f64;
+            let mean: f64 = qr.runs.iter().map(|r| r.storage_bytes as f64).sum::<f64>() / n;
+            let logical: f64 = qr
+                .runs
+                .iter()
+                .map(|r| r.storage_logical_bytes as f64)
+                .sum::<f64>()
+                / n;
             out.push_str(&format!(
-                "Q{:<3} [{}] {:>14.0} bytes\n",
+                "Q{:<3} [{}] {:>14.0} bytes ({:>14.0} logical, {:.2}x)\n",
                 qr.question.id,
                 qr.question.scope.label(),
-                mean
+                mean,
+                logical,
+                logical / mean.max(1.0),
             ));
         }
         out

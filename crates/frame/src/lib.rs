@@ -26,6 +26,7 @@ pub mod expr;
 pub mod frame;
 pub mod groupby;
 pub mod join;
+pub mod select;
 pub mod sort;
 pub mod stats;
 pub mod value;
@@ -36,6 +37,7 @@ pub use expr::Expr;
 pub use frame::DataFrame;
 pub use groupby::{AggKind, AggSpec};
 pub use join::JoinKind;
+pub use select::SelectionVector;
 pub use sort::SortOrder;
 pub use value::{DType, Value};
 

@@ -1,0 +1,122 @@
+//! Selection vectors: the position list a predicate leaves behind.
+//!
+//! Late-materializing scans evaluate predicates against only the columns
+//! they reference, producing a [`SelectionVector`] of surviving row
+//! positions. Remaining projected columns are then decoded for just those
+//! positions instead of the whole chunk — rows a predicate rejected are
+//! never materialized.
+
+use crate::column::Column;
+use crate::error::{FrameError, FrameResult};
+use crate::frame::DataFrame;
+
+/// Sorted, deduplicated row positions within one chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelectionVector {
+    rows: Vec<usize>,
+}
+
+impl SelectionVector {
+    /// Positions of the `true` entries of a predicate mask.
+    pub fn from_mask(mask: &[bool]) -> SelectionVector {
+        SelectionVector {
+            rows: mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &keep)| keep.then_some(i))
+                .collect(),
+        }
+    }
+
+    /// Build from already-sorted ascending positions.
+    pub fn from_sorted(rows: Vec<usize>) -> FrameResult<SelectionVector> {
+        if !rows.windows(2).all(|w| w[0] < w[1]) {
+            return Err(FrameError::Invalid(
+                "selection vector rows must be strictly ascending".into(),
+            ));
+        }
+        Ok(SelectionVector { rows })
+    }
+
+    /// Select every row of an `n`-row chunk.
+    pub fn all(n: usize) -> SelectionVector {
+        SelectionVector {
+            rows: (0..n).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The selected positions, ascending.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Fraction of an `n`-row chunk that survived (1.0 for empty chunks).
+    pub fn selectivity(&self, n: usize) -> f64 {
+        if n == 0 {
+            1.0
+        } else {
+            self.rows.len() as f64 / n as f64
+        }
+    }
+
+    /// Gather the selected rows out of an already-materialized column.
+    pub fn gather_column(&self, col: &Column) -> Column {
+        col.take(&self.rows)
+    }
+
+    /// Gather the selected rows out of an already-materialized frame.
+    pub fn gather(&self, df: &DataFrame) -> DataFrame {
+        df.take(&self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_mask_picks_true_positions() {
+        let sv = SelectionVector::from_mask(&[true, false, false, true, true]);
+        assert_eq!(sv.rows(), &[0, 3, 4]);
+        assert_eq!(sv.len(), 3);
+        assert!((sv.selectivity(5) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sorted_rejects_disorder_and_dups() {
+        assert!(SelectionVector::from_sorted(vec![0, 2, 5]).is_ok());
+        assert!(SelectionVector::from_sorted(vec![2, 1]).is_err());
+        assert!(SelectionVector::from_sorted(vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn gather_matches_filter() {
+        let df = DataFrame::from_columns([
+            ("a", Column::I64(vec![10, 20, 30, 40])),
+            (
+                "b",
+                Column::Str(vec!["w".into(), "x".into(), "y".into(), "z".into()]),
+            ),
+        ])
+        .unwrap();
+        let mask = [false, true, false, true];
+        let sv = SelectionVector::from_mask(&mask);
+        assert_eq!(sv.gather(&df), df.filter_mask(&mask).unwrap());
+    }
+
+    #[test]
+    fn empty_and_all() {
+        let sv = SelectionVector::default();
+        assert!(sv.is_empty());
+        assert_eq!(sv.selectivity(0), 1.0);
+        assert_eq!(SelectionVector::all(3).rows(), &[0, 1, 2]);
+    }
+}

@@ -25,7 +25,7 @@ pub use export::{
     merge_stage_costs, render_breakdown, snapshot_breakdown, snapshot_to_jsonl, stage_breakdown,
     trace_to_jsonl, StageCost, UNTRACED_STAGE,
 };
-pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{names as metric_names, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use trace::{AttrValue, SpanGuard, SpanId, SpanRecord, TraceEvent, TraceSnapshot, Tracer};
 
 /// One run's observability context: a tracer and a metrics registry,

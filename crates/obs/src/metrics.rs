@@ -13,6 +13,19 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+/// Well-known metric names shared across crates, so producers and the
+/// report renderers agree without string drift.
+pub mod names {
+    /// On-disk (encoded) bytes written by table appends.
+    pub const STORAGE_ENCODED_BYTES: &str = "storage.encoded_bytes";
+    /// Raw-layout bytes those same appends represent; the ratio of the
+    /// two counters is the realized compression ratio.
+    pub const STORAGE_LOGICAL_BYTES: &str = "storage.logical_bytes";
+    /// Rows a late-materializing scan never decoded because the
+    /// predicate's selection vector rejected them.
+    pub const SCAN_ROWS_PRUNED: &str = "scan.rows_pruned";
+}
+
 /// A fixed-bucket histogram. `bounds` are inclusive upper bounds of the
 /// finite buckets; one implicit overflow bucket catches everything
 /// above the last bound, so `counts.len() == bounds.len() + 1`.

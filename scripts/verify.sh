@@ -3,15 +3,18 @@
 #
 #   scripts/verify.sh            # full gate
 #   scripts/verify.sh --no-clippy  # skip the lint pass (e.g. older toolchains)
+#   scripts/verify.sh --no-bench   # skip the columnar microbench smoke run
 #
 # Fails fast on the first broken step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_clippy=1
+run_bench=1
 for arg in "$@"; do
     case "$arg" in
         --no-clippy) run_clippy=0 ;;
+        --no-bench) run_bench=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -25,6 +28,30 @@ cargo test -q
 if [ "$run_clippy" -eq 1 ]; then
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace -- -D warnings
+fi
+
+if [ "$run_bench" -eq 1 ]; then
+    echo "==> microbench --smoke"
+    smoke_out="$(mktemp -t bench_columnar_smoke.XXXXXX.json)"
+    trap 'rm -f "$smoke_out"' EXIT
+    cargo run --release -p infera-bench --bin microbench -- --smoke --out "$smoke_out"
+    # The smoke report must parse and carry a v1 + v2 entry for every op.
+    python3 - "$smoke_out" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+ops = {"ingest", "filtered_scan", "group_by", "join"}
+have = {(e["op"], e["format"]) for e in report["entries"]}
+missing = {(op, fmt) for op in ops for fmt in ("v1", "v2")} - have
+assert not missing, f"BENCH_columnar.json missing entries: {sorted(missing)}"
+assert all(e["bytes_on_disk"] > 0 and e["wall_ms"] > 0 for e in report["entries"])
+s = report["summary"]
+assert s["disk_reduction_filtered_scan"] > 1.0, s
+print(
+    "smoke bench ok: %.2fx disk reduction, worst time ratio %.3f on %s"
+    % (s["disk_reduction_filtered_scan"], s["worst_time_ratio"], s["worst_time_ratio_op"])
+)
+EOF
 fi
 
 echo "verify: OK"

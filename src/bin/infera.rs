@@ -208,16 +208,24 @@ fn cmd_ask(args: &[String]) -> Result<(), String> {
         out!("## Result frame\n{}", result.to_display(12));
     }
     out!(
-        "completed={} redos={} tokens={} storage={:.2} MB time={:.1}s (+{:.1}s simulated LLM latency)",
+        "completed={} redos={} tokens={} storage={:.2} MB ({:.2} MB logical, {:.2}x compression) time={:.1}s (+{:.1}s simulated LLM latency)",
         report.completed,
         report.redos,
         report.tokens,
         report.storage_bytes as f64 / 1e6,
+        report.storage_logical_bytes as f64 / 1e6,
+        report.storage_logical_bytes as f64 / report.storage_bytes.max(1) as f64,
         report.wall_ms as f64 / 1000.0,
         report.llm_latency_ms as f64 / 1000.0
     );
     if has_flag(args, "--breakdown") {
         out!("\nper-stage cost breakdown:\n{}", report.breakdown_text());
+        out!(
+            "storage: {} B on disk, {} B logical ({:.2}x compression)",
+            report.storage_bytes,
+            report.storage_logical_bytes,
+            report.storage_logical_bytes as f64 / report.storage_bytes.max(1) as f64
+        );
     }
     Ok(())
 }

@@ -1,0 +1,8 @@
+//! Offline stub for `bytes`: nothing in the workspace uses it at the
+//! moment; the crate exists only so `--extern bytes=...` resolves.
+//!
+//! Compiled only by scripts/offline-check.sh; never part of the cargo
+//! build.
+
+pub type Bytes = Vec<u8>;
+pub type BytesMut = Vec<u8>;

@@ -1,0 +1,711 @@
+//! Offline stub for `proptest`: deterministic random-input testing with
+//! the same macro/combinator surface the workspace uses. Strategies are
+//! plain generators (`generate(&mut TestRng) -> Value`); there is no
+//! shrinking — failures report the generated case number so a seed can
+//! be replayed.
+//!
+//! Supported: proptest! (with optional #![proptest_config(...)]),
+//! any::<T>(), numeric Range/RangeInclusive strategies, tuple
+//! strategies, Just, prop_oneof! (weighted and unweighted),
+//! prop_map / prop_flat_map, proptest::collection::vec, string regex
+//! strategies (subset: literals, [a-z] classes, groups, {m,n} ? * +),
+//! prop_assert! / prop_assert_eq! / prop_assume!.
+//!
+//! Compiled only by scripts/offline-check.sh; never part of the cargo
+//! build.
+
+pub mod test_runner {
+    /// xoshiro256** seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub inner: S,
+        pub f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub inner: S,
+        pub f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        pub inner: S,
+        pub f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row");
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(pub std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+
+    /// Regex-subset string strategy: literals, [c-c...] classes, (...)
+    /// groups, and the quantifiers {m,n} {n} ? * +. Alternation `|` is
+    /// supported at group level.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let node = super::regex_gen::parse(self);
+            let mut out = String::new();
+            super::regex_gen::emit(&node, rng, &mut out);
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let node = super::regex_gen::parse(self);
+            let mut out = String::new();
+            super::regex_gen::emit(&node, rng, &mut out);
+            out
+        }
+    }
+}
+
+pub mod regex_gen {
+    use super::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Class(Vec<(char, char)>),
+        Lit(char),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let node = parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "proptest stub: unsupported regex {pattern:?} (stopped at {pos})"
+        );
+        node
+    }
+
+    fn parse_alt(c: &[char], pos: &mut usize) -> Node {
+        let mut branches = vec![parse_seq(c, pos)];
+        while c.get(*pos) == Some(&'|') {
+            *pos += 1;
+            branches.push(parse_seq(c, pos));
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_seq(c: &[char], pos: &mut usize) -> Node {
+        let mut items = Vec::new();
+        while let Some(&ch) = c.get(*pos) {
+            if ch == ')' || ch == '|' {
+                break;
+            }
+            let atom = match ch {
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_alt(c, pos);
+                    assert!(c.get(*pos) == Some(&')'), "proptest stub: unbalanced group");
+                    *pos += 1;
+                    inner
+                }
+                '[' => {
+                    *pos += 1;
+                    let mut ranges = Vec::new();
+                    while let Some(&cc) = c.get(*pos) {
+                        if cc == ']' {
+                            break;
+                        }
+                        let lo = cc;
+                        *pos += 1;
+                        if c.get(*pos) == Some(&'-') && c.get(*pos + 1) != Some(&']') {
+                            *pos += 1;
+                            let hi = c[*pos];
+                            *pos += 1;
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(c.get(*pos) == Some(&']'), "proptest stub: unbalanced class");
+                    *pos += 1;
+                    Node::Class(ranges)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = c[*pos];
+                    *pos += 1;
+                    match esc {
+                        'd' => Node::Class(vec![('0', '9')]),
+                        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        's' => Node::Lit(' '),
+                        other => Node::Lit(other),
+                    }
+                }
+                '.' => {
+                    *pos += 1;
+                    items.push(Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), (' ', ' ')]));
+                    continue;
+                }
+                other => {
+                    *pos += 1;
+                    Node::Lit(other)
+                }
+            };
+            // Quantifier?
+            let quantified = match c.get(*pos) {
+                Some('{') => {
+                    *pos += 1;
+                    let mut lo = String::new();
+                    while c[*pos].is_ascii_digit() {
+                        lo.push(c[*pos]);
+                        *pos += 1;
+                    }
+                    let (min, max);
+                    if c[*pos] == ',' {
+                        *pos += 1;
+                        let mut hi = String::new();
+                        while c[*pos].is_ascii_digit() {
+                            hi.push(c[*pos]);
+                            *pos += 1;
+                        }
+                        min = lo.parse().unwrap();
+                        max = if hi.is_empty() {
+                            min + 8
+                        } else {
+                            hi.parse().unwrap()
+                        };
+                    } else {
+                        min = lo.parse().unwrap();
+                        max = min;
+                    }
+                    assert!(c[*pos] == '}', "proptest stub: bad quantifier");
+                    *pos += 1;
+                    Node::Repeat(Box::new(atom), min, max)
+                }
+                Some('?') => {
+                    *pos += 1;
+                    Node::Repeat(Box::new(atom), 0, 1)
+                }
+                Some('*') => {
+                    *pos += 1;
+                    Node::Repeat(Box::new(atom), 0, 8)
+                }
+                Some('+') => {
+                    *pos += 1;
+                    Node::Repeat(Box::new(atom), 1, 8)
+                }
+                _ => atom,
+            };
+            items.push(quantified);
+        }
+        Node::Seq(items)
+    }
+
+    pub fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Seq(items) => {
+                for item in items {
+                    emit(item, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let pick = rng.below(branches.len() as u64) as usize;
+                emit(&branches[pick], rng, out);
+            }
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = *min + rng.below((*max - *min + 1) as u64) as u32;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mostly finite values across magnitudes, with occasional
+            // specials — mirrors proptest's any::<f64>() spirit.
+            match rng.below(16) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                _ => {
+                    let mag = (rng.unit_f64() - 0.5) * 600.0;
+                    let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                    sign * 10f64.powf(mag / 10.0) * rng.unit_f64()
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end);
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min
+                + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Stable per-test seed so failures are reproducible run-to-run.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused)] use $crate::strategy::Strategy as _;
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __case in 0..__cfg.cases {
+                    let __run = |__rng: &mut $crate::test_runner::TestRng| -> Result<(), String> {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                        $body
+                        Ok(())
+                    };
+                    if let Err(__msg) = __run(&mut __rng) {
+                        panic!("proptest case {} failed: {}", __case, __msg);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let choices = vec![
+            $(($weight as u32, {
+                let __s = $strat;
+                $crate::strategy::Strategy::boxed(__s)
+            })),+
+        ];
+        $crate::OneOf { choices }
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+pub struct OneOf<T> {
+    pub choices: Vec<(u32, strategy::BoxedStrategy<T>)>,
+}
+
+impl<T> strategy::Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        let total: u64 = self.choices.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.choices {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig,
+    };
+    pub mod prop {
+        pub use crate::collection;
+    }
+}

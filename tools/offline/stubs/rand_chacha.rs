@@ -1,0 +1,57 @@
+//! Offline stub for `rand_chacha`: `ChaCha12Rng` is replaced with a
+//! xoshiro256** generator seeded via splitmix64. Deterministic for a
+//! given seed (which is all the workspace relies on), but the stream
+//! differs from real ChaCha12.
+//!
+//! Compiled only by scripts/offline-check.sh; never part of the cargo
+//! build.
+
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for ChaCha12Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through splitmix64, the standard xoshiro
+        // seeding procedure.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        ChaCha12Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256**
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+pub type ChaCha8Rng = ChaCha12Rng;
+pub type ChaCha20Rng = ChaCha12Rng;

@@ -1,0 +1,89 @@
+//! Offline stub for `rayon`: sequential execution with the same API
+//! shape. `par_iter`/`into_par_iter` return the corresponding std
+//! iterators (std's adapters are a superset of the surface used), and
+//! `par_sort_by` delegates to `sort_by`. Functionally equivalent, just
+//! single-threaded.
+//!
+//! Compiled only by scripts/offline-check.sh; never part of the cargo
+//! build.
+
+pub mod prelude {
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T];
+
+        fn par_sort_by<F>(&mut self, compare: F)
+        where
+            F: Fn(&T, &T) -> std::cmp::Ordering,
+        {
+            self.as_mut_slice_for_par().sort_by(|a, b| compare(a, b));
+        }
+
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_mut_slice_for_par().sort();
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: Fn(&T, &T) -> std::cmp::Ordering,
+        {
+            self.as_mut_slice_for_par()
+                .sort_unstable_by(|a, b| compare(a, b));
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_mut_slice_for_par(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}
+
+/// Sequential stand-in for rayon::join.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}

@@ -1,0 +1,874 @@
+//! Offline stub for `serde` (+ the value model shared with the
+//! `serde_json` stub). Unlike the real serde, serialization here is a
+//! single-step conversion to an in-memory JSON value; the derive macro
+//! (tools/offline/stubs/serde_derive.rs) generates impls of the
+//! simplified traits below. Wire format matches real serde_json for the
+//! shapes this workspace uses: structs as objects, unit enum variants as
+//! strings, newtype variants as {"Name": payload}, tuples as arrays,
+//! Option as null-or-value.
+//!
+//! Compiled only by scripts/offline-check.sh; never part of the cargo
+//! build.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error type shared by serialization and deserialization.
+#[derive(Debug, Clone)]
+pub struct SerdeError(pub String);
+
+impl SerdeError {
+    pub fn msg(m: impl Into<String>) -> SerdeError {
+        SerdeError(m.into())
+    }
+}
+
+impl std::fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+pub trait Serialize {
+    fn __to_value(&self) -> __value::JsonValue;
+}
+
+pub trait Deserialize: Sized {
+    fn __from_value(v: &__value::JsonValue) -> Result<Self, SerdeError>;
+}
+
+pub mod __value {
+    use super::SerdeError;
+
+    #[derive(Debug, Clone, Copy)]
+    pub enum Num {
+        U64(u64),
+        I64(i64),
+        F64(f64),
+    }
+
+    impl PartialEq for Num {
+        fn eq(&self, other: &Num) -> bool {
+            use Num::*;
+            match (*self, *other) {
+                (U64(a), U64(b)) => a == b,
+                (I64(a), I64(b)) => a == b,
+                (F64(a), F64(b)) => a == b,
+                (U64(a), I64(b)) | (I64(b), U64(a)) => b >= 0 && a == b as u64,
+                // Mixed int/float never compare equal (matches serde_json).
+                _ => false,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        Null,
+        Bool(bool),
+        Num(Num),
+        Str(String),
+        Array(Vec<JsonValue>),
+        /// Insertion-ordered; equality is order-insensitive (see eq_obj).
+        Object(Vec<(String, JsonValue)>),
+    }
+
+    pub fn obj_get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    impl JsonValue {
+        pub fn is_null(&self) -> bool {
+            matches!(self, JsonValue::Null)
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                JsonValue::Num(Num::U64(v)) => Some(*v),
+                JsonValue::Num(Num::I64(v)) => u64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                JsonValue::Num(Num::I64(v)) => Some(*v),
+                JsonValue::Num(Num::U64(v)) => i64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JsonValue::Num(Num::F64(v)) => Some(*v),
+                JsonValue::Num(Num::I64(v)) => Some(*v as f64),
+                JsonValue::Num(Num::U64(v)) => Some(*v as f64),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<JsonValue>> {
+            match self {
+                JsonValue::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&Vec<(String, JsonValue)>> {
+            match self {
+                JsonValue::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        pub fn get<I: JsonIndex>(&self, index: I) -> Option<&JsonValue> {
+            index.index_into(self)
+        }
+
+        pub fn to_json_string(&self) -> String {
+            let mut out = String::new();
+            write_value(self, &mut out, None, 0);
+            out
+        }
+
+        pub fn to_json_string_pretty(&self) -> String {
+            let mut out = String::new();
+            write_value(self, &mut out, Some(2), 0);
+            out
+        }
+    }
+
+    impl PartialEq<str> for JsonValue {
+        fn eq(&self, other: &str) -> bool {
+            self.as_str() == Some(other)
+        }
+    }
+
+    impl PartialEq<&str> for JsonValue {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<String> for JsonValue {
+        fn eq(&self, other: &String) -> bool {
+            self.as_str() == Some(other.as_str())
+        }
+    }
+
+    impl PartialEq<bool> for JsonValue {
+        fn eq(&self, other: &bool) -> bool {
+            self.as_bool() == Some(*other)
+        }
+    }
+
+    macro_rules! eq_int {
+        ($($t:ty => $as:ident),*) => {$(
+            impl PartialEq<$t> for JsonValue {
+                fn eq(&self, other: &$t) -> bool {
+                    self.$as() == Some(*other as _)
+                }
+            }
+        )*};
+    }
+    eq_int!(u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64, usize => as_u64,
+            i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64, isize => as_i64);
+
+    impl PartialEq<f64> for JsonValue {
+        fn eq(&self, other: &f64) -> bool {
+            matches!(self, JsonValue::Num(Num::F64(v)) if v == other)
+        }
+    }
+
+    pub trait JsonIndex {
+        fn index_into<'v>(&self, v: &'v JsonValue) -> Option<&'v JsonValue>;
+    }
+
+    impl JsonIndex for &str {
+        fn index_into<'v>(&self, v: &'v JsonValue) -> Option<&'v JsonValue> {
+            match v {
+                JsonValue::Object(o) => obj_get(o, self),
+                _ => None,
+            }
+        }
+    }
+
+    impl JsonIndex for usize {
+        fn index_into<'v>(&self, v: &'v JsonValue) -> Option<&'v JsonValue> {
+            match v {
+                JsonValue::Array(a) => a.get(*self),
+                _ => None,
+            }
+        }
+    }
+
+    static NULL: JsonValue = JsonValue::Null;
+
+    impl<I: JsonIndex> std::ops::Index<I> for JsonValue {
+        type Output = JsonValue;
+        fn index(&self, index: I) -> &JsonValue {
+            index.index_into(self).unwrap_or(&NULL)
+        }
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    pub fn write_f64(v: f64, out: &mut String) {
+        if !v.is_finite() {
+            // serde_json errors on non-finite floats; degrade to null so
+            // serialization stays infallible in the stub.
+            out.push_str("null");
+            return;
+        }
+        let s = format!("{v}");
+        out.push_str(&s);
+        // serde_json always prints a fractional part for floats so the
+        // value re-parses as a float (keeps untagged enums faithful).
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    }
+
+    fn write_value(v: &JsonValue, out: &mut String, indent: Option<usize>, depth: usize) {
+        match v {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(Num::U64(n)) => out.push_str(&n.to_string()),
+            JsonValue::Num(Num::I64(n)) => out.push_str(&n.to_string()),
+            JsonValue::Num(Num::F64(n)) => write_f64(*n, out),
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(w) = indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(w * (depth + 1)));
+                    }
+                    write_value(item, out, indent, depth + 1);
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * depth));
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(w) = indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(w * (depth + 1)));
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(val, out, indent, depth + 1);
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * depth));
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<JsonValue, SerdeError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(SerdeError::msg(format!(
+                "trailing characters at offset {pos}"
+            )));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, SerdeError> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(SerdeError::msg("unexpected end of input")),
+            Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+            Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(JsonValue::Array(items));
+                        }
+                        _ => return Err(SerdeError::msg("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(SerdeError::msg("expected ':' in object"));
+                    }
+                    *pos += 1;
+                    let val = parse_value(b, pos)?;
+                    fields.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(JsonValue::Object(fields));
+                        }
+                        _ => return Err(SerdeError::msg("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(
+        b: &[u8],
+        pos: &mut usize,
+        lit: &str,
+        v: JsonValue,
+    ) -> Result<JsonValue, SerdeError> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(SerdeError::msg(format!("invalid literal at offset {pos}")))
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, SerdeError> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(SerdeError::msg("expected string"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(SerdeError::msg("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = parse_hex4(b, *pos + 1)?;
+                            *pos += 4;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u')
+                                {
+                                    let lo = parse_hex4(b, *pos + 3)?;
+                                    *pos += 6;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(SerdeError::msg("lone surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| SerdeError::msg("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(SerdeError::msg("invalid escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this
+                    // byte run is valid UTF-8).
+                    let start = *pos;
+                    let mut end = start + 1;
+                    while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&b[start..end]).map_err(|_| {
+                        SerdeError::msg("invalid utf-8 in string")
+                    })?);
+                    *pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(b: &[u8], at: usize) -> Result<u32, SerdeError> {
+        if at + 4 > b.len() {
+            return Err(SerdeError::msg("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&b[at..at + 4])
+            .map_err(|_| SerdeError::msg("invalid \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| SerdeError::msg("invalid \\u escape"))
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, SerdeError> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*pos])
+            .map_err(|_| SerdeError::msg("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(SerdeError::msg(format!("invalid number at offset {start}")));
+        }
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| SerdeError::msg(format!("invalid number {text:?}")))?;
+            Ok(JsonValue::Num(Num::F64(v)))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let _ = stripped;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| SerdeError::msg(format!("integer out of range {text:?}")))?;
+            Ok(JsonValue::Num(Num::I64(v)))
+        } else {
+            let v: u64 = text
+                .parse()
+                .map_err(|_| SerdeError::msg(format!("integer out of range {text:?}")))?;
+            Ok(JsonValue::Num(Num::U64(v)))
+        }
+    }
+}
+
+use __value::{JsonValue, Num};
+
+impl Serialize for JsonValue {
+    fn __to_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __to_value(&self) -> JsonValue {
+        (**self).__to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn __to_value(&self) -> JsonValue {
+        (**self).__to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        Ok(Box::new(T::__from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn __to_value(&self) -> JsonValue {
+        (**self).__to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        v.as_bool().ok_or_else(|| SerdeError::msg("expected bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> JsonValue {
+                JsonValue::Num(Num::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+                let n = v.as_u64().ok_or_else(|| {
+                    SerdeError::msg(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    SerdeError::msg(concat!(stringify!($t), " out of range"))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> JsonValue {
+                JsonValue::Num(Num::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+                let n = v.as_i64().ok_or_else(|| {
+                    SerdeError::msg(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    SerdeError::msg(concat!(stringify!($t), " out of range"))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Num(Num::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        match v {
+            // Only genuine floats or integers; never coerces strings.
+            JsonValue::Num(Num::F64(n)) => Ok(*n),
+            JsonValue::Num(Num::I64(n)) => Ok(*n as f64),
+            JsonValue::Num(Num::U64(n)) => Ok(*n as f64),
+            _ => Err(SerdeError::msg("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Num(Num::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        f64::__from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| SerdeError::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        let s = v.as_str().ok_or_else(|| SerdeError::msg("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(SerdeError::msg("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        Ok(std::path::PathBuf::from(String::__from_value(v)?))
+    }
+}
+
+impl Serialize for std::path::Path {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __to_value(&self) -> JsonValue {
+        match self {
+            None => JsonValue::Null,
+            Some(v) => v.__to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(T::__from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        v.as_array()
+            .ok_or_else(|| SerdeError::msg("expected array"))?
+            .iter()
+            .map(T::__from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| SerdeError::msg("expected array"))?;
+        if arr.len() != N {
+            return Err(SerdeError::msg("array length mismatch"));
+        }
+        let items: Result<Vec<T>, SerdeError> =
+            arr.iter().map(Deserialize::__from_value).collect();
+        items?
+            .try_into()
+            .map_err(|_| SerdeError::msg("array length mismatch"))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.__to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        v.as_object()
+            .ok_or_else(|| SerdeError::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::__from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn __to_value(&self) -> JsonValue {
+        // Sort keys for deterministic output (real serde_json would use
+        // hash order; nothing in the workspace depends on that).
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        JsonValue::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.__to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        v.as_object()
+            .ok_or_else(|| SerdeError::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::__from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn __to_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$idx.__to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| SerdeError::msg("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(SerdeError::msg(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::__from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for std::time::Duration {
+    fn __to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("secs".to_string(), self.as_secs().__to_value()),
+            ("nanos".to_string(), self.subsec_nanos().__to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn __from_value(v: &JsonValue) -> Result<Self, SerdeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| SerdeError::msg("expected duration object"))?;
+        let secs = __value::obj_get(obj, "secs")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| SerdeError::msg("missing secs"))?;
+        let nanos = __value::obj_get(obj, "nanos")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| SerdeError::msg("missing nanos"))?;
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}

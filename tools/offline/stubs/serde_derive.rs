@@ -1,0 +1,763 @@
+//! Offline stub for `serde_derive`: generates impls of the simplified
+//! `serde` stub traits (`__to_value` / `__from_value`) by parsing the
+//! item's token text directly — no syn/quote.
+//!
+//! Supported surface (everything this workspace uses):
+//!   - structs with named fields, tuple structs, unit structs
+//!   - enums with unit / newtype / tuple / struct variants
+//!   - lifetimes and simple type parameters on the item
+//!   - #[serde(rename = "...")], #[serde(skip_serializing_if = "path")],
+//!     #[serde(default)], #[serde(untagged)]
+//!
+//! Compiled only by scripts/offline-check.sh; never part of the cargo
+//! build.
+
+extern crate proc_macro;
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(&input.to_string());
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(&input.to_string());
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Id(String),
+    Punct(char),
+    Lit(String),
+}
+
+fn lex(src: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line (doc) comment: rustc's pretty-printer re-renders doc
+            // attributes as `/// ...` text.
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                i += 1;
+            }
+            i += 2;
+        } else if c == '"' {
+            let mut lit = String::from('"');
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                lit.push(c);
+                i += 1;
+                if c == '\\' {
+                    if i < chars.len() {
+                        lit.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    break;
+                }
+            }
+            toks.push(Tok::Lit(lit));
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            if word.chars().next().unwrap().is_ascii_digit() {
+                toks.push(Tok::Lit(word));
+            } else {
+                toks.push(Tok::Id(word));
+            }
+        } else {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    toks
+}
+
+// --------------------------------------------------------------- parser
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+    default: bool,
+    untagged: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String, // empty for tuple fields
+    ty: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(Vec<Field>),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Full generics text including angle brackets, e.g. "<'a, T>".
+    generics: String,
+    /// Just the argument names, e.g. "<'a, T>".
+    generic_args: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(Tok::Id(s)) => s,
+            other => panic!("serde_derive stub: expected ident, got {other:?}"),
+        }
+    }
+
+    /// Consume attributes; return merged serde attrs found among them.
+    fn eat_attrs(&mut self) -> SerdeAttrs {
+        let mut out = SerdeAttrs::default();
+        while self.eat_punct('#') {
+            assert!(self.eat_punct('['), "serde_derive stub: malformed attribute");
+            // Either `serde ( ... )` or anything else; skip to matching ']'.
+            let is_serde = matches!(self.peek(), Some(Tok::Id(s)) if s == "serde");
+            if is_serde {
+                self.next();
+                assert!(self.eat_punct('('));
+                // Parse comma-separated entries until the closing ')'.
+                loop {
+                    match self.next() {
+                        Some(Tok::Punct(')')) => break,
+                        Some(Tok::Punct(',')) => continue,
+                        Some(Tok::Id(key)) => match key.as_str() {
+                            "untagged" => out.untagged = true,
+                            "default" => out.default = true,
+                            "rename" | "skip_serializing_if" | "alias" => {
+                                assert!(self.eat_punct('='));
+                                let lit = match self.next() {
+                                    Some(Tok::Lit(l)) => l,
+                                    other => panic!(
+                                        "serde_derive stub: expected literal for {key}, got {other:?}"
+                                    ),
+                                };
+                                let text = lit.trim_matches('"').to_string();
+                                if key == "rename" {
+                                    out.rename = Some(text);
+                                } else if key == "skip_serializing_if" {
+                                    out.skip_serializing_if = Some(text);
+                                }
+                            }
+                            other => panic!("serde_derive stub: unsupported serde attr {other:?}"),
+                        },
+                        other => panic!("serde_derive stub: bad serde attr token {other:?}"),
+                    }
+                }
+                assert!(self.eat_punct(']'));
+            } else {
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.next() {
+                        Some(Tok::Punct('[')) => depth += 1,
+                        Some(Tok::Punct(']')) => depth -= 1,
+                        Some(_) => {}
+                        None => panic!("serde_derive stub: unterminated attribute"),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn eat_vis(&mut self) {
+        if matches!(self.peek(), Some(Tok::Id(s)) if s == "pub") {
+            self.next();
+            if self.eat_punct('(') {
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match self.next() {
+                        Some(Tok::Punct('(')) => depth += 1,
+                        Some(Tok::Punct(')')) => depth -= 1,
+                        Some(_) => {}
+                        None => panic!("serde_derive stub: unterminated pub()"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Capture a type as raw text up to a top-level `,` or terminator.
+    fn capture_type(&mut self, terminators: &[char]) -> String {
+        let mut out = String::new();
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut square = 0i32;
+        loop {
+            match self.peek() {
+                None => break,
+                Some(Tok::Punct(c)) => {
+                    let c = *c;
+                    if angle == 0 && paren == 0 && square == 0 && terminators.contains(&c) {
+                        break;
+                    }
+                    match c {
+                        '<' => angle += 1,
+                        '>' => angle -= 1,
+                        '(' => paren += 1,
+                        ')' => {
+                            if paren == 0 && angle == 0 && square == 0 {
+                                break; // closing paren of a tuple-struct body
+                            }
+                            paren -= 1;
+                        }
+                        '[' => square += 1,
+                        ']' => square -= 1,
+                        _ => {}
+                    }
+                    out.push(c);
+                    out.push(' ');
+                    self.next();
+                }
+                Some(Tok::Id(s)) => {
+                    out.push_str(s);
+                    out.push(' ');
+                    self.next();
+                }
+                Some(Tok::Lit(l)) => {
+                    out.push_str(l);
+                    out.push(' ');
+                    self.next();
+                }
+            }
+        }
+        out.trim().to_string()
+    }
+
+    fn parse_named_fields(&mut self) -> Vec<Field> {
+        // Assumes the opening '{' was consumed.
+        let mut fields = Vec::new();
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            let attrs = self.eat_attrs();
+            if self.eat_punct('}') {
+                break;
+            }
+            self.eat_vis();
+            let name = self.expect_ident();
+            assert!(self.eat_punct(':'), "serde_derive stub: expected ':' after field {name}");
+            let ty = self.capture_type(&[',', '}']);
+            fields.push(Field { name, ty, attrs });
+            self.eat_punct(',');
+        }
+        fields
+    }
+
+    fn parse_tuple_fields(&mut self) -> Vec<Field> {
+        // Assumes the opening '(' was consumed.
+        let mut fields = Vec::new();
+        loop {
+            if self.eat_punct(')') {
+                break;
+            }
+            let attrs = self.eat_attrs();
+            if self.eat_punct(')') {
+                break;
+            }
+            self.eat_vis();
+            let ty = self.capture_type(&[',']);
+            fields.push(Field {
+                name: String::new(),
+                ty,
+                attrs,
+            });
+            self.eat_punct(',');
+        }
+        fields
+    }
+}
+
+fn parse_item(src: &str) -> Item {
+    let mut p = P {
+        toks: lex(src),
+        pos: 0,
+    };
+    let attrs = p.eat_attrs();
+    p.eat_vis();
+    let kw = p.expect_ident();
+    let name = p.expect_ident();
+
+    let mut generics = String::new();
+    let mut generic_args = String::new();
+    if p.eat_punct('<') {
+        let mut depth = 1i32;
+        let mut params: Vec<String> = Vec::new();
+        let mut current = String::new();
+        let mut in_bounds = false;
+        generics.push('<');
+        while depth > 0 {
+            match p.next() {
+                Some(Tok::Punct('<')) => {
+                    depth += 1;
+                    generics.push('<');
+                }
+                Some(Tok::Punct('>')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        generics.push('>');
+                    }
+                }
+                Some(Tok::Punct(',')) if depth == 1 => {
+                    generics.push(',');
+                    params.push(current.trim().to_string());
+                    current.clear();
+                    in_bounds = false;
+                }
+                Some(Tok::Punct(':')) if depth == 1 => {
+                    generics.push(':');
+                    in_bounds = true;
+                }
+                Some(Tok::Punct(c)) => {
+                    generics.push(c);
+                    if !in_bounds {
+                        current.push(c);
+                    }
+                }
+                Some(Tok::Id(s)) => {
+                    generics.push_str(&s);
+                    generics.push(' ');
+                    if !in_bounds {
+                        current.push_str(&s);
+                    }
+                }
+                Some(Tok::Lit(l)) => {
+                    generics.push_str(&l);
+                    generics.push(' ');
+                }
+                None => panic!("serde_derive stub: unterminated generics"),
+            }
+        }
+        generics.push('>');
+        if !current.trim().is_empty() {
+            params.push(current.trim().to_string());
+        }
+        generic_args = format!("<{}>", params.join(", "));
+    }
+
+    // Skip a where-clause if present (none expected in this workspace).
+    if matches!(p.peek(), Some(Tok::Id(s)) if s == "where") {
+        while let Some(t) = p.peek() {
+            if matches!(t, Tok::Punct('{') | Tok::Punct(';')) {
+                break;
+            }
+            p.next();
+        }
+    }
+
+    let body = if kw == "struct" {
+        if p.eat_punct('{') {
+            Body::NamedStruct(p.parse_named_fields())
+        } else if p.eat_punct('(') {
+            Body::TupleStruct(p.parse_tuple_fields())
+        } else {
+            Body::UnitStruct
+        }
+    } else if kw == "enum" {
+        assert!(p.eat_punct('{'), "serde_derive stub: expected enum body");
+        let mut variants = Vec::new();
+        loop {
+            if p.eat_punct('}') {
+                break;
+            }
+            let _vattrs = p.eat_attrs();
+            if p.eat_punct('}') {
+                break;
+            }
+            let vname = p.expect_ident();
+            let shape = if p.eat_punct('(') {
+                VariantShape::Tuple(p.parse_tuple_fields())
+            } else if p.eat_punct('{') {
+                VariantShape::Struct(p.parse_named_fields())
+            } else {
+                VariantShape::Unit
+            };
+            // Skip an explicit discriminant `= expr` if present.
+            if p.eat_punct('=') {
+                while let Some(t) = p.peek() {
+                    if matches!(t, Tok::Punct(',') | Tok::Punct('}')) {
+                        break;
+                    }
+                    p.next();
+                }
+            }
+            variants.push(Variant { name: vname, shape });
+            p.eat_punct(',');
+        }
+        Body::Enum(variants)
+    } else {
+        panic!("serde_derive stub: unsupported item kind {kw:?}");
+    };
+
+    Item {
+        name,
+        generics,
+        generic_args,
+        attrs,
+        body,
+    }
+}
+
+// -------------------------------------------------------------- codegen
+
+fn key_of(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+fn is_option(ty: &str) -> bool {
+    ty.starts_with("Option <") || ty.starts_with("Option<") || ty.starts_with("core :: option")
+        || ty.starts_with("std :: option")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let g = &item.generics;
+    let ga = &item.generic_args;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut code = String::from(
+                "let mut __fields: Vec<(String, ::serde::__value::JsonValue)> = Vec::new();\n",
+            );
+            for f in fields {
+                let key = key_of(f);
+                let push = format!(
+                    "__fields.push((\"{key}\".to_string(), ::serde::Serialize::__to_value(&self.{})));",
+                    f.name
+                );
+                if let Some(skip) = &f.attrs.skip_serializing_if {
+                    code.push_str(&format!(
+                        "if !{skip}(&self.{}) {{ {push} }}\n",
+                        f.name
+                    ));
+                } else {
+                    code.push_str(&push);
+                    code.push('\n');
+                }
+            }
+            code.push_str("::serde::__value::JsonValue::Object(__fields)");
+            code
+        }
+        Body::TupleStruct(fields) if fields.len() == 1 => {
+            "::serde::Serialize::__to_value(&self.0)".to_string()
+        }
+        Body::TupleStruct(fields) => {
+            let elems: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::__to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::__value::JsonValue::Array(vec![{}])",
+                elems.join(", ")
+            )
+        }
+        Body::UnitStruct => "::serde::__value::JsonValue::Null".to_string(),
+        Body::Enum(variants) => {
+            let untagged = item.attrs.untagged;
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let val = if untagged {
+                            "::serde::__value::JsonValue::Null".to_string()
+                        } else {
+                            format!("::serde::__value::JsonValue::Str(\"{vn}\".to_string())")
+                        };
+                        arms.push_str(&format!("{name}::{vn} => {val},\n"));
+                    }
+                    VariantShape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            "::serde::Serialize::__to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::__to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::__value::JsonValue::Array(vec![{}])",
+                                elems.join(", ")
+                            )
+                        };
+                        let val = if untagged {
+                            payload
+                        } else {
+                            format!(
+                                "::serde::__value::JsonValue::Object(vec![(\"{vn}\".to_string(), {payload})])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {val},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{}\".to_string(), ::serde::Serialize::__to_value({}))",
+                                    key_of(f),
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let payload = format!(
+                            "::serde::__value::JsonValue::Object(vec![{}])",
+                            elems.join(", ")
+                        );
+                        let val = if untagged {
+                            payload
+                        } else {
+                            format!(
+                                "::serde::__value::JsonValue::Object(vec![(\"{vn}\".to_string(), {payload})])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {val},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{g} ::serde::Serialize for {name}{ga} {{\n\
+         fn __to_value(&self) -> ::serde::__value::JsonValue {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let g = &item.generics;
+    let ga = &item.generic_args;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let key = key_of(f);
+                let missing = if f.attrs.default || is_option(&f.ty) {
+                    "Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(::serde::SerdeError::msg(\"missing field `{key}` in {name}\"))"
+                    )
+                };
+                inits.push_str(&format!(
+                    "{}: match ::serde::__value::obj_get(__obj, \"{key}\") {{\n\
+                     Some(__fv) => ::serde::Deserialize::__from_value(__fv)?,\n\
+                     None => {missing},\n}},\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::SerdeError::msg(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::TupleStruct(fields) if fields.len() == 1 => {
+            format!("Ok({name}(::serde::Deserialize::__from_value(__v)?))")
+        }
+        Body::TupleStruct(fields) => {
+            let n = fields.len();
+            let elems: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::__from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::SerdeError::msg(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::SerdeError::msg(\"wrong arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("Ok({name})"),
+        Body::Enum(variants) if item.attrs.untagged => {
+            // Try each variant in declaration order; first success wins.
+            let mut tries = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {
+                        tries.push_str(&format!(
+                            "if __v.is_null() {{ return Ok({name}::{}); }}\n",
+                            v.name
+                        ));
+                    }
+                    VariantShape::Tuple(fields) if fields.len() == 1 => {
+                        tries.push_str(&format!(
+                            "if let Ok(__x) = <{} as ::serde::Deserialize>::__from_value(__v) {{ return Ok({name}::{}(__x)); }}\n",
+                            fields[0].ty, v.name
+                        ));
+                    }
+                    VariantShape::Tuple(fields) => {
+                        let tys: Vec<String> = fields.iter().map(|f| f.ty.clone()).collect();
+                        tries.push_str(&format!(
+                            "if let Ok((__a,)) = <({},) as ::serde::Deserialize>::__from_value(__v) {{ let ({}) = __a; }}\n",
+                            tys.join(", "),
+                            (0..fields.len())
+                                .map(|i| format!("__x{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                        panic!("serde_derive stub: untagged multi-field tuple variants unsupported");
+                    }
+                    VariantShape::Struct(_) => {
+                        panic!("serde_derive stub: untagged struct variants unsupported");
+                    }
+                }
+            }
+            format!(
+                "{tries}Err(::serde::SerdeError::msg(\"no untagged variant of {name} matched\"))"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(fields) if fields.len() == 1 => {
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::__from_value(__pv)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(fields) => {
+                        let n = fields.len();
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::__from_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __pv.as_array().ok_or_else(|| ::serde::SerdeError::msg(\"expected array payload for {name}::{vn}\"))?;\n\
+                             if __items.len() != {n} {{ return Err(::serde::SerdeError::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let key = key_of(f);
+                            let missing = if f.attrs.default || is_option(&f.ty) {
+                                "Default::default()".to_string()
+                            } else {
+                                format!(
+                                    "return Err(::serde::SerdeError::msg(\"missing field `{key}` in {name}::{vn}\"))"
+                                )
+                            };
+                            inits.push_str(&format!(
+                                "{}: match ::serde::__value::obj_get(__fobj, \"{key}\") {{\n\
+                                 Some(__fv) => ::serde::Deserialize::__from_value(__fv)?,\n\
+                                 None => {missing},\n}},\n",
+                                f.name
+                            ));
+                        }
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __fobj = __pv.as_object().ok_or_else(|| ::serde::SerdeError::msg(\"expected object payload for {name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::__value::JsonValue::Str(__s) => match __s.as_str() {{\n\
+                 {str_arms}\
+                 __other => Err(::serde::SerdeError::msg(format!(\"unknown variant {{__other:?}} of {name}\"))),\n\
+                 }},\n\
+                 ::serde::__value::JsonValue::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __pv) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {obj_arms}\
+                 __other => Err(::serde::SerdeError::msg(format!(\"unknown variant {{__other:?}} of {name}\"))),\n\
+                 }}\n}},\n\
+                 _ => Err(::serde::SerdeError::msg(\"expected enum representation for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl{g} ::serde::Deserialize for {name}{ga} {{\n\
+         fn __from_value(__v: &::serde::__value::JsonValue) -> Result<Self, ::serde::SerdeError> {{\n{body}\n}}\n}}\n"
+    )
+}

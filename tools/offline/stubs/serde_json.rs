@@ -1,0 +1,51 @@
+//! Offline stub for `serde_json`, backed by the value model in the
+//! `serde` stub. API surface matches what the workspace uses:
+//! to_string / to_string_pretty / from_str / Value / Error / json!.
+//!
+//! Compiled only by scripts/offline-check.sh; never part of the cargo
+//! build.
+
+pub use serde::__value::JsonValue as Value;
+pub use serde::SerdeError as Error;
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.__to_value().to_json_string())
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.__to_value().to_json_string_pretty())
+}
+
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::__value::parse(s)?;
+    T::__from_value(&v)
+}
+
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.__to_value())
+}
+
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::__from_value(&v)
+}
+
+/// Flat-object subset of serde_json's `json!`: supports object literals
+/// with literal keys and expression values, arrays of expressions, and
+/// plain expressions. (Nested `{...}` literals inside values are not
+/// supported — none exist in this workspace.)
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), ::serde::Serialize::__to_value(&$val))),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $(::serde::Serialize::__to_value(&$elem)),*
+        ])
+    };
+    ($other:expr) => { ::serde::Serialize::__to_value(&$other) };
+}
