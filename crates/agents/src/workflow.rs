@@ -58,6 +58,10 @@ pub struct RunReport {
     /// Per-agent cost attribution derived from the run's trace: wall
     /// time, token usage, model calls, and redos per pipeline stage.
     pub stage_costs: Vec<StageCost>,
+    /// Snapshot of the run's metrics registry: execution-kernel timings
+    /// (`join.build_ms`, `join.probe_ms`), partition/partial counters,
+    /// and dictionary fast-path hit counts.
+    pub metrics: infera_obs::MetricsSnapshot,
     /// The run's full trace, for JSONL export and post-hoc analysis.
     pub trace: Tracer,
 }
@@ -67,6 +71,42 @@ impl RunReport {
     /// redos per agent node, plus a totals row).
     pub fn breakdown_text(&self) -> String {
         render_breakdown(&self.stage_costs)
+    }
+
+    /// Execution-kernel breakdown: join build/probe timings, radix
+    /// partition count, group-by partials, and dictionary fast-path
+    /// savings. Empty string when the run executed no join/group-by.
+    pub fn kernel_breakdown_text(&self) -> String {
+        use infera_obs::metric_names as names;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (label, name) in [
+            ("join build", names::JOIN_BUILD_MS),
+            ("join probe", names::JOIN_PROBE_MS),
+        ] {
+            if let Some(h) = self.metrics.histograms.get(name) {
+                let _ = writeln!(
+                    out,
+                    "{label:<22} {:>6} obs  total {:>9.3} ms  p50 {:>8.3} ms  max {:>8.3} ms",
+                    h.count, h.sum, h.p50, h.max
+                );
+            }
+        }
+        if let Some(parts) = self.metrics.gauges.get(names::JOIN_PARTITIONS) {
+            let _ = writeln!(out, "{:<22} {parts:>6}", "join partitions");
+        }
+        for (label, name) in [
+            ("group-by partials", names::GROUPBY_PARTIALS_MERGED),
+            ("dict group-by chunks", names::GROUPBY_DICT_FASTPATH_CHUNKS),
+            ("dict join chunks", names::JOIN_DICT_FASTPATH_CHUNKS),
+            ("dict strings decoded", names::DICT_STRINGS_DECODED),
+            ("scan rows pruned", names::SCAN_ROWS_PRUNED),
+        ] {
+            if let Some(v) = self.metrics.counters.get(name) {
+                let _ = writeln!(out, "{label:<22} {v:>6}");
+            }
+        }
+        out
     }
 }
 
@@ -393,6 +433,7 @@ pub fn run_question_with_plan(
         visualizations: state.visualizations.clone(),
         summary: state.summary.clone(),
         stage_costs,
+        metrics: ctx.obs.metrics.snapshot(),
         trace: ctx.obs.tracer.clone(),
     })
 }

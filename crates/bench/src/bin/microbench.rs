@@ -20,11 +20,11 @@
 use infera_columnar::Database;
 use infera_frame::{Column, DataFrame};
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchEntry {
     op: String,
     /// "v1" = uncompressed raw chunks, "v2" = compressed + late
@@ -37,7 +37,7 @@ struct BenchEntry {
     throughput_rows_per_s: f64,
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Summary {
     /// v1 bytes / v2 bytes on the filtered-scan dataset (higher is
     /// better; acceptance floor is 2.0).
@@ -48,7 +48,7 @@ struct Summary {
     worst_time_ratio_op: String,
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     seed: u64,
     smoke: bool,
@@ -56,7 +56,18 @@ struct BenchReport {
     summary: Summary,
 }
 
-const OPS: [&str; 4] = ["ingest", "filtered_scan", "group_by", "join"];
+const OPS: [&str; 6] = [
+    "ingest",
+    "filtered_scan",
+    "group_by",
+    "join",
+    "group_by_str",
+    "join_str",
+];
+
+/// Ops gated by the `--baseline` throughput check (the kernel-sensitive
+/// ones; ingest and scan have their own v2/v1 ratio guard).
+const GATED_OPS: [&str; 4] = ["group_by", "join", "group_by_str", "join_str"];
 
 /// The dictionary-friendly synthetic dataset: a sorted i64 tag
 /// (frame-of-reference packs it far below 8 B/row), a 4-value string sim
@@ -92,6 +103,44 @@ fn galaxy_frame(rows: usize, halo_rows: usize, seed: u64) -> DataFrame {
         ("lum", Column::F64(lum)),
     ])
     .unwrap()
+}
+
+/// High-cardinality string-key tables: `events` scatters `rows` rows
+/// across `rows / 20` distinct host labels; `hosts` holds one weight per
+/// distinct label. String keys this wide are where per-row boxed-key
+/// hashing used to dominate — and where the dictionary-code fast paths
+/// pay off.
+fn event_frames(rows: usize, seed: u64) -> (DataFrame, DataFrame) {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x5eed);
+    let distinct = (rows / 20).max(16);
+    let host: Vec<String> = (0..rows)
+        .map(|_| {
+            let h = (rng.random::<f64>() * distinct as f64) as usize;
+            format!("compute-host-{h:06}")
+        })
+        .collect();
+    let val: Vec<f64> = (0..rows).map(|_| rng.random::<f64>() * 1e3).collect();
+    let events = DataFrame::from_columns([
+        ("host", Column::Str(host)),
+        ("val", Column::F64(val)),
+    ])
+    .unwrap();
+    let hosts = DataFrame::from_columns([
+        (
+            "host",
+            Column::Str(
+                (0..distinct)
+                    .map(|h| format!("compute-host-{h:06}"))
+                    .collect(),
+            ),
+        ),
+        (
+            "weight",
+            Column::F64((0..distinct).map(|h| h as f64 * 0.5).collect()),
+        ),
+    ])
+    .unwrap();
+    (events, hosts)
 }
 
 fn fresh_dir(label: &str) -> PathBuf {
@@ -177,6 +226,56 @@ fn run_scale(
         .unwrap();
     });
     entries.push(entry("join", ms, total_rows));
+
+    // High-cardinality string keys (ingested outside the timed ingest so
+    // the ingest trajectory stays comparable across revisions).
+    let (events, hosts) = event_frames(rows, seed);
+    db.create_table("events", &events.schema()).unwrap();
+    db.append_chunked("events", &events, chunk).unwrap();
+    db.create_table("hosts", &hosts.schema()).unwrap();
+    db.append_chunked("hosts", &hosts, chunk).unwrap();
+
+    let ms = time_min(reps, || {
+        db.query("SELECT host, COUNT(*) AS n, AVG(val) AS v FROM events GROUP BY host")
+            .unwrap();
+    });
+    entries.push(entry("group_by_str", ms, rows as u64));
+
+    let ms = time_min(reps, || {
+        db.query(
+            "SELECT COUNT(*) AS n, SUM(weight) AS w FROM events JOIN hosts ON events.host = hosts.host",
+        )
+        .unwrap();
+    });
+    entries.push(entry("join_str", ms, rows as u64));
+}
+
+/// `--baseline` regression gate: compare this run's throughput against a
+/// checked-in report for the kernel-sensitive ops. Returns the failures
+/// (op/format pairs whose throughput dropped more than 25%).
+fn baseline_regressions(baseline: &BenchReport, entries: &[BenchEntry]) -> Vec<String> {
+    const MAX_DROP: f64 = 0.25;
+    let mut failures = Vec::new();
+    for e in entries {
+        if !GATED_OPS.contains(&e.op.as_str()) {
+            continue;
+        }
+        let Some(base) = baseline
+            .entries
+            .iter()
+            .find(|b| b.op == e.op && b.format == e.format && b.rows == e.rows)
+        else {
+            continue;
+        };
+        let floor = base.throughput_rows_per_s * (1.0 - MAX_DROP);
+        if e.throughput_rows_per_s < floor {
+            failures.push(format!(
+                "{}/{} at {} rows: {:.0} rows/s < 75% of baseline {:.0} rows/s",
+                e.op, e.format, e.rows, e.throughput_rows_per_s, base.throughput_rows_per_s
+            ));
+        }
+    }
+    failures
 }
 
 fn summarize(entries: &[BenchEntry], largest_rows: u64) -> Summary {
@@ -220,6 +319,11 @@ fn summarize(entries: &[BenchEntry], largest_rows: u64) -> Summary {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -275,5 +379,25 @@ fn main() {
             "  {:>6}r {:<14} {:<3} {:>10} B disk {:>9.2} ms {:>12.0} rows/s",
             e.rows, e.op, e.format, e.bytes_on_disk, e.wall_ms, e.throughput_rows_per_s
         );
+    }
+
+    if let Some(path) = baseline_path {
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        let baseline: BenchReport =
+            serde_json::from_str(&json).expect("parse baseline report");
+        let failures = baseline_regressions(&baseline, &report.entries);
+        if failures.is_empty() {
+            println!(
+                "  baseline gate: join/group-by throughput within 25% of {}",
+                path.display()
+            );
+        } else {
+            eprintln!("microbench: throughput regression vs {}:", path.display());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -218,6 +218,18 @@ impl Database {
         self.table(table)?.read().read_chunk_rows(chunk, columns, rows)
     }
 
+    /// Read one string column chunk as `(dictionary, codes)` when it is
+    /// Dict-encoded on disk, `Ok(None)` otherwise — the executor's
+    /// dict-code fast path for string-key GROUP BY / JOIN.
+    pub fn read_chunk_dict_codes(
+        &self,
+        table: &str,
+        chunk: usize,
+        column: &str,
+    ) -> DbResult<Option<(Vec<String>, Vec<u32>)>> {
+        self.table(table)?.read().read_chunk_dict_codes(chunk, column)
+    }
+
     /// Materialize the named columns of an entire table.
     pub fn scan_all(&self, table: &str, columns: &[&str]) -> DbResult<DataFrame> {
         let t = self.table(table)?;

@@ -354,6 +354,29 @@ fn decode_dict_rows(bytes: &[u8], rows: &[usize]) -> DbResult<Column> {
     Ok(Column::Str(out))
 }
 
+/// Decode a Dict-encoded chunk into its dictionary and per-row codes
+/// without materializing any per-row strings.
+///
+/// The operator dict-code fast path groups/joins directly on the `u32`
+/// codes and decodes only the *surviving* keys out of the dictionary —
+/// per-row string allocation never happens.
+pub fn decode_dict_codes(n_rows: usize, bytes: &[u8]) -> DbResult<(Vec<String>, Vec<u32>)> {
+    let (dict, width, packed) = dict_parts(bytes)?;
+    let mut codes = Vec::with_capacity(n_rows);
+    let mut bad = false;
+    unpack_bits(packed, width, n_rows, |idx| {
+        if (idx as usize) < dict.len() {
+            codes.push(idx as u32);
+        } else {
+            bad = true;
+        }
+    });
+    if bad {
+        return Err(DbError::Corrupt("dict index out of range".into()));
+    }
+    Ok((dict, codes))
+}
+
 // ----------------------------------------------- frame-of-reference codec
 
 /// Layout: `i64 min`, `u8 width`, bit-packed `value - min` deltas.

@@ -5,14 +5,28 @@
 //! per-chunk partial accumulators merged in chunk order (deterministic
 //! first-seen group ordering); projections concatenate per-chunk results.
 //! Zone maps skip chunks that cannot satisfy pushed-down conjuncts.
+//!
+//! Joins build one shared [`JoinTable`] over the right side before the
+//! chunk loop and probe every scanned chunk against it. Group keys are
+//! typed tokens ([`KeyToken`]) built on the `infera-frame` key-encoding
+//! layer instead of per-row strings. When a string key column is
+//! Dict-encoded on disk, both operators take a dictionary-code fast
+//! path: grouping/probing happens on the `u32` codes, and only the
+//! surviving dictionary entries are ever decoded to strings.
 
 use super::ast::{JoinType, SelectStmt, Statement};
-use super::plan::{resolve, AggItem, QueryShape, ResolvedSelect};
+use super::plan::{resolve, AggItem, JoinSpec, QueryShape, ResolvedSelect};
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
-use infera_frame::{AggKind, Column, DataFrame, Expr, JoinKind, SelectionVector, SortOrder, Value};
+use infera_frame::key::encode_value;
+use infera_frame::{
+    AggKind, Column, DType, DataFrame, Expr, JoinKind, JoinTable, KeyCol, KeyMode, RowGrouper,
+    SelectionVector, SortOrder, Value,
+};
+use infera_obs::metric_names;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Execution statistics, reported for provenance and the efficiency
 /// benches.
@@ -83,15 +97,88 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
     };
     let exec_span = db.obs().tracer.span("sql:exec");
     let mut stats = ExecStats::default();
+    let n_chunks = db.n_chunks(&plan.base.table)?;
+    stats.chunks_total = n_chunks;
 
-    // Materialize the join's build side once, if any.
+    let mut out = match dict_groupby_fastpath(db, &plan, n_chunks, &mut stats)? {
+        Some(frame) => frame,
+        None => run_select_generic(db, &plan, n_chunks, &mut stats)?,
+    };
+
+    // HAVING: filter the aggregate output.
+    if let Some(having) = &plan.having {
+        out = out.filter_expr(having)?;
+    }
+
+    // DISTINCT: group on all output columns (first-seen order) and keep
+    // only the keys.
+    if plan.distinct && out.n_rows() > 1 {
+        let names: Vec<String> = out.names().to_vec();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        out = out.group_by(&refs, &[])?;
+    }
+
+    // ORDER BY then LIMIT.
+    if !plan.order_by.is_empty() {
+        let keys: Vec<(&str, SortOrder)> = plan
+            .order_by
+            .iter()
+            .map(|(n, desc)| {
+                (
+                    n.as_str(),
+                    if *desc {
+                        SortOrder::Descending
+                    } else {
+                        SortOrder::Ascending
+                    },
+                )
+            })
+            .collect();
+        out = out.sort_by(&keys)?;
+    }
+    if let Some(limit) = plan.limit {
+        out = out.head(limit);
+    }
+    stats.rows_output = out.n_rows() as u64;
+    exec_span.set_attr("rows_output", stats.rows_output);
+    exec_span.set_attr("rows_scanned", stats.rows_scanned);
+    exec_span.set_attr("chunks_total", stats.chunks_total);
+    exec_span.set_attr("chunks_skipped", stats.chunks_skipped);
+    exec_span.set_attr("rows_pruned", stats.rows_pruned);
+    Ok((out, stats))
+}
+
+/// The general scan pipeline: zone-map skip, (late-materializing) chunk
+/// reads, shared-table join probes, filter, then shape dispatch.
+fn run_select_generic(
+    db: &Database,
+    plan: &ResolvedSelect,
+    n_chunks: usize,
+    stats: &mut ExecStats,
+) -> DbResult<DataFrame> {
+    // Materialize the join's build side and build the shared hash table
+    // over it ONCE — every scanned chunk probes the same table instead
+    // of rebuilding it per chunk.
     let right: Option<DataFrame> = match &plan.join {
         Some(j) => Some(db.scan_all(&j.scan.table, &to_refs(&j.scan.columns))?),
         None => None,
     };
-
-    let n_chunks = db.n_chunks(&plan.base.table)?;
-    stats.chunks_total = n_chunks;
+    let join_table: Option<JoinTable<'_>> = match (&plan.join, &right) {
+        (Some(j), Some(right)) => {
+            let t0 = Instant::now();
+            let table = JoinTable::build(right, &j.right_col)?;
+            db.obs().metrics.observe(
+                metric_names::JOIN_BUILD_MS,
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+            db.obs()
+                .metrics
+                .set_gauge(metric_names::JOIN_PARTITIONS, table.n_partitions() as f64);
+            Some(table)
+        }
+        _ => None,
+    };
+    let dict_join = join_dict_eligible(db, plan)?;
 
     // Late materialization applies to no-join scans with a predicate:
     // decode only the predicate's columns, evaluate into a selection
@@ -154,15 +241,16 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
                 }
                 return Ok(Some((rows_in, pruned, chunk)));
             }
+            if let (Some(j), Some(table)) = (&plan.join, &join_table) {
+                let kind = join_kind(j);
+                let (rows_in, mut chunk) = join_chunk(db, plan, ci, j, table, kind, dict_join)?;
+                if let Some(pred) = &plan.predicate {
+                    chunk = chunk.filter_expr(pred)?;
+                }
+                return Ok(Some((rows_in, 0, chunk)));
+            }
             let mut chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&plan.base.columns))?;
             let rows_in = chunk.n_rows() as u64;
-            if let (Some(j), Some(right)) = (&plan.join, &right) {
-                let kind = match j.kind {
-                    JoinType::Inner => JoinKind::Inner,
-                    JoinType::Left => JoinKind::Left,
-                };
-                chunk = chunk.join(right, &j.left_col, &j.right_col, kind)?;
-            }
             if let Some(pred) = &plan.predicate {
                 chunk = chunk.filter_expr(pred)?;
             }
@@ -184,7 +272,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
     if stats.rows_pruned > 0 {
         db.obs()
             .metrics
-            .inc(infera_obs::metric_names::SCAN_ROWS_PRUNED, stats.rows_pruned);
+            .inc(metric_names::SCAN_ROWS_PRUNED, stats.rows_pruned);
     }
 
     // Zone maps (or an empty table) can eliminate every chunk; the result
@@ -198,67 +286,151 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
                 .iter()
                 .find(|(n, _)| n == name)
                 .map(|(_, d)| *d)
-                .unwrap_or(infera_frame::DType::F64);
+                .unwrap_or(DType::F64);
             empty
                 .add_column(name.clone(), Column::empty(dtype))
                 .map_err(DbError::from)?;
         }
-        if let (Some(j), Some(right)) = (&plan.join, &right) {
-            let kind = match j.kind {
-                JoinType::Inner => JoinKind::Inner,
-                JoinType::Left => JoinKind::Left,
-            };
-            empty = empty.join(right, &j.left_col, &j.right_col, kind)?;
+        if let (Some(j), Some(table)) = (&plan.join, &join_table) {
+            empty = empty.join_with_table(table, &j.left_col, join_kind(j))?;
         }
         chunks.push(empty);
     }
 
-    let mut out = match &plan.shape {
-        QueryShape::Projection { items } => project(&chunks, items, &plan)?,
-        QueryShape::Aggregate { keys, aggs } => aggregate(&chunks, keys, aggs)?,
+    match &plan.shape {
+        QueryShape::Projection { items } => project(&chunks, items, plan),
+        QueryShape::Aggregate { keys, aggs } => aggregate(db, &chunks, keys, aggs),
+    }
+}
+
+fn join_kind(j: &JoinSpec) -> JoinKind {
+    match j.kind {
+        JoinType::Inner => JoinKind::Inner,
+        JoinType::Left => JoinKind::Left,
+    }
+}
+
+/// Is the join's left key a string column consumed *only* by the join
+/// condition itself? Then joined chunks never need the per-row key
+/// strings, and Dict-encoded key chunks can probe on codes.
+fn join_dict_eligible(db: &Database, plan: &ResolvedSelect) -> DbResult<bool> {
+    let Some(j) = &plan.join else {
+        return Ok(false);
     };
+    let schema = db.table_schema(&plan.base.table)?;
+    if !schema
+        .iter()
+        .any(|(n, d)| n == &j.left_col && *d == DType::Str)
+    {
+        return Ok(false);
+    }
+    // A right column named like the left key would get its `_right`
+    // suffix only when the key is materialized; keep the generic path so
+    // output names never depend on chunk codecs.
+    if j.scan
+        .columns
+        .iter()
+        .any(|c| c != &j.right_col && c == &j.left_col)
+    {
+        return Ok(false);
+    }
+    let mut referenced: Vec<String> = Vec::new();
+    if let Some(p) = &plan.predicate {
+        referenced.extend(p.referenced_columns());
+    }
+    match &plan.shape {
+        QueryShape::Projection { items } => {
+            for (_, e) in items {
+                referenced.extend(e.referenced_columns());
+            }
+        }
+        QueryShape::Aggregate { keys, aggs } => {
+            for (_, e) in keys {
+                referenced.extend(e.referenced_columns());
+            }
+            for a in aggs {
+                if let Some(e) = &a.arg {
+                    referenced.extend(e.referenced_columns());
+                }
+            }
+        }
+    }
+    Ok(!referenced.iter().any(|c| c == &j.left_col))
+}
 
-    // HAVING: filter the aggregate output.
-    if let Some(having) = &plan.having {
-        out = out.filter_expr(having)?;
+/// Read one chunk and probe it against the shared join table. When the
+/// key chunk is Dict-encoded (and the query never reads the key), each
+/// dictionary entry is probed once and the per-code match lists fan out
+/// over the code vector — per-row key strings are never materialized.
+fn join_chunk(
+    db: &Database,
+    plan: &ResolvedSelect,
+    ci: usize,
+    j: &JoinSpec,
+    table: &JoinTable<'_>,
+    kind: JoinKind,
+    dict_eligible: bool,
+) -> DbResult<(u64, DataFrame)> {
+    if dict_eligible {
+        if let Some((dict, codes)) = db.read_chunk_dict_codes(&plan.base.table, ci, &j.left_col)? {
+            let rest: Vec<&str> = plan
+                .base
+                .columns
+                .iter()
+                .filter(|c| *c != &j.left_col)
+                .map(String::as_str)
+                .collect();
+            let chunk = db.read_chunk(&plan.base.table, ci, &rest)?;
+            let t0 = Instant::now();
+            // The per-chunk dictionary holds exactly the chunk's distinct
+            // keys, so probing it covers every row.
+            let dkey = KeyCol::Str(&dict);
+            let (dl, dr) = table.probe(&dkey, JoinKind::Left);
+            let mut matches: Vec<Vec<u32>> = vec![Vec::new(); dict.len()];
+            for (l, r) in dl.iter().zip(&dr) {
+                if *r != u32::MAX {
+                    matches[*l as usize].push(*r);
+                }
+            }
+            let mut left_idx: Vec<u32> = Vec::with_capacity(codes.len());
+            let mut right_idx: Vec<u32> = Vec::with_capacity(codes.len());
+            for (row, &c) in codes.iter().enumerate() {
+                let ms = &matches[c as usize];
+                if ms.is_empty() {
+                    if kind == JoinKind::Left {
+                        left_idx.push(row as u32);
+                        right_idx.push(u32::MAX);
+                    }
+                } else {
+                    for &r in ms {
+                        left_idx.push(row as u32);
+                        right_idx.push(r);
+                    }
+                }
+            }
+            let joined = table.gather_joined(&chunk, &left_idx, &right_idx)?;
+            db.obs().metrics.observe(
+                metric_names::JOIN_PROBE_MS,
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+            db.obs()
+                .metrics
+                .inc(metric_names::JOIN_DICT_FASTPATH_CHUNKS, 1);
+            db.obs()
+                .metrics
+                .inc(metric_names::DICT_STRINGS_DECODED, dict.len() as u64);
+            return Ok((codes.len() as u64, joined));
+        }
     }
-
-    // DISTINCT: group on all output columns (first-seen order) and keep
-    // only the keys.
-    if plan.distinct && out.n_rows() > 1 {
-        let names: Vec<String> = out.names().to_vec();
-        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        out = out.group_by(&refs, &[])?;
-    }
-
-    // ORDER BY then LIMIT.
-    if !plan.order_by.is_empty() {
-        let keys: Vec<(&str, SortOrder)> = plan
-            .order_by
-            .iter()
-            .map(|(n, desc)| {
-                (
-                    n.as_str(),
-                    if *desc {
-                        SortOrder::Descending
-                    } else {
-                        SortOrder::Ascending
-                    },
-                )
-            })
-            .collect();
-        out = out.sort_by(&keys)?;
-    }
-    if let Some(limit) = plan.limit {
-        out = out.head(limit);
-    }
-    stats.rows_output = out.n_rows() as u64;
-    exec_span.set_attr("rows_output", stats.rows_output);
-    exec_span.set_attr("rows_scanned", stats.rows_scanned);
-    exec_span.set_attr("chunks_total", stats.chunks_total);
-    exec_span.set_attr("chunks_skipped", stats.chunks_skipped);
-    exec_span.set_attr("rows_pruned", stats.rows_pruned);
-    Ok((out, stats))
+    let chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&plan.base.columns))?;
+    let rows_in = chunk.n_rows() as u64;
+    let t0 = Instant::now();
+    let joined = chunk.join_with_table(table, &j.left_col, kind)?;
+    db.obs().metrics.observe(
+        metric_names::JOIN_PROBE_MS,
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    Ok((rows_in, joined))
 }
 
 fn to_refs(v: &[String]) -> Vec<&str> {
@@ -440,107 +612,137 @@ impl Accum {
     }
 }
 
+/// SQL grouping key normalization: integral floats unify with integers,
+/// `-0.0` normalizes to `0.0`, `NaN` keys by its bit pattern. Matches
+/// the retired per-row string `encode_key` codec exactly.
+const SQL_GROUP_MODE: KeyMode = KeyMode::Unify {
+    nan_never_matches: false,
+};
+
+/// One typed group-key token: the `u128` key encoding for numeric /
+/// boolean keys, an owned string otherwise. A `Vec<KeyToken>` replaces
+/// the old per-row `'\u{1f}'`-separated key strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyToken {
+    Enc(u128),
+    Str(String),
+}
+
+type GroupKey = Vec<KeyToken>;
+type GroupMap = HashMap<GroupKey, (Vec<Value>, Vec<Accum>)>;
+
+fn key_token(col: &Column, row: usize) -> KeyToken {
+    match col {
+        Column::Str(v) => KeyToken::Str(v[row].clone()),
+        other => KeyToken::Enc(
+            encode_value(&other.get(row), SQL_GROUP_MODE).expect("non-string key encodes"),
+        ),
+    }
+}
+
 /// Per-chunk partial aggregation state.
 struct Partial {
     /// Insertion-ordered group keys.
-    order: Vec<String>,
+    order: Vec<GroupKey>,
     /// key -> (representative key values, per-agg accumulators).
-    groups: HashMap<String, (Vec<Value>, Vec<Accum>)>,
+    groups: GroupMap,
 }
 
-fn encode_key(values: &[Value]) -> String {
-    let mut out = String::new();
-    for v in values {
-        match v {
-            Value::F64(f) => {
-                let f = if *f == 0.0 { 0.0 } else { *f };
-                // Integral floats encode like ints so cross-type keys
-                // (i64 column vs f64 expression) group together.
-                if f.fract() == 0.0 && f.is_finite() && f.abs() < 9e15 {
-                    out.push_str(&format!("i{}", f as i64));
-                } else {
-                    out.push_str(&format!("f{}", f.to_bits()));
+/// Evaluated aggregate arguments for one chunk.
+enum ArgData {
+    Num(Vec<f64>),
+    /// COUNT(*) or a count over non-numeric data: every row counts.
+    Rows,
+}
+
+fn eval_arg_data(chunk: &DataFrame, aggs: &[AggItem]) -> DbResult<Vec<ArgData>> {
+    aggs.iter()
+        .map(|a| -> DbResult<ArgData> {
+            match &a.arg {
+                None => Ok(ArgData::Rows),
+                Some(e) => {
+                    let col = e.eval(chunk)?;
+                    match col.to_f64_vec() {
+                        Ok(v) => Ok(ArgData::Num(v)),
+                        Err(_) if a.kind == AggKind::Count => Ok(ArgData::Rows),
+                        Err(e) => Err(DbError::from(e)),
+                    }
                 }
             }
-            Value::I64(i) => out.push_str(&format!("i{i}")),
-            Value::Str(s) => {
-                out.push('s');
-                out.push_str(s);
-            }
-            Value::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
-        }
-        out.push('\u{1f}');
-    }
-    out
+        })
+        .collect()
 }
 
-fn aggregate(
-    chunks: &[DataFrame],
+fn push_row(accums: &mut [Accum], arg_data: &[ArgData], row: usize) {
+    for (ai, data) in arg_data.iter().enumerate() {
+        match data {
+            ArgData::Num(v) => accums[ai].push(v[row]),
+            ArgData::Rows => accums[ai].push_counted_row(),
+        }
+    }
+}
+
+/// Aggregate one chunk into a [`Partial`]: typed row grouping via
+/// [`RowGrouper`] (no per-row boxed values or key strings), then exact
+/// accumulator fills per group in ascending row order.
+fn chunk_partial(
+    chunk: &DataFrame,
     keys: &[(String, Expr)],
     aggs: &[AggItem],
-) -> DbResult<DataFrame> {
-    let needs_values: Vec<bool> = aggs.iter().map(|a| a.kind == AggKind::Median).collect();
-
-    // Partial aggregation per chunk, in parallel.
-    let partials: Vec<DbResult<Partial>> = chunks
-        .par_iter()
-        .map(|chunk| -> DbResult<Partial> {
-            let mut p = Partial {
-                order: Vec::new(),
-                groups: HashMap::new(),
-            };
-            let n = chunk.n_rows();
-            // Evaluate key expressions once per chunk.
-            let key_cols: Vec<Column> = keys
-                .iter()
-                .map(|(_, e)| e.eval(chunk))
-                .collect::<Result<_, _>>()?;
-            // Evaluate aggregate args: numeric vector or string marker.
-            enum ArgData {
-                Num(Vec<f64>),
-                Rows, // COUNT(*) or count over non-numeric data
-            }
-            let arg_data: Vec<ArgData> = aggs
-                .iter()
-                .map(|a| -> DbResult<ArgData> {
-                    match &a.arg {
-                        None => Ok(ArgData::Rows),
-                        Some(e) => {
-                            let col = e.eval(chunk)?;
-                            match col.to_f64_vec() {
-                                Ok(v) => Ok(ArgData::Num(v)),
-                                Err(_) if a.kind == AggKind::Count => Ok(ArgData::Rows),
-                                Err(e) => Err(DbError::from(e)),
-                            }
-                        }
-                    }
-                })
-                .collect::<Result<_, _>>()?;
-
+    needs_values: &[bool],
+) -> DbResult<Partial> {
+    let n = chunk.n_rows();
+    let arg_data = eval_arg_data(chunk, aggs)?;
+    let new_accums = || -> Vec<Accum> { needs_values.iter().map(|&kv| Accum::new(kv)).collect() };
+    let mut p = Partial {
+        order: Vec::new(),
+        groups: HashMap::new(),
+    };
+    if keys.is_empty() {
+        // Whole-table aggregate: one global group (none for empty chunks;
+        // the zero-row case is synthesized after the merge).
+        if n > 0 {
+            let mut accums = new_accums();
             for row in 0..n {
-                let key_vals: Vec<Value> = key_cols.iter().map(|c| c.get(row)).collect();
-                let key = encode_key(&key_vals);
-                let entry = p.groups.entry(key.clone()).or_insert_with(|| {
-                    p.order.push(key);
-                    (
-                        key_vals.clone(),
-                        needs_values.iter().map(|&kv| Accum::new(kv)).collect(),
-                    )
-                });
-                for (ai, data) in arg_data.iter().enumerate() {
-                    match data {
-                        ArgData::Num(v) => entry.1[ai].push(v[row]),
-                        ArgData::Rows => entry.1[ai].push_counted_row(),
-                    }
-                }
+                push_row(&mut accums, &arg_data, row);
             }
-            Ok(p)
-        })
+            p.order.push(GroupKey::new());
+            p.groups.insert(GroupKey::new(), (Vec::new(), accums));
+        }
+        return Ok(p);
+    }
+    // Evaluate key expressions once per chunk, then group rows through
+    // the typed key-extraction layer.
+    let key_cols: Vec<Column> = keys
+        .iter()
+        .map(|(_, e)| e.eval(chunk))
+        .collect::<Result<_, _>>()?;
+    let extracted: Vec<KeyCol> = key_cols
+        .iter()
+        .map(|c| KeyCol::extract(c, SQL_GROUP_MODE))
         .collect();
+    let groups = RowGrouper::new(extracted).group();
+    p.order.reserve(groups.len());
+    p.groups.reserve(groups.len());
+    for g in groups {
+        let rep = g.rep as usize;
+        let key: GroupKey = key_cols.iter().map(|c| key_token(c, rep)).collect();
+        let vals: Vec<Value> = key_cols.iter().map(|c| c.get(rep)).collect();
+        let mut accums = new_accums();
+        for &r in &g.rows {
+            push_row(&mut accums, &arg_data, r as usize);
+        }
+        p.order.push(key.clone());
+        p.groups.insert(key, (vals, accums));
+    }
+    Ok(p)
+}
 
-    // Merge partials in chunk order for deterministic group ordering.
-    let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, (Vec<Value>, Vec<Accum>)> = HashMap::new();
+/// Merge per-chunk partials in chunk order for deterministic first-seen
+/// group ordering.
+fn merge_partials(partials: Vec<DbResult<Partial>>) -> DbResult<(Vec<GroupKey>, GroupMap)> {
+    let mut order: Vec<GroupKey> = Vec::new();
+    let mut groups: GroupMap = HashMap::new();
     for p in partials {
         let p = p?;
         for key in p.order {
@@ -558,26 +760,28 @@ fn aggregate(
             }
         }
     }
+    Ok((order, groups))
+}
 
-    // Whole-table aggregate with zero rows still yields one output row.
-    if keys.is_empty() && order.is_empty() {
-        order.push(String::new());
-        groups.insert(
-            String::new(),
-            (
-                Vec::new(),
-                needs_values.iter().map(|&kv| Accum::new(kv)).collect(),
-            ),
-        );
-    }
-
-    // Assemble the output frame.
+/// Assemble the output frame from merged groups. `key_dtype_fallback`
+/// supplies key column dtypes when zero groups survive (zone maps can
+/// skip every chunk), so a grouped aggregate never indexes into an
+/// empty group table.
+fn assemble_groups(
+    keys: &[(String, Expr)],
+    aggs: &[AggItem],
+    order: &[GroupKey],
+    groups: &GroupMap,
+    key_dtype_fallback: impl Fn(usize) -> DbResult<DType>,
+) -> DbResult<DataFrame> {
     let mut out = DataFrame::new();
     for (ki, (kname, _)) in keys.iter().enumerate() {
-        // Use the dtype of the first group's representative value.
-        let first = &groups[&order[0]].0[ki];
-        let mut col = Column::empty(first.dtype());
-        for key in &order {
+        let dtype = match order.first() {
+            Some(k0) => groups[k0].0[ki].dtype(),
+            None => key_dtype_fallback(ki)?,
+        };
+        let mut col = Column::empty(dtype);
+        for key in order {
             col.push(groups[key].0[ki].clone()).map_err(DbError::from)?;
         }
         out.add_column(kname.clone(), col).map_err(DbError::from)?;
@@ -596,6 +800,185 @@ fn aggregate(
             .map_err(DbError::from)?;
     }
     Ok(out)
+}
+
+fn aggregate(
+    db: &Database,
+    chunks: &[DataFrame],
+    keys: &[(String, Expr)],
+    aggs: &[AggItem],
+) -> DbResult<DataFrame> {
+    let needs_values: Vec<bool> = aggs.iter().map(|a| a.kind == AggKind::Median).collect();
+
+    // Partial aggregation per chunk, in parallel.
+    let partials: Vec<DbResult<Partial>> = chunks
+        .par_iter()
+        .map(|chunk| chunk_partial(chunk, keys, aggs, &needs_values))
+        .collect();
+    db.obs()
+        .metrics
+        .inc(metric_names::GROUPBY_PARTIALS_MERGED, partials.len() as u64);
+    let (mut order, mut groups) = merge_partials(partials)?;
+
+    // Whole-table aggregate with zero rows still yields one output row.
+    if keys.is_empty() && order.is_empty() {
+        order.push(GroupKey::new());
+        groups.insert(
+            GroupKey::new(),
+            (
+                Vec::new(),
+                needs_values.iter().map(|&kv| Accum::new(kv)).collect(),
+            ),
+        );
+    }
+
+    assemble_groups(keys, aggs, &order, &groups, |ki| {
+        // Zero surviving groups: the chunks are all empty (possibly just
+        // the synthesized schema chunk), so evaluating the key
+        // expression against one of them is a cheap way to type the
+        // empty key column.
+        match chunks.first() {
+            Some(c) => Ok(keys[ki].1.eval(c)?.dtype()),
+            None => Ok(DType::F64),
+        }
+    })
+}
+
+/// Dictionary-code GROUP BY fast path.
+///
+/// Applies when a single plain string column is the whole group key and
+/// no join or predicate intervenes: each Dict-encoded chunk is grouped
+/// directly on its `u32` codes via a per-code group-id table, and only
+/// one representative string per group leaves the dictionary — per-row
+/// strings are never decoded. Chunks stored under other codecs fall
+/// back to the generic per-chunk grouping, so mixed tables stay exact.
+fn dict_groupby_fastpath(
+    db: &Database,
+    plan: &ResolvedSelect,
+    n_chunks: usize,
+    stats: &mut ExecStats,
+) -> DbResult<Option<DataFrame>> {
+    if plan.join.is_some() || plan.predicate.is_some() || !plan.zone_filters.is_empty() {
+        return Ok(None);
+    }
+    let QueryShape::Aggregate { keys, aggs } = &plan.shape else {
+        return Ok(None);
+    };
+    let [(_, Expr::Col(key_col))] = keys.as_slice() else {
+        return Ok(None);
+    };
+    let schema = db.table_schema(&plan.base.table)?;
+    if !schema
+        .iter()
+        .any(|(n, d)| n == key_col && *d == DType::Str)
+    {
+        return Ok(None);
+    }
+    // Aggregate args must be evaluable without the key column, and must
+    // reference at least one column so argument lengths track the chunk.
+    let mut arg_cols: Vec<String> = Vec::new();
+    for a in aggs {
+        if let Some(e) = &a.arg {
+            let cols = e.referenced_columns();
+            if cols.is_empty() || cols.iter().any(|c| c == key_col) {
+                return Ok(None);
+            }
+            arg_cols.extend(cols);
+        }
+    }
+    arg_cols.sort();
+    arg_cols.dedup();
+
+    let needs_values: Vec<bool> = aggs.iter().map(|a| a.kind == AggKind::Median).collect();
+    struct ChunkOut {
+        partial: Partial,
+        rows_in: u64,
+        fast: bool,
+        decoded: u64,
+    }
+    let results: Vec<DbResult<ChunkOut>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|ci| -> DbResult<ChunkOut> {
+            let Some((dict, codes)) = db.read_chunk_dict_codes(&plan.base.table, ci, key_col)?
+            else {
+                // Chunk stored under another codec: group it generically.
+                let mut cols = arg_cols.clone();
+                cols.push(key_col.clone());
+                let chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&cols))?;
+                let rows_in = chunk.n_rows() as u64;
+                let partial = chunk_partial(&chunk, keys, aggs, &needs_values)?;
+                return Ok(ChunkOut {
+                    partial,
+                    rows_in,
+                    fast: false,
+                    decoded: 0,
+                });
+            };
+            let rest = db.read_chunk(&plan.base.table, ci, &to_refs(&arg_cols))?;
+            let arg_data = eval_arg_data(&rest, aggs)?;
+            // Group id per dictionary code, assigned in first-seen row
+            // order — identical ordering to the generic path.
+            let mut gid_of_code: Vec<u32> = vec![u32::MAX; dict.len()];
+            let mut rep_codes: Vec<u32> = Vec::new();
+            let mut accums: Vec<Vec<Accum>> = Vec::new();
+            for (row, &code) in codes.iter().enumerate() {
+                let c = code as usize;
+                let gid = if gid_of_code[c] == u32::MAX {
+                    gid_of_code[c] = accums.len() as u32;
+                    rep_codes.push(code);
+                    accums.push(needs_values.iter().map(|&kv| Accum::new(kv)).collect());
+                    accums.len() - 1
+                } else {
+                    gid_of_code[c] as usize
+                };
+                push_row(&mut accums[gid], &arg_data, row);
+            }
+            let decoded = rep_codes.len() as u64;
+            let mut partial = Partial {
+                order: Vec::with_capacity(rep_codes.len()),
+                groups: HashMap::with_capacity(rep_codes.len()),
+            };
+            for (&code, acc) in rep_codes.iter().zip(accums) {
+                let s = dict[code as usize].clone();
+                let key = vec![KeyToken::Str(s.clone())];
+                partial.order.push(key.clone());
+                partial.groups.insert(key, (vec![Value::Str(s)], acc));
+            }
+            Ok(ChunkOut {
+                partial,
+                rows_in: codes.len() as u64,
+                fast: true,
+                decoded,
+            })
+        })
+        .collect();
+
+    let mut partials: Vec<DbResult<Partial>> = Vec::with_capacity(results.len());
+    let mut fast_chunks = 0u64;
+    let mut decoded = 0u64;
+    for r in results {
+        let c = r?;
+        stats.rows_scanned += c.rows_in;
+        if c.fast {
+            fast_chunks += 1;
+            decoded += c.decoded;
+        }
+        partials.push(Ok(c.partial));
+    }
+    if fast_chunks > 0 {
+        db.obs()
+            .metrics
+            .inc(metric_names::GROUPBY_DICT_FASTPATH_CHUNKS, fast_chunks);
+        db.obs()
+            .metrics
+            .inc(metric_names::DICT_STRINGS_DECODED, decoded);
+    }
+    db.obs()
+        .metrics
+        .inc(metric_names::GROUPBY_PARTIALS_MERGED, partials.len() as u64);
+    let (order, groups) = merge_partials(partials)?;
+    let out = assemble_groups(keys, aggs, &order, &groups, |_| Ok(DType::Str))?;
+    Ok(Some(out))
 }
 
 #[cfg(test)]
@@ -721,6 +1104,11 @@ mod tests {
         );
         assert_eq!(df.n_rows(), 4);
         assert_eq!(df.cell("fof_halo_tag", 0).unwrap(), Value::I64(6));
+        // One shared build, one probe per scanned chunk.
+        let m = &db.obs().metrics;
+        assert_eq!(m.histogram(metric_names::JOIN_BUILD_MS).unwrap().count, 1);
+        assert_eq!(m.histogram(metric_names::JOIN_PROBE_MS).unwrap().count, 3);
+        assert!(m.gauge(metric_names::JOIN_PARTITIONS).unwrap() >= 1.0);
     }
 
     #[test]
@@ -778,6 +1166,108 @@ mod tests {
         // Whole-table aggregate over empty selection: one row, count 0.
         let df = q(&db, "SELECT COUNT(*) AS n FROM halos WHERE fof_halo_mass > 1e99");
         assert_eq!(df.cell("n", 0).unwrap(), Value::I64(0));
+    }
+
+    #[test]
+    fn grouped_aggregate_with_all_chunks_skipped_keeps_schema() {
+        // Zone maps skip every chunk; the grouped aggregate must come
+        // back empty with correctly typed key columns (this used to
+        // panic indexing the first group of an empty group table).
+        let db = setup("skipallgroups");
+        let df = q(
+            &db,
+            "SELECT sim, COUNT(*) AS n, AVG(fof_halo_mass) AS m FROM halos WHERE fof_halo_mass > 1e99 GROUP BY sim",
+        );
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.names(), &["sim", "n", "m"]);
+        assert_eq!(df.column("sim").unwrap().dtype(), DType::I64);
+        assert_eq!(df.column("n").unwrap().dtype(), DType::I64);
+    }
+
+    /// 60 rows of 3 repeated names in 2 chunks — long/repetitive enough
+    /// that the byte-cost heuristic picks the Dict codec.
+    fn setup_dict(name: &str) -> Database {
+        let db = Database::create(&tmp(name)).unwrap();
+        let names: Vec<String> = (0..60)
+            .map(|i| format!("simulation_{}", ["alpha", "beta", "gamma"][i % 3]))
+            .collect();
+        let masses: Vec<f64> = (0..60).map(|i| (i as f64 + 1.0) * 1e12).collect();
+        let df = DataFrame::from_columns([
+            ("sim_name", Column::Str(names)),
+            ("mass", Column::F64(masses)),
+        ])
+        .unwrap();
+        db.create_table("runs", &df.schema()).unwrap();
+        db.append_chunked("runs", &df, 30).unwrap(); // 2 chunks
+        db
+    }
+
+    #[test]
+    fn dict_groupby_fast_path_matches_generic() {
+        let db = setup_dict("dictgroup");
+        let fast = q(
+            &db,
+            "SELECT sim_name, COUNT(*) AS n, SUM(mass) AS total FROM runs GROUP BY sim_name",
+        );
+        let m = &db.obs().metrics;
+        assert_eq!(m.counter(metric_names::GROUPBY_DICT_FASTPATH_CHUNKS), 2);
+        // 3 groups per chunk decoded, not 60 rows.
+        assert_eq!(m.counter(metric_names::DICT_STRINGS_DECODED), 6);
+        // The predicate disables the fast path; `mass > 0` keeps all rows.
+        let generic = q(
+            &db,
+            "SELECT sim_name, COUNT(*) AS n, SUM(mass) AS total FROM runs WHERE mass > 0 GROUP BY sim_name",
+        );
+        assert_eq!(fast, generic);
+        assert_eq!(fast.n_rows(), 3);
+        assert_eq!(m.counter(metric_names::GROUPBY_DICT_FASTPATH_CHUNKS), 2);
+    }
+
+    #[test]
+    fn dict_groupby_fast_path_empty_table() {
+        let db = Database::create(&tmp("dictgroupempty")).unwrap();
+        let schema = vec![
+            ("sim_name".to_string(), DType::Str),
+            ("mass".to_string(), DType::F64),
+        ];
+        db.create_table("runs", &schema).unwrap();
+        let df = q(&db, "SELECT sim_name, COUNT(*) AS n FROM runs GROUP BY sim_name");
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.column("sim_name").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn dict_join_fast_path_matches_generic() {
+        let db = setup_dict("dictjoin");
+        let sims = DataFrame::from_columns([
+            (
+                "sim_name",
+                Column::from(vec!["simulation_alpha", "simulation_beta"]),
+            ),
+            ("box_mpc", Column::from(vec![250.0, 500.0])),
+        ])
+        .unwrap();
+        db.create_table("sims", &sims.schema()).unwrap();
+        db.append("sims", &sims).unwrap();
+        // The key is only in the join condition: dict chunks probe the
+        // dictionary (2 chunks), not the 60 rows.
+        let fast = q(
+            &db,
+            "SELECT COUNT(*) AS n, SUM(box_mpc) AS b FROM runs JOIN sims ON runs.sim_name = sims.sim_name",
+        );
+        let m = &db.obs().metrics;
+        assert_eq!(m.counter(metric_names::JOIN_DICT_FASTPATH_CHUNKS), 2);
+        // Referencing the key in the projection forces the generic path.
+        let generic = q(
+            &db,
+            "SELECT sim_name, box_mpc FROM runs JOIN sims ON runs.sim_name = sims.sim_name",
+        );
+        assert_eq!(m.counter(metric_names::JOIN_DICT_FASTPATH_CHUNKS), 2);
+        // alpha: 20 rows, beta: 20 rows; gamma unmatched on inner join.
+        assert_eq!(fast.cell("n", 0).unwrap(), Value::I64(40));
+        let b = fast.cell("b", 0).unwrap().as_f64().unwrap();
+        assert_eq!(b, 20.0 * 250.0 + 20.0 * 500.0);
+        assert_eq!(generic.n_rows(), 40);
     }
 
     #[test]

@@ -434,6 +434,30 @@ impl TableStore {
         Ok(df)
     }
 
+    /// Read one string column chunk as `(dictionary, per-row codes)` if —
+    /// and only if — it is Dict-encoded on disk. Returns `Ok(None)` for
+    /// any other codec so callers can fall back to [`Self::read_chunk`].
+    /// This is the entry point of the operator dict-code fast path: the
+    /// executor groups/joins on the `u32` codes and decodes only the
+    /// surviving dictionary entries.
+    pub fn read_chunk_dict_codes(
+        &self,
+        chunk_idx: usize,
+        column: &str,
+    ) -> DbResult<Option<(Vec<String>, Vec<u32>)>> {
+        if chunk_idx >= self.meta.n_chunks() {
+            return Err(DbError::Exec(format!("chunk {chunk_idx} out of range")));
+        }
+        let ci = self.meta.column_index(column)?;
+        let loc = &self.meta.chunks[ci][chunk_idx];
+        if loc.encoding != Encoding::Dict || self.meta.columns[ci].1 != ColType::Str {
+            return Ok(None);
+        }
+        let n_rows = self.meta.chunk_rows[chunk_idx] as usize;
+        let bytes = self.read_chunk_bytes(ci, chunk_idx)?;
+        encoding::decode_dict_codes(n_rows, &bytes).map(Some)
+    }
+
     /// Zone map of `(column, chunk)`, if any.
     pub fn zone(&self, column: &str, chunk_idx: usize) -> DbResult<Option<ZoneMap>> {
         let ci = self.meta.column_index(column)?;

@@ -180,6 +180,41 @@ impl Column {
         }
     }
 
+    /// Gather rows by `u32` index — the compact index form produced by
+    /// the vectorized join/group-by kernels. Indices must be in range.
+    pub fn take_u32(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::I64(v) => Column::I64(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i as usize].clone()).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+
+    /// Gather rows by `u32` index where `u32::MAX` is the "no row"
+    /// sentinel, filled with the dtype's missing value (`NaN` / `i64::MIN`
+    /// / `""` / `false`) — the left-join non-match representation.
+    pub fn take_u32_or_missing(&self, indices: &[u32]) -> Column {
+        fn gather<T: Clone>(v: &[T], indices: &[u32], missing: T) -> Vec<T> {
+            indices
+                .iter()
+                .map(|&i| {
+                    if i == u32::MAX {
+                        missing.clone()
+                    } else {
+                        v[i as usize].clone()
+                    }
+                })
+                .collect()
+        }
+        match self {
+            Column::F64(v) => Column::F64(gather(v, indices, f64::NAN)),
+            Column::I64(v) => Column::I64(gather(v, indices, i64::MIN)),
+            Column::Str(v) => Column::Str(gather(v, indices, String::new())),
+            Column::Bool(v) => Column::Bool(gather(v, indices, false)),
+        }
+    }
+
     /// Keep rows where `mask` is true. `mask.len()` must equal `self.len()`.
     pub fn filter(&self, mask: &[bool]) -> FrameResult<Column> {
         if mask.len() != self.len() {

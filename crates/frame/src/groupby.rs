@@ -1,9 +1,22 @@
 //! Group-by aggregation.
+//!
+//! The hot path groups rows through the typed key layer
+//! ([`crate::key::RowGrouper`]): key columns are extracted once into
+//! flat typed key vectors, row chunks are grouped into thread-local
+//! partial tables in parallel, and partials merge in chunk order — so
+//! group discovery parallelizes while first-seen group order and
+//! per-group row order (both required for pandas-identical output) are
+//! preserved exactly. Aggregation then runs per group over gathered
+//! slices with the same [`aggregate_f64`] the row-at-a-time path used,
+//! making the vectorized output *bitwise* identical to the retained
+//! [`DataFrame::group_by_reference`].
 
 use crate::column::Column;
 use crate::error::{FrameError, FrameResult};
 use crate::frame::DataFrame;
+use crate::key::{KeyCol, KeyMode, RowGrouper};
 use crate::value::Value;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Supported aggregation kinds.
@@ -161,7 +174,94 @@ impl DataFrame {
     ///
     /// Output has one row per distinct key combination, in first-seen
     /// order, with the key columns followed by one column per spec.
+    ///
+    /// Vectorized: typed key extraction + parallel group discovery with
+    /// chunk-ordered partial merge, then per-group aggregation over
+    /// gathered slices (parallel across groups). Bitwise identical to
+    /// [`DataFrame::group_by_reference`].
     pub fn group_by(&self, keys: &[&str], aggs: &[AggSpec]) -> FrameResult<DataFrame> {
+        if keys.is_empty() {
+            return Err(FrameError::Invalid("group_by requires at least one key".into()));
+        }
+        if self.n_rows() >= u32::MAX as usize {
+            return Err(FrameError::Invalid(format!(
+                "group_by frame too large: {} rows",
+                self.n_rows()
+            )));
+        }
+        let key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|k| self.column(k))
+            .collect::<FrameResult<_>>()?;
+        // Pre-validate agg columns (Count on "*" is allowed).
+        for a in aggs {
+            if a.column != "*" {
+                self.column(&a.column)?;
+            } else if a.kind != AggKind::Count {
+                return Err(FrameError::Invalid(format!(
+                    "aggregate {}(*) is only valid for count",
+                    a.kind.name()
+                )));
+            }
+        }
+
+        // Group discovery through the typed key layer: strict dtype
+        // identity, -0.0 == 0.0, NaN forms one group (key_part semantics).
+        let extracted: Vec<KeyCol<'_>> = key_cols
+            .iter()
+            .map(|c| KeyCol::extract(c, KeyMode::Strict))
+            .collect();
+        let groups = RowGrouper::new(extracted).group();
+        let reps: Vec<u32> = groups.iter().map(|g| g.rep).collect();
+
+        let mut out = DataFrame::new();
+        // Key columns: gather the representative (first-seen) rows.
+        for (ki, kname) in keys.iter().enumerate() {
+            out.add_column((*kname).to_string(), key_cols[ki].take_u32(&reps))?;
+        }
+        // Aggregates: per group, gather the column slice in row order and
+        // fold it with the exact same scalar kernel the reference uses.
+        let n_groups = groups.len();
+        for spec in aggs {
+            let vals: Vec<f64> = if spec.column == "*" {
+                groups.iter().map(|g| g.rows.len() as f64).collect()
+            } else {
+                let src = self.column(&spec.column)?;
+                let numeric = src.to_f64_vec();
+                match (&numeric, spec.kind) {
+                    (Ok(num), _) => {
+                        let agg_one = |g: &crate::key::Group| {
+                            let slice: Vec<f64> =
+                                g.rows.iter().map(|&r| num[r as usize]).collect();
+                            aggregate_f64(spec.kind, &slice)
+                        };
+                        if self.n_rows() >= crate::PARALLEL_THRESHOLD && n_groups > 1 {
+                            groups.par_iter().map(agg_one).collect()
+                        } else {
+                            groups.iter().map(agg_one).collect()
+                        }
+                    }
+                    (Err(_), AggKind::Count) => {
+                        groups.iter().map(|g| g.rows.len() as f64).collect()
+                    }
+                    (Err(e), _) => return Err(e.clone()),
+                }
+            };
+            // Counts come out as i64 for ergonomic downstream use.
+            let col = if spec.kind == AggKind::Count {
+                Column::I64(vals.iter().map(|&v| v as i64).collect())
+            } else {
+                Column::F64(vals)
+            };
+            out.add_column(spec.alias.clone(), col)?;
+        }
+        Ok(out)
+    }
+
+    /// The original row-at-a-time group-by, retained as the semantic
+    /// reference for the vectorized kernel (see the equivalence
+    /// proptests). Not used on any hot path.
+    pub fn group_by_reference(&self, keys: &[&str], aggs: &[AggSpec]) -> FrameResult<DataFrame> {
         if keys.is_empty() {
             return Err(FrameError::Invalid("group_by requires at least one key".into()));
         }
@@ -355,5 +455,75 @@ mod tests {
         assert_eq!(AggKind::parse("AVG"), Some(AggKind::Mean));
         assert_eq!(AggKind::parse("stddev"), Some(AggKind::Std));
         assert_eq!(AggKind::parse("bogus"), None);
+    }
+
+    /// Frame equality with NaN == NaN (bitwise float compare).
+    fn assert_frames_bitwise_equal(a: &DataFrame, b: &DataFrame, ctx: &str) {
+        assert_eq!(a.names(), b.names(), "{ctx}: column names");
+        for (name, ca) in a.iter_columns() {
+            let cb = b.column(name).unwrap();
+            match (ca, cb) {
+                (Column::F64(x), Column::F64(y)) => {
+                    assert_eq!(x.len(), y.len(), "{ctx}: {name} length");
+                    for (i, (u, v)) in x.iter().zip(y).enumerate() {
+                        assert!(
+                            u.to_bits() == v.to_bits() || (u.is_nan() && v.is_nan()),
+                            "{ctx}: {name}[{i}]: {u} vs {v}"
+                        );
+                    }
+                }
+                _ => assert_eq!(ca, cb, "{ctx}: column {name}"),
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_matches_reference_mixed_keys() {
+        let f = DataFrame::from_columns([
+            ("k", Column::from(vec![0.0, -0.0, f64::NAN, 1.0, f64::NAN, 0.0])),
+            ("g", Column::from(vec!["a", "a", "b", "b", "a", "b"])),
+            ("v", Column::from(vec![1.0, f64::NAN, 3.0, 4.0, 5.0, 6.0])),
+        ])
+        .unwrap();
+        let aggs = [
+            AggSpec::new("v", AggKind::Sum),
+            AggSpec::new("v", AggKind::Std).with_alias("s"),
+            AggSpec::new("v", AggKind::Median).with_alias("m"),
+            AggSpec::new("*", AggKind::Count).with_alias("n"),
+        ];
+        for keys in [vec!["k"], vec!["g"], vec!["k", "g"]] {
+            let fast = f.group_by(&keys, &aggs).unwrap();
+            let slow = f.group_by_reference(&keys, &aggs).unwrap();
+            assert_frames_bitwise_equal(&fast, &slow, &format!("{keys:?}"));
+        }
+    }
+
+    #[test]
+    fn vectorized_matches_reference_above_parallel_threshold() {
+        let n = crate::PARALLEL_THRESHOLD * 2 + 13;
+        let f = DataFrame::from_columns([
+            (
+                "k",
+                Column::from((0..n as i64).map(|i| i % 251).collect::<Vec<_>>()),
+            ),
+            (
+                "v",
+                Column::from(
+                    (0..n)
+                        .map(|i| if i % 17 == 0 { f64::NAN } else { i as f64 * 0.25 })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let aggs = [
+            AggSpec::new("v", AggKind::Mean),
+            AggSpec::new("v", AggKind::Std),
+            AggSpec::new("v", AggKind::First),
+            AggSpec::new("v", AggKind::Last),
+        ];
+        let fast = f.group_by(&["k"], &aggs).unwrap();
+        let slow = f.group_by_reference(&["k"], &aggs).unwrap();
+        assert_frames_bitwise_equal(&fast, &slow, "parallel group_by");
     }
 }

@@ -1,9 +1,24 @@
 //! Hash joins between frames.
+//!
+//! The hot path is the vectorized [`JoinTable`]: key columns are
+//! extracted once into typed key vectors (no per-row [`Value`] boxing,
+//! no `String` clones during probe), the right side is radix-partitioned
+//! by key hash and built into per-partition tables in parallel, and the
+//! probe walks contiguous left-row chunks in parallel — chunk results
+//! concatenate in order, so the output is globally left-ordered without
+//! a merge step. A built table is reusable: the SQL executor builds it
+//! once per query and probes every scanned chunk against it.
+//!
+//! [`DataFrame::join_reference`] retains the original row-at-a-time
+//! implementation; the vectorized kernel must match it bit-for-bit
+//! (enforced by the equivalence proptests in `tests/kernel_equivalence.rs`).
 
 use crate::column::Column;
 use crate::error::{FrameError, FrameResult};
 use crate::frame::DataFrame;
+use crate::key::{distinct_estimate, KeyCol, KeyMode};
 use crate::value::{DType, Value};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Join variants.
@@ -15,7 +30,17 @@ pub enum JoinKind {
     Left,
 }
 
+/// Key normalization for joins: i64/f64 cross-type matching, NaN never
+/// matches (pandas `merge` semantics).
+const JOIN_MODE: KeyMode = KeyMode::Unify {
+    nan_never_matches: true,
+};
+
+/// Sentinel right-row index for a left-join non-match.
+const UNMATCHED: u32 = u32::MAX;
+
 /// Normalized join key (numeric keys unified through i64/f64 bits).
+/// Retained for the reference implementation only.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum JKey {
     Int(i64),
@@ -51,6 +76,230 @@ fn missing(dtype: DType) -> Value {
     }
 }
 
+/// A reusable hash table over the right side of a join, radix-partitioned
+/// by key hash.
+///
+/// Build once, probe many times — repeated probes (one per scanned chunk
+/// in the SQL executor) reuse the table instead of rebuilding it.
+pub struct JoinTable<'r> {
+    right: &'r DataFrame,
+    right_on: String,
+    key: KeyCol<'r>,
+    /// Per right-row key hash (meaningless for never-match rows, which
+    /// are not inserted).
+    hashes: Vec<u64>,
+    /// Partition id = hash >> shift; one table per partition, each
+    /// mapping full key hash -> right rows with that hash (ascending).
+    /// Rows of different keys may share a bucket; probes filter by typed
+    /// key equality.
+    partitions: Vec<HashMap<u64, Vec<u32>>>,
+    shift: u32,
+}
+
+impl<'r> JoinTable<'r> {
+    /// Build the join table over `right[right_on]`.
+    pub fn build(right: &'r DataFrame, right_on: &str) -> FrameResult<JoinTable<'r>> {
+        if right.n_rows() >= u32::MAX as usize {
+            return Err(FrameError::Invalid(format!(
+                "join right side too large: {} rows",
+                right.n_rows()
+            )));
+        }
+        let key = KeyCol::extract(right.column(right_on)?, JOIN_MODE);
+        let n = key.len();
+        let hashes: Vec<u64> = if n >= crate::PARALLEL_THRESHOLD {
+            (0..n).into_par_iter().map(|i| key.hash_row(i)).collect()
+        } else {
+            (0..n).map(|i| key.hash_row(i)).collect()
+        };
+
+        // Radix-partition the right rows by the top hash bits. Small
+        // builds stay in one partition (no parallel dividend).
+        let radix_bits: u32 = if n >= crate::PARALLEL_THRESHOLD { 6 } else { 0 };
+        let n_parts = 1usize << radix_bits;
+        let shift = 64 - radix_bits.max(1); // radix 0 still shifts by 63; pid is masked below
+        let pid_of = |h: u64| ((h >> shift) as usize) & (n_parts - 1);
+
+        // Scatter rows into partitions in ascending row order so each
+        // bucket's row list stays ascending (right fan-out order).
+        let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
+        let mut part_hashes: Vec<Vec<u64>> = vec![Vec::new(); n_parts];
+        for i in 0..n {
+            if key.never_matches(i) {
+                continue;
+            }
+            let p = pid_of(hashes[i]);
+            part_rows[p].push(i as u32);
+            part_hashes[p].push(hashes[i]);
+        }
+
+        // Build each partition's table independently (in parallel for
+        // large builds). Capacity tracks the *distinct key* estimate,
+        // not the row count.
+        let build_one = |(rows, hs): (&Vec<u32>, &Vec<u64>)| {
+            let cap = distinct_estimate(hs);
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(cap + cap / 2);
+            for (&r, &h) in rows.iter().zip(hs) {
+                table.entry(h).or_default().push(r);
+            }
+            table
+        };
+        let zipped: Vec<(&Vec<u32>, &Vec<u64>)> = part_rows.iter().zip(&part_hashes).collect();
+        let partitions: Vec<HashMap<u64, Vec<u32>>> = if n >= crate::PARALLEL_THRESHOLD {
+            zipped.into_par_iter().map(build_one).collect()
+        } else {
+            zipped.into_iter().map(build_one).collect()
+        };
+
+        Ok(JoinTable {
+            right,
+            right_on: right_on.to_string(),
+            key,
+            hashes,
+            partitions,
+            shift,
+        })
+    }
+
+    /// Number of radix partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of right rows the table covers.
+    pub fn n_right_rows(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// The right key column name this table was built on.
+    pub fn right_on(&self) -> &str {
+        &self.right_on
+    }
+
+    #[inline]
+    fn pid_of(&self, h: u64) -> usize {
+        ((h >> self.shift) as usize) & (self.partitions.len() - 1)
+    }
+
+    /// Probe one contiguous range of left rows, appending matched
+    /// `(left, right)` index pairs in left order with right fan-out
+    /// order per left row.
+    fn probe_range(
+        &self,
+        lkey: &KeyCol<'_>,
+        range: std::ops::Range<usize>,
+        kind: JoinKind,
+        left_idx: &mut Vec<u32>,
+        right_idx: &mut Vec<u32>,
+    ) {
+        for i in range {
+            let mut matched = false;
+            if !lkey.never_matches(i) {
+                let h = lkey.hash_row(i);
+                if let Some(bucket) = self.partitions[self.pid_of(h)].get(&h) {
+                    for &r in bucket {
+                        // Hash buckets can mix keys; confirm typed equality.
+                        if self.key.rows_equal(r as usize, lkey, i) {
+                            left_idx.push(i as u32);
+                            right_idx.push(r);
+                            matched = true;
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                left_idx.push(i as u32);
+                right_idx.push(UNMATCHED);
+            }
+        }
+    }
+
+    /// Probe the whole left key column, producing matched row-index
+    /// pairs. The output is globally left-ordered: contiguous left
+    /// chunks are probed in parallel and concatenated in chunk order.
+    /// A `Left` probe emits `u32::MAX` as the right index of an
+    /// unmatched left row.
+    pub fn probe(&self, lkey: &KeyCol<'_>, kind: JoinKind) -> (Vec<u32>, Vec<u32>) {
+        let n = lkey.len();
+        if n < crate::PARALLEL_THRESHOLD {
+            let mut left_idx = Vec::with_capacity(n);
+            let mut right_idx = Vec::with_capacity(n);
+            self.probe_range(lkey, 0..n, kind, &mut left_idx, &mut right_idx);
+            return (left_idx, right_idx);
+        }
+        let chunk = crate::PARALLEL_THRESHOLD / 2;
+        let ranges: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(chunk)
+            .map(|s| s..(s + chunk).min(n))
+            .collect();
+        let parts: Vec<(Vec<u32>, Vec<u32>)> = ranges
+            .into_par_iter()
+            .map(|range| {
+                let mut l = Vec::with_capacity(range.len());
+                let mut r = Vec::with_capacity(range.len());
+                self.probe_range(lkey, range, kind, &mut l, &mut r);
+                (l, r)
+            })
+            .collect();
+        let total: usize = parts.iter().map(|(l, _)| l.len()).sum();
+        let mut left_idx = Vec::with_capacity(total);
+        let mut right_idx = Vec::with_capacity(total);
+        for (l, r) in parts {
+            left_idx.extend_from_slice(&l);
+            right_idx.extend_from_slice(&r);
+        }
+        (left_idx, right_idx)
+    }
+
+    /// Assemble the join output from probed `(left, right)` index pairs:
+    /// all `left` columns gathered by `left_idx`, then the right columns
+    /// (minus the right key) gathered by `right_idx`, with `u32::MAX`
+    /// right entries filling in left-join missings. Callers that derive
+    /// the index pairs themselves (the executor's dictionary-code fast
+    /// path) share this with [`DataFrame::join_with_table`].
+    pub fn gather_joined(
+        &self,
+        left: &DataFrame,
+        left_idx: &[u32],
+        right_idx: &[u32],
+    ) -> FrameResult<DataFrame> {
+        let mut names: Vec<String> = Vec::new();
+        let mut gathers: Vec<(&Column, bool)> = Vec::new(); // (source, is_right)
+        for (name, col) in left.iter_columns() {
+            names.push(name.to_string());
+            gathers.push((col, false));
+        }
+        for (name, col) in self.right.iter_columns() {
+            if name == self.right_on {
+                continue;
+            }
+            let out_name = if names.iter().any(|n| n == name) {
+                format!("{name}_right")
+            } else {
+                name.to_string()
+            };
+            names.push(out_name);
+            gathers.push((col, true));
+        }
+
+        let gather_one = |&(col, is_right): &(&Column, bool)| {
+            if is_right {
+                col.take_u32_or_missing(right_idx)
+            } else {
+                col.take_u32(left_idx)
+            }
+        };
+        let cols: Vec<Column> = if left_idx.len() >= crate::PARALLEL_THRESHOLD {
+            gathers.par_iter().map(gather_one).collect()
+        } else {
+            gathers.iter().map(gather_one).collect()
+        };
+
+        DataFrame::from_columns(names.into_iter().zip(cols))
+            .map_err(|e| FrameError::Invalid(format!("join output: {e}")))
+    }
+}
+
 impl DataFrame {
     /// Join `self` (left) with `right` on equality of `left_on == right_on`.
     ///
@@ -66,11 +315,46 @@ impl DataFrame {
         right_on: &str,
         kind: JoinKind,
     ) -> FrameResult<DataFrame> {
+        let table = JoinTable::build(right, right_on)?;
+        self.join_with_table(&table, left_on, kind)
+    }
+
+    /// Probe a pre-built [`JoinTable`] with `self` as the left side.
+    ///
+    /// Semantics are identical to [`DataFrame::join`]; the table can be
+    /// reused across many probes (one per scanned chunk).
+    pub fn join_with_table(
+        &self,
+        table: &JoinTable<'_>,
+        left_on: &str,
+        kind: JoinKind,
+    ) -> FrameResult<DataFrame> {
+        if self.n_rows() >= u32::MAX as usize {
+            return Err(FrameError::Invalid(format!(
+                "join left side too large: {} rows",
+                self.n_rows()
+            )));
+        }
+        let lkey = KeyCol::extract(self.column(left_on)?, JOIN_MODE);
+        let (left_idx, right_idx) = table.probe(&lkey, kind);
+        table.gather_joined(self, &left_idx, &right_idx)
+    }
+
+    /// The original row-at-a-time join, retained as the semantic
+    /// reference for the vectorized kernel (see the equivalence
+    /// proptests). Not used on any hot path.
+    pub fn join_reference(
+        &self,
+        right: &DataFrame,
+        left_on: &str,
+        right_on: &str,
+        kind: JoinKind,
+    ) -> FrameResult<DataFrame> {
         let lkey = self.column(left_on)?;
         let rkey = right.column(right_on)?;
 
         // Build hash table over the right side: key -> row indices.
-        let mut table: HashMap<JKey, Vec<usize>> = HashMap::with_capacity(right.n_rows());
+        let mut table: HashMap<JKey, Vec<usize>> = HashMap::new();
         for i in 0..right.n_rows() {
             if let Some(k) = jkey(&rkey.get(i)) {
                 table.entry(k).or_default().push(i);
@@ -126,6 +410,27 @@ impl DataFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Frame equality with NaN == NaN (bitwise float compare) — derived
+    /// `PartialEq` can never equate frames holding NaN fills.
+    fn assert_frames_bitwise_equal(a: &DataFrame, b: &DataFrame, ctx: &str) {
+        assert_eq!(a.names(), b.names(), "{ctx}: column names");
+        for (name, ca) in a.iter_columns() {
+            let cb = b.column(name).unwrap();
+            match (ca, cb) {
+                (Column::F64(x), Column::F64(y)) => {
+                    assert_eq!(x.len(), y.len(), "{ctx}: {name} length");
+                    for (i, (u, v)) in x.iter().zip(y).enumerate() {
+                        assert!(
+                            u.to_bits() == v.to_bits() || (u.is_nan() && v.is_nan()),
+                            "{ctx}: {name}[{i}]: {u} vs {v}"
+                        );
+                    }
+                }
+                _ => assert_eq!(ca, cb, "{ctx}: column {name}"),
+            }
+        }
+    }
 
     fn halos() -> DataFrame {
         DataFrame::from_columns([
@@ -222,5 +527,73 @@ mod tests {
         assert!(halos()
             .join(&galaxies(), "nope", "fof_halo_tag", JoinKind::Inner)
             .is_err());
+    }
+
+    #[test]
+    fn table_reuse_across_probes() {
+        let right = galaxies();
+        let table = JoinTable::build(&right, "fof_halo_tag").unwrap();
+        assert_eq!(table.n_partitions(), 1);
+        let a = halos()
+            .join_with_table(&table, "fof_halo_tag", JoinKind::Inner)
+            .unwrap();
+        let b = halos()
+            .join_with_table(&table, "fof_halo_tag", JoinKind::Left)
+            .unwrap();
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(b.n_rows(), 4);
+    }
+
+    #[test]
+    fn vectorized_matches_reference_small() {
+        let left = DataFrame::from_columns([
+            ("k", Column::from(vec![1.0, f64::NAN, 2.0, -0.0, 7.5])),
+            ("lv", Column::from(vec![10i64, 20, 30, 40, 50])),
+        ])
+        .unwrap();
+        let right = DataFrame::from_columns([
+            ("k", Column::from(vec![0i64, 2, 2, 9])),
+            ("rv", Column::from(vec!["a", "b", "c", "d"])),
+        ])
+        .unwrap();
+        for kind in [JoinKind::Inner, JoinKind::Left] {
+            let fast = left.join(&right, "k", "k", kind).unwrap();
+            let slow = left.join_reference(&right, "k", "k", kind).unwrap();
+            assert_frames_bitwise_equal(&fast, &slow, &format!("{kind:?}"));
+        }
+    }
+
+    #[test]
+    fn vectorized_matches_reference_above_parallel_threshold() {
+        let n = crate::PARALLEL_THRESHOLD * 2 + 13;
+        let left = DataFrame::from_columns([
+            ("k", Column::from((0..n as i64).map(|i| i % 997).collect::<Vec<_>>())),
+            ("lv", Column::from((0..n as i64).collect::<Vec<_>>())),
+        ])
+        .unwrap();
+        let right = DataFrame::from_columns([
+            ("k", Column::from((0..2000i64).map(|i| i % 1100).collect::<Vec<_>>())),
+            ("rv", Column::from((0..2000i64).collect::<Vec<_>>())),
+        ])
+        .unwrap();
+        for kind in [JoinKind::Inner, JoinKind::Left] {
+            let fast = left.join(&right, "k", "k", kind).unwrap();
+            let slow = left.join_reference(&right, "k", "k", kind).unwrap();
+            assert_eq!(fast, slow, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn string_keys_join_without_numeric_crossover() {
+        let left = DataFrame::from_columns([("k", Column::from(vec!["1", "x", "y"]))]).unwrap();
+        let right = DataFrame::from_columns([
+            ("k", Column::from(vec!["x", "x", "1"])),
+            ("v", Column::from(vec![1i64, 2, 3])),
+        ])
+        .unwrap();
+        let j = left.join(&right, "k", "k", JoinKind::Left).unwrap();
+        let r = left.join_reference(&right, "k", "k", JoinKind::Left).unwrap();
+        assert_eq!(j, r);
+        assert_eq!(j.n_rows(), 4); // "1"->1 match, "x"->2, "y"->unmatched
     }
 }

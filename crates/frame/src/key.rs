@@ -1,0 +1,490 @@
+//! Typed key extraction for the join and group-by kernels.
+//!
+//! The row-at-a-time operators used to materialize a boxed [`Value`] per
+//! row and clone every string key into a `HashMap`. This module is the
+//! vectorized replacement: key columns are downcast to their typed
+//! slices once and encoded into flat `u128` key vectors (numeric /
+//! boolean keys) or borrowed as `&[String]` (string keys) — no per-row
+//! `Value`, no `String` clones on the hot path.
+//!
+//! Two normalization modes cover the two key-equality contracts in the
+//! codebase:
+//!
+//! * [`KeyMode::Strict`] — group-by semantics (`groupby::key_part`):
+//!   every dtype keeps its identity (`0i64` and `0.0f64` are *different*
+//!   groups), `-0.0` normalizes to `0.0`, and `NaN` forms its own group.
+//! * [`KeyMode::Unify`] — join / SQL semantics (`join::jkey`,
+//!   `sql/exec::encode_key`): integral floats with `|f| < 9e15` unify
+//!   with `i64` keys so an `i64` column matches an `f64` expression;
+//!   `NaN` either never matches (joins) or keys by its bit pattern
+//!   (SQL grouping), controlled by `nan_never_matches`.
+//!
+//! The `u128` encoding is `tag << 64 | payload`, so distinct dtype
+//! classes can never collide and equality of encodings is exactly
+//! equality of the normalized keys (no hashing involved at this layer).
+
+use crate::column::Column;
+use crate::value::Value;
+use rayon::prelude::*;
+
+/// Key normalization mode. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyMode {
+    /// Group-by semantics: dtype identity preserved, `-0.0 == 0.0`,
+    /// `NaN` is its own group.
+    Strict,
+    /// Join / SQL semantics: integral floats unify with integers.
+    Unify {
+        /// `true` for joins (`NaN` never matches anything); `false` for
+        /// SQL grouping (`NaN` keys by bit pattern).
+        nan_never_matches: bool,
+    },
+}
+
+const TAG_INT: u128 = 1 << 64;
+const TAG_FLOAT: u128 = 2 << 64;
+const TAG_BOOL: u128 = 3 << 64;
+
+/// Sentinel for a key that can never match or group with anything
+/// (a join-side `NaN`). Never produced for any real key: real
+/// encodings carry a tag in `1..=3` in the high word.
+pub const NEVER_MATCH: u128 = u128::MAX;
+
+#[inline]
+fn encode_f64(f: f64, mode: KeyMode) -> u128 {
+    // -0.0 and 0.0 must hash and compare equal on every path.
+    let f = if f == 0.0 { 0.0 } else { f };
+    match mode {
+        KeyMode::Strict => {
+            if f.is_nan() {
+                // Matches `key_part`: all NaNs collapse into one group.
+                TAG_FLOAT | u128::from(u64::MAX)
+            } else {
+                TAG_FLOAT | u128::from(f.to_bits())
+            }
+        }
+        KeyMode::Unify { nan_never_matches } => {
+            if f.is_nan() {
+                if nan_never_matches {
+                    NEVER_MATCH
+                } else {
+                    TAG_FLOAT | u128::from(f.to_bits())
+                }
+            } else if f.fract() == 0.0 && f.abs() < 9e15 {
+                // The i64-unification rule: integral floats in the
+                // exactly-representable range key like integers.
+                TAG_INT | u128::from(f as i64 as u64)
+            } else {
+                TAG_FLOAT | u128::from(f.to_bits())
+            }
+        }
+    }
+}
+
+#[inline]
+fn encode_i64(i: i64) -> u128 {
+    TAG_INT | u128::from(i as u64)
+}
+
+#[inline]
+fn encode_bool(b: bool) -> u128 {
+    TAG_BOOL | u128::from(u64::from(b))
+}
+
+/// Encode a scalar [`Value`] the same way [`encode_column`] encodes a
+/// column cell. Returns `None` for strings (which stay borrowed).
+pub fn encode_value(v: &Value, mode: KeyMode) -> Option<u128> {
+    match v {
+        Value::I64(i) => Some(encode_i64(*i)),
+        Value::F64(f) => Some(encode_f64(*f, mode)),
+        Value::Bool(b) => Some(encode_bool(*b)),
+        Value::Str(_) => None,
+    }
+}
+
+/// One key column, viewed through the typed extraction layer.
+pub enum KeyCol<'a> {
+    /// Numeric / boolean keys, one `u128` encoding per row.
+    Encoded(Vec<u128>),
+    /// String keys stay borrowed — hashing and equality go through
+    /// `&str`, never through an owned clone.
+    Str(&'a [String]),
+}
+
+impl<'a> KeyCol<'a> {
+    /// Extract a key column in one typed pass.
+    pub fn extract(col: &'a Column, mode: KeyMode) -> KeyCol<'a> {
+        match col {
+            Column::Str(v) => KeyCol::Str(v),
+            other => KeyCol::Encoded(encode_column(other, mode)),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            KeyCol::Encoded(v) => v.len(),
+            KeyCol::Str(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the key at `row` is the [`NEVER_MATCH`] sentinel (a
+    /// join-side `NaN`).
+    #[inline]
+    pub fn never_matches(&self, row: usize) -> bool {
+        matches!(self, KeyCol::Encoded(v) if v[row] == NEVER_MATCH)
+    }
+
+    /// Hash of the key at `row` (already normalized).
+    #[inline]
+    pub fn hash_row(&self, row: usize) -> u64 {
+        match self {
+            KeyCol::Encoded(v) => hash_u128(v[row]),
+            KeyCol::Str(v) => hash_str(&v[row]),
+        }
+    }
+
+    /// Key equality between two rows of (possibly different) columns
+    /// with the same extraction mode.
+    #[inline]
+    pub fn rows_equal(&self, row: usize, other: &KeyCol<'_>, other_row: usize) -> bool {
+        match (self, other) {
+            (KeyCol::Encoded(a), KeyCol::Encoded(b)) => a[row] == b[other_row],
+            (KeyCol::Str(a), KeyCol::Str(b)) => a[row] == b[other_row],
+            // A string key can never equal a numeric/boolean key — the
+            // boxed `JKey`/`KeyPart` enums had distinct variants.
+            _ => false,
+        }
+    }
+}
+
+/// Encode a whole non-string column into the flat `u128` key space,
+/// in parallel above the bulk-kernel threshold.
+pub fn encode_column(col: &Column, mode: KeyMode) -> Vec<u128> {
+    fn map<T: Copy + Sync>(v: &[T], f: impl Fn(T) -> u128 + Sync) -> Vec<u128> {
+        if v.len() >= crate::PARALLEL_THRESHOLD {
+            v.par_iter().map(|&x| f(x)).collect()
+        } else {
+            v.iter().map(|&x| f(x)).collect()
+        }
+    }
+    match col {
+        Column::I64(v) => map(v, encode_i64),
+        Column::F64(v) => map(v, |f| encode_f64(f, mode)),
+        Column::Bool(v) => map(v, encode_bool),
+        Column::Str(_) => unreachable!("string key columns stay borrowed"),
+    }
+}
+
+// ------------------------------------------------------------------ hashing
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(SEED)
+}
+
+/// Hash a `u128` key encoding.
+#[inline]
+pub fn hash_u128(v: u128) -> u64 {
+    mix(mix(0x9e37_79b9_7f4a_7c15, v as u64), (v >> 64) as u64)
+}
+
+/// FxHash-style string hash: 8 bytes at a time, no allocation.
+#[inline]
+pub fn hash_str(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        h = mix(h, u64::from_le_bytes(c.try_into().expect("8 bytes")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = mix(h, u64::from_le_bytes(tail));
+    }
+    mix(h, bytes.len() as u64)
+}
+
+/// Estimate the number of distinct keys from a small evenly-spaced
+/// sample, so hash tables are sized for *distinct keys* rather than
+/// rows (`HashMap::with_capacity(n_rows)` over-allocated by orders of
+/// magnitude on low-cardinality keys).
+pub fn distinct_estimate(hashes: &[u64]) -> usize {
+    let n = hashes.len();
+    if n == 0 {
+        return 0;
+    }
+    const SAMPLE: usize = 512;
+    if n <= SAMPLE {
+        let mut seen: Vec<u64> = hashes.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        return seen.len();
+    }
+    let step = n / SAMPLE;
+    let mut seen: Vec<u64> = hashes.iter().step_by(step).copied().collect();
+    seen.sort_unstable();
+    seen.dedup();
+    // A sample saturated with distinct values means "assume mostly
+    // distinct" — size for the row count. A sparse sample means the key
+    // domain is small: repeated values show up even in a 512-row sample,
+    // so the true cardinality is close to the sampled one (keep a small
+    // safety factor for values the sample missed).
+    let sampled = seen.len();
+    if sampled * 2 >= SAMPLE {
+        n
+    } else {
+        (sampled * 4).min(n)
+    }
+}
+
+// ----------------------------------------------------------------- grouping
+
+/// Rows of one group, in first-seen row order, plus the representative
+/// (first) row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// First row of the group — carries the representative key values.
+    pub rep: u32,
+    /// All rows of the group, ascending.
+    pub rows: Vec<u32>,
+}
+
+/// Multi-column typed row grouper: assigns every row to a group with
+/// first-seen ordering, hashing typed key encodings instead of boxed
+/// values.
+pub struct RowGrouper<'a> {
+    cols: Vec<KeyCol<'a>>,
+    /// Combined per-row hash across all key columns.
+    hashes: Vec<u64>,
+}
+
+impl<'a> RowGrouper<'a> {
+    /// Build the grouper over extracted key columns (all the same
+    /// length).
+    pub fn new(cols: Vec<KeyCol<'a>>) -> RowGrouper<'a> {
+        let n = cols.first().map_or(0, KeyCol::len);
+        let hash_one = |row: usize| {
+            let mut h = 0u64;
+            for c in &cols {
+                h = mix(h, c.hash_row(row));
+            }
+            h
+        };
+        let hashes: Vec<u64> = if n >= crate::PARALLEL_THRESHOLD {
+            (0..n).into_par_iter().map(hash_one).collect()
+        } else {
+            (0..n).map(hash_one).collect()
+        };
+        RowGrouper { cols, hashes }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Per-row combined hashes.
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Full typed key equality between two rows.
+    #[inline]
+    pub fn rows_equal(&self, a: usize, b: usize) -> bool {
+        self.cols
+            .iter()
+            .all(|c| c.rows_equal(a, c, b))
+    }
+
+    /// Group all rows with first-seen ordering. Row chunks are grouped
+    /// in parallel into thread-local tables, then merged in chunk order
+    /// — the merged result is identical to a sequential scan (groups in
+    /// first-occurrence order, each group's rows ascending).
+    pub fn group(&self) -> Vec<Group> {
+        let n = self.n_rows();
+        if n < crate::PARALLEL_THRESHOLD {
+            return self.group_range(0, n);
+        }
+        let chunk = crate::PARALLEL_THRESHOLD / 2;
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(n)))
+            .collect();
+        let partials: Vec<Vec<Group>> = ranges
+            .into_par_iter()
+            .map(|(s, e)| self.group_range(s, e))
+            .collect();
+        // Merge in chunk order: global first-seen order is preserved
+        // because chunks cover ascending disjoint row ranges.
+        let mut groups: Vec<Group> = Vec::new();
+        let mut table: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        for partial in partials {
+            for g in partial {
+                let h = self.hashes[g.rep as usize];
+                let bucket = table.entry(h).or_default();
+                match bucket
+                    .iter()
+                    .find(|&&gid| self.rows_equal(groups[gid as usize].rep as usize, g.rep as usize))
+                {
+                    Some(&gid) => groups[gid as usize].rows.extend_from_slice(&g.rows),
+                    None => {
+                        bucket.push(groups.len() as u32);
+                        groups.push(g);
+                    }
+                }
+            }
+        }
+        groups
+    }
+
+    /// Sequentially group the rows in `[start, end)`.
+    fn group_range(&self, start: usize, end: usize) -> Vec<Group> {
+        let mut groups: Vec<Group> = Vec::new();
+        // hash -> group ids with that hash (collision chain).
+        let cap = distinct_estimate(&self.hashes[start..end]);
+        let mut table: std::collections::HashMap<u64, Vec<u32>> =
+            std::collections::HashMap::with_capacity(cap + cap / 2);
+        for row in start..end {
+            let h = self.hashes[row];
+            let bucket = table.entry(h).or_default();
+            match bucket
+                .iter()
+                .find(|&&gid| self.rows_equal(groups[gid as usize].rep as usize, row))
+            {
+                Some(&gid) => groups[gid as usize].rows.push(row as u32),
+                None => {
+                    bucket.push(groups.len() as u32);
+                    groups.push(Group {
+                        rep: row as u32,
+                        rows: vec![row as u32],
+                    });
+                }
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIFY: KeyMode = KeyMode::Unify {
+        nan_never_matches: true,
+    };
+
+    #[test]
+    fn negative_zero_equals_zero_on_every_path() {
+        // Strict (group-by) path.
+        assert_eq!(encode_f64(-0.0, KeyMode::Strict), encode_f64(0.0, KeyMode::Strict));
+        // Unify (join) path: both normalize to Int(0).
+        assert_eq!(encode_f64(-0.0, UNIFY), encode_f64(0.0, UNIFY));
+        assert_eq!(encode_f64(-0.0, UNIFY), encode_i64(0));
+        // And their hashes agree, so they land in the same partition.
+        assert_eq!(
+            hash_u128(encode_f64(-0.0, UNIFY)),
+            hash_u128(encode_f64(0.0, UNIFY))
+        );
+    }
+
+    /// The explicit contract for the `f.fract() == 0.0 && f.abs() < 9e15`
+    /// i64-unification rule: the vectorized kernels must not diverge
+    /// from the boxed `jkey` behaviour.
+    #[test]
+    fn integral_float_unification_rule() {
+        // In range, integral: unifies with the integer key.
+        for f in [1.0, -3.0, 8.9e14, -8.9e14, 0.0] {
+            assert_eq!(encode_f64(f, UNIFY), encode_i64(f as i64), "{f}");
+        }
+        // Non-integral: keys as a float, never equal to any int.
+        for f in [1.5, -2.25, 1e-9] {
+            let k = encode_f64(f, UNIFY);
+            assert_eq!(k & !((1u128 << 64) - 1), TAG_FLOAT, "{f}");
+        }
+        // Out of the exactly-representable window: stays a float key
+        // even though fract() == 0.
+        for f in [9e15f64, -9e15, 1e16, 1e300] {
+            assert_eq!(f.fract(), 0.0);
+            let k = encode_f64(f, UNIFY);
+            assert_eq!(k & !((1u128 << 64) - 1), TAG_FLOAT, "{f}");
+        }
+        // Boundary: 9e15 - 1.0 is inside the window.
+        let inside = 9e15 - 1.0;
+        assert_eq!(encode_f64(inside, UNIFY), encode_i64(inside as i64));
+    }
+
+    #[test]
+    fn nan_modes() {
+        assert_eq!(encode_f64(f64::NAN, UNIFY), NEVER_MATCH);
+        // SQL grouping keys NaN by bit pattern.
+        let k = encode_f64(f64::NAN, KeyMode::Unify { nan_never_matches: false });
+        assert_eq!(k, TAG_FLOAT | u128::from(f64::NAN.to_bits()));
+        // Strict mode collapses every NaN into one group key.
+        assert_eq!(
+            encode_f64(f64::NAN, KeyMode::Strict),
+            TAG_FLOAT | u128::from(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn strict_mode_keeps_dtype_identity() {
+        // 0i64 and 0.0f64 are different groups under Strict...
+        assert_ne!(encode_i64(0), encode_f64(0.0, KeyMode::Strict));
+        // ...and bool never collides with either.
+        assert_ne!(encode_bool(false), encode_i64(0));
+        assert_ne!(encode_bool(true), encode_i64(1));
+    }
+
+    #[test]
+    fn grouper_first_seen_order() {
+        let keys = Column::I64(vec![5, 3, 5, 3, 9, 5]);
+        let g = RowGrouper::new(vec![KeyCol::extract(&keys, KeyMode::Strict)]).group();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0].rows, vec![0, 2, 5]); // key 5
+        assert_eq!(g[1].rows, vec![1, 3]); // key 3
+        assert_eq!(g[2].rows, vec![4]); // key 9
+        assert_eq!(g[0].rep, 0);
+    }
+
+    #[test]
+    fn grouper_multi_column_and_strings() {
+        let a = Column::Str(vec!["x".into(), "x".into(), "y".into(), "x".into()]);
+        let b = Column::I64(vec![1, 2, 1, 1]);
+        let g = RowGrouper::new(vec![
+            KeyCol::extract(&a, KeyMode::Strict),
+            KeyCol::extract(&b, KeyMode::Strict),
+        ])
+        .group();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0].rows, vec![0, 3]); // (x, 1)
+    }
+
+    #[test]
+    fn grouper_parallel_matches_sequential() {
+        let n = crate::PARALLEL_THRESHOLD * 2 + 17;
+        let keys = Column::I64((0..n as i64).map(|i| i % 37).collect());
+        let grouper = RowGrouper::new(vec![KeyCol::extract(&keys, KeyMode::Strict)]);
+        let par = grouper.group();
+        let seq = grouper.group_range(0, n);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn distinct_estimate_tracks_cardinality() {
+        let low: Vec<u64> = (0..100_000).map(|i| i % 4).collect();
+        assert!(distinct_estimate(&low) <= 16);
+        let high: Vec<u64> = (0..100_000).collect();
+        assert!(distinct_estimate(&high) >= 50_000);
+        assert_eq!(distinct_estimate(&[]), 0);
+    }
+}

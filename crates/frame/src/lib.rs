@@ -26,6 +26,7 @@ pub mod expr;
 pub mod frame;
 pub mod groupby;
 pub mod join;
+pub mod key;
 pub mod select;
 pub mod sort;
 pub mod stats;
@@ -36,7 +37,8 @@ pub use error::{FrameError, FrameResult};
 pub use expr::Expr;
 pub use frame::DataFrame;
 pub use groupby::{AggKind, AggSpec};
-pub use join::JoinKind;
+pub use join::{JoinKind, JoinTable};
+pub use key::{KeyCol, KeyMode, RowGrouper};
 pub use select::SelectionVector;
 pub use sort::SortOrder;
 pub use value::{DType, Value};

@@ -1,0 +1,372 @@
+//! Equivalence suite for the vectorized join/group-by kernels.
+//!
+//! The vectorized paths (`join` / `group_by`) must be bit-for-bit
+//! indistinguishable from the retained naive references
+//! (`join_reference` / `group_by_reference`): same values, same column
+//! order, same row order — across random key dtypes, NaN keys,
+//! duplicate keys, cross-type i64/f64 keys, and empty inputs.
+
+use infera_frame::{AggKind, AggSpec, Column, DataFrame, JoinKind, Value};
+use proptest::prelude::*;
+
+/// Frame equality where `NaN == NaN` and floats compare by bits, so
+/// left-join NaN fills and negative-zero normalization are checked
+/// exactly instead of falling through `PartialEq`'s `NaN != NaN`.
+fn assert_frames_bitwise_equal(a: &DataFrame, b: &DataFrame, what: &str) {
+    assert_eq!(a.names(), b.names(), "{what}: column order");
+    assert_eq!(a.n_rows(), b.n_rows(), "{what}: row count");
+    for name in a.names() {
+        let ca = a.column(name).unwrap();
+        let cb = b.column(name).unwrap();
+        assert_eq!(ca.dtype(), cb.dtype(), "{what}: dtype of {name}");
+        for row in 0..a.n_rows() {
+            let (va, vb) = (ca.get(row), cb.get(row));
+            let same = match (&va, &vb) {
+                (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+                _ => va == vb,
+            };
+            assert!(same, "{what}: {name}[{row}] {va:?} != {vb:?}");
+        }
+    }
+}
+
+/// A key column under one of the dtypes the kernels specialize on.
+/// Float keys deliberately include NaN, negative zero, and integral
+/// values that must unify with i64 keys on the join path.
+#[derive(Debug, Clone)]
+enum Keys {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Bool(Vec<bool>),
+}
+
+impl Keys {
+    fn into_column(self) -> Column {
+        match self {
+            Keys::Int(v) => Column::I64(v),
+            Keys::Float(v) => Column::F64(v),
+            Keys::Str(v) => Column::Str(v),
+            Keys::Bool(v) => Column::Bool(v),
+        }
+    }
+}
+
+fn arb_keys(rows: usize) -> impl Strategy<Value = Keys> {
+    let ints = proptest::collection::vec(-4i64..8, rows).prop_map(Keys::Int);
+    let floats = proptest::collection::vec(
+        prop_oneof![
+            5 => (-4i64..8).prop_map(|i| i as f64), // unifies with Int keys
+            2 => -3.5f64..3.5,
+            1 => Just(f64::NAN),
+            1 => Just(-0.0f64),
+            1 => Just(0.5),
+        ],
+        rows,
+    )
+    .prop_map(Keys::Float);
+    let strs = proptest::collection::vec(0u8..6, rows)
+        .prop_map(|v| Keys::Str(v.into_iter().map(|i| format!("k{i}")).collect()));
+    let bools = proptest::collection::vec(any::<bool>(), rows).prop_map(Keys::Bool);
+    prop_oneof![ints, floats, strs, bools]
+}
+
+/// Left/right frames with compatible key dtypes: string and bool keys
+/// stay same-dtype on both sides, numeric keys mix i64 and f64 freely
+/// (the kernels must unify integral floats with integers).
+fn arb_join_inputs() -> impl Strategy<Value = (DataFrame, DataFrame)> {
+    (0usize..40, 0usize..40)
+        .prop_flat_map(|(ln, rn)| {
+            let numeric = (
+                arb_numeric_keys(ln),
+                arb_numeric_keys(rn),
+                payload(ln),
+                payload(rn),
+            );
+            // Same-dtype pair: draw the left keys first, then build the
+            // right side with the same constructor.
+            let same = arb_keys(ln).prop_flat_map(move |lk| {
+                let rk = match &lk {
+                    Keys::Int(_) => arb_keys_int(rn),
+                    Keys::Float(_) => arb_keys_float(rn),
+                    Keys::Str(_) => arb_keys_str(rn),
+                    Keys::Bool(_) => arb_keys_bool(rn),
+                };
+                (Just(lk), rk, payload(ln), payload(rn))
+            });
+            prop_oneof![numeric, same]
+        })
+        .prop_map(|(lk, rk, lv, rv)| {
+            let left = DataFrame::from_columns([
+                ("k", lk.into_column()),
+                ("lval", Column::F64(lv)),
+            ])
+            .unwrap();
+            let right = DataFrame::from_columns([
+                ("k", rk.into_column()),
+                ("rval", Column::F64(rv)),
+            ])
+            .unwrap();
+            (left, right)
+        })
+}
+
+fn arb_numeric_keys(rows: usize) -> BoxedStrategy<Keys> {
+    prop_oneof![arb_keys_int(rows), arb_keys_float(rows)].boxed()
+}
+
+fn arb_keys_int(rows: usize) -> BoxedStrategy<Keys> {
+    proptest::collection::vec(-4i64..8, rows)
+        .prop_map(Keys::Int)
+        .boxed()
+}
+
+fn arb_keys_float(rows: usize) -> BoxedStrategy<Keys> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => (-4i64..8).prop_map(|i| i as f64),
+            2 => -3.5f64..3.5,
+            1 => Just(f64::NAN),
+            1 => Just(-0.0f64),
+        ],
+        rows,
+    )
+    .prop_map(Keys::Float)
+    .boxed()
+}
+
+fn arb_keys_str(rows: usize) -> BoxedStrategy<Keys> {
+    proptest::collection::vec(0u8..6, rows)
+        .prop_map(|v| Keys::Str(v.into_iter().map(|i| format!("k{i}")).collect()))
+        .boxed()
+}
+
+fn arb_keys_bool(rows: usize) -> BoxedStrategy<Keys> {
+    proptest::collection::vec(any::<bool>(), rows)
+        .prop_map(Keys::Bool)
+        .boxed()
+}
+
+fn payload(rows: usize) -> BoxedStrategy<Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => -1.0e6f64..1.0e6,
+            1 => Just(f64::NAN),
+        ],
+        rows,
+    )
+    .boxed()
+}
+
+/// Group-by inputs: one or two key columns of random dtypes plus a
+/// value column with NaNs.
+fn arb_group_input() -> impl Strategy<Value = (DataFrame, usize)> {
+    (0usize..50, 1usize..3).prop_flat_map(|(rows, n_keys)| {
+        (
+            proptest::collection::vec(arb_keys(rows), n_keys),
+            payload(rows),
+        )
+            .prop_map(move |(keys, vals)| {
+                let mut df = DataFrame::new();
+                for (i, k) in keys.into_iter().enumerate() {
+                    df.add_column(format!("k{i}"), k.into_column()).unwrap();
+                }
+                df.add_column("val".to_string(), Column::F64(vals)).unwrap();
+                (df, n_keys)
+            })
+    })
+}
+
+const AGGS: &[AggKind] = &[
+    AggKind::Count,
+    AggKind::Sum,
+    AggKind::Mean,
+    AggKind::Min,
+    AggKind::Max,
+    AggKind::Std,
+    AggKind::Median,
+];
+
+proptest! {
+    /// Vectorized inner join == naive reference, bit for bit.
+    #[test]
+    fn inner_join_matches_reference((left, right) in arb_join_inputs()) {
+        let fast = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+        let slow = left.join_reference(&right, "k", "k", JoinKind::Inner).unwrap();
+        assert_frames_bitwise_equal(&fast, &slow, "inner join");
+    }
+
+    /// Vectorized left join == naive reference, including the NaN fill
+    /// of unmatched right payloads.
+    #[test]
+    fn left_join_matches_reference((left, right) in arb_join_inputs()) {
+        let fast = left.join(&right, "k", "k", JoinKind::Left).unwrap();
+        let slow = left.join_reference(&right, "k", "k", JoinKind::Left).unwrap();
+        assert_frames_bitwise_equal(&fast, &slow, "left join");
+    }
+
+    /// Vectorized group-by == naive reference for every aggregate kind:
+    /// same group order (first-seen), same key values, same aggregates.
+    #[test]
+    fn group_by_matches_reference((df, n_keys) in arb_group_input(), agg_idx in 0usize..7) {
+        let keys: Vec<String> = (0..n_keys).map(|i| format!("k{i}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let spec = [AggSpec::new("val", AGGS[agg_idx]).with_alias("out")];
+        let fast = df.group_by(&key_refs, &spec).unwrap();
+        let slow = df.group_by_reference(&key_refs, &spec).unwrap();
+        assert_frames_bitwise_equal(&fast, &slow, "group_by");
+    }
+
+    /// DISTINCT-style group-by (keys only, no aggregates) also matches.
+    #[test]
+    fn distinct_matches_reference((df, n_keys) in arb_group_input()) {
+        let keys: Vec<String> = (0..n_keys).map(|i| format!("k{i}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let fast = df.group_by(&key_refs, &[]).unwrap();
+        let slow = df.group_by_reference(&key_refs, &[]).unwrap();
+        assert_frames_bitwise_equal(&fast, &slow, "distinct");
+    }
+}
+
+// ---- directed cases the random generators might under-sample ----
+
+#[test]
+fn nan_keys_never_join_but_do_group() {
+    let left = DataFrame::from_columns([
+        ("k", Column::F64(vec![f64::NAN, 1.0, f64::NAN])),
+        ("lval", Column::F64(vec![10.0, 20.0, 30.0])),
+    ])
+    .unwrap();
+    let right = DataFrame::from_columns([
+        ("k", Column::F64(vec![f64::NAN, 1.0])),
+        ("rval", Column::F64(vec![100.0, 200.0])),
+    ])
+    .unwrap();
+    // NaN never matches NaN in a join (pandas semantics)...
+    let inner = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+    assert_eq!(inner.n_rows(), 1);
+    assert_eq!(inner.cell("lval", 0).unwrap(), Value::F64(20.0));
+    let left_join = left.join(&right, "k", "k", JoinKind::Left).unwrap();
+    assert_eq!(left_join.n_rows(), 3);
+    assert_frames_bitwise_equal(
+        &left_join,
+        &left.join_reference(&right, "k", "k", JoinKind::Left).unwrap(),
+        "NaN left join",
+    );
+    // ...but NaN rows collapse into one group in a group-by.
+    let g = left
+        .group_by(&["k"], &[AggSpec::new("lval", AggKind::Sum).with_alias("s")])
+        .unwrap();
+    assert_eq!(g.n_rows(), 2);
+    assert_eq!(g.cell("s", 0).unwrap(), Value::F64(40.0));
+}
+
+#[test]
+fn cross_type_i64_f64_keys_match() {
+    let left = DataFrame::from_columns([
+        ("k", Column::I64(vec![1, 2, 3, -9_000_000_000_000_000])),
+        ("lval", Column::F64(vec![1.0, 2.0, 3.0, 4.0])),
+    ])
+    .unwrap();
+    let right = DataFrame::from_columns([
+        ("k", Column::F64(vec![2.0, 3.0, 3.5, -9.0e15])),
+        ("rval", Column::F64(vec![20.0, 30.0, 35.0, 90.0])),
+    ])
+    .unwrap();
+    let j = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+    // 2 and 3 unify across i64/f64; 3.5 matches nothing; -9.0e15 sits ON
+    // the exclusive |f| < 9e15 unification boundary and stays float.
+    assert_eq!(j.n_rows(), 2);
+    assert_frames_bitwise_equal(
+        &j,
+        &left.join_reference(&right, "k", "k", JoinKind::Inner).unwrap(),
+        "cross-type join",
+    );
+}
+
+#[test]
+fn negative_zero_unifies_with_zero() {
+    let left = DataFrame::from_columns([
+        ("k", Column::F64(vec![-0.0, 0.0])),
+        ("lval", Column::F64(vec![1.0, 2.0])),
+    ])
+    .unwrap();
+    let right = DataFrame::from_columns([
+        ("k", Column::I64(vec![0])),
+        ("rval", Column::F64(vec![10.0])),
+    ])
+    .unwrap();
+    // -0.0 == 0.0 == 0i64: both left rows match the single right row.
+    let j = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+    assert_eq!(j.n_rows(), 2);
+    // And they form ONE group.
+    let g = left
+        .group_by(&["k"], &[AggSpec::new("lval", AggKind::Count).with_alias("n")])
+        .unwrap();
+    assert_eq!(g.n_rows(), 1);
+    assert_eq!(g.cell("n", 0).unwrap(), Value::I64(2));
+}
+
+#[test]
+fn integral_float_unification_boundary() {
+    // The typed key encoder unifies f64 with i64 exactly when
+    // `f.fract() == 0.0 && f.abs() < 9e15`; at and beyond the boundary
+    // floats keep their own identity (bit encoding).
+    let left = DataFrame::from_columns([
+        ("k", Column::F64(vec![8.9e15, 9.0e15, 9.1e15])),
+        ("lval", Column::F64(vec![1.0, 2.0, 3.0])),
+    ])
+    .unwrap();
+    let right = DataFrame::from_columns([
+        (
+            "k",
+            Column::I64(vec![8_900_000_000_000_000, 9_000_000_000_000_000]),
+        ),
+        ("rval", Column::F64(vec![10.0, 20.0])),
+    ])
+    .unwrap();
+    let j = left.join(&right, "k", "k", JoinKind::Inner).unwrap();
+    // 8.9e15 < 9e15 unifies; 9.0e15 hits the boundary and stays float.
+    assert_eq!(j.n_rows(), 1);
+    assert_eq!(j.cell("lval", 0).unwrap(), Value::F64(1.0));
+    assert_frames_bitwise_equal(
+        &j,
+        &left.join_reference(&right, "k", "k", JoinKind::Inner).unwrap(),
+        "boundary join",
+    );
+    // Same-side floats still group among themselves regardless.
+    let g = left.group_by(&["k"], &[]).unwrap();
+    assert_eq!(g.n_rows(), 3);
+}
+
+#[test]
+fn empty_inputs_keep_schema() {
+    let empty = DataFrame::from_columns([
+        ("k", Column::I64(Vec::new())),
+        ("lval", Column::F64(Vec::new())),
+    ])
+    .unwrap();
+    let right = DataFrame::from_columns([
+        ("k", Column::I64(vec![1])),
+        ("rval", Column::F64(vec![10.0])),
+    ])
+    .unwrap();
+    for kind in [JoinKind::Inner, JoinKind::Left] {
+        let fast = empty.join(&right, "k", "k", kind).unwrap();
+        let slow = empty.join_reference(&right, "k", "k", kind).unwrap();
+        assert_frames_bitwise_equal(&fast, &slow, "empty join");
+        assert_eq!(fast.n_rows(), 0);
+        assert_eq!(fast.names(), &["k", "lval", "rval"]);
+    }
+    let g = empty
+        .group_by(&["k"], &[AggSpec::new("lval", AggKind::Sum).with_alias("s")])
+        .unwrap();
+    assert_eq!(g.n_rows(), 0);
+    assert_frames_bitwise_equal(
+        &g,
+        &empty
+            .group_by_reference(&["k"], &[AggSpec::new("lval", AggKind::Sum).with_alias("s")])
+            .unwrap(),
+        "empty group",
+    );
+}

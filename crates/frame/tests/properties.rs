@@ -12,7 +12,7 @@ fn arb_frame() -> impl Strategy<Value = DataFrame> {
             proptest::collection::vec(any::<i64>(), rows),
             proptest::collection::vec(
                 prop_oneof![
-                    4 => (-1.0e12f64..1.0e12),
+                    4 => -1.0e12f64..1.0e12,
                     1 => Just(f64::NAN),
                 ],
                 rows,

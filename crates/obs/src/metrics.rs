@@ -24,6 +24,25 @@ pub mod names {
     /// Rows a late-materializing scan never decoded because the
     /// predicate's selection vector rejected them.
     pub const SCAN_ROWS_PRUNED: &str = "scan.rows_pruned";
+    /// Milliseconds spent building the shared join hash table (histogram;
+    /// one observation per joined query).
+    pub const JOIN_BUILD_MS: &str = "join.build_ms";
+    /// Milliseconds spent probing the join table (histogram; one
+    /// observation per scanned chunk).
+    pub const JOIN_PROBE_MS: &str = "join.probe_ms";
+    /// Radix partitions of the last join build (gauge; 1 = unpartitioned).
+    pub const JOIN_PARTITIONS: &str = "join.partitions";
+    /// Per-chunk group-by partials merged into final aggregates.
+    pub const GROUPBY_PARTIALS_MERGED: &str = "groupby.partials_merged";
+    /// Chunks answered by the dictionary-code group-by fast path
+    /// (grouping on `u32` codes, no per-row string decode).
+    pub const GROUPBY_DICT_FASTPATH_CHUNKS: &str = "groupby.dict_fastpath_chunks";
+    /// Chunks answered by the dictionary-code join fast path (probing
+    /// distinct dictionary entries instead of every row).
+    pub const JOIN_DICT_FASTPATH_CHUNKS: &str = "join.dict_fastpath_chunks";
+    /// Dictionary strings actually decoded on the fast paths — the
+    /// savings story: compare against rows scanned.
+    pub const DICT_STRINGS_DECODED: &str = "dict.strings_decoded";
 }
 
 /// A fixed-bucket histogram. `bounds` are inclusive upper bounds of the

@@ -31,16 +31,19 @@ if [ "$run_clippy" -eq 1 ]; then
 fi
 
 if [ "$run_bench" -eq 1 ]; then
-    echo "==> microbench --smoke"
+    echo "==> microbench --smoke (with throughput regression gate)"
     smoke_out="$(mktemp -t bench_columnar_smoke.XXXXXX.json)"
     trap 'rm -f "$smoke_out"' EXIT
-    cargo run --release -p infera-bench --bin microbench -- --smoke --out "$smoke_out"
+    # --baseline makes the run itself fail if join/group-by throughput
+    # drops more than 25% below the checked-in smoke baseline.
+    cargo run --release -p infera-bench --bin microbench -- --smoke \
+        --baseline BENCH_columnar_smoke.json --out "$smoke_out"
     # The smoke report must parse and carry a v1 + v2 entry for every op.
     python3 - "$smoke_out" <<'EOF'
 import json, sys
 
 report = json.load(open(sys.argv[1]))
-ops = {"ingest", "filtered_scan", "group_by", "join"}
+ops = {"ingest", "filtered_scan", "group_by", "join", "group_by_str", "join_str"}
 have = {(e["op"], e["format"]) for e in report["entries"]}
 missing = {(op, fmt) for op in ops for fmt in ("v1", "v2")} - have
 assert not missing, f"BENCH_columnar.json missing entries: {sorted(missing)}"

@@ -220,6 +220,10 @@ fn cmd_ask(args: &[String]) -> Result<(), String> {
     );
     if has_flag(args, "--breakdown") {
         out!("\nper-stage cost breakdown:\n{}", report.breakdown_text());
+        let kernels = report.kernel_breakdown_text();
+        if !kernels.is_empty() {
+            out!("execution kernels:\n{kernels}");
+        }
         out!(
             "storage: {} B on disk, {} B logical ({:.2}x compression)",
             report.storage_bytes,
