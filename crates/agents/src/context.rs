@@ -1,14 +1,76 @@
 //! Shared per-run context: substrates, configuration, prompt assembly.
 
-use crate::error::{AgentError, AgentResult};
+use crate::error::{AgentError, AgentResult, CancelKind};
+use crate::shared_cache::SharedEnsembleCache;
 use infera_columnar::Database;
 use infera_hacc::Manifest;
 use infera_llm::{BehaviorProfile, SemanticLevel, SimulatedLlm, TokenMeter};
 use infera_provenance::ProvenanceStore;
 use infera_rag::{Doc, Retriever};
 use infera_sandbox::{SandboxServer, ToolRegistry};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cooperative cancellation handle shared between a run and its caller.
+///
+/// The serving layer arms a token per job (explicit cancel + optional
+/// deadline); the supervisor checks it between plan steps, so a canceled
+/// run stops at the next step boundary with [`AgentError::Canceled`]
+/// rather than being killed mid-write. Clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    canceled: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent; takes effect at the next check).
+    pub fn cancel(&self) {
+        self.inner.canceled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether `cancel` has been called.
+    pub fn is_canceled(&self) -> bool {
+        self.inner.canceled.load(Ordering::SeqCst)
+    }
+
+    /// Arm a deadline `timeout` from now; the earliest armed deadline
+    /// wins if called more than once.
+    pub fn arm_deadline(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.inner.deadline.lock();
+        match *slot {
+            Some(existing) if existing <= deadline => {}
+            _ => *slot = Some(deadline),
+        }
+    }
+
+    /// Error out if the token is canceled or past its deadline.
+    pub fn check(&self) -> AgentResult<()> {
+        if self.is_canceled() {
+            return Err(AgentError::Canceled(CancelKind::Canceled));
+        }
+        if let Some(deadline) = *self.inner.deadline.lock() {
+            if Instant::now() >= deadline {
+                return Err(AgentError::Canceled(CancelKind::DeadlineExceeded));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// How much conversation history each specialist prompt carries (§4.2.5:
 /// only the supervisor sees full history by default; specialists get only
@@ -45,6 +107,13 @@ pub struct RunConfig {
     /// §4.1.4 notes the summary "is not strictly necessary for core
     /// analysis" — disabling it is one of the paper's token savings.
     pub enable_documentation: bool,
+    /// Fraction of each model call's virtual latency that is actually
+    /// slept (0.0 = record only, the default). The serving benchmark
+    /// sets this so concurrency wins come from overlapping model waits,
+    /// the way a real LLM-backed deployment behaves. Sleeping never
+    /// touches the RNG, so results are identical at any scale.
+    #[serde(default)]
+    pub llm_sleep_scale: f64,
 }
 
 impl Default for RunConfig {
@@ -55,16 +124,22 @@ impl Default for RunConfig {
             qa_mode: QaMode::Scored { threshold: 50 },
             human_feedback: false,
             enable_documentation: true,
+            llm_sleep_scale: 0.0,
         }
     }
 }
 
 /// Everything an agent needs to act: model, retrieval, storage, sandbox,
 /// provenance, configuration.
+///
+/// The context is `Send + Sync` (asserted below): sessions hand out
+/// `Arc<AgentContext>` and the serving layer runs each one on a worker
+/// thread. The manifest is `Arc`-shared across all concurrent runs of a
+/// session — the ensemble metadata is opened once, not per run.
 pub struct AgentContext {
     pub llm: SimulatedLlm,
     pub retriever: Retriever,
-    pub manifest: Manifest,
+    pub manifest: Arc<Manifest>,
     pub db: Database,
     pub sandbox: SandboxServer,
     pub prov: ProvenanceStore,
@@ -73,7 +148,20 @@ pub struct AgentContext {
     /// registry shared by the model, the database, the sandbox, and the
     /// workflow nodes.
     pub obs: infera_obs::Obs,
+    /// Cooperative cancellation: the supervisor checks this between plan
+    /// steps. Unarmed by default.
+    pub cancel: CancelToken,
+    /// Shared decoded-batch cache (serving layer); `None` means every
+    /// load decodes from the ensemble files.
+    pub shared_cache: Option<Arc<SharedEnsembleCache>>,
 }
+
+/// `AgentContext` must stay shareable across worker threads — the whole
+/// serving layer rests on this bound.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AgentContext>();
+};
 
 impl AgentContext {
     /// Assemble a context for one run.
@@ -82,7 +170,7 @@ impl AgentContext {
     /// The retriever indexes the ensemble's metadata dictionaries; the
     /// sandbox is loaded with the domain tools.
     pub fn new(
-        manifest: Manifest,
+        manifest: Arc<Manifest>,
         session_dir: &Path,
         seed: u64,
         profile: BehaviorProfile,
@@ -97,7 +185,9 @@ impl AgentContext {
             profile
         };
         let obs = infera_obs::Obs::new();
-        let llm = SimulatedLlm::new(seed, profile, meter).with_tracer(obs.tracer.clone());
+        let llm = SimulatedLlm::new(seed, profile, meter)
+            .with_tracer(obs.tracer.clone())
+            .with_latency_sleep(config.llm_sleep_scale);
         let mut db = Database::create(&session_dir.join("db"))
             .map_err(|e| AgentError::Fatal(e.to_string()))?;
         db.set_obs(obs.clone());
@@ -135,6 +225,8 @@ impl AgentContext {
             prov,
             config,
             obs,
+            cancel: CancelToken::new(),
+            shared_cache: None,
         })
     }
 
@@ -213,9 +305,9 @@ mod tests {
         dir
     }
 
-    fn manifest(name: &str) -> Manifest {
+    fn manifest(name: &str) -> Arc<Manifest> {
         let root = tmp(&format!("{name}_ens"));
-        infera_hacc::generate(&EnsembleSpec::tiny(5), &root).unwrap()
+        Arc::new(infera_hacc::generate(&EnsembleSpec::tiny(5), &root).unwrap())
     }
 
     #[test]
@@ -258,6 +350,26 @@ mod tests {
         let p2 = ctx2.build_prompt("data_loading", &state, "load halo data", &[]);
         assert!(p2.contains("Conversation history"));
         assert!(p2.len() > p.len());
+    }
+
+    #[test]
+    fn cancel_token_checks() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        t.arm_deadline(std::time::Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        t.arm_deadline(std::time::Duration::from_millis(0));
+        assert!(matches!(
+            t.check(),
+            Err(AgentError::Canceled(CancelKind::DeadlineExceeded))
+        ));
+        let t2 = CancelToken::new();
+        let shared = t2.clone();
+        shared.cancel();
+        assert!(matches!(
+            t2.check(),
+            Err(AgentError::Canceled(CancelKind::Canceled))
+        ));
     }
 
     #[test]

@@ -15,10 +15,12 @@
 
 use crate::context::AgentContext;
 use crate::error::{AgentError, AgentResult};
+use crate::shared_cache::{CachedBatch, LoadKey};
 use crate::state::{LoadSpec, RunState};
 use infera_frame::{Column, DataFrame};
 use infera_hacc::{EntityKind, GenioReader};
 use infera_provenance::ArtifactKind;
+use std::sync::Arc;
 
 /// Result of the load stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,9 +125,25 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
             .iter()
             .flat_map(|&sim| spec.steps.iter().map(move |&step| (sim, step)))
             .collect();
-        let batches: Vec<(u64, u64, infera_frame::DataFrame)> = files
+        let batches: Vec<(u64, u64, Arc<DataFrame>)> = files
             .par_iter()
-            .map(|&(sim, step)| -> AgentResult<(u64, u64, infera_frame::DataFrame)> {
+            .map(|&(sim, step)| -> AgentResult<(u64, u64, Arc<DataFrame>)> {
+                // Shared-cache fast path: under the serving layer many
+                // concurrent runs load the same selections; the cache
+                // carries the byte accounting alongside the decoded
+                // frame, so hits report identically to cold reads.
+                let key = LoadKey {
+                    sim,
+                    step,
+                    entity: entity.label().to_string(),
+                    columns: columns.clone(),
+                };
+                if let Some(cache) = &ctx.shared_cache {
+                    if let Some(hit) = cache.get(&key) {
+                        ctx.obs.metrics.inc("load.shared_cache_hits", 1);
+                        return Ok((hit.bytes_read, hit.file_bytes, hit.frame));
+                    }
+                }
                 let path = ctx.manifest.file_path(sim, step, entity)?;
                 let file_bytes = ctx
                     .manifest
@@ -152,6 +170,17 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
                 batch
                     .add_column("step".into(), Column::I64(vec![i64::from(step); n]))
                     .map_err(AgentError::from)?;
+                let batch = Arc::new(batch);
+                if let Some(cache) = &ctx.shared_cache {
+                    cache.insert(
+                        key,
+                        CachedBatch {
+                            frame: batch.clone(),
+                            bytes_read,
+                            file_bytes,
+                        },
+                    );
+                }
                 Ok((bytes_read, file_bytes, batch))
             })
             .collect::<AgentResult<_>>()?;
@@ -250,7 +279,7 @@ mod tests {
         std::fs::remove_dir_all(&base).ok();
         let manifest = infera_hacc::generate(&EnsembleSpec::tiny(11), &base.join("ens")).unwrap();
         AgentContext::new(
-            manifest,
+            Arc::new(manifest),
             &base.join("session"),
             7,
             BehaviorProfile::perfect(),

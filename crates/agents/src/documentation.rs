@@ -124,7 +124,7 @@ mod tests {
         let manifest =
             infera_hacc::generate(&EnsembleSpec::tiny(23), &base.join("ens")).unwrap();
         let ctx = AgentContext::new(
-            manifest,
+            std::sync::Arc::new(manifest),
             &base.join("session"),
             3,
             BehaviorProfile::perfect(),

@@ -5,6 +5,15 @@ use std::fmt;
 /// Result alias.
 pub type AgentResult<T> = Result<T, AgentError>;
 
+/// Why a run was interrupted before finishing on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// An explicit `CancelToken::cancel` call (job aborted by the caller).
+    Canceled,
+    /// The run's deadline elapsed (per-job timeout in the serving layer).
+    DeadlineExceeded,
+}
+
 /// Errors surfaced by agents and the workflow driver.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AgentError {
@@ -14,6 +23,9 @@ pub enum AgentError {
     /// A step exhausted its revision budget (§4.1.1: "maximum threshold
     /// of five revision attempts").
     RevisionBudgetExhausted { step: usize, attempts: u32 },
+    /// The run was interrupted between steps: canceled by its caller or
+    /// past its deadline (checked by the supervisor before each step).
+    Canceled(CancelKind),
     /// Infrastructure failure (I/O, provenance, malformed plan).
     Fatal(String),
 }
@@ -26,6 +38,10 @@ impl fmt::Display for AgentError {
                 f,
                 "step {step} failed after {attempts} revision attempts"
             ),
+            AgentError::Canceled(CancelKind::Canceled) => write!(f, "run canceled by caller"),
+            AgentError::Canceled(CancelKind::DeadlineExceeded) => {
+                write!(f, "run exceeded its deadline")
+            }
             AgentError::Fatal(m) => write!(f, "fatal agent error: {m}"),
         }
     }

@@ -24,13 +24,15 @@ pub mod planner;
 pub mod prompts;
 pub mod python_agent;
 pub mod qa;
+pub mod shared_cache;
 pub mod sql_agent;
 pub mod state;
 pub mod viz_agent;
 pub mod workflow;
 
-pub use context::{AgentContext, ContextPolicy, QaMode, RunConfig};
-pub use error::{AgentError, AgentResult};
+pub use context::{AgentContext, CancelToken, ContextPolicy, QaMode, RunConfig};
+pub use error::{AgentError, AgentResult, CancelKind};
+pub use shared_cache::{CachedBatch, LoadKey, SharedEnsembleCache};
 pub use graph::{NodeOutcome, StateGraph, END};
 pub use intent::{parse_intent, Goal, Intent, TrendDim};
 pub use planner::{compile_plan, plan_question};

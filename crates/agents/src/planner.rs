@@ -876,7 +876,7 @@ mod tests {
         std::fs::remove_dir_all(&base).ok();
         let manifest = infera_hacc::generate(&EnsembleSpec::tiny(7), &base.join("ens")).unwrap();
         AgentContext::new(
-            manifest,
+            std::sync::Arc::new(manifest),
             &base.join("session"),
             seed,
             BehaviorProfile::perfect(),

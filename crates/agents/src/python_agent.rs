@@ -377,7 +377,7 @@ mod tests {
         let manifest =
             infera_hacc::generate(&EnsembleSpec::tiny(17), &base.join("ens")).unwrap();
         AgentContext::new(
-            manifest,
+            std::sync::Arc::new(manifest),
             &base.join("session"),
             5,
             profile,

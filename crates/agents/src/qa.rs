@@ -149,10 +149,15 @@ pub fn run_generation_step(
             vocabulary.push(c.to_string());
         }
     }
-    for frame in state.frames.values() {
-        for name in frame.names() {
-            if !vocabulary.contains(name) {
-                vocabulary.push(name.clone());
+    // Frames are visited in sorted-name order: the vocabulary's element
+    // order feeds the corruption target pick, so it must not depend on
+    // HashMap iteration order.
+    let mut frame_names: Vec<&String> = state.frames.keys().collect();
+    frame_names.sort();
+    for name in frame_names {
+        for col in state.frames[name].names() {
+            if !vocabulary.contains(col) {
+                vocabulary.push(col.clone());
             }
         }
     }

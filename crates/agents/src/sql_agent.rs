@@ -111,7 +111,7 @@ mod tests {
         std::fs::remove_dir_all(&base).ok();
         let manifest = infera_hacc::generate(&EnsembleSpec::tiny(13), &base.join("ens")).unwrap();
         let ctx = AgentContext::new(
-            manifest,
+            std::sync::Arc::new(manifest),
             &base.join("session"),
             21,
             profile,

@@ -310,7 +310,7 @@ mod tests {
         let manifest =
             infera_hacc::generate(&EnsembleSpec::tiny(19), &base.join("ens")).unwrap();
         AgentContext::new(
-            manifest,
+            std::sync::Arc::new(manifest),
             &base.join("session"),
             9,
             profile,

@@ -17,7 +17,7 @@ use crate::qa::GenOutcome;
 use crate::state::{PlanStep, QualityFlags, RunState, StepOutcome};
 use infera_llm::SemanticLevel;
 use infera_obs::{render_breakdown, stage_breakdown, StageCost, Tracer};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-run report: the raw material of every Table 2 metric.
 #[derive(Debug, Clone)]
@@ -140,7 +140,7 @@ fn record(state: &mut RunState, agent: &str, out: GenOutcome) {
 }
 
 /// Build the supervisor-routed analysis graph.
-pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
+pub fn build_workflow(ctx: Arc<AgentContext>) -> StateGraph<RunState> {
     let mut g: StateGraph<RunState> = StateGraph::new();
 
     // Supervisor: monitors progress, charges its routing call, and the
@@ -148,6 +148,10 @@ pub fn build_workflow(ctx: Rc<AgentContext>) -> StateGraph<RunState> {
     {
         let ctx = ctx.clone();
         g.add_node("supervisor", move |state: &mut RunState| {
+            // Cancellation is cooperative: the supervisor fronts every
+            // step, so a canceled or past-deadline run stops at the next
+            // step boundary rather than mid-specialist.
+            ctx.cancel.check()?;
             let span = ctx.obs.tracer.span("node:supervisor");
             span.set_attr("stage", "supervisor");
             span.set_attr("step", state.step_idx);
@@ -350,7 +354,7 @@ fn assess(state: &RunState) -> (bool, bool) {
 /// reporting. This is the unit the evaluation harness calls 10 times per
 /// question.
 pub fn run_question(
-    ctx: Rc<AgentContext>,
+    ctx: Arc<AgentContext>,
     question: &str,
     semantic: SemanticLevel,
 ) -> AgentResult<RunReport> {
@@ -368,7 +372,7 @@ pub fn run_question(
 /// feedback loop's output (§3: the plan is "a road map for both the user
 /// and the downstream agents"; users can modify it before approval).
 pub fn run_question_with_plan(
-    ctx: Rc<AgentContext>,
+    ctx: Arc<AgentContext>,
     question: &str,
     semantic: SemanticLevel,
     plan: crate::state::Plan,
@@ -446,14 +450,14 @@ mod tests {
     use infera_llm::BehaviorProfile;
     use std::path::PathBuf;
 
-    fn ctx(name: &str, seed: u64, profile: BehaviorProfile) -> Rc<AgentContext> {
+    fn ctx(name: &str, seed: u64, profile: BehaviorProfile) -> Arc<AgentContext> {
         let base: PathBuf = std::env::temp_dir().join("infera_workflow_tests").join(name);
         std::fs::remove_dir_all(&base).ok();
         let manifest =
             infera_hacc::generate(&EnsembleSpec::tiny(29), &base.join("ens")).unwrap();
-        Rc::new(
+        Arc::new(
             AgentContext::new(
-                manifest,
+                Arc::new(manifest),
                 &base.join("session"),
                 seed,
                 profile,

@@ -22,15 +22,12 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let work = base.join("work");
             std::fs::remove_dir_all(&work).ok();
-            let session = InferA::new(
-                manifest.clone(),
-                &work,
-                SessionConfig {
-                    seed: 1,
-                    profile: BehaviorProfile::perfect(),
-                    run_config: Default::default(),
-                },
-            );
+            let session = InferA::from_manifest(manifest.clone())
+                .work_dir(&work)
+                .seed(1)
+                .profile(BehaviorProfile::perfect())
+                .build()
+                .unwrap();
             black_box(
                 session
                     .ask_with_semantic(
@@ -45,15 +42,12 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.bench_function("planning_stage_only", |b| {
         let work = base.join("planwork");
         std::fs::remove_dir_all(&work).ok();
-        let session = InferA::new(
-            manifest.clone(),
-            &work,
-            SessionConfig {
-                seed: 1,
-                profile: BehaviorProfile::perfect(),
-                run_config: Default::default(),
-            },
-        );
+        let session = InferA::from_manifest(manifest.clone())
+            .work_dir(&work)
+            .seed(1)
+            .profile(BehaviorProfile::perfect())
+            .build()
+            .unwrap();
         b.iter(|| {
             black_box(
                 session

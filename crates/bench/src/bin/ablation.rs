@@ -54,11 +54,10 @@ fn main() {
     let total = |run_config: RunConfig, profile: BehaviorProfile, dir: &str| -> Table2Row {
         let cfg = EvalConfig {
             runs_per_question: runs,
-            session: SessionConfig {
-                seed: args.seed,
-                profile,
-                run_config,
-            },
+            session: SessionConfig::default()
+                .with_seed(args.seed)
+                .with_profile(profile)
+                .with_run_config(run_config),
             only_questions: questions.to_vec(),
         };
         evaluate(manifest.clone(), &work.join(dir), &cfg)

@@ -4,7 +4,7 @@
 
 use infera_bench::{eval_ensemble, out_dir, BinArgs};
 use infera_core::baselines::comparison_report;
-use infera_core::{InferA, SessionConfig};
+use infera_core::InferA;
 use infera_llm::{BehaviorProfile, SemanticLevel, SimulatedLlm, TokenMeter};
 
 fn main() {
@@ -16,15 +16,12 @@ fn main() {
     // InferA on the same class of question, for contrast.
     let work = out_dir("baselines");
     std::fs::remove_dir_all(work.join("run")).ok();
-    let session = InferA::new(
-        manifest.clone(),
-        &work.join("run"),
-        SessionConfig {
-            seed: args.seed,
-            profile: BehaviorProfile::perfect(),
-            run_config: Default::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest.clone())
+        .work_dir(work.join("run"))
+        .seed(args.seed)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .expect("session");
     let report = session
         .ask_with_semantic(
             "What is the maximum fof_halo_mass at timestep 624 in simulation 1?",

@@ -7,16 +7,16 @@ use infera_agents::{build_workflow, AgentContext, RunConfig};
 use infera_bench::{ensure_ensemble, out_dir};
 use infera_hacc::EnsembleSpec;
 use infera_llm::BehaviorProfile;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // A minimal ensemble is enough: the graph topology is data-independent.
     let manifest = ensure_ensemble("figure3", &EnsembleSpec::tiny(3));
     let session = out_dir("figure3").join("session");
     std::fs::remove_dir_all(&session).ok();
-    let ctx = Rc::new(
+    let ctx = Arc::new(
         AgentContext::new(
-            manifest,
+            Arc::new(manifest),
             &session,
             1,
             BehaviorProfile::perfect(),

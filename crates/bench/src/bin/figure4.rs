@@ -7,7 +7,7 @@
 //! 5403 s, 126,568 tokens.
 
 use infera_bench::{case_study_ensemble, out_dir, BinArgs};
-use infera_core::{InferA, SessionConfig};
+use infera_core::InferA;
 use infera_llm::{BehaviorProfile, SemanticLevel};
 
 const QUERY: &str = "Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass.";
@@ -19,15 +19,13 @@ fn main() {
     let work = out_dir(if args.quick { "figure4-quick" } else { "figure4" });
     std::fs::remove_dir_all(work.join("run")).ok();
 
-    let session = InferA::new(
-        manifest,
-        &work.join("run"),
-        SessionConfig {
-            seed: args.seed,
-            profile: BehaviorProfile::perfect(), // the case study is a demo run
-            run_config: Default::default(),
-        },
-    );
+    // The case study is a demo run, hence the perfect profile.
+    let session = InferA::from_manifest(manifest)
+        .work_dir(work.join("run"))
+        .seed(args.seed)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .expect("session");
     println!(
         "Figure 4 case study: 32-simulation ensemble, {:.1} MB on disk (stands in for 11.2 TB)\n",
         total_bytes as f64 / 1e6

@@ -4,7 +4,7 @@
 //! pipeline with the custom radius-query tool.
 
 use infera_bench::{eval_ensemble, out_dir, BinArgs};
-use infera_core::{InferA, SessionConfig};
+use infera_core::InferA;
 use infera_llm::{BehaviorProfile, SemanticLevel};
 
 const QUERY: &str = "Visualize the largest dark matter halo in simulation 0 at timestep 624 and all surrounding halos within a 20 megaparsec radius.";
@@ -15,15 +15,12 @@ fn main() {
     let work = out_dir(if args.quick { "figure5-quick" } else { "figure5" });
     std::fs::remove_dir_all(work.join("run")).ok();
 
-    let session = InferA::new(
-        manifest,
-        &work.join("run"),
-        SessionConfig {
-            seed: args.seed,
-            profile: BehaviorProfile::perfect(),
-            run_config: Default::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(work.join("run"))
+        .seed(args.seed)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .expect("session");
     let report = session
         .ask_with_semantic(QUERY, SemanticLevel::Easy, 5)
         .expect("figure 5 run");

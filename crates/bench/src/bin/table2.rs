@@ -19,10 +19,7 @@ fn main() {
 
     let cfg = EvalConfig {
         runs_per_question: runs,
-        session: SessionConfig {
-            seed: args.seed,
-            ..SessionConfig::default()
-        },
+        session: SessionConfig::default().with_seed(args.seed),
         only_questions: vec![],
     };
     eprintln!(

@@ -11,9 +11,10 @@
 //! * **context policy** — limited specialist context vs full history:
 //!   full history inflates token cost without improving completion.
 
+use crate::errors::InferaResult;
 use crate::eval::{evaluate, EvalConfig, Table2Row};
 use crate::session::SessionConfig;
-use infera_agents::{AgentResult, ContextPolicy, QaMode, RunConfig};
+use infera_agents::{ContextPolicy, QaMode, RunConfig};
 use infera_hacc::Manifest;
 use infera_llm::BehaviorProfile;
 use std::path::Path;
@@ -75,7 +76,7 @@ pub fn architecture_ablation(
     question_ids: &[u32],
     runs_per_question: usize,
     seed: u64,
-) -> AgentResult<Vec<ArchitectureResult>> {
+) -> InferaResult<Vec<ArchitectureResult>> {
     let base_profile = BehaviorProfile::default();
     let mut out = Vec::new();
     for arch in Architecture::ALL {
@@ -88,11 +89,10 @@ pub fn architecture_ablation(
         }
         let cfg = EvalConfig {
             runs_per_question,
-            session: SessionConfig {
-                seed,
-                profile: arch.profile(&base_profile),
-                run_config,
-            },
+            session: SessionConfig::default()
+                .with_seed(seed)
+                .with_profile(arch.profile(&base_profile))
+                .with_run_config(run_config),
             only_questions: question_ids.to_vec(),
         };
         let results = evaluate(
@@ -127,18 +127,14 @@ pub fn qa_ablation(
     question_ids: &[u32],
     runs_per_question: usize,
     seed: u64,
-) -> AgentResult<QaAblation> {
-    let run = |mode: QaMode, dir: &str| -> AgentResult<Table2Row> {
+) -> InferaResult<QaAblation> {
+    let run = |mode: QaMode, dir: &str| -> InferaResult<Table2Row> {
         let cfg = EvalConfig {
             runs_per_question,
-            session: SessionConfig {
-                seed,
-                profile: BehaviorProfile::default(),
-                run_config: RunConfig {
-                    qa_mode: mode,
-                    ..RunConfig::default()
-                },
-            },
+            session: SessionConfig::default().with_seed(seed).with_run_config(RunConfig {
+                qa_mode: mode,
+                ..RunConfig::default()
+            }),
             only_questions: question_ids.to_vec(),
         };
         let results = evaluate(manifest.clone(), &work_dir.join(dir), &cfg)?;
@@ -168,18 +164,14 @@ pub fn context_ablation(
     question_ids: &[u32],
     runs_per_question: usize,
     seed: u64,
-) -> AgentResult<ContextAblation> {
-    let run = |policy: ContextPolicy, dir: &str| -> AgentResult<Table2Row> {
+) -> InferaResult<ContextAblation> {
+    let run = |policy: ContextPolicy, dir: &str| -> InferaResult<Table2Row> {
         let cfg = EvalConfig {
             runs_per_question,
-            session: SessionConfig {
-                seed,
-                profile: BehaviorProfile::default(),
-                run_config: RunConfig {
-                    context_policy: policy,
-                    ..RunConfig::default()
-                },
-            },
+            session: SessionConfig::default().with_seed(seed).with_run_config(RunConfig {
+                context_policy: policy,
+                ..RunConfig::default()
+            }),
             only_questions: question_ids.to_vec(),
         };
         let results = evaluate(manifest.clone(), &work_dir.join(dir), &cfg)?;
@@ -209,15 +201,11 @@ pub fn model_ablation(
     question_ids: &[u32],
     runs_per_question: usize,
     seed: u64,
-) -> AgentResult<ModelAblation> {
-    let run = |profile: BehaviorProfile, dir: &str| -> AgentResult<Table2Row> {
+) -> InferaResult<ModelAblation> {
+    let run = |profile: BehaviorProfile, dir: &str| -> InferaResult<Table2Row> {
         let cfg = EvalConfig {
             runs_per_question,
-            session: SessionConfig {
-                seed,
-                profile,
-                run_config: RunConfig::default(),
-            },
+            session: SessionConfig::default().with_seed(seed).with_profile(profile),
             only_questions: question_ids.to_vec(),
         };
         let results = evaluate(manifest.clone(), &work_dir.join(dir), &cfg)?;

@@ -1,0 +1,197 @@
+//! The top-level error type of the public API.
+//!
+//! Every fallible `infera-core` entry point returns [`InferaError`]: one
+//! type wrapping the agent-layer, columnar, sandbox, and ensemble errors
+//! with a stable [`ErrorKind`] discriminant. Callers branch on `kind()`
+//! — the serving layer maps kinds to job-rejection reasons, the CLI maps
+//! them to exit codes — instead of parsing display strings.
+
+use infera_agents::{AgentError, CancelKind};
+use std::fmt;
+
+/// Result alias for the public session API.
+pub type InferaResult<T> = Result<T, InferaError>;
+
+/// Stable classification of an [`InferaError`].
+///
+/// Marked `#[non_exhaustive]`: new kinds may appear in minor releases,
+/// so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A substrate failed in a way a retry or revision could address.
+    Recoverable,
+    /// A workflow step exhausted its revision budget (the paper's
+    /// five-attempt limit).
+    RevisionBudget,
+    /// The run was canceled by its caller.
+    Canceled,
+    /// The run exceeded its deadline (per-job timeout).
+    Timeout,
+    /// Columnar database failure.
+    Storage,
+    /// Sandbox / tool-execution failure.
+    Sandbox,
+    /// Ensemble I/O or metadata failure.
+    Ensemble,
+    /// Filesystem I/O outside the ensemble (work dirs, reports).
+    Io,
+    /// The caller's request was malformed (bad options, missing paths).
+    InvalidInput,
+    /// The serving layer refused admission (queue at capacity).
+    QueueFull,
+    /// Invariant violation inside InferA itself.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable lowercase label (used in JSON reports and CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Recoverable => "recoverable",
+            ErrorKind::RevisionBudget => "revision_budget",
+            ErrorKind::Canceled => "canceled",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Storage => "storage",
+            ErrorKind::Sandbox => "sandbox",
+            ErrorKind::Ensemble => "ensemble",
+            ErrorKind::Io => "io",
+            ErrorKind::InvalidInput => "invalid_input",
+            ErrorKind::QueueFull => "queue_full",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// The public error type: a kind plus a human-readable message.
+///
+/// `Clone + Send + Sync` so job results can cross scheduler threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferaError {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl InferaError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> InferaError {
+        InferaError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The stable classification callers branch on.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Whether retrying the same request could plausibly succeed
+    /// (transient failures and admission rejections).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.kind,
+            ErrorKind::Recoverable | ErrorKind::QueueFull | ErrorKind::Timeout
+        )
+    }
+
+    pub fn invalid_input(message: impl Into<String>) -> InferaError {
+        InferaError::new(ErrorKind::InvalidInput, message)
+    }
+
+    pub fn internal(message: impl Into<String>) -> InferaError {
+        InferaError::new(ErrorKind::Internal, message)
+    }
+}
+
+impl fmt::Display for InferaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.message)
+    }
+}
+
+impl std::error::Error for InferaError {}
+
+impl From<AgentError> for InferaError {
+    fn from(e: AgentError) -> Self {
+        let kind = match &e {
+            AgentError::Recoverable(_) => ErrorKind::Recoverable,
+            AgentError::RevisionBudgetExhausted { .. } => ErrorKind::RevisionBudget,
+            AgentError::Canceled(CancelKind::Canceled) => ErrorKind::Canceled,
+            AgentError::Canceled(CancelKind::DeadlineExceeded) => ErrorKind::Timeout,
+            AgentError::Fatal(_) => ErrorKind::Internal,
+        };
+        InferaError::new(kind, e.to_string())
+    }
+}
+
+impl From<infera_columnar::DbError> for InferaError {
+    fn from(e: infera_columnar::DbError) -> Self {
+        InferaError::new(ErrorKind::Storage, e.to_string())
+    }
+}
+
+impl From<infera_sandbox::SandboxError> for InferaError {
+    fn from(e: infera_sandbox::SandboxError) -> Self {
+        InferaError::new(ErrorKind::Sandbox, e.to_string())
+    }
+}
+
+impl From<infera_hacc::HaccError> for InferaError {
+    fn from(e: infera_hacc::HaccError) -> Self {
+        InferaError::new(ErrorKind::Ensemble, e.to_string())
+    }
+}
+
+impl From<std::io::Error> for InferaError {
+    fn from(e: std::io::Error) -> Self {
+        InferaError::new(ErrorKind::Io, e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for InferaError {
+    fn from(e: serde_json::Error) -> Self {
+        InferaError::new(ErrorKind::Internal, format!("serialization: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_errors_map_to_stable_kinds() {
+        let cases = [
+            (AgentError::Recoverable("x".into()), ErrorKind::Recoverable),
+            (
+                AgentError::RevisionBudgetExhausted { step: 1, attempts: 5 },
+                ErrorKind::RevisionBudget,
+            ),
+            (
+                AgentError::Canceled(CancelKind::Canceled),
+                ErrorKind::Canceled,
+            ),
+            (
+                AgentError::Canceled(CancelKind::DeadlineExceeded),
+                ErrorKind::Timeout,
+            ),
+            (AgentError::Fatal("x".into()), ErrorKind::Internal),
+        ];
+        for (agent_err, want) in cases {
+            let e = InferaError::from(agent_err);
+            assert_eq!(e.kind(), want);
+            assert!(e.to_string().starts_with(want.label()));
+        }
+    }
+
+    #[test]
+    fn retryability_follows_kind() {
+        assert!(InferaError::new(ErrorKind::QueueFull, "full").is_retryable());
+        assert!(InferaError::new(ErrorKind::Recoverable, "x").is_retryable());
+        assert!(!InferaError::invalid_input("bad flag").is_retryable());
+        assert!(!InferaError::internal("bug").is_retryable());
+    }
+}

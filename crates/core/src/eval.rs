@@ -2,9 +2,10 @@
 //! feedback, aggregated by analysis difficulty, semantic complexity,
 //! simulation/timestep scope, and success status (§3.3, §4.1).
 
+use crate::errors::InferaResult;
 use crate::questions::{question_set, AnalysisLevel, Question};
 use crate::session::{InferA, SessionConfig};
-use infera_agents::{AgentResult, RunReport};
+use infera_agents::RunReport;
 use infera_hacc::Manifest;
 use infera_llm::SemanticLevel;
 use std::path::Path;
@@ -47,27 +48,30 @@ pub struct EvalResults {
 /// "investigate parallelized workflow execution"); per-run seeds derive
 /// from `(seed, question, run)` so parallel and sequential execution
 /// produce identical results.
-pub fn evaluate(manifest: Manifest, work_dir: &Path, cfg: &EvalConfig) -> AgentResult<EvalResults> {
+pub fn evaluate(manifest: Manifest, work_dir: &Path, cfg: &EvalConfig) -> InferaResult<EvalResults> {
     use rayon::prelude::*;
 
     let questions: Vec<Question> = question_set()
         .into_iter()
         .filter(|q| cfg.only_questions.is_empty() || cfg.only_questions.contains(&q.id))
         .collect();
-    let session = InferA::new(manifest, work_dir, cfg.session.clone());
+    let session = InferA::from_manifest(manifest)
+        .work_dir(work_dir)
+        .config(cfg.session.clone())
+        .build()?;
 
     let jobs: Vec<(usize, usize)> = (0..questions.len())
         .flat_map(|qi| (0..cfg.runs_per_question).map(move |r| (qi, r)))
         .collect();
     let mut reports: Vec<(usize, usize, RunReport)> = jobs
         .par_iter()
-        .map(|&(qi, run_idx)| -> AgentResult<(usize, usize, RunReport)> {
+        .map(|&(qi, run_idx)| -> InferaResult<(usize, usize, RunReport)> {
             let q = &questions[qi];
             let salt = u64::from(q.id) * 1000 + run_idx as u64;
             let report = session.ask_with_semantic(&q.text, q.semantic, salt)?;
             Ok((qi, run_idx, report))
         })
-        .collect::<AgentResult<Vec<_>>>()?;
+        .collect::<InferaResult<Vec<_>>>()?;
     reports.sort_by_key(|(qi, r, _)| (*qi, *r));
 
     let mut per_question: Vec<QuestionRuns> = questions
@@ -323,11 +327,7 @@ mod tests {
         let manifest = infera_hacc::generate(&EnsembleSpec::tiny(37), &base.join("ens")).unwrap();
         let cfg = EvalConfig {
             runs_per_question: runs,
-            session: SessionConfig {
-                seed: 7,
-                profile,
-                run_config: Default::default(),
-            },
+            session: SessionConfig::default().with_seed(7).with_profile(profile),
             only_questions: only,
         };
         evaluate(manifest, &base.join("work"), &cfg).unwrap()

@@ -15,11 +15,13 @@
 
 pub mod ablation;
 pub mod baselines;
+pub mod errors;
 pub mod eval;
 pub mod questions;
 pub mod session;
 pub mod variability;
 
+pub use errors::{ErrorKind, InferaError, InferaResult};
 pub use eval::{evaluate, EvalConfig, EvalResults, Table2Row};
 pub use questions::{question_set, table1_text, AnalysisLevel, Question, Scope};
-pub use session::{estimate_semantic_level, InferA, SessionConfig};
+pub use session::{estimate_semantic_level, AskOptions, InferA, SessionBuilder, SessionConfig};

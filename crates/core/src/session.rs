@@ -1,38 +1,62 @@
 //! The user-facing InferA session API.
 //!
 //! ```no_run
-//! use infera_core::session::{InferA, SessionConfig};
-//! use infera_hacc::EnsembleSpec;
+//! use infera_core::session::InferA;
 //!
-//! // Generate (or open) a synthetic HACC ensemble, then ask questions.
-//! let manifest = infera_hacc::generate(
-//!     &EnsembleSpec::tiny(42),
-//!     std::path::Path::new("/tmp/ens"),
-//! ).unwrap();
-//! let infera = InferA::new(manifest, std::path::Path::new("/tmp/work"), SessionConfig::default());
+//! // Open a generated ensemble and ask questions.
+//! let infera = InferA::builder("/tmp/ens")
+//!     .work_dir("/tmp/work")
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
 //! let report = infera.ask("Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?").unwrap();
 //! println!("completed: {}", report.completed);
 //! ```
 //!
 //! Each `ask` is one full two-stage workflow (planning + analysis) with
 //! its own database, provenance store and seeded model stream, laid out
-//! under `<work_dir>/run_NNNN/`.
+//! under `<work_dir>/run_NNNN/`. All entry points funnel through
+//! [`InferA::ask_opts`]; `ask` / `ask_with_plan` / `ask_with_semantic`
+//! are one-line wrappers over it.
+//!
+//! Sessions are `Send + Sync`: the serving layer (`infera-serve`) runs
+//! many `ask_opts` calls concurrently against one session, sharing the
+//! ensemble manifest and the decoded-batch cache across worker threads.
 
-use infera_agents::{AgentContext, AgentError, AgentResult, RunConfig, RunReport};
+use crate::errors::{InferaError, InferaResult};
+use infera_agents::{
+    AgentContext, AgentResult, CancelToken, RunConfig, RunReport, SharedEnsembleCache,
+};
 use infera_hacc::Manifest;
 use infera_llm::{BehaviorProfile, SemanticLevel};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Session-wide configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`SessionConfig::default`]
+/// plus the fluent `with_*` setters so new knobs (serve timeouts, cache
+/// sizes) can land without breaking downstream builds.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SessionConfig {
     /// Master seed; each run forks a deterministic child stream.
     pub seed: u64,
     /// Behaviour profile of the simulated model.
     pub profile: BehaviorProfile,
     pub run_config: RunConfig,
+    /// Default per-job deadline applied to every ask (and serve job)
+    /// that doesn't carry its own [`AskOptions::timeout`]. `None` means
+    /// runs are not deadline-bounded.
+    pub job_timeout: Option<Duration>,
+    /// Capacity of the serving layer's result cache (distinct
+    /// `(question, fingerprint, seed, semantic)` keys).
+    pub result_cache_entries: usize,
+    /// Capacity of the shared decoded-batch cache (distinct
+    /// `(sim, step, entity, columns)` selections).
+    pub shared_cache_entries: usize,
 }
 
 impl Default for SessionConfig {
@@ -41,38 +65,272 @@ impl Default for SessionConfig {
             seed: 42,
             profile: BehaviorProfile::default(),
             run_config: RunConfig::default(),
+            job_timeout: None,
+            result_cache_entries: 256,
+            shared_cache_entries: 512,
         }
     }
+}
+
+impl SessionConfig {
+    pub fn with_seed(mut self, seed: u64) -> SessionConfig {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_profile(mut self, profile: BehaviorProfile) -> SessionConfig {
+        self.profile = profile;
+        self
+    }
+
+    pub fn with_run_config(mut self, run_config: RunConfig) -> SessionConfig {
+        self.run_config = run_config;
+        self
+    }
+
+    /// Default deadline for every run (see [`SessionConfig::job_timeout`]).
+    pub fn with_job_timeout(mut self, timeout: Duration) -> SessionConfig {
+        self.job_timeout = Some(timeout);
+        self
+    }
+
+    pub fn with_result_cache_entries(mut self, entries: usize) -> SessionConfig {
+        self.result_cache_entries = entries;
+        self
+    }
+
+    pub fn with_shared_cache_entries(mut self, entries: usize) -> SessionConfig {
+        self.shared_cache_entries = entries;
+        self
+    }
+}
+
+/// Per-ask options: the one options struct behind every ask variant.
+///
+/// `#[non_exhaustive]` with fluent setters, like [`SessionConfig`].
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct AskOptions {
+    /// Execute this user-reviewed plan instead of planning from scratch.
+    pub plan: Option<infera_agents::Plan>,
+    /// Explicit semantic level (default: estimated from the wording).
+    pub semantic: Option<SemanticLevel>,
+    /// Explicit run salt; runs with the same `(session seed, salt)`
+    /// replay identically. Default: the session's ask counter.
+    pub seed: Option<u64>,
+    /// Per-run deadline; overrides [`SessionConfig::job_timeout`].
+    pub timeout: Option<Duration>,
+    /// Caller-held cancellation handle (the serving layer arms one per
+    /// job so queued and running jobs can be aborted).
+    pub cancel: Option<CancelToken>,
+}
+
+impl AskOptions {
+    pub fn new() -> AskOptions {
+        AskOptions::default()
+    }
+
+    pub fn plan(mut self, plan: infera_agents::Plan) -> AskOptions {
+        self.plan = Some(plan);
+        self
+    }
+
+    pub fn semantic(mut self, level: SemanticLevel) -> AskOptions {
+        self.semantic = Some(level);
+        self
+    }
+
+    pub fn seed(mut self, salt: u64) -> AskOptions {
+        self.seed = Some(salt);
+        self
+    }
+
+    pub fn timeout(mut self, timeout: Duration) -> AskOptions {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    pub fn cancel_token(mut self, token: CancelToken) -> AskOptions {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Where a builder gets its ensemble from.
+enum EnsembleSource {
+    Root(PathBuf),
+    Manifest(Box<Manifest>),
+}
+
+/// Fluent constructor for [`InferA`] sessions.
+///
+/// Obtained from [`InferA::builder`] (ensemble directory on disk) or
+/// [`InferA::from_manifest`] (already-loaded manifest).
+pub struct SessionBuilder {
+    source: EnsembleSource,
+    work_dir: Option<PathBuf>,
+    config: SessionConfig,
+}
+
+impl SessionBuilder {
+    /// Directory receiving per-run databases and provenance stores.
+    pub fn work_dir(mut self, dir: impl AsRef<Path>) -> SessionBuilder {
+        self.work_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Replace the whole configuration.
+    pub fn config(mut self, config: SessionConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Shorthand for setting the master seed on the current config.
+    pub fn seed(mut self, seed: u64) -> SessionBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Shorthand for setting the behaviour profile on the current config.
+    pub fn profile(mut self, profile: BehaviorProfile) -> SessionBuilder {
+        self.config.profile = profile;
+        self
+    }
+
+    /// Shorthand for setting the run config on the current config.
+    pub fn run_config(mut self, run_config: RunConfig) -> SessionBuilder {
+        self.config.run_config = run_config;
+        self
+    }
+
+    /// Build the session: loads the manifest (when opening from disk)
+    /// and allocates the shared caches.
+    pub fn build(self) -> InferaResult<InferA> {
+        let manifest = match self.source {
+            EnsembleSource::Manifest(m) => *m,
+            EnsembleSource::Root(root) => Manifest::load(&root)?,
+        };
+        let work_dir = self.work_dir.ok_or_else(|| {
+            InferaError::invalid_input("SessionBuilder: work_dir is required (call .work_dir(..))")
+        })?;
+        let shared_cache = Arc::new(SharedEnsembleCache::new(
+            self.config.shared_cache_entries,
+        ));
+        // Resume run numbering past any run_NNNN dirs a previous session
+        // left in this work dir — reusing a run dir would hand the new
+        // run a database that already holds the old run's tables.
+        let next_run = existing_run_count(&work_dir);
+        Ok(InferA {
+            manifest: Arc::new(manifest),
+            work_dir,
+            config: self.config,
+            run_counter: Mutex::new(next_run),
+            shared_cache,
+        })
+    }
+}
+
+/// Highest `run_NNNN` index already present under `work_dir` (0 when the
+/// directory is empty or absent).
+fn existing_run_count(work_dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(work_dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix("run_"))
+                .and_then(|n| n.parse::<u64>().ok())
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 /// An InferA session bound to one ensemble.
+///
+/// `Send + Sync`: the serving layer shares one session across worker
+/// threads via `Arc<InferA>`.
 pub struct InferA {
-    manifest: Manifest,
+    manifest: Arc<Manifest>,
     work_dir: PathBuf,
     config: SessionConfig,
     run_counter: Mutex<u64>,
+    /// Decoded-batch cache shared by every run of this session.
+    shared_cache: Arc<SharedEnsembleCache>,
+}
+
+impl std::fmt::Debug for InferA {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferA")
+            .field("ensemble", &self.manifest.root)
+            .field("work_dir", &self.work_dir)
+            .field("seed", &self.config.seed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl InferA {
-    /// Create a session over an already-generated ensemble.
-    pub fn new(manifest: Manifest, work_dir: &Path, config: SessionConfig) -> InferA {
-        InferA {
-            manifest,
-            work_dir: work_dir.to_path_buf(),
-            config,
-            run_counter: Mutex::new(0),
+    /// Start building a session over an ensemble directory on disk.
+    pub fn builder(ensemble_root: impl AsRef<Path>) -> SessionBuilder {
+        SessionBuilder {
+            source: EnsembleSource::Root(ensemble_root.as_ref().to_path_buf()),
+            work_dir: None,
+            config: SessionConfig::default(),
         }
     }
 
+    /// Start building a session over an already-loaded manifest (e.g.
+    /// straight from `infera_hacc::generate`).
+    pub fn from_manifest(manifest: Manifest) -> SessionBuilder {
+        SessionBuilder {
+            source: EnsembleSource::Manifest(Box::new(manifest)),
+            work_dir: None,
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// Create a session over an already-generated ensemble.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `InferA::from_manifest(manifest).work_dir(..).config(..).build()`"
+    )]
+    pub fn new(manifest: Manifest, work_dir: &Path, config: SessionConfig) -> InferA {
+        InferA::from_manifest(manifest)
+            .work_dir(work_dir)
+            .config(config)
+            .build()
+            .expect("building from a manifest cannot fail")
+    }
+
     /// Open a session from an ensemble directory on disk.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `InferA::builder(ensemble_root).work_dir(..).config(..).build()`"
+    )]
     pub fn open(ensemble_root: &Path, work_dir: &Path, config: SessionConfig) -> AgentResult<InferA> {
-        let manifest = Manifest::load(ensemble_root).map_err(AgentError::from)?;
-        Ok(InferA::new(manifest, work_dir, config))
+        InferA::builder(ensemble_root)
+            .work_dir(work_dir)
+            .config(config)
+            .build()
+            .map_err(|e| infera_agents::AgentError::Fatal(e.to_string()))
     }
 
     /// The ensemble manifest.
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The shared decoded-batch cache (hit/miss counters for the serve
+    /// metrics).
+    pub fn shared_cache(&self) -> &Arc<SharedEnsembleCache> {
+        &self.shared_cache
     }
 
     fn next_run_dir(&self) -> (u64, PathBuf) {
@@ -88,35 +346,45 @@ impl InferA {
     ///
     /// The per-run seed derives from `(session seed, salt)` only — not
     /// from the run counter — so runs with explicit salts replay
-    /// identically even when the evaluation harness executes them in
-    /// parallel.
-    pub fn context_for_run(&self, salt: u64) -> AgentResult<Rc<AgentContext>> {
+    /// identically even when executed concurrently.
+    pub fn context_for_run(&self, salt: u64) -> InferaResult<Arc<AgentContext>> {
+        self.context_for(salt, &AskOptions::default())
+    }
+
+    fn context_for(&self, salt: u64, opts: &AskOptions) -> InferaResult<Arc<AgentContext>> {
         let (_, dir) = self.next_run_dir();
         let run_seed = self
             .config
             .seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(salt.wrapping_mul(0xD1B54A32D192ED03) | 1);
-        Ok(Rc::new(AgentContext::new(
+        let mut ctx = AgentContext::new(
             self.manifest.clone(),
             &dir,
             run_seed,
             self.config.profile.clone(),
             self.config.run_config,
-        )?))
+        )?;
+        ctx.shared_cache = Some(self.shared_cache.clone());
+        if let Some(token) = &opts.cancel {
+            ctx.cancel = token.clone();
+        }
+        if let Some(timeout) = opts.timeout.or(self.config.job_timeout) {
+            ctx.cancel.arm_deadline(timeout);
+        }
+        Ok(Arc::new(ctx))
     }
 
     /// Preview the planning stage for a question (no execution).
-    pub fn plan(&self, question: &str) -> AgentResult<(infera_agents::Intent, infera_agents::Plan)> {
+    pub fn plan(&self, question: &str) -> InferaResult<(infera_agents::Intent, infera_agents::Plan)> {
         let ctx = self.context_for_run(0x504C_414E)?; // "PLAN"
         Ok(infera_agents::plan_question(&ctx, question))
     }
 
     /// Ask a question end to end, estimating its semantic level from the
     /// wording (interactive use). Each successive ask uses a fresh salt.
-    pub fn ask(&self, question: &str) -> AgentResult<RunReport> {
-        let salt = *self.run_counter.lock();
-        self.ask_with_semantic(question, estimate_semantic_level(question), salt)
+    pub fn ask(&self, question: &str) -> InferaResult<RunReport> {
+        self.ask_opts(question, AskOptions::new())
     }
 
     /// Execute a user-reviewed (possibly edited) plan: the interactive
@@ -125,15 +393,8 @@ impl InferA {
         &self,
         question: &str,
         plan: infera_agents::Plan,
-    ) -> AgentResult<RunReport> {
-        let salt = *self.run_counter.lock();
-        let ctx = self.context_for_run(salt)?;
-        infera_agents::run_question_with_plan(
-            ctx,
-            question,
-            estimate_semantic_level(question),
-            plan,
-        )
+    ) -> InferaResult<RunReport> {
+        self.ask_opts(question, AskOptions::new().plan(plan))
     }
 
     /// Ask with an explicit semantic level and run salt (the evaluation
@@ -143,10 +404,20 @@ impl InferA {
         question: &str,
         semantic: SemanticLevel,
         salt: u64,
-    ) -> AgentResult<RunReport> {
-        let ctx = self.context_for_run(salt)?;
-        // Tag the run directory with its identity: under parallel
-        // evaluation the run_NNNN numbering is scheduling-dependent, so
+    ) -> InferaResult<RunReport> {
+        self.ask_opts(question, AskOptions::new().semantic(semantic).seed(salt))
+    }
+
+    /// The single ask entry point: every option (plan, semantic level,
+    /// run salt, deadline, cancellation) in one struct.
+    pub fn ask_opts(&self, question: &str, opts: AskOptions) -> InferaResult<RunReport> {
+        let semantic = opts
+            .semantic
+            .unwrap_or_else(|| estimate_semantic_level(question));
+        let salt = opts.seed.unwrap_or_else(|| *self.run_counter.lock());
+        let ctx = self.context_for(salt, &opts)?;
+        // Tag the run directory with its identity: under concurrent
+        // execution the run_NNNN numbering is scheduling-dependent, so
         // the marker is what attributes a provenance trail to a question.
         if let Some(run_dir) = ctx.prov.dir().parent() {
             let marker = serde_json::json!({
@@ -155,12 +426,16 @@ impl InferA {
                 "salt": salt,
                 "session_seed": self.config.seed,
             });
-            let marker_json = serde_json::to_string_pretty(&marker)
-                .map_err(|e| AgentError::Fatal(format!("run marker serialization: {e}")))?;
-            std::fs::write(run_dir.join("run.json"), marker_json)
-                .map_err(|e| AgentError::Fatal(e.to_string()))?;
+            let marker_json = serde_json::to_string_pretty(&marker)?;
+            std::fs::write(run_dir.join("run.json"), marker_json)?;
         }
-        infera_agents::run_question(ctx, question, semantic)
+        let report = match opts.plan {
+            Some(plan) => {
+                infera_agents::run_question_with_plan(ctx, question, semantic, plan)?
+            }
+            None => infera_agents::run_question(ctx, question, semantic)?,
+        };
+        Ok(report)
     }
 }
 
@@ -208,9 +483,11 @@ mod tests {
         let base = std::env::temp_dir().join("infera_session_tests").join(name);
         std::fs::remove_dir_all(&base).ok();
         let manifest = infera_hacc::generate(&EnsembleSpec::tiny(31), &base.join("ens")).unwrap();
-        let mut config = SessionConfig::default();
-        config.profile = BehaviorProfile::perfect();
-        InferA::new(manifest, &base.join("work"), config)
+        InferA::from_manifest(manifest)
+            .work_dir(base.join("work"))
+            .profile(BehaviorProfile::perfect())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -231,9 +508,42 @@ mod tests {
         let base = std::env::temp_dir().join("infera_session_tests/open");
         std::fs::remove_dir_all(&base).ok();
         infera_hacc::generate(&EnsembleSpec::tiny(33), &base.join("ens")).unwrap();
-        let s = InferA::open(&base.join("ens"), &base.join("work"), SessionConfig::default())
+        let s = InferA::builder(base.join("ens"))
+            .work_dir(base.join("work"))
+            .build()
             .unwrap();
         assert_eq!(s.manifest().n_sims, 2);
+    }
+
+    #[test]
+    fn builder_requires_work_dir() {
+        let base = std::env::temp_dir().join("infera_session_tests/nodir");
+        std::fs::remove_dir_all(&base).ok();
+        let manifest = infera_hacc::generate(&EnsembleSpec::tiny(35), &base.join("ens")).unwrap();
+        let err = InferA::from_manifest(manifest).build().unwrap_err();
+        assert_eq!(err.kind(), crate::errors::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn missing_ensemble_is_an_ensemble_error() {
+        let err = InferA::builder("/nonexistent/ensemble/path")
+            .work_dir("/tmp/unused")
+            .build()
+            .unwrap_err();
+        assert_eq!(err.kind(), crate::errors::ErrorKind::Ensemble);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let base = std::env::temp_dir().join("infera_session_tests/shims");
+        std::fs::remove_dir_all(&base).ok();
+        let manifest = infera_hacc::generate(&EnsembleSpec::tiny(37), &base.join("ens")).unwrap();
+        let s = InferA::new(manifest, &base.join("work"), SessionConfig::default());
+        assert_eq!(s.manifest().n_sims, 2);
+        let s2 = InferA::open(&base.join("ens"), &base.join("work2"), SessionConfig::default())
+            .unwrap();
+        assert_eq!(s2.manifest().n_sims, 2);
     }
 
     #[test]
@@ -246,6 +556,82 @@ mod tests {
         let base = std::env::temp_dir().join("infera_session_tests/separate/work");
         assert!(base.join("run_0001").is_dir());
         assert!(base.join("run_0002").is_dir());
+    }
+
+    #[test]
+    fn reopened_work_dir_resumes_run_numbering() {
+        let q = "What is the maximum fof_halo_mass at timestep 624 in simulation 1?";
+        let base = std::env::temp_dir().join("infera_session_tests/reopen");
+        std::fs::remove_dir_all(&base).ok();
+        let manifest = infera_hacc::generate(&EnsembleSpec::tiny(41), &base.join("ens")).unwrap();
+        let build = || {
+            InferA::from_manifest(manifest.clone())
+                .work_dir(base.join("work"))
+                .build()
+                .unwrap()
+        };
+        build().ask(q).unwrap();
+        // A fresh session over the same work dir must not hand run 1's
+        // database (tables already staged) to its first run.
+        let report = build().ask(q).unwrap();
+        assert!(report.completed, "{}", report.summary);
+        assert!(base.join("work/run_0001").is_dir());
+        assert!(base.join("work/run_0002").is_dir());
+    }
+
+    #[test]
+    fn ask_opts_equals_legacy_wrappers() {
+        let q = "What is the maximum fof_halo_mass at timestep 624 in simulation 1?";
+        let a = session("optseq_a")
+            .ask_with_semantic(q, SemanticLevel::Easy, 7)
+            .unwrap();
+        let b = session("optseq_b")
+            .ask_opts(q, AskOptions::new().semantic(SemanticLevel::Easy).seed(7))
+            .unwrap();
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.redos, b.redos);
+        assert_eq!(
+            a.result.as_ref().map(|f| f.to_csv_string()),
+            b.result.as_ref().map(|f| f.to_csv_string())
+        );
+    }
+
+    #[test]
+    fn zero_timeout_cancels_before_first_step() {
+        let s = session("deadline");
+        let err = s
+            .ask_opts(
+                "What is the maximum fof_halo_mass at timestep 624 in simulation 1?",
+                AskOptions::new().timeout(Duration::from_millis(0)),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), crate::errors::ErrorKind::Timeout);
+    }
+
+    #[test]
+    fn caller_cancel_token_aborts() {
+        let s = session("cancel");
+        let token = CancelToken::new();
+        token.cancel();
+        let err = s
+            .ask_opts(
+                "What is the maximum fof_halo_mass at timestep 624 in simulation 1?",
+                AskOptions::new().cancel_token(token),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), crate::errors::ErrorKind::Canceled);
+    }
+
+    #[test]
+    fn shared_cache_fills_and_hits_across_runs() {
+        let s = session("sharedcache");
+        let q = "What is the maximum fof_halo_mass at timestep 624 in simulation 1?";
+        s.ask_with_semantic(q, SemanticLevel::Easy, 1).unwrap();
+        let after_first = s.shared_cache().len();
+        assert!(after_first > 0, "first run fills the cache");
+        s.ask_with_semantic(q, SemanticLevel::Easy, 2).unwrap();
+        assert!(s.shared_cache().hit_count() > 0, "second run hits");
+        assert_eq!(s.shared_cache().len(), after_first, "no duplicate entries");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! Precise questions ("top 20 largest FoF halos from timestep 498 in
 //! simulation 0") produce identical data outputs across runs.
 
-use crate::session::{InferA, SessionConfig};
-use infera_agents::{AgentResult, ComputeKind, PlanStep};
+use crate::errors::InferaResult;
+use crate::session::InferA;
+use infera_agents::{ComputeKind, PlanStep};
 use infera_hacc::Manifest;
 use infera_llm::SemanticLevel;
 use std::collections::HashSet;
@@ -36,15 +37,11 @@ pub fn variability_study(
     work_dir: &Path,
     runs: usize,
     seed: u64,
-) -> AgentResult<VariabilityReport> {
-    let session = InferA::new(
-        manifest.clone(),
-        work_dir,
-        SessionConfig {
-            seed,
-            ..SessionConfig::default()
-        },
-    );
+) -> InferaResult<VariabilityReport> {
+    let session = InferA::from_manifest(manifest.clone())
+        .work_dir(work_dir)
+        .seed(seed)
+        .build()?;
 
     // Ambiguous question: inspect the plan each run and record the
     // strategy committed to.

@@ -107,8 +107,11 @@ where
         let dist = edit_distance(&lname, &lcand);
         let effective = if suffix_hit { dist.min(1) } else { dist };
         if effective <= budget {
+            // Ties break lexicographically so the suggestion (and any
+            // charged error message built from it) is independent of the
+            // candidate iteration order — callers pass HashMap keys.
             match best {
-                Some((d, _)) if d <= effective => {}
+                Some((d, c)) if d < effective || (d == effective && c <= cand) => {}
                 _ => best = Some((effective, cand)),
             }
         }
@@ -158,6 +161,17 @@ mod tests {
             suggest("center_x", cands),
             Some("fof_halo_center_x".to_string())
         );
+    }
+
+    #[test]
+    fn suggest_tie_break_is_order_independent() {
+        // "massa" and "masse" both sit at edit distance 1 from "mass";
+        // the lexicographically smaller one must win no matter how the
+        // candidates are ordered (callers pass HashMap keys).
+        let forward = ["massa", "masse"];
+        let reverse = ["masse", "massa"];
+        assert_eq!(suggest("mass", forward), Some("massa".to_string()));
+        assert_eq!(suggest("mass", forward), suggest("mass", reverse));
     }
 
     #[test]

@@ -162,6 +162,43 @@ pub struct Manifest {
 }
 
 impl Manifest {
+    /// Deterministic fingerprint of the ensemble's content identity:
+    /// an FNV-1a digest over the generation seed, shape, and per-file
+    /// inventory. The root path is deliberately excluded — the same
+    /// ensemble copied elsewhere keeps its fingerprint, while any change
+    /// to the data (regeneration, different spec) changes it. The serve
+    /// result cache keys on this to invalidate across ensemble swaps.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(&self.seed.to_le_bytes());
+        eat(&self.n_sims.to_le_bytes());
+        eat(&self.box_size.to_le_bytes());
+        eat(&(self.n_halos as u64).to_le_bytes());
+        eat(&(self.particles_per_step as u64).to_le_bytes());
+        for s in &self.steps {
+            eat(&s.to_le_bytes());
+        }
+        for p in &self.params {
+            for v in [p.f_sn, p.log_v_sn, p.log_t_agn, p.beta_bh, p.m_seed] {
+                eat(&v.to_le_bytes());
+            }
+        }
+        for f in &self.files {
+            eat(&f.sim.to_le_bytes());
+            eat(&f.step.to_le_bytes());
+            eat(f.kind.as_bytes());
+            eat(&f.n_rows.to_le_bytes());
+            eat(&f.n_bytes.to_le_bytes());
+        }
+        h
+    }
+
     /// Total bytes across all data files.
     pub fn total_bytes(&self) -> u64 {
         self.files.iter().map(|f| f.n_bytes).sum()
@@ -362,6 +399,16 @@ mod tests {
         let dir = std::env::temp_dir().join("infera_ensemble_tests").join(name);
         std::fs::remove_dir_all(&dir).ok();
         dir
+    }
+
+    #[test]
+    fn fingerprint_ignores_root_but_tracks_content() {
+        let a = crate::generate(&EnsembleSpec::tiny(7), &tmp_root("fp_a")).unwrap();
+        let b = crate::generate(&EnsembleSpec::tiny(7), &tmp_root("fp_b")).unwrap();
+        assert_ne!(a.root, b.root);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same print");
+        let c = crate::generate(&EnsembleSpec::tiny(8), &tmp_root("fp_c")).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different seed diverges");
     }
 
     #[test]

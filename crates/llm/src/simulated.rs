@@ -32,6 +32,12 @@ pub struct SimulatedLlm {
     meter: TokenMeter,
     rng: Mutex<ChaCha12Rng>,
     tracer: Option<Tracer>,
+    /// Fraction of each call's virtual latency actually slept (0.0 =
+    /// record only). The serving benchmark uses this so concurrent
+    /// sessions overlap model waits the way a real API-backed deployment
+    /// does; sleeping never consumes randomness, so results are
+    /// identical at any scale.
+    sleep_scale: f64,
 }
 
 impl SimulatedLlm {
@@ -42,6 +48,7 @@ impl SimulatedLlm {
             meter,
             rng: Mutex::new(ChaCha12Rng::seed_from_u64(seed)),
             tracer: None,
+            sleep_scale: 0.0,
         }
     }
 
@@ -51,6 +58,20 @@ impl SimulatedLlm {
     pub fn with_tracer(mut self, tracer: Tracer) -> SimulatedLlm {
         self.tracer = Some(tracer);
         self
+    }
+
+    /// Sleep `scale` × the virtual latency on every model call (0.0
+    /// disables sleeping, the default).
+    pub fn with_latency_sleep(mut self, scale: f64) -> SimulatedLlm {
+        self.sleep_scale = scale.max(0.0);
+        self
+    }
+
+    fn simulate_wait(&self, latency_ms: u64) {
+        if self.sleep_scale > 0.0 {
+            let ms = (latency_ms as f64 * self.sleep_scale).min(10_000.0);
+            std::thread::sleep(std::time::Duration::from_micros((ms * 1000.0) as u64));
+        }
     }
 
     fn trace_call(&self, agent: &str, prompt_tokens: u64, completion_tokens: u64, latency_ms: u64) {
@@ -87,6 +108,7 @@ impl SimulatedLlm {
             .wrapping_add(salt.wrapping_mul(0xD1B54A32D192ED03) | 1);
         let mut child = SimulatedLlm::new(child_seed, self.profile.clone(), self.meter.clone());
         child.tracer = self.tracer.clone();
+        child.sleep_scale = self.sleep_scale;
         child
     }
 
@@ -251,6 +273,7 @@ impl SimulatedLlm {
         let ct = approx_tokens(response);
         self.meter.record(agent, pt, ct, latency);
         self.trace_call(agent, pt, ct, latency);
+        self.simulate_wait(latency);
         pt + ct
     }
 }
@@ -276,6 +299,7 @@ impl LanguageModel for SimulatedLlm {
         self.meter
             .record(&req.agent, prompt_tokens, completion_tokens, latency_ms);
         self.trace_call(&req.agent, prompt_tokens, completion_tokens, latency_ms);
+        self.simulate_wait(latency_ms);
         CompletionResponse {
             text,
             prompt_tokens,

@@ -1,0 +1,276 @@
+//! The `infera bench-serve` harness.
+//!
+//! Runs the paper's 20-question evaluation set through the scheduler at
+//! several worker counts over the **same** ensemble and seed, then
+//! checks that every question's report digest is identical across
+//! configurations — concurrency must change throughput, never answers.
+//!
+//! Each question is submitted once per configuration with a fixed salt
+//! derived from its question id, so `(session seed, salt)` — and hence
+//! the analytical output — is constant across worker counts.
+
+use crate::job::{JobSpec, JobStatus};
+use crate::scheduler::{metric_names, Scheduler, ServeConfig};
+use infera_core::{question_set, InferA, InferaError, InferaResult, SessionConfig};
+use infera_hacc::Manifest;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Benchmark options.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Worker counts to sweep (first entry is the serial baseline).
+    pub worker_counts: Vec<usize>,
+    /// `RunConfig::llm_sleep_scale` for every run: fraction of the
+    /// simulated model's virtual latency actually slept, so sessions
+    /// overlap model waits the way real deployments do. 0 disables.
+    pub sleep_scale: f64,
+    /// Question subset size (0 = the full 20-question set).
+    pub max_questions: usize,
+    pub seed: u64,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            worker_counts: vec![1, 4, 8],
+            sleep_scale: 0.04,
+            max_questions: 0,
+            seed: 42,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Fast gate for CI: few questions, no latency sleeps, 1-vs-4
+    /// workers. Still fails on any concurrent-vs-serial divergence.
+    pub fn smoke() -> BenchOpts {
+        BenchOpts {
+            worker_counts: vec![1, 4],
+            sleep_scale: 0.0,
+            max_questions: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// One worker-count configuration's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerRow {
+    pub workers: usize,
+    /// Submit-to-drained wall clock for the whole question set (ms).
+    pub wall_ms: u64,
+    pub throughput_qpm: f64,
+    /// Client-observed latency (queue + run), ms.
+    pub p50_ms: u64,
+    pub p95_ms: u64,
+    pub speedup_vs_serial: f64,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub cache_hits: u64,
+    /// Decoded-batch cache hits across the configuration's runs.
+    pub shared_cache_hits: u64,
+}
+
+/// `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchServeReport {
+    pub questions: usize,
+    pub seed: u64,
+    pub sleep_scale: f64,
+    pub ensemble_fingerprint: String,
+    pub rows: Vec<WorkerRow>,
+    /// Every question produced the same digest at every worker count.
+    pub digests_match: bool,
+    /// Question ids whose digests diverged (empty when `digests_match`).
+    pub divergent_questions: Vec<u32>,
+}
+
+impl BenchServeReport {
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-serve: {} questions, sleep_scale {}, digests {}",
+            self.questions,
+            self.sleep_scale,
+            if self.digests_match { "IDENTICAL" } else { "DIVERGED" },
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>12} {:>9} {:>9} {:>9}",
+            "workers", "wall_ms", "qpm", "p50_ms", "p95_ms", "speedup"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>10} {:>12.2} {:>9} {:>9} {:>8.2}x",
+                row.workers,
+                row.wall_ms,
+                row.throughput_qpm,
+                row.p50_ms,
+                row.p95_ms,
+                row.speedup_vs_serial
+            );
+        }
+        out
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Run the sweep. `work_root` receives one work dir per configuration.
+pub fn run_bench(
+    manifest: &Manifest,
+    work_root: &Path,
+    opts: &BenchOpts,
+) -> InferaResult<BenchServeReport> {
+    let mut questions = question_set();
+    if opts.max_questions > 0 {
+        questions.truncate(opts.max_questions);
+    }
+    if questions.is_empty() || opts.worker_counts.is_empty() {
+        return Err(InferaError::invalid_input(
+            "bench-serve needs at least one question and one worker count",
+        ));
+    }
+
+    let mut rows: Vec<WorkerRow> = Vec::new();
+    // digests[i] = per-question digests at worker_counts[i].
+    let mut digests: Vec<Vec<(u32, u64)>> = Vec::new();
+
+    for &workers in &opts.worker_counts {
+        let work = work_root.join(format!("workers_{workers}"));
+        std::fs::remove_dir_all(&work).ok();
+        let mut run_config = infera_agents::RunConfig::default();
+        run_config.llm_sleep_scale = opts.sleep_scale;
+        let session = Arc::new(
+            InferA::from_manifest(manifest.clone())
+                .work_dir(&work)
+                .config(
+                    SessionConfig::default()
+                        .with_seed(opts.seed)
+                        .with_run_config(run_config),
+                )
+                .build()?,
+        );
+        let sched = Scheduler::new(
+            session.clone(),
+            ServeConfig {
+                workers,
+                queue_capacity: questions.len().max(1),
+            },
+        );
+        let started = Instant::now();
+        for q in &questions {
+            let spec = JobSpec::new(&q.text, u64::from(q.id) * 1000).semantic(q.semantic);
+            sched
+                .submit_spec(spec)
+                .map_err(|r| InferaError::internal(format!("bench admission failed: {r}")))?;
+        }
+        let salts: Vec<(u64, u32)> = questions
+            .iter()
+            .map(|q| (u64::from(q.id) * 1000, q.id))
+            .collect();
+        let metrics = sched.metrics().clone();
+        let results = sched.shutdown();
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let shared_hits = session.shared_cache().hit_count();
+
+        let mut latencies: Vec<u64> =
+            results.iter().map(|r| r.queue_ms + r.run_ms).collect();
+        latencies.sort_unstable();
+        let failed = results
+            .iter()
+            .filter(|r| matches!(r.status, JobStatus::Failed(_)))
+            .count() as u64;
+        let serial_wall = rows.first().map_or(wall_ms, |r: &WorkerRow| r.wall_ms);
+        rows.push(WorkerRow {
+            workers,
+            wall_ms,
+            throughput_qpm: results.len() as f64 / (wall_ms.max(1) as f64 / 60_000.0),
+            p50_ms: percentile(&latencies, 0.50),
+            p95_ms: percentile(&latencies, 0.95),
+            speedup_vs_serial: serial_wall as f64 / wall_ms.max(1) as f64,
+            jobs_completed: metrics.counter(metric_names::JOBS_COMPLETED),
+            jobs_failed: failed,
+            cache_hits: metrics.counter(metric_names::CACHE_HITS),
+            shared_cache_hits: shared_hits,
+        });
+        digests.push(
+            results
+                .iter()
+                .map(|r| {
+                    let qid = salts
+                        .iter()
+                        .find(|(salt, _)| *salt == r.salt)
+                        .map_or(0, |(_, id)| *id);
+                    (qid, r.digest)
+                })
+                .collect(),
+        );
+    }
+
+    // Compare every configuration's digests against the first (serial).
+    let mut divergent: Vec<u32> = Vec::new();
+    let baseline = &digests[0];
+    for config in &digests[1..] {
+        for (qid, digest) in config {
+            let base = baseline
+                .iter()
+                .find(|(b_qid, _)| b_qid == qid)
+                .map(|(_, d)| *d);
+            if base != Some(*digest) && !divergent.contains(qid) {
+                divergent.push(*qid);
+            }
+        }
+    }
+    divergent.sort_unstable();
+
+    Ok(BenchServeReport {
+        questions: questions.len(),
+        seed: opts.seed,
+        sleep_scale: opts.sleep_scale,
+        ensemble_fingerprint: format!("{:016x}", manifest.fingerprint()),
+        rows,
+        digests_match: divergent.is_empty(),
+        divergent_questions: divergent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_hacc::EnsembleSpec;
+
+    #[test]
+    fn smoke_bench_digests_agree() {
+        let base = std::env::temp_dir().join("infera_serve_bench_tests/smoke");
+        std::fs::remove_dir_all(&base).ok();
+        let manifest =
+            infera_hacc::generate(&EnsembleSpec::tiny(71), &base.join("ens")).unwrap();
+        let mut opts = BenchOpts::smoke();
+        opts.max_questions = 3;
+        let report = run_bench(&manifest, &base.join("work"), &opts).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert!(
+            report.digests_match,
+            "divergent questions: {:?}",
+            report.divergent_questions
+        );
+        assert_eq!(report.rows[0].workers, 1);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("throughput_qpm"));
+        let text = report.to_text();
+        assert!(text.contains("IDENTICAL"));
+    }
+}

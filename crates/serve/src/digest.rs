@@ -1,0 +1,54 @@
+//! Deterministic report digests.
+//!
+//! A [`RunReport`] mixes analytical output (the result frame, token
+//! accounting, quality flags) with measurement (wall-clock times,
+//! timing histograms). Only the former is reproducible across
+//! schedulers, so the digest covers exactly the fields that must be
+//! bit-identical between a serial run and any concurrent run with the
+//! same `(session seed, salt)`.
+
+use infera_agents::RunReport;
+
+/// FNV-1a, the workspace's content-hash idiom.
+fn fnv64(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn feed_u64(h: &mut u64, v: u64) {
+    fnv64(h, &v.to_le_bytes());
+}
+
+/// Digest the deterministic fields of a report.
+///
+/// Excluded by design: `wall_ms`, `stage_costs` (wall times), `metrics`
+/// (timing histograms), and `trace` — all measure the machine, not the
+/// analysis.
+pub fn report_digest(report: &RunReport) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    fnv64(&mut h, report.question.as_bytes());
+    feed_u64(&mut h, report.plan_steps as u64);
+    feed_u64(&mut h, u64::from(report.completed));
+    feed_u64(&mut h, report.completion_fraction.to_bits());
+    feed_u64(&mut h, u64::from(report.redos));
+    feed_u64(&mut h, u64::from(report.satisfactory_data));
+    feed_u64(&mut h, u64::from(report.satisfactory_viz));
+    feed_u64(&mut h, report.tokens);
+    feed_u64(&mut h, report.llm_latency_ms);
+    feed_u64(&mut h, report.storage_bytes);
+    feed_u64(&mut h, report.storage_logical_bytes);
+    feed_u64(&mut h, u64::from(report.flags.wrong_tool));
+    feed_u64(&mut h, u64::from(report.flags.bad_analysis));
+    feed_u64(&mut h, u64::from(report.flags.bad_viz));
+    match &report.result {
+        Some(frame) => fnv64(&mut h, frame.to_csv_string().as_bytes()),
+        None => feed_u64(&mut h, 0),
+    }
+    for viz in &report.visualizations {
+        fnv64(&mut h, viz.0.as_bytes());
+    }
+    fnv64(&mut h, report.summary.as_bytes());
+    h
+}

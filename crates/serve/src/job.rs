@@ -1,0 +1,133 @@
+//! Job descriptions and results flowing through the scheduler.
+
+use infera_agents::RunReport;
+use infera_core::InferaError;
+use infera_llm::SemanticLevel;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One question submitted to the serving layer.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub question: String,
+    /// Explicit semantic level; `None` estimates it from the wording.
+    pub semantic: Option<SemanticLevel>,
+    /// Run salt: jobs with the same `(session seed, salt)` replay
+    /// identically, and the salt is part of the result-cache key.
+    pub salt: u64,
+    /// Per-job deadline; overrides the session's default `job_timeout`.
+    pub timeout: Option<Duration>,
+}
+
+impl JobSpec {
+    pub fn new(question: impl Into<String>, salt: u64) -> JobSpec {
+        JobSpec {
+            question: question.into(),
+            semantic: None,
+            salt,
+            timeout: None,
+        }
+    }
+
+    pub fn semantic(mut self, level: SemanticLevel) -> JobSpec {
+        self.semantic = Some(level);
+        self
+    }
+
+    pub fn timeout(mut self, timeout: Duration) -> JobSpec {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Why the scheduler refused a submission. Returned to the caller
+/// immediately (admission control) — submissions never block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded job queue is at capacity; retry after a completion.
+    QueueFull { capacity: usize },
+    /// The scheduler has begun shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            RejectReason::ShuttingDown => write!(f, "scheduler shutting down"),
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// The workflow ran (or was answered from the result cache).
+    Done(Arc<RunReport>),
+    /// The workflow failed, timed out, or was canceled.
+    Failed(InferaError),
+}
+
+/// A finished job, delivered in completion order.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Scheduler-assigned id (submission order, starting at 1).
+    pub id: u64,
+    pub question: String,
+    pub salt: u64,
+    pub status: JobStatus,
+    /// Digest of the report's deterministic fields (0 on failure); equal
+    /// digests mean bit-identical analytical output.
+    pub digest: u64,
+    /// Answered from the result cache without running the workflow.
+    pub cache_hit: bool,
+    /// Time spent queued before a worker picked the job up (ms).
+    pub queue_ms: u64,
+    /// Time on the worker, admission to completion (ms).
+    pub run_ms: u64,
+}
+
+impl JobResult {
+    pub fn report(&self) -> Option<&Arc<RunReport>> {
+        match &self.status {
+            JobStatus::Done(report) => Some(report),
+            JobStatus::Failed(_) => None,
+        }
+    }
+
+    /// One-line JSON summary (the `infera serve` output format).
+    pub fn to_summary_json(&self) -> String {
+        let v = match &self.status {
+            JobStatus::Done(report) => serde_json::json!({
+                "id": self.id,
+                "question": self.question,
+                "salt": self.salt,
+                "digest": format!("{:016x}", self.digest),
+                "cache_hit": self.cache_hit,
+                "queue_ms": self.queue_ms,
+                "run_ms": self.run_ms,
+                "ok": true,
+                "completed": report.completed,
+                "redos": report.redos,
+                "tokens": report.tokens,
+                "result_rows": report.result.as_ref().map_or(0, |f| f.n_rows()),
+                "visualizations": report.visualizations.len(),
+            }),
+            JobStatus::Failed(err) => serde_json::json!({
+                "id": self.id,
+                "question": self.question,
+                "salt": self.salt,
+                "digest": format!("{:016x}", self.digest),
+                "cache_hit": self.cache_hit,
+                "queue_ms": self.queue_ms,
+                "run_ms": self.run_ms,
+                "ok": false,
+                "error_kind": err.kind().label(),
+                "error": err.to_string(),
+            }),
+        };
+        serde_json::to_string(&v).unwrap_or_default()
+    }
+}

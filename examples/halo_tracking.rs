@@ -22,15 +22,12 @@ fn main() {
     let manifest = infera::hacc::generate(&spec, &base.join("ensemble")).unwrap();
 
     // --- Path 1: natural language through the full multi-agent system.
-    let session = InferA::new(
-        manifest.clone(),
-        &base.join("work"),
-        SessionConfig {
-            seed: 4,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest.clone())
+        .work_dir(base.join("work"))
+        .seed(4)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .expect("session");
     let report = session
         .ask("Can you plot the change in mass of the largest friends-of-friends halos for all timesteps in all simulations? Provide me two plots using both fof_halo_count and fof_halo_mass as metrics for mass.")
         .expect("tracking run");

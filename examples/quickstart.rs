@@ -29,15 +29,12 @@ fn main() {
     // 2. Open a session. The default config uses the calibrated GPT-4o
     //    behaviour profile; `BehaviorProfile::perfect()` disables error
     //    injection for deterministic demos.
-    let session = InferA::new(
-        manifest,
-        &base.join("work"),
-        SessionConfig {
-            seed: 42,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(base.join("work"))
+        .seed(42)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .expect("session");
 
     // 3. Preview the planning stage (what the user reviews and approves).
     let question =

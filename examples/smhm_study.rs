@@ -40,15 +40,12 @@ fn main() {
         .map(|(i, _)| i)
         .unwrap();
 
-    let session = InferA::new(
-        manifest,
-        &base.join("work"),
-        SessionConfig {
-            seed: 17,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(base.join("work"))
+        .seed(17)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .expect("session");
     let report = session
         .ask("At timestep 624, how does the slope and intrinsic scatter of the stellar-to-halo mass (SMHM) relation vary as a function of seed mass? Which seed mass values produce the tightest SMHM correlation, and is there a threshold seed mass that maximizes stellar-mass assembly efficiency?")
         .expect("smhm run");

@@ -28,6 +28,10 @@ cargo test -q
 if [ "$run_clippy" -eq 1 ]; then
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace -- -D warnings
+    # The serving layer is lint-gated on its own: concurrency code is
+    # where a stray clippy allowance hides real bugs.
+    echo "==> cargo clippy -p infera-serve -- -D warnings"
+    cargo clippy -p infera-serve -- -D warnings
 fi
 
 if [ "$run_bench" -eq 1 ]; then
@@ -55,6 +59,15 @@ print(
     % (s["disk_reduction_filtered_scan"], s["worst_time_ratio"], s["worst_time_ratio_op"])
 )
 EOF
+
+    echo "==> bench-serve --smoke (concurrent-vs-serial digest gate)"
+    serve_out="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
+    # bench-serve exits non-zero if any concurrent run's report digest
+    # diverges from the serial baseline — determinism under concurrency
+    # is part of the gate, not just throughput.
+    cargo run --release --bin infera -- bench-serve --smoke --out "$serve_out" \
+        --work "$(mktemp -d -t bench_serve_work.XXXXXX)"
+    rm -f "$serve_out"
 fi
 
 echo "verify: OK"

@@ -4,14 +4,19 @@
 //! infera generate --out ens --sims 4 --steps 16 --halos 2000 --particles 20000
 //! infera plan     --ensemble ens "top 20 largest halos at timestep 498 in simulation 0"
 //! infera ask      --ensemble ens --work work [--perfect] [--feedback] "<question>"
+//! infera serve    --ensemble ens --work work --workers 4   # questions on stdin
+//! infera bench-serve [--smoke] [--out BENCH_serve.json]
 //! infera questions
 //! infera audit    --run work/run_0001
 //! ```
 
 use infera::prelude::*;
-use std::io::Write;
+use infera::serve::{BenchOpts, RejectReason, Scheduler, ServeConfig};
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Print to stdout, exiting quietly when the reader hangs up (`infera
 /// questions | head` must not panic on the broken pipe).
@@ -24,6 +29,40 @@ macro_rules! out {
     }};
 }
 
+/// CLI failure: either a usage problem or a typed InferA error, so exit
+/// messages carry the stable error kind instead of a stringly chain.
+enum CliError {
+    Usage(String),
+    Infera(InferaError),
+}
+
+impl From<InferaError> for CliError {
+    fn from(e: InferaError) -> CliError {
+        CliError::Infera(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Infera(e) => write!(f, "[{}] {}", e.kind().label(), e.message()),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -34,13 +73,15 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "plan" => cmd_plan(&args[1..]),
         "ask" => cmd_ask(&args[1..]),
-        "questions" => cmd_questions(),
+        "serve" => cmd_serve(&args[1..]),
+        "bench-serve" => cmd_bench_serve(&args[1..]),
+        "questions" => cmd_questions(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "--help" | "-h" | "help" => {
             out!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        other => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -61,13 +102,24 @@ USAGE:
       Preview the analysis plan for a question (planning stage only);
       --save writes it as editable JSON.
   infera ask --ensemble <dir> [--work <dir>] [--seed N] [--perfect] [--feedback]
-             [--plan <file>] [--breakdown] \"<question>\"
+             [--plan <file>] [--timeout-secs N] [--breakdown] \"<question>\"
       Run the full two-stage workflow. --perfect disables model error
       injection; --feedback simulates a human in the loop; --plan executes
       a user-edited plan saved by `plan --save`; --breakdown prints the
       per-stage cost profile derived from the run trace.
-  infera questions
-      List the 20-question evaluation set with difficulty labels.
+  infera serve --ensemble <dir> [--work <dir>] [--workers N] [--queue N]
+               [--seed N] [--perfect] [--timeout-secs N]
+      Serve line-delimited questions from stdin concurrently over one
+      shared session; one JSON result summary per line on stdout.
+  infera bench-serve [--smoke] [--out <file>] [--ensemble <dir>] [--work <dir>]
+                     [--sleep-scale X] [--seed N]
+      Benchmark the serving layer on the 20-question evaluation set at
+      1/4/8 workers and write BENCH_serve.json. Fails if any concurrent
+      run's report diverges from the serial baseline. --smoke is the
+      fast CI gate (fewer questions, no model-latency sleeps).
+  infera questions [--bare]
+      List the 20-question evaluation set with difficulty labels;
+      --bare prints only the text, one per line (pipe into `serve`).
   infera audit --run <dir>
       Print the provenance audit trail of a finished run directory.";
 
@@ -78,9 +130,11 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, CliError> {
     match flag_value(args, name) {
-        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad value for {name}: {v}"))),
         None => Ok(default),
     }
 }
@@ -92,15 +146,15 @@ fn has_flag(args: &[String], name: &str) -> bool {
 /// Flags that take a value.
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--sims", "--steps", "--halos", "--particles", "--seed", "--ensemble", "--work",
-    "--run", "--save", "--plan",
+    "--run", "--save", "--plan", "--workers", "--queue", "--timeout-secs", "--sleep-scale",
 ];
 /// Boolean flags.
-const BOOL_FLAGS: &[&str] = &["--perfect", "--feedback", "--breakdown"];
+const BOOL_FLAGS: &[&str] = &["--perfect", "--feedback", "--breakdown", "--smoke", "--bare"];
 
 /// The trailing free argument (the question text). Unknown flags are an
 /// error — silently treating them as value-taking would swallow the
 /// question.
-fn free_text(args: &[String]) -> Result<Option<String>, String> {
+fn free_text(args: &[String]) -> Result<Option<String>, CliError> {
     let mut skip_next = false;
     let mut free = Vec::new();
     for a in args {
@@ -112,7 +166,7 @@ fn free_text(args: &[String]) -> Result<Option<String>, String> {
             if VALUE_FLAGS.contains(&a.as_str()) {
                 skip_next = true;
             } else if !BOOL_FLAGS.contains(&a.as_str()) {
-                return Err(format!("unknown flag '{a}'"));
+                return Err(CliError::Usage(format!("unknown flag '{a}'")));
             }
             continue;
         }
@@ -121,7 +175,7 @@ fn free_text(args: &[String]) -> Result<Option<String>, String> {
     Ok((!free.is_empty()).then(|| free.join(" ")))
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let out = flag_value(args, "--out").ok_or("generate requires --out <dir>")?;
     let sims: usize = flag_num(args, "--sims", 4)?;
     let steps: usize = flag_num(args, "--steps", 16)?;
@@ -139,8 +193,8 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         seed,
         particle_block_rows: 16_384,
     };
-    let manifest =
-        infera::hacc::generate(&spec, PathBuf::from(&out).as_path()).map_err(|e| e.to_string())?;
+    let manifest = infera::hacc::generate(&spec, PathBuf::from(&out).as_path())
+        .map_err(InferaError::from)?;
     out!(
         "generated {} simulations x {} snapshots under {out} ({:.1} MB)",
         manifest.n_sims,
@@ -150,58 +204,62 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn session_from(args: &[String]) -> Result<InferA, String> {
-    let ens = flag_value(args, "--ensemble").ok_or("missing --ensemble <dir>")?;
-    let work = flag_value(args, "--work").unwrap_or_else(|| "infera-work".into());
+/// Session configuration shared by ask/plan/serve.
+fn config_from(args: &[String]) -> Result<SessionConfig, CliError> {
     let seed: u64 = flag_num(args, "--seed", 42)?;
-    let mut config = SessionConfig {
-        seed,
-        ..SessionConfig::default()
-    };
+    let mut config = SessionConfig::default().with_seed(seed);
     if has_flag(args, "--perfect") {
-        config.profile = BehaviorProfile::perfect();
+        config = config.with_profile(BehaviorProfile::perfect());
     }
     if has_flag(args, "--feedback") {
-        config.run_config.human_feedback = true;
+        let mut run_config = config.run_config;
+        run_config.human_feedback = true;
+        config = config.with_run_config(run_config);
     }
-    InferA::open(
-        PathBuf::from(&ens).as_path(),
-        PathBuf::from(&work).as_path(),
-        config,
-    )
-    .map_err(|e| e.to_string())
+    let timeout_secs: u64 = flag_num(args, "--timeout-secs", 0)?;
+    if timeout_secs > 0 {
+        config = config.with_job_timeout(Duration::from_secs(timeout_secs));
+    }
+    Ok(config)
 }
 
-fn cmd_plan(args: &[String]) -> Result<(), String> {
+fn session_from(args: &[String]) -> Result<InferA, CliError> {
+    let ens = flag_value(args, "--ensemble").ok_or("missing --ensemble <dir>")?;
+    let work = flag_value(args, "--work").unwrap_or_else(|| "infera-work".into());
+    Ok(InferA::builder(&ens)
+        .work_dir(&work)
+        .config(config_from(args)?)
+        .build()?)
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), CliError> {
     let question = free_text(args)?.ok_or("plan requires a question")?;
     let session = session_from(args)?;
-    let (intent, plan) = session.plan(&question).map_err(|e| e.to_string())?;
+    let (intent, plan) = session.plan(&question)?;
     out!("## Extracted intent\n{intent:#?}\n");
     out!("## Proposed plan ({} analysis steps)\n{}", plan.n_analysis_steps(), plan.to_text());
     out!("rationale: {}", plan.rationale);
     if let Some(path) = flag_value(args, "--save") {
-        let json = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
-        std::fs::write(&path, json).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&plan).map_err(InferaError::from)?;
+        std::fs::write(&path, json).map_err(InferaError::from)?;
         out!("plan saved to {path} — edit it and run: infera ask --plan {path} ...");
     }
     Ok(())
 }
 
-fn cmd_ask(args: &[String]) -> Result<(), String> {
+fn cmd_ask(args: &[String]) -> Result<(), CliError> {
     let question = free_text(args)?.ok_or("ask requires a question")?;
     let session = session_from(args)?;
     let report = match flag_value(args, "--plan") {
         Some(path) => {
             // The user-reviewed/edited plan (from `plan --save`).
             let json = std::fs::read_to_string(&path)
-                .map_err(|e| format!("read {path}: {e}"))?;
-            let plan: infera::agents::Plan =
-                serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
-            session
-                .ask_with_plan(&question, plan)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| CliError::Usage(format!("read {path}: {e}")))?;
+            let plan: infera::agents::Plan = serde_json::from_str(&json)
+                .map_err(|e| CliError::Usage(format!("parse {path}: {e}")))?;
+            session.ask_with_plan(&question, plan)?
         }
-        None => session.ask(&question).map_err(|e| e.to_string())?,
+        None => session.ask(&question)?,
     };
     out!("{}", report.summary);
     if let Some(result) = &report.result {
@@ -234,8 +292,129 @@ fn cmd_ask(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_questions() -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let workers: usize = flag_num(args, "--workers", 4)?;
+    let queue: usize = flag_num(args, "--queue", 64)?;
+    let session = Arc::new(session_from(args)?);
+    let sched = Scheduler::new(
+        session,
+        ServeConfig {
+            workers,
+            queue_capacity: queue,
+        },
+    );
+    eprintln!("serving on {workers} workers (queue capacity {queue}); questions on stdin, one per line");
+    let stdin = std::io::stdin();
+    let mut delivered = 0u64;
+    let mut submitted = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(InferaError::from)?;
+        let question = line.trim();
+        if question.is_empty() {
+            continue;
+        }
+        // Admission control: a full queue pushes back on stdin by
+        // draining one finished result before retrying.
+        loop {
+            match sched.submit(question) {
+                Ok(_) => {
+                    submitted += 1;
+                    break;
+                }
+                Err(RejectReason::QueueFull { .. }) => {
+                    if let Some(result) = sched.next_result() {
+                        delivered += 1;
+                        out!("{}", result.to_summary_json());
+                    }
+                }
+                Err(reason) => {
+                    return Err(CliError::Usage(format!("submission refused: {reason}")))
+                }
+            }
+        }
+        while let Some(result) = sched.try_next_result() {
+            delivered += 1;
+            out!("{}", result.to_summary_json());
+        }
+    }
+    let metrics = sched.metrics().clone();
+    for result in sched.shutdown() {
+        delivered += 1;
+        out!("{}", result.to_summary_json());
+    }
+    eprintln!(
+        "served {delivered}/{submitted} jobs (accepted {}, rejected {}, cache hits {})",
+        metrics.counter(infera::serve::scheduler::metric_names::JOBS_ACCEPTED),
+        metrics.counter(infera::serve::scheduler::metric_names::JOBS_REJECTED),
+        metrics.counter(infera::serve::scheduler::metric_names::CACHE_HITS),
+    );
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
+    let smoke = has_flag(args, "--smoke");
+    let out_path = flag_value(args, "--out")
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let work = PathBuf::from(
+        flag_value(args, "--work").unwrap_or_else(|| "target/bench-serve".to_string()),
+    );
+    let manifest = match flag_value(args, "--ensemble") {
+        Some(dir) => Manifest::load(PathBuf::from(&dir).as_path()).map_err(InferaError::from)?,
+        None => {
+            // A deterministic benchmark ensemble, reused across runs.
+            let root = work.join("ens");
+            let spec = EnsembleSpec {
+                n_sims: 4,
+                steps: EnsembleSpec::evenly_spaced_steps(8),
+                sim: infera::hacc::SimConfig {
+                    n_halos: 600,
+                    particles_per_step: 3_000,
+                    ..Default::default()
+                },
+                seed: 2025,
+                particle_block_rows: 4_096,
+            };
+            match Manifest::load(&root) {
+                Ok(m) if m.seed == spec.seed && m.n_sims as usize == spec.n_sims => m,
+                _ => {
+                    std::fs::remove_dir_all(&root).ok();
+                    infera::hacc::generate(&spec, &root).map_err(InferaError::from)?
+                }
+            }
+        }
+    };
+    let mut opts = if smoke { BenchOpts::smoke() } else { BenchOpts::default() };
+    opts.seed = flag_num(args, "--seed", opts.seed)?;
+    opts.sleep_scale = flag_num(args, "--sleep-scale", opts.sleep_scale)?;
+    eprintln!(
+        "bench-serve: {} questions x workers {:?}, sleep_scale {} ...",
+        if opts.max_questions == 0 { 20 } else { opts.max_questions },
+        opts.worker_counts,
+        opts.sleep_scale
+    );
+    let report = infera::serve::run_bench(&manifest, &work.join("runs"), &opts)?;
+    out!("{}", report.to_text());
+    let json = serde_json::to_string_pretty(&report).map_err(InferaError::from)?;
+    std::fs::write(&out_path, json).map_err(InferaError::from)?;
+    out!("wrote {out_path}");
+    if !report.digests_match {
+        return Err(CliError::Usage(format!(
+            "concurrent runs diverged from the serial baseline on questions {:?}",
+            report.divergent_questions
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_questions(args: &[String]) -> Result<(), CliError> {
+    // --bare prints only the question text, one per line — the input
+    // format `infera serve` reads on stdin.
+    let bare = has_flag(args, "--bare");
     for q in infera::core::question_set() {
+        if bare {
+            out!("{}", q.text);
+            continue;
+        }
         out!(
             "Q{:<3} analysis={:<6} semantic={:<6} {:<22} {}",
             q.id,
@@ -248,20 +427,20 @@ fn cmd_questions() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_audit(args: &[String]) -> Result<(), String> {
+fn cmd_audit(args: &[String]) -> Result<(), CliError> {
     let run = flag_value(args, "--run").ok_or("audit requires --run <dir>")?;
     let prov_dir = PathBuf::from(&run).join("provenance");
     if !prov_dir.join("events.jsonl").is_file() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "no provenance trail at {} (is --run a finished run directory?)",
             prov_dir.display()
-        ));
+        )));
     }
     let store = infera::provenance::ProvenanceStore::create(&prov_dir)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Usage(e.to_string()))?;
     out!("{}", store.audit_report());
-    let checkpoints =
-        infera::provenance::list_checkpoints(&store).map_err(|e| e.to_string())?;
+    let checkpoints = infera::provenance::list_checkpoints(&store)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
     for c in checkpoints {
         out!(
             "checkpoint {} '{}' (parent: {:?}, {} frames)",

@@ -13,11 +13,10 @@
 //!     &EnsembleSpec::tiny(42),
 //!     std::path::Path::new("/tmp/infera-ens"),
 //! ).unwrap();
-//! let session = InferA::new(
-//!     manifest,
-//!     std::path::Path::new("/tmp/infera-work"),
-//!     SessionConfig::default(),
-//! );
+//! let session = InferA::from_manifest(manifest)
+//!     .work_dir("/tmp/infera-work")
+//!     .build()
+//!     .unwrap();
 //! let report = session
 //!     .ask("Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?")
 //!     .unwrap();
@@ -34,12 +33,16 @@ pub use infera_obs as obs;
 pub use infera_provenance as provenance;
 pub use infera_rag as rag;
 pub use infera_sandbox as sandbox;
+pub use infera_serve as serve;
 pub use infera_viz as viz;
 
 /// Common imports for downstream users.
 pub mod prelude {
-    pub use infera_agents::{RunConfig, RunReport};
-    pub use infera_core::{EvalConfig, InferA, SessionConfig};
+    pub use infera_agents::{CancelToken, RunConfig, RunReport};
+    pub use infera_core::{
+        AskOptions, ErrorKind, EvalConfig, InferA, InferaError, InferaResult, SessionBuilder,
+        SessionConfig,
+    };
     pub use infera_hacc::{EnsembleSpec, Manifest};
     pub use infera_llm::{BehaviorProfile, SemanticLevel};
 }

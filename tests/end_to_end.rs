@@ -19,15 +19,12 @@ fn setup(name: &str) -> (Manifest, PathBuf) {
 #[test]
 fn all_twenty_questions_complete_under_perfect_model() {
     let (manifest, work) = setup("all20");
-    let session = InferA::new(
-        manifest,
-        &work,
-        SessionConfig {
-            seed: 1,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(&work)
+        .seed(1)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     for q in question_set() {
         let report = session
             .ask_with_semantic(&q.text, q.semantic, u64::from(q.id))
@@ -53,15 +50,12 @@ fn all_twenty_questions_complete_under_perfect_model() {
 #[test]
 fn plan_step_counts_match_declared_difficulty() {
     let (manifest, work) = setup("stepcounts");
-    let session = InferA::new(
-        manifest.clone(),
-        &work,
-        SessionConfig {
-            seed: 3,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest.clone())
+        .work_dir(&work)
+        .seed(3)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     for q in question_set() {
         let ctx = session.context_for_run(u64::from(q.id)).unwrap();
         let intent = infera::agents::parse_intent(&q.text, &manifest, &ctx.retriever);
@@ -95,15 +89,12 @@ fn storage_overhead_is_fraction_of_ensemble() {
     let manifest = infera::hacc::generate(&spec, &base.join("ens")).unwrap();
     let work = base.join("work");
     let total = manifest.total_bytes();
-    let session = InferA::new(
-        manifest,
-        &work,
-        SessionConfig {
-            seed: 5,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(&work)
+        .seed(5)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     let report = session
         .ask("Across all the simulations, what is the average size (fof_halo_count) of halos at each time step?")
         .unwrap();
@@ -135,15 +126,12 @@ fn smhm_study_recovers_tightest_seed_mass() {
         })
         .map(|(i, _)| i as i64)
         .unwrap();
-    let session = InferA::new(
-        manifest,
-        &work,
-        SessionConfig {
-            seed: 7,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(&work)
+        .seed(7)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     let q = question_set().into_iter().find(|q| q.id == 17).unwrap();
     let report = session.ask_with_semantic(&q.text, q.semantic, 17).unwrap();
     assert!(report.completed, "{}", report.summary);
@@ -159,15 +147,12 @@ fn smhm_study_recovers_tightest_seed_mass() {
 #[test]
 fn param_inference_data_reflects_model_directionality() {
     let (manifest, work) = setup("paramdir");
-    let session = InferA::new(
-        manifest.clone(),
-        &work,
-        SessionConfig {
-            seed: 11,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest.clone())
+        .work_dir(&work)
+        .seed(11)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     let q = question_set().into_iter().find(|q| q.id == 18).unwrap();
     let report = session.ask_with_semantic(&q.text, q.semantic, 18).unwrap();
     assert!(report.completed, "{}", report.summary);
@@ -182,15 +167,12 @@ fn param_inference_data_reflects_model_directionality() {
 #[test]
 fn provenance_artifacts_are_reloadable() {
     let (manifest, work) = setup("prov");
-    let session = InferA::new(
-        manifest,
-        &work,
-        SessionConfig {
-            seed: 13,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(&work)
+        .seed(13)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     let report = session
         .ask("Show the distribution of galaxy stellar masses (gal_stellar_mass) at timestep 624 of simulation 0 as a histogram.")
         .unwrap();
@@ -215,15 +197,11 @@ fn provenance_artifacts_are_reloadable() {
 #[test]
 fn calibrated_profile_runs_gracefully() {
     let (manifest, work) = setup("calibrated");
-    let session = InferA::new(
-        manifest,
-        &work,
-        SessionConfig {
-            seed: 17,
-            profile: BehaviorProfile::default(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(&work)
+        .seed(17)
+        .build()
+        .unwrap();
     let mut completed = 0;
     let qs = question_set();
     for (i, q) in qs.iter().take(6).enumerate() {

@@ -19,13 +19,14 @@ fn setup(name: &str) -> (Manifest, PathBuf) {
 fn human_feedback_is_an_upper_bound() {
     let (manifest, work) = setup("hitl");
     let run_batch = |human: bool, tag: &str| -> (usize, u32) {
-        let mut config = SessionConfig {
-            seed: 11,
-            profile: BehaviorProfile::default(),
-            run_config: RunConfig::default(),
-        };
-        config.run_config.human_feedback = human;
-        let session = InferA::new(manifest.clone(), &work.join(tag), config);
+        let mut run_config = RunConfig::default();
+        run_config.human_feedback = human;
+        let session = InferA::from_manifest(manifest.clone())
+            .work_dir(work.join(tag))
+            .seed(11)
+            .run_config(run_config)
+            .build()
+            .unwrap();
         let mut completed = 0;
         let mut redos = 0;
         for q in question_set().into_iter().filter(|q| q.id % 3 == 1) {
@@ -54,15 +55,12 @@ fn human_feedback_is_an_upper_bound() {
 #[test]
 fn checkpoint_branching_reuses_state() {
     let (manifest, work) = setup("branching");
-    let session = InferA::new(
-        manifest,
-        &work,
-        SessionConfig {
-            seed: 3,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(&work)
+        .seed(3)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     let report = session
         .ask("Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?")
         .unwrap();
@@ -110,11 +108,7 @@ fn parallel_evaluation_is_deterministic() {
     let (manifest, work) = setup("pardet");
     let cfg = infera::core::EvalConfig {
         runs_per_question: 2,
-        session: infera::core::SessionConfig {
-            seed: 9,
-            profile: BehaviorProfile::default(),
-            run_config: RunConfig::default(),
-        },
+        session: infera::core::SessionConfig::default().with_seed(9),
         only_questions: vec![2, 5, 16],
     };
     let a = infera::core::evaluate(manifest.clone(), &work.join("a"), &cfg).unwrap();
@@ -134,15 +128,12 @@ fn parallel_evaluation_is_deterministic() {
 #[test]
 fn edited_plan_executes_verbatim() {
     let (manifest, work) = setup("editplan");
-    let session = InferA::new(
-        manifest,
-        &work,
-        SessionConfig {
-            seed: 21,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        },
-    );
+    let session = InferA::from_manifest(manifest)
+        .work_dir(&work)
+        .seed(21)
+        .profile(BehaviorProfile::perfect())
+        .build()
+        .unwrap();
     let q = "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?";
     let (_, mut plan) = session.plan(q).unwrap();
     // The user tightens the selection to the top 3.
@@ -169,13 +160,15 @@ fn edited_plan_executes_verbatim() {
 fn documentation_toggle_saves_tokens() {
     let (manifest, work) = setup("doctoggle");
     let run = |enable: bool, tag: &str| -> (bool, u64) {
-        let mut config = SessionConfig {
-            seed: 8,
-            profile: BehaviorProfile::perfect(),
-            run_config: RunConfig::default(),
-        };
-        config.run_config.enable_documentation = enable;
-        let session = InferA::new(manifest.clone(), &work.join(tag), config);
+        let mut run_config = RunConfig::default();
+        run_config.enable_documentation = enable;
+        let session = InferA::from_manifest(manifest.clone())
+            .work_dir(work.join(tag))
+            .seed(8)
+            .profile(BehaviorProfile::perfect())
+            .run_config(run_config)
+            .build()
+            .unwrap();
         let r = session
             .ask_with_semantic(
                 "What is the maximum fof_halo_mass at timestep 624 in simulation 1?",

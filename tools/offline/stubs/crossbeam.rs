@@ -9,7 +9,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     #[derive(Debug)]
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -36,6 +36,10 @@ pub mod channel {
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 
