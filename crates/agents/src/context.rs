@@ -176,6 +176,29 @@ impl AgentContext {
         profile: BehaviorProfile,
         config: RunConfig,
     ) -> AgentResult<AgentContext> {
+        AgentContext::new_with_obs(
+            manifest,
+            session_dir,
+            seed,
+            profile,
+            config,
+            infera_obs::Obs::new(),
+        )
+    }
+
+    /// [`AgentContext::new`] with a caller-provided observability
+    /// context. The serve scheduler uses this to hand each job an `Obs`
+    /// it keeps a handle on — so the job's trace and metrics stay
+    /// reachable even when the run fails and produces no `RunReport`,
+    /// and the tracer can be bus-attached before the run starts.
+    pub fn new_with_obs(
+        manifest: Arc<Manifest>,
+        session_dir: &Path,
+        seed: u64,
+        profile: BehaviorProfile,
+        config: RunConfig,
+        obs: infera_obs::Obs,
+    ) -> AgentResult<AgentContext> {
         let meter = TokenMeter::new();
         // §4.2.2: interactive review suppresses approach-level error modes
         // at the profile level, so every agent inherits the gate.
@@ -184,7 +207,6 @@ impl AgentContext {
         } else {
             profile
         };
-        let obs = infera_obs::Obs::new();
         let llm = SimulatedLlm::new(seed, profile, meter)
             .with_tracer(obs.tracer.clone())
             .with_latency_sleep(config.llm_sleep_scale);

@@ -19,6 +19,7 @@ use crate::shared_cache::{CachedBatch, LoadKey};
 use crate::state::{LoadSpec, RunState};
 use infera_frame::{Column, DataFrame};
 use infera_hacc::{EntityKind, GenioReader};
+use infera_obs::metric_names;
 use infera_provenance::ArtifactKind;
 use std::sync::Arc;
 
@@ -140,7 +141,7 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
                 };
                 if let Some(cache) = &ctx.shared_cache {
                     if let Some(hit) = cache.get(&key) {
-                        ctx.obs.metrics.inc("load.shared_cache_hits", 1);
+                        ctx.obs.metrics.inc(metric_names::LOAD_SHARED_CACHE_HITS, 1);
                         return Ok((hit.bytes_read, hit.file_bytes, hit.frame));
                     }
                 }

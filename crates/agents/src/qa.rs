@@ -11,6 +11,7 @@
 use crate::context::{AgentContext, QaMode};
 use crate::state::RunState;
 use infera_llm::SimulatedLlm;
+use infera_obs::metric_names;
 
 /// Outcome of one generation step's revision loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,7 +251,7 @@ pub fn run_generation_step(
             }
         }
     }
-    ctx.obs.metrics.inc("qa.budget_exhausted", 1);
+    ctx.obs.metrics.inc(metric_names::QA_BUDGET_EXHAUSTED, 1);
     GenOutcome::new(max_attempts - 1, false, last_error)
 }
 

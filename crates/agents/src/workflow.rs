@@ -16,7 +16,7 @@ use crate::planner::plan_question;
 use crate::qa::GenOutcome;
 use crate::state::{PlanStep, QualityFlags, RunState, StepOutcome};
 use infera_llm::SemanticLevel;
-use infera_obs::{render_breakdown, stage_breakdown, StageCost, Tracer};
+use infera_obs::{metric_names, render_breakdown, stage_breakdown, StageCost, Tracer};
 use std::sync::Arc;
 
 /// Per-run report: the raw material of every Table 2 metric.
@@ -116,10 +116,10 @@ fn finish_node(ctx: &AgentContext, span: &infera_obs::SpanGuard, out: &GenOutcom
     span.set_attr("redos", out.redos);
     span.set_attr("success", out.success);
     if out.redos > 0 {
-        ctx.obs.metrics.inc("run.redos", u64::from(out.redos));
+        ctx.obs.metrics.inc(metric_names::RUN_REDOS, u64::from(out.redos));
     }
     if !out.success {
-        ctx.obs.metrics.inc("run.step_failures", 1);
+        ctx.obs.metrics.inc(metric_names::RUN_STEP_FAILURES, 1);
     }
 }
 
@@ -363,6 +363,12 @@ pub fn run_question(
         span.set_attr("stage", "planner");
         let (_intent, plan) = plan_question(&ctx, question);
         span.set_attr("plan_steps", plan.steps.len());
+        // Live-progress hook: a subscriber watching the bus sees the
+        // plan land before any step executes.
+        span.event(
+            "plan_ready",
+            &[("plan_steps", infera_obs::AttrValue::from(plan.steps.len()))],
+        );
         plan
     };
     run_question_with_plan(ctx, question, semantic, plan)
@@ -412,10 +418,22 @@ pub fn run_question_with_plan(
         });
 
     if state.failed {
-        ctx.obs.metrics.inc("run.aborts", 1);
+        ctx.obs.metrics.inc(metric_names::RUN_ABORTS, 1);
     }
     analysis_span.set_attr("completed", completed);
     analysis_span.set_attr("redos", u64::from(state.total_redos()));
+    // Live-progress hook: the terminal per-question event a streaming
+    // client keys on.
+    analysis_span.event(
+        if state.failed { "run_failed" } else { "run_completed" },
+        &[
+            ("completed", infera_obs::AttrValue::from(completed)),
+            (
+                "redos",
+                infera_obs::AttrValue::from(u64::from(state.total_redos())),
+            ),
+        ],
+    );
     let wall_us = analysis_span.finish();
     let stage_costs = stage_breakdown(&ctx.obs.tracer);
 
@@ -607,6 +625,70 @@ mod tests {
             assert!(v["type"] == "span" || v["type"] == "event");
         }
         assert!(c.obs.metrics.counter("sql.queries") > 0);
+    }
+
+    #[test]
+    fn full_run_metric_names_are_all_declared_constants() {
+        // An error-prone profile exercises the redo/failure counters too.
+        let mut p = BehaviorProfile::default();
+        p.column_error_rate = [8.0; 3];
+        let c = ctx("hygiene", 6, p);
+        let report = run_question(
+            c,
+            "How many halos are there at each timestep in simulation 0? Plot the count over time.",
+            SemanticLevel::Easy,
+        )
+        .unwrap();
+        let snap = &report.metrics;
+        let undeclared: Vec<&String> = snap
+            .counters
+            .keys()
+            .chain(snap.gauges.keys())
+            .chain(snap.histograms.keys())
+            .filter(|name| !metric_names::is_declared(name))
+            .collect();
+        assert!(
+            undeclared.is_empty(),
+            "metric names not declared in obs::metric_names: {undeclared:?}"
+        );
+    }
+
+    #[test]
+    fn bus_streams_live_progress_for_a_full_run() {
+        let c = ctx("busrun", 7, BehaviorProfile::perfect());
+        let bus = infera_obs::EventBus::new();
+        c.obs
+            .tracer
+            .attach_bus(bus.clone(), &[("job", infera_obs::AttrValue::from(1u64))]);
+        let sub = bus.subscribe(4096);
+        run_question(
+            c,
+            "How many halos are there at each timestep in simulation 0? Plot the count over time.",
+            SemanticLevel::Easy,
+        )
+        .unwrap();
+        let events = sub.drain();
+        assert!(events.len() > 10, "only {} events streamed", events.len());
+        let names: Vec<String> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                infera_obs::BusEventKind::Point { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.iter().any(|n| n == "plan_ready"), "{names:?}");
+        assert!(names.iter().any(|n| n == "run_completed"), "{names:?}");
+        // Span lifecycle arrives in open/close pairs for the same ids.
+        let opened = events
+            .iter()
+            .filter(|e| matches!(e.kind, infera_obs::BusEventKind::SpanOpened { .. }))
+            .count();
+        let closed = events
+            .iter()
+            .filter(|e| matches!(e.kind, infera_obs::BusEventKind::SpanClosed { .. }))
+            .count();
+        assert_eq!(opened, closed);
+        assert_eq!(sub.dropped(), 0, "capacity was ample; nothing dropped");
     }
 
     #[test]

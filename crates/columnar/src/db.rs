@@ -7,6 +7,7 @@ use crate::sql::parser::parse;
 use crate::sql::plan::Catalog;
 use crate::storage::{StrZoneMap, TableStore, ZoneMap, DEFAULT_CHUNK_ROWS};
 use infera_frame::{DataFrame, DType};
+use infera_obs::metric_names;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -278,7 +279,7 @@ impl Database {
             Ok(stmt) => Ok(stmt),
             Err(e) => {
                 span.set_attr("error", e.to_string());
-                self.obs.metrics.inc("sql.parse_errors", 1);
+                self.obs.metrics.inc(metric_names::SQL_PARSE_ERRORS, 1);
                 Err(e)
             }
         }
@@ -290,21 +291,21 @@ impl Database {
                 span.set_attr("rows_out", frame.n_rows());
                 span.set_attr("rows_scanned", stats.rows_scanned);
                 span.set_attr("chunks_skipped", stats.chunks_skipped);
-                self.obs.metrics.inc("sql.chunks_skipped", stats.chunks_skipped as u64);
-                self.obs.metrics.observe("sql.rows_scanned", stats.rows_scanned as f64);
+                self.obs.metrics.inc(metric_names::SQL_CHUNKS_SKIPPED, stats.chunks_skipped as u64);
+                self.obs.metrics.observe(metric_names::SQL_ROWS_SCANNED, stats.rows_scanned as f64);
             }
             Err(e) => {
                 span.set_attr("error", e.to_string());
-                self.obs.metrics.inc("sql.exec_errors", 1);
+                self.obs.metrics.inc(metric_names::SQL_EXEC_ERRORS, 1);
             }
         }
-        self.obs.metrics.observe("sql.exec_us", span.elapsed_us() as f64);
+        self.obs.metrics.observe(metric_names::SQL_EXEC_US, span.elapsed_us() as f64);
     }
 
     /// Parse and execute any SQL statement.
     pub fn execute_sql(&self, sql: &str) -> DbResult<ExecOutcome> {
         let span = self.obs.tracer.span("sql:query");
-        self.obs.metrics.inc("sql.queries", 1);
+        self.obs.metrics.inc(metric_names::SQL_QUERIES, 1);
         let stmt = self.parse_traced(sql)?;
         let result = execute(self, &stmt);
         match &result {
@@ -314,14 +315,14 @@ impl Database {
                 span.set_attr("chunks_skipped", out.stats.chunks_skipped);
                 self.obs
                     .metrics
-                    .inc("sql.chunks_skipped", out.stats.chunks_skipped as u64);
+                    .inc(metric_names::SQL_CHUNKS_SKIPPED, out.stats.chunks_skipped as u64);
             }
             Err(e) => {
                 span.set_attr("error", e.to_string());
-                self.obs.metrics.inc("sql.exec_errors", 1);
+                self.obs.metrics.inc(metric_names::SQL_EXEC_ERRORS, 1);
             }
         }
-        self.obs.metrics.observe("sql.exec_us", span.elapsed_us() as f64);
+        self.obs.metrics.observe(metric_names::SQL_EXEC_US, span.elapsed_us() as f64);
         result
     }
 
@@ -333,7 +334,7 @@ impl Database {
     /// Parse and execute a SELECT, returning frame + stats.
     pub fn query_with_stats(&self, sql: &str) -> DbResult<(DataFrame, ExecStats)> {
         let span = self.obs.tracer.span("sql:query");
-        self.obs.metrics.inc("sql.queries", 1);
+        self.obs.metrics.inc(metric_names::SQL_QUERIES, 1);
         let result = match self.parse_traced(sql)? {
             Statement::Select(sel) => run_select(self, &sel),
             other => Err(DbError::Plan(format!(

@@ -90,7 +90,7 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
             Ok(plan) => plan,
             Err(e) => {
                 span.set_attr("error", e.to_string());
-                db.obs().metrics.inc("sql.plan_errors", 1);
+                db.obs().metrics.inc(metric_names::SQL_PLAN_ERRORS, 1);
                 return Err(e);
             }
         }

@@ -123,6 +123,11 @@ pub struct AskOptions {
     /// Caller-held cancellation handle (the serving layer arms one per
     /// job so queued and running jobs can be aborted).
     pub cancel: Option<CancelToken>,
+    /// Caller-provided observability context. The serving layer passes
+    /// one so the run's trace and metrics stay reachable even when the
+    /// run fails (no `RunReport` to carry them) and so the tracer can be
+    /// attached to a live event bus before the run starts.
+    pub obs: Option<infera_obs::Obs>,
 }
 
 impl AskOptions {
@@ -152,6 +157,11 @@ impl AskOptions {
 
     pub fn cancel_token(mut self, token: CancelToken) -> AskOptions {
         self.cancel = Some(token);
+        self
+    }
+
+    pub fn obs(mut self, obs: infera_obs::Obs) -> AskOptions {
+        self.obs = Some(obs);
         self
     }
 }
@@ -358,12 +368,13 @@ impl InferA {
             .seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(salt.wrapping_mul(0xD1B54A32D192ED03) | 1);
-        let mut ctx = AgentContext::new(
+        let mut ctx = AgentContext::new_with_obs(
             self.manifest.clone(),
             &dir,
             run_seed,
             self.config.profile.clone(),
             self.config.run_config,
+            opts.obs.clone().unwrap_or_default(),
         )?;
         ctx.shared_cache = Some(self.shared_cache.clone());
         if let Some(token) = &opts.cancel {

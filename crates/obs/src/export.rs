@@ -138,6 +138,51 @@ pub fn snapshot_to_jsonl(snap: &TraceSnapshot, run_attrs: &BTreeMap<String, Attr
     out
 }
 
+/// Render a trace snapshot as an indented span tree, one line per span
+/// with duration and key attributes — the human-readable counterpart to
+/// [`snapshot_to_jsonl`], used by `infera stats --flight` to show what
+/// a slow or failed job spent its time on.
+pub fn render_trace(snap: &TraceSnapshot) -> String {
+    // depth via parent chase; spans are stored in creation order so a
+    // parent's depth is always known before its children's.
+    let mut depth: Vec<usize> = Vec::with_capacity(snap.spans.len());
+    let mut out = String::new();
+    for span in &snap.spans {
+        let d = span
+            .parent
+            .and_then(|p| depth.get(p as usize).copied())
+            .map_or(0, |pd| pd + 1);
+        depth.push(d);
+        let _ = write!(
+            out,
+            "{:indent$}{} [{:.1} ms]",
+            "",
+            span.name,
+            span.dur_us() as f64 / 1000.0,
+            indent = d * 2
+        );
+        for key in ["stage", "outcome", "redos", "success"] {
+            if let Some(v) = span.attrs.get(key) {
+                let _ = match v {
+                    AttrValue::Str(s) => write!(out, " {key}={s}"),
+                    AttrValue::Bool(b) => write!(out, " {key}={b}"),
+                    AttrValue::U64(n) => write!(out, " {key}={n}"),
+                    AttrValue::I64(n) => write!(out, " {key}={n}"),
+                    AttrValue::F64(n) => write!(out, " {key}={n}"),
+                };
+            }
+        }
+        if !span.events.is_empty() {
+            let _ = write!(out, " ({} events)", span.events.len());
+        }
+        out.push('\n');
+    }
+    if !snap.orphan_events.is_empty() {
+        let _ = writeln!(out, "(+{} orphan events)", snap.orphan_events.len());
+    }
+    out
+}
+
 fn stage_of(span: &SpanRecord) -> Option<&str> {
     span.attrs.get("stage").and_then(AttrValue::as_str)
 }
@@ -367,6 +412,18 @@ mod tests {
         assert_eq!(sql.calls, 2);
         assert_eq!(sql.tokens, 300);
         assert_eq!(sql.redos, 4);
+    }
+
+    #[test]
+    fn render_trace_indents_children() {
+        let snap = sample_trace().snapshot();
+        let text = render_trace(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("run ["));
+        assert!(lines[1].starts_with("  node:sql ["));
+        assert!(lines[1].contains("stage=sql"));
+        assert!(lines[2].starts_with("    attempt ["));
+        assert!(lines[0].contains("(1 events)"));
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Process-wide metrics aggregation.
+//!
+//! Every run owns its own [`MetricsRegistry`] (per-run isolation keeps
+//! reports reproducible), but a serving process needs one number for
+//! "SQL queries executed since start", not one per run. [`GlobalMetrics`]
+//! is that aggregation point: the serve scheduler absorbs each finished
+//! job's registry into it, and operational surfaces (`infera serve
+//! --stats-every`, `infera stats`, the Prometheus exposition) read from
+//! it.
+//!
+//! Merge semantics follow [`MetricsRegistry::merge_from`]: counters and
+//! histogram buckets add (exact when bucket bounds agree, which they do
+//! for everything using the default ladder), gauges are last-write-wins.
+//! Live process-level instruments (queue depth, bus drop counts) should
+//! be recorded directly on [`GlobalMetrics::registry`] rather than
+//! merged, so they are not double-counted.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct GlobalInner {
+    registry: MetricsRegistry,
+    runs_merged: AtomicU64,
+    started: Instant,
+}
+
+/// Process-wide metrics aggregator. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct GlobalMetrics {
+    inner: Arc<GlobalInner>,
+}
+
+impl Default for GlobalMetrics {
+    fn default() -> Self {
+        GlobalMetrics::new()
+    }
+}
+
+impl std::fmt::Debug for GlobalMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalMetrics")
+            .field("runs_merged", &self.runs_merged())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GlobalMetrics {
+    pub fn new() -> GlobalMetrics {
+        GlobalMetrics {
+            inner: Arc::new(GlobalInner {
+                registry: MetricsRegistry::new(),
+                runs_merged: AtomicU64::new(0),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Fold one run's registry into the global aggregate.
+    pub fn absorb(&self, run: &MetricsRegistry) {
+        self.inner.registry.merge_from(run);
+        self.inner.runs_merged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The aggregate registry itself — also the right place to record
+    /// process-level instruments (queue depth gauges, scheduler
+    /// counters) that have no per-run registry to live in.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// How many per-run registries have been absorbed.
+    pub fn runs_merged(&self) -> u64 {
+        self.inner.runs_merged.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since this aggregator was created (process uptime
+    /// for a server that creates it at startup).
+    pub fn uptime_ms(&self) -> u64 {
+        self.inner.started.elapsed().as_millis() as u64
+    }
+
+    /// Owned JSON-serializable snapshot of the aggregate.
+    pub fn snapshot(&self) -> GlobalSnapshot {
+        GlobalSnapshot {
+            runs_merged: self.runs_merged(),
+            uptime_ms: self.uptime_ms(),
+            metrics: self.inner.registry.snapshot(),
+        }
+    }
+
+    /// Prometheus text exposition of the aggregate (see
+    /// [`crate::prometheus::render_prometheus`]).
+    pub fn render_prometheus(&self) -> String {
+        crate::prometheus::render_prometheus(&self.inner.registry)
+    }
+}
+
+/// Point-in-time JSON view of the global aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalSnapshot {
+    pub runs_merged: u64,
+    pub uptime_ms: u64,
+    pub metrics: MetricsSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric_names;
+
+    #[test]
+    fn absorb_accumulates_across_runs() {
+        let global = GlobalMetrics::new();
+        for i in 0..3u64 {
+            let run = MetricsRegistry::new();
+            run.inc(metric_names::SQL_QUERIES, i + 1);
+            run.observe(metric_names::SQL_EXEC_US, 100.0 * (i + 1) as f64);
+            global.absorb(&run);
+        }
+        assert_eq!(global.runs_merged(), 3);
+        assert_eq!(global.registry().counter(metric_names::SQL_QUERIES), 6);
+        let h = global.registry().histogram(metric_names::SQL_EXEC_US).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, 300.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let global = GlobalMetrics::new();
+        let run = MetricsRegistry::new();
+        run.inc(metric_names::RUN_REDOS, 2);
+        run.set_gauge(metric_names::SERVE_QUEUE_DEPTH, 4.0);
+        global.absorb(&run);
+        let snap = global.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: GlobalSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.runs_merged, 1);
+        assert_eq!(
+            back.metrics.counters.get(metric_names::RUN_REDOS),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn concurrent_absorbs_are_safe() {
+        let global = GlobalMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let global = global.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let run = MetricsRegistry::new();
+                        run.inc(metric_names::SERVE_JOBS_COMPLETED, 1);
+                        global.absorb(&run);
+                    }
+                });
+            }
+        });
+        assert_eq!(global.runs_merged(), 100);
+        assert_eq!(
+            global.registry().counter(metric_names::SERVE_JOBS_COMPLETED),
+            100
+        );
+    }
+}

@@ -16,16 +16,33 @@
 //!   time/tokens/redos table). Costs recorded outside any stage span
 //!   roll up to the [`UNTRACED_STAGE`] row, so totals reconcile with
 //!   `RunReport` by construction.
+//!
+//! The live pipeline adds three more:
+//!
+//! * [`EventBus`] / [`Subscription`] — span opens/closes and point
+//!   events streamed to bounded per-subscriber channels while the run
+//!   executes (attach with [`Tracer::attach_bus`]); slow subscribers
+//!   drop-and-count, never block.
+//! * [`GlobalMetrics`] — process-wide aggregation of per-run registries
+//!   for a serving process, with a JSON snapshot.
+//! * [`render_prometheus`] — Prometheus text exposition (format 0.0.4)
+//!   of any registry, histograms included.
 
+mod bus;
 mod export;
+mod global;
 mod metrics;
+pub mod prometheus;
 mod trace;
 
+pub use bus::{BusEvent, BusEventKind, EventBus, Subscription};
 pub use export::{
-    merge_stage_costs, render_breakdown, snapshot_breakdown, snapshot_to_jsonl, stage_breakdown,
-    trace_to_jsonl, StageCost, UNTRACED_STAGE,
+    merge_stage_costs, render_breakdown, render_trace, snapshot_breakdown, snapshot_to_jsonl,
+    stage_breakdown, trace_to_jsonl, StageCost, UNTRACED_STAGE,
 };
+pub use global::{GlobalMetrics, GlobalSnapshot};
 pub use metrics::{names as metric_names, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use prometheus::render_prometheus;
 pub use trace::{AttrValue, SpanGuard, SpanId, SpanRecord, TraceEvent, TraceSnapshot, Tracer};
 
 /// One run's observability context: a tracer and a metrics registry,

@@ -43,6 +43,128 @@ pub mod names {
     /// Dictionary strings actually decoded on the fast paths — the
     /// savings story: compare against rows scanned.
     pub const DICT_STRINGS_DECODED: &str = "dict.strings_decoded";
+
+    // ---- workflow / agents -------------------------------------------------
+
+    /// QA-triggered redo loops across a run's nodes.
+    pub const RUN_REDOS: &str = "run.redos";
+    /// Node attempts that ended in an error (before any redo).
+    pub const RUN_STEP_FAILURES: &str = "run.step_failures";
+    /// Runs aborted by an unrecoverable node failure.
+    pub const RUN_ABORTS: &str = "run.aborts";
+    /// QA loops that exhausted their revision budget.
+    pub const QA_BUDGET_EXHAUSTED: &str = "qa.budget_exhausted";
+    /// Decoded-batch loads answered by the cross-session shared cache.
+    pub const LOAD_SHARED_CACHE_HITS: &str = "load.shared_cache_hits";
+
+    // ---- sandbox -----------------------------------------------------------
+
+    /// Programs executed by the sandbox gateway.
+    pub const SANDBOX_EXECUTIONS: &str = "sandbox.executions";
+    /// Programs rejected at parse time.
+    pub const SANDBOX_PARSE_ERRORS: &str = "sandbox.parse_errors";
+    /// Programs that started but failed during execution.
+    pub const SANDBOX_EXEC_ERRORS: &str = "sandbox.exec_errors";
+    /// Programs killed by the sandbox step-budget watchdog.
+    pub const SANDBOX_TIMEOUTS: &str = "sandbox.timeouts";
+    /// Per-program sandbox execution latency (histogram, µs).
+    pub const SANDBOX_EXEC_US: &str = "sandbox.exec_us";
+
+    // ---- sql / columnar ----------------------------------------------------
+
+    /// Queries that failed logical planning.
+    pub const SQL_PLAN_ERRORS: &str = "sql.plan_errors";
+    /// Queries rejected by the SQL parser.
+    pub const SQL_PARSE_ERRORS: &str = "sql.parse_errors";
+    /// Chunks skipped by zone-map pruning.
+    pub const SQL_CHUNKS_SKIPPED: &str = "sql.chunks_skipped";
+    /// Rows actually scanned after pruning.
+    pub const SQL_ROWS_SCANNED: &str = "sql.rows_scanned";
+    /// Queries that failed during execution.
+    pub const SQL_EXEC_ERRORS: &str = "sql.exec_errors";
+    /// Per-query execution latency (histogram, µs).
+    pub const SQL_EXEC_US: &str = "sql.exec_us";
+    /// Queries executed.
+    pub const SQL_QUERIES: &str = "sql.queries";
+
+    // ---- serve scheduler ---------------------------------------------------
+
+    /// Jobs currently queued (gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Jobs admitted to the queue.
+    pub const SERVE_JOBS_ACCEPTED: &str = "serve.jobs_accepted";
+    /// Jobs rejected at admission (queue full / shutting down).
+    pub const SERVE_JOBS_REJECTED: &str = "serve.jobs_rejected";
+    /// Jobs that finished with a report.
+    pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs_completed";
+    /// Jobs that finished with an error (includes timeouts).
+    pub const SERVE_JOBS_FAILED: &str = "serve.jobs_failed";
+    /// The subset of failed jobs that hit their deadline.
+    pub const SERVE_JOBS_TIMED_OUT: &str = "serve.jobs_timed_out";
+    /// Jobs answered from the result cache.
+    pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+    /// Admission-to-dequeue wait (histogram, ms).
+    pub const SERVE_QUEUE_WAIT_MS: &str = "serve.queue_wait_ms";
+    /// Dequeue-to-completion run time (histogram, ms).
+    pub const SERVE_RUN_MS: &str = "serve.run_ms";
+
+    // ---- observability pipeline itself -------------------------------------
+
+    /// Events delivered to at least one event-bus subscriber.
+    pub const OBS_EVENTS_PUBLISHED: &str = "obs.events_published";
+    /// Events dropped because a subscriber's bounded channel was full.
+    pub const OBS_EVENTS_DROPPED: &str = "obs.events_dropped";
+
+    /// Every declared metric name. The metric-name hygiene test asserts
+    /// that each name appearing in a full-run snapshot is listed here,
+    /// so ad-hoc (typo-prone) instrumentation strings fail CI.
+    pub fn all() -> &'static [&'static str] {
+        &[
+            STORAGE_ENCODED_BYTES,
+            STORAGE_LOGICAL_BYTES,
+            SCAN_ROWS_PRUNED,
+            JOIN_BUILD_MS,
+            JOIN_PROBE_MS,
+            JOIN_PARTITIONS,
+            GROUPBY_PARTIALS_MERGED,
+            GROUPBY_DICT_FASTPATH_CHUNKS,
+            JOIN_DICT_FASTPATH_CHUNKS,
+            DICT_STRINGS_DECODED,
+            RUN_REDOS,
+            RUN_STEP_FAILURES,
+            RUN_ABORTS,
+            QA_BUDGET_EXHAUSTED,
+            LOAD_SHARED_CACHE_HITS,
+            SANDBOX_EXECUTIONS,
+            SANDBOX_PARSE_ERRORS,
+            SANDBOX_EXEC_ERRORS,
+            SANDBOX_TIMEOUTS,
+            SANDBOX_EXEC_US,
+            SQL_PLAN_ERRORS,
+            SQL_PARSE_ERRORS,
+            SQL_CHUNKS_SKIPPED,
+            SQL_ROWS_SCANNED,
+            SQL_EXEC_ERRORS,
+            SQL_EXEC_US,
+            SQL_QUERIES,
+            SERVE_QUEUE_DEPTH,
+            SERVE_JOBS_ACCEPTED,
+            SERVE_JOBS_REJECTED,
+            SERVE_JOBS_COMPLETED,
+            SERVE_JOBS_FAILED,
+            SERVE_JOBS_TIMED_OUT,
+            SERVE_CACHE_HITS,
+            SERVE_QUEUE_WAIT_MS,
+            SERVE_RUN_MS,
+            OBS_EVENTS_PUBLISHED,
+            OBS_EVENTS_DROPPED,
+        ]
+    }
+
+    /// Whether `name` is a declared constant.
+    pub fn is_declared(name: &str) -> bool {
+        all().contains(&name)
+    }
 }
 
 /// A fixed-bucket histogram. `bounds` are inclusive upper bounds of the
@@ -155,6 +277,68 @@ impl Histogram {
         self.max
     }
 
+    /// Inclusive upper bounds of the finite buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket, so
+    /// `bucket_counts().len() == bounds().len() + 1`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Minimum observed value (`None` when empty).
+    pub fn observed_min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observed value (`None` when empty).
+    pub fn observed_max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Fold `other` into `self`.
+    ///
+    /// When the two histograms share bucket bounds (the common case —
+    /// every registry uses [`Histogram::default_bounds`] unless told
+    /// otherwise) the merge is exact: per-bucket counts add, and
+    /// `merge(a, b)` is indistinguishable from having recorded every
+    /// sample into one histogram. With differing bounds, each of
+    /// `other`'s finite buckets is re-recorded at its upper bound and
+    /// the overflow bucket maps to overflow — an approximation, but
+    /// count/sum/min/max stay exact either way.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.bounds == other.bounds {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+        } else {
+            for (idx, &n) in other.counts.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let slot = if idx < other.bounds.len() {
+                    let b = other.bounds[idx];
+                    self.bounds
+                        .iter()
+                        .position(|&sb| b <= sb)
+                        .unwrap_or(self.bounds.len())
+                } else {
+                    self.bounds.len()
+                };
+                self.counts[slot] += n;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
@@ -256,6 +440,56 @@ impl MetricsRegistry {
         self.inner.lock().histograms.get(name).map(Histogram::summary)
     }
 
+    /// Set a counter to an absolute value. Reserved for mirroring an
+    /// externally-authoritative count (the event bus's publish/drop
+    /// totals) into the registry; normal instrumentation uses [`inc`].
+    ///
+    /// [`inc`]: MetricsRegistry::inc
+    pub fn set_counter(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock();
+        inner.counters.insert(name.to_string(), value);
+    }
+
+    /// Fold another registry's state into this one: counters add,
+    /// gauges take `other`'s value (last write wins), histograms merge
+    /// per [`Histogram::merge`]. `other` is read under its own lock
+    /// first, so the two registries may be under concurrent use.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let theirs = {
+            let o = other.inner.lock();
+            (o.counters.clone(), o.gauges.clone(), o.histograms.clone())
+        };
+        let mut inner = self.inner.lock();
+        for (name, v) in theirs.0 {
+            *inner.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in theirs.1 {
+            inner.gauges.insert(name, v);
+        }
+        for (name, h) in theirs.2 {
+            match inner.histograms.get_mut(&name) {
+                Some(mine) => mine.merge(&h),
+                None => {
+                    inner.histograms.insert(name, h);
+                }
+            }
+        }
+    }
+
+    /// Owned copy of a full histogram (buckets and all), for renderers
+    /// that need more than the quantile summary (Prometheus exposition).
+    pub fn histogram_full(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().histograms.get(name).cloned()
+    }
+
+    /// Names of every histogram in the registry.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.inner.lock().histograms.keys().cloned().collect()
+    }
+
     /// Owned copy of the whole registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock();
@@ -336,6 +570,147 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.max, 50.0);
         assert!(s.p99 <= 50.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new(Histogram::default_bounds());
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(h.observed_min(), None);
+        assert_eq!(h.observed_max(), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_the_sample() {
+        let mut h = Histogram::new(Histogram::default_bounds());
+        h.observe(7.0);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 7.0, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.mean), (1, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_clamp_to_observed_max() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        // Everything above the last bound lands in the overflow bucket.
+        h.observe(100.0);
+        h.observe(1000.0);
+        h.observe(250.0);
+        assert_eq!(h.bucket_counts(), &[0, 0, 3]);
+        assert!(h.quantile(0.99) <= 1000.0);
+        assert!(h.quantile(0.01) >= 100.0, "clamped to observed min");
+        assert_eq!(h.summary().max, 1000.0);
+    }
+
+    #[test]
+    fn merge_same_bounds_equals_recording_into_one() {
+        let samples_a = [0.5, 3.0, 42.0, 42.0, 9_999.0];
+        let samples_b = [1.0, 1.0, 77.0, 1e12]; // 1e12 overflows the ladder
+        let mut a = Histogram::new(Histogram::default_bounds());
+        let mut b = Histogram::new(Histogram::default_bounds());
+        let mut one = Histogram::new(Histogram::default_bounds());
+        for &v in &samples_a {
+            a.observe(v);
+            one.observe(v);
+        }
+        for &v in &samples_b {
+            b.observe(v);
+            one.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, one, "merge(a, b) must equal recording all samples into one");
+    }
+
+    #[test]
+    fn merge_is_associative_and_handles_empties() {
+        let mut empty = Histogram::new(Histogram::default_bounds());
+        let mut x = Histogram::new(Histogram::default_bounds());
+        x.observe(5.0);
+        // empty ∪ x == x ∪ empty == x
+        let mut left = empty.clone();
+        left.merge(&x);
+        empty.merge(&x);
+        assert_eq!(left, empty);
+        assert_eq!(left.count(), 1);
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut a = Histogram::new(Histogram::default_bounds());
+        let mut b = Histogram::new(Histogram::default_bounds());
+        let mut c = Histogram::new(Histogram::default_bounds());
+        a.observe(1.0);
+        b.observe(100.0);
+        c.observe(10_000.0);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn merge_differing_bounds_keeps_totals_exact() {
+        let mut coarse = Histogram::new(vec![10.0, 100.0]);
+        let mut fine = Histogram::new(vec![1.0, 2.0, 5.0, 10.0, 50.0]);
+        fine.observe(1.5);
+        fine.observe(30.0);
+        fine.observe(500.0); // fine's overflow
+        coarse.observe(80.0);
+        coarse.merge(&fine);
+        assert_eq!(coarse.count(), 4);
+        assert_eq!(coarse.sum(), 80.0 + 1.5 + 30.0 + 500.0);
+        assert_eq!(coarse.observed_min(), Some(1.5));
+        assert_eq!(coarse.observed_max(), Some(500.0));
+        // Bucket placement: 1.5→≤10, 30→≤100, 500→overflow, 80→≤100.
+        assert_eq!(coarse.bucket_counts(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn registry_merge_from_adds_counters_and_merges_histograms() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.inc("c", 2);
+        b.inc("c", 3);
+        b.inc("only_b", 1);
+        a.set_gauge("g", 1.0);
+        b.set_gauge("g", 2.0);
+        a.observe("h", 10.0);
+        b.observe("h", 1000.0);
+        b.observe("h2", 5.0);
+        a.merge_from(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("g"), Some(2.0), "gauges take the merged-in value");
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 1000.0);
+        assert_eq!(a.histogram("h2").unwrap().count, 1);
+        // Self-merge is a no-op, not a double-count or deadlock.
+        a.merge_from(&a.clone());
+        assert_eq!(a.counter("c"), 5);
+    }
+
+    #[test]
+    fn declared_names_are_unique_and_dotted() {
+        let all = names::all();
+        let mut seen = std::collections::BTreeSet::new();
+        for name in all {
+            assert!(seen.insert(*name), "duplicate declared name {name}");
+            assert!(name.contains('.'), "metric name {name} must be dotted");
+            assert_eq!(*name, name.to_lowercase(), "{name} must be lowercase");
+        }
+        assert!(names::is_declared(names::RUN_REDOS));
+        assert!(!names::is_declared("run.typo_name"));
     }
 
     #[test]

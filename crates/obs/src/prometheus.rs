@@ -1,0 +1,131 @@
+//! Prometheus text exposition (format 0.0.4) for a [`MetricsRegistry`].
+//!
+//! The registry's dotted lowercase names (`serve.jobs_completed`) are
+//! mapped to Prometheus conventions: dots become underscores and every
+//! family is prefixed `infera_`, so `serve.jobs_completed` scrapes as
+//! `infera_serve_jobs_completed`. Counters and gauges emit one sample;
+//! histograms emit the full cumulative `_bucket{le="..."}` series
+//! (including `+Inf`) plus `_sum` and `_count`, straight from the
+//! fixed-bucket counts — no quantile estimation involved.
+//!
+//! Output is deterministic: families render in `BTreeMap` name order
+//! and numbers use a stable formatting (integral values print without a
+//! fractional part). The golden test in `crates/obs/tests/golden.rs`
+//! pins the exact format.
+
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Map a registry metric name to a Prometheus family name:
+/// `infera_` prefix, every non-`[a-zA-Z0-9_:]` byte replaced by `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("infera_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Stable number formatting: integral values (the overwhelmingly common
+/// case for bucket bounds and sums of millisecond counts) print without
+/// a trailing `.0`, everything else via Rust's shortest-roundtrip float.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the registry as Prometheus text exposition.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let snap = registry.snapshot();
+    let mut out = String::new();
+
+    for (name, value) in &snap.counters {
+        let fam = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let fam = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {}", fmt_f64(*value));
+    }
+    // Histograms need real buckets, not the quantile summary.
+    let mut hist_names = registry.histogram_names();
+    hist_names.sort_unstable();
+    for name in hist_names {
+        let Some(hist) = registry.histogram_full(&name) else {
+            continue;
+        };
+        let fam = sanitize_name(&name);
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds().iter().zip(hist.bucket_counts()) {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_f64(*bound)
+            );
+        }
+        let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{fam}_sum {}", fmt_f64(hist.sum()));
+        let _ = writeln!(out, "{fam}_count {}", hist.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric_names;
+
+    #[test]
+    fn sanitize_prefixes_and_replaces() {
+        assert_eq!(sanitize_name("serve.jobs_completed"), "infera_serve_jobs_completed");
+        assert_eq!(sanitize_name("a-b c.d"), "infera_a_b_c_d");
+    }
+
+    #[test]
+    fn numbers_format_deterministically() {
+        assert_eq!(fmt_f64(5.0), "5");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(-3.0), "-3");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_render() {
+        let m = MetricsRegistry::new();
+        m.inc(metric_names::SERVE_JOBS_COMPLETED, 4);
+        m.set_gauge(metric_names::SERVE_QUEUE_DEPTH, 2.0);
+        m.observe_with_buckets(metric_names::SERVE_RUN_MS, 3.0, &[1.0, 5.0, 10.0]);
+        m.observe_with_buckets(metric_names::SERVE_RUN_MS, 7.0, &[1.0, 5.0, 10.0]);
+        m.observe_with_buckets(metric_names::SERVE_RUN_MS, 100.0, &[1.0, 5.0, 10.0]);
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE infera_serve_jobs_completed counter"));
+        assert!(text.contains("infera_serve_jobs_completed 4"));
+        assert!(text.contains("# TYPE infera_serve_queue_depth gauge"));
+        assert!(text.contains("infera_serve_queue_depth 2"));
+        assert!(text.contains("# TYPE infera_serve_run_ms histogram"));
+        // Cumulative buckets: ≤1 → 0, ≤5 → 1, ≤10 → 2, +Inf → 3.
+        assert!(text.contains("infera_serve_run_ms_bucket{le=\"1\"} 0"));
+        assert!(text.contains("infera_serve_run_ms_bucket{le=\"5\"} 1"));
+        assert!(text.contains("infera_serve_run_ms_bucket{le=\"10\"} 2"));
+        assert!(text.contains("infera_serve_run_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("infera_serve_run_ms_sum 110"));
+        assert!(text.contains("infera_serve_run_ms_count 3"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(render_prometheus(&MetricsRegistry::new()), "");
+    }
+}

@@ -18,7 +18,19 @@
 //! open-span stack, which assumes spans of one *logical* run open and
 //! close in nested order — the supervisor loop is sequential, so this
 //! holds; out-of-order drops degrade to a flatter tree, never a panic.
+//! The same degrade-don't-panic rule applies to span-id lookups: a
+//! guard whose span record is somehow gone (it cannot happen through
+//! the public API, but a serve worker must not be killable by it)
+//! silently drops the operation instead of indexing out of bounds.
+//!
+//! Live streaming: [`Tracer::attach_bus`] connects a tracer to an
+//! [`EventBus`](crate::EventBus). From then on every span open, span
+//! close, and point event is also published to the bus, tagged with the
+//! run-identity attributes supplied at attach time. Publishing happens
+//! *after* the tracer's own lock is released and is drop-not-block, so
+//! the hot path cannot stall on a slow subscriber.
 
+use crate::bus::{BusEventKind, EventBus};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -142,6 +154,14 @@ pub struct TraceSnapshot {
     pub orphan_events: Vec<TraceEvent>,
 }
 
+/// A tracer's connection to the live event bus: the bus handle plus the
+/// run-identity attributes stamped on every published event.
+#[derive(Debug, Clone)]
+struct BusSink {
+    bus: EventBus,
+    run: Arc<BTreeMap<String, AttrValue>>,
+}
+
 #[derive(Debug)]
 struct TracerInner {
     origin: Instant,
@@ -149,6 +169,7 @@ struct TracerInner {
     /// Ids of currently-open spans, innermost last.
     stack: Vec<SpanId>,
     orphan_events: Vec<TraceEvent>,
+    sink: Option<BusSink>,
 }
 
 /// A per-run trace collector. Cheap to clone (`Arc`); clones share state.
@@ -178,7 +199,41 @@ impl Tracer {
                 spans: Vec::new(),
                 stack: Vec::new(),
                 orphan_events: Vec::new(),
+                sink: None,
             })),
+        }
+    }
+
+    /// Connect this tracer to a live [`EventBus`]. Subsequent span
+    /// opens/closes and point events are published to the bus tagged
+    /// with `run_attrs` (job id, question, salt — whatever identifies
+    /// this run to a subscriber watching many concurrent runs).
+    pub fn attach_bus(&self, bus: EventBus, run_attrs: &[(&str, AttrValue)]) {
+        let sink = BusSink {
+            bus,
+            run: Arc::new(attr_map(run_attrs)),
+        };
+        self.inner.lock().sink = Some(sink);
+    }
+
+    /// The attached bus, if any.
+    pub fn bus(&self) -> Option<EventBus> {
+        self.inner.lock().sink.as_ref().map(|s| s.bus.clone())
+    }
+
+    /// Clone the sink out of the lock iff someone is listening, so the
+    /// no-subscriber cost is one atomic load on top of normal tracing.
+    fn live_sink(inner: &TracerInner) -> Option<BusSink> {
+        inner
+            .sink
+            .as_ref()
+            .filter(|s| s.bus.is_active())
+            .cloned()
+    }
+
+    fn publish(sink: Option<BusSink>, at_us: u64, kind: BusEventKind) {
+        if let Some(sink) = sink {
+            sink.bus.publish(at_us, &sink.run, kind);
         }
     }
 
@@ -198,6 +253,17 @@ impl Tracer {
             events: Vec::new(),
         });
         inner.stack.push(id);
+        let sink = Tracer::live_sink(&inner);
+        drop(inner);
+        Tracer::publish(
+            sink,
+            start_us,
+            BusEventKind::SpanOpened {
+                id,
+                parent,
+                name: name.to_string(),
+            },
+        );
         SpanGuard {
             tracer: self.clone(),
             id,
@@ -215,10 +281,25 @@ impl Tracer {
             at_us,
             attrs: attr_map(attrs),
         };
-        match inner.stack.last().copied() {
-            Some(id) => inner.spans[id as usize].events.push(ev),
-            None => inner.orphan_events.push(ev),
+        match inner
+            .stack
+            .last()
+            .copied()
+            .and_then(|id| inner.spans.get_mut(id as usize))
+        {
+            Some(span) => span.events.push(ev.clone()),
+            None => inner.orphan_events.push(ev.clone()),
         }
+        let sink = Tracer::live_sink(&inner);
+        drop(inner);
+        Tracer::publish(
+            sink,
+            at_us,
+            BusEventKind::Point {
+                name: ev.name,
+                attrs: ev.attrs,
+            },
+        );
     }
 
     /// Microseconds since the tracer was created.
@@ -263,11 +344,27 @@ impl Tracer {
         if let Some(pos) = inner.stack.iter().rposition(|&s| s == id) {
             inner.stack.remove(pos);
         }
-        let span = &mut inner.spans[id as usize];
+        let Some(span) = inner.spans.get_mut(id as usize) else {
+            return 0; // degraded: unknown span id, nothing to close
+        };
         if span.end_us.is_none() {
             span.end_us = Some(now);
         }
-        now.saturating_sub(span.start_us)
+        let dur_us = now.saturating_sub(span.start_us);
+        let closed = (span.name.clone(), span.attrs.clone());
+        let sink = Tracer::live_sink(&inner);
+        drop(inner);
+        Tracer::publish(
+            sink,
+            now,
+            BusEventKind::SpanClosed {
+                id,
+                name: closed.0,
+                dur_us,
+                attrs: closed.1,
+            },
+        );
+        dur_us
     }
 }
 
@@ -287,35 +384,52 @@ impl SpanGuard {
     /// Set (or overwrite) an attribute on this span.
     pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
         let mut inner = self.tracer.inner.lock();
-        inner.spans[self.id as usize]
-            .attrs
-            .insert(key.to_string(), value.into());
+        if let Some(span) = inner.spans.get_mut(self.id as usize) {
+            span.attrs.insert(key.to_string(), value.into());
+        }
     }
 
     /// Accumulate into a numeric attribute (starting from 0).
     pub fn add_u64(&self, key: &str, delta: u64) {
         let mut inner = self.tracer.inner.lock();
-        let attrs = &mut inner.spans[self.id as usize].attrs;
-        let base = attrs.get(key).and_then(AttrValue::as_u64).unwrap_or(0);
-        attrs.insert(key.to_string(), AttrValue::U64(base + delta));
+        if let Some(span) = inner.spans.get_mut(self.id as usize) {
+            let base = span.attrs.get(key).and_then(AttrValue::as_u64).unwrap_or(0);
+            span.attrs.insert(key.to_string(), AttrValue::U64(base + delta));
+        }
     }
 
     /// Record a point event directly on this span.
     pub fn event(&self, name: &str, attrs: &[(&str, AttrValue)]) {
         let mut inner = self.tracer.inner.lock();
         let at_us = inner.origin.elapsed().as_micros() as u64;
-        inner.spans[self.id as usize].events.push(TraceEvent {
+        let ev = TraceEvent {
             name: name.to_string(),
             at_us,
             attrs: attr_map(attrs),
-        });
+        };
+        if let Some(span) = inner.spans.get_mut(self.id as usize) {
+            span.events.push(ev.clone());
+        }
+        let sink = Tracer::live_sink(&inner);
+        drop(inner);
+        Tracer::publish(
+            sink,
+            at_us,
+            BusEventKind::Point {
+                name: ev.name,
+                attrs: ev.attrs,
+            },
+        );
     }
 
     /// Microseconds since this span opened.
     pub fn elapsed_us(&self) -> u64 {
         let inner = self.tracer.inner.lock();
         let now = inner.origin.elapsed().as_micros() as u64;
-        now.saturating_sub(inner.spans[self.id as usize].start_us)
+        inner
+            .spans
+            .get(self.id as usize)
+            .map_or(0, |span| now.saturating_sub(span.start_us))
     }
 
     /// Close the span now and return its duration in microseconds.
@@ -404,6 +518,45 @@ mod tests {
         drop(root);
         let snap = t.snapshot();
         assert_eq!(snap.spans[0].events.len(), 4);
+    }
+
+    #[test]
+    fn attached_bus_sees_opens_closes_and_points() {
+        let t = Tracer::new();
+        let bus = EventBus::new();
+        t.attach_bus(bus.clone(), &[("job", AttrValue::from(7u64))]);
+        let sub = bus.subscribe(32);
+        {
+            let s = t.span("analysis");
+            s.set_attr("stage", "planner");
+            s.event("llm_call", &[("tokens", AttrValue::from(12u64))]);
+        }
+        t.event("orphan", &[]);
+        let events = sub.drain();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(kinds, ["span_opened", "point", "span_closed", "point"]);
+        // Run attrs ride on every event; close carries final span attrs.
+        assert!(events
+            .iter()
+            .all(|e| e.run.get("job").and_then(AttrValue::as_u64) == Some(7)));
+        match &events[2].kind {
+            BusEventKind::SpanClosed { name, attrs, .. } => {
+                assert_eq!(name, "analysis");
+                assert_eq!(attrs.get("stage").and_then(AttrValue::as_str), Some("planner"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The trace itself is unchanged by streaming.
+        assert_eq!(t.snapshot().spans.len(), 1);
+    }
+
+    #[test]
+    fn unsubscribed_bus_adds_no_events_and_no_failures() {
+        let t = Tracer::new();
+        let bus = EventBus::new();
+        t.attach_bus(bus.clone(), &[]);
+        drop(t.span("quiet"));
+        assert_eq!(bus.events_published(), 0);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Golden-file tests pinning the two wire formats other tools consume:
+//! the JSONL trace schema (`snapshot_to_jsonl`) and the Prometheus text
+//! exposition (`render_prometheus`).
+//!
+//! The inputs are hand-constructed with fixed timestamps, so the
+//! expected output is byte-exact. If either format changes these tests
+//! must be updated deliberately — that is the point: downstream
+//! consumers (dashboards, scrapers, the paper's analysis notebooks)
+//! parse these bytes.
+
+use infera_obs::{
+    render_prometheus, snapshot_to_jsonl, AttrValue, MetricsRegistry, SpanRecord, TraceEvent,
+    TraceSnapshot,
+};
+use std::collections::BTreeMap;
+
+fn attrs(pairs: &[(&str, AttrValue)]) -> BTreeMap<String, AttrValue> {
+    pairs
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect()
+}
+
+fn fixed_snapshot() -> TraceSnapshot {
+    TraceSnapshot {
+        spans: vec![
+            SpanRecord {
+                id: 0,
+                parent: None,
+                name: "analysis".to_string(),
+                start_us: 10,
+                end_us: Some(5010),
+                attrs: attrs(&[("question", AttrValue::from("q1"))]),
+                events: Vec::new(),
+            },
+            SpanRecord {
+                id: 1,
+                parent: Some(0),
+                name: "node:sql".to_string(),
+                start_us: 100,
+                end_us: Some(4100),
+                attrs: attrs(&[
+                    ("redos", AttrValue::from(1u64)),
+                    ("stage", AttrValue::from("sql")),
+                ]),
+                events: vec![TraceEvent {
+                    name: "llm_call".to_string(),
+                    at_us: 200,
+                    attrs: attrs(&[
+                        ("latency_ms", AttrValue::from(3u64)),
+                        ("tokens", AttrValue::from(42u64)),
+                    ]),
+                }],
+            },
+        ],
+        orphan_events: vec![TraceEvent {
+            name: "late".to_string(),
+            at_us: 5500,
+            attrs: BTreeMap::new(),
+        }],
+    }
+}
+
+/// Pins the JSONL schema: field names, field order, type tags, and the
+/// skip-empty rules, exactly as written to `trace.jsonl` files.
+#[test]
+fn jsonl_trace_schema_is_pinned() {
+    let run = attrs(&[("salt", AttrValue::from(7u64))]);
+    let got = snapshot_to_jsonl(&fixed_snapshot(), &run);
+    let want = concat!(
+        r#"{"type":"span","run":{"salt":7},"id":0,"name":"analysis","start_us":10,"end_us":5010,"dur_us":5000,"attrs":{"question":"q1"}}"#,
+        "\n",
+        r#"{"type":"span","run":{"salt":7},"id":1,"parent":0,"name":"node:sql","start_us":100,"end_us":4100,"dur_us":4000,"attrs":{"redos":1,"stage":"sql"},"events":[{"name":"llm_call","at_us":200,"attrs":{"latency_ms":3,"tokens":42}}]}"#,
+        "\n",
+        r#"{"type":"event","run":{"salt":7},"name":"late","at_us":5500}"#,
+        "\n",
+    );
+    assert_eq!(got, want, "JSONL trace schema drifted");
+}
+
+/// Pins the Prometheus exposition: family naming, TYPE lines, cumulative
+/// bucket encoding, and number formatting.
+#[test]
+fn prometheus_exposition_format_is_pinned() {
+    let m = MetricsRegistry::new();
+    m.inc("serve.jobs_completed", 12);
+    m.inc("obs.events_dropped", 0);
+    m.set_gauge("serve.queue_depth", 3.0);
+    m.set_gauge("cache.ratio", 0.5);
+    m.observe_with_buckets("serve.run_ms", 2.0, &[1.0, 2.5, 5.0]);
+    m.observe_with_buckets("serve.run_ms", 4.0, &[1.0, 2.5, 5.0]);
+    m.observe_with_buckets("serve.run_ms", 40.0, &[1.0, 2.5, 5.0]);
+    let got = render_prometheus(&m);
+    let want = "\
+# TYPE infera_obs_events_dropped counter
+infera_obs_events_dropped 0
+# TYPE infera_serve_jobs_completed counter
+infera_serve_jobs_completed 12
+# TYPE infera_cache_ratio gauge
+infera_cache_ratio 0.5
+# TYPE infera_serve_queue_depth gauge
+infera_serve_queue_depth 3
+# TYPE infera_serve_run_ms histogram
+infera_serve_run_ms_bucket{le=\"1\"} 0
+infera_serve_run_ms_bucket{le=\"2.5\"} 1
+infera_serve_run_ms_bucket{le=\"5\"} 2
+infera_serve_run_ms_bucket{le=\"+Inf\"} 3
+infera_serve_run_ms_sum 46
+infera_serve_run_ms_count 3
+";
+    assert_eq!(got, want, "Prometheus exposition format drifted");
+}
+
+/// The JSONL output round-trips through a generic JSON parser — every
+/// line is a self-contained object with a `type` tag.
+#[test]
+fn jsonl_lines_are_self_describing_json() {
+    let got = snapshot_to_jsonl(&fixed_snapshot(), &BTreeMap::new());
+    let mut kinds = Vec::new();
+    for line in got.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid json line");
+        kinds.push(v["type"].as_str().expect("type tag").to_string());
+    }
+    assert_eq!(kinds, ["span", "span", "event"]);
+}

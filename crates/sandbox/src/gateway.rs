@@ -15,7 +15,7 @@ use crate::lang::parse_program;
 use crate::tool::ToolRegistry;
 use crossbeam::channel;
 use infera_frame::DataFrame;
-use infera_obs::Obs;
+use infera_obs::{metric_names, Obs};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -80,12 +80,12 @@ impl SandboxServer {
     /// runs on the worker against cloned inputs.
     pub fn execute(&self, req: ExecutionRequest) -> SandboxResult<ExecutionReport> {
         let span = self.obs.tracer.span("sandbox:execute");
-        self.obs.metrics.inc("sandbox.executions", 1);
+        self.obs.metrics.inc(metric_names::SANDBOX_EXECUTIONS, 1);
         let stmts = match parse_program(&req.program) {
             Ok(stmts) => stmts,
             Err(e) => {
                 span.set_attr("error", e.to_string());
-                self.obs.metrics.inc("sandbox.parse_errors", 1);
+                self.obs.metrics.inc(metric_names::SANDBOX_PARSE_ERRORS, 1);
                 return Err(e);
             }
         };
@@ -102,7 +102,7 @@ impl SandboxServer {
         let outcome = rx.recv_timeout(self.timeout);
         self.obs
             .metrics
-            .observe("sandbox.exec_us", span.elapsed_us() as f64);
+            .observe(metric_names::SANDBOX_EXEC_US, span.elapsed_us() as f64);
         match outcome {
             Ok(Ok(out)) => {
                 span.set_attr("rows_out", out.result.n_rows());
@@ -119,12 +119,12 @@ impl SandboxServer {
             }
             Ok(Err(e)) => {
                 span.set_attr("error", e.to_string());
-                self.obs.metrics.inc("sandbox.exec_errors", 1);
+                self.obs.metrics.inc(metric_names::SANDBOX_EXEC_ERRORS, 1);
                 Err(e)
             }
             Err(_) => {
                 span.set_attr("error", "timeout");
-                self.obs.metrics.inc("sandbox.timeouts", 1);
+                self.obs.metrics.inc(metric_names::SANDBOX_TIMEOUTS, 1);
                 Err(SandboxError::new(
                     ErrorKind::Timeout,
                     format!("execution exceeded {:?}", self.timeout),
@@ -235,8 +235,8 @@ mod tests {
             .find(|s| s.name == "sandbox:execute")
             .expect("execute span recorded");
         assert_eq!(report.wall.as_micros() as u64, span.dur_us().max(1));
-        assert_eq!(obs.metrics.counter("sandbox.executions"), 1);
-        assert!(obs.metrics.histogram("sandbox.exec_us").is_some());
+        assert_eq!(obs.metrics.counter(metric_names::SANDBOX_EXECUTIONS), 1);
+        assert!(obs.metrics.histogram(metric_names::SANDBOX_EXEC_US).is_some());
     }
 
     #[test]
@@ -249,13 +249,13 @@ mod tests {
                 inputs: inputs(),
             })
             .unwrap_err();
-        assert_eq!(obs.metrics.counter("sandbox.parse_errors"), 1);
+        assert_eq!(obs.metrics.counter(metric_names::SANDBOX_PARSE_ERRORS), 1);
         server
             .execute(ExecutionRequest {
                 program: "x = filter(df, nonexistent > 1)".into(),
                 inputs: inputs(),
             })
             .unwrap_err();
-        assert_eq!(obs.metrics.counter("sandbox.exec_errors"), 1);
+        assert_eq!(obs.metrics.counter(metric_names::SANDBOX_EXEC_ERRORS), 1);
     }
 }

@@ -9,10 +9,11 @@
 //! derived from its question id, so `(session seed, salt)` — and hence
 //! the analytical output — is constant across worker counts.
 
-use crate::job::{JobSpec, JobStatus};
+use crate::job::{JobResult, JobSpec, JobStatus};
 use crate::scheduler::{metric_names, Scheduler, ServeConfig};
-use infera_core::{question_set, InferA, InferaError, InferaResult, SessionConfig};
+use infera_core::{question_set, InferA, InferaError, InferaResult, Question, SessionConfig};
 use infera_hacc::Manifest;
+use infera_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
@@ -66,12 +67,41 @@ pub struct WorkerRow {
     /// Client-observed latency (queue + run), ms.
     pub p50_ms: u64,
     pub p95_ms: u64,
+    pub p99_ms: u64,
+    /// Queue wait alone (admission to worker pickup), ms.
+    pub queue_p50_ms: u64,
+    pub queue_p95_ms: u64,
+    pub queue_p99_ms: u64,
+    /// Run time alone (worker pickup to finish), ms.
+    pub run_p50_ms: u64,
+    pub run_p95_ms: u64,
+    pub run_p99_ms: u64,
     pub speedup_vs_serial: f64,
     pub jobs_completed: u64,
     pub jobs_failed: u64,
     pub cache_hits: u64,
     /// Decoded-batch cache hits across the configuration's runs.
     pub shared_cache_hits: u64,
+}
+
+/// Cost of serving with a live event-bus subscriber attached,
+/// measured by re-running the widest configuration with a draining
+/// subscription and comparing against the plain run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BusOverhead {
+    pub workers: usize,
+    /// Wall clock of the plain (no-subscriber) run at this width, ms.
+    pub wall_ms_baseline: u64,
+    /// Wall clock with a subscriber attached, ms.
+    pub wall_ms_with_bus: u64,
+    /// `(with_bus - baseline) / baseline`, percent. Small negative
+    /// values are run-to-run noise.
+    pub overhead_pct: f64,
+    pub events_delivered: u64,
+    pub events_dropped: u64,
+    /// The with-bus run's digests matched the serial baseline:
+    /// observability must never change answers.
+    pub digests_match: bool,
 }
 
 /// `BENCH_serve.json`.
@@ -86,6 +116,7 @@ pub struct BenchServeReport {
     pub digests_match: bool,
     /// Question ids whose digests diverged (empty when `digests_match`).
     pub divergent_questions: Vec<u32>,
+    pub bus: BusOverhead,
 }
 
 impl BenchServeReport {
@@ -101,21 +132,33 @@ impl BenchServeReport {
         );
         let _ = writeln!(
             out,
-            "{:>8} {:>10} {:>12} {:>9} {:>9} {:>9}",
-            "workers", "wall_ms", "qpm", "p50_ms", "p95_ms", "speedup"
+            "{:>8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>14} {:>14} {:>9}",
+            "workers", "wall_ms", "qpm", "p50_ms", "p95_ms", "p99_ms", "queue_p50/p99", "run_p50/p99", "speedup"
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{:>8} {:>10} {:>12.2} {:>9} {:>9} {:>8.2}x",
+                "{:>8} {:>10} {:>12.2} {:>9} {:>9} {:>9} {:>14} {:>14} {:>8.2}x",
                 row.workers,
                 row.wall_ms,
                 row.throughput_qpm,
                 row.p50_ms,
                 row.p95_ms,
+                row.p99_ms,
+                format!("{}/{}", row.queue_p50_ms, row.queue_p99_ms),
+                format!("{}/{}", row.run_p50_ms, row.run_p99_ms),
                 row.speedup_vs_serial
             );
         }
+        let _ = writeln!(
+            out,
+            "bus overhead @{} workers: {:+.1}% ({} events delivered, {} dropped, digests {})",
+            self.bus.workers,
+            self.bus.overhead_pct,
+            self.bus.events_delivered,
+            self.bus.events_dropped,
+            if self.bus.digests_match { "IDENTICAL" } else { "DIVERGED" },
+        );
         out
     }
 }
@@ -126,6 +169,98 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let rank = (p * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One configuration's raw measurements, before row assembly.
+struct ConfigRun {
+    results: Vec<JobResult>,
+    wall_ms: u64,
+    metrics: MetricsRegistry,
+    shared_hits: u64,
+    events_delivered: u64,
+    events_dropped: u64,
+}
+
+/// Run the whole question set once at `workers` workers. With
+/// `drain_bus`, a subscriber is attached before submission (activating
+/// event publication end to end) and drained after shutdown.
+fn run_configuration(
+    manifest: &Manifest,
+    work: &Path,
+    opts: &BenchOpts,
+    questions: &[Question],
+    workers: usize,
+    drain_bus: bool,
+) -> InferaResult<ConfigRun> {
+    std::fs::remove_dir_all(work).ok();
+    let mut run_config = infera_agents::RunConfig::default();
+    run_config.llm_sleep_scale = opts.sleep_scale;
+    let session = Arc::new(
+        InferA::from_manifest(manifest.clone())
+            .work_dir(work)
+            .config(
+                SessionConfig::default()
+                    .with_seed(opts.seed)
+                    .with_run_config(run_config),
+            )
+            .build()?,
+    );
+    let sched = Scheduler::new(
+        session.clone(),
+        ServeConfig::with_pool(workers, questions.len().max(1)),
+    );
+    let sub = drain_bus.then(|| sched.bus().subscribe(65_536));
+    let started = Instant::now();
+    for q in questions {
+        let spec = JobSpec::new(&q.text, u64::from(q.id) * 1000).semantic(q.semantic);
+        sched
+            .submit_spec(spec)
+            .map_err(|r| InferaError::internal(format!("bench admission failed: {r}")))?;
+    }
+    let metrics = sched.metrics().clone();
+    let results = sched.shutdown();
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let (events_delivered, events_dropped) = match &sub {
+        Some(sub) => (sub.drain().len() as u64, sub.dropped()),
+        None => (0, 0),
+    };
+    Ok(ConfigRun {
+        results,
+        wall_ms,
+        metrics,
+        shared_hits: session.shared_cache().hit_count(),
+        events_delivered,
+        events_dropped,
+    })
+}
+
+/// `(question id, digest)` pairs for a configuration's results.
+fn digest_map(questions: &[Question], results: &[JobResult]) -> Vec<(u32, u64)> {
+    results
+        .iter()
+        .map(|r| {
+            let qid = questions
+                .iter()
+                .find(|q| u64::from(q.id) * 1000 == r.salt)
+                .map_or(0, |q| q.id);
+            (qid, r.digest)
+        })
+        .collect()
+}
+
+/// Question ids in `config` whose digest differs from `baseline`.
+fn divergences(baseline: &[(u32, u64)], config: &[(u32, u64)]) -> Vec<u32> {
+    let mut divergent = Vec::new();
+    for (qid, digest) in config {
+        let base = baseline
+            .iter()
+            .find(|(b_qid, _)| b_qid == qid)
+            .map(|(_, d)| *d);
+        if base != Some(*digest) && !divergent.contains(qid) {
+            divergent.push(*qid);
+        }
+    }
+    divergent
 }
 
 /// Run the sweep. `work_root` receives one work dir per configuration.
@@ -150,91 +285,85 @@ pub fn run_bench(
 
     for &workers in &opts.worker_counts {
         let work = work_root.join(format!("workers_{workers}"));
-        std::fs::remove_dir_all(&work).ok();
-        let mut run_config = infera_agents::RunConfig::default();
-        run_config.llm_sleep_scale = opts.sleep_scale;
-        let session = Arc::new(
-            InferA::from_manifest(manifest.clone())
-                .work_dir(&work)
-                .config(
-                    SessionConfig::default()
-                        .with_seed(opts.seed)
-                        .with_run_config(run_config),
-                )
-                .build()?,
-        );
-        let sched = Scheduler::new(
-            session.clone(),
-            ServeConfig {
-                workers,
-                queue_capacity: questions.len().max(1),
-            },
-        );
-        let started = Instant::now();
-        for q in &questions {
-            let spec = JobSpec::new(&q.text, u64::from(q.id) * 1000).semantic(q.semantic);
-            sched
-                .submit_spec(spec)
-                .map_err(|r| InferaError::internal(format!("bench admission failed: {r}")))?;
-        }
-        let salts: Vec<(u64, u32)> = questions
-            .iter()
-            .map(|q| (u64::from(q.id) * 1000, q.id))
-            .collect();
-        let metrics = sched.metrics().clone();
-        let results = sched.shutdown();
-        let wall_ms = started.elapsed().as_millis() as u64;
-        let shared_hits = session.shared_cache().hit_count();
-
+        let run = run_configuration(manifest, &work, opts, &questions, workers, false)?;
         let mut latencies: Vec<u64> =
-            results.iter().map(|r| r.queue_ms + r.run_ms).collect();
+            run.results.iter().map(|r| r.queue_ms + r.run_ms).collect();
         latencies.sort_unstable();
-        let failed = results
+        let mut queue_waits: Vec<u64> = run.results.iter().map(|r| r.queue_ms).collect();
+        queue_waits.sort_unstable();
+        let mut run_times: Vec<u64> = run.results.iter().map(|r| r.run_ms).collect();
+        run_times.sort_unstable();
+        let failed = run
+            .results
             .iter()
             .filter(|r| matches!(r.status, JobStatus::Failed(_)))
             .count() as u64;
-        let serial_wall = rows.first().map_or(wall_ms, |r: &WorkerRow| r.wall_ms);
+        let serial_wall = rows.first().map_or(run.wall_ms, |r: &WorkerRow| r.wall_ms);
         rows.push(WorkerRow {
             workers,
-            wall_ms,
-            throughput_qpm: results.len() as f64 / (wall_ms.max(1) as f64 / 60_000.0),
+            wall_ms: run.wall_ms,
+            throughput_qpm: run.results.len() as f64 / (run.wall_ms.max(1) as f64 / 60_000.0),
             p50_ms: percentile(&latencies, 0.50),
             p95_ms: percentile(&latencies, 0.95),
-            speedup_vs_serial: serial_wall as f64 / wall_ms.max(1) as f64,
-            jobs_completed: metrics.counter(metric_names::JOBS_COMPLETED),
+            p99_ms: percentile(&latencies, 0.99),
+            queue_p50_ms: percentile(&queue_waits, 0.50),
+            queue_p95_ms: percentile(&queue_waits, 0.95),
+            queue_p99_ms: percentile(&queue_waits, 0.99),
+            run_p50_ms: percentile(&run_times, 0.50),
+            run_p95_ms: percentile(&run_times, 0.95),
+            run_p99_ms: percentile(&run_times, 0.99),
+            speedup_vs_serial: serial_wall as f64 / run.wall_ms.max(1) as f64,
+            jobs_completed: run.metrics.counter(metric_names::JOBS_COMPLETED),
             jobs_failed: failed,
-            cache_hits: metrics.counter(metric_names::CACHE_HITS),
-            shared_cache_hits: shared_hits,
+            cache_hits: run.metrics.counter(metric_names::CACHE_HITS),
+            shared_cache_hits: run.shared_hits,
         });
-        digests.push(
-            results
-                .iter()
-                .map(|r| {
-                    let qid = salts
-                        .iter()
-                        .find(|(salt, _)| *salt == r.salt)
-                        .map_or(0, |(_, id)| *id);
-                    (qid, r.digest)
-                })
-                .collect(),
-        );
+        digests.push(digest_map(&questions, &run.results));
     }
 
     // Compare every configuration's digests against the first (serial).
     let mut divergent: Vec<u32> = Vec::new();
-    let baseline = &digests[0];
+    let baseline = digests[0].clone();
     for config in &digests[1..] {
-        for (qid, digest) in config {
-            let base = baseline
-                .iter()
-                .find(|(b_qid, _)| b_qid == qid)
-                .map(|(_, d)| *d);
-            if base != Some(*digest) && !divergent.contains(qid) {
-                divergent.push(*qid);
+        for qid in divergences(&baseline, config) {
+            if !divergent.contains(&qid) {
+                divergent.push(qid);
             }
         }
     }
+
+    // Bus-overhead pass: the widest configuration again, this time with
+    // a subscriber attached so every span/job event is serialized onto
+    // the bus. Observability must be close to free and must not change
+    // a single digest.
+    let bus_workers = *opts.worker_counts.last().expect("non-empty checked above");
+    let bus_run = run_configuration(
+        manifest,
+        &work_root.join(format!("workers_{bus_workers}_bus")),
+        opts,
+        &questions,
+        bus_workers,
+        true,
+    )?;
+    let bus_baseline_wall = rows.last().expect("one row per worker count").wall_ms;
+    let bus_divergent = divergences(&baseline, &digest_map(&questions, &bus_run.results));
+    for qid in &bus_divergent {
+        if !divergent.contains(qid) {
+            divergent.push(*qid);
+        }
+    }
     divergent.sort_unstable();
+    let bus = BusOverhead {
+        workers: bus_workers,
+        wall_ms_baseline: bus_baseline_wall,
+        wall_ms_with_bus: bus_run.wall_ms,
+        overhead_pct: (bus_run.wall_ms as f64 - bus_baseline_wall as f64)
+            / bus_baseline_wall.max(1) as f64
+            * 100.0,
+        events_delivered: bus_run.events_delivered,
+        events_dropped: bus_run.events_dropped,
+        digests_match: bus_divergent.is_empty(),
+    };
 
     Ok(BenchServeReport {
         questions: questions.len(),
@@ -244,6 +373,7 @@ pub fn run_bench(
         rows,
         digests_match: divergent.is_empty(),
         divergent_questions: divergent,
+        bus,
     })
 }
 
@@ -268,9 +398,21 @@ mod tests {
             report.divergent_questions
         );
         assert_eq!(report.rows[0].workers, 1);
+        // Queue-wait + run-time percentiles decompose client latency.
+        for row in &report.rows {
+            assert!(row.p99_ms >= row.p95_ms);
+            assert!(row.run_p99_ms >= row.run_p50_ms);
+        }
+        // The with-bus pass delivered real events and changed nothing.
+        assert!(report.bus.digests_match, "bus run diverged");
+        assert!(report.bus.events_delivered > 0, "subscriber saw no events");
+        assert_eq!(report.bus.workers, 4);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("throughput_qpm"));
+        assert!(json.contains("queue_p99_ms"));
+        assert!(json.contains("overhead_pct"));
         let text = report.to_text();
         assert!(text.contains("IDENTICAL"));
+        assert!(text.contains("bus overhead"));
     }
 }

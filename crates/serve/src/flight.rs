@@ -1,0 +1,257 @@
+//! The slow-query flight recorder.
+//!
+//! Dashboards answer "how slow is the server"; the flight recorder
+//! answers "what exactly did the slow one do". It is a bounded ring
+//! that retains the **full span trace** of (a) the N slowest completed
+//! jobs and (b) the most recent M failed/timed-out jobs, so a tail-p99
+//! question or a 2 a.m. timeout can be dissected after the fact with
+//! `infera stats --flight` — no reproduction run needed.
+//!
+//! Retention policy:
+//!
+//! * slowest ring: kept sorted by `run_ms` descending, capacity
+//!   `slow_capacity`. A finished job enters only if the ring has room
+//!   or it beats the current slowest cutoff; the entry it displaces is
+//!   dropped (and counted). Trace snapshotting is gated on admission,
+//!   so fast jobs never pay for a snapshot.
+//! * failure ring: every failed/timed-out job enters, capacity
+//!   `failure_capacity`, oldest evicted first. Failures are always
+//!   worth keeping — they are the jobs with no `RunReport` to inspect.
+//!
+//! The recorder is `Clone` (shared handle) and all operations are
+//! O(capacity) under one mutex — capacities are small by design.
+
+use infera_obs::TraceSnapshot;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How a recorded job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlightOutcome {
+    Completed,
+    Failed,
+    TimedOut,
+}
+
+impl FlightOutcome {
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightOutcome::Completed => "completed",
+            FlightOutcome::Failed => "failed",
+            FlightOutcome::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// One retained job: identity, timing, and the complete span trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlightEntry {
+    pub job_id: u64,
+    pub question: String,
+    pub salt: u64,
+    pub outcome: FlightOutcome,
+    /// The error message, for failed/timed-out jobs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    pub cache_hit: bool,
+    pub queue_ms: u64,
+    pub run_ms: u64,
+    /// Report digest (0 for failures).
+    pub digest: u64,
+    pub trace: TraceSnapshot,
+}
+
+/// Owned, serializable view of the recorder's state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlightSnapshot {
+    /// Slowest completed jobs, slowest first.
+    pub slowest: Vec<FlightEntry>,
+    /// Failed/timed-out jobs, oldest first.
+    pub failures: Vec<FlightEntry>,
+    /// Jobs offered to the recorder (admitted or not).
+    pub recorded: u64,
+    /// Entries evicted by capacity (displaced slow entries + aged-out
+    /// failures). Offered-but-never-admitted fast jobs don't count.
+    pub dropped: u64,
+    pub slow_capacity: usize,
+    pub failure_capacity: usize,
+}
+
+impl FlightSnapshot {
+    /// Every retained entry, failures first (they are the action items).
+    pub fn entries(&self) -> impl Iterator<Item = &FlightEntry> {
+        self.failures.iter().chain(self.slowest.iter())
+    }
+}
+
+struct FlightInner {
+    slowest: Vec<FlightEntry>,
+    failures: VecDeque<FlightEntry>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// Shared handle to the recorder. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    slow_capacity: usize,
+    failure_capacity: usize,
+    inner: Arc<Mutex<FlightInner>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("FlightRecorder")
+            .field("slowest", &inner.slowest.len())
+            .field("failures", &inner.failures.len())
+            .field("recorded", &inner.recorded)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    pub fn new(slow_capacity: usize, failure_capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            slow_capacity,
+            failure_capacity,
+            inner: Arc::new(Mutex::new(FlightInner {
+                slowest: Vec::new(),
+                failures: VecDeque::new(),
+                recorded: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Offer a *completed* job. `make` builds the entry (snapshotting
+    /// the trace) and is only called if the job is slow enough to enter
+    /// the ring — the common fast path costs one lock and a compare.
+    pub fn record_completed(&self, run_ms: u64, make: impl FnOnce() -> FlightEntry) {
+        let mut inner = self.inner.lock();
+        inner.recorded += 1;
+        if self.slow_capacity == 0 {
+            return;
+        }
+        let full = inner.slowest.len() >= self.slow_capacity;
+        if full && run_ms <= inner.slowest.last().map_or(0, |e| e.run_ms) {
+            return; // not slow enough for a full ring
+        }
+        let entry = make();
+        let at = inner
+            .slowest
+            .partition_point(|e| e.run_ms >= entry.run_ms);
+        inner.slowest.insert(at, entry);
+        if inner.slowest.len() > self.slow_capacity {
+            inner.slowest.pop();
+            inner.dropped += 1;
+        }
+    }
+
+    /// Record a failed/timed-out job. Always admitted; oldest failure
+    /// evicted at capacity.
+    pub fn record_failure(&self, entry: FlightEntry) {
+        let mut inner = self.inner.lock();
+        inner.recorded += 1;
+        if self.failure_capacity == 0 {
+            return;
+        }
+        inner.failures.push_back(entry);
+        if inner.failures.len() > self.failure_capacity {
+            inner.failures.pop_front();
+            inner.dropped += 1;
+        }
+    }
+
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let inner = self.inner.lock();
+        FlightSnapshot {
+            slowest: inner.slowest.clone(),
+            failures: inner.failures.iter().cloned().collect(),
+            recorded: inner.recorded,
+            dropped: inner.dropped,
+            slow_capacity: self.slow_capacity,
+            failure_capacity: self.failure_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(job_id: u64, run_ms: u64, outcome: FlightOutcome) -> FlightEntry {
+        FlightEntry {
+            job_id,
+            question: format!("q{job_id}"),
+            salt: job_id,
+            outcome,
+            error: matches!(outcome, FlightOutcome::Failed | FlightOutcome::TimedOut)
+                .then(|| "boom".to_string()),
+            cache_hit: false,
+            queue_ms: 1,
+            run_ms,
+            digest: 0,
+            trace: TraceSnapshot {
+                spans: Vec::new(),
+                orphan_events: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn slowest_ring_keeps_top_n_sorted() {
+        let rec = FlightRecorder::new(3, 4);
+        for (id, ms) in [(1, 50), (2, 10), (3, 90), (4, 30), (5, 70)] {
+            rec.record_completed(ms, || entry(id, ms, FlightOutcome::Completed));
+        }
+        let snap = rec.snapshot();
+        let kept: Vec<(u64, u64)> = snap.slowest.iter().map(|e| (e.job_id, e.run_ms)).collect();
+        assert_eq!(kept, [(3, 90), (5, 70), (1, 50)]);
+        assert_eq!(snap.recorded, 5);
+        assert_eq!(snap.dropped, 2, "job 4 displaced job 2, then job 5 displaced job 4");
+    }
+
+    #[test]
+    fn fast_jobs_never_build_an_entry_once_full() {
+        let rec = FlightRecorder::new(1, 1);
+        rec.record_completed(100, || entry(1, 100, FlightOutcome::Completed));
+        let mut built = false;
+        rec.record_completed(5, || {
+            built = true;
+            entry(2, 5, FlightOutcome::Completed)
+        });
+        assert!(!built, "closure must not run for a too-fast job");
+        assert_eq!(rec.snapshot().slowest.len(), 1);
+    }
+
+    #[test]
+    fn failure_ring_evicts_oldest() {
+        let rec = FlightRecorder::new(2, 2);
+        for id in 1..=3 {
+            rec.record_failure(entry(id, 10, FlightOutcome::Failed));
+        }
+        let snap = rec.snapshot();
+        let kept: Vec<u64> = snap.failures.iter().map(|e| e.job_id).collect();
+        assert_eq!(kept, [2, 3]);
+        assert_eq!(snap.dropped, 1);
+        // Failures lead the combined iteration.
+        assert_eq!(snap.entries().next().unwrap().job_id, 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let rec = FlightRecorder::new(2, 2);
+        rec.record_completed(40, || entry(1, 40, FlightOutcome::Completed));
+        rec.record_failure(entry(2, 15, FlightOutcome::TimedOut));
+        let snap = rec.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: FlightSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slowest.len(), 1);
+        assert_eq!(back.failures.len(), 1);
+        assert_eq!(back.failures[0].outcome, FlightOutcome::TimedOut);
+        assert_eq!(back.failures[0].error.as_deref(), Some("boom"));
+    }
+}

@@ -32,11 +32,18 @@
 pub mod bench;
 pub mod cache;
 pub mod digest;
+pub mod flight;
 pub mod job;
 pub mod scheduler;
+pub mod telemetry;
 
 pub use bench::{run_bench, BenchOpts, BenchServeReport, WorkerRow};
 pub use cache::{ResultCache, ResultKey};
 pub use digest::report_digest;
+pub use flight::{FlightEntry, FlightOutcome, FlightRecorder, FlightSnapshot};
 pub use job::{JobResult, JobSpec, JobStatus, RejectReason};
 pub use scheduler::{Scheduler, ServeConfig};
+pub use telemetry::{
+    event_names, load_observability, persist_observability, render_stats_line,
+    ObservabilityArtifacts,
+};

@@ -9,22 +9,34 @@
 //!
 //! Metrics (a [`MetricsRegistry`] the embedder can scrape):
 //!
-//! | name                   | kind    |                                |
-//! |------------------------|---------|--------------------------------|
-//! | `serve.queue_depth`    | gauge   | jobs queued, not yet picked up |
-//! | `serve.jobs_accepted`  | counter | submissions admitted           |
-//! | `serve.jobs_rejected`  | counter | submissions refused            |
-//! | `serve.jobs_completed` | counter | results delivered              |
-//! | `serve.jobs_failed`    | counter | completions with an error      |
-//! | `serve.cache_hits`     | counter | answered from the result cache |
+//! | name                    | kind      |                                |
+//! |-------------------------|-----------|--------------------------------|
+//! | `serve.queue_depth`     | gauge     | jobs queued, not yet picked up |
+//! | `serve.jobs_accepted`   | counter   | submissions admitted           |
+//! | `serve.jobs_rejected`   | counter   | submissions refused            |
+//! | `serve.jobs_completed`  | counter   | results delivered              |
+//! | `serve.jobs_failed`     | counter   | completions with an error      |
+//! | `serve.jobs_timed_out`  | counter   | failures that hit a deadline   |
+//! | `serve.cache_hits`      | counter   | answered from the result cache |
+//! | `serve.queue_wait_ms`   | histogram | admission → pickup latency     |
+//! | `serve.run_ms`          | histogram | pickup → completion latency    |
+//!
+//! Live observability: the scheduler owns an [`EventBus`] every job's
+//! tracer is attached to (span stream + per-job lifecycle events, see
+//! [`crate::telemetry::event_names`]), a [`GlobalMetrics`] aggregate
+//! each finished job's per-run registry is absorbed into, and a
+//! [`FlightRecorder`] retaining full traces of the slowest and all
+//! failed/timed-out jobs.
 
 use crate::cache::{ResultCache, ResultKey};
 use crate::digest::report_digest;
+use crate::flight::{FlightEntry, FlightOutcome, FlightRecorder};
 use crate::job::{JobResult, JobSpec, JobStatus, RejectReason};
+use crate::telemetry::{self, event_names};
 use crossbeam::channel::{self, TrySendError};
 use infera_agents::CancelToken;
-use infera_core::{estimate_semantic_level, AskOptions, InferA};
-use infera_obs::MetricsRegistry;
+use infera_core::{estimate_semantic_level, AskOptions, ErrorKind, InferA, InferaResult};
+use infera_obs::{AttrValue, EventBus, GlobalMetrics, MetricsRegistry, Obs};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,14 +44,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Metric names exported by the scheduler.
+/// Metric names exported by the scheduler — aliases of the declared
+/// constants in [`infera_obs::metric_names`] (kept as a module for
+/// backward compatibility with earlier callers).
 pub mod metric_names {
-    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
-    pub const JOBS_ACCEPTED: &str = "serve.jobs_accepted";
-    pub const JOBS_REJECTED: &str = "serve.jobs_rejected";
-    pub const JOBS_COMPLETED: &str = "serve.jobs_completed";
-    pub const JOBS_FAILED: &str = "serve.jobs_failed";
-    pub const CACHE_HITS: &str = "serve.cache_hits";
+    use infera_obs::metric_names as m;
+    pub const QUEUE_DEPTH: &str = m::SERVE_QUEUE_DEPTH;
+    pub const JOBS_ACCEPTED: &str = m::SERVE_JOBS_ACCEPTED;
+    pub const JOBS_REJECTED: &str = m::SERVE_JOBS_REJECTED;
+    pub const JOBS_COMPLETED: &str = m::SERVE_JOBS_COMPLETED;
+    pub const JOBS_FAILED: &str = m::SERVE_JOBS_FAILED;
+    pub const JOBS_TIMED_OUT: &str = m::SERVE_JOBS_TIMED_OUT;
+    pub const CACHE_HITS: &str = m::SERVE_CACHE_HITS;
+    pub const QUEUE_WAIT_MS: &str = m::SERVE_QUEUE_WAIT_MS;
+    pub const RUN_MS: &str = m::SERVE_RUN_MS;
 }
 
 /// Scheduler configuration.
@@ -49,6 +67,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue capacity (jobs admitted but not yet picked up).
     pub queue_capacity: usize,
+    /// Flight-recorder slots for the slowest completed jobs.
+    pub flight_slowest: usize,
+    /// Flight-recorder slots for failed/timed-out jobs.
+    pub flight_failures: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +78,19 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             queue_capacity: 64,
+            flight_slowest: 8,
+            flight_failures: 32,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Minimal config for tests/benches: just workers + queue size.
+    pub fn with_pool(workers: usize, queue_capacity: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            queue_capacity,
+            ..ServeConfig::default()
         }
     }
 }
@@ -72,6 +107,9 @@ struct SchedulerShared {
     session: Arc<InferA>,
     cache: Arc<ResultCache>,
     metrics: MetricsRegistry,
+    bus: EventBus,
+    global: GlobalMetrics,
+    flight: FlightRecorder,
     queue_depth: AtomicU64,
     /// Cancel handles for queued + running jobs, by job id.
     inflight: Mutex<HashMap<u64, CancelToken>>,
@@ -104,10 +142,17 @@ impl Scheduler {
             session.config().result_cache_entries,
         ));
         cache.validate_fingerprint(session.manifest().fingerprint());
+        // The scheduler's own instruments record straight into the
+        // process-wide aggregate (same underlying registry), so one
+        // scrape sees scheduler counters and absorbed run metrics alike.
+        let global = GlobalMetrics::new();
         let shared = Arc::new(SchedulerShared {
             session,
             cache,
-            metrics: MetricsRegistry::new(),
+            metrics: global.registry().clone(),
+            bus: EventBus::new(),
+            global,
+            flight: FlightRecorder::new(config.flight_slowest, config.flight_failures),
             queue_depth: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
         });
@@ -150,6 +195,7 @@ impl Scheduler {
             return Err(RejectReason::ShuttingDown);
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let salt = spec.salt;
         let cancel = CancelToken::new();
         let job = QueuedJob {
             id,
@@ -163,16 +209,28 @@ impl Scheduler {
                 self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
                 self.shared.sync_queue_gauge();
                 self.shared.metrics.inc(metric_names::JOBS_ACCEPTED, 1);
+                self.shared.bus.publish_job(
+                    event_names::JOB_QUEUED,
+                    &[("job", AttrValue::from(id)), ("salt", AttrValue::from(salt))],
+                );
                 Ok(id)
             }
             Err(TrySendError::Full(_)) => {
                 self.shared.metrics.inc(metric_names::JOBS_REJECTED, 1);
+                self.shared.bus.publish_job(
+                    event_names::JOB_REJECTED,
+                    &[("reason", AttrValue::from("queue_full"))],
+                );
                 Err(RejectReason::QueueFull {
                     capacity: self.queue_capacity,
                 })
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.shared.metrics.inc(metric_names::JOBS_REJECTED, 1);
+                self.shared.bus.publish_job(
+                    event_names::JOB_REJECTED,
+                    &[("reason", AttrValue::from("shutting_down"))],
+                );
                 Err(RejectReason::ShuttingDown)
             }
         }
@@ -209,6 +267,42 @@ impl Scheduler {
 
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.shared.metrics
+    }
+
+    /// The live event bus: every job's span stream plus the scheduler's
+    /// own lifecycle events. Subscribe before submitting to see a job
+    /// from admission onward.
+    pub fn bus(&self) -> &EventBus {
+        &self.shared.bus
+    }
+
+    /// Process-wide metrics: every finished job's registry merged, plus
+    /// the scheduler's own instruments.
+    pub fn global_metrics(&self) -> &GlobalMetrics {
+        &self.shared.global
+    }
+
+    /// The slow-query flight recorder.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.shared.flight
+    }
+
+    /// One line of operational state (jobs/queue/latency/cache/bus).
+    pub fn stats_line(&self) -> String {
+        telemetry::sync_bus_counters(&self.shared.global, &self.shared.bus);
+        telemetry::render_stats_line(&self.shared.global, &self.shared.bus)
+    }
+
+    /// Write the observability artifacts (Prometheus exposition, global
+    /// snapshot, flight recorder) under `<work_dir>/obs/` for offline
+    /// inspection via `infera stats`.
+    pub fn persist_observability(&self, work_dir: &std::path::Path) -> InferaResult<std::path::PathBuf> {
+        telemetry::persist_observability(
+            work_dir,
+            &self.shared.global,
+            &self.shared.bus,
+            &self.shared.flight,
+        )
     }
 
     pub fn result_cache(&self) -> &Arc<ResultCache> {
@@ -264,8 +358,11 @@ fn worker_loop(
         let result = run_job(shared, &job);
         shared.inflight.lock().remove(&job.id);
         shared.metrics.inc(metric_names::JOBS_COMPLETED, 1);
-        if matches!(result.status, JobStatus::Failed(_)) {
+        if let JobStatus::Failed(err) = &result.status {
             shared.metrics.inc(metric_names::JOBS_FAILED, 1);
+            if err.kind() == ErrorKind::Timeout {
+                shared.metrics.inc(metric_names::JOBS_TIMED_OUT, 1);
+            }
         }
         if results_tx.send(result).is_err() {
             break; // scheduler dropped mid-flight
@@ -276,7 +373,19 @@ fn worker_loop(
 fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
     let picked_up = Instant::now();
     let queue_ms = picked_up.duration_since(job.admitted).as_millis() as u64;
+    shared
+        .metrics
+        .observe(metric_names::QUEUE_WAIT_MS, queue_ms as f64);
     let spec = &job.spec;
+    shared.bus.publish_job(
+        event_names::JOB_STARTED,
+        &[
+            ("job", AttrValue::from(job.id)),
+            ("salt", AttrValue::from(spec.salt)),
+            ("question", AttrValue::from(spec.question.as_str())),
+            ("queue_ms", AttrValue::from(queue_ms)),
+        ],
+    );
     let semantic = spec
         .semantic
         .unwrap_or_else(|| estimate_semantic_level(&spec.question));
@@ -289,21 +398,46 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
     };
     if let Some(report) = shared.cache.get(&key) {
         shared.metrics.inc(metric_names::CACHE_HITS, 1);
+        let run_ms = picked_up.elapsed().as_millis() as u64;
+        shared.metrics.observe(metric_names::RUN_MS, run_ms as f64);
+        let digest = report_digest(&report);
+        shared.bus.publish_job(
+            event_names::JOB_COMPLETED,
+            &[
+                ("job", AttrValue::from(job.id)),
+                ("run_ms", AttrValue::from(run_ms)),
+                ("digest", AttrValue::from(format!("{digest:016x}"))),
+                ("cache_hit", AttrValue::from(true)),
+            ],
+        );
         return JobResult {
             id: job.id,
             question: spec.question.clone(),
             salt: spec.salt,
-            digest: report_digest(&report),
+            digest,
             cache_hit: true,
             queue_ms,
-            run_ms: picked_up.elapsed().as_millis() as u64,
+            run_ms,
             status: JobStatus::Done(report),
         };
     }
+    // The job gets its own Obs, bus-attached and scheduler-held: the
+    // trace survives failures (no RunReport to carry it) and streams
+    // live while the run executes. Observability only — the run's
+    // analytical output is still a pure function of (seed, salt).
+    let obs = Obs::new();
+    obs.tracer.attach_bus(
+        shared.bus.clone(),
+        &[
+            ("job", AttrValue::from(job.id)),
+            ("salt", AttrValue::from(spec.salt)),
+        ],
+    );
     let mut opts = AskOptions::new()
         .semantic(semantic)
         .seed(spec.salt)
-        .cancel_token(job.cancel.clone());
+        .cancel_token(job.cancel.clone())
+        .obs(obs.clone());
     if let Some(timeout) = spec.timeout {
         opts = opts.timeout(timeout);
     }
@@ -319,6 +453,60 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
         JobStatus::Done(report) => report_digest(report),
         JobStatus::Failed(_) => 0,
     };
+    let run_ms = picked_up.elapsed().as_millis() as u64;
+    shared.metrics.observe(metric_names::RUN_MS, run_ms as f64);
+    shared.global.absorb(&obs.metrics);
+    let make_entry = |outcome: FlightOutcome, error: Option<String>| FlightEntry {
+        job_id: job.id,
+        question: spec.question.clone(),
+        salt: spec.salt,
+        outcome,
+        error,
+        cache_hit: false,
+        queue_ms,
+        run_ms,
+        digest,
+        trace: obs.tracer.snapshot(),
+    };
+    match &status {
+        JobStatus::Done(_) => {
+            shared
+                .flight
+                .record_completed(run_ms, || make_entry(FlightOutcome::Completed, None));
+            shared.bus.publish_job(
+                event_names::JOB_COMPLETED,
+                &[
+                    ("job", AttrValue::from(job.id)),
+                    ("run_ms", AttrValue::from(run_ms)),
+                    ("digest", AttrValue::from(format!("{digest:016x}"))),
+                    ("cache_hit", AttrValue::from(false)),
+                ],
+            );
+        }
+        JobStatus::Failed(err) => {
+            let timed_out = err.kind() == ErrorKind::Timeout;
+            let outcome = if timed_out {
+                FlightOutcome::TimedOut
+            } else {
+                FlightOutcome::Failed
+            };
+            shared
+                .flight
+                .record_failure(make_entry(outcome, Some(err.to_string())));
+            shared.bus.publish_job(
+                if timed_out {
+                    event_names::JOB_TIMED_OUT
+                } else {
+                    event_names::JOB_FAILED
+                },
+                &[
+                    ("job", AttrValue::from(job.id)),
+                    ("run_ms", AttrValue::from(run_ms)),
+                    ("error", AttrValue::from(err.to_string())),
+                ],
+            );
+        }
+    }
     JobResult {
         id: job.id,
         question: spec.question.clone(),
@@ -327,7 +515,7 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
         digest,
         cache_hit: false,
         queue_ms,
-        run_ms: picked_up.elapsed().as_millis() as u64,
+        run_ms,
     }
 }
 
@@ -361,10 +549,7 @@ mod tests {
         // just not a hit).
         let sched = Scheduler::new(
             session("complete"),
-            ServeConfig {
-                workers: 1,
-                queue_capacity: 8,
-            },
+            ServeConfig::with_pool(1, 8),
         );
         let a = sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
         let b = sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
@@ -386,10 +571,7 @@ mod tests {
         // submissions must produce at least one rejection.
         let sched = Scheduler::new(
             session("backpressure"),
-            ServeConfig {
-                workers: 1,
-                queue_capacity: 1,
-            },
+            ServeConfig::with_pool(1, 1),
         );
         let mut rejected = 0;
         for salt in 0..32 {
@@ -411,10 +593,7 @@ mod tests {
     fn cancel_queued_job() {
         let sched = Scheduler::new(
             session("cancel"),
-            ServeConfig {
-                workers: 1,
-                queue_capacity: 8,
-            },
+            ServeConfig::with_pool(1, 8),
         );
         // Queue several; cancel the last before a worker reaches it.
         let mut last = 0;

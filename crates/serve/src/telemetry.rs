@@ -1,0 +1,212 @@
+//! Serve-layer telemetry: job lifecycle event names, the one-line stats
+//! renderer, and on-disk observability artifacts.
+//!
+//! The scheduler publishes one [`event_names`] event per job state
+//! transition on its [`EventBus`] (kind `Job`), carrying `job`, `salt`,
+//! and transition-specific attributes. `infera serve --events`
+//! subscribes and prints them; the future network server will forward
+//! them per-client.
+//!
+//! Artifacts are written under `<work>/obs/`:
+//!
+//! | file           | content                                        |
+//! |----------------|------------------------------------------------|
+//! | `metrics.prom` | Prometheus text exposition of the global state |
+//! | `metrics.json` | [`GlobalSnapshot`] (counters/gauges/histograms)|
+//! | `flight.json`  | [`FlightSnapshot`] (slow + failed job traces)  |
+//!
+//! `infera stats` reads them back with [`load_observability`], so the
+//! server process and the inspection command need no live connection.
+
+use crate::flight::{FlightRecorder, FlightSnapshot};
+use infera_core::{InferaError, InferaResult};
+use infera_obs::{EventBus, GlobalMetrics, GlobalSnapshot};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Job lifecycle event names published on the scheduler's bus.
+pub mod event_names {
+    /// Admitted to the queue (`job`, `salt`).
+    pub const JOB_QUEUED: &str = "job_queued";
+    /// Refused at admission (`reason`).
+    pub const JOB_REJECTED: &str = "job_rejected";
+    /// Picked up by a worker (`job`, `salt`, `question`, `queue_ms`).
+    pub const JOB_STARTED: &str = "job_started";
+    /// Finished with a report (`job`, `run_ms`, `digest`, `cache_hit`).
+    pub const JOB_COMPLETED: &str = "job_completed";
+    /// Finished with an error (`job`, `run_ms`, `error`).
+    pub const JOB_FAILED: &str = "job_failed";
+    /// The failure was a deadline expiry (`job`, `run_ms`).
+    pub const JOB_TIMED_OUT: &str = "job_timed_out";
+}
+
+/// Directory (under a work dir) holding the observability artifacts.
+pub const OBS_DIR: &str = "obs";
+
+/// Mirror the bus's publish/drop totals into the global registry under
+/// their declared metric names, so scrapes and snapshots carry them.
+pub fn sync_bus_counters(global: &GlobalMetrics, bus: &EventBus) {
+    let reg = global.registry();
+    reg.set_counter(
+        infera_obs::metric_names::OBS_EVENTS_PUBLISHED,
+        bus.events_published(),
+    );
+    reg.set_counter(
+        infera_obs::metric_names::OBS_EVENTS_DROPPED,
+        bus.events_dropped(),
+    );
+}
+
+/// One line of operational state, for `--stats-every` ticks and the
+/// serve shutdown summary.
+pub fn render_stats_line(global: &GlobalMetrics, bus: &EventBus) -> String {
+    use infera_obs::metric_names as m;
+    let reg = global.registry();
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "jobs: {} done / {} failed / {} rejected | queue: {} deep",
+        reg.counter(m::SERVE_JOBS_COMPLETED),
+        reg.counter(m::SERVE_JOBS_FAILED),
+        reg.counter(m::SERVE_JOBS_REJECTED),
+        reg.gauge(m::SERVE_QUEUE_DEPTH).unwrap_or(0.0) as u64,
+    );
+    if let Some(h) = reg.histogram(m::SERVE_RUN_MS) {
+        let _ = write!(line, " | run p50/p99: {:.0}/{:.0} ms", h.p50, h.p99);
+    }
+    if let Some(h) = reg.histogram(m::SERVE_QUEUE_WAIT_MS) {
+        let _ = write!(line, " | wait p50: {:.0} ms", h.p50);
+    }
+    let _ = write!(
+        line,
+        " | cache: {} hits | bus: {} sent / {} dropped | runs merged: {}",
+        reg.counter(m::SERVE_CACHE_HITS),
+        bus.events_published(),
+        bus.events_dropped(),
+        global.runs_merged(),
+    );
+    line
+}
+
+/// Everything `infera stats` reads back from a work dir.
+#[derive(Debug, Clone)]
+pub struct ObservabilityArtifacts {
+    pub global: GlobalSnapshot,
+    pub flight: FlightSnapshot,
+    pub prometheus: String,
+}
+
+/// Write `metrics.prom`, `metrics.json`, and `flight.json` under
+/// `<work>/obs/`. Returns the artifact directory.
+pub fn persist_observability(
+    work_dir: &Path,
+    global: &GlobalMetrics,
+    bus: &EventBus,
+    flight: &FlightRecorder,
+) -> InferaResult<std::path::PathBuf> {
+    sync_bus_counters(global, bus);
+    let dir = work_dir.join(OBS_DIR);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| InferaError::internal(format!("create {}: {e}", dir.display())))?;
+    let write = |name: &str, bytes: &[u8]| -> InferaResult<()> {
+        std::fs::write(dir.join(name), bytes)
+            .map_err(|e| InferaError::internal(format!("write {name}: {e}")))
+    };
+    write("metrics.prom", global.render_prometheus().as_bytes())?;
+    let global_json = serde_json::to_string_pretty(&global.snapshot())
+        .map_err(|e| InferaError::internal(format!("serialize metrics.json: {e}")))?;
+    write("metrics.json", global_json.as_bytes())?;
+    let flight_json = serde_json::to_string_pretty(&flight.snapshot())
+        .map_err(|e| InferaError::internal(format!("serialize flight.json: {e}")))?;
+    write("flight.json", flight_json.as_bytes())?;
+    Ok(dir)
+}
+
+/// Read the artifacts back from a work dir (either the work dir itself
+/// or its `obs/` subdirectory may be passed).
+pub fn load_observability(dir: &Path) -> InferaResult<ObservabilityArtifacts> {
+    let dir = if dir.ends_with(OBS_DIR) {
+        dir.to_path_buf()
+    } else {
+        dir.join(OBS_DIR)
+    };
+    let read = |name: &str| -> InferaResult<String> {
+        std::fs::read_to_string(dir.join(name)).map_err(|e| {
+            InferaError::invalid_input(format!(
+                "no observability artifacts at {} ({name}: {e}); \
+                 run `infera serve` over this work dir first",
+                dir.display()
+            ))
+        })
+    };
+    let global: GlobalSnapshot = serde_json::from_str(&read("metrics.json")?)
+        .map_err(|e| InferaError::internal(format!("parse metrics.json: {e}")))?;
+    let flight: FlightSnapshot = serde_json::from_str(&read("flight.json")?)
+        .map_err(|e| InferaError::internal(format!("parse flight.json: {e}")))?;
+    Ok(ObservabilityArtifacts {
+        global,
+        flight,
+        prometheus: read("metrics.prom")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_obs::metric_names as m;
+
+    #[test]
+    fn stats_line_reads_global_state() {
+        let global = GlobalMetrics::new();
+        let bus = EventBus::new();
+        global.registry().inc(m::SERVE_JOBS_COMPLETED, 7);
+        global.registry().set_gauge(m::SERVE_QUEUE_DEPTH, 2.0);
+        global.registry().observe(m::SERVE_RUN_MS, 120.0);
+        let line = render_stats_line(&global, &bus);
+        assert!(line.contains("7 done"), "{line}");
+        assert!(line.contains("queue: 2 deep"), "{line}");
+        assert!(line.contains("run p50/p99"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn persist_and_load_roundtrip() {
+        let work = std::env::temp_dir().join("infera_serve_telemetry_tests/roundtrip");
+        std::fs::remove_dir_all(&work).ok();
+        std::fs::create_dir_all(&work).unwrap();
+        let global = GlobalMetrics::new();
+        global.registry().inc(m::SERVE_JOBS_COMPLETED, 3);
+        let bus = EventBus::new();
+        let sub = bus.subscribe(1);
+        bus.publish_job(event_names::JOB_QUEUED, &[]);
+        bus.publish_job(event_names::JOB_QUEUED, &[]); // dropped: full
+        drop(sub);
+        let flight = FlightRecorder::new(2, 2);
+        let dir = persist_observability(&work, &global, &bus, &flight).unwrap();
+        assert!(dir.join("metrics.prom").is_file());
+        let arts = load_observability(&work).unwrap();
+        assert_eq!(
+            arts.global.metrics.counters.get(m::SERVE_JOBS_COMPLETED),
+            Some(&3)
+        );
+        // Bus totals were mirrored into the registry before writing.
+        assert_eq!(
+            arts.global.metrics.counters.get(m::OBS_EVENTS_PUBLISHED),
+            Some(&2)
+        );
+        assert_eq!(
+            arts.global.metrics.counters.get(m::OBS_EVENTS_DROPPED),
+            Some(&1)
+        );
+        assert!(arts.prometheus.contains("infera_serve_jobs_completed 3"));
+        assert_eq!(arts.flight.recorded, 0);
+    }
+
+    #[test]
+    fn load_from_missing_dir_is_invalid_input() {
+        let missing = std::env::temp_dir().join("infera_serve_telemetry_tests/nope");
+        std::fs::remove_dir_all(&missing).ok();
+        let err = load_observability(&missing).unwrap_err();
+        assert!(err.to_string().contains("no observability artifacts"));
+    }
+}

@@ -37,10 +37,7 @@ fn run_with_workers(name: &str, workers: usize) -> HashMap<u64, u64> {
     );
     let sched = Scheduler::new(
         session,
-        ServeConfig {
-            workers,
-            queue_capacity: QUESTIONS.len() * 2,
-        },
+        ServeConfig::with_pool(workers, QUESTIONS.len() * 2),
     );
     for (i, q) in QUESTIONS.iter().enumerate() {
         sched
@@ -85,10 +82,7 @@ fn shared_cache_survives_hammering() {
     );
     let sched = Scheduler::new(
         session.clone(),
-        ServeConfig {
-            workers: 8,
-            queue_capacity: 32,
-        },
+        ServeConfig::with_pool(8, 32),
     );
     for salt in 0..16u64 {
         sched
@@ -110,10 +104,7 @@ fn shared_cache_survives_hammering() {
     assert!(entries_after > 0);
     let sched2 = Scheduler::new(
         session.clone(),
-        ServeConfig {
-            workers: 8,
-            queue_capacity: 32,
-        },
+        ServeConfig::with_pool(8, 32),
     );
     for salt in 0..16u64 {
         sched2
@@ -172,10 +163,7 @@ fn scheduler_results_arrive_via_polling_too() {
     );
     let sched = Scheduler::new(
         session,
-        ServeConfig {
-            workers: 2,
-            queue_capacity: 8,
-        },
+        ServeConfig::with_pool(2, 8),
     );
     sched.submit_spec(JobSpec::new(QUESTIONS[0], 7)).unwrap();
     let first = sched.next_result().expect("one result");

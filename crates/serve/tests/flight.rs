@@ -1,0 +1,195 @@
+//! End-to-end observability: slow and failing jobs land in the flight
+//! recorder with complete span traces, and the on-disk artifacts a
+//! serve session leaves behind are exactly what `infera stats` reads.
+
+use infera_core::{ErrorKind, InferA, SessionConfig};
+use infera_hacc::EnsembleSpec;
+use infera_llm::BehaviorProfile;
+use infera_serve::{
+    load_observability, persist_observability, FlightOutcome, JobSpec, JobStatus, Scheduler,
+    ServeConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const Q: &str = "What is the maximum fof_halo_mass at timestep 624 in simulation 1?";
+
+fn build_session(name: &str, config: SessionConfig) -> Arc<InferA> {
+    let base = std::env::temp_dir().join("infera_serve_flight_it").join(name);
+    std::fs::remove_dir_all(&base).ok();
+    let manifest = infera_hacc::generate(&EnsembleSpec::tiny(91), &base.join("ens")).unwrap();
+    Arc::new(
+        InferA::from_manifest(manifest)
+            .work_dir(base.join("work"))
+            .config(config)
+            .build()
+            .unwrap(),
+    )
+}
+
+#[test]
+fn slow_and_failed_jobs_are_retrievable_with_full_traces() {
+    let session = build_session(
+        "recorder",
+        SessionConfig::default().with_profile(BehaviorProfile::perfect()),
+    );
+    let sched = Scheduler::new(session, ServeConfig::with_pool(1, 16));
+    let flight = sched.flight_recorder().clone();
+
+    // A normal job: completes, and with an empty slowest ring it is by
+    // definition among the N slowest, so its trace is retained.
+    sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
+    // An injected timeout: a deadline no real run can meet. It must
+    // land in the failure ring even though there is no RunReport.
+    sched
+        .submit_spec(JobSpec::new(Q, 2).timeout(Duration::from_nanos(1)))
+        .unwrap();
+    let results = sched.shutdown();
+    assert_eq!(results.len(), 2);
+    let timed_out = results.iter().find(|r| r.salt == 2).unwrap();
+    match &timed_out.status {
+        JobStatus::Failed(err) => assert_eq!(err.kind(), ErrorKind::Timeout),
+        other => panic!("expected the deadline to expire, got {other:?}"),
+    }
+
+    let snap = flight.snapshot();
+    assert_eq!(snap.slowest.len(), 1, "completed job retained");
+    assert_eq!(snap.failures.len(), 1, "timed-out job retained");
+
+    let slow = &snap.slowest[0];
+    assert_eq!(slow.outcome, FlightOutcome::Completed);
+    assert_eq!(slow.salt, 1);
+    assert!(slow.error.is_none());
+    assert_ne!(slow.digest, 0);
+    assert!(
+        !slow.trace.spans.is_empty(),
+        "completed job carries its span trace"
+    );
+    let span_names: Vec<&str> = slow.trace.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        span_names.iter().any(|n| n.contains("planning")),
+        "trace covers the planning stage: {span_names:?}"
+    );
+
+    let failed = &snap.failures[0];
+    assert_eq!(failed.outcome, FlightOutcome::TimedOut);
+    assert_eq!(failed.salt, 2);
+    assert!(failed.error.is_some(), "failure records the error message");
+    assert_eq!(failed.digest, 0);
+    assert!(
+        !failed.trace.spans.is_empty(),
+        "a job with no RunReport still has a trace to dissect"
+    );
+}
+
+#[test]
+fn failing_jobs_keep_traces_too() {
+    // An unknown column makes execution fail deterministically (a real
+    // failure, not a deadline), exercising the Failed outcome path.
+    let session = build_session(
+        "failure",
+        SessionConfig::default().with_profile(BehaviorProfile::perfect()),
+    );
+    let sched = Scheduler::new(session, ServeConfig::with_pool(1, 4));
+    let flight = sched.flight_recorder().clone();
+    sched
+        .submit_spec(JobSpec::new(
+            "What is the maximum bogus_column_xyz at timestep 624 in simulation 1?",
+            3,
+        ))
+        .unwrap();
+    let results = sched.shutdown();
+    assert_eq!(results.len(), 1);
+    let snap = flight.snapshot();
+    match &results[0].status {
+        JobStatus::Failed(_) => {
+            assert_eq!(snap.failures.len(), 1);
+            assert_eq!(snap.failures[0].outcome, FlightOutcome::Failed);
+            assert!(!snap.failures[0].trace.spans.is_empty());
+        }
+        // The workflow may instead degrade to a completed run with a
+        // caveat; then the job sits in the slowest ring.
+        _ => assert_eq!(snap.slowest.len(), 1),
+    }
+}
+
+#[test]
+fn slowest_ring_respects_capacity_end_to_end() {
+    let session = build_session(
+        "capacity",
+        SessionConfig::default().with_profile(BehaviorProfile::perfect()),
+    );
+    let mut config = ServeConfig::with_pool(1, 16);
+    config.flight_slowest = 2;
+    let sched = Scheduler::new(session, config);
+    let flight = sched.flight_recorder().clone();
+    for salt in 1..=5u64 {
+        sched.submit_spec(JobSpec::new(Q, salt)).unwrap();
+    }
+    let results = sched.shutdown();
+    assert_eq!(results.len(), 5);
+    let snap = flight.snapshot();
+    assert!(snap.slowest.len() <= 2, "ring bounded at capacity");
+    assert!(snap.recorded >= 1);
+    // Retained entries are the slowest, in descending order.
+    for pair in snap.slowest.windows(2) {
+        assert!(pair[0].run_ms >= pair[1].run_ms);
+    }
+}
+
+#[test]
+fn serve_artifacts_roundtrip_through_stats_loader() {
+    let session = build_session(
+        "artifacts",
+        SessionConfig::default().with_profile(BehaviorProfile::perfect()),
+    );
+    let sched = Scheduler::new(session, ServeConfig::with_pool(2, 8));
+    sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
+    sched
+        .submit_spec(JobSpec::new(Q, 2).timeout(Duration::from_nanos(1)))
+        .unwrap();
+    let work = std::env::temp_dir().join("infera_serve_flight_it/artifacts_out");
+    std::fs::remove_dir_all(&work).ok();
+    std::fs::create_dir_all(&work).unwrap();
+
+    let global = sched.global_metrics().clone();
+    let bus = sched.bus().clone();
+    let flight = sched.flight_recorder().clone();
+    let results = sched.shutdown();
+    assert_eq!(results.len(), 2);
+    let dir = persist_observability(&work, &global, &bus, &flight).unwrap();
+    assert!(dir.join("metrics.prom").is_file());
+
+    let arts = load_observability(&work).unwrap();
+    // The global snapshot merged every finished run's registry and the
+    // scheduler's own counters.
+    assert!(arts.global.runs_merged >= 1);
+    use infera_obs::metric_names as m;
+    assert!(arts.global.metrics.counters.get(m::SERVE_JOBS_COMPLETED) >= Some(&1));
+    assert_eq!(arts.global.metrics.counters.get(m::SERVE_JOBS_TIMED_OUT), Some(&1));
+    assert!(
+        arts.global.metrics.histograms.contains_key(m::SERVE_RUN_MS),
+        "run-time histogram persisted"
+    );
+    assert!(
+        arts.global.metrics.histograms.contains_key(m::SERVE_QUEUE_WAIT_MS),
+        "queue-wait histogram persisted"
+    );
+    // Prometheus exposition carries the serve counters.
+    assert!(arts.prometheus.contains("infera_serve_jobs_completed"));
+    assert!(arts.prometheus.contains("# TYPE"));
+    // The timed-out job's trace survives the disk roundtrip intact.
+    let failure = arts
+        .flight
+        .failures
+        .iter()
+        .find(|e| e.outcome == FlightOutcome::TimedOut)
+        .expect("timed-out job in flight recorder");
+    assert!(!failure.trace.spans.is_empty());
+    let rendered = infera_obs::render_trace(&failure.trace);
+    assert!(!rendered.trim().is_empty());
+    // Every persisted metric name is a declared constant.
+    for name in arts.global.metrics.counters.keys() {
+        assert!(m::is_declared(name), "undeclared counter {name}");
+    }
+}

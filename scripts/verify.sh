@@ -32,7 +32,16 @@ if [ "$run_clippy" -eq 1 ]; then
     # where a stray clippy allowance hides real bugs.
     echo "==> cargo clippy -p infera-serve -- -D warnings"
     cargo clippy -p infera-serve -- -D warnings
+    # Same for the observability crate: the bus/metrics hot paths run
+    # inside every span close, so sloppy code here taxes everything.
+    echo "==> cargo clippy -p infera-obs -- -D warnings"
+    cargo clippy -p infera-obs -- -D warnings
 fi
+
+echo "==> golden-file tests (JSONL trace schema + Prometheus exposition)"
+# Pinned byte-for-byte: external consumers parse these formats, so any
+# drift must be a conscious, reviewed change to the golden strings.
+cargo test -q -p infera-obs --test golden
 
 if [ "$run_bench" -eq 1 ]; then
     echo "==> microbench --smoke (with throughput regression gate)"

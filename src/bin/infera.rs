@@ -15,6 +15,7 @@ use infera::serve::{BenchOpts, RejectReason, Scheduler, ServeConfig};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,6 +78,7 @@ fn main() -> ExitCode {
         "bench-serve" => cmd_bench_serve(&args[1..]),
         "questions" => cmd_questions(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "--help" | "-h" | "help" => {
             out!("{USAGE}");
             Ok(())
@@ -109,8 +111,18 @@ USAGE:
       per-stage cost profile derived from the run trace.
   infera serve --ensemble <dir> [--work <dir>] [--workers N] [--queue N]
                [--seed N] [--perfect] [--timeout-secs N]
+               [--stats-every N] [--events]
       Serve line-delimited questions from stdin concurrently over one
       shared session; one JSON result summary per line on stdout.
+      --stats-every N prints a one-line stats summary to stderr every
+      N seconds; --events streams live job/span events to stderr as
+      JSON lines. On exit the Prometheus exposition, metrics snapshot,
+      and slow-query flight recorder are written under <work>/obs/.
+  infera stats --work <dir> [--prometheus] [--flight] [--json]
+      Inspect the observability artifacts a serve session left under
+      <work>/obs/: summary by default, --prometheus dumps the text
+      exposition, --flight prints the slowest/failed jobs with their
+      full span traces, --json dumps the metrics snapshot.
   infera bench-serve [--smoke] [--out <file>] [--ensemble <dir>] [--work <dir>]
                      [--sleep-scale X] [--seed N]
       Benchmark the serving layer on the 20-question evaluation set at
@@ -147,9 +159,13 @@ fn has_flag(args: &[String], name: &str) -> bool {
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--sims", "--steps", "--halos", "--particles", "--seed", "--ensemble", "--work",
     "--run", "--save", "--plan", "--workers", "--queue", "--timeout-secs", "--sleep-scale",
+    "--stats-every",
 ];
 /// Boolean flags.
-const BOOL_FLAGS: &[&str] = &["--perfect", "--feedback", "--breakdown", "--smoke", "--bare"];
+const BOOL_FLAGS: &[&str] = &[
+    "--perfect", "--feedback", "--breakdown", "--smoke", "--bare", "--events", "--prometheus",
+    "--flight", "--json",
+];
 
 /// The trailing free argument (the question text). Unknown flags are an
 /// error — silently treating them as value-taking would swallow the
@@ -295,15 +311,55 @@ fn cmd_ask(args: &[String]) -> Result<(), CliError> {
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let workers: usize = flag_num(args, "--workers", 4)?;
     let queue: usize = flag_num(args, "--queue", 64)?;
+    let stats_every: u64 = flag_num(args, "--stats-every", 0)?;
+    let stream_events = has_flag(args, "--events");
+    let work = PathBuf::from(flag_value(args, "--work").unwrap_or_else(|| "infera-work".into()));
     let session = Arc::new(session_from(args)?);
-    let sched = Scheduler::new(
-        session,
-        ServeConfig {
-            workers,
-            queue_capacity: queue,
-        },
-    );
+    let sched = Scheduler::new(session, ServeConfig::with_pool(workers, queue));
     eprintln!("serving on {workers} workers (queue capacity {queue}); questions on stdin, one per line");
+
+    // Live surfaces run on stderr so stdout stays a clean stream of
+    // result-summary JSON lines.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut side_threads = Vec::new();
+    if stats_every > 0 {
+        // Sleep in short steps so a long tick still exits promptly on
+        // shutdown.
+        let global = sched.global_metrics().clone();
+        let bus = sched.bus().clone();
+        let stop = stop.clone();
+        side_threads.push(std::thread::spawn(move || {
+            let tick = Duration::from_secs(stats_every);
+            let step = Duration::from_millis(250);
+            let mut since_tick = Duration::ZERO;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(step);
+                since_tick += step;
+                if since_tick >= tick {
+                    since_tick = Duration::ZERO;
+                    infera::serve::telemetry::sync_bus_counters(&global, &bus);
+                    eprintln!("[stats] {}", infera::serve::render_stats_line(&global, &bus));
+                }
+            }
+        }));
+    }
+    if stream_events {
+        // A generous buffer; a stalled stderr drops events (counted on
+        // the bus) instead of stalling workers.
+        let sub = sched.bus().subscribe(8192);
+        let stop = stop.clone();
+        side_threads.push(std::thread::spawn(move || loop {
+            match sub.recv_timeout(Duration::from_millis(250)) {
+                Some(ev) => {
+                    if let Ok(json) = serde_json::to_string(&ev) {
+                        eprintln!("[event] {json}");
+                    }
+                }
+                None if stop.load(Ordering::Relaxed) => break,
+                None => {}
+            }
+        }));
+    }
     let stdin = std::io::stdin();
     let mut delivered = 0u64;
     let mut submitted = 0u64;
@@ -338,15 +394,30 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         }
     }
     let metrics = sched.metrics().clone();
+    let global = sched.global_metrics().clone();
+    let bus = sched.bus().clone();
+    let flight = sched.flight_recorder().clone();
     for result in sched.shutdown() {
         delivered += 1;
         out!("{}", result.to_summary_json());
+    }
+    stop.store(true, Ordering::Relaxed);
+    for handle in side_threads {
+        let _ = handle.join();
     }
     eprintln!(
         "served {delivered}/{submitted} jobs (accepted {}, rejected {}, cache hits {})",
         metrics.counter(infera::serve::scheduler::metric_names::JOBS_ACCEPTED),
         metrics.counter(infera::serve::scheduler::metric_names::JOBS_REJECTED),
         metrics.counter(infera::serve::scheduler::metric_names::CACHE_HITS),
+    );
+    infera::serve::telemetry::sync_bus_counters(&global, &bus);
+    eprintln!("[stats] {}", infera::serve::render_stats_line(&global, &bus));
+    let obs_dir = infera::serve::persist_observability(&work, &global, &bus, &flight)?;
+    eprintln!(
+        "observability artifacts written to {} (inspect with `infera stats --work {}`)",
+        obs_dir.display(),
+        work.display()
     );
     Ok(())
 }
@@ -450,5 +521,91 @@ fn cmd_audit(args: &[String]) -> Result<(), CliError> {
             c.frames.len()
         );
     }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let work = flag_value(args, "--work").ok_or("stats requires --work <dir>")?;
+    let arts = infera::serve::load_observability(PathBuf::from(&work).as_path())?;
+    if has_flag(args, "--prometheus") {
+        out!("{}", arts.prometheus.trim_end());
+        return Ok(());
+    }
+    if has_flag(args, "--json") {
+        let json = serde_json::to_string_pretty(&arts.global).map_err(InferaError::from)?;
+        out!("{json}");
+        return Ok(());
+    }
+    if has_flag(args, "--flight") {
+        let f = &arts.flight;
+        out!(
+            "flight recorder: {} slowest (cap {}), {} failures (cap {}), {} offered, {} evicted\n",
+            f.slowest.len(),
+            f.slow_capacity,
+            f.failures.len(),
+            f.failure_capacity,
+            f.recorded,
+            f.dropped
+        );
+        for entry in f.entries() {
+            out!(
+                "== job {} [{}] salt={} queue={} ms run={} ms{}\n   {}",
+                entry.job_id,
+                entry.outcome.label(),
+                entry.salt,
+                entry.queue_ms,
+                entry.run_ms,
+                entry
+                    .error
+                    .as_deref()
+                    .map(|e| format!(" error={e}"))
+                    .unwrap_or_default(),
+                entry.question
+            );
+            let trace = infera::obs::render_trace(&entry.trace);
+            if trace.trim().is_empty() {
+                out!("   (no spans recorded)\n");
+            } else {
+                out!("{trace}");
+            }
+        }
+        return Ok(());
+    }
+    // Default: human summary of the global snapshot + flight headline.
+    let snap = &arts.global;
+    out!(
+        "serve session: {} runs merged, up {:.1}s",
+        snap.runs_merged,
+        snap.uptime_ms as f64 / 1000.0
+    );
+    if !snap.metrics.counters.is_empty() {
+        out!("\ncounters:");
+        for (name, value) in &snap.metrics.counters {
+            out!("  {name:<32} {value}");
+        }
+    }
+    if !snap.metrics.gauges.is_empty() {
+        out!("\ngauges:");
+        for (name, value) in &snap.metrics.gauges {
+            out!("  {name:<32} {value}");
+        }
+    }
+    if !snap.metrics.histograms.is_empty() {
+        out!("\nhistograms (count / mean / p50 / p90 / p99 / max):");
+        for (name, h) in &snap.metrics.histograms {
+            out!(
+                "  {name:<32} {} / {:.1} / {:.1} / {:.1} / {:.1} / {:.1}",
+                h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+    let f = &arts.flight;
+    out!(
+        "\nflight recorder: {} slowest, {} failures retained ({} offered, {} evicted) — `--flight` for traces",
+        f.slowest.len(),
+        f.failures.len(),
+        f.recorded,
+        f.dropped
+    );
     Ok(())
 }
