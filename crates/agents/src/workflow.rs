@@ -96,6 +96,10 @@ impl RunReport {
             let _ = writeln!(out, "{:<22} {parts:>6}", "join partitions");
         }
         for (label, name) in [
+            ("plan candidates", names::PLAN_CANDIDATES_CONSIDERED),
+            ("predicates pushed", names::PLAN_PREDICATES_PUSHED),
+            ("preagg applied", names::PLAN_PREAGG_APPLIED),
+            ("morsels dispatched", names::MORSEL_COUNT),
             ("group-by partials", names::GROUPBY_PARTIALS_MERGED),
             ("dict group-by chunks", names::GROUPBY_DICT_FASTPATH_CHUNKS),
             ("dict join chunks", names::JOIN_DICT_FASTPATH_CHUNKS),
@@ -650,6 +654,22 @@ mod tests {
         assert!(
             undeclared.is_empty(),
             "metric names not declared in obs::metric_names: {undeclared:?}"
+        );
+        // A full run executes SQL, so the cost-based planner and the
+        // morsel executor must have reported their counters.
+        for required in [
+            metric_names::PLAN_CANDIDATES_CONSIDERED,
+            metric_names::MORSEL_COUNT,
+        ] {
+            assert!(
+                snap.counters.get(required).copied().unwrap_or(0) > 0,
+                "expected counter {required} in a full run: {:?}",
+                snap.counters.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(
+            snap.histograms.contains_key(metric_names::MORSEL_QUEUE_WAIT_MS),
+            "morsel pool must report queue-wait time"
         );
     }
 

@@ -56,12 +56,14 @@ struct BenchReport {
     summary: Summary,
 }
 
-const OPS: [&str; 6] = [
+const OPS: [&str; 8] = [
     "ingest",
     "filtered_scan",
     "group_by",
     "join",
+    "multi_join",
     "group_by_str",
+    "filter_group_str",
     "join_str",
 ];
 
@@ -227,6 +229,27 @@ fn run_scale(
     });
     entries.push(entry("join", ms, total_rows));
 
+    // Three-table join through the cost-based planner: the tiny sims
+    // dimension should be reordered to build first, and the grouped
+    // aggregation can pre-aggregate below it.
+    let sims = DataFrame::from_columns([
+        (
+            "sim",
+            Column::Str((0..4).map(|i| format!("sim{i}")).collect()),
+        ),
+        ("box_mpc", Column::F64(vec![250.0, 500.0, 1000.0, 2000.0])),
+    ])
+    .unwrap();
+    db.create_table("sims", &sims.schema()).unwrap();
+    db.append_chunked("sims", &sims, chunk).unwrap();
+    let ms = time_min(reps, || {
+        db.query(
+            "SELECT sim, COUNT(*) AS n, AVG(mass) AS m, SUM(box_mpc) AS b FROM halos JOIN galaxies ON halos.tag = galaxies.halo_tag JOIN sims ON halos.sim = sims.sim GROUP BY sim",
+        )
+        .unwrap();
+    });
+    entries.push(entry("multi_join", ms, total_rows));
+
     // High-cardinality string keys (ingested outside the timed ingest so
     // the ingest trajectory stays comparable across revisions).
     let (events, hosts) = event_frames(rows, seed);
@@ -240,6 +263,17 @@ fn run_scale(
             .unwrap();
     });
     entries.push(entry("group_by_str", ms, rows as u64));
+
+    // Pushed predicate + string group keys: the planner must push the
+    // val filter into the scan so zone maps and late materialization
+    // kick in before grouping.
+    let ms = time_min(reps, || {
+        db.query(
+            "SELECT host, COUNT(*) AS n, AVG(val) AS v FROM events WHERE val < 500 GROUP BY host",
+        )
+        .unwrap();
+    });
+    entries.push(entry("filter_group_str", ms, rows as u64));
 
     let ms = time_min(reps, || {
         db.query(

@@ -254,6 +254,19 @@ impl Database {
         Ok(out)
     }
 
+    /// Estimated distinct-value count of `(table, column)` — dictionary
+    /// cardinality when chunks are dict-encoded, a sampled estimate
+    /// otherwise (see [`TableStore::distinct_estimate`]). Feeds the cost
+    /// model.
+    pub fn distinct_estimate(&self, table: &str, column: &str) -> DbResult<u64> {
+        self.table(table)?.read().distinct_estimate(column)
+    }
+
+    /// Logical (uncompressed) bytes of one table.
+    pub fn table_logical_bytes(&self, table: &str) -> DbResult<u64> {
+        Ok(self.table(table)?.read().logical_size())
+    }
+
     /// Total on-disk size of all tables, in bytes (encoded chunks).
     pub fn total_bytes(&self) -> u64 {
         self.tables
@@ -343,6 +356,31 @@ impl Database {
         };
         self.record_exec(&span, &result);
         result
+    }
+
+    /// EXPLAIN a SELECT: execute it and render the chosen physical plan
+    /// as an indented tree with per-node estimates and the observed
+    /// execution counters.
+    pub fn explain(&self, sql: &str) -> DbResult<String> {
+        match self.parse_traced(sql)? {
+            Statement::Select(sel) => crate::sql::exec::explain_select(self, &sel),
+            other => Err(DbError::Plan(format!(
+                "explain() expects SELECT, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a SELECT through the naive reference path: syntactic
+    /// join order, eager whole-table reads, no pushdown, no fast paths.
+    /// Exists for the optimizer-equivalence tests; orders of magnitude
+    /// slower than [`Database::query`] on real data.
+    pub fn query_unoptimized(&self, sql: &str) -> DbResult<DataFrame> {
+        match self.parse_traced(sql)? {
+            Statement::Select(sel) => crate::sql::exec::run_select_naive(self, &sel),
+            other => Err(DbError::Plan(format!(
+                "query_unoptimized() expects SELECT, got {other:?}"
+            ))),
+        }
     }
 }
 

@@ -94,7 +94,11 @@ pub enum SelectItem {
 pub struct JoinClause {
     pub table: String,
     pub kind: JoinType,
-    /// Column on the FROM-side table.
+    /// Qualifier written on the left-side column (`h.tag` → `h`), if any.
+    /// With chained joins the left column may live on the FROM table or on
+    /// any earlier joined table; the qualifier disambiguates.
+    pub left_qualifier: Option<String>,
+    /// Column on the accumulated left side (FROM table or an earlier join).
     pub left_col: String,
     /// Column on the joined table.
     pub right_col: String,
@@ -114,7 +118,8 @@ pub struct SelectStmt {
     /// `SELECT DISTINCT`: deduplicate output rows.
     pub distinct: bool,
     pub from: String,
-    pub join: Option<JoinClause>,
+    /// Chained join clauses, in syntactic order.
+    pub joins: Vec<JoinClause>,
     pub where_clause: Option<SqlExpr>,
     pub group_by: Vec<SqlExpr>,
     /// `HAVING` predicate over the aggregate output columns.

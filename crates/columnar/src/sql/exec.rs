@@ -1,32 +1,25 @@
-//! Vectorized, chunk-at-a-time query execution.
+//! SELECT execution: resolve → logical plan → cost-based physical plan
+//! → morsel-driven execution ([`super::morsel`]).
 //!
-//! Chunks are scanned in parallel with rayon; each worker holds only the
-//! *pruned* columns of one chunk in memory. Aggregations stream through
-//! per-chunk partial accumulators merged in chunk order (deterministic
-//! first-seen group ordering); projections concatenate per-chunk results.
-//! Zone maps skip chunks that cannot satisfy pushed-down conjuncts.
-//!
-//! Joins build one shared [`JoinTable`] over the right side before the
-//! chunk loop and probe every scanned chunk against it. Group keys are
-//! typed tokens ([`KeyToken`]) built on the `infera-frame` key-encoding
-//! layer instead of per-row strings. When a string key column is
-//! Dict-encoded on disk, both operators take a dictionary-code fast
-//! path: grouping/probing happens on the `u32` codes, and only the
-//! surviving dictionary entries are ever decoded to strings.
+//! This module owns the statement dispatch, the post-pipeline steps
+//! (HAVING, DISTINCT, ORDER BY, LIMIT), the aggregation accumulator
+//! machinery shared with the morsel executor, and a deliberately naive
+//! reference executor ([`run_select_naive`]) used by
+//! `Database::query_unoptimized` and the optimizer-equivalence tests:
+//! syntactic join order, eager whole-table reads, no pushdown, no
+//! fast paths.
 
 use super::ast::{JoinType, SelectStmt, Statement};
-use super::plan::{resolve, AggItem, JoinSpec, QueryShape, ResolvedSelect};
+use super::plan::{resolve, AggItem, QueryShape};
 use crate::db::Database;
 use crate::error::{DbError, DbResult};
 use infera_frame::key::encode_value;
 use infera_frame::{
-    AggKind, Column, DType, DataFrame, Expr, JoinKind, JoinTable, KeyCol, KeyMode, RowGrouper,
-    SelectionVector, SortOrder, Value,
+    AggKind, Column, DType, DataFrame, Expr, JoinKind, KeyCol, KeyMode, RowGrouper, SortOrder,
+    Value,
 };
 use infera_obs::metric_names;
-use rayon::prelude::*;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Execution statistics, reported for provenance and the efficiency
 /// benches.
@@ -82,46 +75,100 @@ pub fn execute(db: &Database, stmt: &Statement) -> DbResult<ExecOutcome> {
     }
 }
 
-/// Execute a SELECT.
-pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecStats)> {
-    let plan = {
-        let span = db.obs().tracer.span("sql:plan");
-        match resolve(sel, db) {
-            Ok(plan) => plan,
-            Err(e) => {
-                span.set_attr("error", e.to_string());
-                db.obs().metrics.inc(metric_names::SQL_PLAN_ERRORS, 1);
-                return Err(e);
-            }
+/// Resolve and cost-optimize a SELECT into its physical plan.
+fn plan_select(db: &Database, sel: &SelectStmt) -> DbResult<super::physical::PhysicalPlan> {
+    let span = db.obs().tracer.span("sql:plan");
+    let resolved = match resolve(sel, db) {
+        Ok(r) => r,
+        Err(e) => {
+            span.set_attr("error", e.to_string());
+            db.obs().metrics.inc(metric_names::SQL_PLAN_ERRORS, 1);
+            return Err(e);
         }
     };
+    let lp = super::logical::build(resolved);
+    let plan = super::physical::optimize(db, &lp);
+    span.set_attr("candidates", plan.candidates_considered);
+    db.obs().metrics.inc(
+        metric_names::PLAN_CANDIDATES_CONSIDERED,
+        plan.candidates_considered,
+    );
+    if plan.predicates_pushed > 0 {
+        db.obs()
+            .metrics
+            .inc(metric_names::PLAN_PREDICATES_PUSHED, plan.predicates_pushed);
+    }
+    if plan.preagg.is_some() {
+        db.obs().metrics.inc(metric_names::PLAN_PREAGG_APPLIED, 1);
+    }
+    Ok(plan)
+}
+
+/// Execute a SELECT through the optimizer and morsel executor.
+pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecStats)> {
+    let plan = plan_select(db, sel)?;
     let exec_span = db.obs().tracer.span("sql:exec");
     let mut stats = ExecStats::default();
-    let n_chunks = db.n_chunks(&plan.base.table)?;
-    stats.chunks_total = n_chunks;
+    let run = super::morsel::execute(db, &plan, &mut stats)?;
+    let out = post_steps(
+        run.frame,
+        plan.having.as_ref(),
+        plan.distinct,
+        &plan.order_by,
+        plan.limit,
+    )?;
+    stats.rows_output = out.n_rows() as u64;
+    exec_span.set_attr("rows_output", stats.rows_output);
+    exec_span.set_attr("rows_scanned", stats.rows_scanned);
+    exec_span.set_attr("chunks_total", stats.chunks_total);
+    exec_span.set_attr("chunks_skipped", stats.chunks_skipped);
+    exec_span.set_attr("rows_pruned", stats.rows_pruned);
+    Ok((out, stats))
+}
 
-    let mut out = match dict_groupby_fastpath(db, &plan, n_chunks, &mut stats)? {
-        Some(frame) => frame,
-        None => run_select_generic(db, &plan, n_chunks, &mut stats)?,
+/// EXPLAIN: optimize, execute, and render the physical plan tree with
+/// per-node estimates and the observed execution counters.
+pub fn explain_select(db: &Database, sel: &SelectStmt) -> DbResult<String> {
+    let plan = plan_select(db, sel)?;
+    let mut stats = ExecStats::default();
+    let run = super::morsel::execute(db, &plan, &mut stats)?;
+    let out = post_steps(
+        run.frame,
+        plan.having.as_ref(),
+        plan.distinct,
+        &plan.order_by,
+        plan.limit,
+    )?;
+    stats.rows_output = out.n_rows() as u64;
+    let actuals = super::physical::ExplainActuals {
+        stats,
+        morsels: run.morsels,
+        workers: run.workers,
     };
+    Ok(plan.render(Some(&actuals)))
+}
 
-    // HAVING: filter the aggregate output.
-    if let Some(having) = &plan.having {
+/// Post-pipeline steps applied to the executor's output, shared by the
+/// optimized and naive paths: HAVING, DISTINCT, ORDER BY, LIMIT.
+fn post_steps(
+    mut out: DataFrame,
+    having: Option<&Expr>,
+    distinct: bool,
+    order_by: &[(String, bool)],
+    limit: Option<usize>,
+) -> DbResult<DataFrame> {
+    if let Some(having) = having {
         out = out.filter_expr(having)?;
     }
-
     // DISTINCT: group on all output columns (first-seen order) and keep
     // only the keys.
-    if plan.distinct && out.n_rows() > 1 {
+    if distinct && out.n_rows() > 1 {
         let names: Vec<String> = out.names().to_vec();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         out = out.group_by(&refs, &[])?;
     }
-
-    // ORDER BY then LIMIT.
-    if !plan.order_by.is_empty() {
-        let keys: Vec<(&str, SortOrder)> = plan
-            .order_by
+    if !order_by.is_empty() {
+        let keys: Vec<(&str, SortOrder)> = order_by
             .iter()
             .map(|(n, desc)| {
                 (
@@ -136,348 +183,93 @@ pub fn run_select(db: &Database, sel: &SelectStmt) -> DbResult<(DataFrame, ExecS
             .collect();
         out = out.sort_by(&keys)?;
     }
-    if let Some(limit) = plan.limit {
+    if let Some(limit) = limit {
         out = out.head(limit);
-    }
-    stats.rows_output = out.n_rows() as u64;
-    exec_span.set_attr("rows_output", stats.rows_output);
-    exec_span.set_attr("rows_scanned", stats.rows_scanned);
-    exec_span.set_attr("chunks_total", stats.chunks_total);
-    exec_span.set_attr("chunks_skipped", stats.chunks_skipped);
-    exec_span.set_attr("rows_pruned", stats.rows_pruned);
-    Ok((out, stats))
-}
-
-/// The general scan pipeline: zone-map skip, (late-materializing) chunk
-/// reads, shared-table join probes, filter, then shape dispatch.
-fn run_select_generic(
-    db: &Database,
-    plan: &ResolvedSelect,
-    n_chunks: usize,
-    stats: &mut ExecStats,
-) -> DbResult<DataFrame> {
-    // Materialize the join's build side and build the shared hash table
-    // over it ONCE — every scanned chunk probes the same table instead
-    // of rebuilding it per chunk.
-    let right: Option<DataFrame> = match &plan.join {
-        Some(j) => Some(db.scan_all(&j.scan.table, &to_refs(&j.scan.columns))?),
-        None => None,
-    };
-    let join_table: Option<JoinTable<'_>> = match (&plan.join, &right) {
-        (Some(j), Some(right)) => {
-            let t0 = Instant::now();
-            let table = JoinTable::build(right, &j.right_col)?;
-            db.obs().metrics.observe(
-                metric_names::JOIN_BUILD_MS,
-                t0.elapsed().as_secs_f64() * 1e3,
-            );
-            db.obs()
-                .metrics
-                .set_gauge(metric_names::JOIN_PARTITIONS, table.n_partitions() as f64);
-            Some(table)
-        }
-        _ => None,
-    };
-    let dict_join = join_dict_eligible(db, plan)?;
-
-    // Late materialization applies to no-join scans with a predicate:
-    // decode only the predicate's columns, evaluate into a selection
-    // vector, then decode just the surviving rows of the remaining
-    // projected columns. Joins change row multiplicity before the
-    // predicate runs, so they stay on the eager path.
-    let pred_cols: Vec<String> = match (&plan.join, &plan.predicate) {
-        (None, Some(pred)) => {
-            let mut cols = pred.referenced_columns();
-            cols.sort();
-            cols.dedup();
-            cols
-        }
-        _ => Vec::new(),
-    };
-    let late = !pred_cols.is_empty();
-    let rest_cols: Vec<String> = plan
-        .base
-        .columns
-        .iter()
-        .filter(|c| !pred_cols.contains(c))
-        .cloned()
-        .collect();
-
-    // Per-chunk pipeline: zone check -> read pruned columns -> join ->
-    // filter (or selection-vector gather on the late path).
-    let chunk_results: Vec<DbResult<Option<(u64, u64, DataFrame)>>> = (0..n_chunks)
-        .into_par_iter()
-        .map(|ci| -> DbResult<Option<(u64, u64, DataFrame)>> {
-            // Zone-map skip.
-            for zf in &plan.zone_filters {
-                let zone = db.zone(&plan.base.table, &zf.column, ci)?;
-                let str_zone = db.str_zone(&plan.base.table, &zf.column, ci)?;
-                if !zf.may_match(zone, str_zone.as_ref()) {
-                    return Ok(None);
-                }
-            }
-            if late {
-                let pred = plan.predicate.as_ref().expect("late path has predicate");
-                let pred_chunk =
-                    db.read_chunk(&plan.base.table, ci, &to_refs(&pred_cols))?;
-                let rows_in = pred_chunk.n_rows() as u64;
-                let sv = SelectionVector::from_mask(&pred.eval_mask(&pred_chunk)?);
-                let pruned = rows_in - sv.len() as u64;
-                let rest = db.read_chunk_rows(
-                    &plan.base.table,
-                    ci,
-                    &to_refs(&rest_cols),
-                    sv.rows(),
-                )?;
-                // Reassemble in the plan's column order.
-                let mut chunk = DataFrame::new();
-                for name in &plan.base.columns {
-                    let col = if pred_cols.contains(name) {
-                        sv.gather_column(pred_chunk.column(name)?)
-                    } else {
-                        rest.column(name)?.clone()
-                    };
-                    chunk.add_column(name.clone(), col).map_err(DbError::from)?;
-                }
-                return Ok(Some((rows_in, pruned, chunk)));
-            }
-            if let (Some(j), Some(table)) = (&plan.join, &join_table) {
-                let kind = join_kind(j);
-                let (rows_in, mut chunk) = join_chunk(db, plan, ci, j, table, kind, dict_join)?;
-                if let Some(pred) = &plan.predicate {
-                    chunk = chunk.filter_expr(pred)?;
-                }
-                return Ok(Some((rows_in, 0, chunk)));
-            }
-            let mut chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&plan.base.columns))?;
-            let rows_in = chunk.n_rows() as u64;
-            if let Some(pred) = &plan.predicate {
-                chunk = chunk.filter_expr(pred)?;
-            }
-            Ok(Some((rows_in, 0, chunk)))
-        })
-        .collect();
-
-    let mut chunks: Vec<DataFrame> = Vec::new();
-    for r in chunk_results {
-        match r? {
-            Some((rows_in, pruned, df)) => {
-                stats.rows_scanned += rows_in;
-                stats.rows_pruned += pruned;
-                chunks.push(df);
-            }
-            None => stats.chunks_skipped += 1,
-        }
-    }
-    if stats.rows_pruned > 0 {
-        db.obs()
-            .metrics
-            .inc(metric_names::SCAN_ROWS_PRUNED, stats.rows_pruned);
-    }
-
-    // Zone maps (or an empty table) can eliminate every chunk; the result
-    // must still carry correctly typed columns, so synthesize one empty
-    // chunk with the true schema and run it through the same pipeline.
-    if chunks.is_empty() {
-        let schema = db.table_schema(&plan.base.table)?;
-        let mut empty = DataFrame::new();
-        for name in &plan.base.columns {
-            let dtype = schema
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, d)| *d)
-                .unwrap_or(DType::F64);
-            empty
-                .add_column(name.clone(), Column::empty(dtype))
-                .map_err(DbError::from)?;
-        }
-        if let (Some(j), Some(table)) = (&plan.join, &join_table) {
-            empty = empty.join_with_table(table, &j.left_col, join_kind(j))?;
-        }
-        chunks.push(empty);
-    }
-
-    match &plan.shape {
-        QueryShape::Projection { items } => project(&chunks, items, plan),
-        QueryShape::Aggregate { keys, aggs } => aggregate(db, &chunks, keys, aggs),
-    }
-}
-
-fn join_kind(j: &JoinSpec) -> JoinKind {
-    match j.kind {
-        JoinType::Inner => JoinKind::Inner,
-        JoinType::Left => JoinKind::Left,
-    }
-}
-
-/// Is the join's left key a string column consumed *only* by the join
-/// condition itself? Then joined chunks never need the per-row key
-/// strings, and Dict-encoded key chunks can probe on codes.
-fn join_dict_eligible(db: &Database, plan: &ResolvedSelect) -> DbResult<bool> {
-    let Some(j) = &plan.join else {
-        return Ok(false);
-    };
-    let schema = db.table_schema(&plan.base.table)?;
-    if !schema
-        .iter()
-        .any(|(n, d)| n == &j.left_col && *d == DType::Str)
-    {
-        return Ok(false);
-    }
-    // A right column named like the left key would get its `_right`
-    // suffix only when the key is materialized; keep the generic path so
-    // output names never depend on chunk codecs.
-    if j.scan
-        .columns
-        .iter()
-        .any(|c| c != &j.right_col && c == &j.left_col)
-    {
-        return Ok(false);
-    }
-    let mut referenced: Vec<String> = Vec::new();
-    if let Some(p) = &plan.predicate {
-        referenced.extend(p.referenced_columns());
-    }
-    match &plan.shape {
-        QueryShape::Projection { items } => {
-            for (_, e) in items {
-                referenced.extend(e.referenced_columns());
-            }
-        }
-        QueryShape::Aggregate { keys, aggs } => {
-            for (_, e) in keys {
-                referenced.extend(e.referenced_columns());
-            }
-            for a in aggs {
-                if let Some(e) = &a.arg {
-                    referenced.extend(e.referenced_columns());
-                }
-            }
-        }
-    }
-    Ok(!referenced.iter().any(|c| c == &j.left_col))
-}
-
-/// Read one chunk and probe it against the shared join table. When the
-/// key chunk is Dict-encoded (and the query never reads the key), each
-/// dictionary entry is probed once and the per-code match lists fan out
-/// over the code vector — per-row key strings are never materialized.
-fn join_chunk(
-    db: &Database,
-    plan: &ResolvedSelect,
-    ci: usize,
-    j: &JoinSpec,
-    table: &JoinTable<'_>,
-    kind: JoinKind,
-    dict_eligible: bool,
-) -> DbResult<(u64, DataFrame)> {
-    if dict_eligible {
-        if let Some((dict, codes)) = db.read_chunk_dict_codes(&plan.base.table, ci, &j.left_col)? {
-            let rest: Vec<&str> = plan
-                .base
-                .columns
-                .iter()
-                .filter(|c| *c != &j.left_col)
-                .map(String::as_str)
-                .collect();
-            let chunk = db.read_chunk(&plan.base.table, ci, &rest)?;
-            let t0 = Instant::now();
-            // The per-chunk dictionary holds exactly the chunk's distinct
-            // keys, so probing it covers every row.
-            let dkey = KeyCol::Str(&dict);
-            let (dl, dr) = table.probe(&dkey, JoinKind::Left);
-            let mut matches: Vec<Vec<u32>> = vec![Vec::new(); dict.len()];
-            for (l, r) in dl.iter().zip(&dr) {
-                if *r != u32::MAX {
-                    matches[*l as usize].push(*r);
-                }
-            }
-            let mut left_idx: Vec<u32> = Vec::with_capacity(codes.len());
-            let mut right_idx: Vec<u32> = Vec::with_capacity(codes.len());
-            for (row, &c) in codes.iter().enumerate() {
-                let ms = &matches[c as usize];
-                if ms.is_empty() {
-                    if kind == JoinKind::Left {
-                        left_idx.push(row as u32);
-                        right_idx.push(u32::MAX);
-                    }
-                } else {
-                    for &r in ms {
-                        left_idx.push(row as u32);
-                        right_idx.push(r);
-                    }
-                }
-            }
-            let joined = table.gather_joined(&chunk, &left_idx, &right_idx)?;
-            db.obs().metrics.observe(
-                metric_names::JOIN_PROBE_MS,
-                t0.elapsed().as_secs_f64() * 1e3,
-            );
-            db.obs()
-                .metrics
-                .inc(metric_names::JOIN_DICT_FASTPATH_CHUNKS, 1);
-            db.obs()
-                .metrics
-                .inc(metric_names::DICT_STRINGS_DECODED, dict.len() as u64);
-            return Ok((codes.len() as u64, joined));
-        }
-    }
-    let chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&plan.base.columns))?;
-    let rows_in = chunk.n_rows() as u64;
-    let t0 = Instant::now();
-    let joined = chunk.join_with_table(table, &j.left_col, kind)?;
-    db.obs().metrics.observe(
-        metric_names::JOIN_PROBE_MS,
-        t0.elapsed().as_secs_f64() * 1e3,
-    );
-    Ok((rows_in, joined))
-}
-
-fn to_refs(v: &[String]) -> Vec<&str> {
-    v.iter().map(String::as_str).collect()
-}
-
-fn project(
-    chunks: &[DataFrame],
-    items: &[(String, Expr)],
-    plan: &ResolvedSelect,
-) -> DbResult<DataFrame> {
-    let mut out = DataFrame::new();
-    // Early-exit fast path: LIMIT without ORDER BY needs only enough rows
-    // (DISTINCT must see everything before it can limit).
-    let early_limit = if plan.order_by.is_empty() && !plan.distinct {
-        plan.limit
-    } else {
-        None
-    };
-    for chunk in chunks {
-        let mut projected = DataFrame::new();
-        for (name, expr) in items {
-            let col = expr.eval(chunk)?;
-            projected
-                .add_column(name.clone(), col)
-                .map_err(DbError::from)?;
-        }
-        out.vstack(&projected)?;
-        if let Some(lim) = early_limit {
-            if out.n_rows() >= lim {
-                return Ok(out.head(lim));
-            }
-        }
-    }
-    if out.n_cols() == 0 {
-        // No chunks at all: produce an empty frame with the right schema.
-        for (name, _) in items {
-            out.add_column(name.clone(), Column::F64(Vec::new()))
-                .map_err(DbError::from)?;
-        }
     }
     Ok(out)
 }
 
+/// The naive reference executor: read everything eagerly, join in
+/// syntactic order, filter after all joins, aggregate in one pass. No
+/// pushdown, no zone pruning, no reordering, no dictionary fast paths —
+/// the semantic ground truth the optimizer must reproduce.
+pub(crate) fn run_select_naive(db: &Database, sel: &SelectStmt) -> DbResult<DataFrame> {
+    let plan = resolve(sel, db)?;
+    let base = plan.base();
+    let schema = db.table_schema(&base.table)?;
+    let mut frame = DataFrame::new();
+    for name in &base.columns {
+        let dtype = schema
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(DType::F64);
+        frame
+            .add_column(name.clone(), Column::empty(dtype))
+            .map_err(DbError::from)?;
+    }
+    let n_chunks = db.n_chunks(&base.table)?;
+    for ci in 0..n_chunks {
+        let chunk = db.read_chunk(&base.table, ci, &to_refs(&base.columns))?;
+        frame.vstack(&chunk)?;
+    }
+    for j in &plan.joins {
+        let spec = &plan.scans[j.scan_idx];
+        let right = db.scan_all(&spec.table, &to_refs(&spec.columns))?;
+        let kind = match j.kind {
+            JoinType::Inner => JoinKind::Inner,
+            JoinType::Left => JoinKind::Left,
+        };
+        frame = frame.join(&right, &j.left_col, &j.right_col, kind)?;
+    }
+    if let Some(pred) = &plan.predicate {
+        frame = frame.filter_expr(pred)?;
+    }
+    let out = match &plan.shape {
+        QueryShape::Projection { items } => {
+            let mut o = DataFrame::new();
+            for (name, expr) in items {
+                o.add_column(name.clone(), expr.eval(&frame)?)
+                    .map_err(DbError::from)?;
+            }
+            o
+        }
+        QueryShape::Aggregate { keys, aggs } => {
+            let needs_values: Vec<bool> =
+                aggs.iter().map(|a| a.kind == AggKind::Median).collect();
+            let partial = chunk_partial(&frame, keys, aggs, &needs_values)?;
+            let (mut order, mut groups) = merge_partials(vec![Ok(partial)])?;
+            if keys.is_empty() && order.is_empty() {
+                order.push(GroupKey::new());
+                groups.insert(
+                    GroupKey::new(),
+                    (
+                        Vec::new(),
+                        needs_values.iter().map(|&kv| Accum::new(kv)).collect(),
+                    ),
+                );
+            }
+            assemble_groups(keys, aggs, &order, &groups, |ki| {
+                Ok(keys[ki].1.eval(&frame)?.dtype())
+            })?
+        }
+    };
+    post_steps(
+        out,
+        plan.having.as_ref(),
+        plan.distinct,
+        &plan.order_by,
+        plan.limit,
+    )
+}
+
+pub(crate) fn to_refs(v: &[String]) -> Vec<&str> {
+    v.iter().map(String::as_str).collect()
+}
+
 /// Streaming accumulator for one (group, aggregate) cell.
 #[derive(Debug, Clone)]
-struct Accum {
+pub(crate) struct Accum {
     rows: u64,
     count: u64,
     sum: f64,
@@ -491,7 +283,7 @@ struct Accum {
 }
 
 impl Accum {
-    fn new(keep_values: bool) -> Accum {
+    pub(crate) fn new(keep_values: bool) -> Accum {
         Accum {
             rows: 0,
             count: 0,
@@ -505,7 +297,7 @@ impl Accum {
         }
     }
 
-    fn push(&mut self, v: f64) {
+    pub(crate) fn push(&mut self, v: f64) {
         self.rows += 1;
         if v.is_nan() {
             return;
@@ -525,12 +317,12 @@ impl Accum {
     }
 
     /// For COUNT(*) and counts over non-numeric data: every row counts.
-    fn push_counted_row(&mut self) {
+    pub(crate) fn push_counted_row(&mut self) {
         self.rows += 1;
         self.count += 1;
     }
 
-    fn merge(&mut self, other: &Accum) {
+    pub(crate) fn merge(&mut self, other: &Accum) {
         self.rows += other.rows;
         self.count += other.count;
         self.sum += other.sum;
@@ -548,7 +340,23 @@ impl Accum {
         }
     }
 
-    fn finalize(&self, kind: AggKind) -> f64 {
+    /// Scale the linear moments by a join-match multiplicity `m`, as if
+    /// every accumulated row had been pushed `m` times. Min/max and
+    /// first/last are multiplicity-invariant; retained values (Median)
+    /// are not, which is why the pre-aggregation rewrite excludes them.
+    pub(crate) fn scale(&mut self, m: u32) {
+        debug_assert!(self.values.is_none(), "cannot scale retained values");
+        if m == 1 {
+            return;
+        }
+        let mf = m as f64;
+        self.rows *= m as u64;
+        self.count *= m as u64;
+        self.sum *= mf;
+        self.sumsq *= mf;
+    }
+
+    pub(crate) fn finalize(&self, kind: AggKind) -> f64 {
         let n = self.count as f64;
         match kind {
             AggKind::Count => n,
@@ -615,7 +423,7 @@ impl Accum {
 /// SQL grouping key normalization: integral floats unify with integers,
 /// `-0.0` normalizes to `0.0`, `NaN` keys by its bit pattern. Matches
 /// the retired per-row string `encode_key` codec exactly.
-const SQL_GROUP_MODE: KeyMode = KeyMode::Unify {
+pub(crate) const SQL_GROUP_MODE: KeyMode = KeyMode::Unify {
     nan_never_matches: false,
 };
 
@@ -623,15 +431,15 @@ const SQL_GROUP_MODE: KeyMode = KeyMode::Unify {
 /// boolean keys, an owned string otherwise. A `Vec<KeyToken>` replaces
 /// the old per-row `'\u{1f}'`-separated key strings.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KeyToken {
+pub(crate) enum KeyToken {
     Enc(u128),
     Str(String),
 }
 
-type GroupKey = Vec<KeyToken>;
-type GroupMap = HashMap<GroupKey, (Vec<Value>, Vec<Accum>)>;
+pub(crate) type GroupKey = Vec<KeyToken>;
+pub(crate) type GroupMap = HashMap<GroupKey, (Vec<Value>, Vec<Accum>)>;
 
-fn key_token(col: &Column, row: usize) -> KeyToken {
+pub(crate) fn key_token(col: &Column, row: usize) -> KeyToken {
     match col {
         Column::Str(v) => KeyToken::Str(v[row].clone()),
         other => KeyToken::Enc(
@@ -641,21 +449,21 @@ fn key_token(col: &Column, row: usize) -> KeyToken {
 }
 
 /// Per-chunk partial aggregation state.
-struct Partial {
+pub(crate) struct Partial {
     /// Insertion-ordered group keys.
-    order: Vec<GroupKey>,
+    pub(crate) order: Vec<GroupKey>,
     /// key -> (representative key values, per-agg accumulators).
-    groups: GroupMap,
+    pub(crate) groups: GroupMap,
 }
 
 /// Evaluated aggregate arguments for one chunk.
-enum ArgData {
+pub(crate) enum ArgData {
     Num(Vec<f64>),
     /// COUNT(*) or a count over non-numeric data: every row counts.
     Rows,
 }
 
-fn eval_arg_data(chunk: &DataFrame, aggs: &[AggItem]) -> DbResult<Vec<ArgData>> {
+pub(crate) fn eval_arg_data(chunk: &DataFrame, aggs: &[AggItem]) -> DbResult<Vec<ArgData>> {
     aggs.iter()
         .map(|a| -> DbResult<ArgData> {
             match &a.arg {
@@ -673,7 +481,7 @@ fn eval_arg_data(chunk: &DataFrame, aggs: &[AggItem]) -> DbResult<Vec<ArgData>> 
         .collect()
 }
 
-fn push_row(accums: &mut [Accum], arg_data: &[ArgData], row: usize) {
+pub(crate) fn push_row(accums: &mut [Accum], arg_data: &[ArgData], row: usize) {
     for (ai, data) in arg_data.iter().enumerate() {
         match data {
             ArgData::Num(v) => accums[ai].push(v[row]),
@@ -685,7 +493,7 @@ fn push_row(accums: &mut [Accum], arg_data: &[ArgData], row: usize) {
 /// Aggregate one chunk into a [`Partial`]: typed row grouping via
 /// [`RowGrouper`] (no per-row boxed values or key strings), then exact
 /// accumulator fills per group in ascending row order.
-fn chunk_partial(
+pub(crate) fn chunk_partial(
     chunk: &DataFrame,
     keys: &[(String, Expr)],
     aggs: &[AggItem],
@@ -740,7 +548,9 @@ fn chunk_partial(
 
 /// Merge per-chunk partials in chunk order for deterministic first-seen
 /// group ordering.
-fn merge_partials(partials: Vec<DbResult<Partial>>) -> DbResult<(Vec<GroupKey>, GroupMap)> {
+pub(crate) fn merge_partials(
+    partials: Vec<DbResult<Partial>>,
+) -> DbResult<(Vec<GroupKey>, GroupMap)> {
     let mut order: Vec<GroupKey> = Vec::new();
     let mut groups: GroupMap = HashMap::new();
     for p in partials {
@@ -767,7 +577,7 @@ fn merge_partials(partials: Vec<DbResult<Partial>>) -> DbResult<(Vec<GroupKey>, 
 /// supplies key column dtypes when zero groups survive (zone maps can
 /// skip every chunk), so a grouped aggregate never indexes into an
 /// empty group table.
-fn assemble_groups(
+pub(crate) fn assemble_groups(
     keys: &[(String, Expr)],
     aggs: &[AggItem],
     order: &[GroupKey],
@@ -800,185 +610,6 @@ fn assemble_groups(
             .map_err(DbError::from)?;
     }
     Ok(out)
-}
-
-fn aggregate(
-    db: &Database,
-    chunks: &[DataFrame],
-    keys: &[(String, Expr)],
-    aggs: &[AggItem],
-) -> DbResult<DataFrame> {
-    let needs_values: Vec<bool> = aggs.iter().map(|a| a.kind == AggKind::Median).collect();
-
-    // Partial aggregation per chunk, in parallel.
-    let partials: Vec<DbResult<Partial>> = chunks
-        .par_iter()
-        .map(|chunk| chunk_partial(chunk, keys, aggs, &needs_values))
-        .collect();
-    db.obs()
-        .metrics
-        .inc(metric_names::GROUPBY_PARTIALS_MERGED, partials.len() as u64);
-    let (mut order, mut groups) = merge_partials(partials)?;
-
-    // Whole-table aggregate with zero rows still yields one output row.
-    if keys.is_empty() && order.is_empty() {
-        order.push(GroupKey::new());
-        groups.insert(
-            GroupKey::new(),
-            (
-                Vec::new(),
-                needs_values.iter().map(|&kv| Accum::new(kv)).collect(),
-            ),
-        );
-    }
-
-    assemble_groups(keys, aggs, &order, &groups, |ki| {
-        // Zero surviving groups: the chunks are all empty (possibly just
-        // the synthesized schema chunk), so evaluating the key
-        // expression against one of them is a cheap way to type the
-        // empty key column.
-        match chunks.first() {
-            Some(c) => Ok(keys[ki].1.eval(c)?.dtype()),
-            None => Ok(DType::F64),
-        }
-    })
-}
-
-/// Dictionary-code GROUP BY fast path.
-///
-/// Applies when a single plain string column is the whole group key and
-/// no join or predicate intervenes: each Dict-encoded chunk is grouped
-/// directly on its `u32` codes via a per-code group-id table, and only
-/// one representative string per group leaves the dictionary — per-row
-/// strings are never decoded. Chunks stored under other codecs fall
-/// back to the generic per-chunk grouping, so mixed tables stay exact.
-fn dict_groupby_fastpath(
-    db: &Database,
-    plan: &ResolvedSelect,
-    n_chunks: usize,
-    stats: &mut ExecStats,
-) -> DbResult<Option<DataFrame>> {
-    if plan.join.is_some() || plan.predicate.is_some() || !plan.zone_filters.is_empty() {
-        return Ok(None);
-    }
-    let QueryShape::Aggregate { keys, aggs } = &plan.shape else {
-        return Ok(None);
-    };
-    let [(_, Expr::Col(key_col))] = keys.as_slice() else {
-        return Ok(None);
-    };
-    let schema = db.table_schema(&plan.base.table)?;
-    if !schema
-        .iter()
-        .any(|(n, d)| n == key_col && *d == DType::Str)
-    {
-        return Ok(None);
-    }
-    // Aggregate args must be evaluable without the key column, and must
-    // reference at least one column so argument lengths track the chunk.
-    let mut arg_cols: Vec<String> = Vec::new();
-    for a in aggs {
-        if let Some(e) = &a.arg {
-            let cols = e.referenced_columns();
-            if cols.is_empty() || cols.iter().any(|c| c == key_col) {
-                return Ok(None);
-            }
-            arg_cols.extend(cols);
-        }
-    }
-    arg_cols.sort();
-    arg_cols.dedup();
-
-    let needs_values: Vec<bool> = aggs.iter().map(|a| a.kind == AggKind::Median).collect();
-    struct ChunkOut {
-        partial: Partial,
-        rows_in: u64,
-        fast: bool,
-        decoded: u64,
-    }
-    let results: Vec<DbResult<ChunkOut>> = (0..n_chunks)
-        .into_par_iter()
-        .map(|ci| -> DbResult<ChunkOut> {
-            let Some((dict, codes)) = db.read_chunk_dict_codes(&plan.base.table, ci, key_col)?
-            else {
-                // Chunk stored under another codec: group it generically.
-                let mut cols = arg_cols.clone();
-                cols.push(key_col.clone());
-                let chunk = db.read_chunk(&plan.base.table, ci, &to_refs(&cols))?;
-                let rows_in = chunk.n_rows() as u64;
-                let partial = chunk_partial(&chunk, keys, aggs, &needs_values)?;
-                return Ok(ChunkOut {
-                    partial,
-                    rows_in,
-                    fast: false,
-                    decoded: 0,
-                });
-            };
-            let rest = db.read_chunk(&plan.base.table, ci, &to_refs(&arg_cols))?;
-            let arg_data = eval_arg_data(&rest, aggs)?;
-            // Group id per dictionary code, assigned in first-seen row
-            // order — identical ordering to the generic path.
-            let mut gid_of_code: Vec<u32> = vec![u32::MAX; dict.len()];
-            let mut rep_codes: Vec<u32> = Vec::new();
-            let mut accums: Vec<Vec<Accum>> = Vec::new();
-            for (row, &code) in codes.iter().enumerate() {
-                let c = code as usize;
-                let gid = if gid_of_code[c] == u32::MAX {
-                    gid_of_code[c] = accums.len() as u32;
-                    rep_codes.push(code);
-                    accums.push(needs_values.iter().map(|&kv| Accum::new(kv)).collect());
-                    accums.len() - 1
-                } else {
-                    gid_of_code[c] as usize
-                };
-                push_row(&mut accums[gid], &arg_data, row);
-            }
-            let decoded = rep_codes.len() as u64;
-            let mut partial = Partial {
-                order: Vec::with_capacity(rep_codes.len()),
-                groups: HashMap::with_capacity(rep_codes.len()),
-            };
-            for (&code, acc) in rep_codes.iter().zip(accums) {
-                let s = dict[code as usize].clone();
-                let key = vec![KeyToken::Str(s.clone())];
-                partial.order.push(key.clone());
-                partial.groups.insert(key, (vec![Value::Str(s)], acc));
-            }
-            Ok(ChunkOut {
-                partial,
-                rows_in: codes.len() as u64,
-                fast: true,
-                decoded,
-            })
-        })
-        .collect();
-
-    let mut partials: Vec<DbResult<Partial>> = Vec::with_capacity(results.len());
-    let mut fast_chunks = 0u64;
-    let mut decoded = 0u64;
-    for r in results {
-        let c = r?;
-        stats.rows_scanned += c.rows_in;
-        if c.fast {
-            fast_chunks += 1;
-            decoded += c.decoded;
-        }
-        partials.push(Ok(c.partial));
-    }
-    if fast_chunks > 0 {
-        db.obs()
-            .metrics
-            .inc(metric_names::GROUPBY_DICT_FASTPATH_CHUNKS, fast_chunks);
-        db.obs()
-            .metrics
-            .inc(metric_names::DICT_STRINGS_DECODED, decoded);
-    }
-    db.obs()
-        .metrics
-        .inc(metric_names::GROUPBY_PARTIALS_MERGED, partials.len() as u64);
-    let (order, groups) = merge_partials(partials)?;
-    let out = assemble_groups(keys, aggs, &order, &groups, |_| Ok(DType::Str))?;
-    Ok(Some(out))
 }
 
 #[cfg(test)]
@@ -1026,6 +657,13 @@ mod tests {
             Statement::Select(s) => run_select(db, &s).unwrap().0,
             other => execute(db, &other).unwrap().frame,
         }
+    }
+
+    fn q_naive(db: &Database, sql: &str) -> DataFrame {
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!("naive path only runs SELECT")
+        };
+        run_select_naive(db, &s).unwrap()
     }
 
     #[test]
@@ -1123,6 +761,18 @@ mod tests {
     }
 
     #[test]
+    fn pushed_predicate_matches_naive_with_join() {
+        let db = setup("pushjoin");
+        let sql = "SELECT sim, COUNT(*) AS n, SUM(gal_mass) AS total FROM halos \
+                   JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag \
+                   WHERE fof_halo_mass > 1e12 AND gal_mass > 1e10 GROUP BY sim";
+        assert_eq!(q(&db, sql), q_naive(&db, sql));
+        // Pushdown actually fired for both sides.
+        let m = &db.obs().metrics;
+        assert!(m.counter(metric_names::PLAN_PREDICATES_PUSHED) >= 2);
+    }
+
+    #[test]
     fn computed_expressions() {
         let db = setup("exprs");
         let df = q(
@@ -1202,6 +852,19 @@ mod tests {
         db
     }
 
+    fn add_sims(db: &Database) {
+        let sims = DataFrame::from_columns([
+            (
+                "sim_name",
+                Column::from(vec!["simulation_alpha", "simulation_beta"]),
+            ),
+            ("box_mpc", Column::from(vec![250.0, 500.0])),
+        ])
+        .unwrap();
+        db.create_table("sims", &sims.schema()).unwrap();
+        db.append("sims", &sims).unwrap();
+    }
+
     #[test]
     fn dict_groupby_fast_path_matches_generic() {
         let db = setup_dict("dictgroup");
@@ -1213,7 +876,7 @@ mod tests {
         assert_eq!(m.counter(metric_names::GROUPBY_DICT_FASTPATH_CHUNKS), 2);
         // 3 groups per chunk decoded, not 60 rows.
         assert_eq!(m.counter(metric_names::DICT_STRINGS_DECODED), 6);
-        // The predicate disables the fast path; `mass > 0` keeps all rows.
+        // The predicate disables the code path; `mass > 0` keeps all rows.
         let generic = q(
             &db,
             "SELECT sim_name, COUNT(*) AS n, SUM(mass) AS total FROM runs WHERE mass > 0 GROUP BY sim_name",
@@ -1239,18 +902,10 @@ mod tests {
     #[test]
     fn dict_join_fast_path_matches_generic() {
         let db = setup_dict("dictjoin");
-        let sims = DataFrame::from_columns([
-            (
-                "sim_name",
-                Column::from(vec!["simulation_alpha", "simulation_beta"]),
-            ),
-            ("box_mpc", Column::from(vec![250.0, 500.0])),
-        ])
-        .unwrap();
-        db.create_table("sims", &sims.schema()).unwrap();
-        db.append("sims", &sims).unwrap();
+        add_sims(&db);
         // The key is only in the join condition: dict chunks probe the
-        // dictionary (2 chunks), not the 60 rows.
+        // dictionary (2 chunks), not the 60 rows. (SUM(box_mpc) reads the
+        // build side, so the pre-aggregation rewrite stays off.)
         let fast = q(
             &db,
             "SELECT COUNT(*) AS n, SUM(box_mpc) AS b FROM runs JOIN sims ON runs.sim_name = sims.sim_name",
@@ -1268,6 +923,55 @@ mod tests {
         let b = fast.cell("b", 0).unwrap().as_f64().unwrap();
         assert_eq!(b, 20.0 * 250.0 + 20.0 * 500.0);
         assert_eq!(generic.n_rows(), 40);
+    }
+
+    #[test]
+    fn preagg_below_join_matches_naive() {
+        let db = setup_dict("preagg");
+        add_sims(&db);
+        // The build side contributes only its key: the optimizer
+        // aggregates below the join and scales by match multiplicity.
+        let sql = "SELECT COUNT(*) AS n, SUM(mass) AS total FROM runs \
+                   JOIN sims ON runs.sim_name = sims.sim_name";
+        let fast = q(&db, sql);
+        assert_eq!(db.obs().metrics.counter(metric_names::PLAN_PREAGG_APPLIED), 1);
+        assert_eq!(fast.cell("n", 0).unwrap(), Value::I64(40));
+        assert_eq!(fast, q_naive(&db, sql));
+        // Grouping by the join key itself also pre-aggregates.
+        let sql = "SELECT sim_name, COUNT(*) AS n FROM runs \
+                   JOIN sims ON runs.sim_name = sims.sim_name GROUP BY sim_name";
+        let fast = q(&db, sql);
+        assert_eq!(fast.n_rows(), 2);
+        assert_eq!(fast.cell("n", 0).unwrap(), Value::I64(20));
+        assert_eq!(fast, q_naive(&db, sql));
+    }
+
+    #[test]
+    fn preagg_left_join_keeps_unmatched_groups() {
+        let db = setup_dict("preaggleft");
+        add_sims(&db);
+        let sql = "SELECT sim_name, COUNT(*) AS n FROM runs \
+                   LEFT JOIN sims ON runs.sim_name = sims.sim_name GROUP BY sim_name";
+        let fast = q(&db, sql);
+        assert_eq!(fast.n_rows(), 3, "gamma survives the left join");
+        assert_eq!(fast, q_naive(&db, sql));
+    }
+
+    #[test]
+    fn explain_renders_plan_with_actuals() {
+        let db = setup("explain");
+        let Statement::Select(sel) = parse(
+            "SELECT sim, COUNT(*) AS n FROM halos WHERE fof_halo_mass > 1e13 GROUP BY sim",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let tree = explain_select(&db, &sel).unwrap();
+        assert!(tree.contains("Aggregate keys=[sim]"), "{tree}");
+        assert!(tree.contains("Scan halos"), "{tree}");
+        assert!(tree.contains("est_rows="), "{tree}");
+        assert!(tree.contains("actual rows_scanned="), "{tree}");
+        assert!(tree.contains("Morsels: 3 over"), "{tree}");
     }
 
     #[test]

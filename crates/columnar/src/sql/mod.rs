@@ -1,7 +1,11 @@
 //! SQL front-end: lexer → parser → planner → executor.
 
 pub mod ast;
+pub mod cost;
 pub mod exec;
 pub mod lexer;
+pub mod logical;
+pub mod morsel;
 pub mod parser;
+pub mod physical;
 pub mod plan;

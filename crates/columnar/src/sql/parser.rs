@@ -6,7 +6,7 @@
 //! statement  := select | create | drop
 //! create     := CREATE TABLE ident AS select
 //! drop       := DROP TABLE [IF EXISTS] ident
-//! select     := SELECT items FROM ident [join] [WHERE expr]
+//! select     := SELECT items FROM ident join* [WHERE expr]
 //!               [GROUP BY expr_list] [ORDER BY ord_list] [LIMIT int]
 //! join       := [INNER|LEFT] JOIN ident ON colref = colref
 //! items      := * | item (, item)*
@@ -177,37 +177,44 @@ impl Parser {
         self.expect_kw("from")?;
         let from = self.ident()?;
 
-        let mut join = None;
-        let join_kind = if self.peek().is_kw("inner") {
-            self.next();
-            Some(JoinType::Inner)
-        } else if self.peek().is_kw("left") {
-            self.next();
-            Some(JoinType::Left)
-        } else if self.peek().is_kw("join") {
-            Some(JoinType::Inner)
-        } else {
-            None
-        };
-        if let Some(kind) = join_kind {
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.peek().is_kw("inner") {
+                self.next();
+                JoinType::Inner
+            } else if self.peek().is_kw("left") {
+                self.next();
+                JoinType::Left
+            } else if self.peek().is_kw("join") {
+                JoinType::Inner
+            } else {
+                break;
+            };
             self.expect_kw("join")?;
             let table = self.ident()?;
             self.expect_kw("on")?;
             let (q1, c1) = self.colref()?;
             self.expect(&Token::Eq)?;
             let (q2, c2) = self.colref()?;
-            // Decide which side is which by qualifier; default: first is
-            // the FROM table.
-            let (left_col, right_col) = if q1.as_deref() == Some(table.as_str())
-                || q2.as_deref() == Some(from.as_str())
-            {
-                (c2, c1)
-            } else {
-                (c1, c2)
-            };
-            join = Some(JoinClause {
+            // The operand qualified with the joined table's name is the
+            // right side; the other belongs to the accumulated left side
+            // (FROM table or an earlier join). Default: first is left.
+            let (left_qualifier, left_col, right_col) =
+                if q1.as_deref() == Some(table.as_str()) {
+                    (q2, c2, c1)
+                } else if q2.as_deref() == Some(table.as_str())
+                    || q1.as_deref() == Some(from.as_str())
+                {
+                    (q1, c1, c2)
+                } else if q2.as_deref() == Some(from.as_str()) {
+                    (q2, c2, c1)
+                } else {
+                    (q1, c1, c2)
+                };
+            joins.push(JoinClause {
                 table,
                 kind,
+                left_qualifier,
                 left_col,
                 right_col,
             });
@@ -267,7 +274,7 @@ impl Parser {
             items,
             distinct,
             from,
-            join,
+            joins,
             where_clause,
             group_by,
             having,
@@ -510,7 +517,7 @@ mod tests {
             "SELECT g.gal_mass FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag",
         )
         .unwrap();
-        let j = s.join.unwrap();
+        let j = &s.joins[0];
         assert_eq!(j.table, "galaxies");
         assert_eq!(j.left_col, "fof_halo_tag");
         assert_eq!(j.right_col, "fof_halo_tag");
@@ -521,10 +528,28 @@ mod tests {
     fn left_join_swapped_on() {
         let s =
             parse_select("SELECT a FROM t1 LEFT JOIN t2 ON t2.k = t1.j").unwrap();
-        let j = s.join.unwrap();
+        let j = &s.joins[0];
         assert_eq!(j.kind, JoinType::Left);
         assert_eq!(j.left_col, "j");
         assert_eq!(j.right_col, "k");
+        assert_eq!(j.left_qualifier.as_deref(), Some("t1"));
+    }
+
+    #[test]
+    fn chained_joins() {
+        let s = parse_select(
+            "SELECT a FROM t1 JOIN t2 ON t1.k = t2.k LEFT JOIN t3 ON t2.j = t3.j",
+        )
+        .unwrap();
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.joins[0].table, "t2");
+        assert_eq!(s.joins[0].left_qualifier.as_deref(), Some("t1"));
+        assert_eq!(s.joins[1].table, "t3");
+        assert_eq!(s.joins[1].kind, JoinType::Left);
+        // Left side of the second join comes from the earlier joined table.
+        assert_eq!(s.joins[1].left_qualifier.as_deref(), Some("t2"));
+        assert_eq!(s.joins[1].left_col, "j");
+        assert_eq!(s.joins[1].right_col, "j");
     }
 
     #[test]

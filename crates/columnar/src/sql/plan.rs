@@ -1,23 +1,18 @@
-//! Logical planning: name resolution, projection pruning, predicate
-//! pushdown.
+//! Name resolution: SQL statements against the catalog.
 //!
-//! The planner turns a parsed [`SelectStmt`] into a [`ResolvedSelect`]:
-//! every column reference is resolved against the catalog, only the
-//! columns a query actually touches are scanned (projection pruning), and
-//! conjunctive `column <cmp> literal` predicates are extracted as
-//! [`ZoneFilter`]s the scan uses to skip whole chunks via zone maps.
+//! The resolver turns a parsed [`SelectStmt`] into a [`ResolvedSelect`]:
+//! every column reference is resolved against the catalog across the
+//! whole join chain, only the columns a query actually touches are
+//! scanned (projection pruning), and the WHERE clause is split into
+//! conjuncts classified by which table they reference — the raw material
+//! for predicate pushdown and [`ZoneFilter`] chunk skipping in the
+//! physical planner (`sql::physical`).
 
 use super::ast::*;
 use crate::error::{DbError, DbResult};
 use infera_frame::expr::{BinOp, UnaryFn};
 use infera_frame::{AggKind, Expr, Value};
-
-/// Which table a resolved column lives in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Side {
-    Base,
-    Join,
-}
+use std::collections::HashMap;
 
 /// Scan requirements for one table.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,13 +22,18 @@ pub struct ScanSpec {
     pub columns: Vec<String>,
 }
 
-/// Resolved join description.
+/// Resolved join description. `scan_idx` indexes [`ResolvedSelect::scans`];
+/// join `i` always scans `scans[i + 1]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinSpec {
-    pub scan: ScanSpec,
+    pub scan_idx: usize,
     pub kind: JoinType,
+    /// Left key: *output* column name in the accumulated joined frame.
     pub left_col: String,
+    /// Right key: column name in the joined table.
     pub right_col: String,
+    /// Which scan the left key column originally came from.
+    pub left_scope: usize,
 }
 
 /// One aggregate output.
@@ -118,15 +118,34 @@ pub enum QueryShape {
     },
 }
 
-/// A fully resolved SELECT ready for execution.
+/// One top-level AND conjunct of the WHERE clause, classified for
+/// pushdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conjunct {
+    /// The conjunct over the fully joined frame (post-join names).
+    pub post_join: Expr,
+    /// `Some(i)` when every column reference lives in `scans[i]`; `None`
+    /// for multi-table or column-free conjuncts (stay residual).
+    pub scope: Option<usize>,
+    /// The conjunct over scan-local column names (when single-scope).
+    pub local: Option<Expr>,
+    /// `col <cmp> literal` zone filters extracted from this conjunct
+    /// (scan-local names; only when single-scope).
+    pub zone: Vec<ZoneFilter>,
+}
+
+/// A fully resolved SELECT ready for planning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResolvedSelect {
-    pub base: ScanSpec,
-    pub join: Option<JoinSpec>,
-    /// Residual predicate, evaluated on (joined) rows.
+    /// Scanned tables; `scans[0]` is the FROM table, `scans[i + 1]` the
+    /// table of `joins[i]`.
+    pub scans: Vec<ScanSpec>,
+    /// Joins in syntactic order.
+    pub joins: Vec<JoinSpec>,
+    /// Full WHERE predicate over (joined) rows, if any.
     pub predicate: Option<Expr>,
-    /// Chunk-skip conjuncts on base-table columns (no-join queries only).
-    pub zone_filters: Vec<ZoneFilter>,
+    /// WHERE split at top-level ANDs, classified per table.
+    pub conjuncts: Vec<Conjunct>,
     pub shape: QueryShape,
     /// Deduplicate output rows (`SELECT DISTINCT`).
     pub distinct: bool,
@@ -136,132 +155,228 @@ pub struct ResolvedSelect {
     pub limit: Option<usize>,
 }
 
+impl ResolvedSelect {
+    /// The FROM-table scan.
+    pub fn base(&self) -> &ScanSpec {
+        &self.scans[0]
+    }
+
+    /// Zone filters usable against the base table when nothing was
+    /// joined (the naive executor's chunk-skip set).
+    pub fn base_zone_filters(&self) -> Vec<ZoneFilter> {
+        if !self.joins.is_empty() {
+            return Vec::new();
+        }
+        self.conjuncts
+            .iter()
+            .filter(|c| c.scope == Some(0))
+            .flat_map(|c| c.zone.iter().cloned())
+            .collect()
+    }
+}
+
 /// Catalog access the planner needs.
 pub trait Catalog {
     /// Column names of a table, or an unknown-table error.
     fn columns_of(&self, table: &str) -> DbResult<Vec<String>>;
 }
 
-struct Resolver<'a> {
-    base_table: &'a str,
-    base_cols: &'a [String],
-    join_table: Option<&'a str>,
-    join_cols: &'a [String],
-    /// Columns actually referenced, per side.
-    used_base: Vec<String>,
-    used_join: Vec<String>,
+/// One table in scope during resolution.
+struct Scope {
+    table: String,
+    cols: Vec<String>,
+    /// Columns actually referenced, in first-use order (= scan order).
+    used: Vec<String>,
 }
 
-impl<'a> Resolver<'a> {
-    fn mark(&mut self, side: Side, name: &str) {
-        let list = match side {
-            Side::Base => &mut self.used_base,
-            Side::Join => &mut self.used_join,
-        };
-        if !list.iter().any(|c| c == name) {
-            list.push(name.to_string());
+struct Resolver {
+    scopes: Vec<Scope>,
+    /// Per scope: physical column name -> output name after the full
+    /// join chain. Filled by [`Resolver::finalize_names`].
+    out_names: Vec<HashMap<String, String>>,
+}
+
+impl Resolver {
+    fn new(scopes: Vec<Scope>) -> Self {
+        let n = scopes.len();
+        Resolver {
+            scopes,
+            out_names: vec![HashMap::new(); n],
         }
     }
 
-    /// Resolve a (qualifier, name) pair to the *output* column name after
-    /// the (optional) join, marking the scan requirement.
-    fn resolve_column(&mut self, qualifier: Option<&str>, name: &str) -> DbResult<String> {
-        let in_base = self.base_cols.iter().any(|c| c == name);
-        let in_join = self.join_cols.iter().any(|c| c == name);
-        let side = match qualifier {
-            Some(q) if q == self.base_table => {
-                if !in_base {
-                    return Err(self.unknown(name));
-                }
-                Side::Base
-            }
-            Some(q) if Some(q) == self.join_table => {
-                if !in_join {
-                    return Err(self.unknown(name));
-                }
-                Side::Join
-            }
+    /// Which scope a (qualifier, name) reference lives in. Unqualified
+    /// names resolve to the first scope (FROM first, then joins in
+    /// order) whose schema contains them.
+    fn scope_of(&self, qualifier: Option<&str>, name: &str) -> DbResult<usize> {
+        match qualifier {
             Some(q) => {
-                return Err(DbError::Plan(format!(
-                    "unknown table qualifier '{q}' (tables in scope: {}{})",
-                    self.base_table,
-                    self.join_table
-                        .map(|t| format!(", {t}"))
-                        .unwrap_or_default()
-                )))
-            }
-            None => {
-                if in_base {
-                    Side::Base
-                } else if in_join {
-                    Side::Join
-                } else {
+                let idx = self
+                    .scopes
+                    .iter()
+                    .position(|s| s.table == q)
+                    .ok_or_else(|| {
+                        DbError::Plan(format!(
+                            "unknown table qualifier '{q}' (tables in scope: {})",
+                            self.scopes
+                                .iter()
+                                .map(|s| s.table.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?;
+                if !self.scopes[idx].cols.iter().any(|c| c == name) {
                     return Err(self.unknown(name));
                 }
+                Ok(idx)
             }
-        };
-        self.mark(side, name);
-        // Output name after frame join: right-side columns that collide
-        // with left names get the `_right` suffix; the right join key is
-        // dropped, so qualified references to it map to the left key.
-        match side {
-            Side::Base => Ok(name.to_string()),
-            Side::Join => {
-                if self.base_cols.iter().any(|c| c == name) {
-                    Ok(format!("{name}_right"))
-                } else {
-                    Ok(name.to_string())
+            None => self
+                .scopes
+                .iter()
+                .position(|s| s.cols.iter().any(|c| c == name))
+                .ok_or_else(|| self.unknown(name)),
+        }
+    }
+
+    fn mark(&mut self, scope: usize, name: &str) {
+        let used = &mut self.scopes[scope].used;
+        if !used.iter().any(|c| c == name) {
+            used.push(name.to_string());
+        }
+    }
+
+    /// Usage pass: mark every column an expression references.
+    fn collect_usage(&mut self, e: &SqlExpr) -> DbResult<()> {
+        for (qualifier, name) in e.columns() {
+            let s = self.scope_of(qualifier.as_deref(), &name)?;
+            self.mark(s, &name);
+        }
+        Ok(())
+    }
+
+    /// Usage pass for HAVING: plain columns refer to *output* names (not
+    /// table columns), but aggregate arguments do reference the tables.
+    fn collect_having_usage(&mut self, e: &SqlExpr) -> DbResult<()> {
+        match e {
+            SqlExpr::Agg(_, Some(arg)) => self.collect_usage(arg),
+            SqlExpr::Binary(a, _, b) => {
+                self.collect_having_usage(a)?;
+                self.collect_having_usage(b)
+            }
+            SqlExpr::Neg(a) | SqlExpr::Not(a) => self.collect_having_usage(a),
+            _ => Ok(()),
+        }
+    }
+
+    /// Compute the post-join output name of every used column by
+    /// simulating `gather_joined` over the scanned columns: right-side
+    /// columns that collide with an accumulated name get the `_right`
+    /// suffix; each right join key is dropped, so references to it map
+    /// to the surviving left key.
+    fn finalize_names(&mut self, joins: &mut [JoinSpec]) -> DbResult<()> {
+        let mut cumulative: Vec<String> = self.scopes[0].used.clone();
+        for c in &self.scopes[0].used {
+            self.out_names[0].insert(c.clone(), c.clone());
+        }
+        for join in joins.iter_mut() {
+            // The left key's cumulative name is known by now: the left
+            // scope was finalized in an earlier iteration (or is base).
+            let left_out = self.out_names[join.left_scope]
+                .get(&join.left_col)
+                .cloned()
+                .ok_or_else(|| {
+                    DbError::Plan(format!(
+                        "internal: join left key '{}' was not resolved",
+                        join.left_col
+                    ))
+                })?;
+            join.left_col = left_out.clone();
+            let s = join.scan_idx;
+            let used = self.scopes[s].used.clone();
+            for col in used {
+                if col == join.right_col {
+                    // Dropped by the join; references map to the left key.
+                    self.out_names[s].insert(col, left_out.clone());
+                    continue;
                 }
+                let out = if cumulative.iter().any(|n| n == &col) {
+                    format!("{col}_right")
+                } else {
+                    col.clone()
+                };
+                if cumulative.iter().any(|n| n == &out) {
+                    return Err(DbError::Plan(format!(
+                        "ambiguous column '{out}' after joining '{}'; alias it away",
+                        self.scopes[s].table
+                    )));
+                }
+                cumulative.push(out.clone());
+                self.out_names[s].insert(col, out);
             }
         }
+        Ok(())
+    }
+
+    /// Resolve a (qualifier, name) pair to the output column name after
+    /// the whole join chain.
+    fn resolve_column(&mut self, qualifier: Option<&str>, name: &str) -> DbResult<String> {
+        let s = self.scope_of(qualifier, name)?;
+        self.out_names[s].get(name).cloned().ok_or_else(|| {
+            DbError::Plan(format!("internal: column '{name}' missed the usage pass"))
+        })
     }
 
     fn unknown(&self, name: &str) -> DbError {
-        let all = self.base_cols.iter().chain(self.join_cols.iter());
+        let all = self.scopes.iter().flat_map(|s| s.cols.iter());
         DbError::UnknownColumn {
             name: name.to_string(),
             suggestion: infera_frame::error::suggest(name, all.map(String::as_str)),
         }
     }
 
-    /// Convert a (non-aggregate) SQL expression to a frame expression.
+    /// Convert a (non-aggregate) SQL expression to a frame expression
+    /// over post-join output names.
     fn to_expr(&mut self, e: &SqlExpr) -> DbResult<Expr> {
+        self.convert(e, None)
+    }
+
+    /// Convert against the *local* column names of one scan (used for
+    /// pushed-down predicates evaluated before the join).
+    fn to_local_expr(&mut self, scope: usize, e: &SqlExpr) -> DbResult<Expr> {
+        self.convert(e, Some(scope))
+    }
+
+    fn convert(&mut self, e: &SqlExpr, local: Option<usize>) -> DbResult<Expr> {
         Ok(match e {
-            SqlExpr::Column { qualifier, name } => {
-                Expr::Col(self.resolve_column(qualifier.as_deref(), name)?)
-            }
+            SqlExpr::Column { qualifier, name } => match local {
+                None => Expr::Col(self.resolve_column(qualifier.as_deref(), name)?),
+                Some(scope) => {
+                    let s = self.scope_of(qualifier.as_deref(), name)?;
+                    if s != scope {
+                        return Err(DbError::Plan(format!(
+                            "internal: column '{name}' does not belong to scan {scope}"
+                        )));
+                    }
+                    Expr::Col(name.clone())
+                }
+            },
             SqlExpr::Int(v) => Expr::Lit(Value::I64(*v)),
             SqlExpr::Float(v) => Expr::Lit(Value::F64(*v)),
             SqlExpr::Str(s) => Expr::Lit(Value::Str(s.clone())),
             SqlExpr::Bool(b) => Expr::Lit(Value::Bool(*b)),
             SqlExpr::Binary(a, op, b) => {
-                let fa = self.to_expr(a)?;
-                let fb = self.to_expr(b)?;
-                let fop = match op {
-                    SqlBinOp::Add => BinOp::Add,
-                    SqlBinOp::Sub => BinOp::Sub,
-                    SqlBinOp::Mul => BinOp::Mul,
-                    SqlBinOp::Div => BinOp::Div,
-                    SqlBinOp::Mod => BinOp::Mod,
-                    SqlBinOp::Eq => BinOp::Eq,
-                    SqlBinOp::Ne => BinOp::Ne,
-                    SqlBinOp::Lt => BinOp::Lt,
-                    SqlBinOp::Le => BinOp::Le,
-                    SqlBinOp::Gt => BinOp::Gt,
-                    SqlBinOp::Ge => BinOp::Ge,
-                    SqlBinOp::And => BinOp::And,
-                    SqlBinOp::Or => BinOp::Or,
-                };
-                Expr::bin(fa, fop, fb)
+                let fa = self.convert(a, local)?;
+                let fb = self.convert(b, local)?;
+                Expr::bin(fa, bin_op(*op), fb)
             }
-            SqlExpr::Neg(a) => Expr::Unary(UnaryFn::Neg, Box::new(self.to_expr(a)?)),
-            SqlExpr::Not(a) => Expr::Unary(UnaryFn::Not, Box::new(self.to_expr(a)?)),
+            SqlExpr::Neg(a) => Expr::Unary(UnaryFn::Neg, Box::new(self.convert(a, local)?)),
+            SqlExpr::Not(a) => Expr::Unary(UnaryFn::Not, Box::new(self.convert(a, local)?)),
             SqlExpr::Func(name, args) => {
                 let unary = |f: UnaryFn, r: &mut Self, args: &[SqlExpr]| -> DbResult<Expr> {
                     if args.len() != 1 {
                         return Err(DbError::Plan(format!("{name} takes 1 argument")));
                     }
-                    Ok(Expr::Unary(f, Box::new(r.to_expr(&args[0])?)))
+                    Ok(Expr::Unary(f, Box::new(r.convert(&args[0], local)?)))
                 };
                 match name.as_str() {
                     "abs" => unary(UnaryFn::Abs, self, args)?,
@@ -275,15 +390,19 @@ impl<'a> Resolver<'a> {
                         if args.len() != 2 {
                             return Err(DbError::Plan("pow takes 2 arguments".into()));
                         }
-                        Expr::bin(self.to_expr(&args[0])?, BinOp::Pow, self.to_expr(&args[1])?)
+                        Expr::bin(
+                            self.convert(&args[0], local)?,
+                            BinOp::Pow,
+                            self.convert(&args[1], local)?,
+                        )
                     }
                     "least" => {
                         if args.len() != 2 {
                             return Err(DbError::Plan("least takes 2 arguments".into()));
                         }
                         Expr::Min2(
-                            Box::new(self.to_expr(&args[0])?),
-                            Box::new(self.to_expr(&args[1])?),
+                            Box::new(self.convert(&args[0], local)?),
+                            Box::new(self.convert(&args[1], local)?),
                         )
                     }
                     "greatest" => {
@@ -291,13 +410,11 @@ impl<'a> Resolver<'a> {
                             return Err(DbError::Plan("greatest takes 2 arguments".into()));
                         }
                         Expr::Max2(
-                            Box::new(self.to_expr(&args[0])?),
-                            Box::new(self.to_expr(&args[1])?),
+                            Box::new(self.convert(&args[0], local)?),
+                            Box::new(self.convert(&args[1], local)?),
                         )
                     }
-                    other => {
-                        return Err(DbError::Plan(format!("unknown function '{other}'")))
-                    }
+                    other => return Err(DbError::Plan(format!("unknown function '{other}'"))),
                 }
             }
             SqlExpr::Agg(..) => {
@@ -307,6 +424,24 @@ impl<'a> Resolver<'a> {
                 ))
             }
         })
+    }
+}
+
+fn bin_op(op: SqlBinOp) -> BinOp {
+    match op {
+        SqlBinOp::Add => BinOp::Add,
+        SqlBinOp::Sub => BinOp::Sub,
+        SqlBinOp::Mul => BinOp::Mul,
+        SqlBinOp::Div => BinOp::Div,
+        SqlBinOp::Mod => BinOp::Mod,
+        SqlBinOp::Eq => BinOp::Eq,
+        SqlBinOp::Ne => BinOp::Ne,
+        SqlBinOp::Lt => BinOp::Lt,
+        SqlBinOp::Le => BinOp::Le,
+        SqlBinOp::Gt => BinOp::Gt,
+        SqlBinOp::Ge => BinOp::Ge,
+        SqlBinOp::And => BinOp::And,
+        SqlBinOp::Or => BinOp::Or,
     }
 }
 
@@ -323,15 +458,26 @@ fn default_name(e: &SqlExpr, idx: usize) -> String {
     }
 }
 
-/// Extract zone filters from the conjunctive normal-ish top of a WHERE
-/// predicate: walks AND chains and keeps `col <cmp> literal` leaves
-/// referring to base-table columns. Numeric literals compare against
-/// min/max zone maps; string literals against lexicographic zone maps.
-fn extract_zone_filters(e: &SqlExpr, base_cols: &[String], out: &mut Vec<ZoneFilter>) {
+/// Split an expression at top-level ANDs.
+fn split_conjuncts(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
     match e {
         SqlExpr::Binary(a, SqlBinOp::And, b) => {
-            extract_zone_filters(a, base_cols, out);
-            extract_zone_filters(b, base_cols, out);
+            split_conjuncts(a, out);
+            split_conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Extract zone filters from one conjunct: `col <cmp> literal` leaves
+/// (and AND chains of them) whose column belongs to scope `scope`.
+/// Numeric literals compare against min/max zone maps; string literals
+/// against lexicographic zone maps.
+fn extract_zone_filters(e: &SqlExpr, r: &Resolver, scope: usize, out: &mut Vec<ZoneFilter>) {
+    match e {
+        SqlExpr::Binary(a, SqlBinOp::And, b) => {
+            extract_zone_filters(a, r, scope, out);
+            extract_zone_filters(b, r, scope, out);
         }
         SqlExpr::Binary(a, op, b) => {
             let cmp = match op {
@@ -358,8 +504,10 @@ fn extract_zone_filters(e: &SqlExpr, base_cols: &[String], out: &mut Vec<ZoneFil
             };
             let col = |e: &SqlExpr| -> Option<String> {
                 match e {
-                    SqlExpr::Column { qualifier: None, name }
-                        if base_cols.iter().any(|c| c == name) =>
+                    SqlExpr::Column { qualifier, name }
+                        if r.scope_of(qualifier.as_deref(), name)
+                            .map(|s| s == scope)
+                            .unwrap_or(false) =>
                     {
                         Some(name.clone())
                     }
@@ -394,30 +542,45 @@ fn extract_zone_filters(e: &SqlExpr, base_cols: &[String], out: &mut Vec<ZoneFil
 
 /// Resolve a SELECT statement against the catalog.
 pub fn resolve(stmt: &SelectStmt, catalog: &dyn Catalog) -> DbResult<ResolvedSelect> {
-    let base_cols = catalog.columns_of(&stmt.from)?;
-    let (join_table, join_cols) = match &stmt.join {
-        Some(j) => (Some(j.table.clone()), catalog.columns_of(&j.table)?),
-        None => (None, Vec::new()),
-    };
-    let mut r = Resolver {
-        base_table: &stmt.from,
-        base_cols: &base_cols,
-        join_table: join_table.as_deref(),
-        join_cols: &join_cols,
-        used_base: Vec::new(),
-        used_join: Vec::new(),
-    };
+    // Bring every table into scope: FROM first, then joins in order.
+    let mut scopes = vec![Scope {
+        table: stmt.from.clone(),
+        cols: catalog.columns_of(&stmt.from)?,
+        used: Vec::new(),
+    }];
+    for j in &stmt.joins {
+        scopes.push(Scope {
+            table: j.table.clone(),
+            cols: catalog.columns_of(&j.table)?,
+            used: Vec::new(),
+        });
+    }
+    let mut r = Resolver::new(scopes);
 
-    // Join keys must exist and are always scanned.
-    if let Some(j) = &stmt.join {
-        if !base_cols.iter().any(|c| c == &j.left_col) {
-            return Err(r.unknown(&j.left_col));
+    // Join keys must exist and are always scanned. The left key may live
+    // on the FROM table or any earlier joined table.
+    let mut joins: Vec<JoinSpec> = Vec::new();
+    for (i, j) in stmt.joins.iter().enumerate() {
+        let scan_idx = i + 1;
+        let left_scope = r.scope_of(j.left_qualifier.as_deref(), &j.left_col)?;
+        if left_scope >= scan_idx {
+            return Err(DbError::Plan(format!(
+                "join ON {}.{} = {}.{}: the left side must come from an earlier table",
+                r.scopes[left_scope].table, j.left_col, j.table, j.right_col
+            )));
         }
-        if !join_cols.iter().any(|c| c == &j.right_col) {
+        if !r.scopes[scan_idx].cols.iter().any(|c| c == &j.right_col) {
             return Err(r.unknown(&j.right_col));
         }
-        r.mark(Side::Base, &j.left_col);
-        r.mark(Side::Join, &j.right_col);
+        r.mark(left_scope, &j.left_col);
+        r.mark(scan_idx, &j.right_col);
+        joins.push(JoinSpec {
+            scan_idx,
+            kind: j.kind,
+            left_col: j.left_col.clone(),
+            right_col: j.right_col.clone(),
+            left_scope,
+        });
     }
 
     // Expand star and classify items.
@@ -425,7 +588,7 @@ pub fn resolve(stmt: &SelectStmt, catalog: &dyn Catalog) -> DbResult<ResolvedSel
     for item in &stmt.items {
         match item {
             SelectItem::Star => {
-                for c in &base_cols {
+                for c in &r.scopes[0].cols.clone() {
                     expanded.push((
                         SqlExpr::Column {
                             qualifier: None,
@@ -434,17 +597,20 @@ pub fn resolve(stmt: &SelectStmt, catalog: &dyn Catalog) -> DbResult<ResolvedSel
                         None,
                     ));
                 }
-                for c in &join_cols {
-                    if stmt.join.as_ref().is_some_and(|j| &j.right_col == c) {
-                        continue; // dropped by the join
+                for join in &joins {
+                    let table = r.scopes[join.scan_idx].table.clone();
+                    for c in r.scopes[join.scan_idx].cols.clone() {
+                        if c == join.right_col {
+                            continue; // dropped by the join
+                        }
+                        expanded.push((
+                            SqlExpr::Column {
+                                qualifier: Some(table.clone()),
+                                name: c,
+                            },
+                            None,
+                        ));
                     }
-                    expanded.push((
-                        SqlExpr::Column {
-                            qualifier: join_table.clone(),
-                            name: c.clone(),
-                        },
-                        None,
-                    ));
                 }
             }
             SelectItem::Expr { expr, alias } => expanded.push((expr.clone(), alias.clone())),
@@ -456,6 +622,34 @@ pub fn resolve(stmt: &SelectStmt, catalog: &dyn Catalog) -> DbResult<ResolvedSel
 
     let any_agg = expanded.iter().any(|(e, _)| e.has_aggregate());
     let grouped = !stmt.group_by.is_empty();
+
+    // Usage pass, mirroring the resolution order below so the scan
+    // column order is stable.
+    if any_agg || grouped {
+        for g in &stmt.group_by {
+            r.collect_usage(g)?;
+        }
+    }
+    for (e, _) in &expanded {
+        r.collect_usage(e)?;
+    }
+    if let Some(w) = &stmt.where_clause {
+        r.collect_usage(w)?;
+    }
+    if let Some(h) = &stmt.having {
+        r.collect_having_usage(h)?;
+    }
+
+    // A query that references no base columns (e.g. `SELECT COUNT(*)`)
+    // still needs one column scanned to know row counts.
+    if r.scopes[0].used.is_empty() {
+        let first = r.scopes[0].cols[0].clone();
+        r.scopes[0].used.push(first);
+    }
+
+    // With the full usage set known, compute post-join output names and
+    // rewrite each join's left key to its cumulative name.
+    r.finalize_names(&mut joins)?;
 
     let shape = if any_agg || grouped {
         // Group keys.
@@ -535,22 +729,51 @@ pub fn resolve(stmt: &SelectStmt, catalog: &dyn Catalog) -> DbResult<ResolvedSel
         QueryShape::Projection { items }
     };
 
-    let predicate = match &stmt.where_clause {
+    let (predicate, conjuncts) = match &stmt.where_clause {
         Some(w) => {
             if w.has_aggregate() {
                 return Err(DbError::Plan("aggregate in WHERE".into()));
             }
-            Some(r.to_expr(w)?)
+            let predicate = r.to_expr(w)?;
+            let mut raw = Vec::new();
+            split_conjuncts(w, &mut raw);
+            let mut conjuncts = Vec::with_capacity(raw.len());
+            for c in &raw {
+                let post_join = r.to_expr(c)?;
+                let cols = c.columns();
+                let mut scope = None;
+                let mut single = !cols.is_empty();
+                for (q, n) in &cols {
+                    let s = r.scope_of(q.as_deref(), n)?;
+                    match scope {
+                        None => scope = Some(s),
+                        Some(prev) if prev != s => {
+                            single = false;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                let scope = if single { scope } else { None };
+                let (local, zone) = match scope {
+                    Some(s) => {
+                        let mut zf = Vec::new();
+                        extract_zone_filters(c, &r, s, &mut zf);
+                        (Some(r.to_local_expr(s, c)?), zf)
+                    }
+                    None => (None, Vec::new()),
+                };
+                conjuncts.push(Conjunct {
+                    post_join,
+                    scope,
+                    local,
+                    zone,
+                });
+            }
+            (Some(predicate), conjuncts)
         }
-        None => None,
+        None => (None, Vec::new()),
     };
-
-    let mut zone_filters = Vec::new();
-    if stmt.join.is_none() {
-        if let Some(w) = &stmt.where_clause {
-            extract_zone_filters(w, &base_cols, &mut zone_filters);
-        }
-    }
 
     // HAVING resolves against the *output* columns: group keys, agg
     // aliases, or an aggregate call matching a selected aggregate.
@@ -582,30 +805,20 @@ pub fn resolve(stmt: &SelectStmt, catalog: &dyn Catalog) -> DbResult<ResolvedSel
         }
     }
 
-    // A query that references no base columns (e.g. `SELECT COUNT(*)`)
-    // still needs one column scanned to know row counts.
-    if r.used_base.is_empty() {
-        r.used_base.push(base_cols[0].clone());
-    }
-
-    let join = stmt.join.as_ref().map(|j| JoinSpec {
-        scan: ScanSpec {
-            table: j.table.clone(),
-            columns: r.used_join.clone(),
-        },
-        kind: j.kind,
-        left_col: j.left_col.clone(),
-        right_col: j.right_col.clone(),
-    });
+    let scans = r
+        .scopes
+        .iter()
+        .map(|s| ScanSpec {
+            table: s.table.clone(),
+            columns: s.used.clone(),
+        })
+        .collect();
 
     Ok(ResolvedSelect {
-        base: ScanSpec {
-            table: stmt.from.clone(),
-            columns: r.used_base.clone(),
-        },
-        join,
+        scans,
+        joins,
         predicate,
-        zone_filters,
+        conjuncts,
         shape,
         distinct: stmt.distinct,
         having,
@@ -620,7 +833,7 @@ fn resolve_having(
     e: &SqlExpr,
     keys: &[(String, Expr)],
     aggs: &[AggItem],
-    r: &mut Resolver<'_>,
+    r: &mut Resolver,
 ) -> DbResult<Expr> {
     Ok(match e {
         SqlExpr::Agg(kind, arg) => {
@@ -671,22 +884,7 @@ fn resolve_having(
         SqlExpr::Binary(a, op, b) => {
             let fa = resolve_having(a, keys, aggs, r)?;
             let fb = resolve_having(b, keys, aggs, r)?;
-            let fop = match op {
-                SqlBinOp::Add => BinOp::Add,
-                SqlBinOp::Sub => BinOp::Sub,
-                SqlBinOp::Mul => BinOp::Mul,
-                SqlBinOp::Div => BinOp::Div,
-                SqlBinOp::Mod => BinOp::Mod,
-                SqlBinOp::Eq => BinOp::Eq,
-                SqlBinOp::Ne => BinOp::Ne,
-                SqlBinOp::Lt => BinOp::Lt,
-                SqlBinOp::Le => BinOp::Le,
-                SqlBinOp::Gt => BinOp::Gt,
-                SqlBinOp::Ge => BinOp::Ge,
-                SqlBinOp::And => BinOp::And,
-                SqlBinOp::Or => BinOp::Or,
-            };
-            Expr::bin(fa, fop, fb)
+            Expr::bin(fa, bin_op(*op), fb)
         }
         SqlExpr::Func(..) => {
             return Err(DbError::Plan(
@@ -716,6 +914,7 @@ mod tests {
                     "fof_halo_tag".into(),
                     "gal_mass".into(),
                 ]),
+                "sims" => Ok(vec!["sim".into(), "boxsize".into()]),
                 other => Err(DbError::UnknownTable {
                     name: other.into(),
                     suggestion: None,
@@ -731,7 +930,7 @@ mod tests {
     #[test]
     fn projection_pruning() {
         let p = plan("SELECT fof_halo_mass FROM halos WHERE fof_halo_count > 10");
-        assert_eq!(p.base.columns, vec!["fof_halo_mass", "fof_halo_count"]);
+        assert_eq!(p.base().columns, vec!["fof_halo_mass", "fof_halo_count"]);
     }
 
     #[test]
@@ -739,31 +938,38 @@ mod tests {
         let p = plan(
             "SELECT fof_halo_tag FROM halos WHERE fof_halo_count > 10 AND fof_halo_mass <= 1e14 AND sim = 2",
         );
-        assert_eq!(p.zone_filters.len(), 3);
-        assert_eq!(p.zone_filters[0].op, CmpOp::Gt);
-        assert_eq!(p.zone_filters[1].op, CmpOp::Le);
-        assert_eq!(p.zone_filters[2].op, CmpOp::Eq);
+        let zf = p.base_zone_filters();
+        assert_eq!(zf.len(), 3);
+        assert_eq!(zf[0].op, CmpOp::Gt);
+        assert_eq!(zf[1].op, CmpOp::Le);
+        assert_eq!(zf[2].op, CmpOp::Eq);
         // OR disables extraction of its branches.
         let p = plan("SELECT fof_halo_tag FROM halos WHERE fof_halo_count > 10 OR sim = 2");
-        assert!(p.zone_filters.is_empty());
+        assert!(p.base_zone_filters().is_empty());
+        // ... but the OR conjunct is still single-table, so it remains
+        // pushable as a row filter.
+        assert_eq!(p.conjuncts.len(), 1);
+        assert_eq!(p.conjuncts[0].scope, Some(0));
     }
 
     #[test]
     fn flipped_literal_comparison() {
         let p = plan("SELECT fof_halo_tag FROM halos WHERE 10 < fof_halo_count");
-        assert_eq!(p.zone_filters[0].op, CmpOp::Gt);
-        assert_eq!(p.zone_filters[0].value, ZoneValue::Num(10.0));
+        let zf = p.base_zone_filters();
+        assert_eq!(zf[0].op, CmpOp::Gt);
+        assert_eq!(zf[0].value, ZoneValue::Num(10.0));
     }
 
     #[test]
     fn string_literal_zone_filter() {
         let p = plan("SELECT fof_halo_tag FROM halos WHERE sim = 'sim1'");
-        assert_eq!(p.zone_filters.len(), 1);
-        assert_eq!(p.zone_filters[0].op, CmpOp::Eq);
-        assert_eq!(p.zone_filters[0].value, ZoneValue::Str("sim1".into()));
+        let zf = p.base_zone_filters();
+        assert_eq!(zf.len(), 1);
+        assert_eq!(zf[0].op, CmpOp::Eq);
+        assert_eq!(zf[0].value, ZoneValue::Str("sim1".into()));
         // Lexicographic pruning: chunk spanning sim0..sim0 cannot match.
         use crate::storage::StrZoneMap;
-        let f = &p.zone_filters[0];
+        let f = &zf[0];
         let low = StrZoneMap {
             min: "sim0".into(),
             max: "sim0".into(),
@@ -819,15 +1025,17 @@ mod tests {
         let p = plan(
             "SELECT gal_mass, galaxies.fof_halo_tag FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag",
         );
-        let j = p.join.unwrap();
-        assert_eq!(j.scan.table, "galaxies");
-        assert!(j.scan.columns.contains(&"fof_halo_tag".to_string()));
+        let j = &p.joins[0];
+        assert_eq!(p.scans[j.scan_idx].table, "galaxies");
+        assert!(p.scans[j.scan_idx]
+            .columns
+            .contains(&"fof_halo_tag".to_string()));
         // The right key column is dropped by the join, so a qualified
-        // reference maps to the suffixed name.
+        // reference to it maps to the surviving left key.
         match &p.shape {
             QueryShape::Projection { items } => {
                 assert_eq!(items[0].0, "gal_mass");
-                assert!(matches!(&items[1].1, Expr::Col(c) if c == "fof_halo_tag_right"));
+                assert!(matches!(&items[1].1, Expr::Col(c) if c == "fof_halo_tag"));
             }
             other => panic!("{other:?}"),
         }
@@ -843,6 +1051,48 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_join_resolution() {
+        let p = plan(
+            "SELECT gal_mass, boxsize FROM halos \
+             JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag \
+             JOIN sims ON halos.sim = sims.sim",
+        );
+        assert_eq!(p.scans.len(), 3);
+        assert_eq!(p.joins.len(), 2);
+        assert_eq!(p.joins[1].left_col, "sim");
+        assert_eq!(p.joins[1].left_scope, 0);
+        assert_eq!(p.scans[2].columns, vec!["sim", "boxsize"]);
+    }
+
+    #[test]
+    fn join_left_key_from_earlier_join() {
+        // The second join's left key lives on the first joined table.
+        let p = plan(
+            "SELECT boxsize FROM galaxies \
+             JOIN halos ON galaxies.fof_halo_tag = halos.fof_halo_tag \
+             JOIN sims ON halos.sim = sims.sim",
+        );
+        assert_eq!(p.joins[1].left_scope, 1);
+        assert_eq!(p.joins[1].left_col, "sim");
+    }
+
+    #[test]
+    fn conjunct_classification_for_pushdown() {
+        let p = plan(
+            "SELECT gal_mass FROM halos JOIN galaxies ON halos.fof_halo_tag = galaxies.fof_halo_tag \
+             WHERE fof_halo_mass > 1e13 AND gal_mass > 1e9 AND fof_halo_count > gal_tag",
+        );
+        assert_eq!(p.conjuncts.len(), 3);
+        assert_eq!(p.conjuncts[0].scope, Some(0));
+        assert!(p.conjuncts[0].local.is_some());
+        assert_eq!(p.conjuncts[0].zone.len(), 1);
+        assert_eq!(p.conjuncts[1].scope, Some(1));
+        // Mixed-table conjunct stays residual.
+        assert_eq!(p.conjuncts[2].scope, None);
+        assert!(p.conjuncts[2].local.is_none());
     }
 
     #[test]

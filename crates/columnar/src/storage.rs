@@ -230,6 +230,36 @@ fn encode_chunk_frame(chunk: &DataFrame, compress: bool) -> EncodedChunk {
     }
 }
 
+/// Exact distinct count over a bounded, evenly-strided sample of a
+/// column; saturated samples (nearly all-distinct) extrapolate to the
+/// full length. Deterministic: the result is a set cardinality, not a
+/// hash sketch.
+fn sampled_distinct(col: &Column) -> u64 {
+    const SAMPLE: usize = 512;
+    let n = col.len();
+    if n == 0 {
+        return 0;
+    }
+    let stride = n.div_ceil(SAMPLE).max(1);
+    let idx = (0..n).step_by(stride);
+    let sampled = idx.clone().count() as u64;
+    let distinct = match col {
+        Column::F64(v) => idx.map(|i| v[i].to_bits()).collect::<std::collections::HashSet<_>>().len(),
+        Column::I64(v) => idx.map(|i| v[i]).collect::<std::collections::HashSet<_>>().len(),
+        Column::Bool(v) => idx.map(|i| v[i]).collect::<std::collections::HashSet<_>>().len(),
+        Column::Str(v) => idx
+            .map(|i| v[i].as_str())
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+    } as u64;
+    if distinct * 10 >= sampled * 9 {
+        // Sample is (nearly) all-distinct: treat the column as key-like.
+        n as u64
+    } else {
+        distinct
+    }
+}
+
 /// A stored table: schema + chunked column files under `dir`.
 #[derive(Debug)]
 pub struct TableStore {
@@ -238,6 +268,9 @@ pub struct TableStore {
     /// Apply per-chunk compression on append (disable to write the raw
     /// v1 chunk layout — used by the benchmark baseline).
     pub compress: bool,
+    /// Per-column distinct-count estimates, computed lazily for the cost
+    /// model and invalidated on append.
+    distinct_cache: std::sync::Mutex<std::collections::HashMap<String, u64>>,
 }
 
 impl TableStore {
@@ -270,6 +303,7 @@ impl TableStore {
             dir: dir.to_path_buf(),
             meta,
             compress: true,
+            distinct_cache: Default::default(),
         };
         for i in 0..schema.len() {
             File::create(Self::col_path(dir, i)).map_err(|e| DbError::Io(e.to_string()))?;
@@ -294,6 +328,7 @@ impl TableStore {
             dir: dir.to_path_buf(),
             meta,
             compress: true,
+            distinct_cache: Default::default(),
         })
     }
 
@@ -342,6 +377,7 @@ impl TableStore {
         // place on its first append (existing raw chunks stay valid).
         self.meta.version = FORMAT_VERSION;
         self.flush_meta()?;
+        self.distinct_cache.lock().unwrap().clear();
         Ok(stats)
     }
 
@@ -471,6 +507,62 @@ impl TableStore {
         Ok(self.meta.chunks[ci]
             .get(chunk_idx)
             .and_then(|l| l.str_zone.clone()))
+    }
+
+    /// Estimated distinct-value count of one column across the table.
+    ///
+    /// Dict-encoded chunks report their dictionary length exactly; every
+    /// other codec (v1/raw, FOR, RLE) falls back to an exact distinct
+    /// count over a bounded sample of decoded values, so v1 tables get a
+    /// real estimate instead of a silent worst-case assumption. At most
+    /// four chunks are inspected; results are cached until the next
+    /// append. The combination heuristic distinguishes key-like columns
+    /// (distinct grows with rows → estimate = table rows) from
+    /// categorical ones (distinct plateaus → estimate = max per-chunk
+    /// estimate), which is all the cost model needs.
+    pub fn distinct_estimate(&self, column: &str) -> DbResult<u64> {
+        if let Some(&hit) = self.distinct_cache.lock().unwrap().get(column) {
+            return Ok(hit);
+        }
+        let ci = self.meta.column_index(column)?;
+        let n_chunks = self.meta.n_chunks();
+        let n_rows = self.meta.n_rows();
+        if n_chunks == 0 || n_rows == 0 {
+            return Ok(0);
+        }
+        // Deterministic spread of at most 4 sample chunks.
+        let mut picks = vec![0, n_chunks / 3, 2 * n_chunks / 3, n_chunks - 1];
+        picks.dedup();
+        let mut per_chunk: Vec<(u64, u64)> = Vec::new(); // (estimate, rows)
+        for &chunk_idx in &picks {
+            let rows = self.meta.chunk_rows[chunk_idx];
+            let loc = &self.meta.chunks[ci][chunk_idx];
+            let est = if loc.encoding == Encoding::Dict && self.meta.columns[ci].1 == ColType::Str
+            {
+                let bytes = self.read_chunk_bytes(ci, chunk_idx)?;
+                let (dict, _) = encoding::decode_dict_codes(rows as usize, &bytes)?;
+                dict.len() as u64
+            } else {
+                let df = self.read_chunk(chunk_idx, &[column])?;
+                sampled_distinct(df.column(column).map_err(DbError::from)?)
+            };
+            per_chunk.push((est, rows));
+        }
+        let est_sum: u64 = per_chunk.iter().map(|(e, _)| e).sum();
+        let rows_sampled: u64 = per_chunk.iter().map(|(_, r)| r).sum();
+        let combined = if est_sum * 2 >= rows_sampled {
+            // Key-like: distinct count scales with the row count.
+            n_rows
+        } else {
+            // Categorical: the per-chunk plateau is the best estimate.
+            per_chunk.iter().map(|(e, _)| *e).max().unwrap_or(0)
+        };
+        let combined = combined.max(1).min(n_rows);
+        self.distinct_cache
+            .lock()
+            .unwrap()
+            .insert(column.to_string(), combined);
+        Ok(combined)
     }
 
     /// Total on-disk bytes of this table (encoded column chunks).
@@ -634,6 +726,49 @@ mod tests {
             .all(|l| l.encoding == Encoding::Raw));
         let df = t.read_chunk(0, &["id", "mass"]).unwrap();
         assert_eq!(df.cell("id", 0).unwrap(), Value::I64(0));
+    }
+
+    #[test]
+    fn distinct_estimate_dict_and_raw_fallback() {
+        // Compressed (v2): the `name` column is dict-encoded per chunk,
+        // `id` is key-like, `flag` is categorical.
+        let dir = tmp("distinct_v2");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.append(&batch(400, 0), 100).unwrap();
+        assert_eq!(t.distinct_estimate("id").unwrap(), 400);
+        assert!(t.distinct_estimate("flag").unwrap() <= 2);
+        assert_eq!(t.distinct_estimate("name").unwrap(), 400);
+
+        // Raw layout (v1-style chunks): the sampled fallback must still
+        // produce sane estimates instead of assuming worst case.
+        let dir = tmp("distinct_raw");
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.compress = false;
+        // Same schema as `batch`, but `name` is a 4-value categorical.
+        let b = DataFrame::from_columns([
+            ("id", Column::I64((0..400i64).collect())),
+            ("mass", Column::F64((0..400).map(|i| i as f64).collect())),
+            (
+                "name",
+                Column::Str((0..400).map(|i| format!("sim{}", i % 4)).collect()),
+            ),
+            ("flag", Column::Bool((0..400).map(|i| i % 2 == 0).collect())),
+        ])
+        .unwrap();
+        t.append(&b, 100).unwrap();
+        assert!(t
+            .meta
+            .chunks
+            .iter()
+            .flatten()
+            .all(|l| l.encoding == Encoding::Raw));
+        assert_eq!(t.distinct_estimate("id").unwrap(), 400);
+        let names = t.distinct_estimate("name").unwrap();
+        assert!((1..=8).contains(&names), "{names}");
+        // Appending invalidates the cache.
+        t.append(&b, 100).unwrap();
+        assert_eq!(t.distinct_estimate("id").unwrap(), 800);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Optimizer equivalence: every plan the cost-based optimizer can pick
+//! (predicate pushdown, zone pruning, late materialization, dictionary
+//! fast paths, join reordering, pre-aggregation below the join, morsel
+//! parallelism) must return output *bitwise identical* to the naive
+//! reference executor (`query_unoptimized`: syntactic join order, eager
+//! reads, filter after all joins, one-pass aggregation).
+//!
+//! Aggregate inputs are integer-valued f64s (plus NaN), so float sums
+//! and scaled moments are exact and bitwise comparison is meaningful
+//! even when the optimizer changes accumulation order.
+
+use infera_columnar::Database;
+use infera_frame::{Column, DataFrame};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_db() -> (Database, PathBuf) {
+    let id = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("infera_opt_equiv")
+        .join(format!("case_{id}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    (Database::create(&dir).unwrap(), dir)
+}
+
+/// Bit-exact frame equality: same column names, same dtypes, f64 cells
+/// compared on bits so NaN payloads and signed zeros count.
+fn bitwise_frame_eq(a: &DataFrame, b: &DataFrame) -> Result<(), String> {
+    if a.names() != b.names() {
+        return Err(format!("names differ: {:?} vs {:?}", a.names(), b.names()));
+    }
+    if a.n_rows() != b.n_rows() {
+        return Err(format!(
+            "row counts differ: {} vs {}",
+            a.n_rows(),
+            b.n_rows()
+        ));
+    }
+    for name in a.names() {
+        let ca = a.column(name).unwrap();
+        let cb = b.column(name).unwrap();
+        let equal = match (ca, cb) {
+            (Column::F64(x), Column::F64(y)) => x
+                .iter()
+                .zip(y.iter())
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            _ => ca == cb,
+        };
+        if !equal {
+            return Err(format!("column {name} differs: {ca:?} vs {cb:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Run one SQL statement through both executors and compare bitwise.
+fn assert_equivalent(db: &Database, sql: &str) {
+    let optimized = db
+        .query(sql)
+        .unwrap_or_else(|e| panic!("optimized {sql}: {e}"));
+    let naive = db
+        .query_unoptimized(sql)
+        .unwrap_or_else(|e| panic!("naive {sql}: {e}"));
+    if let Err(msg) = bitwise_frame_eq(&optimized, &naive) {
+        panic!("{sql}: {msg}");
+    }
+}
+
+/// The fact table: string group keys (dict-friendly), integer-valued or
+/// NaN measures, and an f64 join key that can be NaN.
+fn arb_events() -> impl Strategy<Value = DataFrame> {
+    (0usize..120).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(0u8..4, rows),
+            proptest::collection::vec(0u8..3, rows),
+            proptest::collection::vec(
+                prop_oneof![4 => (-1000i32..1000).prop_map(f64::from), 1 => Just(f64::NAN)],
+                rows,
+            ),
+            proptest::collection::vec(
+                prop_oneof![4 => (-5i32..5).prop_map(f64::from), 1 => Just(f64::NAN)],
+                rows,
+            ),
+        )
+            .prop_map(|(hosts, tags, vals, fkeys)| {
+                DataFrame::from_columns([
+                    (
+                        "host",
+                        Column::Str(hosts.into_iter().map(|h| format!("h{h}")).collect()),
+                    ),
+                    (
+                        "tag",
+                        Column::Str(tags.into_iter().map(|t| format!("t{t}")).collect()),
+                    ),
+                    ("val", Column::F64(vals)),
+                    ("fkey", Column::F64(fkeys)),
+                ])
+                .unwrap()
+            })
+    })
+}
+
+/// Load `df` under `name`, split into `chunk`-row chunks.
+fn load(db: &Database, name: &str, df: &DataFrame, chunk: usize) {
+    db.create_table(name, &df.schema()).unwrap();
+    if df.n_rows() > 0 {
+        db.append_chunked(name, df, chunk).unwrap();
+    }
+}
+
+/// Dimension tables: `hosts` deliberately misses `h3` so inner joins
+/// drop rows and left joins null-extend; `racks` covers every tag;
+/// `fdim` keys on integral f64 (NaN fact keys never match).
+fn load_dims(db: &Database) {
+    let hosts = DataFrame::from_columns([
+        ("host", Column::Str(vec!["h0".into(), "h1".into(), "h2".into()])),
+        ("weight", Column::F64(vec![10.0, 20.0, 30.0])),
+    ])
+    .unwrap();
+    load(db, "hosts", &hosts, 8);
+    let racks = DataFrame::from_columns([
+        ("tag", Column::Str(vec!["t0".into(), "t1".into(), "t2".into()])),
+        ("boost", Column::F64(vec![1.0, 2.0, 3.0])),
+    ])
+    .unwrap();
+    load(db, "racks", &racks, 8);
+    let fdim = DataFrame::from_columns([
+        ("fkey", Column::F64((-5..5).map(f64::from).collect())),
+        ("bonus", Column::F64((-5..5).map(|k| f64::from(k * 100)).collect())),
+    ])
+    .unwrap();
+    load(db, "fdim", &fdim, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pushdown + zone pruning + late materialization + the Str
+    /// group-key fast path, against random thresholds and chunkings.
+    #[test]
+    fn filtered_group_by_str(df in arb_events(), t in -1000i32..1000, chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        load(&db, "events", &df, chunk);
+        assert_equivalent(&db, &format!(
+            "SELECT host, COUNT(*) AS n, SUM(val) AS s, MIN(val) AS lo, MAX(val) AS hi \
+             FROM events WHERE val > {t} GROUP BY host"
+        ));
+        assert_equivalent(&db, &format!("SELECT host, val FROM events WHERE val > {t}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// NaN group keys: the SQL grouping mode buckets NaNs together, and
+    /// the key column must come back bit-identical.
+    #[test]
+    fn nan_group_keys(df in arb_events(), chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        load(&db, "events", &df, chunk);
+        assert_equivalent(
+            &db,
+            "SELECT fkey, COUNT(*) AS n, SUM(val) AS s FROM events GROUP BY fkey",
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Multi-join with greedy reordering: group keys on the base table,
+    /// measures read from both build sides.
+    #[test]
+    fn multi_join_group_by(df in arb_events(), chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        load(&db, "events", &df, chunk);
+        load_dims(&db);
+        assert_equivalent(
+            &db,
+            "SELECT tag, COUNT(*) AS n, SUM(weight) AS w, SUM(boost) AS b, AVG(val) AS a \
+             FROM events \
+             JOIN hosts ON events.host = hosts.host \
+             JOIN racks ON events.tag = racks.tag GROUP BY tag",
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Pre-aggregation below the join (build side contributes only its
+    /// key), inner and left, with a pushed base predicate; NaN fact
+    /// join keys exercise the never-matches path.
+    #[test]
+    fn preagg_below_join(df in arb_events(), t in -1000i32..1000, chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        load(&db, "events", &df, chunk);
+        load_dims(&db);
+        for sql in [
+            "SELECT host, COUNT(*) AS n, SUM(val) AS s, AVG(val) AS a \
+             FROM events JOIN hosts ON events.host = hosts.host GROUP BY host".to_string(),
+            "SELECT host, COUNT(*) AS n, SUM(val) AS s \
+             FROM events LEFT JOIN hosts ON events.host = hosts.host GROUP BY host".to_string(),
+            "SELECT COUNT(*) AS n, SUM(val) AS s \
+             FROM events JOIN fdim ON events.fkey = fdim.fkey".to_string(),
+            format!(
+                "SELECT tag, COUNT(*) AS n, VAR(val) AS v \
+                 FROM events JOIN hosts ON events.host = hosts.host \
+                 WHERE val > {t} GROUP BY tag"
+            ),
+        ] {
+            assert_equivalent(&db, &sql);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Projections with joins, residual predicates spanning scopes, and
+    /// LIMIT (the single-worker early exit must keep chunk order).
+    #[test]
+    fn join_projection_and_limit(df in arb_events(), k in 1usize..30, chunk in 1usize..40) {
+        let (db, dir) = fresh_db();
+        load(&db, "events", &df, chunk);
+        load_dims(&db);
+        assert_equivalent(
+            &db,
+            "SELECT host, val, weight FROM events JOIN hosts ON events.host = hosts.host \
+             WHERE val + weight > 0",
+        );
+        assert_equivalent(&db, &format!("SELECT host, val FROM events LIMIT {k}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Empty inputs: zero-row tables through every plan shape.
+#[test]
+fn empty_inputs_match() {
+    let (db, dir) = fresh_db();
+    let empty = DataFrame::from_columns([
+        ("host", Column::Str(Vec::new())),
+        ("tag", Column::Str(Vec::new())),
+        ("val", Column::F64(Vec::new())),
+        ("fkey", Column::F64(Vec::new())),
+    ])
+    .unwrap();
+    load(&db, "events", &empty, 8);
+    load_dims(&db);
+    for sql in [
+        "SELECT host, val FROM events",
+        "SELECT COUNT(*) AS n, SUM(val) AS s FROM events",
+        "SELECT host, COUNT(*) AS n FROM events GROUP BY host",
+        "SELECT host, COUNT(*) AS n FROM events JOIN hosts ON events.host = hosts.host GROUP BY host",
+        "SELECT host, weight FROM events JOIN hosts ON events.host = hosts.host",
+        "SELECT tag, COUNT(*) AS n, SUM(weight) AS w FROM events \
+         JOIN hosts ON events.host = hosts.host \
+         JOIN racks ON events.tag = racks.tag GROUP BY tag",
+    ] {
+        let optimized = db.query(sql).unwrap();
+        let naive = db.query_unoptimized(sql).unwrap();
+        if let Err(msg) = bitwise_frame_eq(&optimized, &naive) {
+            panic!("{sql}: {msg}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

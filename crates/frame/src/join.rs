@@ -251,6 +251,28 @@ impl<'r> JoinTable<'r> {
         (left_idx, right_idx)
     }
 
+    /// Count join matches per probe row without materializing index
+    /// pairs. Feeds the executor's pre-aggregation rewrite: a subgroup
+    /// keyed by the join key scales its accumulators by the key's match
+    /// multiplicity instead of gathering the joined rows.
+    pub fn match_counts(&self, lkey: &KeyCol<'_>) -> Vec<u32> {
+        (0..lkey.len())
+            .map(|i| {
+                if lkey.never_matches(i) {
+                    return 0;
+                }
+                let h = lkey.hash_row(i);
+                match self.partitions[self.pid_of(h)].get(&h) {
+                    Some(bucket) => bucket
+                        .iter()
+                        .filter(|&&r| self.key.rows_equal(r as usize, lkey, i))
+                        .count() as u32,
+                    None => 0,
+                }
+            })
+            .collect()
+    }
+
     /// Assemble the join output from probed `(left, right)` index pairs:
     /// all `left` columns gathered by `left_idx`, then the right columns
     /// (minus the right key) gathered by `right_idx`, with `u32::MAX`

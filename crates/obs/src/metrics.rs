@@ -86,6 +86,20 @@ pub mod names {
     pub const SQL_EXEC_US: &str = "sql.exec_us";
     /// Queries executed.
     pub const SQL_QUERIES: &str = "sql.queries";
+    /// Physical plan candidates scored by the cost-based optimizer
+    /// (join orders and rewrite alternatives considered).
+    pub const PLAN_CANDIDATES_CONSIDERED: &str = "plan.candidates_considered";
+    /// WHERE conjuncts pushed below a join into a scan (local filter
+    /// and/or zone-map pruning) instead of running post-join.
+    pub const PLAN_PREDICATES_PUSHED: &str = "plan.predicates_pushed";
+    /// Queries where the optimizer pre-aggregated below the join
+    /// (group keys subsume the join key; matches counted, not gathered).
+    pub const PLAN_PREAGG_APPLIED: &str = "plan.preagg_applied";
+    /// Morsels (chunk-aligned work units) dispatched to the worker pool.
+    pub const MORSEL_COUNT: &str = "morsel.count";
+    /// Milliseconds workers spent waiting on the morsel queue
+    /// (histogram; one observation per worker).
+    pub const MORSEL_QUEUE_WAIT_MS: &str = "morsel.queue_wait_ms";
 
     // ---- serve scheduler ---------------------------------------------------
 
@@ -147,6 +161,11 @@ pub mod names {
             SQL_EXEC_ERRORS,
             SQL_EXEC_US,
             SQL_QUERIES,
+            PLAN_CANDIDATES_CONSIDERED,
+            PLAN_PREDICATES_PUSHED,
+            PLAN_PREAGG_APPLIED,
+            MORSEL_COUNT,
+            MORSEL_QUEUE_WAIT_MS,
             SERVE_QUEUE_DEPTH,
             SERVE_JOBS_ACCEPTED,
             SERVE_JOBS_REJECTED,

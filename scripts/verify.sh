@@ -56,7 +56,16 @@ if [ "$run_bench" -eq 1 ]; then
 import json, sys
 
 report = json.load(open(sys.argv[1]))
-ops = {"ingest", "filtered_scan", "group_by", "join", "group_by_str", "join_str"}
+ops = {
+    "ingest",
+    "filtered_scan",
+    "group_by",
+    "join",
+    "multi_join",
+    "group_by_str",
+    "filter_group_str",
+    "join_str",
+}
 have = {(e["op"], e["format"]) for e in report["entries"]}
 missing = {(op, fmt) for op in ops for fmt in ("v1", "v2")} - have
 assert not missing, f"BENCH_columnar.json missing entries: {sorted(missing)}"

@@ -76,6 +76,7 @@ fn main() -> ExitCode {
         "ask" => cmd_ask(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "bench-serve" => cmd_bench_serve(&args[1..]),
+        "sql" => cmd_sql(&args[1..]),
         "questions" => cmd_questions(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -129,6 +130,12 @@ USAGE:
       1/4/8 workers and write BENCH_serve.json. Fails if any concurrent
       run's report diverges from the serial baseline. --smoke is the
       fast CI gate (fewer questions, no model-latency sleeps).
+  infera sql --db <dir> [--explain] \"<statement>\"
+      Run a SQL statement against a columnar database directory (for
+      example a session's db/ under its work directory). --explain
+      prints the cost-based physical plan as an indented tree with
+      per-node estimates and observed execution counters instead of
+      the result rows.
   infera questions [--bare]
       List the 20-question evaluation set with difficulty labels;
       --bare prints only the text, one per line (pipe into `serve`).
@@ -159,12 +166,12 @@ fn has_flag(args: &[String], name: &str) -> bool {
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--sims", "--steps", "--halos", "--particles", "--seed", "--ensemble", "--work",
     "--run", "--save", "--plan", "--workers", "--queue", "--timeout-secs", "--sleep-scale",
-    "--stats-every",
+    "--stats-every", "--db",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &[
     "--perfect", "--feedback", "--breakdown", "--smoke", "--bare", "--events", "--prometheus",
-    "--flight", "--json",
+    "--flight", "--json", "--explain",
 ];
 
 /// The trailing free argument (the question text). Unknown flags are an
@@ -474,6 +481,30 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
             report.divergent_questions
         )));
     }
+    Ok(())
+}
+
+fn cmd_sql(args: &[String]) -> Result<(), CliError> {
+    let dir = flag_value(args, "--db").ok_or("sql requires --db <dir>")?;
+    let stmt = free_text(args)?.ok_or("sql requires a statement")?;
+    let db = infera::columnar::Database::open(PathBuf::from(&dir).as_path())
+        .map_err(InferaError::from)?;
+    if has_flag(args, "--explain") {
+        out!("{}", db.explain(&stmt).map_err(InferaError::from)?.trim_end());
+        return Ok(());
+    }
+    let outcome = db.execute_sql(&stmt).map_err(InferaError::from)?;
+    if outcome.frame.n_cols() > 0 {
+        out!("{}", outcome.frame.to_display(40));
+    }
+    out!(
+        "{} rows ({} scanned, {} pruned; {}/{} chunks skipped)",
+        outcome.frame.n_rows(),
+        outcome.stats.rows_scanned,
+        outcome.stats.rows_pruned,
+        outcome.stats.chunks_skipped,
+        outcome.stats.chunks_total
+    );
     Ok(())
 }
 
