@@ -140,7 +140,12 @@ pub fn run_load(ctx: &AgentContext, state: &mut RunState, spec: &LoadSpec) -> Ag
                     columns: columns.clone(),
                 };
                 if let Some(cache) = &ctx.shared_cache {
-                    if let Some(hit) = cache.get(&key) {
+                    // A forced miss falls through to the cold-read path,
+                    // which must produce identical frames — the recovery
+                    // IS the reload, so count it immediately.
+                    if infera_faults::check(infera_faults::sites::CACHE_SHARED).is_some() {
+                        ctx.obs.metrics.inc(metric_names::FAULT_RECOVERED, 1);
+                    } else if let Some(hit) = cache.get(&key) {
                         ctx.obs.metrics.inc(metric_names::LOAD_SHARED_CACHE_HITS, 1);
                         return Ok((hit.bytes_read, hit.file_bytes, hit.frame));
                     }

@@ -26,6 +26,13 @@ pub enum AgentError {
     /// The run was interrupted between steps: canceled by its caller or
     /// past its deadline (checked by the supervisor before each step).
     Canceled(CancelKind),
+    /// An infrastructure component (storage, network) failed underneath
+    /// the run. Unlike [`AgentError::Recoverable`], the redo loop must
+    /// NOT absorb this: redos consume RNG and change the run's digest,
+    /// while a scheduler-level retry replays the whole run bit-identically.
+    /// `transient` distinguishes retry-worthy faults (I/O hiccups) from
+    /// permanent ones (quarantined corrupt chunks).
+    Infra { message: String, transient: bool },
     /// Infrastructure failure (I/O, provenance, malformed plan).
     Fatal(String),
 }
@@ -42,6 +49,10 @@ impl fmt::Display for AgentError {
             AgentError::Canceled(CancelKind::DeadlineExceeded) => {
                 write!(f, "run exceeded its deadline")
             }
+            AgentError::Infra { message, transient } => {
+                let class = if *transient { "transient" } else { "permanent" };
+                write!(f, "{class} infrastructure failure: {message}")
+            }
             AgentError::Fatal(m) => write!(f, "fatal agent error: {m}"),
         }
     }
@@ -51,7 +62,22 @@ impl std::error::Error for AgentError {}
 
 impl From<infera_columnar::DbError> for AgentError {
     fn from(e: infera_columnar::DbError) -> Self {
-        AgentError::Recoverable(e.to_string())
+        match &e {
+            // SQL-level problems (bad column, parse error) are what the
+            // error-guided redo loop exists to fix.
+            // Infrastructure failures are not: a retry of the whole run
+            // is the right recovery, so they must escape the redo loop.
+            infera_columnar::DbError::Io(_) => AgentError::Infra {
+                message: e.to_string(),
+                transient: true,
+            },
+            infera_columnar::DbError::CorruptChunk { .. }
+            | infera_columnar::DbError::Corrupt(_) => AgentError::Infra {
+                message: e.to_string(),
+                transient: false,
+            },
+            _ => AgentError::Recoverable(e.to_string()),
+        }
     }
 }
 

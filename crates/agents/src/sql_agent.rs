@@ -46,6 +46,12 @@ pub fn run_sql(ctx: &AgentContext, state: &mut RunState, spec: &SqlSpec) -> Agen
         );
         let mut produced: Option<infera_frame::DataFrame> = None;
         let mut executed_sql = String::new();
+        // Infrastructure failures (I/O, corrupt chunks) must abort the
+        // run rather than feed the redo loop: a redo consumes RNG and
+        // shifts the digest, while a scheduler-level retry replays the
+        // run bit-identically. The executor closure can't abort the
+        // revision loop directly, so it stashes the error here.
+        let mut infra_error: Option<AgentError> = None;
         let outcome = run_generation_step(
             ctx,
             state,
@@ -60,11 +66,20 @@ pub fn run_sql(ctx: &AgentContext, state: &mut RunState, spec: &SqlSpec) -> Agen
                     executed_sql = sql_text.to_string();
                     Ok(summary)
                 }
-                Err(e) => Err(e.to_string()),
+                Err(e) => {
+                    let msg = e.to_string();
+                    if let infra @ AgentError::Infra { .. } = AgentError::from(e) {
+                        infra_error.get_or_insert(infra);
+                    }
+                    Err(msg)
+                }
             },
             0.7, // SQL is a narrower generation task than freeform code
             0.92,
         );
+        if let Some(infra) = infra_error {
+            return Err(infra);
+        }
         total_redos += outcome.redos;
         last_message = outcome.message.clone();
         if !outcome.success {
@@ -188,6 +203,38 @@ mod tests {
         // and each redo fixes one.
         assert!(out.redos >= 1, "{out:?}");
         assert!(out.success, "{out:?}");
+    }
+
+    #[test]
+    fn storage_corruption_aborts_instead_of_redoing() {
+        let c = ctx("corrupt_abort", BehaviorProfile::perfect());
+        // Flip a byte in every column file of the halos table: the next
+        // read fails checksum verification with a quarantine error.
+        let root = c.db.root().to_path_buf();
+        let mut flipped = 0;
+        for entry in std::fs::read_dir(root.join("halos")).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "bin") {
+                let mut raw = std::fs::read(&path).unwrap();
+                if raw.is_empty() {
+                    continue;
+                }
+                let mid = raw.len() / 2;
+                raw[mid] ^= 0xFF;
+                std::fs::write(&path, &raw).unwrap();
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 0, "no column files found to corrupt");
+        let mut state = RunState::new("q", SemanticLevel::Easy, Plan::default());
+        // The redo loop must NOT absorb the corruption (that would burn
+        // revisions on an unfixable failure); the run aborts typed.
+        match run_sql(&c, &mut state, &spec()) {
+            Err(AgentError::Infra { transient: false, message }) => {
+                assert!(message.contains("corrupt chunk"), "{message}");
+            }
+            other => panic!("expected permanent infra abort, got {other:?}"),
+        }
     }
 
     #[test]

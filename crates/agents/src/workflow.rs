@@ -105,6 +105,8 @@ impl RunReport {
             ("dict join chunks", names::JOIN_DICT_FASTPATH_CHUNKS),
             ("dict strings decoded", names::DICT_STRINGS_DECODED),
             ("scan rows pruned", names::SCAN_ROWS_PRUNED),
+            ("faults recovered", names::FAULT_RECOVERED),
+            ("chunks quarantined", names::STORAGE_CHUNKS_QUARANTINED),
         ] {
             if let Some(v) = self.metrics.counters.get(name) {
                 let _ = writeln!(out, "{label:<22} {v:>6}");
@@ -156,6 +158,23 @@ pub fn build_workflow(ctx: Arc<AgentContext>) -> StateGraph<RunState> {
             // step, so a canceled or past-deadline run stops at the next
             // step boundary rather than mid-specialist.
             ctx.cancel.check()?;
+            // Fault-injection boundary for the virtual LLM: the
+            // supervisor fronts every step, so an injected failure here
+            // models a provider outage at a step boundary. It aborts the
+            // run (transient infra error) instead of feeding the redo
+            // loop, so a scheduler-level retry replays bit-identically.
+            match infera_faults::check(infera_faults::sites::LLM_CALL) {
+                Some(infera_faults::FaultMode::Panic) => {
+                    panic!("{}", infera_faults::injected_error("llm.call"));
+                }
+                Some(_) => {
+                    return Err(AgentError::Infra {
+                        message: infera_faults::injected_error("llm.call"),
+                        transient: true,
+                    });
+                }
+                None => {}
+            }
             let span = ctx.obs.tracer.span("node:supervisor");
             span.set_attr("stage", "supervisor");
             span.set_attr("step", state.step_idx);
@@ -223,6 +242,9 @@ pub fn build_workflow(ctx: Arc<AgentContext>) -> StateGraph<RunState> {
             let out = match crate::data_loading::run_load(&ctx, state, &spec) {
                 Ok(stats) => GenOutcome::new(0, true, format!("loaded {} rows", stats.rows_loaded)),
                 Err(AgentError::Fatal(m)) => return Err(AgentError::Fatal(m)),
+                // Infrastructure failures abort the run for a clean
+                // scheduler-level replay (see the supervisor note).
+                Err(infra @ AgentError::Infra { .. }) => return Err(infra),
                 Err(e) => GenOutcome::new(0, false, e.to_string()),
             };
             finish_node(&ctx, &span, &out);

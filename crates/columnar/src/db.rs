@@ -46,8 +46,13 @@ impl Database {
 
     /// Attach an observability context: SQL entry points record spans
     /// and metrics into it (a fresh private context is used otherwise).
+    /// Propagated into every open table so storage-integrity events
+    /// (chunk quarantines) are counted too.
     pub fn set_obs(&mut self, obs: infera_obs::Obs) {
         self.obs = obs;
+        for table in self.tables.read().values() {
+            table.write().set_obs(self.obs.clone());
+        }
     }
 
     /// The observability context in force.
@@ -74,7 +79,8 @@ impl Database {
             let entry = entry.map_err(|e| DbError::Io(e.to_string()))?;
             let path = entry.path();
             if path.is_dir() && path.join("meta.json").is_file() {
-                let store = TableStore::open(&path)?;
+                let mut store = TableStore::open(&path)?;
+                store.set_obs(self.obs.clone());
                 map.insert(
                     store.meta.name.clone(),
                     std::sync::Arc::new(RwLock::new(store)),
@@ -115,7 +121,8 @@ impl Database {
         if tables.contains_key(name) {
             return Err(DbError::DuplicateTable(name.to_string()));
         }
-        let store = TableStore::create(&self.root.join(name), name, schema)?;
+        let mut store = TableStore::create(&self.root.join(name), name, schema)?;
+        store.set_obs(self.obs.clone());
         tables.insert(name.to_string(), std::sync::Arc::new(RwLock::new(store)));
         Ok(())
     }

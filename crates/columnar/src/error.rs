@@ -31,6 +31,15 @@ pub enum DbError {
     Exec(String),
     /// Corrupt on-disk state.
     Corrupt(String),
+    /// A specific chunk failed integrity verification (checksum mismatch
+    /// or torn write) and is quarantined: reads fail fast instead of
+    /// decoding garbage.
+    CorruptChunk {
+        table: String,
+        column: String,
+        chunk: usize,
+        reason: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -50,6 +59,10 @@ impl fmt::Display for DbError {
             DbError::Plan(m) => write!(f, "sql planning error: {m}"),
             DbError::Exec(m) => write!(f, "sql execution error: {m}"),
             DbError::Corrupt(m) => write!(f, "database corruption: {m}"),
+            DbError::CorruptChunk { table, column, chunk, reason } => write!(
+                f,
+                "corrupt chunk: table '{table}' column '{column}' chunk {chunk} quarantined ({reason})"
+            ),
         }
     }
 }

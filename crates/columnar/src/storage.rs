@@ -34,9 +34,36 @@ use crate::error::{DbError, DbResult};
 use infera_frame::{Column, DType, DataFrame};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+/// Integrity checksum over one encoded chunk: an xxhash-style mix
+/// (8-byte blocks through wrapping multiply/rotate, final avalanche).
+/// Not cryptographic — it exists to catch torn writes and bit rot, and
+/// to verify every chunk on decode at a few GB/s.
+pub fn chunk_checksum(bytes: &[u8]) -> u64 {
+    const P1: u64 = 0x9E37_79B9_7F4A_7C15;
+    const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    let mut h = P1 ^ (bytes.len() as u64).wrapping_mul(P2);
+    let mut chunks = bytes.chunks_exact(8);
+    for block in &mut chunks {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(block);
+        let v = u64::from_le_bytes(buf);
+        h = (h ^ v.wrapping_mul(P2)).rotate_left(31).wrapping_mul(P1);
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ u64::from(b).wrapping_mul(P1)).rotate_left(11).wrapping_mul(P2);
+    }
+    // Final avalanche so short inputs still spread across all 64 bits.
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P1);
+    h ^ (h >> 32)
+}
 
 /// Default rows per chunk.
 pub const DEFAULT_CHUNK_ROWS: usize = 65_536;
@@ -104,6 +131,11 @@ pub struct ChunkLocation {
     /// Lexicographic zone map (string columns; absent in v1 metas).
     #[serde(default)]
     pub str_zone: Option<StrZoneMap>,
+    /// Integrity checksum of the encoded bytes ([`chunk_checksum`]).
+    /// Absent (0) in metas written before checksumming existed; 0 means
+    /// "no checksum recorded", and verification is skipped.
+    #[serde(default)]
+    pub checksum: u64,
 }
 
 impl ChunkLocation {
@@ -271,6 +303,14 @@ pub struct TableStore {
     /// Per-column distinct-count estimates, computed lazily for the cost
     /// model and invalidated on append.
     distinct_cache: std::sync::Mutex<std::collections::HashMap<String, u64>>,
+    /// `(column, chunk)` pairs that failed integrity verification
+    /// (checksum mismatch on read, or torn-write detection at open).
+    /// Reads of a quarantined chunk fail fast with
+    /// [`DbError::CorruptChunk`] instead of re-reading garbage.
+    quarantined: std::sync::Mutex<HashSet<(usize, usize)>>,
+    /// Observability context; `Database::set_obs` propagates it so
+    /// quarantine events land in the run's metrics.
+    obs: infera_obs::Obs,
 }
 
 impl TableStore {
@@ -304,6 +344,8 @@ impl TableStore {
             meta,
             compress: true,
             distinct_cache: Default::default(),
+            quarantined: Default::default(),
+            obs: infera_obs::Obs::default(),
         };
         for i in 0..schema.len() {
             File::create(Self::col_path(dir, i)).map_err(|e| DbError::Io(e.to_string()))?;
@@ -313,6 +355,12 @@ impl TableStore {
     }
 
     /// Open an existing table directory (v1 or v2 format).
+    ///
+    /// Torn-write detection: a chunk whose recorded extent runs past the
+    /// end of its column file (a crash mid-append left a short tail) is
+    /// quarantined here, so queries over it report [`DbError::CorruptChunk`]
+    /// instead of failing with a raw short-read I/O error — and chunks
+    /// that did land fully remain readable.
     pub fn open(dir: &Path) -> DbResult<TableStore> {
         let text = std::fs::read_to_string(Self::meta_path(dir))
             .map_err(|e| DbError::Io(format!("read {}: {e}", dir.display())))?;
@@ -324,17 +372,81 @@ impl TableStore {
                 meta.name, meta.version, FORMAT_VERSION
             )));
         }
+        let mut torn: HashSet<(usize, usize)> = HashSet::new();
+        for (ci, chunks) in meta.chunks.iter().enumerate() {
+            let file_len = std::fs::metadata(Self::col_path(dir, ci))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            for (ki, loc) in chunks.iter().enumerate() {
+                if loc.offset + loc.byte_len > file_len {
+                    torn.insert((ci, ki));
+                }
+            }
+        }
         Ok(TableStore {
             dir: dir.to_path_buf(),
             meta,
             compress: true,
             distinct_cache: Default::default(),
+            quarantined: std::sync::Mutex::new(torn),
+            obs: infera_obs::Obs::default(),
         })
     }
 
+    /// Attach an observability context (propagated by `Database::set_obs`)
+    /// so quarantine events are counted in the owning run's metrics.
+    pub fn set_obs(&mut self, obs: infera_obs::Obs) {
+        self.obs = obs;
+    }
+
+    /// Number of chunks currently quarantined in this table.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.lock().unwrap().len()
+    }
+
+    fn quarantine(&self, col_idx: usize, chunk_idx: usize, reason: &str) -> DbError {
+        let fresh = self.quarantined.lock().unwrap().insert((col_idx, chunk_idx));
+        if fresh {
+            self.obs
+                .metrics
+                .inc(infera_obs::metric_names::STORAGE_CHUNKS_QUARANTINED, 1);
+            if reason.contains(infera_faults::INJECTED_MARKER) {
+                // Injected corruption that verification caught counts as
+                // a recovered fault: the query failed typed, not garbage.
+                self.obs
+                    .metrics
+                    .inc(infera_obs::metric_names::FAULT_RECOVERED, 1);
+            }
+        }
+        DbError::CorruptChunk {
+            table: self.meta.name.clone(),
+            column: self
+                .meta
+                .columns
+                .get(col_idx)
+                .map(|(n, _)| n.clone())
+                .unwrap_or_else(|| format!("col_{col_idx}")),
+            chunk: chunk_idx,
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Persist `meta.json` atomically: write to a temp file in the same
+    /// directory, then rename over the old meta. A crash between the two
+    /// steps leaves the previous (complete) meta in place — never a
+    /// truncated JSON document.
     fn flush_meta(&self) -> DbResult<()> {
-        let text = serde_json::to_string(&self.meta).expect("meta serialize");
-        std::fs::write(Self::meta_path(&self.dir), text)
+        if let Some(mode) = infera_faults::check(infera_faults::sites::STORAGE_META) {
+            if mode == infera_faults::FaultMode::Panic {
+                panic!("{}", infera_faults::injected_error("storage.meta"));
+            }
+            return Err(DbError::Io(infera_faults::injected_error("storage.meta")));
+        }
+        let text = serde_json::to_string(&self.meta)
+            .map_err(|e| DbError::Io(format!("meta serialize: {e}")))?;
+        let tmp = self.dir.join("meta.json.tmp");
+        std::fs::write(&tmp, &text).map_err(|e| DbError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, Self::meta_path(&self.dir))
             .map_err(|e| DbError::Io(e.to_string()))?;
         Ok(())
     }
@@ -384,6 +496,13 @@ impl TableStore {
     fn write_chunk(&mut self, chunk: EncodedChunk) -> DbResult<AppendStats> {
         let mut stats = AppendStats::default();
         for (idx, (bytes, enc, logical, zone, str_zone)) in chunk.columns.into_iter().enumerate() {
+            let fault = infera_faults::check(infera_faults::sites::STORAGE_APPEND);
+            if fault == Some(infera_faults::FaultMode::Error) {
+                return Err(DbError::Io(infera_faults::injected_error("storage.append")));
+            }
+            if fault == Some(infera_faults::FaultMode::Panic) {
+                panic!("{}", infera_faults::injected_error("storage.append"));
+            }
             let path = Self::col_path(&self.dir, idx);
             let mut f = OpenOptions::new()
                 .append(true)
@@ -392,7 +511,16 @@ impl TableStore {
             let offset = f
                 .seek(SeekFrom::End(0))
                 .map_err(|e| DbError::Io(e.to_string()))?;
-            f.write_all(&bytes).map_err(|e| DbError::Io(e.to_string()))?;
+            let checksum = chunk_checksum(&bytes);
+            if fault == Some(infera_faults::FaultMode::Torn) {
+                // Simulated crash mid-append: persist only a prefix, but
+                // record the full extent — exactly what a power cut after
+                // the metadata flush would leave behind.
+                f.write_all(&bytes[..bytes.len() / 2])
+                    .map_err(|e| DbError::Io(e.to_string()))?;
+            } else {
+                f.write_all(&bytes).map_err(|e| DbError::Io(e.to_string()))?;
+            }
             stats.encoded_bytes += bytes.len() as u64;
             stats.logical_bytes += logical;
             self.meta.chunks[idx].push(ChunkLocation {
@@ -402,6 +530,7 @@ impl TableStore {
                 encoding: enc,
                 zone,
                 str_zone,
+                checksum,
             });
         }
         self.meta.chunk_rows.push(chunk.n_rows);
@@ -409,6 +538,26 @@ impl TableStore {
     }
 
     fn read_chunk_bytes(&self, col_idx: usize, chunk_idx: usize) -> DbResult<Vec<u8>> {
+        if self.quarantined.lock().unwrap().contains(&(col_idx, chunk_idx)) {
+            return Err(DbError::CorruptChunk {
+                table: self.meta.name.clone(),
+                column: self
+                    .meta
+                    .columns
+                    .get(col_idx)
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_else(|| format!("col_{col_idx}")),
+                chunk: chunk_idx,
+                reason: "previously quarantined".to_string(),
+            });
+        }
+        let fault = infera_faults::check(infera_faults::sites::STORAGE_READ);
+        if fault == Some(infera_faults::FaultMode::Error) {
+            return Err(DbError::Io(infera_faults::injected_error("storage.read")));
+        }
+        if fault == Some(infera_faults::FaultMode::Panic) {
+            panic!("{}", infera_faults::injected_error("storage.read"));
+        }
         let loc = &self.meta.chunks[col_idx][chunk_idx];
         let path = Self::col_path(&self.dir, col_idx);
         let mut f = File::open(&path)
@@ -418,6 +567,26 @@ impl TableStore {
         let mut bytes = vec![0u8; loc.byte_len as usize];
         f.read_exact(&mut bytes)
             .map_err(|e| DbError::Io(e.to_string()))?;
+        let injected_corruption = fault == Some(infera_faults::FaultMode::Corrupt);
+        if injected_corruption && !bytes.is_empty() {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+        }
+        // checksum 0 = written before checksumming existed; skip verify.
+        if loc.checksum != 0 {
+            let got = chunk_checksum(&bytes);
+            if got != loc.checksum {
+                let reason = if injected_corruption {
+                    format!("checksum mismatch ({})", infera_faults::INJECTED_MARKER)
+                } else {
+                    format!(
+                        "checksum mismatch (expected {:016x}, got {got:016x})",
+                        loc.checksum
+                    )
+                };
+                return Err(self.quarantine(col_idx, chunk_idx, &reason));
+            }
+        }
         Ok(bytes)
     }
 
@@ -769,6 +938,101 @@ mod tests {
         // Appending invalidates the cache.
         t.append(&b, 100).unwrap();
         assert_eq!(t.distinct_estimate("id").unwrap(), 800);
+    }
+
+    #[test]
+    fn checksum_distinguishes_corruption() {
+        let a = chunk_checksum(b"hello columnar world, here are some bytes");
+        let mut flipped = b"hello columnar world, here are some bytes".to_vec();
+        flipped[10] ^= 0x01;
+        assert_ne!(a, chunk_checksum(&flipped));
+        assert_ne!(chunk_checksum(b""), chunk_checksum(b"\0"));
+        assert_ne!(chunk_checksum(b"\0"), chunk_checksum(b"\0\0"));
+        // Stable across calls (it's a pure function, no seeds).
+        assert_eq!(a, chunk_checksum(b"hello columnar world, here are some bytes"));
+    }
+
+    #[test]
+    fn chunks_carry_checksums_and_verify_on_read() {
+        let dir = tmp("checksummed");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.append(&batch(50, 0), 25).unwrap();
+        assert!(t.meta.chunks.iter().flatten().all(|l| l.checksum != 0));
+        // Reads verify clean.
+        t.read_chunk(0, &["id", "mass", "name", "flag"]).unwrap();
+        assert_eq!(t.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn on_disk_corruption_quarantines_chunk() {
+        let dir = tmp("bitrot");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.append(&batch(50, 0), 50).unwrap();
+        // Flip one byte in the middle of column 0's file.
+        let path = dir.join("col_0.bin");
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+
+        let err = t.read_chunk(0, &["id"]).unwrap_err();
+        assert!(
+            matches!(err, DbError::CorruptChunk { chunk: 0, .. }),
+            "unexpected {err:?}"
+        );
+        assert_eq!(t.quarantined_count(), 1);
+        // Repeat reads fail fast from the quarantine set.
+        let err2 = t.read_chunk(0, &["id"]).unwrap_err();
+        assert!(matches!(err2, DbError::CorruptChunk { .. }));
+        // Other columns are unaffected.
+        t.read_chunk(0, &["mass"]).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_reopen_reports_corrupt_chunk() {
+        // Simulate a kill mid-append: meta records two chunks but the
+        // second chunk's bytes never fully landed in the column file.
+        let dir = tmp("truncated");
+        let schema = batch(1, 0).schema();
+        {
+            let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+            t.append(&batch(80, 0), 40).unwrap();
+        }
+        let path = dir.join("col_1.bin");
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 7]).unwrap();
+
+        let t = TableStore::open(&dir).unwrap();
+        assert_eq!(t.quarantined_count(), 1, "short tail chunk quarantined at open");
+        // The torn chunk reports typed corruption, never a short frame.
+        let err = t.read_chunk(1, &["mass"]).unwrap_err();
+        assert!(matches!(err, DbError::CorruptChunk { chunk: 1, .. }), "{err:?}");
+        // The first chunk of the same column is intact and readable.
+        let df = t.read_chunk(0, &["mass"]).unwrap();
+        assert_eq!(df.n_rows(), 40);
+        // Untouched columns read fully.
+        t.read_chunk(1, &["id"]).unwrap();
+    }
+
+    #[test]
+    fn legacy_meta_without_checksums_still_reads() {
+        let dir = tmp("legacy_checksum");
+        let schema = batch(1, 0).schema();
+        let mut t = TableStore::create(&dir, "t", &schema).unwrap();
+        t.append(&batch(20, 0), 20).unwrap();
+        // Strip the checksums the way a pre-checksum meta would look.
+        for chunks in &mut t.meta.chunks {
+            for loc in chunks {
+                loc.checksum = 0;
+            }
+        }
+        t.flush_meta().unwrap();
+        let t = TableStore::open(&dir).unwrap();
+        let df = t.read_chunk(0, &["id", "name"]).unwrap();
+        assert_eq!(df.n_rows(), 20);
+        assert_eq!(t.quarantined_count(), 0);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub enum ErrorKind {
     InvalidInput,
     /// The serving layer refused admission (queue at capacity).
     QueueFull,
+    /// A storage chunk failed integrity verification (checksum mismatch
+    /// or torn write) and is quarantined. Permanent until repaired:
+    /// retrying re-reads the same corrupt bytes.
+    CorruptChunk,
     /// Invariant violation inside InferA itself.
     Internal,
 }
@@ -58,6 +62,7 @@ impl ErrorKind {
             ErrorKind::Io => "io",
             ErrorKind::InvalidInput => "invalid_input",
             ErrorKind::QueueFull => "queue_full",
+            ErrorKind::CorruptChunk => "corrupt_chunk",
             ErrorKind::Internal => "internal",
         }
     }
@@ -90,11 +95,17 @@ impl InferaError {
     }
 
     /// Whether retrying the same request could plausibly succeed
-    /// (transient failures and admission rejections).
+    /// (transient failures and admission rejections). Storage and I/O
+    /// errors are transient — a quarantined chunk is not (it reports
+    /// [`ErrorKind::CorruptChunk`], which re-reads identically).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self.kind,
-            ErrorKind::Recoverable | ErrorKind::QueueFull | ErrorKind::Timeout
+            ErrorKind::Recoverable
+                | ErrorKind::QueueFull
+                | ErrorKind::Timeout
+                | ErrorKind::Storage
+                | ErrorKind::Io
         )
     }
 
@@ -122,6 +133,8 @@ impl From<AgentError> for InferaError {
             AgentError::RevisionBudgetExhausted { .. } => ErrorKind::RevisionBudget,
             AgentError::Canceled(CancelKind::Canceled) => ErrorKind::Canceled,
             AgentError::Canceled(CancelKind::DeadlineExceeded) => ErrorKind::Timeout,
+            AgentError::Infra { transient: true, .. } => ErrorKind::Storage,
+            AgentError::Infra { transient: false, .. } => ErrorKind::CorruptChunk,
             AgentError::Fatal(_) => ErrorKind::Internal,
         };
         InferaError::new(kind, e.to_string())
@@ -130,7 +143,11 @@ impl From<AgentError> for InferaError {
 
 impl From<infera_columnar::DbError> for InferaError {
     fn from(e: infera_columnar::DbError) -> Self {
-        InferaError::new(ErrorKind::Storage, e.to_string())
+        let kind = match &e {
+            infera_columnar::DbError::CorruptChunk { .. } => ErrorKind::CorruptChunk,
+            _ => ErrorKind::Storage,
+        };
+        InferaError::new(kind, e.to_string())
     }
 }
 
@@ -179,6 +196,14 @@ mod tests {
                 ErrorKind::Timeout,
             ),
             (AgentError::Fatal("x".into()), ErrorKind::Internal),
+            (
+                AgentError::Infra { message: "io".into(), transient: true },
+                ErrorKind::Storage,
+            ),
+            (
+                AgentError::Infra { message: "corrupt".into(), transient: false },
+                ErrorKind::CorruptChunk,
+            ),
         ];
         for (agent_err, want) in cases {
             let e = InferaError::from(agent_err);
@@ -191,7 +216,25 @@ mod tests {
     fn retryability_follows_kind() {
         assert!(InferaError::new(ErrorKind::QueueFull, "full").is_retryable());
         assert!(InferaError::new(ErrorKind::Recoverable, "x").is_retryable());
+        assert!(InferaError::new(ErrorKind::Storage, "read failed").is_retryable());
+        assert!(InferaError::new(ErrorKind::Io, "disk").is_retryable());
         assert!(!InferaError::invalid_input("bad flag").is_retryable());
         assert!(!InferaError::internal("bug").is_retryable());
+        // A quarantined chunk re-reads identically: never retried.
+        assert!(!InferaError::new(ErrorKind::CorruptChunk, "chunk 3").is_retryable());
+    }
+
+    #[test]
+    fn corrupt_chunks_map_to_their_own_kind() {
+        let e = InferaError::from(infera_columnar::DbError::CorruptChunk {
+            table: "halos".into(),
+            column: "mass".into(),
+            chunk: 2,
+            reason: "checksum mismatch".into(),
+        });
+        assert_eq!(e.kind(), ErrorKind::CorruptChunk);
+        assert!(e.message().contains("halos"));
+        let io = InferaError::from(infera_columnar::DbError::Io("short read".into()));
+        assert_eq!(io.kind(), ErrorKind::Storage);
     }
 }

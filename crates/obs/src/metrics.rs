@@ -122,6 +122,33 @@ pub mod names {
     /// Dequeue-to-completion run time (histogram, ms).
     pub const SERVE_RUN_MS: &str = "serve.run_ms";
 
+    // ---- resilience: fault injection, retry, circuit breaker ---------------
+
+    /// Faults injected by the installed `infera-faults` plan (mirrored
+    /// from the plan's own counters via `set_counter`).
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Injected faults the stack recovered from (retry-to-success,
+    /// caught panic, checksum-detected corruption, forced-miss reload).
+    pub const FAULT_RECOVERED: &str = "fault.recovered";
+    /// Job re-executions after a transient failure (excludes the first
+    /// attempt).
+    pub const RETRY_ATTEMPTS: &str = "retry.attempts";
+    /// Jobs that failed every attempt in the retry budget.
+    pub const RETRY_EXHAUSTED: &str = "retry.exhausted";
+    /// Circuit-breaker transitions into the open state.
+    pub const BREAKER_OPENED: &str = "breaker.opened";
+    /// Jobs rejected at admission because a breaker was open.
+    pub const BREAKER_REJECTED: &str = "breaker.rejected";
+    /// Chunks quarantined after checksum mismatch or torn-write
+    /// detection; reads of a quarantined chunk fail fast.
+    pub const STORAGE_CHUNKS_QUARANTINED: &str = "storage.chunks_quarantined";
+    /// Worker threads whose loop was re-entered after a panic escaped a
+    /// job (the pool self-heals; this counts the incidents).
+    pub const SERVE_WORKERS_LOST: &str = "serve.workers_lost";
+    /// Panics caught inside a job by per-job isolation (the job fails
+    /// typed; the worker keeps running).
+    pub const SERVE_WORKER_PANICS: &str = "serve.worker_panics";
+
     // ---- observability pipeline itself -------------------------------------
 
     /// Events delivered to at least one event-bus subscriber.
@@ -175,6 +202,15 @@ pub mod names {
             SERVE_CACHE_HITS,
             SERVE_QUEUE_WAIT_MS,
             SERVE_RUN_MS,
+            FAULT_INJECTED,
+            FAULT_RECOVERED,
+            RETRY_ATTEMPTS,
+            RETRY_EXHAUSTED,
+            BREAKER_OPENED,
+            BREAKER_REJECTED,
+            STORAGE_CHUNKS_QUARANTINED,
+            SERVE_WORKERS_LOST,
+            SERVE_WORKER_PANICS,
             OBS_EVENTS_PUBLISHED,
             OBS_EVENTS_DROPPED,
         ]

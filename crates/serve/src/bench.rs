@@ -31,6 +31,12 @@ pub struct BenchOpts {
     /// Question subset size (0 = the full 20-question set).
     pub max_questions: usize,
     pub seed: u64,
+    /// Fault-injection spec (`infera_faults::FaultPlan` grammar) applied
+    /// to every configuration **after** the serial baseline. The digest
+    /// gate still runs: faulted configurations must reproduce the clean
+    /// baseline's digests bit-for-bit (retries replay from the same
+    /// `(seed, salt)`), so this turns the bench into a chaos gate.
+    pub faults: Option<String>,
 }
 
 impl Default for BenchOpts {
@@ -40,6 +46,7 @@ impl Default for BenchOpts {
             sleep_scale: 0.04,
             max_questions: 0,
             seed: 42,
+            faults: None,
         }
     }
 }
@@ -53,6 +60,7 @@ impl BenchOpts {
             sleep_scale: 0.0,
             max_questions: 6,
             seed: 42,
+            faults: None,
         }
     }
 }
@@ -82,6 +90,12 @@ pub struct WorkerRow {
     pub cache_hits: u64,
     /// Decoded-batch cache hits across the configuration's runs.
     pub shared_cache_hits: u64,
+    /// Transient failures replayed (0 unless a fault plan was active).
+    #[serde(default)]
+    pub retries: u64,
+    /// Faults injected during this configuration (0 without a plan).
+    #[serde(default)]
+    pub faults_injected: u64,
 }
 
 /// Cost of serving with a live event-bus subscriber attached,
@@ -117,6 +131,9 @@ pub struct BenchServeReport {
     /// Question ids whose digests diverged (empty when `digests_match`).
     pub divergent_questions: Vec<u32>,
     pub bus: BusOverhead,
+    /// The fault spec the non-baseline configurations ran under.
+    #[serde(default)]
+    pub fault_spec: Option<String>,
 }
 
 impl BenchServeReport {
@@ -130,6 +147,15 @@ impl BenchServeReport {
             self.sleep_scale,
             if self.digests_match { "IDENTICAL" } else { "DIVERGED" },
         );
+        if let Some(spec) = &self.fault_spec {
+            let injected: u64 = self.rows.iter().map(|r| r.faults_injected).sum();
+            let retries: u64 = self.rows.iter().map(|r| r.retries).sum();
+            let _ = writeln!(
+                out,
+                "faults: '{spec}' active after the serial baseline \
+                 ({injected} injected, {retries} retries)",
+            );
+        }
         let _ = writeln!(
             out,
             "{:>8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>14} {:>14} {:>9}",
@@ -279,13 +305,30 @@ pub fn run_bench(
         ));
     }
 
+    let fault_plan = match &opts.faults {
+        Some(spec) => Some(infera_faults::FaultPlan::parse(spec).map_err(|e| {
+            InferaError::invalid_input(format!("bad fault spec '{spec}': {e}"))
+        })?),
+        None => None,
+    };
+
     let mut rows: Vec<WorkerRow> = Vec::new();
     // digests[i] = per-question digests at worker_counts[i].
     let mut digests: Vec<Vec<(u32, u64)>> = Vec::new();
 
-    for &workers in &opts.worker_counts {
+    for (i, &workers) in opts.worker_counts.iter().enumerate() {
+        // The serial baseline always runs clean; configurations after it
+        // run under the fault plan and must reproduce its digests.
+        match &fault_plan {
+            Some(plan) if i > 0 => infera_faults::install(plan.clone()),
+            _ => infera_faults::clear(),
+        }
+        let injected_before = infera_faults::total_injected();
         let work = work_root.join(format!("workers_{workers}"));
-        let run = run_configuration(manifest, &work, opts, &questions, workers, false)?;
+        let run = run_configuration(manifest, &work, opts, &questions, workers, false);
+        let faults_injected = infera_faults::total_injected() - injected_before;
+        infera_faults::clear();
+        let run = run?;
         let mut latencies: Vec<u64> =
             run.results.iter().map(|r| r.queue_ms + r.run_ms).collect();
         latencies.sort_unstable();
@@ -317,6 +360,8 @@ pub fn run_bench(
             jobs_failed: failed,
             cache_hits: run.metrics.counter(metric_names::CACHE_HITS),
             shared_cache_hits: run.shared_hits,
+            retries: run.metrics.counter(metric_names::RETRY_ATTEMPTS),
+            faults_injected,
         });
         digests.push(digest_map(&questions, &run.results));
     }
@@ -374,6 +419,7 @@ pub fn run_bench(
         digests_match: divergent.is_empty(),
         divergent_questions: divergent,
         bus,
+        fault_spec: opts.faults.clone(),
     })
 }
 

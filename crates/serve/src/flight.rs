@@ -60,6 +60,11 @@ pub struct FlightEntry {
     pub run_ms: u64,
     /// Report digest (0 for failures).
     pub digest: u64,
+    /// Workflow executions the job took (>1 means transient failures
+    /// were retried before this outcome; 0 in artifacts recorded before
+    /// attempt tracking existed).
+    #[serde(default)]
+    pub attempts: u32,
     pub trace: TraceSnapshot,
 }
 
@@ -194,6 +199,7 @@ mod tests {
             queue_ms: 1,
             run_ms,
             digest: 0,
+            attempts: 1,
             trace: TraceSnapshot {
                 spans: Vec::new(),
                 orphan_events: Vec::new(),

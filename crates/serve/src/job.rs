@@ -46,6 +46,10 @@ impl JobSpec {
 pub enum RejectReason {
     /// The bounded job queue is at capacity; retry after a completion.
     QueueFull { capacity: usize },
+    /// A failure class's circuit is open: recent jobs kept failing the
+    /// same way, so the scheduler sheds load until the cooldown admits
+    /// a probe. `class` is the [`infera_core::ErrorKind`] label.
+    CircuitOpen { class: String },
     /// The scheduler has begun shutting down.
     ShuttingDown,
 }
@@ -55,6 +59,9 @@ impl std::fmt::Display for RejectReason {
         match self {
             RejectReason::QueueFull { capacity } => {
                 write!(f, "queue full (capacity {capacity})")
+            }
+            RejectReason::CircuitOpen { class } => {
+                write!(f, "circuit open for failure class '{class}'")
             }
             RejectReason::ShuttingDown => write!(f, "scheduler shutting down"),
         }
@@ -87,6 +94,9 @@ pub struct JobResult {
     pub queue_ms: u64,
     /// Time on the worker, admission to completion (ms).
     pub run_ms: u64,
+    /// Workflow executions this job took (>1 means transient failures
+    /// were retried; the digest is identical regardless).
+    pub attempts: u32,
 }
 
 impl JobResult {
@@ -108,6 +118,7 @@ impl JobResult {
                 "cache_hit": self.cache_hit,
                 "queue_ms": self.queue_ms,
                 "run_ms": self.run_ms,
+                "attempts": self.attempts,
                 "ok": true,
                 "completed": report.completed,
                 "redos": report.redos,
@@ -123,6 +134,7 @@ impl JobResult {
                 "cache_hit": self.cache_hit,
                 "queue_ms": self.queue_ms,
                 "run_ms": self.run_ms,
+                "attempts": self.attempts,
                 "ok": false,
                 "error_kind": err.kind().label(),
                 "error": err.to_string(),

@@ -34,6 +34,7 @@ pub mod cache;
 pub mod digest;
 pub mod flight;
 pub mod job;
+pub mod resilience;
 pub mod scheduler;
 pub mod telemetry;
 
@@ -42,6 +43,7 @@ pub use cache::{ResultCache, ResultKey};
 pub use digest::report_digest;
 pub use flight::{FlightEntry, FlightOutcome, FlightRecorder, FlightSnapshot};
 pub use job::{JobResult, JobSpec, JobStatus, RejectReason};
+pub use resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use scheduler::{Scheduler, ServeConfig};
 pub use telemetry::{
     event_names, load_observability, persist_observability, render_stats_line,

@@ -1,0 +1,266 @@
+//! Serve-layer resilience: bounded retry with deterministic backoff,
+//! transient-vs-permanent failure classification, and a per-failure-class
+//! circuit breaker.
+//!
+//! The retry policy only replays **infrastructure** failures
+//! ([`ErrorKind::Storage`] / [`ErrorKind::Io`]). Everything the workflow
+//! itself produced — revision-budget exhaustion, cancellation, corrupt
+//! (quarantined) chunks — replays identically on the same `(seed, salt)`
+//! and is therefore never retried. Because a retried run re-executes the
+//! whole workflow from the same seed, a retry that succeeds yields a
+//! **bit-identical** report digest; the chaos suite asserts this.
+//!
+//! Backoff is deterministic: the jitter is derived from `(job_id,
+//! attempt)` through splitmix64, so a replayed schedule sleeps the same
+//! milliseconds — no wall-clock entropy leaks into test traces.
+//!
+//! The circuit breaker is keyed by failure class ([`ErrorKind::label`]).
+//! Each class counts **final** job outcomes only (a retry that recovers
+//! never trips it); after `threshold` consecutive failures the class
+//! opens and the scheduler sheds load at admission with
+//! `RejectReason::CircuitOpen` until `cooldown` elapses, then admits a
+//! half-open probe whose outcome closes or re-opens the class.
+
+use infera_core::ErrorKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Whether a failure of this kind is worth replaying. Only
+/// infrastructure faults qualify: they are external to the run's
+/// deterministic RNG, so the retry can genuinely see a different world.
+pub fn is_transient(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Storage | ErrorKind::Io)
+}
+
+/// Bounded-retry policy for transient job failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executions per job (1 = never retry).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_ms: u64,
+    /// Backoff ceiling.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_ms: 25,
+            max_ms: 250,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// Delay before re-running `job_id` after failed attempt number
+    /// `attempt` (1-based). Exponential, capped at `max_ms`, with
+    /// deterministic jitter in `[exp/2, exp]` keyed by `(job_id, attempt)`.
+    pub fn backoff_ms(&self, job_id: u64, attempt: u32) -> u64 {
+        let shift = u32::min(attempt.saturating_sub(1), 20);
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << shift)
+            .clamp(1, self.max_ms.max(1));
+        let span = exp - exp / 2 + 1;
+        let r = splitmix64(job_id ^ (u64::from(attempt) << 32));
+        exp / 2 + r % span
+    }
+
+    pub fn backoff(&self, job_id: u64, attempt: u32) -> Duration {
+        Duration::from_millis(self.backoff_ms(job_id, attempt))
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive final failures of one class that open its circuit.
+    pub threshold: u32,
+    /// How long an open class rejects before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 8,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClassState {
+    consecutive: u32,
+    /// `Some(when)` while open; admission rejects until cooldown elapses.
+    opened_at: Option<Instant>,
+    /// Cooldown elapsed: the next final outcome closes or re-opens.
+    half_open: bool,
+}
+
+/// Per-failure-class circuit breaker (see module docs for the state
+/// machine). Cheap when healthy: admission scans a map that only has
+/// entries for classes that have failed at least once.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    classes: Mutex<HashMap<&'static str, ClassState>>,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            classes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admission check. `Err(class)` names the open circuit rejecting
+    /// this submission; an open class whose cooldown has elapsed flips
+    /// to half-open and admits (the probe).
+    pub fn admit(&self) -> Result<(), &'static str> {
+        let mut classes = self.classes.lock();
+        for (class, state) in classes.iter_mut() {
+            if let Some(at) = state.opened_at {
+                if at.elapsed() >= self.config.cooldown {
+                    state.opened_at = None;
+                    state.half_open = true;
+                } else {
+                    return Err(class);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A job reached a final successful outcome: the system is healthy,
+    /// so every class's failure streak (and any half-open probe) resets.
+    pub fn record_success(&self) {
+        self.classes.lock().clear();
+    }
+
+    /// A job reached a final failed outcome of `class`. Returns `true`
+    /// when this failure newly opened (or re-opened) the circuit.
+    pub fn record_failure(&self, class: &'static str) -> bool {
+        let mut classes = self.classes.lock();
+        let state = classes.entry(class).or_default();
+        state.consecutive += 1;
+        let should_open = state.opened_at.is_none()
+            && (state.half_open || state.consecutive >= self.config.threshold);
+        if should_open {
+            state.opened_at = Some(Instant::now());
+            state.half_open = false;
+        }
+        should_open
+    }
+
+    /// Classes currently open (cooldown not yet elapsed).
+    pub fn open_classes(&self) -> Vec<&'static str> {
+        let classes = self.classes.lock();
+        classes
+            .iter()
+            .filter(|(_, s)| {
+                s.opened_at
+                    .is_some_and(|at| at.elapsed() < self.config.cooldown)
+            })
+            .map(|(c, _)| *c)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification_matches_retry_semantics() {
+        assert!(is_transient(ErrorKind::Storage));
+        assert!(is_transient(ErrorKind::Io));
+        // Deterministic failures replay identically: never retried.
+        assert!(!is_transient(ErrorKind::CorruptChunk));
+        assert!(!is_transient(ErrorKind::RevisionBudget));
+        assert!(!is_transient(ErrorKind::Canceled));
+        assert!(!is_transient(ErrorKind::Timeout));
+        assert!(!is_transient(ErrorKind::Internal));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..=6 {
+            let exp = (policy.base_ms << (attempt - 1).min(20)).min(policy.max_ms);
+            for job in [1u64, 7, 99] {
+                let a = policy.backoff_ms(job, attempt);
+                let b = policy.backoff_ms(job, attempt);
+                assert_eq!(a, b, "same (job, attempt) must give the same delay");
+                assert!(a >= exp / 2 && a <= exp, "delay {a} outside [{}, {exp}]", exp / 2);
+            }
+        }
+        // Different jobs jitter apart (not a fixed schedule).
+        let delays: std::collections::HashSet<u64> =
+            (0..32).map(|j| policy.backoff_ms(j, 3)).collect();
+        assert!(delays.len() > 1, "jitter must vary across jobs");
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_success_closes() {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(60),
+        });
+        assert!(breaker.admit().is_ok());
+        assert!(!breaker.record_failure("storage"));
+        assert!(!breaker.record_failure("storage"));
+        assert!(breaker.record_failure("storage"), "third consecutive failure opens");
+        assert_eq!(breaker.admit(), Err("storage"));
+        assert_eq!(breaker.open_classes(), ["storage"]);
+        // Success resets everything (a later failure starts a new streak).
+        breaker.record_success();
+        assert!(breaker.admit().is_ok());
+        assert!(!breaker.record_failure("storage"));
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            threshold: 2,
+            cooldown: Duration::from_secs(60),
+        });
+        assert!(!breaker.record_failure("storage"));
+        assert!(!breaker.record_failure("timeout"));
+        // Neither class reached its own threshold.
+        assert!(breaker.admit().is_ok());
+        assert!(breaker.record_failure("timeout"));
+        assert_eq!(breaker.admit(), Err("timeout"));
+    }
+
+    #[test]
+    fn cooldown_admits_probe_and_probe_failure_reopens() {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::ZERO,
+        });
+        assert!(breaker.record_failure("storage"));
+        // Zero cooldown: already half-open, the probe is admitted.
+        assert!(breaker.admit().is_ok());
+        // The probe failing re-opens immediately (no threshold wait).
+        assert!(breaker.record_failure("storage"));
+        // And a successful probe closes the class: the failure streak
+        // restarts from zero (threshold 1, so the next failure opens a
+        // brand-new streak rather than re-opening a half-open probe).
+        assert!(breaker.admit().is_ok());
+        breaker.record_success();
+        assert!(breaker.admit().is_ok());
+        assert!(breaker.record_failure("storage"), "fresh streak hits threshold 1");
+    }
+}

@@ -9,17 +9,34 @@
 //!
 //! Metrics (a [`MetricsRegistry`] the embedder can scrape):
 //!
-//! | name                    | kind      |                                |
-//! |-------------------------|-----------|--------------------------------|
-//! | `serve.queue_depth`     | gauge     | jobs queued, not yet picked up |
-//! | `serve.jobs_accepted`   | counter   | submissions admitted           |
-//! | `serve.jobs_rejected`   | counter   | submissions refused            |
-//! | `serve.jobs_completed`  | counter   | results delivered              |
-//! | `serve.jobs_failed`     | counter   | completions with an error      |
-//! | `serve.jobs_timed_out`  | counter   | failures that hit a deadline   |
-//! | `serve.cache_hits`      | counter   | answered from the result cache |
-//! | `serve.queue_wait_ms`   | histogram | admission → pickup latency     |
-//! | `serve.run_ms`          | histogram | pickup → completion latency    |
+//! | name                       | kind      |                                |
+//! |----------------------------|-----------|--------------------------------|
+//! | `serve.queue_depth`        | gauge     | jobs queued, not yet picked up |
+//! | `serve.jobs_accepted`      | counter   | submissions admitted           |
+//! | `serve.jobs_rejected`      | counter   | submissions refused            |
+//! | `serve.jobs_completed`     | counter   | results delivered              |
+//! | `serve.jobs_failed`        | counter   | completions with an error      |
+//! | `serve.jobs_timed_out`     | counter   | failures that hit a deadline   |
+//! | `serve.cache_hits`         | counter   | answered from the result cache |
+//! | `serve.queue_wait_ms`      | histogram | admission → pickup latency     |
+//! | `serve.run_ms`             | histogram | pickup → completion latency    |
+//! | `retry.attempts`           | counter   | transient failures replayed    |
+//! | `retry.exhausted`          | counter   | jobs that failed every attempt |
+//! | `breaker.opened`           | counter   | circuit-open transitions       |
+//! | `breaker.rejected`         | counter   | submissions shed by the breaker|
+//! | `serve.worker_panics`      | counter   | job panics caught in-worker    |
+//! | `serve.workers_lost`       | counter   | worker deaths (respawned)      |
+//! | `fault.recovered`          | counter   | injected faults survived       |
+//!
+//! Resilience (see [`crate::resilience`]): transient infrastructure
+//! failures are replayed up to `retry.max_attempts` times with
+//! deterministic backoff — a retried run re-executes from the same
+//! `(seed, salt)`, so a retry that succeeds is bit-identical to an
+//! unfaulted run. A panicking job is caught at the worker boundary and
+//! reported as a typed `Internal` failure; a panicking worker is
+//! respawned in place so the pool never shrinks. Consecutive final
+//! failures of one class open a circuit that sheds load at admission
+//! until its cooldown admits a probe.
 //!
 //! Live observability: the scheduler owns an [`EventBus`] every job's
 //! tracer is attached to (span stream + per-job lifecycle events, see
@@ -32,14 +49,17 @@ use crate::cache::{ResultCache, ResultKey};
 use crate::digest::report_digest;
 use crate::flight::{FlightEntry, FlightOutcome, FlightRecorder};
 use crate::job::{JobResult, JobSpec, JobStatus, RejectReason};
+use crate::resilience::{is_transient, BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::telemetry::{self, event_names};
 use crossbeam::channel::{self, TrySendError};
 use infera_agents::CancelToken;
-use infera_core::{estimate_semantic_level, AskOptions, ErrorKind, InferA, InferaResult};
-use infera_obs::{AttrValue, EventBus, GlobalMetrics, MetricsRegistry, Obs};
+use infera_core::{
+    estimate_semantic_level, AskOptions, ErrorKind, InferA, InferaError, InferaResult,
+};
+use infera_obs::{AttrValue, EventBus, GlobalMetrics, MetricsRegistry, Obs, TraceSnapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -58,6 +78,13 @@ pub mod metric_names {
     pub const CACHE_HITS: &str = m::SERVE_CACHE_HITS;
     pub const QUEUE_WAIT_MS: &str = m::SERVE_QUEUE_WAIT_MS;
     pub const RUN_MS: &str = m::SERVE_RUN_MS;
+    pub const RETRY_ATTEMPTS: &str = m::RETRY_ATTEMPTS;
+    pub const RETRY_EXHAUSTED: &str = m::RETRY_EXHAUSTED;
+    pub const BREAKER_OPENED: &str = m::BREAKER_OPENED;
+    pub const BREAKER_REJECTED: &str = m::BREAKER_REJECTED;
+    pub const WORKER_PANICS: &str = m::SERVE_WORKER_PANICS;
+    pub const WORKERS_LOST: &str = m::SERVE_WORKERS_LOST;
+    pub const FAULT_RECOVERED: &str = m::FAULT_RECOVERED;
 }
 
 /// Scheduler configuration.
@@ -71,6 +98,10 @@ pub struct ServeConfig {
     pub flight_slowest: usize,
     /// Flight-recorder slots for failed/timed-out jobs.
     pub flight_failures: usize,
+    /// Bounded retry for transient job failures.
+    pub retry: RetryPolicy,
+    /// Per-failure-class circuit breaking at admission.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +111,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             flight_slowest: 8,
             flight_failures: 32,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -110,7 +143,11 @@ struct SchedulerShared {
     bus: EventBus,
     global: GlobalMetrics,
     flight: FlightRecorder,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
     queue_depth: AtomicU64,
+    /// Set by `begin_shutdown`: reject new work, skip retry backoffs.
+    shutting_down: AtomicBool,
     /// Cancel handles for queued + running jobs, by job id.
     inflight: Mutex<HashMap<u64, CancelToken>>,
 }
@@ -127,7 +164,9 @@ impl SchedulerShared {
 /// The serving layer's front door. See the module docs for semantics.
 pub struct Scheduler {
     shared: Arc<SchedulerShared>,
-    tx: Option<channel::Sender<QueuedJob>>,
+    /// `None` once shutdown began: dropping the sender closes the queue,
+    /// so workers drain what was admitted and exit.
+    tx: Mutex<Option<channel::Sender<QueuedJob>>>,
     results_rx: channel::Receiver<JobResult>,
     handles: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
@@ -136,7 +175,18 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Spawn the worker pool over a shared session.
+    ///
+    /// Panics only if the OS refuses to spawn worker threads — an
+    /// unrecoverable environment failure. Use [`Scheduler::try_new`] to
+    /// handle that as a typed error instead.
     pub fn new(session: Arc<InferA>, config: ServeConfig) -> Scheduler {
+        Scheduler::try_new(session, config)
+            .unwrap_or_else(|e| panic!("scheduler startup failed: {e}"))
+    }
+
+    /// Fallible constructor: thread-spawn failures surface as
+    /// [`ErrorKind::Internal`] instead of panicking.
+    pub fn try_new(session: Arc<InferA>, config: ServeConfig) -> InferaResult<Scheduler> {
         let workers = config.workers.max(1);
         let cache = Arc::new(ResultCache::new(
             session.config().result_cache_entries,
@@ -153,7 +203,10 @@ impl Scheduler {
             bus: EventBus::new(),
             global,
             flight: FlightRecorder::new(config.flight_slowest, config.flight_failures),
+            retry: config.retry,
+            breaker: CircuitBreaker::new(config.breaker),
             queue_depth: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
             inflight: Mutex::new(HashMap::new()),
         });
         let (tx, rx) = channel::bounded::<QueuedJob>(config.queue_capacity.max(1));
@@ -161,25 +214,41 @@ impl Scheduler {
         // The stub crossbeam Receiver is mpsc-backed (not Sync), so the
         // pool shares it behind a mutex; real crossbeam clones fine too.
         let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = shared.clone();
-                let rx = rx.clone();
-                let results_tx = results_tx.clone();
-                std::thread::Builder::new()
-                    .name(format!("infera-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx, &results_tx))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Scheduler {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = shared.clone();
+            let rx = rx.clone();
+            let results_tx = results_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("infera-serve-{i}"))
+                // A panic escaping `worker_loop` (per-job panics are
+                // caught inside it) must not shrink the pool: catch it,
+                // count the loss, and re-enter the loop — the same
+                // thread "respawns" as a fresh worker.
+                .spawn(move || loop {
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_loop(&shared, &rx, &results_tx)
+                    }));
+                    match run {
+                        Ok(()) => break, // queue closed and drained
+                        Err(_) => {
+                            shared.metrics.inc(metric_names::WORKERS_LOST, 1);
+                        }
+                    }
+                })
+                .map_err(|e| {
+                    InferaError::internal(format!("spawn serve worker {i}: {e}"))
+                })?;
+            handles.push(handle);
+        }
+        Ok(Scheduler {
             shared,
-            tx: Some(tx),
+            tx: Mutex::new(Some(tx)),
             results_rx,
             handles,
             next_id: AtomicU64::new(0),
             queue_capacity: config.queue_capacity.max(1),
-        }
+        })
     }
 
     /// Submit a question with an auto-assigned salt (the job id).
@@ -188,11 +257,33 @@ impl Scheduler {
         self.submit_spec(JobSpec::new(question, salt))
     }
 
-    /// Submit a fully-specified job. Non-blocking: a full queue rejects.
+    fn reject(&self, reason: RejectReason, label: &str) -> RejectReason {
+        self.shared.metrics.inc(metric_names::JOBS_REJECTED, 1);
+        self.shared.bus.publish_job(
+            event_names::JOB_REJECTED,
+            &[("reason", AttrValue::from(label))],
+        );
+        reason
+    }
+
+    /// Submit a fully-specified job. Non-blocking: a full queue, an open
+    /// circuit, or a shutdown in progress rejects with a reason.
     pub fn submit_spec(&self, spec: JobSpec) -> Result<u64, RejectReason> {
-        let Some(tx) = &self.tx else {
-            self.shared.metrics.inc(metric_names::JOBS_REJECTED, 1);
-            return Err(RejectReason::ShuttingDown);
+        if self.shared.shutting_down.load(Ordering::Relaxed) {
+            return Err(self.reject(RejectReason::ShuttingDown, "shutting_down"));
+        }
+        if let Err(class) = self.shared.breaker.admit() {
+            self.shared.metrics.inc(metric_names::BREAKER_REJECTED, 1);
+            return Err(self.reject(
+                RejectReason::CircuitOpen {
+                    class: class.to_string(),
+                },
+                "circuit_open",
+            ));
+        }
+        let tx_guard = self.tx.lock();
+        let Some(tx) = tx_guard.as_ref() else {
+            return Err(self.reject(RejectReason::ShuttingDown, "shutting_down"));
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let salt = spec.salt;
@@ -215,23 +306,14 @@ impl Scheduler {
                 );
                 Ok(id)
             }
-            Err(TrySendError::Full(_)) => {
-                self.shared.metrics.inc(metric_names::JOBS_REJECTED, 1);
-                self.shared.bus.publish_job(
-                    event_names::JOB_REJECTED,
-                    &[("reason", AttrValue::from("queue_full"))],
-                );
-                Err(RejectReason::QueueFull {
+            Err(TrySendError::Full(_)) => Err(self.reject(
+                RejectReason::QueueFull {
                     capacity: self.queue_capacity,
-                })
-            }
+                },
+                "queue_full",
+            )),
             Err(TrySendError::Disconnected(_)) => {
-                self.shared.metrics.inc(metric_names::JOBS_REJECTED, 1);
-                self.shared.bus.publish_job(
-                    event_names::JOB_REJECTED,
-                    &[("reason", AttrValue::from("shutting_down"))],
-                );
-                Err(RejectReason::ShuttingDown)
+                Err(self.reject(RejectReason::ShuttingDown, "shutting_down"))
             }
         }
     }
@@ -290,6 +372,7 @@ impl Scheduler {
     /// One line of operational state (jobs/queue/latency/cache/bus).
     pub fn stats_line(&self) -> String {
         telemetry::sync_bus_counters(&self.shared.global, &self.shared.bus);
+        telemetry::sync_fault_counters(&self.shared.global);
         telemetry::render_stats_line(&self.shared.global, &self.shared.bus)
     }
 
@@ -313,10 +396,25 @@ impl Scheduler {
         &self.shared.session
     }
 
+    /// Begin a graceful shutdown without consuming the scheduler: new
+    /// submissions reject with [`RejectReason::ShuttingDown`], already
+    /// admitted jobs keep draining (results stay collectable via
+    /// [`Scheduler::next_result`]), and pending retry backoffs are
+    /// skipped so the drain finishes promptly.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::Relaxed);
+        *self.tx.lock() = None; // workers see a closed queue and exit
+    }
+
+    /// Whether `begin_shutdown` has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Relaxed)
+    }
+
     /// Stop admitting, run the queue dry, join the workers, and return
     /// every undelivered result (ordered by job id).
     pub fn shutdown(mut self) -> Vec<JobResult> {
-        self.tx = None; // workers see a closed queue and exit
+        self.begin_shutdown();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -329,12 +427,34 @@ impl Scheduler {
     }
 }
 
+/// Render a panic payload for error messages (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker_loop(
     shared: &SchedulerShared,
     rx: &Mutex<channel::Receiver<QueuedJob>>,
     results_tx: &channel::Sender<JobResult>,
 ) {
     loop {
+        // Injection site: a worker dying outside any job (the respawn
+        // guard in `try_new` catches it, so the pool never shrinks).
+        // Checked before the dequeue — a worker must never die holding
+        // a job.
+        if infera_faults::check(infera_faults::sites::SERVE_WORKER).is_some() {
+            panic!(
+                "{}",
+                infera_faults::injected_error(infera_faults::sites::SERVE_WORKER)
+            );
+        }
         // Hold the lock only for the dequeue, never across a workflow.
         let job = match rx.lock().try_recv() {
             Ok(job) => Some(job),
@@ -355,18 +475,87 @@ fn worker_loop(
         };
         shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
         shared.sync_queue_gauge();
-        let result = run_job(shared, &job);
+        // Panic isolation: a panicking workflow fails its own job with a
+        // typed Internal error instead of killing the worker.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &job)
+        }))
+        .unwrap_or_else(|payload| panicked_job_result(shared, &job, &*payload));
         shared.inflight.lock().remove(&job.id);
         shared.metrics.inc(metric_names::JOBS_COMPLETED, 1);
-        if let JobStatus::Failed(err) = &result.status {
-            shared.metrics.inc(metric_names::JOBS_FAILED, 1);
-            if err.kind() == ErrorKind::Timeout {
-                shared.metrics.inc(metric_names::JOBS_TIMED_OUT, 1);
+        match &result.status {
+            JobStatus::Done(_) => shared.breaker.record_success(),
+            JobStatus::Failed(err) => {
+                shared.metrics.inc(metric_names::JOBS_FAILED, 1);
+                if err.kind() == ErrorKind::Timeout {
+                    shared.metrics.inc(metric_names::JOBS_TIMED_OUT, 1);
+                }
+                // Caller-initiated cancellation says nothing about
+                // system health; every other final failure feeds its
+                // class's circuit.
+                if err.kind() != ErrorKind::Canceled
+                    && shared.breaker.record_failure(err.kind().label())
+                {
+                    shared.metrics.inc(metric_names::BREAKER_OPENED, 1);
+                }
             }
         }
         if results_tx.send(result).is_err() {
             break; // scheduler dropped mid-flight
         }
+    }
+}
+
+/// Build the failure result for a job whose workflow panicked: count
+/// it, record a flight entry (no trace — the tracer died with the
+/// stack), publish the lifecycle event, and report a typed error.
+fn panicked_job_result(
+    shared: &SchedulerShared,
+    job: &QueuedJob,
+    payload: &(dyn std::any::Any + Send),
+) -> JobResult {
+    let msg = panic_message(payload);
+    shared.metrics.inc(metric_names::WORKER_PANICS, 1);
+    if msg.contains(infera_faults::INJECTED_MARKER) {
+        shared.metrics.inc(metric_names::FAULT_RECOVERED, 1);
+    }
+    let err = InferaError::internal(format!("job panicked: {msg}"));
+    let queue_ms = 0; // observed by run_job before the panic
+    let run_ms = job.admitted.elapsed().as_millis() as u64;
+    shared.flight.record_failure(FlightEntry {
+        job_id: job.id,
+        question: job.spec.question.clone(),
+        salt: job.spec.salt,
+        outcome: FlightOutcome::Failed,
+        error: Some(err.to_string()),
+        cache_hit: false,
+        queue_ms,
+        run_ms,
+        digest: 0,
+        attempts: 1,
+        trace: TraceSnapshot {
+            spans: Vec::new(),
+            orphan_events: Vec::new(),
+        },
+    });
+    shared.bus.publish_job(
+        event_names::JOB_FAILED,
+        &[
+            ("job", AttrValue::from(job.id)),
+            ("run_ms", AttrValue::from(run_ms)),
+            ("error", AttrValue::from(err.to_string())),
+        ],
+    );
+    JobResult {
+        id: job.id,
+        question: job.spec.question.clone(),
+        salt: job.spec.salt,
+        status: JobStatus::Failed(err),
+        digest: 0,
+        cache_hit: false,
+        queue_ms,
+        run_ms,
+        attempts: 1,
     }
 }
 
@@ -396,7 +585,16 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
         salt: spec.salt,
         semantic: semantic.label().to_string(),
     };
-    if let Some(report) = shared.cache.get(&key) {
+    // Injection site: a result-cache miss. Recovery is recomputation —
+    // the workflow below re-derives the same (seed, salt) report the
+    // cache would have returned.
+    let cached = if infera_faults::check(infera_faults::sites::CACHE_RESULT).is_some() {
+        shared.metrics.inc(metric_names::FAULT_RECOVERED, 1);
+        None
+    } else {
+        shared.cache.get(&key)
+    };
+    if let Some(report) = cached {
         shared.metrics.inc(metric_names::CACHE_HITS, 1);
         let run_ms = picked_up.elapsed().as_millis() as u64;
         shared.metrics.observe(metric_names::RUN_MS, run_ms as f64);
@@ -418,36 +616,97 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
             cache_hit: true,
             queue_ms,
             run_ms,
+            attempts: 1,
             status: JobStatus::Done(report),
         };
     }
-    // The job gets its own Obs, bus-attached and scheduler-held: the
-    // trace survives failures (no RunReport to carry it) and streams
-    // live while the run executes. Observability only — the run's
-    // analytical output is still a pure function of (seed, salt).
-    let obs = Obs::new();
-    obs.tracer.attach_bus(
-        shared.bus.clone(),
-        &[
-            ("job", AttrValue::from(job.id)),
-            ("salt", AttrValue::from(spec.salt)),
-        ],
-    );
-    let mut opts = AskOptions::new()
-        .semantic(semantic)
-        .seed(spec.salt)
-        .cancel_token(job.cancel.clone())
-        .obs(obs.clone());
-    if let Some(timeout) = spec.timeout {
-        opts = opts.timeout(timeout);
-    }
-    let status = match shared.session.ask_opts(&spec.question, opts) {
-        Ok(report) => {
-            let report = Arc::new(report);
-            shared.cache.insert(key, report.clone());
-            JobStatus::Done(report)
+    // Execute the workflow, replaying transient infrastructure failures
+    // up to the retry budget. Every attempt re-runs from the same
+    // `(seed, salt)`, so a retry that succeeds is bit-identical to a
+    // never-faulted run — the redo loop inside the run never sees the
+    // fault (agents abort with `AgentError::Infra` instead).
+    let policy = shared.retry;
+    let mut attempts: u32 = 0;
+    let mut injected_failure = false;
+    let (status, obs) = loop {
+        attempts += 1;
+        // The job gets its own Obs per attempt, bus-attached and
+        // scheduler-held: the trace survives failures (no RunReport to
+        // carry it) and streams live while the run executes.
+        // Observability only — the run's analytical output is still a
+        // pure function of (seed, salt).
+        let obs = Obs::new();
+        obs.tracer.attach_bus(
+            shared.bus.clone(),
+            &[
+                ("job", AttrValue::from(job.id)),
+                ("salt", AttrValue::from(spec.salt)),
+                ("attempt", AttrValue::from(u64::from(attempts))),
+            ],
+        );
+        // Injection site: the job fails at the serve boundary before the
+        // workflow runs (classified transient, so the retry loop eats it).
+        let outcome = match infera_faults::check(infera_faults::sites::SERVE_JOB) {
+            Some(infera_faults::FaultMode::Panic) => panic!(
+                "{}",
+                infera_faults::injected_error(infera_faults::sites::SERVE_JOB)
+            ),
+            Some(_) => Err(InferaError::new(
+                ErrorKind::Storage,
+                infera_faults::injected_error(infera_faults::sites::SERVE_JOB),
+            )),
+            None => {
+                let mut opts = AskOptions::new()
+                    .semantic(semantic)
+                    .seed(spec.salt)
+                    .cancel_token(job.cancel.clone())
+                    .obs(obs.clone());
+                if let Some(timeout) = spec.timeout {
+                    opts = opts.timeout(timeout);
+                }
+                shared.session.ask_opts(&spec.question, opts)
+            }
+        };
+        // Failed attempts leave real work behind (chunks read, tokens
+        // spent): absorb every attempt's metrics, not just the last one's.
+        shared.global.absorb(&obs.metrics);
+        match outcome {
+            Ok(report) => {
+                if injected_failure {
+                    // An injected fault was survived via retry.
+                    shared.metrics.inc(metric_names::FAULT_RECOVERED, 1);
+                }
+                let report = Arc::new(report);
+                shared.cache.insert(key.clone(), report.clone());
+                break (JobStatus::Done(report), obs);
+            }
+            Err(err) => {
+                injected_failure |= err.to_string().contains(infera_faults::INJECTED_MARKER);
+                let transient = is_transient(err.kind());
+                if transient && attempts < policy.max_attempts {
+                    shared.metrics.inc(metric_names::RETRY_ATTEMPTS, 1);
+                    shared.bus.publish_job(
+                        event_names::JOB_RETRIED,
+                        &[
+                            ("job", AttrValue::from(job.id)),
+                            ("attempt", AttrValue::from(u64::from(attempts))),
+                            ("error", AttrValue::from(err.to_string())),
+                        ],
+                    );
+                    // During a drain the retry still runs — admitted jobs
+                    // must complete — but the backoff sleep is skipped so
+                    // shutdown stays prompt.
+                    if !shared.shutting_down.load(Ordering::Relaxed) {
+                        std::thread::sleep(policy.backoff(job.id, attempts));
+                    }
+                    continue;
+                }
+                if transient && attempts >= policy.max_attempts {
+                    shared.metrics.inc(metric_names::RETRY_EXHAUSTED, 1);
+                }
+                break (JobStatus::Failed(err), obs);
+            }
         }
-        Err(err) => JobStatus::Failed(err),
     };
     let digest = match &status {
         JobStatus::Done(report) => report_digest(report),
@@ -455,7 +714,6 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
     };
     let run_ms = picked_up.elapsed().as_millis() as u64;
     shared.metrics.observe(metric_names::RUN_MS, run_ms as f64);
-    shared.global.absorb(&obs.metrics);
     let make_entry = |outcome: FlightOutcome, error: Option<String>| FlightEntry {
         job_id: job.id,
         question: spec.question.clone(),
@@ -466,6 +724,7 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
         queue_ms,
         run_ms,
         digest,
+        attempts,
         trace: obs.tracer.snapshot(),
     };
     match &status {
@@ -516,6 +775,7 @@ fn run_job(shared: &SchedulerShared, job: &QueuedJob) -> JobResult {
         cache_hit: false,
         queue_ms,
         run_ms,
+        attempts,
     }
 }
 
@@ -562,6 +822,7 @@ mod tests {
             results.iter().any(|r| r.cache_hit),
             "second identical job is served from cache"
         );
+        assert!(results.iter().all(|r| r.attempts == 1), "no retries needed");
     }
 
     #[test]
@@ -617,5 +878,26 @@ mod tests {
         let sched = Scheduler::new(session("unknown"), ServeConfig::default());
         assert!(!sched.cancel(999));
         sched.shutdown();
+    }
+
+    #[test]
+    fn begin_shutdown_rejects_new_work_and_drains_admitted() {
+        let sched = Scheduler::new(
+            session("graceful"),
+            ServeConfig::with_pool(1, 8),
+        );
+        let a = sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
+        let b = sched.submit_spec(JobSpec::new(Q, 2)).unwrap();
+        sched.begin_shutdown();
+        assert!(sched.is_shutting_down());
+        assert_eq!(
+            sched.submit_spec(JobSpec::new(Q, 3)),
+            Err(RejectReason::ShuttingDown),
+            "post-shutdown submissions are rejected, not queued"
+        );
+        let results = sched.shutdown();
+        let ids: Vec<u64> = results.iter().map(|r| r.id).collect();
+        assert_eq!(ids, [a, b], "admitted jobs drain to completion");
+        assert!(results.iter().all(|r| r.report().is_some()));
     }
 }

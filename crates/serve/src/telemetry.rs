@@ -32,6 +32,8 @@ pub mod event_names {
     pub const JOB_REJECTED: &str = "job_rejected";
     /// Picked up by a worker (`job`, `salt`, `question`, `queue_ms`).
     pub const JOB_STARTED: &str = "job_started";
+    /// A transient failure is being replayed (`job`, `attempt`, `error`).
+    pub const JOB_RETRIED: &str = "job_retried";
     /// Finished with a report (`job`, `run_ms`, `digest`, `cache_hit`).
     pub const JOB_COMPLETED: &str = "job_completed";
     /// Finished with an error (`job`, `run_ms`, `error`).
@@ -54,6 +56,17 @@ pub fn sync_bus_counters(global: &GlobalMetrics, bus: &EventBus) {
     reg.set_counter(
         infera_obs::metric_names::OBS_EVENTS_DROPPED,
         bus.events_dropped(),
+    );
+}
+
+/// Mirror the process-wide injected-fault total (kept by the
+/// `infera-faults` plan itself) into the registry under `fault.injected`,
+/// so chaos runs can reconcile injections against recoveries from one
+/// snapshot.
+pub fn sync_fault_counters(global: &GlobalMetrics) {
+    global.registry().set_counter(
+        infera_obs::metric_names::FAULT_INJECTED,
+        infera_faults::total_injected(),
     );
 }
 
@@ -85,6 +98,23 @@ pub fn render_stats_line(global: &GlobalMetrics, bus: &EventBus) -> String {
         bus.events_dropped(),
         global.runs_merged(),
     );
+    // Resilience counters only earn line space once something happened.
+    let injected = reg.counter(m::FAULT_INJECTED);
+    let retries = reg.counter(m::RETRY_ATTEMPTS);
+    let opened = reg.counter(m::BREAKER_OPENED);
+    let lost = reg.counter(m::SERVE_WORKERS_LOST) + reg.counter(m::SERVE_WORKER_PANICS);
+    if injected + retries + opened + lost > 0 {
+        let _ = write!(
+            line,
+            " | faults: {injected} injected / {} recovered | retries: {retries} ({} exhausted) \
+             | breaker: {opened} opened / {} rejected | workers: {} lost / {} panics",
+            reg.counter(m::FAULT_RECOVERED),
+            reg.counter(m::RETRY_EXHAUSTED),
+            reg.counter(m::BREAKER_REJECTED),
+            reg.counter(m::SERVE_WORKERS_LOST),
+            reg.counter(m::SERVE_WORKER_PANICS),
+        );
+    }
     line
 }
 
@@ -105,6 +135,7 @@ pub fn persist_observability(
     flight: &FlightRecorder,
 ) -> InferaResult<std::path::PathBuf> {
     sync_bus_counters(global, bus);
+    sync_fault_counters(global);
     let dir = work_dir.join(OBS_DIR);
     std::fs::create_dir_all(&dir)
         .map_err(|e| InferaError::internal(format!("create {}: {e}", dir.display())))?;
@@ -166,6 +197,29 @@ mod tests {
         assert!(line.contains("7 done"), "{line}");
         assert!(line.contains("queue: 2 deep"), "{line}");
         assert!(line.contains("run p50/p99"), "{line}");
+        assert!(!line.contains('\n'));
+        // A quiet system doesn't advertise its resilience machinery.
+        assert!(!line.contains("breaker"), "{line}");
+    }
+
+    #[test]
+    fn stats_line_grows_a_resilience_segment_when_faults_happen() {
+        let global = GlobalMetrics::new();
+        let bus = EventBus::new();
+        let reg = global.registry();
+        reg.set_counter(m::FAULT_INJECTED, 4);
+        reg.inc(m::FAULT_RECOVERED, 3);
+        reg.inc(m::RETRY_ATTEMPTS, 2);
+        reg.inc(m::RETRY_EXHAUSTED, 1);
+        reg.inc(m::BREAKER_OPENED, 1);
+        reg.inc(m::BREAKER_REJECTED, 5);
+        reg.inc(m::SERVE_WORKERS_LOST, 1);
+        reg.inc(m::SERVE_WORKER_PANICS, 2);
+        let line = render_stats_line(&global, &bus);
+        assert!(line.contains("faults: 4 injected / 3 recovered"), "{line}");
+        assert!(line.contains("retries: 2 (1 exhausted)"), "{line}");
+        assert!(line.contains("breaker: 1 opened / 5 rejected"), "{line}");
+        assert!(line.contains("workers: 1 lost / 2 panics"), "{line}");
         assert!(!line.contains('\n'));
     }
 

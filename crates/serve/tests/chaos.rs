@@ -1,0 +1,389 @@
+//! Chaos suite: the serving layer under deterministic fault injection.
+//!
+//! Every test installs a seeded `infera_faults::FaultPlan`, drives real
+//! jobs through a real scheduler, and asserts the resilience invariants
+//! end to end:
+//!
+//! * no job is lost or double-completed, with or without faults;
+//! * a run that succeeds after retries is **bit-identical** (same
+//!   report digest) to a never-faulted run — infrastructure faults must
+//!   not leak into the analytical output;
+//! * panics never escape a worker (jobs fail typed, the pool survives);
+//! * permanent corruption is quarantined and never retried;
+//! * repeated failures open the circuit breaker, which sheds load with
+//!   a reason;
+//! * the fault/retry/breaker metrics reconcile against what the plan
+//!   actually injected.
+//!
+//! The fault plan is process-global, so every test holds `TEST_LOCK`
+//! and clears the plan on exit (including panic exits, via `FaultGuard`).
+
+use infera_core::{ErrorKind, InferA};
+use infera_hacc::EnsembleSpec;
+use infera_llm::BehaviorProfile;
+use infera_obs::metric_names as m;
+use infera_serve::scheduler::metric_names;
+use infera_serve::{
+    BreakerConfig, JobSpec, JobStatus, RejectReason, RetryPolicy, Scheduler, ServeConfig,
+};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes tests (the plan is global) and guarantees teardown.
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl FaultGuard {
+    fn install(spec: &str) -> FaultGuard {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        infera_faults::clear();
+        infera_faults::install(infera_faults::FaultPlan::parse(spec).unwrap());
+        FaultGuard(guard)
+    }
+
+    fn clean() -> FaultGuard {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        infera_faults::clear();
+        FaultGuard(guard)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        infera_faults::clear();
+    }
+}
+
+fn session(name: &str) -> Arc<InferA> {
+    let base = std::env::temp_dir().join("infera_serve_chaos_tests").join(name);
+    std::fs::remove_dir_all(&base).ok();
+    let manifest = infera_hacc::generate(&EnsembleSpec::tiny(61), &base.join("ens")).unwrap();
+    Arc::new(
+        InferA::from_manifest(manifest)
+            .work_dir(base.join("work"))
+            .profile(BehaviorProfile::perfect())
+            .build()
+            .unwrap(),
+    )
+}
+
+const Q: &str = "What is the maximum fof_halo_mass at timestep 624 in simulation 1?";
+
+/// The digest of a clean (never-faulted) run of `Q` at salt 5. Each
+/// caller gets its own ensemble directory (same spec + seed, so the
+/// fingerprint and digest are identical across instances).
+fn clean_digest(name: &str) -> u64 {
+    let sched = Scheduler::new(session(name), ServeConfig::with_pool(1, 4));
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let results = sched.shutdown();
+    assert_eq!(results.len(), 1);
+    let r = &results[0];
+    assert!(r.report().is_some(), "clean run must succeed: {:?}", r.status);
+    assert_eq!(r.attempts, 1);
+    r.digest
+}
+
+#[test]
+fn serve_fault_retries_to_bit_identical_digest() {
+    let _g = FaultGuard::clean();
+    let baseline = clean_digest("retry_baseline");
+
+    // One-shot injection: the first serve.job execution fails transiently.
+    // (nth, not every-N: an every-N rule re-fires on the retry itself.)
+    infera_faults::install(
+        infera_faults::FaultPlan::parse("seed=1;serve.job=nth1").unwrap(),
+    );
+    let sched = Scheduler::new(session("retry_faulted"), ServeConfig::with_pool(1, 4));
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let r = sched.next_result().unwrap();
+    // Counters live on the installed plan, so read before clearing.
+    let injected = infera_faults::total_injected();
+    infera_faults::clear();
+
+    assert!(r.report().is_some(), "retry must recover: {:?}", r.status);
+    assert_eq!(r.attempts, 2, "one failed attempt, one successful retry");
+    assert_eq!(
+        r.digest, baseline,
+        "a retried-to-success run must be bit-identical to a clean run"
+    );
+    // Metric reconciliation: what the plan injected is what the
+    // scheduler retried and recovered.
+    assert_eq!(injected, 1, "exactly one fault fired");
+    let reg = sched.metrics();
+    assert_eq!(reg.counter(metric_names::RETRY_ATTEMPTS), 1);
+    assert_eq!(reg.counter(metric_names::RETRY_EXHAUSTED), 0);
+    assert_eq!(reg.counter(metric_names::FAULT_RECOVERED), 1);
+    assert_eq!(reg.counter(metric_names::JOBS_FAILED), 0);
+    // The flight recorder notes the attempt count on the slow entry.
+    let flight = sched.flight_recorder().snapshot();
+    assert!(flight.slowest.iter().any(|e| e.attempts == 2), "flight entry carries attempts");
+    sched.shutdown();
+}
+
+#[test]
+fn storage_read_fault_aborts_run_and_retry_recovers() {
+    let _g = FaultGuard::clean();
+    let baseline = clean_digest("storage_baseline");
+
+    // Build the session before arming the plan, so the one-shot trigger
+    // fires inside the served query rather than during setup.
+    let sess = session("storage_faulted");
+    infera_faults::install(
+        infera_faults::FaultPlan::parse("seed=2;storage.read=nth1").unwrap(),
+    );
+    let sched = Scheduler::new(sess, ServeConfig::with_pool(1, 4));
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let r = sched.next_result().unwrap();
+    infera_faults::clear();
+
+    assert!(
+        r.report().is_some(),
+        "transient storage fault must be survived via retry: {:?}",
+        r.status
+    );
+    assert!(r.attempts > 1, "the faulted attempt was replayed");
+    assert_eq!(
+        r.digest, baseline,
+        "the fault must not leak into the redo loop (digest drift)"
+    );
+    assert!(sched.metrics().counter(metric_names::RETRY_ATTEMPTS) >= 1);
+    assert_eq!(sched.metrics().counter(metric_names::RETRY_EXHAUSTED), 0);
+    sched.shutdown();
+}
+
+#[test]
+fn llm_fault_aborts_run_and_retry_recovers() {
+    let _g = FaultGuard::clean();
+    let baseline = clean_digest("llm_baseline");
+
+    let sess = session("llm_faulted");
+    infera_faults::install(
+        infera_faults::FaultPlan::parse("seed=11;llm.call=nth1").unwrap(),
+    );
+    let sched = Scheduler::new(sess, ServeConfig::with_pool(1, 4));
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let r = sched.next_result().unwrap();
+    infera_faults::clear();
+
+    assert!(
+        r.report().is_some(),
+        "transient LLM failure must be survived via retry: {:?}",
+        r.status
+    );
+    assert!(r.attempts > 1, "the faulted attempt was replayed");
+    assert_eq!(
+        r.digest, baseline,
+        "an LLM infra fault must abort and replay, not feed the redo loop"
+    );
+    sched.shutdown();
+}
+
+#[test]
+fn corrupt_chunk_is_quarantined_and_never_retried() {
+    let _g = FaultGuard::clean();
+    let sess = session("corrupt");
+    infera_faults::install(
+        infera_faults::FaultPlan::parse("seed=3;storage.read=nth1:corrupt").unwrap(),
+    );
+    let sched = Scheduler::new(sess, ServeConfig::with_pool(1, 4));
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let r = sched.next_result().unwrap();
+    match &r.status {
+        JobStatus::Failed(err) => {
+            assert_eq!(
+                err.kind(),
+                ErrorKind::CorruptChunk,
+                "corruption surfaces typed, not as a generic failure: {err}"
+            );
+            assert!(!err.is_retryable(), "a quarantined chunk re-reads identically");
+        }
+        JobStatus::Done(_) => panic!("corrupted read must fail the job"),
+    }
+    assert_eq!(r.attempts, 1, "permanent failures are not replayed");
+    assert_eq!(sched.metrics().counter(metric_names::RETRY_ATTEMPTS), 0);
+    // The quarantine was counted in the run's registry and absorbed.
+    let snap = sched.global_metrics().snapshot();
+    assert!(
+        snap.metrics.counters.get(m::STORAGE_CHUNKS_QUARANTINED).copied().unwrap_or(0) >= 1,
+        "quarantine metric absorbed into the global aggregate: {:?}",
+        snap.metrics.counters
+    );
+    sched.shutdown();
+}
+
+#[test]
+fn job_panic_is_isolated_and_pool_survives() {
+    let _g = FaultGuard::install("seed=4;serve.job=nth1:panic");
+    let sched = Scheduler::new(session("panic_job"), ServeConfig::with_pool(1, 4));
+    let a = sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let b = sched.submit_spec(JobSpec::new(Q, 6)).unwrap();
+    let results = vec![sched.next_result().unwrap(), sched.next_result().unwrap()];
+
+    assert_eq!(results.len(), 2, "both jobs produce results");
+    let ra = results.iter().find(|r| r.id == a).unwrap();
+    let rb = results.iter().find(|r| r.id == b).unwrap();
+    match &ra.status {
+        JobStatus::Failed(err) => {
+            assert_eq!(err.kind(), ErrorKind::Internal);
+            assert!(err.message().contains("job panicked"), "{err}");
+            assert!(err.message().contains("fault-injected"), "{err}");
+        }
+        JobStatus::Done(_) => panic!("the injected panic must fail job {a}"),
+    }
+    assert!(
+        rb.report().is_some(),
+        "the worker survives a panicking job and serves the next: {:?}",
+        rb.status
+    );
+    let reg = sched.metrics();
+    assert_eq!(reg.counter(metric_names::WORKER_PANICS), 1);
+    assert_eq!(reg.counter(metric_names::WORKERS_LOST), 0, "caught per-job, not per-worker");
+    assert!(reg.counter(metric_names::FAULT_RECOVERED) >= 1);
+    sched.shutdown();
+}
+
+#[test]
+fn worker_panic_respawns_without_shrinking_the_pool() {
+    // The worker dies at the top of its loop (outside any job); the
+    // respawn guard must bring it back and the pool must still serve.
+    let _g = FaultGuard::install("seed=5;serve.worker=nth1:panic");
+    let sched = Scheduler::new(session("panic_worker"), ServeConfig::with_pool(1, 4));
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let r = sched.next_result().unwrap();
+
+    assert!(
+        r.report().is_some(),
+        "a respawned worker serves the queue: {:?}",
+        r.status
+    );
+    assert_eq!(sched.metrics().counter(metric_names::WORKERS_LOST), 1);
+    sched.shutdown();
+}
+
+#[test]
+fn repeated_failures_open_the_breaker_and_shed_load() {
+    // Every serve.job execution fails: each job burns its whole retry
+    // budget and fails with class "storage"; threshold 2 opens the
+    // circuit, and the next submission is rejected with a reason.
+    let _g = FaultGuard::install("seed=6;serve.job=every1");
+    let mut config = ServeConfig::with_pool(1, 4);
+    config.retry = RetryPolicy { max_attempts: 2, base_ms: 1, max_ms: 2 };
+    config.breaker = BreakerConfig {
+        threshold: 2,
+        cooldown: Duration::from_secs(120),
+    };
+    let sched = Scheduler::new(session("breaker"), config);
+    sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
+    sched.submit_spec(JobSpec::new(Q, 2)).unwrap();
+    let first = sched.next_result().unwrap();
+    let second = sched.next_result().unwrap();
+    for r in [&first, &second] {
+        assert!(matches!(r.status, JobStatus::Failed(_)), "every attempt was faulted");
+        assert_eq!(r.attempts, 2, "retry budget consumed");
+    }
+    match sched.submit_spec(JobSpec::new(Q, 3)) {
+        Err(RejectReason::CircuitOpen { class }) => assert_eq!(class, "storage"),
+        other => panic!("expected circuit-open rejection, got {other:?}"),
+    }
+    let reg = sched.metrics();
+    assert_eq!(reg.counter(metric_names::BREAKER_OPENED), 1);
+    assert_eq!(reg.counter(metric_names::BREAKER_REJECTED), 1);
+    assert_eq!(reg.counter(metric_names::RETRY_EXHAUSTED), 2);
+    // The one-line stats surface reports the whole story.
+    let line = sched.stats_line();
+    assert!(line.contains("breaker: 1 opened / 1 rejected"), "{line}");
+    sched.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_under_faults_loses_nothing() {
+    // A mid-queue transient fault + shutdown: every admitted job still
+    // completes exactly once, post-shutdown submissions are rejected.
+    let _g = FaultGuard::install("seed=7;serve.job=nth2");
+    let sched = Scheduler::new(session("graceful_chaos"), ServeConfig::with_pool(1, 8));
+    let mut admitted = Vec::new();
+    for salt in 0..4 {
+        admitted.push(sched.submit_spec(JobSpec::new(Q, salt)).unwrap());
+    }
+    sched.begin_shutdown();
+    assert!(matches!(
+        sched.submit_spec(JobSpec::new(Q, 99)),
+        Err(RejectReason::ShuttingDown)
+    ));
+    // Retries still run during the drain (minus the backoff sleep), so
+    // the faulted job completes rather than failing out of the queue.
+    let results = sched.shutdown();
+    let mut ids: Vec<u64> = results.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, admitted, "each admitted job completes exactly once");
+    assert!(
+        results.iter().all(|r| r.report().is_some()),
+        "the injected fault was absorbed by a retry"
+    );
+    assert!(results.iter().any(|r| r.attempts > 1));
+}
+
+#[test]
+fn persisted_artifacts_reconcile_injected_vs_recovered() {
+    let _g = FaultGuard::clean();
+    infera_faults::install(
+        infera_faults::FaultPlan::parse("seed=8;serve.job=nth1;cache.result=nth2").unwrap(),
+    );
+    let sched = Scheduler::new(session("reconcile"), ServeConfig::with_pool(1, 4));
+    // Job 1 hits serve.job (retried); job 2 repeats the question, hits
+    // the forced cache.result miss, and recomputes to the same digest.
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    let results = vec![sched.next_result().unwrap(), sched.next_result().unwrap()];
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().all(|r| r.report().is_some()));
+    assert_eq!(
+        results[0].digest, results[1].digest,
+        "a forced cache miss recomputes the identical report"
+    );
+
+    let work = std::env::temp_dir().join("infera_serve_chaos_tests/reconcile/obs_work");
+    let dir = sched.persist_observability(&work).unwrap();
+    // The plan carries its own injection counters — read before clear.
+    let injected_total = infera_faults::total_injected();
+    infera_faults::clear();
+    let arts = infera_serve::load_observability(&dir).unwrap();
+    let count = |name: &str| arts.global.metrics.counters.get(name).copied().unwrap_or(0);
+    // `fault.injected` mirrors the plan's own count: the persisted
+    // artifact reconciles exactly against what was actually injected.
+    assert_eq!(count(m::FAULT_INJECTED), injected_total);
+    assert_eq!(injected_total, 2, "both rules fired exactly once");
+    assert_eq!(count(m::FAULT_RECOVERED), 2, "retry recovery + cache-miss recompute");
+    assert_eq!(count(m::RETRY_ATTEMPTS), 1);
+    assert_eq!(count(m::RETRY_EXHAUSTED), 0);
+    assert_eq!(count(m::SERVE_JOBS_FAILED), 0);
+    sched.shutdown();
+}
+
+#[test]
+fn faulted_bench_reproduces_the_clean_baseline() {
+    // The bench digest gate doubles as a chaos gate: faults are active
+    // for every configuration after the serial baseline, and the
+    // baseline's digests must still be reproduced bit-for-bit.
+    let _g = FaultGuard::clean();
+    let base = std::env::temp_dir().join("infera_serve_chaos_tests/bench");
+    std::fs::remove_dir_all(&base).ok();
+    let manifest = infera_hacc::generate(&EnsembleSpec::tiny(71), &base.join("ens")).unwrap();
+    let mut opts = infera_serve::BenchOpts::smoke();
+    opts.max_questions = 2;
+    opts.faults = Some("seed=9;serve.job=nth1;storage.read=nth3;llm.call=nth5;serve.worker=nth1:panic".to_string());
+    let report = infera_serve::run_bench(&manifest, &base.join("work"), &opts).unwrap();
+    assert!(
+        report.digests_match,
+        "faulted configurations diverged: {:?}",
+        report.divergent_questions
+    );
+    assert_eq!(report.fault_spec.as_deref(), Some("seed=9;serve.job=nth1;storage.read=nth3;llm.call=nth5;serve.worker=nth1:panic"));
+    assert_eq!(report.rows[0].faults_injected, 0, "serial baseline runs clean");
+    let injected: u64 = report.rows.iter().map(|r| r.faults_injected).sum();
+    assert!(injected >= 1, "the plan fired in a faulted configuration");
+    let text = report.to_text();
+    assert!(text.contains("faults:"), "{text}");
+    assert!(!infera_faults::is_active(), "bench cleared the plan");
+}

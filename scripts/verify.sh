@@ -36,6 +36,10 @@ if [ "$run_clippy" -eq 1 ]; then
     # inside every span close, so sloppy code here taxes everything.
     echo "==> cargo clippy -p infera-obs -- -D warnings"
     cargo clippy -p infera-obs -- -D warnings
+    # And the fault-injection crate: its check() sits on every storage
+    # and serve hot path, so it must stay dependency-free and clean.
+    echo "==> cargo clippy -p infera-faults -- -D warnings"
+    cargo clippy -p infera-faults -- -D warnings
 fi
 
 echo "==> golden-file tests (JSONL trace schema + Prometheus exposition)"
@@ -86,6 +90,28 @@ EOF
     cargo run --release --bin infera -- bench-serve --smoke --out "$serve_out" \
         --work "$(mktemp -d -t bench_serve_work.XXXXXX)"
     rm -f "$serve_out"
+
+    echo "==> bench-serve --smoke under fault injection (chaos gate)"
+    chaos_out="$(mktemp -t bench_serve_chaos.XXXXXX.json)"
+    # Deterministic chaos smoke: one-shot serve-boundary, storage-read,
+    # and LLM-call faults plus a worker panic, injected into every
+    # configuration after the serial baseline. The same digest gate
+    # applies — runs that retried to success must reproduce the clean
+    # baseline bit-for-bit.
+    cargo run --release --bin infera -- bench-serve --smoke --out "$chaos_out" \
+        --faults 'seed=9;serve.job=nth1;storage.read=nth3;llm.call=nth5;serve.worker=nth1:panic' \
+        --work "$(mktemp -d -t bench_serve_chaos_work.XXXXXX)"
+    python3 - "$chaos_out" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report["digests_match"], report.get("divergent_questions")
+assert report["fault_spec"], "chaos run must record its fault spec"
+injected = sum(r.get("faults_injected", 0) for r in report["rows"])
+assert injected >= 1, "the fault plan never fired"
+print("chaos smoke ok: %d faults injected, digests reproduced" % injected)
+EOF
+    rm -f "$chaos_out"
 fi
 
 echo "verify: OK"

@@ -105,31 +105,39 @@ USAGE:
       Preview the analysis plan for a question (planning stage only);
       --save writes it as editable JSON.
   infera ask --ensemble <dir> [--work <dir>] [--seed N] [--perfect] [--feedback]
-             [--plan <file>] [--timeout-secs N] [--breakdown] \"<question>\"
+             [--plan <file>] [--timeout-secs N] [--breakdown] [--faults <spec>]
+             \"<question>\"
       Run the full two-stage workflow. --perfect disables model error
       injection; --feedback simulates a human in the loop; --plan executes
       a user-edited plan saved by `plan --save`; --breakdown prints the
       per-stage cost profile derived from the run trace.
   infera serve --ensemble <dir> [--work <dir>] [--workers N] [--queue N]
                [--seed N] [--perfect] [--timeout-secs N]
-               [--stats-every N] [--events]
+               [--stats-every N] [--events] [--faults <spec>]
       Serve line-delimited questions from stdin concurrently over one
       shared session; one JSON result summary per line on stdout.
       --stats-every N prints a one-line stats summary to stderr every
       N seconds; --events streams live job/span events to stderr as
       JSON lines. On exit the Prometheus exposition, metrics snapshot,
       and slow-query flight recorder are written under <work>/obs/.
+      --faults (or the INFERA_FAULTS env var) activates deterministic
+      fault injection, e.g. --faults 'seed=7;storage.read=p0.05' —
+      transient failures are retried with backoff, corrupt chunks are
+      quarantined, and repeated failures open a circuit breaker.
   infera stats --work <dir> [--prometheus] [--flight] [--json]
       Inspect the observability artifacts a serve session left under
       <work>/obs/: summary by default, --prometheus dumps the text
       exposition, --flight prints the slowest/failed jobs with their
       full span traces, --json dumps the metrics snapshot.
   infera bench-serve [--smoke] [--out <file>] [--ensemble <dir>] [--work <dir>]
-                     [--sleep-scale X] [--seed N]
+                     [--sleep-scale X] [--seed N] [--faults <spec>]
       Benchmark the serving layer on the 20-question evaluation set at
       1/4/8 workers and write BENCH_serve.json. Fails if any concurrent
       run's report diverges from the serial baseline. --smoke is the
-      fast CI gate (fewer questions, no model-latency sleeps).
+      fast CI gate (fewer questions, no model-latency sleeps). --faults
+      injects faults into every configuration after the clean serial
+      baseline — the digest gate then doubles as a chaos gate, proving
+      retried runs reproduce the baseline bit-for-bit.
   infera sql --db <dir> [--explain] \"<statement>\"
       Run a SQL statement against a columnar database directory (for
       example a session's db/ under its work directory). --explain
@@ -162,11 +170,30 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Activate deterministic fault injection from `--faults <spec>` or the
+/// `INFERA_FAULTS` env var (flag wins). Spec grammar:
+/// `seed=N;site=trigger[:mode];...` — see `infera_faults`.
+fn init_faults(args: &[String]) -> Result<(), CliError> {
+    if let Some(spec) = flag_value(args, "--faults") {
+        let plan = infera::faults::FaultPlan::parse(&spec)
+            .map_err(|e| CliError::Usage(format!("bad --faults spec '{spec}': {e}")))?;
+        infera::faults::install(plan);
+        eprintln!("fault injection active: {spec}");
+    } else {
+        match infera::faults::init_from_env() {
+            Ok(true) => eprintln!("fault injection active (INFERA_FAULTS)"),
+            Ok(false) => {}
+            Err(e) => return Err(CliError::Usage(format!("bad INFERA_FAULTS spec: {e}"))),
+        }
+    }
+    Ok(())
+}
+
 /// Flags that take a value.
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--sims", "--steps", "--halos", "--particles", "--seed", "--ensemble", "--work",
     "--run", "--save", "--plan", "--workers", "--queue", "--timeout-secs", "--sleep-scale",
-    "--stats-every", "--db",
+    "--stats-every", "--db", "--faults",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &[
@@ -271,6 +298,7 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_ask(args: &[String]) -> Result<(), CliError> {
+    init_faults(args)?;
     let question = free_text(args)?.ok_or("ask requires a question")?;
     let session = session_from(args)?;
     let report = match flag_value(args, "--plan") {
@@ -316,6 +344,7 @@ fn cmd_ask(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    init_faults(args)?;
     let workers: usize = flag_num(args, "--workers", 4)?;
     let queue: usize = flag_num(args, "--queue", 64)?;
     let stats_every: u64 = flag_num(args, "--stats-every", 0)?;
@@ -345,6 +374,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 if since_tick >= tick {
                     since_tick = Duration::ZERO;
                     infera::serve::telemetry::sync_bus_counters(&global, &bus);
+                    infera::serve::telemetry::sync_fault_counters(&global);
                     eprintln!("[stats] {}", infera::serve::render_stats_line(&global, &bus));
                 }
             }
@@ -390,6 +420,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                         out!("{}", result.to_summary_json());
                     }
                 }
+                Err(RejectReason::CircuitOpen { class }) => {
+                    // Shed load until the breaker's cooldown admits a
+                    // probe; drain anything already finished meanwhile.
+                    eprintln!("[breaker] circuit open for '{class}'; pausing admission");
+                    while let Some(result) = sched.try_next_result() {
+                        delivered += 1;
+                        out!("{}", result.to_summary_json());
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
                 Err(reason) => {
                     return Err(CliError::Usage(format!("submission refused: {reason}")))
                 }
@@ -419,6 +459,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         metrics.counter(infera::serve::scheduler::metric_names::CACHE_HITS),
     );
     infera::serve::telemetry::sync_bus_counters(&global, &bus);
+    infera::serve::telemetry::sync_fault_counters(&global);
     eprintln!("[stats] {}", infera::serve::render_stats_line(&global, &bus));
     let obs_dir = infera::serve::persist_observability(&work, &global, &bus, &flight)?;
     eprintln!(
@@ -464,6 +505,15 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
     let mut opts = if smoke { BenchOpts::smoke() } else { BenchOpts::default() };
     opts.seed = flag_num(args, "--seed", opts.seed)?;
     opts.sleep_scale = flag_num(args, "--sleep-scale", opts.sleep_scale)?;
+    // The bench installs/clears the plan itself (serial baseline stays
+    // clean), so the spec is passed through rather than installed here.
+    opts.faults = flag_value(args, "--faults")
+        .or_else(|| std::env::var("INFERA_FAULTS").ok().filter(|s| !s.is_empty()));
+    if let Some(spec) = &opts.faults {
+        infera::faults::FaultPlan::parse(spec)
+            .map_err(|e| CliError::Usage(format!("bad fault spec '{spec}': {e}")))?;
+        eprintln!("bench-serve: fault plan '{spec}' active after the serial baseline");
+    }
     eprintln!(
         "bench-serve: {} questions x workers {:?}, sleep_scale {} ...",
         if opts.max_questions == 0 { 20 } else { opts.max_questions },
@@ -580,12 +630,13 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
         );
         for entry in f.entries() {
             out!(
-                "== job {} [{}] salt={} queue={} ms run={} ms{}\n   {}",
+                "== job {} [{}] salt={} queue={} ms run={} ms attempts={}{}\n   {}",
                 entry.job_id,
                 entry.outcome.label(),
                 entry.salt,
                 entry.queue_ms,
                 entry.run_ms,
+                entry.attempts,
                 entry
                     .error
                     .as_deref()
@@ -629,6 +680,23 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
                 h.count, h.mean, h.p50, h.p90, h.p99, h.max
             );
         }
+    }
+    let c = |name: &str| snap.metrics.counters.get(name).copied().unwrap_or(0);
+    {
+        use infera::obs::metric_names as m;
+        out!(
+            "\nresilience: {} faults injected / {} recovered, {} retries ({} exhausted), \
+             breaker {} opened / {} rejected, workers {} lost / {} panics, {} chunks quarantined",
+            c(m::FAULT_INJECTED),
+            c(m::FAULT_RECOVERED),
+            c(m::RETRY_ATTEMPTS),
+            c(m::RETRY_EXHAUSTED),
+            c(m::BREAKER_OPENED),
+            c(m::BREAKER_REJECTED),
+            c(m::SERVE_WORKERS_LOST),
+            c(m::SERVE_WORKER_PANICS),
+            c(m::STORAGE_CHUNKS_QUARANTINED),
+        );
     }
     let f = &arts.flight;
     out!(

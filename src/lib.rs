@@ -25,6 +25,7 @@
 
 pub use infera_agents as agents;
 pub use infera_columnar as columnar;
+pub use infera_faults as faults;
 pub use infera_core as core;
 pub use infera_frame as frame;
 pub use infera_hacc as hacc;
