@@ -2,8 +2,8 @@
 
 use crate::error::{AgentError, AgentResult, CancelKind};
 use crate::shared_cache::SharedEnsembleCache;
-use infera_columnar::Database;
 use infera_hacc::Manifest;
+use infera_shard::SessionDb;
 use infera_llm::{BehaviorProfile, SemanticLevel, SimulatedLlm, TokenMeter};
 use infera_provenance::ProvenanceStore;
 use infera_rag::{Doc, Retriever};
@@ -114,6 +114,12 @@ pub struct RunConfig {
     /// touches the RNG, so results are identical at any scale.
     #[serde(default)]
     pub llm_sleep_scale: f64,
+    /// Shards the session database splits into (0 or 1 = a single
+    /// database, no scatter-gather). With more, the loader partitions
+    /// tables by simulation and `ask` queries scatter plan fragments
+    /// across the shard set — bit-identical results, 1/N scans each.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl Default for RunConfig {
@@ -125,6 +131,7 @@ impl Default for RunConfig {
             human_feedback: false,
             enable_documentation: true,
             llm_sleep_scale: 0.0,
+            shards: 0,
         }
     }
 }
@@ -140,7 +147,7 @@ pub struct AgentContext {
     pub llm: SimulatedLlm,
     pub retriever: Retriever,
     pub manifest: Arc<Manifest>,
-    pub db: Database,
+    pub db: SessionDb,
     pub sandbox: SandboxServer,
     pub prov: ProvenanceStore,
     pub config: RunConfig,
@@ -210,9 +217,14 @@ impl AgentContext {
         let llm = SimulatedLlm::new(seed, profile, meter)
             .with_tracer(obs.tracer.clone())
             .with_latency_sleep(config.llm_sleep_scale);
-        let mut db = Database::create(&session_dir.join("db"))
-            .map_err(|e| AgentError::Fatal(e.to_string()))?;
-        db.set_obs(obs.clone());
+        let db = SessionDb::create(
+            &session_dir.join("db"),
+            config.shards,
+            manifest.n_sims,
+            manifest.fingerprint(),
+            obs.clone(),
+        )
+        .map_err(|e| AgentError::Fatal(e.to_string()))?;
         let prov = ProvenanceStore::create(&session_dir.join("provenance"))
             .map_err(|e| AgentError::Fatal(e.to_string()))?;
 

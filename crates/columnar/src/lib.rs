@@ -26,4 +26,7 @@ pub use db::Database;
 pub use encoding::Encoding;
 pub use error::{DbError, DbResult};
 pub use sql::exec::{ExecOutcome, ExecStats};
+pub use sql::fragment::{
+    FragmentMode, FragmentOutput, PlanFragment, WirePayload, WIRE_VERSION,
+};
 pub use storage::{StrZoneMap, TableStore, ZoneMap, DEFAULT_CHUNK_ROWS, FORMAT_VERSION};

@@ -105,7 +105,7 @@ pub struct JoinClause {
 }
 
 /// Supported join types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JoinType {
     Inner,
     Left,

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 /// Execution statistics, reported for provenance and the efficiency
 /// benches.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ExecStats {
     pub chunks_total: usize,
     pub chunks_skipped: usize,
@@ -150,7 +150,7 @@ pub fn explain_select(db: &Database, sel: &SelectStmt) -> DbResult<String> {
 
 /// Post-pipeline steps applied to the executor's output, shared by the
 /// optimized and naive paths: HAVING, DISTINCT, ORDER BY, LIMIT.
-fn post_steps(
+pub(crate) fn post_steps(
     mut out: DataFrame,
     having: Option<&Expr>,
     distinct: bool,
@@ -270,16 +270,16 @@ pub(crate) fn to_refs(v: &[String]) -> Vec<&str> {
 /// Streaming accumulator for one (group, aggregate) cell.
 #[derive(Debug, Clone)]
 pub(crate) struct Accum {
-    rows: u64,
-    count: u64,
-    sum: f64,
-    sumsq: f64,
-    min: f64,
-    max: f64,
-    first: Option<f64>,
-    last: Option<f64>,
+    pub(crate) rows: u64,
+    pub(crate) count: u64,
+    pub(crate) sum: f64,
+    pub(crate) sumsq: f64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    pub(crate) first: Option<f64>,
+    pub(crate) last: Option<f64>,
     /// Retained values; only populated when a median is requested.
-    values: Option<Vec<f64>>,
+    pub(crate) values: Option<Vec<f64>>,
 }
 
 impl Accum {

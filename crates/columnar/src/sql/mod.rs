@@ -3,6 +3,7 @@
 pub mod ast;
 pub mod cost;
 pub mod exec;
+pub mod fragment;
 pub mod lexer;
 pub mod logical;
 pub mod morsel;

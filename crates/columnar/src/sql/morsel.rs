@@ -52,7 +52,7 @@ pub struct MorselRun {
 pub fn execute(db: &Database, plan: &PhysicalPlan, stats: &mut ExecStats) -> DbResult<MorselRun> {
     let n_chunks = db.n_chunks(&plan.scans[0].spec.table)?;
     stats.chunks_total = n_chunks;
-    let workers = worker_count(n_chunks);
+    let workers = worker_count(db, n_chunks);
 
     // Build sides: scan each build table once (pushed predicates
     // applied), build one shared hash table per join.
@@ -104,11 +104,12 @@ pub fn execute(db: &Database, plan: &PhysicalPlan, stats: &mut ExecStats) -> DbR
     })
 }
 
-fn worker_count(n_morsels: usize) -> usize {
+fn worker_count(db: &Database, n_morsels: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    hw.min(n_morsels).max(1)
+    let cap = db.worker_cap.unwrap_or(usize::MAX).max(1);
+    hw.min(cap).min(n_morsels).max(1)
 }
 
 fn kind_of(kind: JoinType) -> JoinKind {
@@ -701,9 +702,24 @@ fn fold_dict_codes(
     Ok(())
 }
 
-/// Merge worker tables in first-row order into the final
-/// `(insertion order, group map)` pair `assemble_groups` consumes.
-fn merge_workers(states: Vec<AggWorker>, stats: &mut ExecStats, db: &Database) -> (Vec<GroupKey>, GroupMap) {
+/// One cross-worker-merged group with the position of its earliest row
+/// retained, so a higher tier (the shard combiner) can re-merge partials
+/// from several executions while preserving global first-seen order.
+pub(crate) struct MergedGroup {
+    pub(crate) key: GroupKey,
+    pub(crate) vals: Vec<Value>,
+    pub(crate) accums: Vec<Accum>,
+    pub(crate) first_pos: u64,
+}
+
+/// Merge worker tables in first-row order. Duplicate groups across
+/// workers keep the smallest `first_pos` (entries are visited in sorted
+/// position order, so the first occurrence wins).
+fn merge_worker_groups(
+    states: Vec<AggWorker>,
+    stats: &mut ExecStats,
+    db: &Database,
+) -> Vec<MergedGroup> {
     let mut totals = WorkerCounters::default();
     let mut str_entries: Vec<StrEntry> = Vec::new();
     let mut gen_entries: Vec<GenEntry> = Vec::new();
@@ -734,41 +750,134 @@ fn merge_workers(states: Vec<AggWorker>, stats: &mut ExecStats, db: &Database) -
         .metrics
         .inc(metric_names::GROUPBY_PARTIALS_MERGED, totals.folded);
 
-    let mut order: Vec<GroupKey> = Vec::new();
-    let mut groups: GroupMap = HashMap::new();
+    let mut merged: Vec<MergedGroup> = Vec::new();
+    let mut index: HashMap<GroupKey, u32> = HashMap::new();
     if !str_entries.is_empty() {
         str_entries.sort_unstable_by_key(|e| e.first_pos);
         for e in str_entries {
             let key = vec![KeyToken::Str(e.name.clone())];
-            match groups.get_mut(&key) {
-                Some((_, existing)) => {
-                    for (x, a) in existing.iter_mut().zip(&e.accums) {
+            match index.get(&key) {
+                Some(&i) => {
+                    let g = &mut merged[i as usize];
+                    for (x, a) in g.accums.iter_mut().zip(&e.accums) {
                         x.merge(a);
                     }
                 }
                 None => {
-                    order.push(key.clone());
-                    groups.insert(key, (vec![Value::Str(e.name)], e.accums));
+                    index.insert(key.clone(), merged.len() as u32);
+                    merged.push(MergedGroup {
+                        key,
+                        vals: vec![Value::Str(e.name)],
+                        accums: e.accums,
+                        first_pos: e.first_pos,
+                    });
                 }
             }
         }
     } else {
         gen_entries.sort_unstable_by_key(|e| e.first_pos);
         for e in gen_entries {
-            match groups.get_mut(&e.key) {
-                Some((_, existing)) => {
-                    for (x, a) in existing.iter_mut().zip(&e.accums) {
+            match index.get(&e.key) {
+                Some(&i) => {
+                    let g = &mut merged[i as usize];
+                    for (x, a) in g.accums.iter_mut().zip(&e.accums) {
                         x.merge(a);
                     }
                 }
                 None => {
-                    order.push(e.key.clone());
-                    groups.insert(e.key, (e.vals, e.accums));
+                    index.insert(e.key.clone(), merged.len() as u32);
+                    merged.push(MergedGroup {
+                        key: e.key,
+                        vals: e.vals,
+                        accums: e.accums,
+                        first_pos: e.first_pos,
+                    });
                 }
             }
         }
     }
+    merged
+}
+
+/// Merge worker tables into the `(insertion order, group map)` pair
+/// `assemble_groups` consumes.
+fn merge_workers(
+    states: Vec<AggWorker>,
+    stats: &mut ExecStats,
+    db: &Database,
+) -> (Vec<GroupKey>, GroupMap) {
+    let merged = merge_worker_groups(states, stats, db);
+    let mut order: Vec<GroupKey> = Vec::with_capacity(merged.len());
+    let mut groups: GroupMap = HashMap::with_capacity(merged.len());
+    for g in merged {
+        order.push(g.key.clone());
+        groups.insert(g.key, (g.vals, g.accums));
+    }
     (order, groups)
+}
+
+/// A partial aggregation run: cross-worker-merged groups with their
+/// earliest row positions, *not* finalized or assembled — the raw
+/// material a shard combiner merges across partitions.
+pub(crate) struct PartialRun {
+    pub(crate) groups: Vec<MergedGroup>,
+    pub(crate) morsels: u64,
+    pub(crate) workers: u64,
+}
+
+/// Execute the aggregate pipeline of a plan up to (but excluding) the
+/// cross-execution merge: scan, probe, fold, merge this execution's
+/// workers. Zero-row whole-table synthesis is deliberately left to the
+/// combiner — an empty partition must not fabricate a group. Plans
+/// carrying the pre-aggregation rewrite are rejected: its multiplicity
+/// merge discards first-row positions, which the combiner needs.
+pub(crate) fn execute_partial(
+    db: &Database,
+    plan: &PhysicalPlan,
+    stats: &mut ExecStats,
+) -> DbResult<PartialRun> {
+    let QueryShape::Aggregate { keys, aggs } = &plan.shape else {
+        return Err(DbError::Exec(
+            "partial execution requires an aggregate shape".into(),
+        ));
+    };
+    if plan.preagg.is_some() {
+        return Err(DbError::Exec(
+            "partial execution does not support the pre-aggregation rewrite".into(),
+        ));
+    }
+    let n_chunks = db.n_chunks(&plan.scans[0].spec.table)?;
+    stats.chunks_total = n_chunks;
+    let workers = worker_count(db, n_chunks);
+    let rights: Vec<DataFrame> = plan
+        .joins
+        .iter()
+        .map(|j| scan_build(db, &plan.scans[j.scan_idx]))
+        .collect::<DbResult<_>>()?;
+    let tables: Vec<JoinTable<'_>> = plan
+        .joins
+        .iter()
+        .zip(&rights)
+        .map(|(j, right)| JoinTable::build(right, &j.right_col).map_err(DbError::from))
+        .collect::<DbResult<_>>()?;
+    let ctx = ScanCtx::new(db, plan, &plan.joins)?;
+    let run = AggRun::new(db, &ctx, keys, aggs)?;
+    let states = run_pool(
+        db,
+        workers,
+        n_chunks,
+        || AggWorker {
+            table: run.new_table(),
+            counters: WorkerCounters::default(),
+        },
+        |w, ci| fold_morsel(db, &ctx, &tables, &run, w, ci).map(|()| true),
+    )?;
+    let groups = merge_worker_groups(states, stats, db);
+    Ok(PartialRun {
+        groups,
+        morsels: n_chunks as u64,
+        workers: workers as u64,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -28,10 +28,11 @@ use super::exec::ExecStats;
 use super::logical::{and_exprs, LogicalPlan};
 use super::plan::{AggItem, Conjunct, QueryShape, ScanSpec, ZoneFilter};
 use infera_frame::{AggKind, Expr};
+use serde::{Deserialize, Serialize};
 
 /// One physical table scan: pruned columns plus every conjunct the
 /// optimizer pushed down to it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhysScan {
     pub spec: ScanSpec,
     /// Conjunction of pushed predicates in scan-local column names.
@@ -42,7 +43,7 @@ pub struct PhysScan {
 }
 
 /// One hash join in execution (probe) order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhysJoin {
     /// Index of the build-side scan in [`PhysicalPlan::scans`].
     pub scan_idx: usize,
@@ -58,7 +59,7 @@ pub struct PhysJoin {
 
 /// Pre-aggregation below the join: subgroup keys and where the join key
 /// sits among them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PreAgg {
     /// Final group keys plus — if absent — the join key appended.
     pub keys: Vec<(String, Expr)>,
@@ -70,7 +71,7 @@ pub struct PreAgg {
 }
 
 /// The physical plan the morsel executor runs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhysicalPlan {
     /// All scans; `scans[0]` is the probe-side base table.
     pub scans: Vec<PhysScan>,
@@ -361,6 +362,20 @@ pub struct ExplainActuals {
 }
 
 impl PhysicalPlan {
+    /// Stable hash of the plan: FNV-1a over the canonical JSON
+    /// serialization. Derive-generated field order is deterministic, so
+    /// equal plans hash equally across processes and sessions — the
+    /// shard layer keys its fragment cache on this.
+    pub fn plan_hash(&self) -> u64 {
+        let json = serde_json::to_string(self).unwrap_or_default();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Render the plan as an indented tree, one node per line, with
     /// per-node `est_rows`/`est_bytes` and — when `actual` is given —
     /// the observed execution counters.

@@ -88,6 +88,14 @@ impl SessionConfig {
         self
     }
 
+    /// Split every run's session database into `shards` ensemble
+    /// partitions; queries scatter-gather across them (bit-identical
+    /// results). `0` or `1` keeps the single-database layout.
+    pub fn with_shards(mut self, shards: usize) -> SessionConfig {
+        self.run_config.shards = shards;
+        self
+    }
+
     /// Default deadline for every run (see [`SessionConfig::job_timeout`]).
     pub fn with_job_timeout(mut self, timeout: Duration) -> SessionConfig {
         self.job_timeout = Some(timeout);

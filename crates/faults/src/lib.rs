@@ -49,6 +49,12 @@ pub mod sites {
     pub const CACHE_SHARED: &str = "cache.shared";
     /// Virtual LLM call boundary in the agent workflow.
     pub const LLM_CALL: &str = "llm.call";
+    /// Fragment serialization/dispatch to a shard worker.
+    pub const SHARD_SEND: &str = "shard.send";
+    /// Fragment execution on a shard worker.
+    pub const SHARD_EXEC: &str = "shard.exec";
+    /// Partial-result merge in the scatter-gather combiner.
+    pub const SHARD_MERGE: &str = "shard.merge";
 
     /// All site names, for spec validation and docs.
     pub fn all() -> &'static [&'static str] {
@@ -61,6 +67,9 @@ pub mod sites {
             CACHE_RESULT,
             CACHE_SHARED,
             LLM_CALL,
+            SHARD_SEND,
+            SHARD_EXEC,
+            SHARD_MERGE,
         ]
     }
 }

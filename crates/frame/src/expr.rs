@@ -9,9 +9,10 @@ use crate::column::Column;
 use crate::error::{FrameError, FrameResult};
 use crate::frame::DataFrame;
 use crate::value::Value;
+use serde::{Deserialize, Serialize};
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BinOp {
     Add,
     Sub,
@@ -40,7 +41,7 @@ impl BinOp {
 }
 
 /// Unary elementwise functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UnaryFn {
     Neg,
     Not,
@@ -54,7 +55,7 @@ pub enum UnaryFn {
 }
 
 /// A row-wise expression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
     /// Reference to a column of the input frame.
     Col(String),

@@ -17,10 +17,11 @@ use crate::frame::DataFrame;
 use crate::key::{KeyCol, KeyMode, RowGrouper};
 use crate::value::Value;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Supported aggregation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AggKind {
     Count,
     Sum,

@@ -34,7 +34,7 @@ pub mod value;
 
 pub use column::Column;
 pub use error::{FrameError, FrameResult};
-pub use expr::Expr;
+pub use expr::{BinOp, Expr, UnaryFn};
 pub use frame::DataFrame;
 pub use groupby::{AggKind, AggSpec};
 pub use join::{JoinKind, JoinTable};

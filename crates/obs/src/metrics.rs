@@ -149,6 +149,17 @@ pub mod names {
     /// typed; the worker keeps running).
     pub const SERVE_WORKER_PANICS: &str = "serve.worker_panics";
 
+    // ---- sharded scatter-gather execution ----------------------------------
+
+    /// Plan fragments dispatched to shard workers.
+    pub const SHARD_FRAGMENTS_SENT: &str = "shard.fragments_sent";
+    /// Partial groups/rows merged by the scatter-gather combiner.
+    pub const SHARD_PARTIALS_MERGED: &str = "shard.partials_merged";
+    /// Wall-clock milliseconds spent in the combiner.
+    pub const SHARD_COMBINE_MS: &str = "shard.combine_ms";
+    /// Fragment-plan cache hits (plan hash + shard fingerprint).
+    pub const SHARD_PLAN_CACHE_HITS: &str = "shard.plan_cache_hits";
+
     // ---- observability pipeline itself -------------------------------------
 
     /// Events delivered to at least one event-bus subscriber.
@@ -211,6 +222,10 @@ pub mod names {
             STORAGE_CHUNKS_QUARANTINED,
             SERVE_WORKERS_LOST,
             SERVE_WORKER_PANICS,
+            SHARD_FRAGMENTS_SENT,
+            SHARD_PARTIALS_MERGED,
+            SHARD_COMBINE_MS,
+            SHARD_PLAN_CACHE_HITS,
             OBS_EVENTS_PUBLISHED,
             OBS_EVENTS_DROPPED,
         ]

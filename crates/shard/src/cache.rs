@@ -1,0 +1,68 @@
+//! Fragment-plan cache: serialized plan fragments keyed by
+//! `(plan hash, shard-layout fingerprint)`.
+//!
+//! Serializing a fragment is pure (the same plan always yields the same
+//! JSON), so repeated questions against an unchanged ensemble reuse the
+//! wire bytes instead of re-serializing per query. The layout
+//! fingerprint in the key invalidates entries across ensemble swaps or
+//! re-partitioning, mirroring how the serve result cache keys on the
+//! manifest fingerprint.
+
+use infera_columnar::{DbResult, PlanFragment};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bounded fragment cache. Eviction is whole-sale (clear on overflow):
+/// entries are tiny and the working set is the question set, so an LRU
+/// would be machinery without a workload.
+pub struct FragmentCache {
+    entries: Mutex<HashMap<(u64, u64), Arc<String>>>,
+    capacity: usize,
+}
+
+impl FragmentCache {
+    pub fn new(capacity: usize) -> FragmentCache {
+        FragmentCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Serialized wire bytes for `frag`, from cache when present.
+    /// Returns `(bytes, was_hit)`.
+    pub fn get_or_serialize(
+        &self,
+        plan_hash: u64,
+        layout_fingerprint: u64,
+        frag: &PlanFragment,
+    ) -> DbResult<(Arc<String>, bool)> {
+        let key = (plan_hash, layout_fingerprint);
+        if let Some(hit) = self.entries.lock().get(&key).cloned() {
+            return Ok((hit, true));
+        }
+        let bytes = Arc::new(frag.to_json()?);
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.capacity {
+            entries.clear();
+        }
+        entries.insert(key, bytes.clone());
+        Ok((bytes, false))
+    }
+
+    /// Number of cached fragments.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl Default for FragmentCache {
+    fn default() -> Self {
+        FragmentCache::new(256)
+    }
+}

@@ -1,0 +1,223 @@
+//! Ensemble partitioning: contiguous simulation ranges per shard.
+//!
+//! A [`ShardLayout`] splits the `n_sims` ensemble members into
+//! `n_shards` contiguous, non-overlapping ranges. Contiguity is what
+//! makes scatter-gather bit-identical to serial execution: concatenating
+//! shard results in shard order reproduces the global sim order, which
+//! is the order the loader appends rows in.
+//!
+//! The layout persists as `shard_layout.json` under the sharded
+//! database root; its presence is how callers detect a sharded layout.
+
+use infera_columnar::{DbError, DbResult};
+use infera_hacc::Manifest;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// File name of the persisted layout marker.
+pub const LAYOUT_FILE: &str = "shard_layout.json";
+
+/// Layout format version.
+pub const LAYOUT_VERSION: u32 = 1;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// One shard's slice of the ensemble.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    pub shard: usize,
+    /// First simulation index (inclusive).
+    pub sim_lo: u32,
+    /// Last simulation index (exclusive).
+    pub sim_hi: u32,
+    /// Content fingerprint of this shard's partition: ensemble
+    /// fingerprint folded with the shard's identity and sim range.
+    pub fingerprint: u64,
+}
+
+/// Partitioning of an ensemble across shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLayout {
+    pub version: u32,
+    pub n_shards: usize,
+    pub n_sims: u32,
+    /// Fingerprint of the whole ensemble (see [`Manifest::fingerprint`]).
+    pub ensemble_fingerprint: u64,
+    pub shards: Vec<ShardSpec>,
+}
+
+impl ShardLayout {
+    /// Build a layout splitting `n_sims` members into `n_shards`
+    /// contiguous ranges (sizes differ by at most one).
+    pub fn build(n_shards: usize, n_sims: u32, ensemble_fingerprint: u64) -> ShardLayout {
+        let n_shards = n_shards.max(1);
+        let shards = (0..n_shards)
+            .map(|s| {
+                let lo = (u64::from(n_sims) * s as u64 / n_shards as u64) as u32;
+                let hi = (u64::from(n_sims) * (s as u64 + 1) / n_shards as u64) as u32;
+                let mut h = ensemble_fingerprint;
+                fnv(&mut h, &(n_shards as u64).to_le_bytes());
+                fnv(&mut h, &(s as u64).to_le_bytes());
+                fnv(&mut h, &lo.to_le_bytes());
+                fnv(&mut h, &hi.to_le_bytes());
+                ShardSpec {
+                    shard: s,
+                    sim_lo: lo,
+                    sim_hi: hi,
+                    fingerprint: h,
+                }
+            })
+            .collect();
+        ShardLayout {
+            version: LAYOUT_VERSION,
+            n_shards,
+            n_sims,
+            ensemble_fingerprint,
+            shards,
+        }
+    }
+
+    /// Layout derived from an ensemble manifest.
+    pub fn from_manifest(manifest: &Manifest, n_shards: usize) -> ShardLayout {
+        ShardLayout::build(n_shards, manifest.n_sims, manifest.fingerprint())
+    }
+
+    /// Which shard holds simulation `sim`. Out-of-range sims clamp to
+    /// the nearest end (they cannot occur for a well-formed ensemble).
+    /// When `n_shards > n_sims` some shards own empty ranges; those are
+    /// never returned.
+    pub fn shard_of_sim(&self, sim: i64) -> usize {
+        if self.n_sims == 0 {
+            return 0;
+        }
+        let sim = sim.clamp(0, i64::from(self.n_sims) - 1) as u64;
+        // Inverse of the contiguous range construction in `build`.
+        self.shards
+            .iter()
+            .position(|s| sim >= u64::from(s.sim_lo) && sim < u64::from(s.sim_hi))
+            .unwrap_or(self.n_shards - 1)
+    }
+
+    /// Fingerprint of the whole layout (cache-key component): folds the
+    /// ensemble fingerprint with every shard's fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.ensemble_fingerprint;
+        fnv(&mut h, &(self.n_shards as u64).to_le_bytes());
+        fnv(&mut h, &self.n_sims.to_le_bytes());
+        for s in &self.shards {
+            fnv(&mut h, &s.fingerprint.to_le_bytes());
+        }
+        h
+    }
+
+    /// Path of the persisted layout under a sharded database root.
+    pub fn path(root: &Path) -> PathBuf {
+        root.join(LAYOUT_FILE)
+    }
+
+    /// Whether `root` holds a sharded layout.
+    pub fn exists(root: &Path) -> bool {
+        ShardLayout::path(root).is_file()
+    }
+
+    /// Persist as `shard_layout.json` under `root`.
+    pub fn save(&self, root: &Path) -> DbResult<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| DbError::Io(format!("serialize shard layout: {e}")))?;
+        std::fs::write(ShardLayout::path(root), text)
+            .map_err(|e| DbError::Io(format!("write shard layout: {e}")))
+    }
+
+    /// Load the persisted layout from `root`.
+    pub fn load(root: &Path) -> DbResult<ShardLayout> {
+        let path = ShardLayout::path(root);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| DbError::Io(format!("read {}: {e}", path.display())))?;
+        let layout: ShardLayout = serde_json::from_str(&text)
+            .map_err(|e| DbError::Io(format!("parse {}: {e}", path.display())))?;
+        if layout.version != LAYOUT_VERSION {
+            return Err(DbError::Io(format!(
+                "shard layout version {} unsupported (expected {LAYOUT_VERSION})",
+                layout.version
+            )));
+        }
+        Ok(layout)
+    }
+
+    /// Per-shard manifest subsets: each holds only the files of its sim
+    /// range, so a shard worker can open its partition as a stand-alone
+    /// (smaller) ensemble. Params and steps are restricted accordingly;
+    /// fingerprints therefore differ per shard and from the whole.
+    pub fn per_shard_manifests(&self, manifest: &Manifest) -> Vec<Manifest> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut m = manifest.clone();
+                m.files
+                    .retain(|f| f.sim >= s.sim_lo && f.sim < s.sim_hi);
+                m.params = manifest
+                    .params
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i as u32 >= s.sim_lo && (*i as u32) < s.sim_hi)
+                    .map(|(_, p)| *p)
+                    .collect();
+                m.n_sims = s.sim_hi - s.sim_lo;
+                m
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_contiguous_and_cover() {
+        for n_shards in 1..=8 {
+            for n_sims in [1u32, 2, 3, 7, 8, 32] {
+                let l = ShardLayout::build(n_shards, n_sims, 99);
+                assert_eq!(l.shards[0].sim_lo, 0);
+                assert_eq!(l.shards.last().unwrap().sim_hi, n_sims);
+                for w in l.shards.windows(2) {
+                    assert_eq!(w[0].sim_hi, w[1].sim_lo, "contiguous");
+                }
+                for sim in 0..n_sims {
+                    let s = l.shard_of_sim(i64::from(sim));
+                    assert!(sim >= l.shards[s].sim_lo && sim < l.shards[s].sim_hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_shards_and_layouts() {
+        let a = ShardLayout::build(4, 32, 7);
+        let b = ShardLayout::build(8, 32, 7);
+        let c = ShardLayout::build(4, 32, 8);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let fps: std::collections::HashSet<u64> =
+            a.shards.iter().map(|s| s.fingerprint).collect();
+        assert_eq!(fps.len(), 4, "per-shard fingerprints distinct");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("infera_shard_layout_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let l = ShardLayout::build(3, 10, 42);
+        assert!(!ShardLayout::exists(&dir));
+        l.save(&dir).unwrap();
+        assert!(ShardLayout::exists(&dir));
+        assert_eq!(ShardLayout::load(&dir).unwrap(), l);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

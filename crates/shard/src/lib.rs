@@ -1,0 +1,33 @@
+//! # infera-shard
+//!
+//! Sharded scatter-gather execution across ensemble partitions.
+//!
+//! The paper's ensembles are embarrassingly partitionable: every
+//! simulation member is independent, and the assistant's aggregate
+//! queries decompose into per-partition partials plus a cheap merge.
+//! This crate exploits that: a [`ShardedDb`] splits the session
+//! database into contiguous sim-range partitions ([`ShardLayout`]),
+//! scatters serialized plan fragments to per-shard workers, and
+//! combines partial aggregates in deterministic shard order — producing
+//! results bit-identical to a single-database execution while each
+//! shard scans only `1/N` of the ensemble.
+//!
+//! Layering:
+//!
+//! * [`layout`] — partitioning, per-shard manifests, fingerprints;
+//! * [`cache`] — fragment-plan cache keyed by plan hash + layout
+//!   fingerprint;
+//! * [`exec`] — [`ShardedDb`]: scatter, per-shard execution with fault
+//!   injection + retry, deterministic combine, EXPLAIN shard split;
+//! * [`engine`] — [`SessionDb`], the single-vs-sharded facade the
+//!   agents and the serving layer use.
+
+pub mod cache;
+pub mod engine;
+pub mod exec;
+pub mod layout;
+
+pub use cache::FragmentCache;
+pub use engine::SessionDb;
+pub use exec::{ShardExecInfo, ShardRunInfo, ShardedDb, Strategy};
+pub use layout::{ShardLayout, ShardSpec, LAYOUT_FILE};

@@ -1,0 +1,179 @@
+//! Golden-file test pinning the serialized plan-fragment wire format,
+//! plus hygiene checks for the shard observability counters.
+//!
+//! The fragment JSON is what travels from combiner to shard workers; a
+//! change to its shape is a wire-protocol change and must be made
+//! deliberately (bump `WIRE_VERSION`, regenerate the golden with
+//! `UPDATE_GOLDEN=1`). The comparison is structural (parsed JSON), so
+//! formatting differences between serializers don't count as drift.
+
+use infera_columnar::sql::ast::Statement;
+use infera_columnar::sql::physical::PhysicalPlan;
+use infera_columnar::sql::{logical, parser, physical, plan as sql_plan};
+use infera_columnar::{Database, FragmentMode, PlanFragment};
+use infera_frame::{Column, DataFrame};
+use infera_obs::metric_names;
+use infera_shard::{ShardLayout, ShardedDb};
+use std::path::{Path, PathBuf};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fragment_plan.json")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("infera_shard_golden")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Fixed dataset → fixed statistics → a deterministic physical plan.
+fn fixture_frame() -> DataFrame {
+    let n = 48usize;
+    DataFrame::from_columns([
+        (
+            "sim",
+            Column::I64((0..n).map(|i| (i / 12) as i64).collect()),
+        ),
+        (
+            "mass",
+            Column::F64((0..n).map(|i| f64::from((i as u32 * 37) % 100)).collect()),
+        ),
+        (
+            "tag",
+            Column::Str((0..n).map(|i| format!("t{}", i % 3)).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+const SQL: &str = "SELECT tag, COUNT(*) AS n, SUM(mass) AS m, MEDIAN(mass) AS med \
+                   FROM halos WHERE mass > 10 GROUP BY tag ORDER BY tag";
+
+fn plan_of(db: &Database, sql: &str) -> PhysicalPlan {
+    let sel = match parser::parse(sql).unwrap() {
+        Statement::Select(sel) => sel,
+        other => panic!("expected SELECT, got {other:?}"),
+    };
+    let resolved = sql_plan::resolve(&sel, db).unwrap();
+    let lp = logical::build(resolved);
+    physical::optimize(db, &lp)
+}
+
+fn representative_fragment(db: &Database) -> PlanFragment {
+    PlanFragment::from_plan(&plan_of(db, SQL))
+}
+
+#[test]
+fn fragment_wire_format_matches_golden() {
+    let dir = fresh_dir("db");
+    let db = Database::create(&dir).unwrap();
+    let frame = fixture_frame();
+    db.create_table("halos", &frame.schema()).unwrap();
+    db.append("halos", &frame).unwrap();
+
+    let frag = representative_fragment(&db);
+    assert_eq!(frag.mode, FragmentMode::PartialAggregate);
+    let wire = frag.to_json().unwrap();
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        std::fs::write(golden_path(), &wire).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+
+    // Structural comparison: parsed JSON values, not bytes.
+    let got: serde_json::Value = serde_json::from_str(&wire).unwrap();
+    let want: serde_json::Value = serde_json::from_str(&golden).unwrap();
+    assert_eq!(
+        got, want,
+        "plan-fragment wire format drifted; if intentional, bump WIRE_VERSION \
+         and regenerate with UPDATE_GOLDEN=1"
+    );
+
+    // The golden bytes must round-trip into an executable fragment with
+    // the same plan hash as a freshly planned one.
+    let reloaded = PlanFragment::from_json(&golden).unwrap();
+    assert_eq!(reloaded.plan_hash(), frag.plan_hash());
+
+    // Hash is a pure function of the serialized plan: identical across
+    // repeated planning, different for a different query.
+    assert_eq!(representative_fragment(&db).plan_hash(), frag.plan_hash());
+    let other = plan_of(&db, "SELECT COUNT(*) AS n FROM halos");
+    assert_ne!(PlanFragment::from_plan(&other).plan_hash(), frag.plan_hash());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_metrics_are_declared_and_move() {
+    // Hygiene: every shard counter is declared in the metric registry's
+    // canonical name list (undeclared names panic in debug builds
+    // elsewhere; here we pin the names themselves).
+    for name in [
+        "shard.fragments_sent",
+        "shard.partials_merged",
+        "shard.combine_ms",
+        "shard.plan_cache_hits",
+    ] {
+        assert!(
+            metric_names::is_declared(name),
+            "metric '{name}' not declared in metric_names::all()"
+        );
+    }
+    assert_eq!(metric_names::SHARD_FRAGMENTS_SENT, "shard.fragments_sent");
+    assert_eq!(metric_names::SHARD_PARTIALS_MERGED, "shard.partials_merged");
+    assert_eq!(metric_names::SHARD_COMBINE_MS, "shard.combine_ms");
+    assert_eq!(metric_names::SHARD_PLAN_CACHE_HITS, "shard.plan_cache_hits");
+
+    // And they move under a real scatter-gather run.
+    let dir = fresh_dir("metrics");
+    let obs = infera_obs::Obs::new();
+    let db = ShardedDb::create(&dir, ShardLayout::build(3, 6, 1), obs.clone()).unwrap();
+    let frame = fixture_frame();
+    db.create_table("halos", &frame.schema()).unwrap();
+    db.append("halos", &frame).unwrap();
+
+    db.query(SQL).unwrap();
+    assert_eq!(
+        obs.metrics.counter(metric_names::SHARD_FRAGMENTS_SENT),
+        3,
+        "one fragment per shard"
+    );
+    assert!(obs.metrics.counter(metric_names::SHARD_PARTIALS_MERGED) > 0);
+    let combine = obs
+        .metrics
+        .histogram(metric_names::SHARD_COMBINE_MS)
+        .expect("combine_ms histogram populated");
+    assert_eq!(combine.count, 1);
+    assert_eq!(obs.metrics.counter(metric_names::SHARD_PLAN_CACHE_HITS), 0);
+
+    // Same query again: the serialized fragment comes from the cache.
+    db.query(SQL).unwrap();
+    assert_eq!(obs.metrics.counter(metric_names::SHARD_PLAN_CACHE_HITS), 1);
+    assert_eq!(obs.metrics.counter(metric_names::SHARD_FRAGMENTS_SENT), 6);
+
+    // EXPLAIN renders the shard split: the scatter header, one line per
+    // shard with estimated vs actual rows, and the combine step.
+    let explain = db.explain(SQL).unwrap();
+    assert!(
+        explain.contains("Shard split: scatter-gather over 3 shard(s)"),
+        "missing shard split header:\n{explain}"
+    );
+    for shard in 0..3 {
+        assert!(
+            explain.contains(&format!("shard {shard} [sims ")),
+            "missing per-shard line {shard}:\n{explain}"
+        );
+    }
+    assert!(explain.contains("fragment=partial-aggregate plan_hash="));
+    assert!(explain.contains("est_rows=") && explain.contains("actual_rows="));
+    assert!(
+        explain.contains("Combine: final aggregate merge (shard order)"),
+        "missing combine step:\n{explain}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -96,7 +96,7 @@ STUB_EXTERNS=(
 # ------------------------------------------------------------ workspace
 
 # Topological order of the workspace crates.
-CRATES=(faults obs frame rag hacc llm provenance viz columnar sandbox agents core serve bench)
+CRATES=(faults obs frame rag hacc llm provenance viz columnar shard sandbox agents core serve bench)
 
 crate_externs() { # echo --extern flags for every already-built workspace lib
     local flags=()

@@ -40,6 +40,10 @@ if [ "$run_clippy" -eq 1 ]; then
     # and serve hot path, so it must stay dependency-free and clean.
     echo "==> cargo clippy -p infera-faults -- -D warnings"
     cargo clippy -p infera-faults -- -D warnings
+    # And the sharding crate: the scatter-gather path promises
+    # bit-identity with serial execution, so its code stays spotless.
+    echo "==> cargo clippy -p infera-shard -- -D warnings"
+    cargo clippy -p infera-shard -- -D warnings
 fi
 
 echo "==> golden-file tests (JSONL trace schema + Prometheus exposition)"
@@ -112,6 +116,29 @@ assert injected >= 1, "the fault plan never fired"
 print("chaos smoke ok: %d faults injected, digests reproduced" % injected)
 EOF
     rm -f "$chaos_out"
+
+    echo "==> bench-shard --smoke (sharded-vs-serial digest gate)"
+    shard_out="$(mktemp -t bench_shard_smoke.XXXXXX.json)"
+    # bench-shard asserts every shard count's digests match the serial
+    # anchor (including a faulted pass that must retry to the same
+    # digests) and exits non-zero otherwise; smoke mode skips the
+    # wall-clock speedup gate, which only means something at full scale.
+    cargo run --release -p infera-bench --bin bench_shard -- --smoke \
+        --out "$shard_out"
+    python3 - "$shard_out" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert all(p["digests_match"] for p in report["scaling"]), report
+assert {p["shards"] for p in report["scaling"]} == {1, 2, 4, 8}
+fp = report["fault_pass"]
+assert fp["digests_match"] and fp["retries_consumed"] >= 1, fp
+print(
+    "shard smoke ok: digests identical across %d layouts, %d fault retries reproduced them"
+    % (len(report["scaling"]), fp["retries_consumed"])
+)
+EOF
+    rm -f "$shard_out"
 fi
 
 echo "verify: OK"

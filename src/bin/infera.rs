@@ -193,7 +193,7 @@ fn init_faults(args: &[String]) -> Result<(), CliError> {
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--sims", "--steps", "--halos", "--particles", "--seed", "--ensemble", "--work",
     "--run", "--save", "--plan", "--workers", "--queue", "--timeout-secs", "--sleep-scale",
-    "--stats-every", "--db", "--faults",
+    "--stats-every", "--db", "--faults", "--shards",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &[
@@ -269,6 +269,10 @@ fn config_from(args: &[String]) -> Result<SessionConfig, CliError> {
     let timeout_secs: u64 = flag_num(args, "--timeout-secs", 0)?;
     if timeout_secs > 0 {
         config = config.with_job_timeout(Duration::from_secs(timeout_secs));
+    }
+    let shards: usize = flag_num(args, "--shards", 0)?;
+    if shards > 1 {
+        config = config.with_shards(shards);
     }
     Ok(config)
 }
@@ -537,7 +541,9 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
 fn cmd_sql(args: &[String]) -> Result<(), CliError> {
     let dir = flag_value(args, "--db").ok_or("sql requires --db <dir>")?;
     let stmt = free_text(args)?.ok_or("sql requires a statement")?;
-    let db = infera::columnar::Database::open(PathBuf::from(&dir).as_path())
+    // A sharded layout marker switches the statement onto the
+    // scatter-gather engine; EXPLAIN then renders the shard split.
+    let db = infera::shard::SessionDb::open_auto(PathBuf::from(&dir).as_path())
         .map_err(InferaError::from)?;
     if has_flag(args, "--explain") {
         out!("{}", db.explain(&stmt).map_err(InferaError::from)?.trim_end());

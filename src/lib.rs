@@ -34,6 +34,7 @@ pub use infera_obs as obs;
 pub use infera_provenance as provenance;
 pub use infera_rag as rag;
 pub use infera_sandbox as sandbox;
+pub use infera_shard as shard;
 pub use infera_serve as serve;
 pub use infera_viz as viz;
 
