@@ -266,6 +266,20 @@ pub fn build_workflow(ctx: Arc<AgentContext>) -> StateGraph<RunState> {
                 return Err(AgentError::Fatal("sql routed off-plan".into()));
             };
             let out = crate::sql_agent::run_sql(&ctx, state, &spec)?;
+            // Live-progress hook: each materialized frame is announced
+            // as it lands, so streaming clients see partial results.
+            for sel in &spec.selects {
+                if let Some(frame) = state.frames.get(&sel.output) {
+                    span.event(
+                        "frame_ready",
+                        &[
+                            ("frame", infera_obs::AttrValue::from(sel.output.as_str())),
+                            ("rows", infera_obs::AttrValue::from(frame.n_rows())),
+                            ("cols", infera_obs::AttrValue::from(frame.n_cols())),
+                        ],
+                    );
+                }
+            }
             finish_node(&ctx, &span, &out);
             state.history.push(format!("sql: {}\n{}", out.message, out.artifact));
             record(state, "sql", out);
@@ -286,6 +300,16 @@ pub fn build_workflow(ctx: Arc<AgentContext>) -> StateGraph<RunState> {
                 return Err(AgentError::Fatal("python routed off-plan".into()));
             };
             let out = crate::python_agent::run_compute(&ctx, state, &kind, &input, &output)?;
+            if let Some(frame) = state.frames.get(&output) {
+                span.event(
+                    "frame_ready",
+                    &[
+                        ("frame", infera_obs::AttrValue::from(output.as_str())),
+                        ("rows", infera_obs::AttrValue::from(frame.n_rows())),
+                        ("cols", infera_obs::AttrValue::from(frame.n_cols())),
+                    ],
+                );
+            }
             finish_node(&ctx, &span, &out);
             state.history.push(format!(
                 "python[{}]: {}\n{}",

@@ -96,6 +96,22 @@ pub struct BusEvent {
     pub kind: BusEventKind,
 }
 
+impl BusEvent {
+    /// The serve-layer job id this event belongs to, if any: span/point
+    /// events carry it in the publisher's run-identity attributes (set by
+    /// `Tracer::attach_bus`), job lifecycle events in their own attrs.
+    /// Used by per-job / per-client event routing in the serving layer.
+    pub fn job_id(&self) -> Option<u64> {
+        if let Some(id) = self.run.get("job").and_then(AttrValue::as_u64) {
+            return Some(id);
+        }
+        match &self.kind {
+            BusEventKind::Job { attrs, .. } => attrs.get("job").and_then(AttrValue::as_u64),
+            _ => None,
+        }
+    }
+}
+
 struct SubscriberSlot {
     tx: SyncSender<BusEvent>,
     dropped: Arc<AtomicU64>,
@@ -364,6 +380,24 @@ mod tests {
         let json = serde_json::to_string(&ev).unwrap();
         let back: BusEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn job_id_extracted_from_run_attrs_or_job_attrs() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(8);
+        // Span-style event with run-identity attrs.
+        let mut run = BTreeMap::new();
+        run.insert("job".to_string(), AttrValue::from(42u64));
+        bus.publish(0, &run, point("x"));
+        // Lifecycle event with the id in its own attrs.
+        bus.publish_job("job_started", &[("job", AttrValue::from(7u64))]);
+        // No job anywhere.
+        bus.publish(1, &BTreeMap::new(), point("y"));
+        let got = sub.drain();
+        assert_eq!(got[0].job_id(), Some(42));
+        assert_eq!(got[1].job_id(), Some(7));
+        assert_eq!(got[2].job_id(), None);
     }
 
     #[test]

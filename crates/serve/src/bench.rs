@@ -239,8 +239,10 @@ fn run_configuration(
     let started = Instant::now();
     for q in questions {
         let spec = JobSpec::new(&q.text, u64::from(q.id) * 1000).semantic(q.semantic);
+        // The handle is dropped deliberately: the bench collects every
+        // result in bulk from `shutdown()`, it never awaits per job.
         sched
-            .submit_spec(spec)
+            .submit(spec)
             .map_err(|r| InferaError::internal(format!("bench admission failed: {r}")))?;
     }
     let metrics = sched.metrics().clone();

@@ -20,7 +20,16 @@
 //!   [`infera_agents::CancelToken`];
 //! * [`bench`] — the `infera bench-serve` harness: the 20-question
 //!   evaluation set at several worker counts, with a bit-identical
-//!   concurrent-vs-serial check over [`digest::report_digest`].
+//!   concurrent-vs-serial check over [`digest::report_digest`];
+//! * [`net`] — the network front end: a line-delimited JSON server
+//!   (versioned wire protocol, [`net::protocol`]) with per-client
+//!   streaming of job progress events, graceful drain, a blocking
+//!   client, and the `bench-load` saturation harness.
+//!
+//! Submission is handle-based: [`Scheduler::submit`] returns a
+//! [`JobHandle`] the caller awaits, polls, cancels, or streams events
+//! from ([`Scheduler::submit_streaming`]). The old completion-ordered
+//! `next_result` polling surface survives as deprecated shims.
 //!
 //! Determinism is load-bearing: a run is seeded by `(session seed, job
 //! salt)` only, so the same job produces a byte-identical report
@@ -33,7 +42,9 @@ pub mod bench;
 pub mod cache;
 pub mod digest;
 pub mod flight;
+pub mod handle;
 pub mod job;
+pub mod net;
 pub mod resilience;
 pub mod scheduler;
 pub mod telemetry;
@@ -42,6 +53,7 @@ pub use bench::{run_bench, BenchOpts, BenchServeReport, WorkerRow};
 pub use cache::{ResultCache, ResultKey};
 pub use digest::report_digest;
 pub use flight::{FlightEntry, FlightOutcome, FlightRecorder, FlightSnapshot};
+pub use handle::{JobEvents, JobHandle};
 pub use job::{JobResult, JobSpec, JobStatus, RejectReason};
 pub use resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use scheduler::{Scheduler, ServeConfig};

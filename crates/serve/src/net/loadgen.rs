@@ -1,0 +1,639 @@
+//! The `infera bench-load` saturation harness.
+//!
+//! Stands up a real [`NetServer`] on a loopback port, then drives it
+//! with an **open-loop** arrival process over the paper's evaluation
+//! question set: arrivals follow a seeded exponential inter-arrival
+//! schedule at each offered load and are submitted whether or not
+//! earlier jobs have finished, exactly the way outside traffic behaves.
+//! Offered load sweeps a multiplier ladder around the measured capacity
+//! (`workers / mean_run_seconds` from a calibration pass), so the top
+//! rung pushes the scheduler past saturation and exercises the typed
+//! `Rejected { QueueFull }` path under real sockets.
+//!
+//! Per level the harness records client-observed p50/p95/p99 latency,
+//! achieved vs offered throughput, rejection rate, and streamed-event
+//! counts. Two gates anchor the numbers:
+//!
+//! * **Serial digest gate** — a sample of `(question, salt)` pairs that
+//!   completed over the network is re-run on a fresh single-worker
+//!   session; every network digest must match its serial twin
+//!   bit-for-bit. Load must change latency, never answers.
+//! * **Drain gate** — a burst of accepted jobs followed by
+//!   [`NetServer::begin_shutdown`]: every accepted job must still
+//!   deliver its `Done` (zero lost), while a brand-new connection is
+//!   refused with the typed `shutting_down` goodbye.
+//!
+//! Everything is deterministic given [`LoadOpts::seed`]: the arrival
+//! schedule, question rotation, and salts all derive from a splitmix64
+//! stream, so `BENCH_load.json` diffs are meaningful across commits.
+
+use super::client::{Client, ClientConfig, ConnectError, SubmitOutcome};
+use super::protocol::PROTOCOL_VERSION;
+use super::server::{NetServer, NetServerConfig};
+use crate::job::JobSpec;
+use crate::scheduler::{Scheduler, ServeConfig};
+use infera_core::{question_set, InferA, InferaError, InferaResult, Question, SessionConfig};
+use infera_hacc::Manifest;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-bench options.
+#[derive(Debug, Clone)]
+pub struct LoadOpts {
+    /// Worker-pool width of the server under test.
+    pub workers: usize,
+    /// Admission queue depth. Small relative to the arrival burst at
+    /// the top multiplier so saturation actually rejects.
+    pub queue_capacity: usize,
+    /// Concurrent client connections driving the arrivals.
+    pub connections: usize,
+    /// Offered-load multipliers over measured capacity; the ladder must
+    /// cross 1.0 so the report spans under-, at-, and over-saturation.
+    pub multipliers: Vec<f64>,
+    /// Arrivals per level.
+    pub jobs_per_level: usize,
+    /// Question subset size (0 = the full evaluation set).
+    pub max_questions: usize,
+    /// `(question, salt)` pairs re-run serially per level for the
+    /// digest gate.
+    pub digest_samples: usize,
+    /// `RunConfig::llm_sleep_scale` for the server session.
+    pub sleep_scale: f64,
+    pub seed: u64,
+}
+
+impl Default for LoadOpts {
+    fn default() -> LoadOpts {
+        LoadOpts {
+            workers: 4,
+            queue_capacity: 8,
+            connections: 3,
+            multipliers: vec![0.5, 1.0, 2.0, 4.0],
+            jobs_per_level: 32,
+            max_questions: 0,
+            digest_samples: 2,
+            sleep_scale: 0.04,
+            seed: 2027,
+        }
+    }
+}
+
+impl LoadOpts {
+    /// Fast CI gate: two levels (half capacity and 4x), few jobs, no
+    /// latency sleeps. Still runs both the digest and drain gates.
+    pub fn smoke() -> LoadOpts {
+        LoadOpts {
+            workers: 2,
+            queue_capacity: 4,
+            connections: 2,
+            multipliers: vec![0.5, 4.0],
+            jobs_per_level: 10,
+            max_questions: 4,
+            digest_samples: 1,
+            sleep_scale: 0.0,
+            seed: 2027,
+        }
+    }
+}
+
+/// One offered-load rung of the ladder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadLevelReport {
+    /// Multiplier over measured capacity.
+    pub multiplier: f64,
+    /// Arrival rate actually offered, questions/second.
+    pub offered_qps: f64,
+    /// First arrival to last terminal response, ms.
+    pub duration_ms: u64,
+    pub submitted: u64,
+    pub accepted: u64,
+    pub rejected: u64,
+    /// `rejected / submitted`.
+    pub rejection_rate: f64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Client-observed latency (server queue + run), ms.
+    pub p50_ms: u64,
+    pub p95_ms: u64,
+    pub p99_ms: u64,
+    /// Completions per second over the level's wall clock.
+    pub achieved_qps: f64,
+    /// Progress events streamed to clients during the level.
+    pub events_streamed: u64,
+    /// `(question, salt)` pairs re-run serially for the digest gate.
+    pub digests_checked: u64,
+    pub digests_match: bool,
+}
+
+/// The drain gate's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShutdownReport {
+    /// Jobs the server accepted before the drain began.
+    pub accepted: u64,
+    /// Accepted jobs whose `Done` reached the client during the drain.
+    pub drained: u64,
+    /// `accepted - drained`; the gate requires 0.
+    pub lost: u64,
+    /// A fresh connection during the drain was refused with the typed
+    /// `shutting_down` goodbye.
+    pub new_conn_rejected: bool,
+}
+
+/// `BENCH_load.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadBenchReport {
+    pub protocol_version: u32,
+    pub questions: usize,
+    pub seed: u64,
+    pub workers: usize,
+    pub queue_capacity: usize,
+    pub connections: usize,
+    pub sleep_scale: f64,
+    pub ensemble_fingerprint: String,
+    /// Calibrated single-job mean run time, ms.
+    pub calibrated_run_ms: u64,
+    /// Measured capacity the multipliers scale, questions/second.
+    pub capacity_qps: f64,
+    pub levels: Vec<LoadLevelReport>,
+    /// At least one rung pushed past saturation (rejections observed).
+    pub saturated: bool,
+    pub shutdown: ShutdownReport,
+    /// Every checked digest matched its serial twin, at every level.
+    pub digests_match: bool,
+}
+
+impl LoadBenchReport {
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-load: {} questions over {} connections, {} workers / queue {}, \
+             capacity {:.2} q/s, digests {}",
+            self.questions,
+            self.connections,
+            self.workers,
+            self.queue_capacity,
+            self.capacity_qps,
+            if self.digests_match { "IDENTICAL" } else { "DIVERGED" },
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>11} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>11} {:>8}",
+            "mult", "offered_qps", "accepted", "rejected", "rej_rate", "p50_ms", "p95_ms", "p99_ms", "achieved", "events"
+        );
+        for level in &self.levels {
+            let _ = writeln!(
+                out,
+                "{:>6.1} {:>11.2} {:>9} {:>9} {:>7.1}% {:>8} {:>8} {:>8} {:>11.2} {:>8}",
+                level.multiplier,
+                level.offered_qps,
+                level.accepted,
+                level.rejected,
+                level.rejection_rate * 100.0,
+                level.p50_ms,
+                level.p95_ms,
+                level.p99_ms,
+                level.achieved_qps,
+                level.events_streamed,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "saturation {}: top rung rejected {:.1}% of offered load",
+            if self.saturated { "REACHED" } else { "NOT REACHED" },
+            self.levels.last().map_or(0.0, |l| l.rejection_rate * 100.0),
+        );
+        let _ = writeln!(
+            out,
+            "drain gate: {} accepted, {} drained, {} lost, new connection {}",
+            self.shutdown.accepted,
+            self.shutdown.drained,
+            self.shutdown.lost,
+            if self.shutdown.new_conn_rejected {
+                "refused (typed)"
+            } else {
+                "NOT refused"
+            },
+        );
+        out
+    }
+}
+
+/// Deterministic splitmix64 stream for the arrival schedule.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1].
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 + f64::MIN_POSITIVE
+    }
+
+    /// Exponential inter-arrival gap for rate `qps`, seconds.
+    fn next_gap_s(&mut self, qps: f64) -> f64 {
+        -self.next_unit().ln() / qps.max(1e-9)
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Build the server-side session + scheduler for the given pool shape.
+fn build_scheduler(
+    manifest: &Manifest,
+    work: &Path,
+    seed: u64,
+    sleep_scale: f64,
+    workers: usize,
+    queue_capacity: usize,
+) -> InferaResult<Arc<Scheduler>> {
+    std::fs::remove_dir_all(work).ok();
+    let mut run_config = infera_agents::RunConfig::default();
+    run_config.llm_sleep_scale = sleep_scale;
+    let session = Arc::new(
+        InferA::from_manifest(manifest.clone())
+            .work_dir(work)
+            .config(
+                SessionConfig::default()
+                    .with_seed(seed)
+                    .with_run_config(run_config),
+            )
+            .build()?,
+    );
+    Ok(Arc::new(Scheduler::new(
+        session,
+        ServeConfig::with_pool(workers, queue_capacity),
+    )))
+}
+
+/// Serial anchor: run each `(question index, salt)` pair on a fresh
+/// single-worker session and return its digest. The network run and
+/// this run share nothing but `(ensemble, seed, question, salt)` — the
+/// determinism contract the digest gate enforces.
+fn serial_digests(
+    manifest: &Manifest,
+    work: &Path,
+    opts: &LoadOpts,
+    questions: &[Question],
+    pairs: &[(usize, u64)],
+) -> InferaResult<Vec<u64>> {
+    let sched = build_scheduler(manifest, work, opts.seed, opts.sleep_scale, 1, pairs.len().max(1))?;
+    let mut digests = Vec::with_capacity(pairs.len());
+    for &(q_idx, salt) in pairs {
+        let q = &questions[q_idx];
+        let handle = sched
+            .submit(JobSpec::new(&q.text, salt).semantic(q.semantic))
+            .map_err(|r| InferaError::internal(format!("serial anchor admission failed: {r}")))?;
+        digests.push(handle.wait().digest);
+    }
+    sched.drain_results();
+    Ok(digests)
+}
+
+/// Calibrate mean run time by driving one job per worker through a
+/// throwaway connection, serially.
+fn calibrate(addr: &str, questions: &[Question], jobs: usize) -> Result<u64, String> {
+    let mut client = Client::connect(addr, &ClientConfig::default()).map_err(|e| e.to_string())?;
+    let mut total_ms = 0u64;
+    let mut measured = 0u64;
+    for i in 0..jobs.max(1) {
+        let q = &questions[i % questions.len()];
+        // Salts far outside the load levels' range so no cache overlap.
+        match client.submit(&q.text, Some(9_900_000 + i as u64), false)? {
+            SubmitOutcome::Accepted { .. } => {}
+            SubmitOutcome::Rejected { message, .. } => {
+                return Err(format!("calibration rejected: {message}"));
+            }
+        }
+        let done = client
+            .next_done(Duration::from_secs(120))
+            .ok_or_else(|| "calibration job never completed".to_string())?;
+        total_ms += done.run_ms;
+        measured += 1;
+    }
+    client.bye();
+    Ok((total_ms / measured.max(1)).max(1))
+}
+
+/// A completed network job's facts, kept for the digest sample.
+struct LevelOutcome {
+    latencies: Vec<u64>,
+    completed: u64,
+    failed: u64,
+    /// `(question index, salt, network digest)` per completion, in
+    /// arrival order.
+    digests: Vec<(usize, u64, String)>,
+}
+
+/// Drive one offered-load rung: open-loop arrivals round-robined over
+/// persistent connections, then collect every accepted job's `Done`.
+#[allow(clippy::too_many_arguments)]
+fn run_level(
+    addr: &str,
+    questions: &[Question],
+    opts: &LoadOpts,
+    level_idx: usize,
+    multiplier: f64,
+    offered_qps: f64,
+    rng: &mut SplitMix64,
+    report: &mut LoadLevelReport,
+) -> Result<LevelOutcome, String> {
+    let config = ClientConfig {
+        client_name: format!("bench-load-l{level_idx}"),
+        ..ClientConfig::default()
+    };
+    let mut clients = Vec::with_capacity(opts.connections);
+    for _ in 0..opts.connections.max(1) {
+        clients.push(Client::connect(addr, &config).map_err(|e| e.to_string())?);
+    }
+    let salt_base = 1_000_000 * (level_idx as u64 + 1);
+    let started = Instant::now();
+    let mut next_arrival = Duration::ZERO;
+    let mut accepted_by: Vec<u64> = vec![0; clients.len()];
+    let mut submitted = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for seq in 0..opts.jobs_per_level {
+        // Open loop: hold to the schedule regardless of completions.
+        let now = started.elapsed();
+        if next_arrival > now {
+            std::thread::sleep(next_arrival - now);
+        }
+        next_arrival += Duration::from_secs_f64(rng.next_gap_s(offered_qps));
+        let q_idx = seq % questions.len();
+        let salt = salt_base + seq as u64;
+        let which = seq % clients.len();
+        submitted += 1;
+        match clients[which].submit(&questions[q_idx].text, Some(salt), true)? {
+            SubmitOutcome::Accepted { .. } => {
+                accepted += 1;
+                accepted_by[which] += 1;
+            }
+            SubmitOutcome::Rejected { .. } => rejected += 1,
+        }
+    }
+
+    // Collect every accepted job's terminal Done per connection.
+    let mut outcome = LevelOutcome {
+        latencies: Vec::new(),
+        completed: 0,
+        failed: 0,
+        digests: Vec::new(),
+    };
+    let mut events_streamed = 0u64;
+    for (which, client) in clients.into_iter().enumerate() {
+        for _ in 0..accepted_by[which] {
+            let done = client
+                .next_done(Duration::from_secs(300))
+                .ok_or_else(|| "accepted job never produced a Done".to_string())?;
+            outcome.latencies.push(done.queue_ms + done.run_ms);
+            if done.ok {
+                outcome.completed += 1;
+                let q_idx = ((done.salt - salt_base) as usize) % questions.len();
+                outcome.digests.push((q_idx, done.salt, done.digest.clone()));
+            } else {
+                outcome.failed += 1;
+            }
+        }
+        events_streamed += client.events_seen();
+        client.bye();
+    }
+    let duration_ms = started.elapsed().as_millis() as u64;
+    outcome.latencies.sort_unstable();
+    report.multiplier = multiplier;
+    report.offered_qps = offered_qps;
+    report.duration_ms = duration_ms;
+    report.submitted = submitted;
+    report.accepted = accepted;
+    report.rejected = rejected;
+    report.rejection_rate = rejected as f64 / submitted.max(1) as f64;
+    report.completed = outcome.completed;
+    report.failed = outcome.failed;
+    report.p50_ms = percentile(&outcome.latencies, 0.50);
+    report.p95_ms = percentile(&outcome.latencies, 0.95);
+    report.p99_ms = percentile(&outcome.latencies, 0.99);
+    report.achieved_qps = outcome.completed as f64 / (duration_ms.max(1) as f64 / 1000.0);
+    report.events_streamed = events_streamed;
+    Ok(outcome)
+}
+
+/// Drain gate: fill the pool with accepted jobs, begin the drain, and
+/// verify (a) every accepted job still delivers its `Done`, (b) a new
+/// connection is refused with the typed `shutting_down` goodbye.
+fn run_drain_gate(
+    server: &NetServer,
+    addr: &str,
+    questions: &[Question],
+) -> Result<ShutdownReport, String> {
+    let mut client = Client::connect(addr, &ClientConfig::default()).map_err(|e| e.to_string())?;
+    let burst = server.scheduler().workers() as u64 + 2;
+    let mut accepted = 0u64;
+    for i in 0..burst {
+        let q = &questions[i as usize % questions.len()];
+        if let SubmitOutcome::Accepted { .. } =
+            client.submit(&q.text, Some(9_800_000 + i), false)?
+        {
+            accepted += 1;
+        }
+    }
+    server.begin_shutdown();
+    // A fresh connection must bounce with the typed refusal.
+    let new_conn_rejected = matches!(
+        Client::connect(addr, &ClientConfig::default()),
+        Err(ConnectError::Refused { ref kind, .. }) if kind == "shutting_down"
+    );
+    // The existing connection's accepted jobs all finish.
+    let mut drained = 0u64;
+    for _ in 0..accepted {
+        if client.next_done(Duration::from_secs(300)).is_some() {
+            drained += 1;
+        }
+    }
+    client.bye();
+    Ok(ShutdownReport {
+        accepted,
+        drained,
+        lost: accepted - drained,
+        new_conn_rejected,
+    })
+}
+
+/// Run the full harness. `work_root` receives one work dir for the
+/// server session plus one per digest-gate anchor run.
+pub fn run_load_bench(
+    manifest: &Manifest,
+    work_root: &Path,
+    opts: &LoadOpts,
+) -> InferaResult<LoadBenchReport> {
+    let mut questions = question_set();
+    if opts.max_questions > 0 {
+        questions.truncate(opts.max_questions);
+    }
+    if questions.is_empty() || opts.multipliers.is_empty() {
+        return Err(InferaError::invalid_input(
+            "bench-load needs at least one question and one multiplier",
+        ));
+    }
+
+    let scheduler = build_scheduler(
+        manifest,
+        &work_root.join("server"),
+        opts.seed,
+        opts.sleep_scale,
+        opts.workers,
+        opts.queue_capacity,
+    )?;
+    let server = NetServer::bind(scheduler, "127.0.0.1:0", NetServerConfig::default())?;
+    let addr = server.local_addr().to_string();
+
+    let calibrated_run_ms = calibrate(&addr, &questions, opts.workers)
+        .map_err(|e| InferaError::internal(format!("bench-load calibration: {e}")))?;
+    let capacity_qps = opts.workers as f64 / (calibrated_run_ms as f64 / 1000.0);
+
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut levels: Vec<LoadLevelReport> = Vec::new();
+    // One digest sample list across levels; anchored serially below.
+    let mut sampled: Vec<(usize, u64, String, usize)> = Vec::new();
+    for (level_idx, &multiplier) in opts.multipliers.iter().enumerate() {
+        let offered_qps = (capacity_qps * multiplier).max(0.1);
+        let mut row = LoadLevelReport {
+            multiplier,
+            offered_qps,
+            duration_ms: 0,
+            submitted: 0,
+            accepted: 0,
+            rejected: 0,
+            rejection_rate: 0.0,
+            completed: 0,
+            failed: 0,
+            p50_ms: 0,
+            p95_ms: 0,
+            p99_ms: 0,
+            achieved_qps: 0.0,
+            events_streamed: 0,
+            digests_checked: 0,
+            digests_match: true,
+        };
+        let outcome = run_level(
+            &addr,
+            &questions,
+            opts,
+            level_idx,
+            multiplier,
+            offered_qps,
+            &mut rng,
+            &mut row,
+        )
+        .map_err(|e| {
+            InferaError::internal(format!("bench-load level x{multiplier}: {e}"))
+        })?;
+        for (q_idx, salt, digest) in outcome.digests.iter().take(opts.digest_samples) {
+            sampled.push((*q_idx, *salt, digest.clone(), level_idx));
+        }
+        levels.push(row);
+    }
+
+    // Serial digest gate: re-run the sampled pairs on a fresh
+    // single-worker session and compare bit-for-bit.
+    let pairs: Vec<(usize, u64)> = sampled.iter().map(|(q, s, _, _)| (*q, *s)).collect();
+    let anchors = serial_digests(
+        manifest,
+        &work_root.join("serial_anchor"),
+        opts,
+        &questions,
+        &pairs,
+    )?;
+    for ((_q_idx, _salt, net_digest, level_idx), anchor) in sampled.iter().zip(anchors.iter()) {
+        let level = &mut levels[*level_idx];
+        level.digests_checked += 1;
+        if *net_digest != format!("{anchor:016x}") {
+            level.digests_match = false;
+        }
+    }
+    let digests_match = levels.iter().all(|l| l.digests_match);
+    let saturated = levels.iter().any(|l| l.rejected > 0);
+
+    let shutdown = run_drain_gate(&server, &addr, &questions)
+        .map_err(|e| InferaError::internal(format!("bench-load drain gate: {e}")))?;
+
+    let stats = server.shutdown();
+    debug_assert_eq!(stats.completed, stats.accepted, "pump lost a Done");
+
+    Ok(LoadBenchReport {
+        protocol_version: PROTOCOL_VERSION,
+        questions: questions.len(),
+        seed: opts.seed,
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        connections: opts.connections,
+        sleep_scale: opts.sleep_scale,
+        ensemble_fingerprint: format!("{:016x}", manifest.fingerprint()),
+        calibrated_run_ms,
+        capacity_qps,
+        levels,
+        saturated,
+        shutdown,
+        digests_match,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infera_hacc::EnsembleSpec;
+
+    #[test]
+    fn smoke_load_bench_saturates_and_digests_agree() {
+        let base = std::env::temp_dir().join("infera_loadgen_tests/smoke");
+        std::fs::remove_dir_all(&base).ok();
+        let manifest =
+            infera_hacc::generate(&EnsembleSpec::tiny(73), &base.join("ens")).unwrap();
+        let mut opts = LoadOpts::smoke();
+        opts.jobs_per_level = 8;
+        opts.max_questions = 3;
+        let report = run_load_bench(&manifest, &base.join("work"), &opts).unwrap();
+        assert_eq!(report.levels.len(), 2);
+        assert_eq!(report.protocol_version, PROTOCOL_VERSION);
+        assert!(report.digests_match, "network digests diverged from serial");
+        // Every accepted job reached a terminal Done at every level.
+        for level in &report.levels {
+            assert_eq!(level.accepted, level.completed + level.failed);
+            assert!(level.p99_ms >= level.p50_ms);
+            assert!(level.digests_checked > 0);
+        }
+        // Streaming submissions delivered progress events.
+        assert!(
+            report.levels.iter().any(|l| l.events_streamed > 0),
+            "no progress events streamed"
+        );
+        // The drain gate lost nothing and refused the new connection.
+        assert_eq!(report.shutdown.lost, 0);
+        assert!(report.shutdown.new_conn_rejected);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("rejection_rate"));
+        assert!(json.contains("events_streamed"));
+        let text = report.to_text();
+        assert!(text.contains("drain gate"));
+    }
+}

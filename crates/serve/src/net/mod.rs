@@ -1,0 +1,47 @@
+//! The network front end: persistent-connection serving over a
+//! versioned, line-delimited JSON wire protocol.
+//!
+//! Layout:
+//!
+//! * [`protocol`] — the wire types ([`Request`]/[`Response`]/[`Event`],
+//!   `protocol_version` handshake, stable reject/error code mappings)
+//!   and the [`protocol::event_from_bus`] bus→wire event translation;
+//! * [`conn`] — the transport-agnostic connection core shared by TCP
+//!   connections and the stdio `infera serve` loop (one admission code
+//!   path for both);
+//! * [`server`] — [`NetServer`]: a thread-per-connection TCP listener
+//!   with per-client event streaming, disconnect-cancels-job, and
+//!   graceful drain (in-flight jobs finish; new connections get a typed
+//!   `Goodbye`);
+//! * [`client`] — [`Client`]: a blocking client speaking the protocol
+//!   (used by `bench-load`, the integration tests, and scripts);
+//! * [`loadgen`] — the `bench-load` saturation harness: an open-loop
+//!   arrival process over the eval question set, reporting p50/p99
+//!   latency, rejection rate, and streamed-event counts per offered
+//!   load into `BENCH_load.json`, anchored by the serial digest gate.
+//!
+//! The server is thread-per-connection rather than an async reactor:
+//! the workload is a small number of heavyweight jobs per connection
+//! (workflow runs, not packet pushing), so a blocking reader thread plus
+//! a writer pump per client is simpler and performs identically at the
+//! scales the scheduler can feed. Nothing in the wire protocol encodes
+//! that choice — `protocol_version` gates any future transport change.
+//!
+//! [`Request`]: protocol::Request
+//! [`Response`]: protocol::Response
+//! [`Event`]: protocol::Event
+
+pub mod client;
+pub mod conn;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ConnectError, ServerInfo, SubmitOutcome};
+pub use conn::{run_connection, ConnOptions, ConnStats};
+pub use loadgen::{run_load_bench, LoadBenchReport, LoadLevelReport, LoadOpts};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, event_from_bus, Event,
+    JobDone, ProtocolError, RejectCode, Request, Response, PROTOCOL_VERSION,
+};
+pub use server::{NetServer, NetServerConfig};

@@ -1,0 +1,542 @@
+//! The versioned wire protocol: line-delimited JSON, one message per
+//! line, externally-tagged (`{"Variant": {...}}` / `"Variant"` for unit
+//! variants — serde's default, kept deliberately so the schema needs no
+//! custom tagging support from client libraries).
+//!
+//! ## Handshake
+//!
+//! The first message on a connection must be [`Request::Hello`] carrying
+//! the client's `protocol_version`. The server answers with
+//! [`Response::Hello`] (its own version + capacity facts) if the major
+//! version matches, or [`Response::Error`] with kind
+//! `protocol_mismatch` and closes. Everything before a successful
+//! handshake except `Hello` is a protocol error.
+//!
+//! ## Message reference
+//!
+//! | request  | payload                                        | responses |
+//! |----------|------------------------------------------------|-----------|
+//! | `Hello`  | `protocol_version`, optional `client` name     | `Hello` or `Error` |
+//! | `Submit` | `question`, optional `salt`/`semantic`/`timeout_ms`, `events` flag | `Accepted` or `Rejected`, later `Event`* and one `Done` |
+//! | `Cancel` | `job`                                          | `CancelAck` |
+//! | `Ping`   | —                                              | `Pong` |
+//! | `Bye`    | —                                              | `Goodbye`, then close |
+//!
+//! Unsolicited from the server: [`Response::Event`] (progress stream for
+//! jobs submitted with `events: true`), [`Response::Done`] (terminal,
+//! exactly one per accepted job), and [`Response::Goodbye`] when the
+//! server starts draining.
+//!
+//! ## Stability
+//!
+//! The enums are `#[non_exhaustive]`: new variants may appear in any
+//! minor revision, and clients must ignore unknown response variants
+//! rather than fail. Existing variants' field names and JSON shapes are
+//! pinned byte-for-byte by the golden-file test
+//! (`crates/serve/tests/protocol_golden.rs`); changing them requires a
+//! `PROTOCOL_VERSION` bump and a conscious golden update.
+//! [`RejectCode`] mirrors [`RejectReason`] and [`Response::Error`]'s
+//! `kind` carries [`infera_core::ErrorKind::label`] strings — both are
+//! stable vocabularies, not Rust debug output.
+
+use crate::job::{JobResult, JobStatus, RejectReason};
+use infera_obs::{AttrValue, BusEvent, BusEventKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Current protocol version. Bump on any wire-visible breaking change;
+/// the handshake rejects mismatched majors.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Error kind label used when the handshake versions disagree.
+pub const PROTOCOL_MISMATCH: &str = "protocol_mismatch";
+/// Error kind label for unparseable or out-of-order messages.
+pub const PROTOCOL_VIOLATION: &str = "protocol_violation";
+
+/// Client → server messages.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Opens the connection; must be the first message.
+    Hello {
+        protocol_version: u32,
+        /// Optional client identity for logs/metrics.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        client: Option<String>,
+    },
+    /// Submit a question for execution.
+    Submit {
+        question: String,
+        /// Run salt; `None` lets the server pick one (job id). The salt
+        /// is part of the determinism contract: same `(seed, salt)` —
+        /// same report, same digest.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        salt: Option<u64>,
+        /// Semantic level label (`easy`/`medium`/`hard`); `None`
+        /// estimates it from the wording.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        semantic: Option<String>,
+        /// Per-job deadline in milliseconds.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        timeout_ms: Option<u64>,
+        /// Stream progress [`Event`]s for this job to this connection.
+        #[serde(default)]
+        events: bool,
+    },
+    /// Cancel a previously accepted job (by server-assigned id).
+    Cancel { job: u64 },
+    /// Liveness probe.
+    Ping,
+    /// Orderly close: the server answers `Goodbye` and closes.
+    Bye,
+}
+
+/// Why a submission (or, during drain, a whole connection) was refused.
+/// Mirrors [`RejectReason`] with stable wire names.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RejectCode {
+    /// The bounded job queue is at capacity; back off and retry.
+    QueueFull { capacity: u64 },
+    /// A failure class's circuit is open; `class` is the
+    /// [`infera_core::ErrorKind`] label.
+    CircuitOpen { class: String },
+    /// The server is draining: in-flight jobs finish, nothing new is
+    /// admitted.
+    ShuttingDown,
+}
+
+impl From<&RejectReason> for RejectCode {
+    fn from(reason: &RejectReason) -> RejectCode {
+        match reason {
+            RejectReason::QueueFull { capacity } => RejectCode::QueueFull {
+                capacity: *capacity as u64,
+            },
+            RejectReason::CircuitOpen { class } => RejectCode::CircuitOpen {
+                class: class.clone(),
+            },
+            RejectReason::ShuttingDown => RejectCode::ShuttingDown,
+        }
+    }
+}
+
+/// Terminal job summary, the wire form of [`JobResult`]. Failure fields
+/// are absent on success and vice versa.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobDone {
+    pub job: u64,
+    pub salt: u64,
+    pub ok: bool,
+    /// Hex digest of the report's deterministic fields (`0…0` on
+    /// failure); equal digests mean bit-identical analytical output.
+    pub digest: String,
+    pub cache_hit: bool,
+    pub queue_ms: u64,
+    pub run_ms: u64,
+    pub attempts: u32,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub completed: Option<bool>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub redos: Option<u64>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tokens: Option<u64>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub result_rows: Option<u64>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub visualizations: Option<u64>,
+    /// [`infera_core::ErrorKind::label`] of the failure.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error_kind: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+impl From<&JobResult> for JobDone {
+    fn from(result: &JobResult) -> JobDone {
+        let mut done = JobDone {
+            job: result.id,
+            salt: result.salt,
+            ok: false,
+            digest: format!("{:016x}", result.digest),
+            cache_hit: result.cache_hit,
+            queue_ms: result.queue_ms,
+            run_ms: result.run_ms,
+            attempts: result.attempts,
+            completed: None,
+            redos: None,
+            tokens: None,
+            result_rows: None,
+            visualizations: None,
+            error_kind: None,
+            error: None,
+        };
+        match &result.status {
+            JobStatus::Done(report) => {
+                done.ok = true;
+                done.completed = Some(report.completed);
+                done.redos = Some(u64::from(report.redos));
+                done.tokens = Some(report.tokens);
+                done.result_rows =
+                    Some(report.result.as_ref().map_or(0, |f| f.n_rows()) as u64);
+                done.visualizations = Some(report.visualizations.len() as u64);
+            }
+            JobStatus::Failed(err) => {
+                done.error_kind = Some(err.kind().label().to_string());
+                done.error = Some(err.to_string());
+            }
+        }
+        done
+    }
+}
+
+/// Server → client messages.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake accepted; capacity facts for client-side pacing.
+    Hello {
+        protocol_version: u32,
+        server: String,
+        workers: u64,
+        queue_capacity: u64,
+    },
+    /// Submission admitted; `job` is the id all later messages carry.
+    Accepted { job: u64, salt: u64 },
+    /// Submission refused by admission control. The connection stays
+    /// usable — back off per `code` and resubmit.
+    Rejected { code: RejectCode, message: String },
+    /// Cancel processed; `known` is false for finished/unknown ids.
+    CancelAck { job: u64, known: bool },
+    /// Terminal result for an accepted job (exactly one per job).
+    Done(JobDone),
+    /// Progress stream entry for a job submitted with `events: true`.
+    Event(Event),
+    Pong,
+    /// Protocol-level failure (handshake mismatch, unparseable message,
+    /// submit before hello). `kind` is a stable label.
+    Error { kind: String, message: String },
+    /// Orderly close: answer to `Bye` (no code), or pushed with
+    /// `ShuttingDown` when the server refuses a connection mid-drain.
+    Goodbye {
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        code: Option<RejectCode>,
+        message: String,
+    },
+}
+
+/// Per-job progress events, translated from the scheduler's
+/// [`EventBus`] stream by [`event_from_bus`].
+///
+/// [`EventBus`]: infera_obs::EventBus
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Admitted to the queue.
+    Queued { job: u64, salt: u64 },
+    /// Picked up by a worker after `queue_ms` in the queue.
+    Started { job: u64, queue_ms: u64 },
+    /// The planner produced a plan with `steps` steps.
+    PlanReady { job: u64, steps: u64 },
+    /// A workflow node began (`step` is the node name: `planning`,
+    /// `sql`, `python`, `visualization`, …).
+    StepStarted { job: u64, step: String },
+    /// A QA attempt finished: `outcome` is `accepted` or `redo`.
+    QaAttempt {
+        job: u64,
+        agent: String,
+        attempt: u64,
+        outcome: String,
+    },
+    /// A scatter/gather stage finished (`stage`: `scatter`/`gather`).
+    ShardProgress { job: u64, stage: String, dur_ms: u64 },
+    /// A partial result frame materialized mid-run.
+    FrameReady {
+        job: u64,
+        name: String,
+        rows: u64,
+        cols: u64,
+    },
+    /// A transient failure is being replayed.
+    Retried { job: u64, attempt: u64, error: String },
+    /// Terminal: finished with a report.
+    Completed {
+        job: u64,
+        run_ms: u64,
+        digest: String,
+        cache_hit: bool,
+    },
+    /// Terminal: finished with an error.
+    Failed { job: u64, run_ms: u64, error: String },
+    /// Terminal: the per-job deadline expired.
+    TimedOut { job: u64, run_ms: u64 },
+}
+
+impl Event {
+    /// The job this event belongs to.
+    pub fn job(&self) -> u64 {
+        match self {
+            Event::Queued { job, .. }
+            | Event::Started { job, .. }
+            | Event::PlanReady { job, .. }
+            | Event::StepStarted { job, .. }
+            | Event::QaAttempt { job, .. }
+            | Event::ShardProgress { job, .. }
+            | Event::FrameReady { job, .. }
+            | Event::Retried { job, .. }
+            | Event::Completed { job, .. }
+            | Event::Failed { job, .. }
+            | Event::TimedOut { job, .. } => *job,
+        }
+    }
+
+    /// Whether this is the job's last event (a terminal transition).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::Completed { .. } | Event::Failed { .. } | Event::TimedOut { .. }
+        )
+    }
+}
+
+/// A wire-protocol failure surfaced by [`decode_request`] /
+/// [`decode_response`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// Stable kind label ([`PROTOCOL_MISMATCH`] or [`PROTOCOL_VIOLATION`]).
+    pub kind: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Serialize a request to its single-line wire form (no trailing `\n`).
+pub fn encode_request(req: &Request) -> String {
+    serde_json::to_string(req).unwrap_or_default()
+}
+
+/// Serialize a response to its single-line wire form (no trailing `\n`).
+pub fn encode_response(resp: &Response) -> String {
+    serde_json::to_string(resp).unwrap_or_default()
+}
+
+/// Parse one request line.
+pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
+    serde_json::from_str(line.trim()).map_err(|e| ProtocolError {
+        kind: PROTOCOL_VIOLATION,
+        message: format!("unparseable request: {e}"),
+    })
+}
+
+/// Parse one response line.
+pub fn decode_response(line: &str) -> Result<Response, ProtocolError> {
+    serde_json::from_str(line.trim()).map_err(|e| ProtocolError {
+        kind: PROTOCOL_VIOLATION,
+        message: format!("unparseable response: {e}"),
+    })
+}
+
+/// Validate a client's `Hello` version against the server's. One major
+/// version today, so the check is equality.
+pub fn handshake_check(client_version: u32) -> Result<(), ProtocolError> {
+    if client_version == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(ProtocolError {
+            kind: PROTOCOL_MISMATCH,
+            message: format!(
+                "client speaks protocol v{client_version}, server v{PROTOCOL_VERSION}"
+            ),
+        })
+    }
+}
+
+fn attr_u64(attrs: &BTreeMap<String, AttrValue>, key: &str) -> u64 {
+    attrs.get(key).and_then(AttrValue::as_u64).unwrap_or(0)
+}
+
+fn attr_str(attrs: &BTreeMap<String, AttrValue>, key: &str) -> String {
+    attrs
+        .get(key)
+        .and_then(AttrValue::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn attr_bool(attrs: &BTreeMap<String, AttrValue>, key: &str) -> bool {
+    matches!(attrs.get(key), Some(AttrValue::Bool(true)))
+}
+
+/// Translate one scheduler-bus event into its wire form, if it is part
+/// of the client-facing progress vocabulary. Returns `None` for events
+/// with no job identity and for internal-only span/point traffic (the
+/// full-fidelity stream remains available on the bus itself).
+pub fn event_from_bus(ev: &BusEvent) -> Option<Event> {
+    use crate::telemetry::event_names as names;
+    let job = ev.job_id()?;
+    match &ev.kind {
+        BusEventKind::Job { name, attrs } => match name.as_str() {
+            names::JOB_QUEUED => Some(Event::Queued {
+                job,
+                salt: attr_u64(attrs, "salt"),
+            }),
+            names::JOB_STARTED => Some(Event::Started {
+                job,
+                queue_ms: attr_u64(attrs, "queue_ms"),
+            }),
+            names::JOB_RETRIED => Some(Event::Retried {
+                job,
+                attempt: attr_u64(attrs, "attempt"),
+                error: attr_str(attrs, "error"),
+            }),
+            names::JOB_COMPLETED => Some(Event::Completed {
+                job,
+                run_ms: attr_u64(attrs, "run_ms"),
+                digest: attr_str(attrs, "digest"),
+                cache_hit: attr_bool(attrs, "cache_hit"),
+            }),
+            names::JOB_FAILED => Some(Event::Failed {
+                job,
+                run_ms: attr_u64(attrs, "run_ms"),
+                error: attr_str(attrs, "error"),
+            }),
+            names::JOB_TIMED_OUT => Some(Event::TimedOut {
+                job,
+                run_ms: attr_u64(attrs, "run_ms"),
+            }),
+            _ => None,
+        },
+        BusEventKind::SpanOpened { name, .. } => name
+            .strip_prefix("node:")
+            .map(|step| Event::StepStarted {
+                job,
+                step: step.to_string(),
+            }),
+        BusEventKind::SpanClosed {
+            name,
+            dur_us,
+            attrs,
+            ..
+        } => {
+            if name == "attempt" {
+                Some(Event::QaAttempt {
+                    job,
+                    agent: attr_str(attrs, "agent"),
+                    attempt: attr_u64(attrs, "attempt"),
+                    outcome: attr_str(attrs, "outcome"),
+                })
+            } else {
+                name.strip_prefix("shard:").map(|stage| Event::ShardProgress {
+                    job,
+                    stage: stage.to_string(),
+                    dur_ms: dur_us / 1000,
+                })
+            }
+        }
+        BusEventKind::Point { name, attrs } => match name.as_str() {
+            "plan_ready" => Some(Event::PlanReady {
+                job,
+                steps: attr_u64(attrs, "plan_steps"),
+            }),
+            "frame_ready" => Some(Event::FrameReady {
+                job,
+                name: attr_str(attrs, "frame"),
+                rows: attr_u64(attrs, "rows"),
+                cols: attr_u64(attrs, "cols"),
+            }),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Hello {
+                protocol_version: PROTOCOL_VERSION,
+                client: Some("test".into()),
+            },
+            Request::Submit {
+                question: "How many halos?".into(),
+                salt: Some(7),
+                semantic: None,
+                timeout_ms: Some(5000),
+                events: true,
+            },
+            Request::Cancel { job: 3 },
+            Request::Ping,
+            Request::Bye,
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            assert!(!line.contains('\n'), "one message per line: {line}");
+            assert_eq!(decode_request(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Accepted { job: 1, salt: 1 },
+            Response::Rejected {
+                code: RejectCode::QueueFull { capacity: 64 },
+                message: "queue full (capacity 64)".into(),
+            },
+            Response::Event(Event::StepStarted {
+                job: 1,
+                step: "sql".into(),
+            }),
+            Response::Pong,
+            Response::Goodbye {
+                code: Some(RejectCode::ShuttingDown),
+                message: "draining".into(),
+            },
+        ];
+        for resp in resps {
+            let line = encode_response(&resp);
+            assert_eq!(decode_response(&line).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn handshake_rejects_version_skew() {
+        assert!(handshake_check(PROTOCOL_VERSION).is_ok());
+        let err = handshake_check(PROTOCOL_VERSION + 1).unwrap_err();
+        assert_eq!(err.kind, PROTOCOL_MISMATCH);
+    }
+
+    #[test]
+    fn reject_code_mirrors_reject_reason() {
+        assert_eq!(
+            RejectCode::from(&RejectReason::QueueFull { capacity: 8 }),
+            RejectCode::QueueFull { capacity: 8 }
+        );
+        assert_eq!(
+            RejectCode::from(&RejectReason::CircuitOpen {
+                class: "storage".into()
+            }),
+            RejectCode::CircuitOpen {
+                class: "storage".into()
+            }
+        );
+        assert_eq!(
+            RejectCode::from(&RejectReason::ShuttingDown),
+            RejectCode::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn garbage_is_a_typed_protocol_violation() {
+        let err = decode_request("{not json").unwrap_err();
+        assert_eq!(err.kind, PROTOCOL_VIOLATION);
+    }
+}

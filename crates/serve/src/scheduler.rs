@@ -48,6 +48,7 @@
 use crate::cache::{ResultCache, ResultKey};
 use crate::digest::report_digest;
 use crate::flight::{FlightEntry, FlightOutcome, FlightRecorder};
+use crate::handle::{JobEvents, JobHandle, JobSlot};
 use crate::job::{JobResult, JobSpec, JobStatus, RejectReason};
 use crate::resilience::{is_transient, BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::telemetry::{self, event_names};
@@ -134,6 +135,8 @@ struct QueuedJob {
     spec: JobSpec,
     cancel: CancelToken,
     admitted: Instant,
+    /// Completion slot shared with the submitter's [`JobHandle`].
+    slot: Arc<JobSlot>,
 }
 
 struct SchedulerShared {
@@ -167,7 +170,10 @@ pub struct Scheduler {
     /// `None` once shutdown began: dropping the sender closes the queue,
     /// so workers drain what was admitted and exit.
     tx: Mutex<Option<channel::Sender<QueuedJob>>>,
-    results_rx: channel::Receiver<JobResult>,
+    /// Behind a mutex for `Sync`: the stub crossbeam receiver is
+    /// mpsc-backed, and the network server shares the scheduler across
+    /// connection threads.
+    results_rx: Mutex<channel::Receiver<JobResult>>,
     handles: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
     queue_capacity: usize,
@@ -244,17 +250,38 @@ impl Scheduler {
         Ok(Scheduler {
             shared,
             tx: Mutex::new(Some(tx)),
-            results_rx,
+            results_rx: Mutex::new(results_rx),
             handles,
             next_id: AtomicU64::new(0),
             queue_capacity: config.queue_capacity.max(1),
         })
     }
 
+    /// Submit a fully-specified job, returning a typed [`JobHandle`] to
+    /// await, poll, or cancel it. Non-blocking: a full queue, an open
+    /// circuit, or a shutdown in progress rejects with a reason.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, RejectReason> {
+        self.admit(spec, None)
+    }
+
+    /// Submit with a live per-job event stream: the handle's
+    /// [`JobHandle::events`] yields this job's lifecycle and span events
+    /// (queued → plan → steps → QA attempts → completion), subscribed
+    /// *before* admission so nothing is missed. `event_capacity` bounds
+    /// the subscriber buffer — a slow consumer drops events (counted),
+    /// never blocks the workers.
+    pub fn submit_streaming(
+        &self,
+        spec: JobSpec,
+        event_capacity: usize,
+    ) -> Result<JobHandle, RejectReason> {
+        self.admit(spec, Some(event_capacity))
+    }
+
     /// Submit a question with an auto-assigned salt (the job id).
-    pub fn submit(&self, question: &str) -> Result<u64, RejectReason> {
+    pub fn submit_question(&self, question: &str) -> Result<JobHandle, RejectReason> {
         let salt = self.next_id.load(Ordering::Relaxed) + 1;
-        self.submit_spec(JobSpec::new(question, salt))
+        self.submit(JobSpec::new(question, salt))
     }
 
     fn reject(&self, reason: RejectReason, label: &str) -> RejectReason {
@@ -266,9 +293,11 @@ impl Scheduler {
         reason
     }
 
-    /// Submit a fully-specified job. Non-blocking: a full queue, an open
-    /// circuit, or a shutdown in progress rejects with a reason.
-    pub fn submit_spec(&self, spec: JobSpec) -> Result<u64, RejectReason> {
+    fn admit(
+        &self,
+        spec: JobSpec,
+        event_capacity: Option<usize>,
+    ) -> Result<JobHandle, RejectReason> {
         if self.shared.shutting_down.load(Ordering::Relaxed) {
             return Err(self.reject(RejectReason::ShuttingDown, "shutting_down"));
         }
@@ -287,16 +316,25 @@ impl Scheduler {
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let salt = spec.salt;
+        let question = spec.question.clone();
         let cancel = CancelToken::new();
+        let slot = JobSlot::new();
+        // Subscribe before the enqueue (and before the job_queued event
+        // below) so the stream opens with this job's admission.
+        let events = event_capacity.map(|capacity| JobEvents {
+            sub: self.shared.bus.subscribe(capacity),
+            job: id,
+        });
         let job = QueuedJob {
             id,
             spec,
             cancel: cancel.clone(),
             admitted: Instant::now(),
+            slot: slot.clone(),
         };
         match tx.try_send(job) {
             Ok(()) => {
-                self.shared.inflight.lock().insert(id, cancel);
+                self.shared.inflight.lock().insert(id, cancel.clone());
                 self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
                 self.shared.sync_queue_gauge();
                 self.shared.metrics.inc(metric_names::JOBS_ACCEPTED, 1);
@@ -304,7 +342,14 @@ impl Scheduler {
                     event_names::JOB_QUEUED,
                     &[("job", AttrValue::from(id)), ("salt", AttrValue::from(salt))],
                 );
-                Ok(id)
+                Ok(JobHandle {
+                    id,
+                    salt,
+                    question,
+                    slot,
+                    cancel,
+                    events,
+                })
             }
             Err(TrySendError::Full(_)) => Err(self.reject(
                 RejectReason::QueueFull {
@@ -316,6 +361,14 @@ impl Scheduler {
                 Err(self.reject(RejectReason::ShuttingDown, "shutting_down"))
             }
         }
+    }
+
+    /// Deprecated shim over [`Scheduler::submit`]: returns the bare job
+    /// id and leaves the result on the shared completion-ordered channel
+    /// ([`Scheduler::next_result`]).
+    #[deprecated(note = "use Scheduler::submit, which returns a typed JobHandle")]
+    pub fn submit_spec(&self, spec: JobSpec) -> Result<u64, RejectReason> {
+        self.submit(spec).map(|handle| handle.id())
     }
 
     /// Cancel a queued or running job. Queued jobs complete as
@@ -331,20 +384,55 @@ impl Scheduler {
         }
     }
 
-    /// Block until the next finished job (`None` once all workers exited
-    /// and the buffer is drained).
+    /// Deprecated shim: block until the next finished job (`None` once
+    /// all workers exited and the buffer is drained). New code awaits
+    /// the [`JobHandle`] returned by [`Scheduler::submit`] instead —
+    /// per-job routing, no completion-order coupling.
+    #[deprecated(note = "await the JobHandle returned by Scheduler::submit")]
     pub fn next_result(&self) -> Option<JobResult> {
-        self.results_rx.recv().ok()
+        self.results_rx.lock().recv().ok()
     }
 
-    /// Non-blocking result poll.
+    /// Deprecated shim: non-blocking result poll. New code uses
+    /// [`JobHandle::try_result`].
+    #[deprecated(note = "poll the JobHandle returned by Scheduler::submit")]
     pub fn try_next_result(&self) -> Option<JobResult> {
-        self.results_rx.try_recv().ok()
+        self.results_rx.lock().try_recv().ok()
+    }
+
+    /// Drain the legacy completion-ordered channel without blocking.
+    /// Handle-based callers never read it, so a long-lived server must
+    /// empty it periodically or the buffer grows without bound.
+    pub(crate) fn drain_results(&self) -> usize {
+        let rx = self.results_rx.lock();
+        let mut drained = 0;
+        while rx.try_recv().is_ok() {
+            drained += 1;
+        }
+        drained
     }
 
     /// Jobs admitted but not yet picked up by a worker.
     pub fn queue_depth(&self) -> u64 {
         self.shared.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Bounded queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// A salt equal to the next job id — the auto-salt for submissions
+    /// that don't pin one. Advisory: concurrent submitters may observe
+    /// the same value, which only means those jobs share a cache key if
+    /// the question matches too.
+    pub fn auto_salt(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed) + 1
     }
 
     pub fn metrics(&self) -> &MetricsRegistry {
@@ -419,7 +507,7 @@ impl Scheduler {
             let _ = handle.join();
         }
         let mut results = Vec::new();
-        while let Ok(result) = self.results_rx.try_recv() {
+        while let Ok(result) = self.results_rx.lock().try_recv() {
             results.push(result);
         }
         results.sort_by_key(|r| r.id);
@@ -500,6 +588,10 @@ fn worker_loop(
                 }
             }
         }
+        // The handle's slot is completed first: JobHandle::wait must
+        // never hang on a finished job, even if the legacy channel's
+        // receiver is gone.
+        job.slot.complete(result.clone());
         if results_tx.send(result).is_err() {
             break; // scheduler dropped mid-flight
         }
@@ -811,18 +903,53 @@ mod tests {
             session("complete"),
             ServeConfig::with_pool(1, 8),
         );
-        let a = sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-        let b = sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-        assert_ne!(a, b);
-        let results = sched.shutdown();
-        assert_eq!(results.len(), 2);
-        assert!(results.iter().all(|r| r.report().is_some()));
-        assert_eq!(results[0].digest, results[1].digest, "same salt, same report");
-        assert!(
-            results.iter().any(|r| r.cache_hit),
-            "second identical job is served from cache"
+        let a = sched.submit(JobSpec::new(Q, 5)).unwrap();
+        let b = sched.submit(JobSpec::new(Q, 5)).unwrap();
+        assert_ne!(a.id(), b.id());
+        // Handles deliver per-job, independent of completion order.
+        let ra = a.wait();
+        let rb = b.wait();
+        assert!(a.is_finished() && b.is_finished());
+        assert_eq!(ra.id, a.id());
+        assert_eq!(rb.id, b.id());
+        assert!(ra.report().is_some() && rb.report().is_some());
+        assert_eq!(ra.digest, rb.digest, "same salt, same report");
+        assert!(rb.cache_hit, "second identical job is served from cache");
+        assert!(ra.attempts == 1 && rb.attempts == 1, "no retries needed");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn streaming_submit_delivers_this_jobs_events_only() {
+        let sched = Scheduler::new(
+            session("streaming"),
+            ServeConfig::with_pool(2, 8),
         );
-        assert!(results.iter().all(|r| r.attempts == 1), "no retries needed");
+        let other = sched.submit(JobSpec::new(Q, 11)).unwrap();
+        let mut handle = sched
+            .submit_streaming(JobSpec::new(Q, 12), 4096)
+            .unwrap();
+        let result = handle.wait();
+        assert!(result.report().is_some());
+        other.wait();
+        let events = handle.take_events().expect("streaming submit has events");
+        let got = events.drain();
+        assert!(!got.is_empty(), "a completed job must have streamed events");
+        assert!(
+            got.iter().all(|ev| ev.job_id() == Some(handle.id())),
+            "event stream is scoped to the submitted job"
+        );
+        // The stream opens at admission and ends with a terminal event.
+        let names: Vec<&str> = got
+            .iter()
+            .filter_map(|ev| match &ev.kind {
+                infera_obs::BusEventKind::Job { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names.first(), Some(&event_names::JOB_QUEUED));
+        assert_eq!(names.last(), Some(&event_names::JOB_COMPLETED));
+        sched.shutdown();
     }
 
     #[test]
@@ -836,7 +963,7 @@ mod tests {
         );
         let mut rejected = 0;
         for salt in 0..32 {
-            if let Err(reason) = sched.submit_spec(JobSpec::new(Q, salt)) {
+            if let Err(reason) = sched.submit(JobSpec::new(Q, salt)) {
                 assert!(matches!(reason, RejectReason::QueueFull { capacity: 1 }));
                 rejected += 1;
             }
@@ -857,13 +984,13 @@ mod tests {
             ServeConfig::with_pool(1, 8),
         );
         // Queue several; cancel the last before a worker reaches it.
-        let mut last = 0;
-        for salt in 0..4 {
-            last = sched.submit_spec(JobSpec::new(Q, salt)).unwrap();
-        }
-        sched.cancel(last);
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|salt| sched.submit(JobSpec::new(Q, salt)).unwrap())
+            .collect();
+        let last = handles.last().unwrap();
+        last.cancel();
+        let canceled = last.wait();
         let results = sched.shutdown();
-        let canceled = results.iter().find(|r| r.id == last).unwrap();
         // Either a worker saw the token before starting (Failed) or the
         // race lost and it ran to completion; both are legal, but the
         // common path on one worker is cancellation.
@@ -886,18 +1013,33 @@ mod tests {
             session("graceful"),
             ServeConfig::with_pool(1, 8),
         );
-        let a = sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
-        let b = sched.submit_spec(JobSpec::new(Q, 2)).unwrap();
+        let a = sched.submit(JobSpec::new(Q, 1)).unwrap();
+        let b = sched.submit(JobSpec::new(Q, 2)).unwrap();
         sched.begin_shutdown();
         assert!(sched.is_shutting_down());
         assert_eq!(
-            sched.submit_spec(JobSpec::new(Q, 3)),
-            Err(RejectReason::ShuttingDown),
+            sched.submit(JobSpec::new(Q, 3)).err(),
+            Some(RejectReason::ShuttingDown),
             "post-shutdown submissions are rejected, not queued"
         );
         let results = sched.shutdown();
         let ids: Vec<u64> = results.iter().map(|r| r.id).collect();
-        assert_eq!(ids, [a, b], "admitted jobs drain to completion");
+        assert_eq!(ids, [a.id(), b.id()], "admitted jobs drain to completion");
         assert!(results.iter().all(|r| r.report().is_some()));
+        assert!(
+            a.is_finished() && b.is_finished(),
+            "handles observe drained completions too"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_polling_shims_still_deliver() {
+        let sched = Scheduler::new(session("shims"), ServeConfig::with_pool(1, 8));
+        let id = sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
+        let result = sched.next_result().expect("legacy channel delivers");
+        assert_eq!(result.id, id);
+        assert!(sched.try_next_result().is_none());
+        sched.shutdown();
     }
 }

@@ -75,7 +75,7 @@ const Q: &str = "What is the maximum fof_halo_mass at timestep 624 in simulation
 /// fingerprint and digest are identical across instances).
 fn clean_digest(name: &str) -> u64 {
     let sched = Scheduler::new(session(name), ServeConfig::with_pool(1, 4));
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
+    sched.submit(JobSpec::new(Q, 5)).unwrap();
     let results = sched.shutdown();
     assert_eq!(results.len(), 1);
     let r = &results[0];
@@ -95,8 +95,7 @@ fn serve_fault_retries_to_bit_identical_digest() {
         infera_faults::FaultPlan::parse("seed=1;serve.job=nth1").unwrap(),
     );
     let sched = Scheduler::new(session("retry_faulted"), ServeConfig::with_pool(1, 4));
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    let r = sched.next_result().unwrap();
+    let r = sched.submit(JobSpec::new(Q, 5)).unwrap().wait();
     // Counters live on the installed plan, so read before clearing.
     let injected = infera_faults::total_injected();
     infera_faults::clear();
@@ -133,8 +132,7 @@ fn storage_read_fault_aborts_run_and_retry_recovers() {
         infera_faults::FaultPlan::parse("seed=2;storage.read=nth1").unwrap(),
     );
     let sched = Scheduler::new(sess, ServeConfig::with_pool(1, 4));
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    let r = sched.next_result().unwrap();
+    let r = sched.submit(JobSpec::new(Q, 5)).unwrap().wait();
     infera_faults::clear();
 
     assert!(
@@ -162,8 +160,7 @@ fn llm_fault_aborts_run_and_retry_recovers() {
         infera_faults::FaultPlan::parse("seed=11;llm.call=nth1").unwrap(),
     );
     let sched = Scheduler::new(sess, ServeConfig::with_pool(1, 4));
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    let r = sched.next_result().unwrap();
+    let r = sched.submit(JobSpec::new(Q, 5)).unwrap().wait();
     infera_faults::clear();
 
     assert!(
@@ -187,8 +184,7 @@ fn corrupt_chunk_is_quarantined_and_never_retried() {
         infera_faults::FaultPlan::parse("seed=3;storage.read=nth1:corrupt").unwrap(),
     );
     let sched = Scheduler::new(sess, ServeConfig::with_pool(1, 4));
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    let r = sched.next_result().unwrap();
+    let r = sched.submit(JobSpec::new(Q, 5)).unwrap().wait();
     match &r.status {
         JobStatus::Failed(err) => {
             assert_eq!(
@@ -216,20 +212,20 @@ fn corrupt_chunk_is_quarantined_and_never_retried() {
 fn job_panic_is_isolated_and_pool_survives() {
     let _g = FaultGuard::install("seed=4;serve.job=nth1:panic");
     let sched = Scheduler::new(session("panic_job"), ServeConfig::with_pool(1, 4));
-    let a = sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    let b = sched.submit_spec(JobSpec::new(Q, 6)).unwrap();
-    let results = vec![sched.next_result().unwrap(), sched.next_result().unwrap()];
+    let a = sched.submit(JobSpec::new(Q, 5)).unwrap();
+    let b = sched.submit(JobSpec::new(Q, 6)).unwrap();
+    let results = vec![a.wait(), b.wait()];
 
     assert_eq!(results.len(), 2, "both jobs produce results");
-    let ra = results.iter().find(|r| r.id == a).unwrap();
-    let rb = results.iter().find(|r| r.id == b).unwrap();
+    let ra = results.iter().find(|r| r.id == a.id()).unwrap();
+    let rb = results.iter().find(|r| r.id == b.id()).unwrap();
     match &ra.status {
         JobStatus::Failed(err) => {
             assert_eq!(err.kind(), ErrorKind::Internal);
             assert!(err.message().contains("job panicked"), "{err}");
             assert!(err.message().contains("fault-injected"), "{err}");
         }
-        JobStatus::Done(_) => panic!("the injected panic must fail job {a}"),
+        JobStatus::Done(_) => panic!("the injected panic must fail job {}", a.id()),
     }
     assert!(
         rb.report().is_some(),
@@ -249,8 +245,7 @@ fn worker_panic_respawns_without_shrinking_the_pool() {
     // respawn guard must bring it back and the pool must still serve.
     let _g = FaultGuard::install("seed=5;serve.worker=nth1:panic");
     let sched = Scheduler::new(session("panic_worker"), ServeConfig::with_pool(1, 4));
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    let r = sched.next_result().unwrap();
+    let r = sched.submit(JobSpec::new(Q, 5)).unwrap().wait();
 
     assert!(
         r.report().is_some(),
@@ -274,17 +269,17 @@ fn repeated_failures_open_the_breaker_and_shed_load() {
         cooldown: Duration::from_secs(120),
     };
     let sched = Scheduler::new(session("breaker"), config);
-    sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
-    sched.submit_spec(JobSpec::new(Q, 2)).unwrap();
-    let first = sched.next_result().unwrap();
-    let second = sched.next_result().unwrap();
+    let ha = sched.submit(JobSpec::new(Q, 1)).unwrap();
+    let hb = sched.submit(JobSpec::new(Q, 2)).unwrap();
+    let first = ha.wait();
+    let second = hb.wait();
     for r in [&first, &second] {
         assert!(matches!(r.status, JobStatus::Failed(_)), "every attempt was faulted");
         assert_eq!(r.attempts, 2, "retry budget consumed");
     }
-    match sched.submit_spec(JobSpec::new(Q, 3)) {
+    match sched.submit(JobSpec::new(Q, 3)) {
         Err(RejectReason::CircuitOpen { class }) => assert_eq!(class, "storage"),
-        other => panic!("expected circuit-open rejection, got {other:?}"),
+        other => panic!("expected circuit-open rejection, got {:?}", other.err()),
     }
     let reg = sched.metrics();
     assert_eq!(reg.counter(metric_names::BREAKER_OPENED), 1);
@@ -304,12 +299,12 @@ fn graceful_shutdown_under_faults_loses_nothing() {
     let sched = Scheduler::new(session("graceful_chaos"), ServeConfig::with_pool(1, 8));
     let mut admitted = Vec::new();
     for salt in 0..4 {
-        admitted.push(sched.submit_spec(JobSpec::new(Q, salt)).unwrap());
+        admitted.push(sched.submit(JobSpec::new(Q, salt)).unwrap().id());
     }
     sched.begin_shutdown();
     assert!(matches!(
-        sched.submit_spec(JobSpec::new(Q, 99)),
-        Err(RejectReason::ShuttingDown)
+        sched.submit(JobSpec::new(Q, 99)).err(),
+        Some(RejectReason::ShuttingDown)
     ));
     // Retries still run during the drain (minus the backoff sleep), so
     // the faulted job completes rather than failing out of the queue.
@@ -333,9 +328,9 @@ fn persisted_artifacts_reconcile_injected_vs_recovered() {
     let sched = Scheduler::new(session("reconcile"), ServeConfig::with_pool(1, 4));
     // Job 1 hits serve.job (retried); job 2 repeats the question, hits
     // the forced cache.result miss, and recomputes to the same digest.
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    sched.submit_spec(JobSpec::new(Q, 5)).unwrap();
-    let results = vec![sched.next_result().unwrap(), sched.next_result().unwrap()];
+    let ha = sched.submit(JobSpec::new(Q, 5)).unwrap();
+    let hb = sched.submit(JobSpec::new(Q, 5)).unwrap();
+    let results = vec![ha.wait(), hb.wait()];
     assert_eq!(results.len(), 2);
     assert!(results.iter().all(|r| r.report().is_some()));
     assert_eq!(

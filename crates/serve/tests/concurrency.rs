@@ -41,7 +41,7 @@ fn run_with_workers(name: &str, workers: usize) -> HashMap<u64, u64> {
     );
     for (i, q) in QUESTIONS.iter().enumerate() {
         sched
-            .submit_spec(JobSpec::new(*q, (i as u64 + 1) * 100))
+            .submit(JobSpec::new(*q, (i as u64 + 1) * 100))
             .unwrap();
     }
     let results = sched.shutdown();
@@ -86,7 +86,7 @@ fn shared_cache_survives_hammering() {
     );
     for salt in 0..16u64 {
         sched
-            .submit_spec(JobSpec::new(QUESTIONS[0], salt))
+            .submit(JobSpec::new(QUESTIONS[0], salt))
             .unwrap();
     }
     let results = sched.shutdown();
@@ -108,7 +108,7 @@ fn shared_cache_survives_hammering() {
     );
     for salt in 0..16u64 {
         sched2
-            .submit_spec(JobSpec::new(QUESTIONS[0], salt))
+            .submit(JobSpec::new(QUESTIONS[0], salt))
             .unwrap();
     }
     let second = sched2.shutdown();
@@ -156,7 +156,9 @@ fn result_cache_invalidates_on_fingerprint_change() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn scheduler_results_arrive_via_polling_too() {
+    // The deprecated polling shims must keep working for old callers.
     let (session, _) = build_session(
         "polling",
         SessionConfig::default().with_profile(BehaviorProfile::perfect()),

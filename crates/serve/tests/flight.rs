@@ -38,11 +38,11 @@ fn slow_and_failed_jobs_are_retrievable_with_full_traces() {
 
     // A normal job: completes, and with an empty slowest ring it is by
     // definition among the N slowest, so its trace is retained.
-    sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
+    sched.submit(JobSpec::new(Q, 1)).unwrap();
     // An injected timeout: a deadline no real run can meet. It must
     // land in the failure ring even though there is no RunReport.
     sched
-        .submit_spec(JobSpec::new(Q, 2).timeout(Duration::from_nanos(1)))
+        .submit(JobSpec::new(Q, 2).timeout(Duration::from_nanos(1)))
         .unwrap();
     let results = sched.shutdown();
     assert_eq!(results.len(), 2);
@@ -93,7 +93,7 @@ fn failing_jobs_keep_traces_too() {
     let sched = Scheduler::new(session, ServeConfig::with_pool(1, 4));
     let flight = sched.flight_recorder().clone();
     sched
-        .submit_spec(JobSpec::new(
+        .submit(JobSpec::new(
             "What is the maximum bogus_column_xyz at timestep 624 in simulation 1?",
             3,
         ))
@@ -124,7 +124,7 @@ fn slowest_ring_respects_capacity_end_to_end() {
     let sched = Scheduler::new(session, config);
     let flight = sched.flight_recorder().clone();
     for salt in 1..=5u64 {
-        sched.submit_spec(JobSpec::new(Q, salt)).unwrap();
+        sched.submit(JobSpec::new(Q, salt)).unwrap();
     }
     let results = sched.shutdown();
     assert_eq!(results.len(), 5);
@@ -144,9 +144,9 @@ fn serve_artifacts_roundtrip_through_stats_loader() {
         SessionConfig::default().with_profile(BehaviorProfile::perfect()),
     );
     let sched = Scheduler::new(session, ServeConfig::with_pool(2, 8));
-    sched.submit_spec(JobSpec::new(Q, 1)).unwrap();
+    sched.submit(JobSpec::new(Q, 1)).unwrap();
     sched
-        .submit_spec(JobSpec::new(Q, 2).timeout(Duration::from_nanos(1)))
+        .submit(JobSpec::new(Q, 2).timeout(Duration::from_nanos(1)))
         .unwrap();
     let work = std::env::temp_dir().join("infera_serve_flight_it/artifacts_out");
     std::fs::remove_dir_all(&work).ok();

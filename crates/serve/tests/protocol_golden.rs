@@ -1,0 +1,337 @@
+//! Golden-file test pinning the wire protocol byte-for-byte.
+//!
+//! `tests/golden/protocol_v1.txt` holds the exact line-delimited JSON
+//! for every message in the v1 vocabulary. Clients in other languages
+//! parse these bytes, so any drift must be a conscious change: update
+//! the golden file *and* bump `PROTOCOL_VERSION` together.
+//!
+//! The golden lines only use fully-populated messages (every optional
+//! field `Some`) so the bytes don't depend on how a serializer spells
+//! absent optionals; the tolerance tests below pin the decode side for
+//! both spellings (`"field":null` and the field omitted entirely).
+
+use infera_serve::net::{
+    decode_request, decode_response, encode_request, encode_response, Event, JobDone, RejectCode,
+    Request, Response, PROTOCOL_VERSION,
+};
+
+const GOLDEN: &str = include_str!("golden/protocol_v1.txt");
+
+fn golden_lines() -> Vec<(String, String)> {
+    GOLDEN
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (label, json) = l
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("malformed golden line: {l}"));
+            (label.to_string(), json.to_string())
+        })
+        .collect()
+}
+
+fn golden_json(label: &str) -> String {
+    golden_lines()
+        .into_iter()
+        .find(|(l, _)| l == label)
+        .unwrap_or_else(|| panic!("no golden line labeled {label}"))
+        .1
+}
+
+/// Every request message, fully populated, in golden-file order.
+fn golden_requests() -> Vec<(&'static str, Request)> {
+    vec![
+        (
+            "req_hello",
+            Request::Hello {
+                protocol_version: PROTOCOL_VERSION,
+                client: Some("golden".to_string()),
+            },
+        ),
+        (
+            "req_submit",
+            Request::Submit {
+                question: "How many halos survive to z=0?".to_string(),
+                salt: Some(42),
+                semantic: Some("medium".to_string()),
+                timeout_ms: Some(30000),
+                events: true,
+            },
+        ),
+        ("req_cancel", Request::Cancel { job: 7 }),
+        ("req_ping", Request::Ping),
+        ("req_bye", Request::Bye),
+    ]
+}
+
+/// Every response message (and every event variant), fully populated.
+fn golden_responses() -> Vec<(&'static str, Response)> {
+    let done_ok = JobDone {
+        job: 3,
+        salt: 42,
+        ok: true,
+        digest: "00000000deadbeef".to_string(),
+        cache_hit: false,
+        queue_ms: 12,
+        run_ms: 340,
+        attempts: 1,
+        completed: Some(true),
+        redos: Some(0),
+        tokens: Some(1187),
+        result_rows: Some(24),
+        visualizations: Some(1),
+        error_kind: None,
+        error: None,
+    };
+    let done_failed = JobDone {
+        job: 4,
+        salt: 43,
+        ok: false,
+        digest: "0000000000000000".to_string(),
+        cache_hit: false,
+        queue_ms: 2,
+        run_ms: 51,
+        attempts: 3,
+        completed: None,
+        redos: None,
+        tokens: None,
+        result_rows: None,
+        visualizations: None,
+        error_kind: Some("llm".to_string()),
+        error: Some("llm call failed".to_string()),
+    };
+    vec![
+        (
+            "resp_hello",
+            Response::Hello {
+                protocol_version: PROTOCOL_VERSION,
+                server: "infera-serve".to_string(),
+                workers: 4,
+                queue_capacity: 64,
+            },
+        ),
+        ("resp_accepted", Response::Accepted { job: 3, salt: 42 }),
+        (
+            "resp_rejected_queue_full",
+            Response::Rejected {
+                code: RejectCode::QueueFull { capacity: 64 },
+                message: "queue full (capacity 64)".to_string(),
+            },
+        ),
+        (
+            "resp_rejected_circuit_open",
+            Response::Rejected {
+                code: RejectCode::CircuitOpen {
+                    class: "storage".to_string(),
+                },
+                message: "circuit open for storage".to_string(),
+            },
+        ),
+        (
+            "resp_rejected_shutting_down",
+            Response::Rejected {
+                code: RejectCode::ShuttingDown,
+                message: "server draining".to_string(),
+            },
+        ),
+        (
+            "resp_cancel_ack",
+            Response::CancelAck {
+                job: 7,
+                known: true,
+            },
+        ),
+        ("resp_done_ok", Response::Done(done_ok)),
+        ("resp_done_failed", Response::Done(done_failed)),
+        ("resp_pong", Response::Pong),
+        (
+            "resp_error",
+            Response::Error {
+                kind: "protocol_mismatch".to_string(),
+                message: "client speaks protocol v2, server v1".to_string(),
+            },
+        ),
+        (
+            "resp_goodbye_draining",
+            Response::Goodbye {
+                code: Some(RejectCode::ShuttingDown),
+                message: "server draining: in-flight jobs are completing, no new connections"
+                    .to_string(),
+            },
+        ),
+        (
+            "event_queued",
+            Response::Event(Event::Queued { job: 3, salt: 42 }),
+        ),
+        (
+            "event_started",
+            Response::Event(Event::Started { job: 3, queue_ms: 12 }),
+        ),
+        (
+            "event_plan_ready",
+            Response::Event(Event::PlanReady { job: 3, steps: 4 }),
+        ),
+        (
+            "event_step_started",
+            Response::Event(Event::StepStarted {
+                job: 3,
+                step: "sql".to_string(),
+            }),
+        ),
+        (
+            "event_qa_attempt",
+            Response::Event(Event::QaAttempt {
+                job: 3,
+                agent: "sql".to_string(),
+                attempt: 1,
+                outcome: "accepted".to_string(),
+            }),
+        ),
+        (
+            "event_shard_progress",
+            Response::Event(Event::ShardProgress {
+                job: 3,
+                stage: "scatter".to_string(),
+                dur_ms: 18,
+            }),
+        ),
+        (
+            "event_frame_ready",
+            Response::Event(Event::FrameReady {
+                job: 3,
+                name: "halo_counts".to_string(),
+                rows: 24,
+                cols: 3,
+            }),
+        ),
+        (
+            "event_retried",
+            Response::Event(Event::Retried {
+                job: 3,
+                attempt: 2,
+                error: "transient storage read".to_string(),
+            }),
+        ),
+        (
+            "event_completed",
+            Response::Event(Event::Completed {
+                job: 3,
+                run_ms: 340,
+                digest: "00000000deadbeef".to_string(),
+                cache_hit: false,
+            }),
+        ),
+        (
+            "event_failed",
+            Response::Event(Event::Failed {
+                job: 4,
+                run_ms: 51,
+                error: "llm call failed".to_string(),
+            }),
+        ),
+        (
+            "event_timed_out",
+            Response::Event(Event::TimedOut { job: 5, run_ms: 30000 }),
+        ),
+    ]
+}
+
+#[test]
+fn requests_encode_to_golden_bytes() {
+    for (label, req) in golden_requests() {
+        assert_eq!(
+            encode_request(&req),
+            golden_json(label),
+            "wire bytes drifted for {label} — this is a protocol break; \
+             update golden/protocol_v1.txt and bump PROTOCOL_VERSION"
+        );
+    }
+}
+
+#[test]
+fn responses_encode_to_golden_bytes() {
+    for (label, resp) in golden_responses() {
+        assert_eq!(
+            encode_response(&resp),
+            golden_json(label),
+            "wire bytes drifted for {label} — this is a protocol break; \
+             update golden/protocol_v1.txt and bump PROTOCOL_VERSION"
+        );
+    }
+}
+
+#[test]
+fn golden_bytes_decode_back_to_the_same_messages() {
+    for (label, req) in golden_requests() {
+        let decoded = decode_request(&golden_json(label))
+            .unwrap_or_else(|e| panic!("golden {label} no longer parses: {e}"));
+        assert_eq!(decoded, req, "decode drifted for {label}");
+    }
+    for (label, resp) in golden_responses() {
+        let decoded = decode_response(&golden_json(label))
+            .unwrap_or_else(|e| panic!("golden {label} no longer parses: {e}"));
+        assert_eq!(decoded, resp, "decode drifted for {label}");
+    }
+}
+
+#[test]
+fn every_golden_line_is_covered() {
+    // The golden file and the in-code vocabulary must stay in lockstep:
+    // a line without a matching message (or vice versa) is drift.
+    let labels: Vec<String> = golden_lines().into_iter().map(|(l, _)| l).collect();
+    let expected: Vec<String> = golden_requests()
+        .iter()
+        .map(|(l, _)| (*l).to_string())
+        .chain(golden_responses().iter().map(|(l, _)| (*l).to_string()))
+        .collect();
+    assert_eq!(labels, expected, "golden file and message vocabulary diverged");
+}
+
+#[test]
+fn absent_and_null_optionals_decode_identically() {
+    // Optional fields may arrive spelled `"field":null` or omitted
+    // entirely; both decode to `None`. Clients in other languages lean
+    // on this, so it is part of the wire contract.
+    let hello = Request::Hello {
+        protocol_version: 1,
+        client: None,
+    };
+    for line in [
+        r#"{"Hello":{"protocol_version":1}}"#,
+        r#"{"Hello":{"protocol_version":1,"client":null}}"#,
+    ] {
+        assert_eq!(decode_request(line).unwrap(), hello, "line {line}");
+    }
+
+    let submit = Request::Submit {
+        question: "q".to_string(),
+        salt: None,
+        semantic: None,
+        timeout_ms: None,
+        events: false,
+    };
+    for line in [
+        r#"{"Submit":{"question":"q"}}"#,
+        r#"{"Submit":{"question":"q","salt":null,"semantic":null,"timeout_ms":null,"events":false}}"#,
+    ] {
+        assert_eq!(decode_request(line).unwrap(), submit, "line {line}");
+    }
+
+    let goodbye = Response::Goodbye {
+        code: None,
+        message: "bye".to_string(),
+    };
+    for line in [
+        r#"{"Goodbye":{"message":"bye"}}"#,
+        r#"{"Goodbye":{"code":null,"message":"bye"}}"#,
+    ] {
+        assert_eq!(decode_response(line).unwrap(), goodbye, "line {line}");
+    }
+}
+
+#[test]
+fn version_constant_matches_golden_file_name() {
+    // protocol_v1.txt pins v1; if the version moves, a new golden file
+    // must be cut alongside it.
+    assert_eq!(PROTOCOL_VERSION, 1);
+}

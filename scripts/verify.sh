@@ -29,7 +29,9 @@ if [ "$run_clippy" -eq 1 ]; then
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace -- -D warnings
     # The serving layer is lint-gated on its own: concurrency code is
-    # where a stray clippy allowance hides real bugs.
+    # where a stray clippy allowance hides real bugs. This lane covers
+    # the network front end too (infera_serve::net — wire protocol,
+    # connection core, server, client, load harness).
     echo "==> cargo clippy -p infera-serve -- -D warnings"
     cargo clippy -p infera-serve -- -D warnings
     # Same for the observability crate: the bus/metrics hot paths run
@@ -116,6 +118,47 @@ assert injected >= 1, "the fault plan never fired"
 print("chaos smoke ok: %d faults injected, digests reproduced" % injected)
 EOF
     rm -f "$chaos_out"
+
+    echo "==> bench-load --smoke (network saturation + drain + digest gate)"
+    load_out="$(mktemp -t bench_load_smoke.XXXXXX.json)"
+    # bench-load exits non-zero if sampled network digests diverge from
+    # the fresh serial baseline, if the graceful drain loses an accepted
+    # job, or if a draining server fails to refuse a new connection with
+    # the typed goodbye.
+    cargo run --release --bin infera -- bench-load --smoke --out "$load_out" \
+        --work "$(mktemp -d -t bench_load_work.XXXXXX)"
+    python3 - "$load_out" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report["protocol_version"] >= 1, report
+assert report["digests_match"], "network digests diverged from serial"
+assert len(report["levels"]) >= 2, "smoke sweeps at least two offered loads"
+level_keys = {
+    "multiplier", "offered_qps", "duration_ms", "submitted", "accepted",
+    "rejected", "rejection_rate", "completed", "failed", "p50_ms",
+    "p95_ms", "p99_ms", "achieved_qps", "events_streamed",
+    "digests_checked", "digests_match",
+}
+for level in report["levels"]:
+    missing = level_keys - set(level)
+    assert not missing, f"BENCH_load level missing keys: {sorted(missing)}"
+    assert level["accepted"] == level["completed"] + level["failed"], level
+    assert level["digests_checked"] >= 1 and level["digests_match"], level
+assert any(l["events_streamed"] > 0 for l in report["levels"]), "no events streamed"
+sd = report["shutdown"]
+assert sd["lost"] == 0, sd
+assert sd["new_conn_rejected"], sd
+print(
+    "load smoke ok: %d levels, top-rung rejection %.1f%%, drain lost 0 of %d"
+    % (
+        len(report["levels"]),
+        report["levels"][-1]["rejection_rate"] * 100.0,
+        sd["accepted"],
+    )
+)
+EOF
+    rm -f "$load_out"
 
     echo "==> bench-shard --smoke (sharded-vs-serial digest gate)"
     shard_out="$(mktemp -t bench_shard_smoke.XXXXXX.json)"

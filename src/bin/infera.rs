@@ -5,13 +5,16 @@
 //! infera plan     --ensemble ens "top 20 largest halos at timestep 498 in simulation 0"
 //! infera ask      --ensemble ens --work work [--perfect] [--feedback] "<question>"
 //! infera serve    --ensemble ens --work work --workers 4   # questions on stdin
+//! infera serve    --ensemble ens --listen 127.0.0.1:7433   # network protocol peers
 //! infera bench-serve [--smoke] [--out BENCH_serve.json]
+//! infera bench-load  [--smoke] [--out BENCH_load.json]
 //! infera questions
 //! infera audit    --run work/run_0001
 //! ```
 
 use infera::prelude::*;
-use infera::serve::{BenchOpts, RejectReason, Scheduler, ServeConfig};
+use infera::serve::net::{self, ConnOptions, LoadOpts, NetServer, NetServerConfig};
+use infera::serve::{BenchOpts, Scheduler, ServeConfig};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -76,6 +79,7 @@ fn main() -> ExitCode {
         "ask" => cmd_ask(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "bench-serve" => cmd_bench_serve(&args[1..]),
+        "bench-load" => cmd_bench_load(&args[1..]),
         "sql" => cmd_sql(&args[1..]),
         "questions" => cmd_questions(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
@@ -112,14 +116,22 @@ USAGE:
       a user-edited plan saved by `plan --save`; --breakdown prints the
       per-stage cost profile derived from the run trace.
   infera serve --ensemble <dir> [--work <dir>] [--workers N] [--queue N]
-               [--seed N] [--perfect] [--timeout-secs N]
+               [--listen <addr>] [--seed N] [--perfect] [--timeout-secs N]
                [--stats-every N] [--events] [--faults <spec>]
-      Serve line-delimited questions from stdin concurrently over one
-      shared session; one JSON result summary per line on stdout.
-      --stats-every N prints a one-line stats summary to stderr every
-      N seconds; --events streams live job/span events to stderr as
-      JSON lines. On exit the Prometheus exposition, metrics snapshot,
-      and slow-query flight recorder are written under <work>/obs/.
+      Serve questions concurrently over one shared session. Without
+      --listen, line-delimited input on stdin: a bare question per line
+      is submit sugar, full JSON protocol requests also work, and typed
+      protocol response lines (Accepted/Rejected/Done/...) stream on
+      stdout — a full queue answers `Rejected {queue_full}` instead of
+      blocking. With --listen <addr>, a TCP front end speaks the same
+      versioned line-delimited JSON protocol to persistent connections
+      with per-job progress-event streaming; closing stdin begins a
+      graceful drain (new connections refused with a typed Goodbye,
+      accepted jobs run to completion). --stats-every N prints a
+      one-line stats summary to stderr every N seconds; --events
+      streams live job/span events to stderr as JSON lines. On exit the
+      Prometheus exposition, metrics snapshot, and slow-query flight
+      recorder are written under <work>/obs/.
       --faults (or the INFERA_FAULTS env var) activates deterministic
       fault injection, e.g. --faults 'seed=7;storage.read=p0.05' —
       transient failures are retried with backoff, corrupt chunks are
@@ -138,6 +150,16 @@ USAGE:
       injects faults into every configuration after the clean serial
       baseline — the digest gate then doubles as a chaos gate, proving
       retried runs reproduce the baseline bit-for-bit.
+  infera bench-load [--smoke] [--out <file>] [--ensemble <dir>] [--work <dir>]
+                    [--sleep-scale X] [--seed N]
+      Saturation-test the network front end: a real TCP server on a
+      loopback port under an open-loop arrival process at several
+      offered loads around measured capacity, writing BENCH_load.json
+      (p50/p99 latency, rejection rate, streamed-event counts per
+      level). Fails unless sampled network digests match a fresh serial
+      baseline bit-for-bit, a graceful drain loses zero accepted jobs,
+      and a draining server refuses new connections with a typed
+      Goodbye. --smoke is the fast CI gate.
   infera sql --db <dir> [--explain] \"<statement>\"
       Run a SQL statement against a columnar database directory (for
       example a session's db/ under its work directory). --explain
@@ -193,7 +215,7 @@ fn init_faults(args: &[String]) -> Result<(), CliError> {
 const VALUE_FLAGS: &[&str] = &[
     "--out", "--sims", "--steps", "--halos", "--particles", "--seed", "--ensemble", "--work",
     "--run", "--save", "--plan", "--workers", "--queue", "--timeout-secs", "--sleep-scale",
-    "--stats-every", "--db", "--faults", "--shards",
+    "--stats-every", "--db", "--faults", "--shards", "--listen",
 ];
 /// Boolean flags.
 const BOOL_FLAGS: &[&str] = &[
@@ -353,13 +375,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let queue: usize = flag_num(args, "--queue", 64)?;
     let stats_every: u64 = flag_num(args, "--stats-every", 0)?;
     let stream_events = has_flag(args, "--events");
+    let listen = flag_value(args, "--listen");
     let work = PathBuf::from(flag_value(args, "--work").unwrap_or_else(|| "infera-work".into()));
     let session = Arc::new(session_from(args)?);
-    let sched = Scheduler::new(session, ServeConfig::with_pool(workers, queue));
-    eprintln!("serving on {workers} workers (queue capacity {queue}); questions on stdin, one per line");
+    let sched = Arc::new(Scheduler::new(session, ServeConfig::with_pool(workers, queue)));
 
     // Live surfaces run on stderr so stdout stays a clean stream of
-    // result-summary JSON lines.
+    // protocol response lines.
     let stop = Arc::new(AtomicBool::new(false));
     let mut side_threads = Vec::new();
     if stats_every > 0 {
@@ -401,76 +423,150 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             }
         }));
     }
-    let stdin = std::io::stdin();
-    let mut delivered = 0u64;
-    let mut submitted = 0u64;
-    for line in stdin.lock().lines() {
-        let line = line.map_err(InferaError::from)?;
-        let question = line.trim();
-        if question.is_empty() {
-            continue;
-        }
-        // Admission control: a full queue pushes back on stdin by
-        // draining one finished result before retrying.
-        loop {
-            match sched.submit(question) {
-                Ok(_) => {
-                    submitted += 1;
+    match listen {
+        Some(addr) => {
+            // Network mode: the TCP front end serves protocol peers;
+            // stdin is only a lifetime handle — EOF begins the drain.
+            let server = NetServer::bind(sched.clone(), &addr, NetServerConfig::default())?;
+            eprintln!(
+                "listening on {} ({workers} workers, queue capacity {queue}); \
+                 close stdin (Ctrl-D) for a graceful drain",
+                server.local_addr()
+            );
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                if line.is_err() {
                     break;
                 }
-                Err(RejectReason::QueueFull { .. }) => {
-                    if let Some(result) = sched.next_result() {
-                        delivered += 1;
-                        out!("{}", result.to_summary_json());
-                    }
-                }
-                Err(RejectReason::CircuitOpen { class }) => {
-                    // Shed load until the breaker's cooldown admits a
-                    // probe; drain anything already finished meanwhile.
-                    eprintln!("[breaker] circuit open for '{class}'; pausing admission");
-                    while let Some(result) = sched.try_next_result() {
-                        delivered += 1;
-                        out!("{}", result.to_summary_json());
-                    }
-                    std::thread::sleep(Duration::from_millis(200));
-                }
-                Err(reason) => {
-                    return Err(CliError::Usage(format!("submission refused: {reason}")))
-                }
             }
+            eprintln!("stdin closed: refusing new connections, draining in-flight jobs...");
+            let stats = server.shutdown();
+            eprintln!(
+                "served {} connections: {} submitted, {} accepted, {} rejected, \
+                 {} completed, {} events streamed, {} canceled on disconnect, \
+                 {} connections refused while draining",
+                stats.connections,
+                stats.submitted,
+                stats.accepted,
+                stats.rejected,
+                stats.completed,
+                stats.events_sent,
+                stats.canceled_on_eof,
+                stats.refused_draining,
+            );
         }
-        while let Some(result) = sched.try_next_result() {
-            delivered += 1;
-            out!("{}", result.to_summary_json());
+        None => {
+            // Stdio mode: the same connection core as the network path
+            // (one admission code path), with plain-line sugar — a bare
+            // question per line submits it; full JSON requests work too.
+            // Typed Rejected lines replace any drain-before-retry logic:
+            // backpressure is the caller's to handle, same as over TCP.
+            eprintln!(
+                "serving on {workers} workers (queue capacity {queue}); \
+                 questions on stdin, one per line; typed response lines on stdout"
+            );
+            let stdin = std::io::stdin();
+            let stats = net::run_connection(
+                &sched,
+                stdin.lock(),
+                std::io::stdout(),
+                &ConnOptions::stdio(stream_events),
+                None,
+            );
+            eprintln!(
+                "served {}/{} submissions ({} rejected, {} events streamed)",
+                stats.completed, stats.submitted, stats.rejected, stats.events_sent,
+            );
         }
     }
+
     let metrics = sched.metrics().clone();
-    let global = sched.global_metrics().clone();
-    let bus = sched.bus().clone();
-    let flight = sched.flight_recorder().clone();
-    for result in sched.shutdown() {
-        delivered += 1;
-        out!("{}", result.to_summary_json());
-    }
     stop.store(true, Ordering::Relaxed);
     for handle in side_threads {
         let _ = handle.join();
     }
     eprintln!(
-        "served {delivered}/{submitted} jobs (accepted {}, rejected {}, cache hits {})",
+        "totals: accepted {}, rejected {}, cache hits {}",
         metrics.counter(infera::serve::scheduler::metric_names::JOBS_ACCEPTED),
         metrics.counter(infera::serve::scheduler::metric_names::JOBS_REJECTED),
         metrics.counter(infera::serve::scheduler::metric_names::CACHE_HITS),
     );
-    infera::serve::telemetry::sync_bus_counters(&global, &bus);
-    infera::serve::telemetry::sync_fault_counters(&global);
-    eprintln!("[stats] {}", infera::serve::render_stats_line(&global, &bus));
-    let obs_dir = infera::serve::persist_observability(&work, &global, &bus, &flight)?;
+    eprintln!("[stats] {}", sched.stats_line());
+    let obs_dir = sched.persist_observability(&work)?;
     eprintln!(
         "observability artifacts written to {} (inspect with `infera stats --work {}`)",
         obs_dir.display(),
         work.display()
     );
+    match Arc::try_unwrap(sched) {
+        Ok(sched) => {
+            sched.shutdown();
+        }
+        Err(sched) => sched.begin_shutdown(),
+    }
+    Ok(())
+}
+
+fn cmd_bench_load(args: &[String]) -> Result<(), CliError> {
+    let smoke = has_flag(args, "--smoke");
+    let out_path =
+        flag_value(args, "--out").unwrap_or_else(|| "BENCH_load.json".to_string());
+    let work = PathBuf::from(
+        flag_value(args, "--work").unwrap_or_else(|| "target/bench-load".to_string()),
+    );
+    let manifest = match flag_value(args, "--ensemble") {
+        Some(dir) => Manifest::load(PathBuf::from(&dir).as_path()).map_err(InferaError::from)?,
+        None => {
+            // The same deterministic benchmark ensemble bench-serve uses.
+            let root = work.join("ens");
+            let spec = EnsembleSpec {
+                n_sims: 4,
+                steps: EnsembleSpec::evenly_spaced_steps(8),
+                sim: infera::hacc::SimConfig {
+                    n_halos: 600,
+                    particles_per_step: 3_000,
+                    ..Default::default()
+                },
+                seed: 2025,
+                particle_block_rows: 4_096,
+            };
+            match Manifest::load(&root) {
+                Ok(m) if m.seed == spec.seed && m.n_sims as usize == spec.n_sims => m,
+                _ => {
+                    std::fs::remove_dir_all(&root).ok();
+                    infera::hacc::generate(&spec, &root).map_err(InferaError::from)?
+                }
+            }
+        }
+    };
+    let mut opts = if smoke { LoadOpts::smoke() } else { LoadOpts::default() };
+    opts.seed = flag_num(args, "--seed", opts.seed)?;
+    opts.sleep_scale = flag_num(args, "--sleep-scale", opts.sleep_scale)?;
+    eprintln!(
+        "bench-load: multipliers {:?} over {} workers / queue {}, {} arrivals per level ...",
+        opts.multipliers, opts.workers, opts.queue_capacity, opts.jobs_per_level,
+    );
+    let report = net::run_load_bench(&manifest, &work.join("runs"), &opts)?;
+    out!("{}", report.to_text());
+    let json = serde_json::to_string_pretty(&report).map_err(InferaError::from)?;
+    std::fs::write(&out_path, json).map_err(InferaError::from)?;
+    out!("wrote {out_path}");
+    if !report.digests_match {
+        return Err(CliError::Usage(
+            "network-served digests diverged from the serial baseline".to_string(),
+        ));
+    }
+    if report.shutdown.lost > 0 {
+        return Err(CliError::Usage(format!(
+            "graceful drain lost {} accepted job(s)",
+            report.shutdown.lost
+        )));
+    }
+    if !report.shutdown.new_conn_rejected {
+        return Err(CliError::Usage(
+            "draining server did not refuse the new connection with a typed goodbye".to_string(),
+        ));
+    }
     Ok(())
 }
 
